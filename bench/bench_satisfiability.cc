@@ -1,0 +1,123 @@
+// Experiment E1 (Section 4, [RH80], [F62]): satisfiability of conjunctive
+// inequality predicates is O(n³) in the number of variables via Floyd's
+// algorithm, O(m·n³) for m-disjunct DNF, and Bellman–Ford provides an
+// O(n·e) alternative.  The paper's claim to reproduce: the test is cheap
+// and polynomial, with the cubic shape visible as n grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "predicate/condition.h"
+#include "predicate/satisfiability.h"
+#include "util/random.h"
+
+namespace mview {
+namespace {
+
+// Builds a random satisfiable-or-not conjunction over n variables with
+// ~2n atoms (chains of x_i op x_j + c).
+Conjunction RandomConjunction(size_t n, Rng* rng,
+                              std::vector<std::string>* names) {
+  names->clear();
+  for (size_t i = 0; i < n; ++i) names->push_back("v" + std::to_string(i));
+  Conjunction conj;
+  for (size_t i = 0; i < 2 * n; ++i) {
+    CompareOp ops[] = {CompareOp::kEq, CompareOp::kLt, CompareOp::kLe,
+                       CompareOp::kGt, CompareOp::kGe};
+    const std::string& a = (*names)[rng->Uniform(0, n - 1)];
+    const std::string& b = (*names)[rng->Uniform(0, n - 1)];
+    conj.atoms.push_back(Atom::VarVar(a, ops[rng->Uniform(0, 4)], b,
+                                      rng->Uniform(-5, 5)));
+  }
+  return conj;
+}
+
+void BM_ConjunctionFloydWarshall(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  std::vector<std::string> names;
+  Conjunction conj = RandomConjunction(n, &rng, &names);
+  Schema schema = Schema::OfInts(names);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IsConjunctionSatisfiable(conj, schema, SatAlgorithm::kFloydWarshall));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ConjunctionFloydWarshall)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_ConjunctionBellmanFord(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  std::vector<std::string> names;
+  Conjunction conj = RandomConjunction(n, &rng, &names);
+  Schema schema = Schema::OfInts(names);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IsConjunctionSatisfiable(conj, schema, SatAlgorithm::kBellmanFord));
+  }
+}
+BENCHMARK(BM_ConjunctionBellmanFord)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_DnfScalesLinearlyInDisjuncts(benchmark::State& state) {
+  size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<Conjunction> disjuncts;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < m; ++i) {
+    disjuncts.push_back(RandomConjunction(8, &rng, &names));
+    // Make most disjuncts unsatisfiable so the scan does not short-circuit.
+    disjuncts.back().atoms.push_back(
+        Atom::VarVar("v0", CompareOp::kLt, "v0"));
+  }
+  Condition condition(disjuncts);
+  Schema schema = Schema::OfInts(names);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsConditionSatisfiable(condition, schema));
+  }
+  state.SetComplexityN(static_cast<int64_t>(m));
+}
+BENCHMARK(BM_DnfScalesLinearlyInDisjuncts)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity(benchmark::oN);
+
+void PrintSummary() {
+  using bench::FormatSeconds;
+  bench::SummaryTable table(
+      "E1: conjunctive satisfiability cost vs. #variables "
+      "(paper: O(n^3) Floyd [F62] vs O(n*e) Bellman-Ford)",
+      {"n vars", "atoms", "Floyd-Warshall", "Bellman-Ford", "ratio"});
+  Rng rng(123);
+  for (size_t n : {4, 8, 16, 32, 64}) {
+    std::vector<std::string> names;
+    Conjunction conj = RandomConjunction(n, &rng, &names);
+    Schema schema = Schema::OfInts(names);
+    double fw = bench::TimeIt([&] {
+      benchmark::DoNotOptimize(
+          IsConjunctionSatisfiable(conj, schema,
+                                   SatAlgorithm::kFloydWarshall));
+    }, 20);
+    double bf = bench::TimeIt([&] {
+      benchmark::DoNotOptimize(
+          IsConjunctionSatisfiable(conj, schema, SatAlgorithm::kBellmanFord));
+    }, 20);
+    table.AddRow({std::to_string(n), std::to_string(conj.atoms.size()),
+                  FormatSeconds(fw), FormatSeconds(bf),
+                  bench::FormatSpeedup(fw / bf)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mview
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  mview::PrintSummary();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Experiment E11 (Section 6, [AL80]): the differential machinery also
+// serves deferred "snapshot refresh": base changes are logged (filtered per
+// Algorithm 4.1) and the view is refreshed on demand with ONE differential
+// computation over the composed net change.  Claims to reproduce: refresh
+// cost grows with the composed delta, not with the number of deferred
+// transactions; churn (insert-then-delete) cancels in the log; deferred
+// total cost undercuts per-transaction immediate maintenance.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ivm/view_manager.h"
+#include "workload/generator.h"
+
+namespace mview {
+namespace {
+
+struct Setup {
+  Database db;
+  WorkloadGenerator gen{42};
+  RelationSpec r{"r", 2, 20000, 20000};
+  RelationSpec s{"s", 2, 20000, 20000};
+  ViewManager vm{&db};
+
+  explicit Setup(MaintenanceMode mode) {
+    gen.Populate(&db, r);
+    gen.Populate(&db, s);
+    vm.RegisterView(ViewDefinition("v", {BaseRef{"r", {}}, BaseRef{"s", {}}},
+                                   "r_a1 = s_a0", {"r_a0", "s_a1"}),
+                    mode);
+  }
+
+  void RunTransactions(size_t count, size_t updates_each) {
+    for (size_t i = 0; i < count; ++i) {
+      Transaction txn;
+      gen.AddUpdates(&txn, r, updates_each / 2, updates_each / 2);
+      vm.Apply(txn);
+    }
+  }
+};
+
+void BM_DeferredRefreshAfterN(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Setup setup(MaintenanceMode::kDeferred);
+    setup.RunTransactions(static_cast<size_t>(state.range(0)), 8);
+    state.ResumeTiming();
+    setup.vm.Refresh("v");
+  }
+}
+BENCHMARK(BM_DeferredRefreshAfterN)->Arg(1)->Arg(16)->Arg(128)->Iterations(10)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintSummary() {
+  using bench::FormatSeconds;
+  {
+    bench::SummaryTable table(
+        "E11a: snapshot refresh — total maintenance cost for 128 deferred "
+        "transactions (8 updates each) vs. refresh period "
+        "(refresh every N transactions)",
+        {"refresh period", "refreshes", "pending at refresh", "total time"});
+    for (size_t period : {1u, 8u, 32u, 128u}) {
+      Setup setup(MaintenanceMode::kDeferred);
+      size_t max_pending = 0;
+      Stopwatch timer;
+      for (size_t i = 1; i <= 128; ++i) {
+        Transaction txn;
+        setup.gen.AddUpdates(&txn, setup.r, 4, 4);
+        setup.vm.Apply(txn);
+        if (i % period == 0) {
+          max_pending = std::max(max_pending, setup.vm.PendingTuples("v"));
+          setup.vm.Refresh("v");
+        }
+      }
+      double total = timer.ElapsedSeconds();
+      table.AddRow({std::to_string(period),
+                    std::to_string(setup.vm.Stats("v").refreshes),
+                    std::to_string(max_pending), FormatSeconds(total)});
+    }
+    table.Print();
+  }
+  {
+    // Churn: the same tuples inserted and deleted repeatedly — the log's
+    // net-effect composition should cancel nearly everything.
+    Setup setup(MaintenanceMode::kDeferred);
+    Tuple hot({Value(99999), Value(5)});
+    for (int i = 0; i < 100; ++i) {
+      Transaction txn;
+      if (i % 2 == 0) {
+        txn.Insert("r", hot);
+      } else {
+        txn.Delete("r", hot);
+      }
+      setup.vm.Apply(txn);
+    }
+    bench::SummaryTable table(
+        "E11b: log composition under churn — 100 alternating insert/delete "
+        "transactions of one tuple",
+        {"transactions", "pending tuples in log", "is stale"});
+    table.AddRow({"100", std::to_string(setup.vm.PendingTuples("v")),
+                  setup.vm.IsStale("v") ? "yes" : "no"});
+    table.Print();
+  }
+  {
+    bench::SummaryTable table(
+        "E11c: immediate vs. deferred (refresh once at the end) — 128 "
+        "transactions of 8 updates",
+        {"mode", "total maintenance time"});
+    Setup immediate(MaintenanceMode::kImmediate);
+    Stopwatch t1;
+    immediate.RunTransactions(128, 8);
+    table.AddRow({"immediate (per-commit)", FormatSeconds(t1.ElapsedSeconds())});
+    Setup deferred(MaintenanceMode::kDeferred);
+    Stopwatch t2;
+    deferred.RunTransactions(128, 8);
+    deferred.vm.Refresh("v");
+    table.AddRow({"deferred (one refresh)", FormatSeconds(t2.ElapsedSeconds())});
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace mview
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  mview::PrintSummary();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment E8 (Section 5.4, Algorithm 5.1): end-to-end SPJ view
+// maintenance — filter + truth-table differential re-evaluation — against
+// the paper's baseline of complete re-evaluation at every commit.  Claim to
+// reproduce: the full pipeline sustains far higher transaction throughput
+// than recomputation, across view shapes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ivm/view_manager.h"
+#include "workload/generator.h"
+
+namespace mview {
+namespace {
+
+struct SpjSetup {
+  Database db;
+  WorkloadGenerator gen{42};
+  RelationSpec r{"r", 2, 20000, 20000};
+  RelationSpec s{"s", 2, 20000, 20000};
+  ViewManager vm{&db};
+
+  explicit SpjSetup(MaintenanceMode mode) {
+    gen.Populate(&db, r);
+    gen.Populate(&db, s);
+    vm.RegisterView(
+        ViewDefinition("v", {BaseRef{"r", {}}, BaseRef{"s", {}}},
+                       "r_a1 = s_a0 && r_a0 < 10000", {"r_a0", "s_a1"}),
+        mode);
+  }
+
+  void OneTransaction(size_t updates) {
+    Transaction txn;
+    gen.AddUpdates(&txn, r, updates / 4, updates / 4);
+    gen.AddUpdates(&txn, s, updates / 4, updates / 4);
+    vm.Apply(txn);
+  }
+};
+
+void BM_SpjImmediateMaintenance(benchmark::State& state) {
+  SpjSetup setup(MaintenanceMode::kImmediate);
+  for (auto _ : state) setup.OneTransaction(16);
+}
+BENCHMARK(BM_SpjImmediateMaintenance)->Unit(benchmark::kMicrosecond);
+
+void BM_SpjFullReevaluationMode(benchmark::State& state) {
+  SpjSetup setup(MaintenanceMode::kFullReevaluation);
+  for (auto _ : state) setup.OneTransaction(16);
+}
+BENCHMARK(BM_SpjFullReevaluationMode)->Unit(benchmark::kMillisecond);
+
+void PrintSummary() {
+  using bench::FormatSeconds;
+  bench::SummaryTable table(
+      "E8: SPJ view π[r_a0,s_a1](σ[r_a1=s_a0 && r_a0<10000](r × s)), "
+      "|r| = |s| = 20000 — commit-time maintenance cost per transaction "
+      "(Algorithm 5.1 vs. complete re-evaluation)",
+      {"updates/txn", "differential", "full re-eval", "speedup"});
+  for (size_t updates : {4u, 16u, 64u, 256u}) {
+    SpjSetup diff_setup(MaintenanceMode::kImmediate);
+    double diff = bench::TimeIt(
+        [&] { diff_setup.OneTransaction(updates); }, 5);
+    SpjSetup full_setup(MaintenanceMode::kFullReevaluation);
+    double full = bench::TimeIt(
+        [&] { full_setup.OneTransaction(updates); }, 3);
+    table.AddRow({std::to_string(updates), FormatSeconds(diff),
+                  FormatSeconds(full), bench::FormatSpeedup(full / diff)});
+  }
+  table.Print();
+
+  // Work-counter view of the same story, machine-independent.
+  SpjSetup setup(MaintenanceMode::kImmediate);
+  for (int i = 0; i < 50; ++i) setup.OneTransaction(16);
+  const MaintenanceStats& stats = setup.vm.Stats("v");
+  bench::SummaryTable counters(
+      "E8 work counters after 50 transactions (differential mode)",
+      {"txns", "updates seen", "filtered", "rows evaluated", "tuples scanned",
+       "index probes"});
+  counters.AddRow({std::to_string(stats.transactions),
+                   std::to_string(stats.updates_seen),
+                   std::to_string(stats.updates_filtered),
+                   std::to_string(stats.rows_evaluated),
+                   std::to_string(stats.plan.rows_scanned),
+                   std::to_string(stats.plan.probes)});
+  counters.Print();
+}
+
+}  // namespace
+}  // namespace mview
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  mview::PrintSummary();
+  return 0;
+}

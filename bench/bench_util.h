@@ -1,0 +1,87 @@
+#ifndef MVIEW_BENCH_BENCH_UTIL_H_
+#define MVIEW_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace mview::bench {
+
+/// Formats seconds with an adaptive unit ("1.23 ms").
+inline std::string FormatSeconds(double s) {
+  char buf[64];
+  if (s < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.2f ns", s * 1e9);
+  } else if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  }
+  return buf;
+}
+
+/// Formats a ratio as "12.3x".
+inline std::string FormatSpeedup(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", r);
+  return buf;
+}
+
+/// A paper-style summary table printed to stdout after the google-benchmark
+/// output; EXPERIMENTS.md records these rows.
+class SummaryTable {
+ public:
+  SummaryTable(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < cells.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    size_t total = 2 * columns_.size();
+    for (size_t w : widths) total += w;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Runs `fn` `reps` times and returns the average seconds per run.
+inline double TimeIt(const std::function<void()>& fn, int reps = 3) {
+  // One warm-up run.
+  fn();
+  Stopwatch timer;
+  for (int i = 0; i < reps; ++i) fn();
+  return timer.ElapsedSeconds() / reps;
+}
+
+}  // namespace mview::bench
+
+#endif  // MVIEW_BENCH_BENCH_UTIL_H_

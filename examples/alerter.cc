@@ -1,0 +1,77 @@
+// Alerter: the Buneman–Clemons scenario the paper cites ([BC79], Section 1).
+//
+// An alerter monitors a database and fires when the state described by a
+// view definition is reached.  A materialized view whose condition encodes
+// the alarm predicate gives exactly that: the alert fires when the view
+// becomes non-empty, and the paper's irrelevance filter (Section 4) makes
+// monitoring cheap — the vast majority of updates are discarded by a
+// satisfiability test without ever touching the data.
+
+#include <cstdio>
+
+#include "ivm/view_manager.h"
+#include "util/random.h"
+
+using namespace mview;  // NOLINT: example brevity
+
+int main() {
+  Database db;
+  // sensors(sensor_id, zone, temperature)
+  db.CreateRelation(
+      "readings", Schema::OfInts({"sensor_id", "zone", "temperature"}));
+  // zones(zone_id, criticality)
+  Relation& zones = db.CreateRelation(
+      "zones", Schema::OfInts({"zone_id", "criticality"}));
+  for (int64_t z = 0; z < 10; ++z) zones.Insert(Tuple{Value(z), Value(z % 3)});
+
+  ViewManager vm(&db);
+  // Fire when a reading above 90 degrees arrives from a zone with
+  // criticality 2 — a join alerter over two relations.
+  vm.RegisterView(ViewDefinition(
+      "hot_critical",
+      {BaseRef{"readings", {}}, BaseRef{"zones", {}}},
+      "temperature > 90 && zone = zone_id && criticality = 2",
+      {"sensor_id", "zone", "temperature"}));
+
+  Rng rng(7);
+  int fired = 0;
+  for (int tick = 0; tick < 1000; ++tick) {
+    Transaction txn;
+    // Each tick delivers a batch of sensor readings, replacing that
+    // sensor's previous reading.
+    for (int sensor = 0; sensor < 5; ++sensor) {
+      int64_t id = sensor;
+      int64_t zone = (tick + sensor) % 10;
+      int64_t temp = rng.Uniform(40, 95);
+      txn.Insert("readings", Tuple{Value(id), Value(zone), Value(temp)});
+    }
+    vm.Apply(txn);
+
+    if (!vm.View("hot_critical").empty()) {
+      ++fired;
+      std::printf("tick %4d ALERT:\n%s", tick,
+                  vm.View("hot_critical").ToString().c_str());
+      // Acknowledge the alert by clearing the triggering readings.
+      std::vector<Tuple> hot;
+      vm.View("hot_critical").Scan(
+          [&](const Tuple& t, int64_t) { hot.push_back(t); });
+      Transaction ack;
+      ack.DeleteAll("readings", hot);
+      vm.Apply(ack);
+      if (fired >= 5) break;  // demo: stop after a few alerts
+    }
+  }
+
+  const MaintenanceStats& stats = vm.Stats("hot_critical");
+  std::printf(
+      "\nmonitoring summary: %lld updates inspected, %lld (%.1f%%) proved "
+      "irrelevant by the Section-4 filter, %lld transactions skipped "
+      "entirely, %lld truth-table rows evaluated\n",
+      static_cast<long long>(stats.updates_seen),
+      static_cast<long long>(stats.updates_filtered),
+      100.0 * static_cast<double>(stats.updates_filtered) /
+          static_cast<double>(stats.updates_seen),
+      static_cast<long long>(stats.skipped_irrelevant),
+      static_cast<long long>(stats.rows_evaluated));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Real-time dashboard: the Gardarin et al. scenario ([GSV84], Section 1).
+//
+// The paper notes that concrete (materialized) views were dismissed for
+// real-time query support "because of the lack of an efficient algorithm to
+// keep the concrete views up to date" — the gap this paper fills.  Here a
+// small order-processing database keeps several dashboard panels
+// materialized while a transaction stream commits, and compares the cost
+// against recomputing one panel from scratch at every commit.
+
+#include <cstdio>
+
+#include "ivm/view_manager.h"
+#include "util/stopwatch.h"
+#include "workload/generator.h"
+
+using namespace mview;  // NOLINT: example brevity
+
+int main() {
+  Database db;
+  WorkloadGenerator gen(2026);
+  // orders(orders_a0 = id, orders_a1 = customer); items(item id, order ref).
+  RelationSpec orders{"orders", 2, 5000, 20000};
+  RelationSpec items{"items", 2, 20000, 40000};
+  gen.Populate(&db, orders);
+  gen.Populate(&db, items);
+
+  ViewManager vm(&db);
+  // Panel 1: order detail join (differential maintenance).
+  vm.RegisterView(ViewDefinition(
+      "panel_join", {BaseRef{"orders", {}}, BaseRef{"items", {}}},
+      "orders_a0 = items_a1", {"orders_a1", "items_a0"}));
+  // Panel 2: the same join, recomputed from scratch at every commit — the
+  // strategy the paper's critics assumed was the only option.
+  vm.RegisterView(ViewDefinition(
+                      "panel_join_recompute",
+                      {BaseRef{"orders", {}}, BaseRef{"items", {}}},
+                      "orders_a0 = items_a1", {"orders_a1", "items_a0"}),
+                  MaintenanceMode::kFullReevaluation);
+  // Panel 3: hot customers (select view with counters).
+  vm.RegisterView(ViewDefinition::Select("panel_hot", "orders",
+                                         "orders_a1 < 100", {"orders_a1"}));
+
+  const int kTransactions = 300;
+  Stopwatch wall;
+  for (int i = 0; i < kTransactions; ++i) {
+    Transaction txn;
+    gen.AddUpdates(&txn, orders, 2, 1);
+    gen.AddUpdates(&txn, items, 4, 2);
+    vm.Apply(txn);
+  }
+  double total = wall.ElapsedSeconds();
+
+  std::printf("processed %d transactions in %.3f s\n\n", kTransactions,
+              total);
+  std::printf("%-24s %14s %14s %12s\n", "panel", "maint time", "per txn",
+              "view size");
+  for (const auto& name : vm.ViewNames()) {
+    const MaintenanceStats& stats = vm.Stats(name);
+    double secs = static_cast<double>(stats.maintenance_nanos) * 1e-9;
+    std::printf("%-24s %12.3f ms %12.1f us %12zu\n", name.c_str(),
+                secs * 1e3, secs * 1e6 / kTransactions, vm.View(name).size());
+  }
+  const MaintenanceStats& diff = vm.Stats("panel_join");
+  const MaintenanceStats& full = vm.Stats("panel_join_recompute");
+  std::printf(
+      "\ndifferential maintenance of panel_join was %.1fx cheaper than "
+      "recomputation, and the panels are identical: %s\n",
+      static_cast<double>(full.maintenance_nanos) /
+          static_cast<double>(diff.maintenance_nanos),
+      vm.View("panel_join").SameContents(vm.View("panel_join_recompute"))
+          ? "yes"
+          : "NO (bug!)");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Snapshot refresh: the deferred-maintenance mode sketched in Section 6.
+//
+// "It is also possible to envision a mechanism in which materialized views
+// are updated periodically or only on demand.  Such materialized views are
+// known as snapshots [AL80] and their maintenance mechanism as snapshot
+// refresh.  The approach proposed in this paper also applies to this
+// environment."
+//
+// Base changes are logged per view — filtered by the Section-4 irrelevance
+// test and composed to their net effect — and a refresh performs ONE
+// differential computation regardless of how many transactions elapsed.
+
+#include <cstdio>
+
+#include "ivm/view_manager.h"
+#include "workload/generator.h"
+
+using namespace mview;  // NOLINT: example brevity
+
+int main() {
+  Database db;
+  WorkloadGenerator gen(99);
+  RelationSpec accounts{"accounts", 2, 5000, 10000};
+  RelationSpec branches{"branches", 2, 100, 100};
+  gen.Populate(&db, accounts);
+  gen.Populate(&db, branches);
+
+  ViewManager vm(&db);
+  ViewDefinition def("branch_report",
+                     {BaseRef{"accounts", {}}, BaseRef{"branches", {}}},
+                     "accounts_a1 = branches_a0", {"branches_a1"});
+  vm.RegisterView(def, MaintenanceMode::kDeferred);
+  // A reference copy maintained immediately, to show the refresh is exact.
+  vm.RegisterView(ViewDefinition("reference", def.bases(), "accounts_a1 = branches_a0",
+                                 std::vector<std::string>{"branches_a1"}),
+                  MaintenanceMode::kImmediate);
+
+  std::printf("day 0: report materialized with %zu rows\n",
+              vm.View("branch_report").size());
+
+  for (int day = 1; day <= 3; ++day) {
+    // A business day of transactions; the snapshot just logs net changes.
+    for (int t = 0; t < 200; ++t) {
+      Transaction txn;
+      gen.AddUpdates(&txn, accounts, 3, 2);
+      vm.Apply(txn);
+    }
+    std::printf(
+        "day %d: %3zu net changes pending, report %s\n", day,
+        vm.PendingTuples("branch_report"),
+        vm.IsStale("branch_report") ? "stale (serving yesterday's data)"
+                                    : "fresh");
+    // Nightly refresh: one differential pass over the composed delta.
+    vm.Refresh("branch_report");
+    bool exact = vm.View("branch_report").SameContents(vm.View("reference"));
+    std::printf("        nightly refresh #%lld done — matches live view: %s\n",
+                static_cast<long long>(vm.Stats("branch_report").refreshes),
+                exact ? "yes" : "NO (bug!)");
+  }
+
+  const MaintenanceStats& snap = vm.Stats("branch_report");
+  const MaintenanceStats& live = vm.Stats("reference");
+  std::printf(
+      "\ntotals over 600 transactions:\n"
+      "  deferred:  %8.3f ms maintenance (3 refreshes, %lld updates logged "
+      "after filtering)\n"
+      "  immediate: %8.3f ms maintenance (600 commit-time deltas)\n",
+      static_cast<double>(snap.maintenance_nanos) * 1e-6,
+      static_cast<long long>(snap.updates_seen - snap.updates_filtered),
+      static_cast<double>(live.maintenance_nanos) * 1e-6);
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "db/database.h"
+
+#include "util/error.h"
+
+namespace mview {
+
+Relation& Database::CreateRelation(const std::string& name, Schema schema) {
+  MVIEW_CHECK(!name.empty(), "relation name cannot be empty");
+  auto [it, inserted] =
+      relations_.emplace(name, std::make_unique<Relation>(std::move(schema)));
+  MVIEW_CHECK(inserted, "relation already exists: ", name);
+  return *it->second;
+}
+
+void Database::DropRelation(const std::string& name) {
+  MVIEW_CHECK(relations_.erase(name) > 0, "unknown relation: ", name);
+}
+
+Relation* Database::Find(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Relation& Database::Get(const std::string& name) {
+  Relation* r = Find(name);
+  MVIEW_CHECK(r != nullptr, "unknown relation: ", name);
+  return *r;
+}
+
+const Relation& Database::Get(const std::string& name) const {
+  const Relation* r = Find(name);
+  MVIEW_CHECK(r != nullptr, "unknown relation: ", name);
+  return *r;
+}
+
+bool Database::Exists(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mview

@@ -1,0 +1,53 @@
+#ifndef MVIEW_DB_DATABASE_H_
+#define MVIEW_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace mview {
+
+/// A catalog of named base relations (the paper's database instance
+/// `D = {r1, …, rp}`).
+///
+/// Only base relations live here; materialized views are owned by the
+/// `ViewManager`, which also routes transactions through the maintenance
+/// machinery.  Relations are stored behind stable pointers so inputs and
+/// compiled filters can hold references across catalog growth.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty relation; throws when the name is taken.
+  Relation& CreateRelation(const std::string& name, Schema schema);
+
+  /// Removes a relation; throws when absent.  The caller must ensure no
+  /// view, maintainer, or assertion still references it.
+  void DropRelation(const std::string& name);
+
+  /// Returns the relation, or nullptr when absent.
+  Relation* Find(const std::string& name);
+  const Relation* Find(const std::string& name) const;
+
+  /// Returns the relation; throws when absent.
+  Relation& Get(const std::string& name);
+  const Relation& Get(const std::string& name) const;
+
+  bool Exists(const std::string& name) const;
+
+  /// Returns the relation names in sorted order.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_DB_DATABASE_H_

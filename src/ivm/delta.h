@@ -1,0 +1,44 @@
+#ifndef MVIEW_IVM_DELTA_H_
+#define MVIEW_IVM_DELTA_H_
+
+#include "relational/relation.h"
+
+namespace mview {
+
+/// The differential update of a materialized view: counted sets of tuples to
+/// insert into and delete from the materialization
+/// (`v' = v ∪ inserts − deletes`, Sections 5.1–5.4).
+///
+/// Counts are multiplicity *contributions*: a delete of count 2 decrements
+/// the view tuple's counter by 2 and removes the tuple only when the counter
+/// reaches zero (the paper's project-view counter scheme, Section 5.2).
+struct ViewDelta {
+  explicit ViewDelta(Schema schema)
+      : inserts(schema), deletes(std::move(schema)) {}
+
+  CountedRelation inserts;
+  CountedRelation deletes;
+
+  bool Empty() const { return inserts.empty() && deletes.empty(); }
+
+  /// Total multiplicity being moved (|inserts| + |deletes|).
+  int64_t TotalCount() const {
+    return inserts.TotalCount() + deletes.TotalCount();
+  }
+
+  /// Cancels tuples present on both sides (a tuple contributing +n and −m
+  /// nets to one side with |n − m|).  Differential rows may produce such
+  /// pairs when a transaction both inserts and deletes (Example 5.4's
+  /// ignore rule prunes cross products, not projections onto equal view
+  /// tuples).
+  void Normalize();
+
+  /// Applies the delta to a materialization: counters of `deletes` are
+  /// subtracted, counters of `inserts` added.  Throws if a counter would go
+  /// negative — the delta does not belong to this view state.
+  void ApplyTo(CountedRelation* view) const;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_IVM_DELTA_H_

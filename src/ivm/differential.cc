@@ -1,0 +1,270 @@
+#include "ivm/differential.h"
+
+#include "util/error.h"
+
+namespace mview {
+
+MaintenanceStats& MaintenanceStats::operator+=(const MaintenanceStats& o) {
+  transactions += o.transactions;
+  skipped_irrelevant += o.skipped_irrelevant;
+  updates_seen += o.updates_seen;
+  updates_filtered += o.updates_filtered;
+  rows_enumerated += o.rows_enumerated;
+  rows_evaluated += o.rows_evaluated;
+  delta_inserts += o.delta_inserts;
+  delta_deletes += o.delta_deletes;
+  full_reevaluations += o.full_reevaluations;
+  refreshes += o.refreshes;
+  maintenance_nanos += o.maintenance_nanos;
+  plan += o.plan;
+  return *this;
+}
+
+DifferentialMaintainer::DifferentialMaintainer(ViewDefinition def,
+                                               const Database* db,
+                                               MaintenanceOptions options)
+    : def_(std::move(def)), db_(db), options_(options) {
+  MVIEW_CHECK(db_ != nullptr, "null database");
+  def_.Validate(*db_);
+  combined_ = def_.CombinedSchema(*db_);
+  output_ = def_.OutputSchema(*db_);
+  aliased_.reserve(def_.bases().size());
+  for (size_t i = 0; i < def_.bases().size(); ++i) {
+    aliased_.push_back(def_.AliasedSchema(*db_, i));
+  }
+  filter_ = std::make_unique<IrrelevanceFilter>(def_, *db_);
+}
+
+bool DifferentialMaintainer::AffectedBy(const TransactionEffect& effect) const {
+  for (const auto& base : def_.bases()) {
+    if (effect.Find(base.relation) != nullptr) return true;
+  }
+  return false;
+}
+
+ViewDelta DifferentialMaintainer::ComputeDelta(const TransactionEffect& effect,
+                                               MaintenanceStats* stats) const {
+  // Filtered copies of the per-base deltas (Algorithm 4.1).  The clean part
+  // subtracts the *unfiltered* deletes — the surviving state is defined by
+  // what the transaction actually removed; tuples the filter drops are
+  // provably invisible to the view either way.
+  std::vector<std::unique_ptr<Relation>> filtered;
+  std::vector<BaseParts> parts(def_.bases().size());
+  for (size_t i = 0; i < def_.bases().size(); ++i) {
+    const RelationEffect* re = effect.Find(def_.bases()[i].relation);
+    if (re == nullptr) continue;
+    parts[i].subtract = &re->deletes;
+    const SubstitutionFilter& base_filter = filter_->base_filter(i);
+    bool filter_useful =
+        options_.use_irrelevance_filter && !base_filter.always_relevant();
+    if (!filter_useful) {
+      if (stats != nullptr) {
+        stats->updates_seen += static_cast<int64_t>(re->inserts.size()) +
+                               static_cast<int64_t>(re->deletes.size());
+      }
+      parts[i].inserts = &re->inserts;
+      parts[i].deletes = &re->deletes;
+      continue;
+    }
+    auto filter_one = [&](const Relation& in) -> const Relation* {
+      auto out = std::make_unique<Relation>(in.schema());
+      size_t dropped = filter_->FilterRelation(i, in, out.get());
+      if (stats != nullptr) {
+        stats->updates_seen += static_cast<int64_t>(in.size());
+        stats->updates_filtered += static_cast<int64_t>(dropped);
+      }
+      filtered.push_back(std::move(out));
+      return filtered.back().get();
+    };
+    parts[i].inserts = filter_one(re->inserts);
+    parts[i].deletes = filter_one(re->deletes);
+  }
+  return ComputeDeltaFromParts(parts, stats);
+}
+
+ViewDelta DifferentialMaintainer::ComputeDeltaFromParts(
+    const std::vector<BaseParts>& parts, MaintenanceStats* stats) const {
+  MVIEW_CHECK(parts.size() == def_.bases().size(),
+              "expected one BaseParts per base occurrence");
+  size_t n = def_.bases().size();
+  std::vector<std::unique_ptr<RelationInput>> clean(n), ins(n), del(n);
+  // The telescoped strategy probes deltas through Concat inputs, which are
+  // probe-capable only when both parts are; copy the (small) deltas and
+  // give them the base relation's indexes.
+  std::vector<std::unique_ptr<Relation>> indexed_deltas;
+  auto make_delta_input =
+      [&](size_t i, const Relation* part) -> std::unique_ptr<RelationInput> {
+    if (options_.strategy == DeltaStrategy::kTelescoped) {
+      const Relation& rel = db_->Get(def_.bases()[i].relation);
+      auto copy = std::make_unique<Relation>(rel.schema());
+      part->Scan([&](const Tuple& t) { copy->Insert(t); });
+      for (size_t attr : rel.IndexedAttributes()) {
+        copy->CreateIndex(rel.schema().attribute(attr).name);
+      }
+      indexed_deltas.push_back(std::move(copy));
+      return std::make_unique<FullRelationInput>(indexed_deltas.back().get(),
+                                                 aliased_[i]);
+    }
+    return std::make_unique<FullRelationInput>(part, aliased_[i]);
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const Relation& rel = db_->Get(def_.bases()[i].relation);
+    if (parts[i].subtract != nullptr && !parts[i].subtract->empty()) {
+      clean[i] = std::make_unique<SubtractRelationInput>(
+          &rel, parts[i].subtract, aliased_[i]);
+    } else {
+      clean[i] = std::make_unique<FullRelationInput>(&rel, aliased_[i]);
+    }
+    if (parts[i].inserts != nullptr && !parts[i].inserts->empty()) {
+      ins[i] = make_delta_input(i, parts[i].inserts);
+    }
+    if (parts[i].deletes != nullptr && !parts[i].deletes->empty()) {
+      del[i] = make_delta_input(i, parts[i].deletes);
+    }
+  }
+
+  ViewDelta delta(output_);
+  PlannerCache cache;
+  PlannerCache* cache_ptr =
+      options_.reuse_subexpressions ? &cache : nullptr;
+  if (options_.strategy == DeltaStrategy::kTelescoped) {
+    EnumerateTelescoped(clean, ins, del, &delta, stats, cache_ptr);
+  } else {
+    EnumerateRows(clean, ins, del, &delta, stats, cache_ptr);
+  }
+  delta.Normalize();
+  if (stats != nullptr) {
+    stats->delta_inserts += delta.inserts.TotalCount();
+    stats->delta_deletes += delta.deletes.TotalCount();
+  }
+  return delta;
+}
+
+void DifferentialMaintainer::EnumerateTelescoped(
+    const std::vector<std::unique_ptr<RelationInput>>& clean,
+    const std::vector<std::unique_ptr<RelationInput>>& ins,
+    const std::vector<std::unique_ptr<RelationInput>>& del, ViewDelta* delta,
+    MaintenanceStats* stats, PlannerCache* cache) const {
+  size_t n = def_.bases().size();
+  const Condition& condition = def_.condition();
+  bool trivially_true = condition.IsTriviallyTrue();
+
+  // old_i = clean_i ∪ d_i (the pre-change contents), new_i = clean_i ∪ i_i
+  // (the post-change contents); both degenerate to clean_i for untouched
+  // relations.  Telescoping:
+  //   Π new_i − Π old_i = Σ_j new_{<j} ⋈ (i_j − d_j) ⋈ old_{>j},
+  // so each modified relation contributes one insert-tagged and/or one
+  // delete-tagged term anchored at its small delta.
+  std::vector<std::unique_ptr<RelationInput>> concats;
+  std::vector<const RelationInput*> old_in(n), new_in(n);
+  for (size_t i = 0; i < n; ++i) {
+    old_in[i] = clean[i].get();
+    if (del[i] != nullptr) {
+      concats.push_back(std::make_unique<ConcatRelationInput>(clean[i].get(),
+                                                              del[i].get()));
+      old_in[i] = concats.back().get();
+    }
+    new_in[i] = clean[i].get();
+    if (ins[i] != nullptr) {
+      concats.push_back(std::make_unique<ConcatRelationInput>(clean[i].get(),
+                                                              ins[i].get()));
+      new_in[i] = concats.back().get();
+    }
+  }
+
+  auto evaluate_term = [&](size_t j, const RelationInput* anchor,
+                           bool is_delete) {
+    if (stats != nullptr) ++stats->rows_enumerated;
+    std::vector<const RelationInput*> row(n);
+    for (size_t i = 0; i < j; ++i) row[i] = new_in[i];
+    row[j] = anchor;
+    for (size_t i = j + 1; i < n; ++i) row[i] = old_in[i];
+    for (const auto* input : row) {
+      if (input->SizeHint() == 0) return;
+    }
+    if (stats != nullptr) ++stats->rows_evaluated;
+    SpjQuery query;
+    query.inputs = std::move(row);
+    query.condition = trivially_true ? nullptr : &condition;
+    query.projection = def_.projection();
+    EvaluateSpjInto(query, is_delete ? &delta->deletes : &delta->inserts, 1,
+                    stats != nullptr ? &stats->plan : nullptr, cache);
+  };
+
+  for (size_t j = 0; j < n; ++j) {
+    if (ins[j] != nullptr) evaluate_term(j, ins[j].get(), /*is_delete=*/false);
+    if (del[j] != nullptr) evaluate_term(j, del[j].get(), /*is_delete=*/true);
+  }
+}
+
+void DifferentialMaintainer::EnumerateRows(
+    const std::vector<std::unique_ptr<RelationInput>>& clean,
+    const std::vector<std::unique_ptr<RelationInput>>& ins,
+    const std::vector<std::unique_ptr<RelationInput>>& del, ViewDelta* delta,
+    MaintenanceStats* stats, PlannerCache* cache) const {
+  size_t n = def_.bases().size();
+  const Condition& condition = def_.condition();
+  bool trivially_true = condition.IsTriviallyTrue();
+
+  // Recursive expansion of Π(clean_i + ins_i) − Π(clean_i + del_i)
+  // (Section 5.3's truth table, mixed transactions handled by the tag rule
+  // `insert ⋈ delete → ignore`): rows choosing at least one `ins` and no
+  // `del` are insert-tagged; at least one `del` and no `ins`, delete-tagged;
+  // the all-clean row is the unchanged view and is skipped.
+  std::vector<const RelationInput*> row(n, nullptr);
+  auto evaluate_row = [&](bool is_delete) {
+    if (stats != nullptr) ++stats->rows_enumerated;
+    for (const auto* input : row) {
+      if (input->SizeHint() == 0) return;  // empty part: the join vanishes
+    }
+    if (stats != nullptr) ++stats->rows_evaluated;
+    SpjQuery query;
+    query.inputs.assign(row.begin(), row.end());
+    query.condition = trivially_true ? nullptr : &condition;
+    query.projection = def_.projection();
+    EvaluateSpjInto(query, is_delete ? &delta->deletes : &delta->inserts, 1,
+                    stats != nullptr ? &stats->plan : nullptr, cache);
+  };
+
+  // has_delta: whether a non-clean part has been chosen so far;
+  // is_delete: the row's tag (fixed by the first non-clean choice).
+  auto recurse = [&](auto&& self, size_t i, bool has_delta,
+                     bool is_delete) -> void {
+    if (i == n) {
+      if (has_delta) evaluate_row(is_delete);
+      return;
+    }
+    row[i] = clean[i].get();
+    self(self, i + 1, has_delta, is_delete);
+    // Insert part: allowed unless the row already carries a delete part.
+    if (ins[i] != nullptr && (!has_delta || !is_delete)) {
+      row[i] = ins[i].get();
+      self(self, i + 1, true, false);
+    }
+    // Delete part: allowed unless the row already carries an insert part.
+    if (del[i] != nullptr && (!has_delta || is_delete)) {
+      row[i] = del[i].get();
+      self(self, i + 1, true, true);
+    }
+  };
+  recurse(recurse, 0, false, false);
+}
+
+CountedRelation DifferentialMaintainer::FullEvaluate(PlanStats* stats) const {
+  size_t n = def_.bases().size();
+  std::vector<std::unique_ptr<RelationInput>> inputs(n);
+  SpjQuery query;
+  for (size_t i = 0; i < n; ++i) {
+    inputs[i] = std::make_unique<FullRelationInput>(
+        &db_->Get(def_.bases()[i].relation), aliased_[i]);
+    query.inputs.push_back(inputs[i].get());
+  }
+  const Condition& condition = def_.condition();
+  query.condition = condition.IsTriviallyTrue() ? nullptr : &condition;
+  query.projection = def_.projection();
+  CountedRelation out(output_);
+  EvaluateSpjInto(query, &out, 1, stats, nullptr);
+  return out;
+}
+
+}  // namespace mview

@@ -1,0 +1,144 @@
+#ifndef MVIEW_IVM_DIFFERENTIAL_H_
+#define MVIEW_IVM_DIFFERENTIAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "db/transaction.h"
+#include "ivm/delta.h"
+#include "ivm/irrelevance.h"
+#include "ivm/view_def.h"
+#include "ra/planner.h"
+
+namespace mview {
+
+/// How the view delta is decomposed into delta joins.
+enum class DeltaStrategy {
+  /// The paper's truth-table expansion (Section 5.3): up to `2^k − 1` rows
+  /// per tag for `k` modified relations, each row joining whole parts.
+  kTruthTable,
+  /// Telescoped decomposition — the direction of the paper's closing remark
+  /// that "efficient solutions are being investigated": the standard
+  /// rewriting  Π new_i − Π old_i = Σ_j new_{<j} ⋈ (i_j − d_j) ⋈ old_{>j},
+  /// giving at most 2k terms, each anchored at one small delta.  The two
+  /// strategies produce identical deltas (property-tested); bench E7/E9
+  /// compare their costs.
+  kTelescoped,
+};
+
+/// Tuning knobs for differential maintenance; each corresponds to a design
+/// choice the paper discusses and a benchmark ablates.
+struct MaintenanceOptions {
+  /// Run Algorithm 4.1 over the transaction's tuples before re-evaluation
+  /// (Section 4); off = treat every update as relevant.
+  bool use_irrelevance_filter = true;
+
+  /// Share materialized scans and join hash tables across truth-table rows
+  /// (the paper's "re-using partial subexpressions", Section 5.3/5.4).
+  bool reuse_subexpressions = true;
+
+  /// Delta-join decomposition (see `DeltaStrategy`).
+  DeltaStrategy strategy = DeltaStrategy::kTruthTable;
+};
+
+/// Work counters for maintenance, aggregated per view by the `ViewManager`
+/// and reported by the benchmark harness.
+struct MaintenanceStats {
+  int64_t transactions = 0;          // transactions routed to this view
+  int64_t skipped_irrelevant = 0;    // transactions dropped entirely
+  int64_t updates_seen = 0;          // tuples examined by the filter
+  int64_t updates_filtered = 0;      // tuples proved irrelevant
+  int64_t rows_enumerated = 0;       // truth-table rows considered
+  int64_t rows_evaluated = 0;        // rows with all parts non-empty
+  int64_t delta_inserts = 0;         // view tuples inserted (multiplicity)
+  int64_t delta_deletes = 0;         // view tuples deleted (multiplicity)
+  int64_t full_reevaluations = 0;
+  int64_t refreshes = 0;             // deferred-mode refresh operations
+  int64_t maintenance_nanos = 0;     // time spent maintaining this view
+  PlanStats plan;
+
+  MaintenanceStats& operator+=(const MaintenanceStats& other);
+};
+
+/// The per-base inputs of one differential computation: which tuples were
+/// inserted, which deleted, and what to subtract from the relation's
+/// *current* contents to recover the clean old part (`r_old − d`).
+///
+/// For commit-time maintenance the database holds the pre-state and
+/// `subtract = deletes`.  For deferred snapshot refresh the database holds
+/// the post-state and `subtract = inserts` (since
+/// `r_old − d = r_now − i`); see `ViewManager::Refresh`.
+struct BaseParts {
+  const Relation* inserts = nullptr;  // null or empty = none
+  const Relation* deletes = nullptr;
+  const Relation* subtract = nullptr;
+};
+
+/// Differential re-evaluation of one SPJ view (Section 5, Algorithm 5.1).
+///
+/// `ComputeDelta` expands the view expression over the modified relations'
+/// parts — the binary truth table of Section 5.3 generalized to mixed
+/// insert/delete transactions via the tag algebra of Example 5.4: each base
+/// contributes its clean old part, its deletions, or its insertions; rows
+/// mixing insertions with deletions are pruned (`insert ⋈ delete → ignore`),
+/// the all-clean row is the unchanged view and is never evaluated, and rows
+/// naming an empty part vanish, leaving at most `2^k − 1` joins per tag for
+/// `k` modified relations.  Rows containing a deletion produce delete-tagged
+/// view tuples; the rest produce insert-tagged ones.
+class DifferentialMaintainer {
+ public:
+  /// Compiles maintenance machinery for `def` over `db` (whose relations
+  /// must outlive this object).  Throws when the definition is invalid.
+  DifferentialMaintainer(ViewDefinition def, const Database* db,
+                         MaintenanceOptions options = {});
+
+  /// Computes the view delta for a transaction's net effect.  The database
+  /// must still hold the *pre-transaction* state (the paper's assumption
+  /// (a), Section 5).  Irrelevant tuples are filtered per Algorithm 4.1
+  /// when enabled.
+  ViewDelta ComputeDelta(const TransactionEffect& effect,
+                         MaintenanceStats* stats = nullptr) const;
+
+  /// Lower-level entry point used by deferred refresh: `parts[i]` describes
+  /// base occurrence `i` (all fields may be null for untouched bases).
+  /// No filtering is applied here — callers filter when logging.
+  ViewDelta ComputeDeltaFromParts(const std::vector<BaseParts>& parts,
+                                  MaintenanceStats* stats = nullptr) const;
+
+  /// Re-evaluates the view from scratch against the database's current
+  /// state (the paper's baseline comparator).
+  CountedRelation FullEvaluate(PlanStats* stats = nullptr) const;
+
+  /// True when the effect touches any base relation of this view.
+  bool AffectedBy(const TransactionEffect& effect) const;
+
+  const ViewDefinition& definition() const { return def_; }
+  const IrrelevanceFilter& filter() const { return *filter_; }
+  const Schema& output_schema() const { return output_; }
+  const MaintenanceOptions& options() const { return options_; }
+
+ private:
+  void EnumerateRows(const std::vector<std::unique_ptr<RelationInput>>& clean,
+                     const std::vector<std::unique_ptr<RelationInput>>& ins,
+                     const std::vector<std::unique_ptr<RelationInput>>& del,
+                     ViewDelta* delta, MaintenanceStats* stats,
+                     PlannerCache* cache) const;
+
+  void EnumerateTelescoped(
+      const std::vector<std::unique_ptr<RelationInput>>& clean,
+      const std::vector<std::unique_ptr<RelationInput>>& ins,
+      const std::vector<std::unique_ptr<RelationInput>>& del,
+      ViewDelta* delta, MaintenanceStats* stats, PlannerCache* cache) const;
+
+  ViewDefinition def_;
+  const Database* db_;
+  MaintenanceOptions options_;
+  Schema combined_;
+  Schema output_;
+  std::vector<Schema> aliased_;
+  std::unique_ptr<IrrelevanceFilter> filter_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_IVM_DIFFERENTIAL_H_

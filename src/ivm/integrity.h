@@ -1,0 +1,133 @@
+#ifndef MVIEW_IVM_INTEGRITY_H_
+#define MVIEW_IVM_INTEGRITY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/transaction.h"
+#include "ivm/differential.h"
+
+namespace mview {
+
+/// Integrity-assertion enforcement via error-predicate views.
+///
+/// Section 2 discusses Hammer and Sarin's efficient monitoring of database
+/// assertions [HS78]: each assertion has an *error predicate* — the logical
+/// complement of the assertion — and checking reduces to detecting whether
+/// an update can make the error predicate true.  The paper's closing of
+/// Section 6 notes its irrelevance and differential machinery "can be used
+/// in those contexts as well"; this class is that application.
+///
+/// An assertion is registered as an SPJ view over the violating
+/// combinations (the error predicate).  The assertion holds iff the view is
+/// empty.  `TryApply` admits a transaction only when it introduces no new
+/// violations: updates irrelevant to the error view (Theorem 4.1) are
+/// discarded outright — the common case for a well-targeted assertion — and
+/// the rest drive one differential computation whose inserted tuples are
+/// exactly the would-be violations.
+class IntegrityGuard {
+ public:
+  /// A reported violation: the assertion's name and the violating
+  /// combinations (tuples of the error view's output scheme).
+  struct Violation {
+    std::string assertion;
+    std::vector<Tuple> witnesses;
+  };
+
+  /// The guard checks transactions against `db` (not owned).
+  explicit IntegrityGuard(Database* db);
+
+  IntegrityGuard(const IntegrityGuard&) = delete;
+  IntegrityGuard& operator=(const IntegrityGuard&) = delete;
+
+  /// Registers an assertion whose *error predicate* is given by `def` (the
+  /// view of violating combinations).  The current database state may
+  /// already violate the assertion; `CurrentViolations` reports such
+  /// pre-existing witnesses, and `TryApply` only blocks *new* ones.
+  /// Throws when the name is taken or the definition is invalid.
+  void AddAssertion(ViewDefinition def);
+
+  /// Convenience: an assertion over `relations` violated by combinations
+  /// satisfying `error_condition` (parsed; see `ParseCondition`).
+  void AddAssertion(const std::string& name,
+                    const std::vector<std::string>& relations,
+                    const std::string& error_condition);
+
+  /// Removes an assertion.
+  void DropAssertion(const std::string& name);
+
+  /// Applies the transaction iff it introduces no new violation.  Returns
+  /// true and commits on success; returns false, leaves the database
+  /// untouched, and fills `violations` (if non-null) with the would-be
+  /// witnesses otherwise.
+  bool TryApply(const Transaction& txn,
+                std::vector<Violation>* violations = nullptr);
+
+  /// Applies the transaction unconditionally, reporting (but not blocking)
+  /// new violations — the alerter style of enforcement.
+  std::vector<Violation> ApplyAndReport(const Transaction& txn);
+
+  /// Violations present in the current database state, across assertions.
+  std::vector<Violation> CurrentViolations() const;
+
+  /// True when no assertion is currently violated.
+  bool AllHold() const;
+
+  /// Registered assertion names, sorted.
+  std::vector<std::string> AssertionNames() const;
+
+  /// Maintenance statistics of one assertion's error view.
+  const MaintenanceStats& Stats(const std::string& name) const;
+
+  /// The error-predicate definition of an assertion.
+  const ViewDefinition& Definition(const std::string& name) const;
+
+ private:
+  struct Assertion {
+    std::unique_ptr<DifferentialMaintainer> maintainer;
+    CountedRelation error_view;  // kept materialized across commits
+    MaintenanceStats stats;
+  };
+
+ public:
+  /// A two-phase check for callers that coordinate the commit themselves
+  /// (e.g. the SQL engine, which also routes the effect through a
+  /// `ViewManager`): `Precheck` evaluates the violation deltas against the
+  /// database *pre-state*; if `ok`, the caller applies the effect to the
+  /// base relations and then calls `CommitPrecheck` to roll the error views
+  /// forward.
+  struct Precheck {
+    bool ok = true;
+    std::vector<Violation> violations;
+
+   private:
+    friend class IntegrityGuard;
+    std::vector<std::pair<Assertion*, ViewDelta>> deltas;
+  };
+
+  /// Computes violation deltas on the pre-state (no state change).
+  Precheck PrecheckEffect(const TransactionEffect& effect);
+
+  /// Applies a successful precheck's deltas to the error views; call after
+  /// the effect has been applied to the database.
+  void CommitPrecheck(Precheck&& precheck);
+
+ private:
+
+  // Computes the new-violation deltas for `effect`; returns true when any
+  // assertion would gain a witness.
+  bool ComputeViolationDeltas(
+      const TransactionEffect& effect,
+      std::vector<std::pair<Assertion*, ViewDelta>>* deltas,
+      std::vector<Violation>* violations);
+
+  Database* db_;
+  std::map<std::string, Assertion> assertions_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_IVM_INTEGRITY_H_

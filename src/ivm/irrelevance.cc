@@ -1,0 +1,64 @@
+#include "ivm/irrelevance.h"
+
+#include "util/error.h"
+
+namespace mview {
+
+IrrelevanceFilter::IrrelevanceFilter(const ViewDefinition& def,
+                                     const Database& db)
+    : db_(&db), def_(def) {
+  def_.Validate(db);
+  combined_ = def_.CombinedSchema(db);
+  aliased_.reserve(def_.bases().size());
+  for (size_t i = 0; i < def_.bases().size(); ++i) {
+    aliased_.push_back(def_.AliasedSchema(db, i));
+  }
+  filters_.reserve(aliased_.size());
+  for (size_t i = 0; i < aliased_.size(); ++i) {
+    filters_.push_back(std::make_unique<SubstitutionFilter>(
+        def_.condition(), combined_, std::vector<Schema>{aliased_[i]}));
+  }
+}
+
+bool IrrelevanceFilter::IsRelevant(size_t base_index,
+                                   const Tuple& tuple) const {
+  MVIEW_CHECK(base_index < filters_.size(), "base index out of range");
+  return filters_[base_index]->MightBeRelevant(tuple);
+}
+
+size_t IrrelevanceFilter::FilterRelation(size_t base_index, const Relation& in,
+                                         Relation* out) const {
+  MVIEW_CHECK(out != nullptr && out->empty(),
+              "output relation must be empty");
+  MVIEW_CHECK(base_index < filters_.size(), "base index out of range");
+  const SubstitutionFilter& filter = *filters_[base_index];
+  size_t dropped = 0;
+  in.Scan([&](const Tuple& t) {
+    if (filter.MightBeRelevant(t)) {
+      out->Insert(t);
+    } else {
+      ++dropped;
+    }
+  });
+  return dropped;
+}
+
+const SubstitutionFilter& IrrelevanceFilter::base_filter(
+    size_t base_index) const {
+  MVIEW_CHECK(base_index < filters_.size(), "base index out of range");
+  return *filters_[base_index];
+}
+
+SubstitutionFilter IrrelevanceFilter::CompileJointFilter(
+    const std::vector<size_t>& base_indices) const {
+  MVIEW_CHECK(!base_indices.empty(), "joint filter needs base indices");
+  std::vector<Schema> schemes;
+  schemes.reserve(base_indices.size());
+  for (size_t idx : base_indices) {
+    MVIEW_CHECK(idx < aliased_.size(), "base index out of range");
+    schemes.push_back(aliased_[idx]);
+  }
+  return SubstitutionFilter(def_.condition(), combined_, std::move(schemes));
+}
+
+}  // namespace mview

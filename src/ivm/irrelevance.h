@@ -1,0 +1,62 @@
+#ifndef MVIEW_IVM_IRRELEVANCE_H_
+#define MVIEW_IVM_IRRELEVANCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "db/database.h"
+#include "ivm/view_def.h"
+#include "predicate/substitution.h"
+#include "relational/relation.h"
+
+namespace mview {
+
+/// Per-view irrelevant-update detection (Section 4).
+///
+/// At construction, one `SubstitutionFilter` is compiled for each base
+/// occurrence of the view: the view condition with that base's attributes
+/// (`Y1`) marked substituted — the once-per-(view, relation) work of
+/// Algorithm 4.1.  At update time, `IsRelevant`/`FilterRelation` decide
+/// Theorem 4.1 per tuple; tuples proved irrelevant cannot affect the view
+/// in *any* database state and are dropped before differential
+/// re-evaluation.
+///
+/// The filter is exact for conditions inside the Rosenkrantz–Hunt class and
+/// conservative (never drops a relevant update) otherwise.
+class IrrelevanceFilter {
+ public:
+  IrrelevanceFilter(const ViewDefinition& def, const Database& db);
+
+  size_t num_bases() const { return filters_.size(); }
+
+  /// Theorem 4.1: false iff inserting or deleting `tuple` in the
+  /// `base_index`-th base occurrence is irrelevant to the view.
+  bool IsRelevant(size_t base_index, const Tuple& tuple) const;
+
+  /// Algorithm 4.1 batch form: copies the relevant tuples of `in` into
+  /// `out` (which must be empty, with the base relation's scheme) and
+  /// returns the number of tuples *dropped*.
+  size_t FilterRelation(size_t base_index, const Relation& in,
+                        Relation* out) const;
+
+  /// The compiled per-base filter (for stats and direct use).
+  const SubstitutionFilter& base_filter(size_t base_index) const;
+
+  /// Theorem 4.2: compiles a joint filter substituting tuples into several
+  /// base occurrences simultaneously.  A set of tuples can be jointly
+  /// irrelevant even when each one alone is relevant (their combination is
+  /// contradictory).  `base_indices` must be distinct.
+  SubstitutionFilter CompileJointFilter(
+      const std::vector<size_t>& base_indices) const;
+
+ private:
+  const Database* db_;
+  ViewDefinition def_;
+  Schema combined_;
+  std::vector<Schema> aliased_;
+  std::vector<std::unique_ptr<SubstitutionFilter>> filters_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_IVM_IRRELEVANCE_H_

@@ -1,0 +1,27 @@
+#include "ivm/snapshot.h"
+
+namespace mview {
+
+void BaseDeltaLog::LogInsert(const Tuple& t) {
+  // A tuple deleted since the snapshot and now re-inserted is, relative to
+  // the snapshot state, unchanged.
+  if (deletes_.Erase(t)) return;
+  inserts_.Insert(t);
+}
+
+void BaseDeltaLog::LogDelete(const Tuple& t) {
+  // A tuple inserted since the snapshot and now deleted never existed as
+  // far as the snapshot is concerned.
+  if (inserts_.Erase(t)) return;
+  deletes_.Insert(t);
+}
+
+void BaseDeltaLog::Clear() {
+  // Relations have no bulk clear; rebuild empty ones with the same scheme.
+  Relation empty_inserts(inserts_.schema());
+  Relation empty_deletes(deletes_.schema());
+  inserts_ = std::move(empty_inserts);
+  deletes_ = std::move(empty_deletes);
+}
+
+}  // namespace mview

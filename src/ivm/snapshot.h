@@ -1,0 +1,44 @@
+#ifndef MVIEW_IVM_SNAPSHOT_H_
+#define MVIEW_IVM_SNAPSHOT_H_
+
+#include "relational/relation.h"
+
+namespace mview {
+
+/// The accumulated net change of one base relation since a snapshot's last
+/// refresh (Section 6 / [AL80]: "snapshots" are materialized views refreshed
+/// periodically or on demand).
+///
+/// Composition keeps the net-effect invariants of Section 3 relative to the
+/// *snapshot-time* state: a tuple deleted and later re-inserted cancels out,
+/// as does one inserted and later deleted.  At refresh time the old state is
+/// reconstructed from the current one (`r_old − d = r_now − i`), so no
+/// history beyond this log is needed.
+class BaseDeltaLog {
+ public:
+  explicit BaseDeltaLog(Schema schema)
+      : inserts_(schema), deletes_(std::move(schema)) {}
+
+  /// Records the net insertion of `t` (relative to the current state).
+  void LogInsert(const Tuple& t);
+
+  /// Records the net deletion of `t`.
+  void LogDelete(const Tuple& t);
+
+  const Relation& inserts() const { return inserts_; }
+  const Relation& deletes() const { return deletes_; }
+
+  bool Empty() const { return inserts_.empty() && deletes_.empty(); }
+  size_t TotalTuples() const { return inserts_.size() + deletes_.size(); }
+
+  /// Forgets everything (after a refresh).
+  void Clear();
+
+ private:
+  Relation inserts_;
+  Relation deletes_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_IVM_SNAPSHOT_H_

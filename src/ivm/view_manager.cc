@@ -1,0 +1,219 @@
+#include "ivm/view_manager.h"
+
+#include "util/error.h"
+#include "util/stopwatch.h"
+
+namespace mview {
+
+ViewManager::ViewManager(Database* db) : db_(db) {
+  MVIEW_CHECK(db_ != nullptr, "null database");
+}
+
+void ViewManager::RegisterView(ViewDefinition def, MaintenanceMode mode,
+                               MaintenanceOptions options) {
+  const std::string name = def.name();
+  MVIEW_CHECK(views_.count(name) == 0, "view already registered: ", name);
+  def.Validate(*db_);
+
+  // Index the equi-join attributes so differential rows can probe the big
+  // relations from the small deltas (Section 5.3's t_r ⋈ s).
+  auto join_attrs = def.JoinAttributes(*db_);
+  for (size_t i = 0; i < def.bases().size(); ++i) {
+    Relation& rel = db_->Get(def.bases()[i].relation);
+    for (const auto& attr : join_attrs[i]) rel.CreateIndex(attr);
+  }
+
+  auto view = std::make_unique<ManagedView>();
+  view->mode = mode;
+  view->maintainer =
+      std::make_unique<DifferentialMaintainer>(std::move(def), db_, options);
+  view->materialized = view->maintainer->FullEvaluate();
+  if (mode == MaintenanceMode::kDeferred) {
+    const ViewDefinition& d = view->maintainer->definition();
+    for (size_t i = 0; i < d.bases().size(); ++i) {
+      view->pending.push_back(
+          std::make_unique<BaseDeltaLog>(d.AliasedSchema(*db_, i)));
+    }
+  }
+  views_[name] = std::move(view);
+}
+
+void ViewManager::DropView(const std::string& name) {
+  MVIEW_CHECK(views_.erase(name) > 0, "unknown view: ", name);
+}
+
+void ViewManager::Apply(const Transaction& txn) {
+  ApplyEffect(txn.Normalize(*db_));
+}
+
+void ViewManager::ApplyEffect(const TransactionEffect& effect) {
+  if (effect.Empty()) return;
+
+  // Phase 1: compute deltas against the pre-state (assumption (a) of
+  // Section 5: base-relation contents before the transaction).
+  std::vector<std::pair<ManagedView*, ViewDelta>> deltas;
+  for (auto& [name, view] : views_) {
+    if (!view->maintainer->AffectedBy(effect)) continue;
+    Stopwatch timer;
+    switch (view->mode) {
+      case MaintenanceMode::kImmediate: {
+        ++view->stats.transactions;
+        ViewDelta delta = view->maintainer->ComputeDelta(effect, &view->stats);
+        if (delta.Empty()) {
+          ++view->stats.skipped_irrelevant;
+        } else {
+          deltas.emplace_back(view.get(), std::move(delta));
+        }
+        break;
+      }
+      case MaintenanceMode::kDeferred:
+        ++view->stats.transactions;
+        LogDeferred(view.get(), effect);
+        break;
+      case MaintenanceMode::kFullReevaluation:
+        ++view->stats.transactions;
+        break;  // recomputed after the effect lands
+    }
+    view->stats.maintenance_nanos += timer.ElapsedNanos();
+  }
+
+  // Phase 2: apply the transaction to the base relations.
+  effect.ApplyTo(db_);
+
+  // Phase 3: apply the deltas / recompute baselines.
+  for (auto& [view, delta] : deltas) {
+    Stopwatch timer;
+    delta.ApplyTo(&view->materialized);
+    view->stats.maintenance_nanos += timer.ElapsedNanos();
+  }
+  for (auto& [name, view] : views_) {
+    if (view->mode != MaintenanceMode::kFullReevaluation) continue;
+    if (!view->maintainer->AffectedBy(effect)) continue;
+    Stopwatch timer;
+    view->materialized = view->maintainer->FullEvaluate(&view->stats.plan);
+    ++view->stats.full_reevaluations;
+    view->stats.maintenance_nanos += timer.ElapsedNanos();
+  }
+}
+
+void ViewManager::LogDeferred(ManagedView* view,
+                              const TransactionEffect& effect) {
+  const ViewDefinition& def = view->maintainer->definition();
+  const bool use_filter = view->maintainer->options().use_irrelevance_filter;
+  for (size_t i = 0; i < def.bases().size(); ++i) {
+    const RelationEffect* re = effect.Find(def.bases()[i].relation);
+    if (re == nullptr) continue;
+    const SubstitutionFilter& filter =
+        view->maintainer->filter().base_filter(i);
+    BaseDeltaLog& log = *view->pending[i];
+    re->inserts.Scan([&](const Tuple& t) {
+      ++view->stats.updates_seen;
+      if (use_filter && !filter.MightBeRelevant(t)) {
+        ++view->stats.updates_filtered;
+        return;
+      }
+      log.LogInsert(t);
+    });
+    re->deletes.Scan([&](const Tuple& t) {
+      ++view->stats.updates_seen;
+      if (use_filter && !filter.MightBeRelevant(t)) {
+        ++view->stats.updates_filtered;
+        return;
+      }
+      log.LogDelete(t);
+    });
+  }
+}
+
+void ViewManager::RefreshView(const std::string& name, ManagedView* view) {
+  (void)name;
+  if (view->mode != MaintenanceMode::kDeferred) return;
+  bool stale = false;
+  for (const auto& log : view->pending) {
+    if (!log->Empty()) stale = true;
+  }
+  if (!stale) return;
+  Stopwatch timer;
+  // The database now holds the post-state; the clean old part of each base
+  // is r_now − inserts (= r_old − deletes).
+  std::vector<BaseParts> parts(view->pending.size());
+  for (size_t i = 0; i < view->pending.size(); ++i) {
+    const BaseDeltaLog& log = *view->pending[i];
+    if (log.Empty()) continue;
+    parts[i].inserts = &log.inserts();
+    parts[i].deletes = &log.deletes();
+    parts[i].subtract = &log.inserts();
+  }
+  ViewDelta delta =
+      view->maintainer->ComputeDeltaFromParts(parts, &view->stats);
+  delta.ApplyTo(&view->materialized);
+  for (auto& log : view->pending) log->Clear();
+  ++view->stats.refreshes;
+  view->stats.maintenance_nanos += timer.ElapsedNanos();
+}
+
+void ViewManager::Refresh(const std::string& name) {
+  RefreshView(name, &GetView(name));
+}
+
+void ViewManager::RefreshAll() {
+  for (auto& [name, view] : views_) RefreshView(name, view.get());
+}
+
+bool ViewManager::IsStale(const std::string& name) const {
+  const ManagedView& view = GetView(name);
+  for (const auto& log : view.pending) {
+    if (!log->Empty()) return true;
+  }
+  return false;
+}
+
+size_t ViewManager::PendingTuples(const std::string& name) const {
+  const ManagedView& view = GetView(name);
+  size_t total = 0;
+  for (const auto& log : view.pending) total += log->TotalTuples();
+  return total;
+}
+
+const CountedRelation& ViewManager::View(const std::string& name) const {
+  return GetView(name).materialized;
+}
+
+const MaintenanceStats& ViewManager::Stats(const std::string& name) const {
+  return GetView(name).stats;
+}
+
+const ViewDefinition& ViewManager::Definition(const std::string& name) const {
+  return GetView(name).maintainer->definition();
+}
+
+MaintenanceMode ViewManager::Mode(const std::string& name) const {
+  return GetView(name).mode;
+}
+
+const DifferentialMaintainer& ViewManager::Maintainer(
+    const std::string& name) const {
+  return *GetView(name).maintainer;
+}
+
+std::vector<std::string> ViewManager::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, view] : views_) names.push_back(name);
+  return names;
+}
+
+ViewManager::ManagedView& ViewManager::GetView(const std::string& name) {
+  auto it = views_.find(name);
+  MVIEW_CHECK(it != views_.end(), "unknown view: ", name);
+  return *it->second;
+}
+
+const ViewManager::ManagedView& ViewManager::GetView(
+    const std::string& name) const {
+  auto it = views_.find(name);
+  MVIEW_CHECK(it != views_.end(), "unknown view: ", name);
+  return *it->second;
+}
+
+}  // namespace mview

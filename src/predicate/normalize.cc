@@ -1,0 +1,65 @@
+#include "predicate/normalize.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace mview {
+
+std::string DifferenceConstraint::ToString() const {
+  std::ostringstream os;
+  os << (x.has_value() ? *x : "0") << " - " << (y.has_value() ? *y : "0")
+     << " <= " << c;
+  return os.str();
+}
+
+std::vector<DifferenceConstraint> NormalizeAtom(const Atom& atom) {
+  MVIEW_CHECK(atom.op != CompareOp::kNe,
+              "cannot normalize a '≠' atom: ", atom.ToString());
+  std::optional<std::string> x = atom.lhs;
+  std::optional<std::string> y;
+  int64_t c;
+  if (atom.rhs_var.has_value()) {
+    y = *atom.rhs_var;
+    c = atom.offset;
+  } else {
+    MVIEW_CHECK(atom.rhs_const.type() == ValueType::kInt64,
+                "cannot normalize non-integer atom: ", atom.ToString());
+    c = atom.rhs_const.AsInt64();
+  }
+  // The atom is now `x op y + c` with y possibly the zero node.
+  std::vector<DifferenceConstraint> out;
+  switch (atom.op) {
+    case CompareOp::kLe:  // x - y <= c
+      out.push_back({x, y, c});
+      break;
+    case CompareOp::kLt:  // x - y <= c - 1
+      out.push_back({x, y, c - 1});
+      break;
+    case CompareOp::kGe:  // y - x <= -c
+      out.push_back({y, x, -c});
+      break;
+    case CompareOp::kGt:  // y - x <= -c - 1
+      out.push_back({y, x, -c - 1});
+      break;
+    case CompareOp::kEq:  // both directions
+      out.push_back({x, y, c});
+      out.push_back({y, x, -c});
+      break;
+    case CompareOp::kNe:
+      break;  // unreachable, checked above
+  }
+  return out;
+}
+
+std::vector<DifferenceConstraint> NormalizeConjunction(
+    const Conjunction& conjunction) {
+  std::vector<DifferenceConstraint> out;
+  for (const auto& atom : conjunction.atoms) {
+    auto cs = NormalizeAtom(atom);
+    out.insert(out.end(), cs.begin(), cs.end());
+  }
+  return out;
+}
+
+}  // namespace mview

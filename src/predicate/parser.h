@@ -1,0 +1,30 @@
+#ifndef MVIEW_PREDICATE_PARSER_H_
+#define MVIEW_PREDICATE_PARSER_H_
+
+#include <string>
+
+#include "predicate/condition.h"
+
+namespace mview {
+
+/// Parses a textual selection condition into DNF.
+///
+/// Grammar (usual precedence, `&&` binds tighter than `||`):
+///
+///     condition := or
+///     or        := and ( "||" and )*
+///     and       := unary ( "&&" unary )*
+///     unary     := "!" unary | "(" or ")" | "true" | "false" | atom
+///     atom      := ident op ( ident (("+"|"-") int)? | int | string )
+///     op        := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+///
+/// Identifiers may contain dots (qualified names such as `emp.dept`).
+/// Negation is pushed down to the atoms (`!(A < B)` becomes `A >= B`); note
+/// that negating an equality yields `≠`, which removes the atom from the
+/// Rosenkrantz–Hunt class (Section 4 excludes `≠`).  The result is expanded
+/// into disjunctive normal form.  Throws `Error` on syntax errors.
+Condition ParseCondition(const std::string& text);
+
+}  // namespace mview
+
+#endif  // MVIEW_PREDICATE_PARSER_H_

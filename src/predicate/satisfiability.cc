@@ -1,0 +1,104 @@
+#include "predicate/satisfiability.h"
+
+#include "predicate/normalize.h"
+#include "util/error.h"
+
+namespace mview {
+namespace internal {
+
+size_t NumberVariables(const Conjunction& conjunction,
+                       std::unordered_map<std::string, size_t>* graph_nodes) {
+  graph_nodes->clear();
+  size_t next = 1;  // node 0 is the zero node
+  auto assign = [&](const std::string& name) {
+    if (graph_nodes->emplace(name, next).second) ++next;
+  };
+  for (const auto& atom : conjunction.atoms) {
+    assign(atom.lhs);
+    if (atom.rhs_var.has_value()) assign(*atom.rhs_var);
+  }
+  return next;
+}
+
+namespace {
+
+size_t NodeOf(const std::optional<std::string>& var,
+              const std::unordered_map<std::string, size_t>& nodes) {
+  if (!var.has_value()) return 0;
+  return nodes.at(*var);
+}
+
+// Builds the constraint graph of a pure-RH conjunction and decides it.
+bool RhConjunctionSatisfiable(const Conjunction& conjunction,
+                              SatAlgorithm algorithm) {
+  std::unordered_map<std::string, size_t> nodes;
+  size_t n = NumberVariables(conjunction, &nodes);
+  ConstraintGraph graph(n);
+  for (const auto& dc : NormalizeConjunction(conjunction)) {
+    // x − y ≤ c is the edge y → x with weight c.
+    graph.AddEdge(NodeOf(dc.y, nodes), NodeOf(dc.x, nodes), dc.c);
+  }
+  bool negative = algorithm == SatAlgorithm::kFloydWarshall
+                      ? graph.Close()
+                      : graph.HasNegativeCycleBellmanFord();
+  return !negative;
+}
+
+}  // namespace
+}  // namespace internal
+
+bool IsConjunctionSatisfiable(const Conjunction& conjunction,
+                              const Schema& variables,
+                              SatAlgorithm algorithm) {
+  for (const auto& atom : conjunction.atoms) {
+    MVIEW_CHECK(IsRhAtom(atom, variables),
+                "atom outside the Rosenkrantz–Hunt class: ", atom.ToString());
+  }
+  return internal::RhConjunctionSatisfiable(conjunction, algorithm);
+}
+
+bool IsConditionSatisfiable(const Condition& condition,
+                            const Schema& variables, SatAlgorithm algorithm) {
+  for (const auto& disjunct : condition.disjuncts()) {
+    if (IsConjunctionSatisfiable(disjunct, variables, algorithm)) return true;
+  }
+  return false;
+}
+
+Satisfiability CheckConjunction(const Conjunction& conjunction,
+                                const Schema& variables,
+                                SatAlgorithm algorithm) {
+  Conjunction rh_subset;
+  bool complete = true;
+  for (const auto& atom : conjunction.atoms) {
+    if (IsRhAtom(atom, variables)) {
+      rh_subset.atoms.push_back(atom);
+    } else {
+      complete = false;
+    }
+  }
+  bool sat = internal::RhConjunctionSatisfiable(rh_subset, algorithm);
+  if (!sat) return Satisfiability::kUnsatisfiable;
+  return complete ? Satisfiability::kSatisfiable : Satisfiability::kUnknown;
+}
+
+Satisfiability CheckCondition(const Condition& condition,
+                              const Schema& variables,
+                              SatAlgorithm algorithm) {
+  bool any_unknown = false;
+  for (const auto& disjunct : condition.disjuncts()) {
+    switch (CheckConjunction(disjunct, variables, algorithm)) {
+      case Satisfiability::kSatisfiable:
+        return Satisfiability::kSatisfiable;
+      case Satisfiability::kUnknown:
+        any_unknown = true;
+        break;
+      case Satisfiability::kUnsatisfiable:
+        break;
+    }
+  }
+  return any_unknown ? Satisfiability::kUnknown
+                     : Satisfiability::kUnsatisfiable;
+}
+
+}  // namespace mview

@@ -1,0 +1,64 @@
+#ifndef MVIEW_PREDICATE_SATISFIABILITY_H_
+#define MVIEW_PREDICATE_SATISFIABILITY_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "predicate/condition.h"
+#include "predicate/constraint_graph.h"
+
+namespace mview {
+
+/// Which algorithm decides negative cycles / unsatisfiability.
+enum class SatAlgorithm {
+  kFloydWarshall,  // the paper's choice [F62], O(n³)
+  kBellmanFord,    // comparison baseline, O(n·e)
+};
+
+/// Three-valued satisfiability verdict.
+///
+/// `kUnknown` is returned when the condition contains atoms outside the
+/// Rosenkrantz–Hunt class (strings, `≠`) whose satisfiability we do not
+/// attempt to decide; callers that need soundness (the irrelevance filter)
+/// treat `kUnknown` as satisfiable.
+enum class Satisfiability { kSatisfiable, kUnsatisfiable, kUnknown };
+
+/// Decides satisfiability of a conjunction of RH atoms over the integers.
+/// Throws `Error` when the conjunction contains a non-RH atom relative to
+/// `variables` (use `CheckConjunction` for the relaxed version).
+bool IsConjunctionSatisfiable(
+    const Conjunction& conjunction, const Schema& variables,
+    SatAlgorithm algorithm = SatAlgorithm::kFloydWarshall);
+
+/// Decides satisfiability of a DNF condition of RH atoms: satisfiable iff
+/// some disjunct is (Section 4: `O(m·n³)`).  Throws on non-RH atoms.
+bool IsConditionSatisfiable(
+    const Condition& condition, const Schema& variables,
+    SatAlgorithm algorithm = SatAlgorithm::kFloydWarshall);
+
+/// Relaxed conjunction check: RH atoms are decided exactly; atoms outside
+/// the class are skipped.  Returns `kUnsatisfiable` when the RH subset alone
+/// is unsatisfiable (sound: a conjunction with an unsatisfiable subset is
+/// unsatisfiable), `kSatisfiable` when all atoms are RH and jointly
+/// satisfiable, and `kUnknown` otherwise.
+Satisfiability CheckConjunction(
+    const Conjunction& conjunction, const Schema& variables,
+    SatAlgorithm algorithm = SatAlgorithm::kFloydWarshall);
+
+/// Relaxed DNF check: `kSatisfiable` if some disjunct is satisfiable,
+/// `kUnsatisfiable` if all are unsatisfiable, else `kUnknown`.
+Satisfiability CheckCondition(
+    const Condition& condition, const Schema& variables,
+    SatAlgorithm algorithm = SatAlgorithm::kFloydWarshall);
+
+namespace internal {
+
+/// Assigns graph node ids to the variables of `conjunction` (node 0 is the
+/// zero node) and populates `graph_nodes` with `name → id`.
+size_t NumberVariables(const Conjunction& conjunction,
+                       std::unordered_map<std::string, size_t>* graph_nodes);
+
+}  // namespace internal
+}  // namespace mview
+
+#endif  // MVIEW_PREDICATE_SATISFIABILITY_H_

@@ -1,0 +1,36 @@
+#ifndef MVIEW_RA_DECOMPOSITION_H_
+#define MVIEW_RA_DECOMPOSITION_H_
+
+#include "ra/planner.h"
+
+namespace mview {
+
+/// QUEL-style decomposition evaluation of an SPJ query (Wong & Youssefi
+/// [WY76], cited by Section 5.4 as a way to evaluate each truth-table
+/// row's SPJ expression).
+///
+/// The algorithm alternates two reductions:
+///  - **detachment**: inputs not linked by any condition atom form
+///    independent components, evaluated separately and cross-multiplied;
+///  - **tuple substitution**: within a component, the smallest input is
+///    eliminated by substituting each of its tuples into the condition
+///    (grounded atoms evaluate immediately and prune; half-grounded atoms
+///    become constant restrictions on the remaining inputs) and recursing
+///    on the reduced query.
+///
+/// Semantics are identical to `EvaluateSpjInto` (counting semantics,
+/// residual DNF handling); the planner's hash/index joins are asymptotically
+/// better on equi-joins, while decomposition shines when constant
+/// propagation prunes aggressively.  Bench E13 compares them; the property
+/// suite checks they agree.
+void EvaluateSpjByDecomposition(const SpjQuery& query, CountedRelation* out,
+                                int64_t multiplier = 1,
+                                PlanStats* stats = nullptr);
+
+/// Convenience wrapper returning a fresh relation.
+CountedRelation EvaluateSpjByDecomposition(const SpjQuery& query,
+                                           PlanStats* stats = nullptr);
+
+}  // namespace mview
+
+#endif  // MVIEW_RA_DECOMPOSITION_H_

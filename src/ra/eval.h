@@ -1,0 +1,25 @@
+#ifndef MVIEW_RA_EVAL_H_
+#define MVIEW_RA_EVAL_H_
+
+#include "db/database.h"
+#include "ra/expr.h"
+#include "relational/relation.h"
+
+namespace mview {
+
+/// Infers the output scheme of `expr` over `db`'s catalog, validating
+/// conditions, projections, and join compatibility.  Throws on errors.
+Schema InferSchema(const Expr& expr, const Database& db);
+
+/// Evaluates `expr` against `db` with counting semantics (Section 5.2):
+/// base tuples have multiplicity one, join multiplies multiplicities,
+/// projection sums them, union adds, difference subtracts.
+///
+/// This straightforward recursive evaluator is the semantic oracle for the
+/// planner and the differential machinery; correctness tests compare both
+/// against it.
+CountedRelation Evaluate(const Expr& expr, const Database& db);
+
+}  // namespace mview
+
+#endif  // MVIEW_RA_EVAL_H_

@@ -1,0 +1,128 @@
+#include "ra/expr.h"
+
+#include <sstream>
+
+#include "predicate/parser.h"
+#include "util/error.h"
+
+namespace mview {
+namespace {
+
+ExprPtr Wrap(Expr* e) { return ExprPtr(e); }
+
+}  // namespace
+
+ExprPtr Expr::Base(std::string name) {
+  auto* e = new Expr(Kind::kBase);
+  e->base_name_ = std::move(name);
+  return Wrap(e);
+}
+
+ExprPtr Expr::Select(ExprPtr input, Condition condition) {
+  MVIEW_CHECK(input != nullptr, "null select input");
+  auto* e = new Expr(Kind::kSelect);
+  e->left_ = std::move(input);
+  e->condition_ = std::move(condition);
+  return Wrap(e);
+}
+
+ExprPtr Expr::Select(ExprPtr input, const std::string& condition) {
+  return Select(std::move(input), ParseCondition(condition));
+}
+
+ExprPtr Expr::Project(ExprPtr input, std::vector<std::string> attributes) {
+  MVIEW_CHECK(input != nullptr, "null project input");
+  MVIEW_CHECK(!attributes.empty(), "projection needs attributes");
+  auto* e = new Expr(Kind::kProject);
+  e->left_ = std::move(input);
+  e->attributes_ = std::move(attributes);
+  return Wrap(e);
+}
+
+ExprPtr Expr::Product(ExprPtr left, ExprPtr right) {
+  MVIEW_CHECK(left != nullptr && right != nullptr, "null product operand");
+  auto* e = new Expr(Kind::kProduct);
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return Wrap(e);
+}
+
+ExprPtr Expr::NaturalJoin(ExprPtr left, ExprPtr right) {
+  MVIEW_CHECK(left != nullptr && right != nullptr, "null join operand");
+  auto* e = new Expr(Kind::kNaturalJoin);
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return Wrap(e);
+}
+
+ExprPtr Expr::Union(ExprPtr left, ExprPtr right) {
+  MVIEW_CHECK(left != nullptr && right != nullptr, "null union operand");
+  auto* e = new Expr(Kind::kUnion);
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return Wrap(e);
+}
+
+ExprPtr Expr::Difference(ExprPtr left, ExprPtr right) {
+  MVIEW_CHECK(left != nullptr && right != nullptr, "null difference operand");
+  auto* e = new Expr(Kind::kDifference);
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return Wrap(e);
+}
+
+ExprPtr Expr::Rename(ExprPtr input,
+                     std::map<std::string, std::string> renames) {
+  MVIEW_CHECK(input != nullptr, "null rename input");
+  auto* e = new Expr(Kind::kRename);
+  e->left_ = std::move(input);
+  e->renames_ = std::move(renames);
+  return Wrap(e);
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kBase:
+      os << base_name_;
+      break;
+    case Kind::kSelect:
+      os << "σ[" << condition_.ToString() << "](" << left_->ToString() << ")";
+      break;
+    case Kind::kProject: {
+      os << "π{";
+      for (size_t i = 0; i < attributes_.size(); ++i) {
+        if (i > 0) os << ",";
+        os << attributes_[i];
+      }
+      os << "}(" << left_->ToString() << ")";
+      break;
+    }
+    case Kind::kProduct:
+      os << "(" << left_->ToString() << " × " << right_->ToString() << ")";
+      break;
+    case Kind::kNaturalJoin:
+      os << "(" << left_->ToString() << " ⋈ " << right_->ToString() << ")";
+      break;
+    case Kind::kUnion:
+      os << "(" << left_->ToString() << " ∪ " << right_->ToString() << ")";
+      break;
+    case Kind::kDifference:
+      os << "(" << left_->ToString() << " − " << right_->ToString() << ")";
+      break;
+    case Kind::kRename: {
+      os << "ρ{";
+      bool first = true;
+      for (const auto& [from, to] : renames_) {
+        if (!first) os << ",";
+        first = false;
+        os << from << "→" << to;
+      }
+      os << "}(" << left_->ToString() << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mview

@@ -1,0 +1,92 @@
+#ifndef MVIEW_RA_EXPR_H_
+#define MVIEW_RA_EXPR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predicate/condition.h"
+
+namespace mview {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A relational-algebra expression tree.
+///
+/// The paper's view class is SPJ (select–project–join over base relations);
+/// `Expr` additionally offers union, difference, and rename so tests and
+/// examples can state oracles like `(r − d) ⋈ s` directly.  SPJ-shaped trees
+/// can be flattened into a `ViewDefinition` for registration with the
+/// `ViewManager` (see `ivm/view_def.h`).
+class Expr {
+ public:
+  enum class Kind {
+    kBase,         // a named base relation
+    kSelect,       // σ_C(input)
+    kProject,      // π_X(input)
+    kProduct,      // input × input (disjoint schemes)
+    kNaturalJoin,  // input ⋈ input (on shared attribute names)
+    kUnion,        // input ∪ input (counts add)
+    kDifference,   // input − input (counts subtract)
+    kRename,       // attribute renaming
+  };
+
+  /// References the base relation `name`.
+  static ExprPtr Base(std::string name);
+
+  /// σ_condition(input).
+  static ExprPtr Select(ExprPtr input, Condition condition);
+
+  /// σ of a parsed condition string (see `ParseCondition`).
+  static ExprPtr Select(ExprPtr input, const std::string& condition);
+
+  /// π_attributes(input), counting semantics (Section 5.2).
+  static ExprPtr Project(ExprPtr input, std::vector<std::string> attributes);
+
+  /// Cross product; the operand schemes must be attribute-disjoint.
+  static ExprPtr Product(ExprPtr left, ExprPtr right);
+
+  /// Natural join on the attributes the operand schemes share.
+  static ExprPtr NaturalJoin(ExprPtr left, ExprPtr right);
+
+  /// Multiset union (multiplicities add).
+  static ExprPtr Union(ExprPtr left, ExprPtr right);
+
+  /// Multiset difference (multiplicities subtract; throws below zero).
+  static ExprPtr Difference(ExprPtr left, ExprPtr right);
+
+  /// Renames attributes (`old → new`); unmentioned attributes keep their
+  /// names.
+  static ExprPtr Rename(ExprPtr input,
+                        std::map<std::string, std::string> renames);
+
+  Kind kind() const { return kind_; }
+  const std::string& base_name() const { return base_name_; }
+  const Condition& condition() const { return condition_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  const std::map<std::string, std::string>& renames() const {
+    return renames_;
+  }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  /// Renders as e.g. "π{A,D}(σ[A < 10](r × s))".
+  std::string ToString() const;
+
+ private:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string base_name_;
+  Condition condition_;
+  std::vector<std::string> attributes_;
+  std::map<std::string, std::string> renames_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_RA_EXPR_H_

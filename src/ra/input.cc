@@ -1,0 +1,108 @@
+#include "ra/input.h"
+
+#include "util/error.h"
+
+namespace mview {
+
+bool RelationInput::CanProbe(size_t) const { return false; }
+
+void RelationInput::ProbeEqual(size_t, const Value&, const TupleSink&) const {
+  internal::ThrowError("this input does not support index probes");
+}
+
+FullRelationInput::FullRelationInput(const Relation* relation, Schema schema)
+    : relation_(relation), schema_(std::move(schema)) {
+  MVIEW_CHECK(relation_ != nullptr, "null relation");
+  MVIEW_CHECK(schema_.size() == relation_->schema().size(),
+              "alias scheme arity mismatch");
+}
+
+void FullRelationInput::Scan(const TupleSink& sink) const {
+  relation_->Scan([&](const Tuple& t) { sink(t, 1); });
+}
+
+bool FullRelationInput::CanProbe(size_t attr) const {
+  return relation_->HasIndex(attr);
+}
+
+void FullRelationInput::ProbeEqual(size_t attr, const Value& key,
+                                   const TupleSink& sink) const {
+  const auto* hits = relation_->Probe(attr, key);
+  if (hits == nullptr) return;
+  for (const Tuple* t : *hits) sink(*t, 1);
+}
+
+SubtractRelationInput::SubtractRelationInput(const Relation* relation,
+                                             const Relation* minus,
+                                             Schema schema)
+    : relation_(relation), minus_(minus), schema_(std::move(schema)) {
+  MVIEW_CHECK(relation_ != nullptr && minus_ != nullptr, "null relation");
+  MVIEW_CHECK(schema_.size() == relation_->schema().size(),
+              "alias scheme arity mismatch");
+}
+
+size_t SubtractRelationInput::SizeHint() const {
+  size_t r = relation_->size();
+  size_t m = minus_->size();
+  return r > m ? r - m : 0;
+}
+
+void SubtractRelationInput::Scan(const TupleSink& sink) const {
+  relation_->Scan([&](const Tuple& t) {
+    if (!minus_->Contains(t)) sink(t, 1);
+  });
+}
+
+bool SubtractRelationInput::CanProbe(size_t attr) const {
+  return relation_->HasIndex(attr);
+}
+
+void SubtractRelationInput::ProbeEqual(size_t attr, const Value& key,
+                                       const TupleSink& sink) const {
+  const auto* hits = relation_->Probe(attr, key);
+  if (hits == nullptr) return;
+  for (const Tuple* t : *hits) {
+    if (!minus_->Contains(*t)) sink(*t, 1);
+  }
+}
+
+CountedRelationInput::CountedRelationInput(const CountedRelation* relation,
+                                           Schema schema)
+    : relation_(relation), schema_(std::move(schema)) {
+  MVIEW_CHECK(relation_ != nullptr, "null relation");
+  MVIEW_CHECK(schema_.size() == relation_->schema().size(),
+              "alias scheme arity mismatch");
+}
+
+void CountedRelationInput::Scan(const TupleSink& sink) const {
+  relation_->Scan(sink);
+}
+
+ConcatRelationInput::ConcatRelationInput(const RelationInput* first,
+                                         const RelationInput* second)
+    : first_(first), second_(second) {
+  MVIEW_CHECK(first_ != nullptr && second_ != nullptr, "null input");
+  MVIEW_CHECK(first_->schema().size() == second_->schema().size(),
+              "concatenated inputs must share a scheme");
+}
+
+size_t ConcatRelationInput::SizeHint() const {
+  return first_->SizeHint() + second_->SizeHint();
+}
+
+void ConcatRelationInput::Scan(const TupleSink& sink) const {
+  first_->Scan(sink);
+  second_->Scan(sink);
+}
+
+bool ConcatRelationInput::CanProbe(size_t attr) const {
+  return first_->CanProbe(attr) && second_->CanProbe(attr);
+}
+
+void ConcatRelationInput::ProbeEqual(size_t attr, const Value& key,
+                                     const TupleSink& sink) const {
+  first_->ProbeEqual(attr, key, sink);
+  second_->ProbeEqual(attr, key, sink);
+}
+
+}  // namespace mview

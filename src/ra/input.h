@@ -1,0 +1,126 @@
+#ifndef MVIEW_RA_INPUT_H_
+#define MVIEW_RA_INPUT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace mview {
+
+/// Callback receiving a tuple and its multiplicity.
+using TupleSink = std::function<void(const Tuple&, int64_t)>;
+
+/// A read-only stream of counted tuples feeding the SPJ planner.
+///
+/// Differential re-evaluation joins *parts* of relations (Section 5.3): the
+/// old tuples of `r`, the tuples being deleted (`d_r`), the tuples being
+/// inserted (`i_r`), or an old state reconstructed from the current one.
+/// `RelationInput` abstracts over these so one planner serves full
+/// re-evaluation, per-transaction deltas, and deferred snapshot refresh.
+///
+/// Inputs may expose their scheme under *aliases* (view definitions rename
+/// attributes to keep them unique across the view's base relations); the
+/// aliased scheme is what `schema()` reports.
+class RelationInput {
+ public:
+  virtual ~RelationInput() = default;
+
+  /// The (possibly aliased) scheme of the streamed tuples.
+  virtual const Schema& schema() const = 0;
+
+  /// Approximate number of tuples, used by the greedy join-order heuristic.
+  virtual size_t SizeHint() const = 0;
+
+  /// Invokes `sink` for every tuple with its multiplicity.
+  virtual void Scan(const TupleSink& sink) const = 0;
+
+  /// Returns true when `ProbeEqual` is supported on attribute `attr`.
+  virtual bool CanProbe(size_t attr) const;
+
+  /// Streams the tuples whose attribute `attr` equals `key` (index join).
+  virtual void ProbeEqual(size_t attr, const Value& key,
+                          const TupleSink& sink) const;
+};
+
+/// The whole contents of a set-semantics `Relation` (multiplicity 1).
+class FullRelationInput : public RelationInput {
+ public:
+  /// Streams `relation`, reporting `schema` (an aliased copy of the
+  /// relation's scheme; pass `relation->schema()` when no renaming applies).
+  FullRelationInput(const Relation* relation, Schema schema);
+
+  const Schema& schema() const override { return schema_; }
+  size_t SizeHint() const override { return relation_->size(); }
+  void Scan(const TupleSink& sink) const override;
+  bool CanProbe(size_t attr) const override;
+  void ProbeEqual(size_t attr, const Value& key,
+                  const TupleSink& sink) const override;
+
+ private:
+  const Relation* relation_;
+  Schema schema_;
+};
+
+/// A set difference `relation − minus`, streamed without materializing.
+///
+/// This is the "clean old" part of a modified relation (`r − d_r`) and the
+/// reconstructed pre-state used by snapshot refresh (`r_now − i_r`).  Index
+/// probes delegate to `relation` and filter out `minus` tuples.
+class SubtractRelationInput : public RelationInput {
+ public:
+  SubtractRelationInput(const Relation* relation, const Relation* minus,
+                        Schema schema);
+
+  const Schema& schema() const override { return schema_; }
+  size_t SizeHint() const override;
+  void Scan(const TupleSink& sink) const override;
+  bool CanProbe(size_t attr) const override;
+  void ProbeEqual(size_t attr, const Value& key,
+                  const TupleSink& sink) const override;
+
+ private:
+  const Relation* relation_;
+  const Relation* minus_;
+  Schema schema_;
+};
+
+/// The contents of a `CountedRelation` (deltas, intermediates, view states).
+class CountedRelationInput : public RelationInput {
+ public:
+  CountedRelationInput(const CountedRelation* relation, Schema schema);
+
+  const Schema& schema() const override { return schema_; }
+  size_t SizeHint() const override { return relation_->size(); }
+  void Scan(const TupleSink& sink) const override;
+
+ private:
+  const CountedRelation* relation_;
+  Schema schema_;
+};
+
+/// A union of two parts streamed in sequence (e.g. the reconstructed old
+/// state `(r_now − i) ∪ d` used by deferred refresh).  The parts must have
+/// equal schemes and be disjoint.
+class ConcatRelationInput : public RelationInput {
+ public:
+  ConcatRelationInput(const RelationInput* first, const RelationInput* second);
+
+  const Schema& schema() const override { return first_->schema(); }
+  size_t SizeHint() const override;
+  void Scan(const TupleSink& sink) const override;
+  bool CanProbe(size_t attr) const override;
+  void ProbeEqual(size_t attr, const Value& key,
+                  const TupleSink& sink) const override;
+
+ private:
+  const RelationInput* first_;
+  const RelationInput* second_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_RA_INPUT_H_

@@ -1,0 +1,463 @@
+#include "ra/planner.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/error.h"
+
+namespace mview {
+
+PlanStats& PlanStats::operator+=(const PlanStats& other) {
+  rows_scanned += other.rows_scanned;
+  probes += other.probes;
+  intermediate_tuples += other.intermediate_tuples;
+  output_tuples += other.output_tuples;
+  return *this;
+}
+
+PlannerCache::Table* PlannerCache::Find(const RelationInput* input,
+                                        const std::vector<size_t>& key) {
+  auto it = tables_.find({input, key});
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+PlannerCache::Table* PlannerCache::Create(const RelationInput* input,
+                                          const std::vector<size_t>& key) {
+  auto table = std::make_unique<Table>();
+  table->key_attrs = key;
+  Table* raw = table.get();
+  tables_[{input, key}] = std::move(table);
+  return raw;
+}
+
+Schema CombinedSchema(const SpjQuery& query) {
+  Schema combined;
+  for (const auto* input : query.inputs) {
+    combined = combined.Concat(input->schema());
+  }
+  return combined;
+}
+
+namespace {
+
+// An equality join predicate `a.attr_a = b.attr_b + offset` between two
+// inputs, extracted from the condition's conjunctive core.
+struct JoinPred {
+  size_t input_a = 0;
+  size_t attr_a = 0;  // local attribute index within input_a
+  size_t input_b = 0;
+  size_t attr_b = 0;
+  int64_t offset = 0;
+};
+
+// A cross-input core atom enforced once all its inputs are bound.
+struct StepFilter {
+  Atom atom;
+  size_t last_input = 0;  // the step at which the atom becomes ground
+};
+
+struct PartialRow {
+  std::vector<Value> vals;
+  int64_t count = 1;
+};
+
+class SpjExecutor {
+ public:
+  SpjExecutor(const SpjQuery& query, CountedRelation* out, int64_t multiplier,
+              PlanStats* stats, PlannerCache* cache)
+      : query_(query),
+        out_(out),
+        multiplier_(multiplier),
+        stats_(stats),
+        cache_(cache) {}
+
+  void Run();
+
+ private:
+  struct InputInfo {
+    const RelationInput* input = nullptr;
+    size_t offset = 0;  // position of this input's attributes in the
+                        // combined tuple
+    size_t arity = 0;
+    std::vector<Atom> local_filters;  // single-input core atoms
+  };
+
+  void Analyze();
+  void ChooseOrder();
+  bool PassesLocalFilters(const InputInfo& info, const Tuple& t) const;
+  void ExecuteFirst(std::vector<PartialRow>* rows);
+  void ExecuteStep(size_t input_id, std::vector<PartialRow>* rows);
+  void Emit(const PartialRow& row);
+
+  // Returns the input owning `var` and its local attribute index.
+  std::pair<size_t, size_t> Resolve(const std::string& var) const;
+
+  PlannerCache::Table* MaterializeTable(size_t input_id,
+                                        const std::vector<size_t>& key_attrs);
+
+  const SpjQuery& query_;
+  CountedRelation* out_;
+  int64_t multiplier_;
+  PlanStats* stats_;
+  PlannerCache* cache_;
+  // Owns tables when no external cache was supplied.
+  PlannerCache local_cache_;
+
+  Schema combined_;
+  std::vector<InputInfo> inputs_;
+  std::vector<JoinPred> join_preds_;
+  std::vector<StepFilter> step_filters_;
+  std::vector<size_t> order_;
+  std::vector<bool> bound_;
+  bool need_residual_ = false;
+  std::vector<size_t> projection_indices_;
+  PlanStats local_stats_;
+};
+
+std::pair<size_t, size_t> SpjExecutor::Resolve(const std::string& var) const {
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (auto idx = inputs_[i].input->schema().IndexOf(var)) return {i, *idx};
+  }
+  internal::ThrowError("condition variable not found in any input: ", var);
+}
+
+void SpjExecutor::Analyze() {
+  MVIEW_CHECK(!query_.inputs.empty(), "SPJ query needs at least one input");
+  inputs_.resize(query_.inputs.size());
+  size_t offset = 0;
+  for (size_t i = 0; i < query_.inputs.size(); ++i) {
+    inputs_[i].input = query_.inputs[i];
+    inputs_[i].offset = offset;
+    inputs_[i].arity = query_.inputs[i]->schema().size();
+    offset += inputs_[i].arity;
+  }
+  combined_ = CombinedSchema(query_);
+  if (query_.condition != nullptr) query_.condition->Validate(combined_);
+
+  if (query_.projection.empty()) {
+    projection_indices_.resize(combined_.size());
+    for (size_t i = 0; i < combined_.size(); ++i) projection_indices_[i] = i;
+  } else {
+    combined_.Project(query_.projection, &projection_indices_);
+  }
+
+  const Condition* cond = query_.condition;
+  if (cond == nullptr || cond->IsTriviallyFalse() ||
+      cond->disjuncts().empty()) {
+    need_residual_ = cond != nullptr && cond->IsTriviallyFalse();
+    return;
+  }
+  // The conjunctive core: atoms appearing in every disjunct.  These are
+  // implied by the condition, so they can be enforced during the joins; the
+  // full condition is re-checked as a residual only when disjunction makes
+  // the core incomplete.
+  std::vector<Atom> core;
+  for (const auto& atom : cond->disjuncts().front().atoms) {
+    bool everywhere = true;
+    for (size_t d = 1; d < cond->disjuncts().size(); ++d) {
+      const auto& atoms = cond->disjuncts()[d].atoms;
+      if (std::find(atoms.begin(), atoms.end(), atom) == atoms.end()) {
+        everywhere = false;
+        break;
+      }
+    }
+    if (everywhere) core.push_back(atom);
+  }
+  need_residual_ = cond->disjuncts().size() > 1;
+
+  for (const auto& atom : core) {
+    auto [li, la] = Resolve(atom.lhs);
+    if (!atom.rhs_var.has_value()) {
+      Atom local = atom;  // names are shared with the input's scheme
+      inputs_[li].local_filters.push_back(std::move(local));
+      continue;
+    }
+    auto [ri, ra] = Resolve(*atom.rhs_var);
+    if (li == ri) {
+      inputs_[li].local_filters.push_back(atom);
+      continue;
+    }
+    if (atom.op == CompareOp::kEq) {
+      join_preds_.push_back({li, la, ri, ra, atom.offset});
+    } else {
+      step_filters_.push_back({atom, 0});  // step assigned after ordering
+    }
+  }
+}
+
+void SpjExecutor::ChooseOrder() {
+  size_t n = inputs_.size();
+  bound_.assign(n, false);
+  order_.clear();
+  order_.reserve(n);
+
+  auto connected = [&](size_t candidate) {
+    for (const auto& p : join_preds_) {
+      if ((p.input_a == candidate && bound_[p.input_b]) ||
+          (p.input_b == candidate && bound_[p.input_a])) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // First input: the smallest.  Differential rows contain at least one tiny
+  // delta input, so the pipeline starts from the delta (Section 5.3: "one
+  // only needs to compute the contribution of the new tuples to the join").
+  size_t first = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (inputs_[i].input->SizeHint() < inputs_[first].input->SizeHint()) {
+      first = i;
+    }
+  }
+  order_.push_back(first);
+  bound_[first] = true;
+
+  while (order_.size() < n) {
+    std::optional<size_t> best;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (bound_[i]) continue;
+      bool conn = connected(i);
+      if (!best.has_value() || (conn && !best_connected) ||
+          (conn == best_connected && inputs_[i].input->SizeHint() <
+                                         inputs_[*best].input->SizeHint())) {
+        best = i;
+        best_connected = conn;
+      }
+    }
+    order_.push_back(*best);
+    bound_[*best] = true;
+  }
+
+  // Assign each step filter to the step where it becomes ground.
+  std::vector<size_t> step_of(n, 0);
+  for (size_t s = 0; s < order_.size(); ++s) step_of[order_[s]] = s;
+  for (auto& f : step_filters_) {
+    auto [li, la] = Resolve(f.atom.lhs);
+    auto [ri, ra] = Resolve(*f.atom.rhs_var);
+    (void)la;
+    (void)ra;
+    f.last_input = order_[std::max(step_of[li], step_of[ri])];
+  }
+}
+
+bool SpjExecutor::PassesLocalFilters(const InputInfo& info,
+                                     const Tuple& t) const {
+  for (const auto& atom : info.local_filters) {
+    if (!atom.Evaluate(info.input->schema(), t)) return false;
+  }
+  return true;
+}
+
+PlannerCache::Table* SpjExecutor::MaterializeTable(
+    size_t input_id, const std::vector<size_t>& key_attrs) {
+  PlannerCache* cache = cache_ != nullptr ? cache_ : &local_cache_;
+  if (PlannerCache::Table* hit =
+          cache->Find(inputs_[input_id].input, key_attrs)) {
+    return hit;
+  }
+  PlannerCache::Table* table =
+      cache->Create(inputs_[input_id].input, key_attrs);
+  const InputInfo& info = inputs_[input_id];
+  info.input->Scan([&](const Tuple& t, int64_t count) {
+    ++local_stats_.rows_scanned;
+    if (!PassesLocalFilters(info, t)) return;
+    size_t row = table->rows.size();
+    table->rows.emplace_back(t, count);
+    if (!key_attrs.empty()) {
+      Tuple key = t.Project(key_attrs);
+      table->index[std::move(key)].push_back(row);
+    }
+  });
+  return table;
+}
+
+void SpjExecutor::ExecuteFirst(std::vector<PartialRow>* rows) {
+  size_t input_id = order_[0];
+  const InputInfo& info = inputs_[input_id];
+  info.input->Scan([&](const Tuple& t, int64_t count) {
+    ++local_stats_.rows_scanned;
+    if (!PassesLocalFilters(info, t)) return;
+    PartialRow row;
+    row.vals.resize(combined_.size());
+    for (size_t i = 0; i < info.arity; ++i) row.vals[info.offset + i] = t.at(i);
+    row.count = count;
+    rows->push_back(std::move(row));
+  });
+  local_stats_.intermediate_tuples += rows->size();
+}
+
+void SpjExecutor::ExecuteStep(size_t input_id, std::vector<PartialRow>* rows) {
+  const InputInfo& info = inputs_[input_id];
+  // Connecting predicates: bound side expressed as a combined-tuple index
+  // plus the offset to apply, local side as an attribute of this input.
+  struct Link {
+    size_t bound_combined = 0;  // index of the bound value in the partial row
+    size_t local_attr = 0;
+    int64_t key_offset = 0;  // probe key = bound value + key_offset
+  };
+  std::vector<Link> links;
+  for (const auto& p : join_preds_) {
+    if (p.input_a == input_id && bound_[p.input_b]) {
+      // this.attr_a = bound.attr_b + offset → key = bound + offset
+      links.push_back(
+          {inputs_[p.input_b].offset + p.attr_b, p.attr_a, p.offset});
+    } else if (p.input_b == input_id && bound_[p.input_a]) {
+      // bound.attr_a = this.attr_b + offset → key = bound − offset
+      links.push_back(
+          {inputs_[p.input_a].offset + p.attr_a, p.attr_b, -p.offset});
+    }
+  }
+  // Step filters that become ground at this step.
+  std::vector<const Atom*> filters;
+  for (const auto& f : step_filters_) {
+    if (f.last_input == input_id) filters.push_back(&f.atom);
+  }
+
+  std::vector<PartialRow> next;
+  Tuple probe_tuple;  // reused scratch for the combined partial row check
+
+  auto emit_match = [&](const PartialRow& row, const Tuple& t, int64_t count) {
+    PartialRow merged;
+    merged.vals = row.vals;
+    for (size_t i = 0; i < info.arity; ++i) {
+      merged.vals[info.offset + i] = t.at(i);
+    }
+    merged.count = row.count * count;  // Section 5.2: join multiplies counts
+    if (!filters.empty()) {
+      Tuple view(std::vector<Value>(merged.vals));
+      for (const Atom* atom : filters) {
+        if (!atom->Evaluate(combined_, view)) return;
+      }
+    }
+    next.push_back(std::move(merged));
+  };
+
+  auto compute_key = [&](const PartialRow& row, const Link& link) {
+    const Value& bound_val = row.vals[link.bound_combined];
+    if (link.key_offset == 0) return bound_val;
+    return Value(bound_val.AsInt64() + link.key_offset);
+  };
+
+  auto check_links = [&](const PartialRow& row, const Tuple& t,
+                         size_t skip_link) {
+    for (size_t li = 0; li < links.size(); ++li) {
+      if (li == skip_link) continue;
+      if (t.at(links[li].local_attr) != compute_key(row, links[li])) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Strategy selection: index join when the input exposes an index on a
+  // connecting attribute and is large; otherwise hash join on all
+  // connecting attributes; cross join when nothing connects.
+  std::optional<size_t> probe_link;
+  for (size_t li = 0; li < links.size(); ++li) {
+    if (info.input->CanProbe(links[li].local_attr)) {
+      probe_link = li;
+      break;
+    }
+  }
+  bool use_index = probe_link.has_value() &&
+                   info.input->SizeHint() > rows->size();
+
+  if (!links.empty() && !use_index) {
+    std::vector<size_t> key_attrs;
+    key_attrs.reserve(links.size());
+    for (const auto& l : links) key_attrs.push_back(l.local_attr);
+    PlannerCache::Table* table = MaterializeTable(input_id, key_attrs);
+    for (const auto& row : *rows) {
+      std::vector<Value> key_vals;
+      key_vals.reserve(links.size());
+      for (const auto& l : links) key_vals.push_back(compute_key(row, l));
+      auto hit = table->index.find(Tuple(std::move(key_vals)));
+      if (hit == table->index.end()) continue;
+      for (size_t idx : hit->second) {
+        const auto& [t, count] = table->rows[idx];
+        emit_match(row, t, count);
+      }
+    }
+  } else if (use_index) {
+    const Link& link = links[*probe_link];
+    for (const auto& row : *rows) {
+      ++local_stats_.probes;
+      info.input->ProbeEqual(
+          link.local_attr, compute_key(row, link),
+          [&](const Tuple& t, int64_t count) {
+            if (!PassesLocalFilters(info, t)) return;
+            if (!check_links(row, t, *probe_link)) return;
+            emit_match(row, t, count);
+          });
+    }
+  } else {
+    // Cross join against the (cached) materialized input.
+    PlannerCache::Table* table = MaterializeTable(input_id, {});
+    for (const auto& row : *rows) {
+      for (const auto& [t, count] : table->rows) {
+        emit_match(row, t, count);
+      }
+    }
+  }
+
+  local_stats_.intermediate_tuples += next.size();
+  rows->swap(next);
+}
+
+void SpjExecutor::Emit(const PartialRow& row) {
+  Tuple full(std::vector<Value>(row.vals));
+  if (need_residual_ && query_.condition != nullptr &&
+      !query_.condition->Evaluate(combined_, full)) {
+    return;
+  }
+  ++local_stats_.output_tuples;
+  out_->Add(full.Project(projection_indices_), row.count * multiplier_);
+}
+
+void SpjExecutor::Run() {
+  Analyze();
+  if (query_.condition != nullptr && query_.condition->IsTriviallyFalse()) {
+    return;  // σ_false(...) is empty
+  }
+  ChooseOrder();
+
+  // Re-run the binding order, marking inputs bound step by step so that
+  // ExecuteStep sees the correct bound set.
+  bound_.assign(inputs_.size(), false);
+  std::vector<PartialRow> rows;
+  ExecuteFirst(&rows);
+  bound_[order_[0]] = true;
+  for (size_t s = 1; s < order_.size() && !rows.empty(); ++s) {
+    ExecuteStep(order_[s], &rows);
+    bound_[order_[s]] = true;
+  }
+  if (order_.size() == 1 || !rows.empty()) {
+    for (const auto& row : rows) Emit(row);
+  }
+  if (stats_ != nullptr) *stats_ += local_stats_;
+}
+
+}  // namespace
+
+void EvaluateSpjInto(const SpjQuery& query, CountedRelation* out,
+                     int64_t multiplier, PlanStats* stats,
+                     PlannerCache* cache) {
+  MVIEW_CHECK(out != nullptr, "null output relation");
+  SpjExecutor executor(query, out, multiplier, stats, cache);
+  executor.Run();
+}
+
+CountedRelation EvaluateSpj(const SpjQuery& query, PlanStats* stats,
+                            PlannerCache* cache) {
+  Schema combined = CombinedSchema(query);
+  Schema out_schema = query.projection.empty()
+                          ? combined
+                          : combined.Project(query.projection);
+  CountedRelation out(std::move(out_schema));
+  EvaluateSpjInto(query, &out, 1, stats, cache);
+  return out;
+}
+
+}  // namespace mview

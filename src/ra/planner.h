@@ -1,0 +1,95 @@
+#ifndef MVIEW_RA_PLANNER_H_
+#define MVIEW_RA_PLANNER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "predicate/condition.h"
+#include "ra/input.h"
+#include "relational/relation.h"
+
+namespace mview {
+
+/// A select–project–join query over a list of inputs:
+/// `π_projection(σ_condition(inputs[0] × inputs[1] × … ))`.
+///
+/// The combined scheme is the concatenation of the input schemes (attribute
+/// names must be unique across inputs, as in the paper's Definition 4.3);
+/// the condition and projection refer to it by name.  A null condition means
+/// `true`; an empty projection keeps all attributes.
+struct SpjQuery {
+  std::vector<const RelationInput*> inputs;
+  const Condition* condition = nullptr;
+  std::vector<std::string> projection;
+};
+
+/// Counters describing how much work a plan performed; the benchmark
+/// harness aggregates these to report the paper's cost comparisons in
+/// machine-independent units as well as wall-clock time.
+struct PlanStats {
+  int64_t rows_scanned = 0;         // tuples streamed from inputs
+  int64_t probes = 0;               // index probes issued
+  int64_t intermediate_tuples = 0;  // partial join results produced
+  int64_t output_tuples = 0;        // tuples emitted (pre-aggregation)
+
+  PlanStats& operator+=(const PlanStats& other);
+};
+
+/// A cache of materialized scans and join hash tables shared by several
+/// plan executions over the *same* condition (the truth-table rows of
+/// Section 5.3/5.4 all share the view condition and most inputs).  This is
+/// the paper's "re-using partial subexpressions appearing in multiple rows";
+/// bench E9 ablates it.
+///
+/// Entries are keyed by input identity, so a cache must never outlive the
+/// inputs it indexes, and must not be shared across different conditions.
+class PlannerCache {
+ public:
+  /// A filtered, materialized input with an optional equi-join hash index.
+  struct Table {
+    std::vector<std::pair<Tuple, int64_t>> rows;
+    // Key tuple (values of key_attrs in order) → indices into rows.
+    std::unordered_map<Tuple, std::vector<size_t>> index;
+    std::vector<size_t> key_attrs;  // empty for plain materializations
+  };
+
+  /// Returns the cached table for (input, key_attrs), or nullptr.
+  Table* Find(const RelationInput* input, const std::vector<size_t>& key);
+
+  /// Inserts and returns an empty table for (input, key_attrs).
+  Table* Create(const RelationInput* input, const std::vector<size_t>& key);
+
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::pair<const RelationInput*, std::vector<size_t>>,
+           std::unique_ptr<Table>>
+      tables_;
+};
+
+/// Evaluates an SPJ query with counting semantics (Section 5.2: join
+/// multiplies multiplicities, projection sums them) and adds the result to
+/// `out` with counts scaled by `multiplier`.
+///
+/// The plan pushes single-input atoms below the joins, extracts equality
+/// atoms common to every disjunct as hash/index join predicates, orders
+/// joins greedily by input size (preferring index probes), and applies the
+/// remaining condition as a residual filter.
+void EvaluateSpjInto(const SpjQuery& query, CountedRelation* out,
+                     int64_t multiplier = 1, PlanStats* stats = nullptr,
+                     PlannerCache* cache = nullptr);
+
+/// Convenience wrapper returning a fresh `CountedRelation`.
+CountedRelation EvaluateSpj(const SpjQuery& query, PlanStats* stats = nullptr,
+                            PlannerCache* cache = nullptr);
+
+/// Returns the concatenated (combined) scheme of the query's inputs.
+Schema CombinedSchema(const SpjQuery& query);
+
+}  // namespace mview
+
+#endif  // MVIEW_RA_PLANNER_H_

@@ -1,0 +1,141 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace mview {
+
+bool Relation::Insert(const Tuple& tuple) {
+  MVIEW_CHECK(tuple.size() == schema_.size(), "tuple arity ", tuple.size(),
+              " does not match scheme ", schema_.ToString());
+  auto [it, inserted] = rows_.insert(tuple);
+  if (inserted) {
+    for (auto& [attr, index] : indexes_) IndexInsert(&index, attr, *it);
+  }
+  return inserted;
+}
+
+bool Relation::Erase(const Tuple& tuple) {
+  auto it = rows_.find(tuple);
+  if (it == rows_.end()) return false;
+  for (auto& [attr, index] : indexes_) IndexErase(&index, attr, *it);
+  rows_.erase(it);
+  return true;
+}
+
+void Relation::Scan(const std::function<void(const Tuple&)>& fn) const {
+  for (const auto& t : rows_) fn(t);
+}
+
+void Relation::CreateIndex(const std::string& attribute) {
+  size_t attr = schema_.MustIndexOf(attribute);
+  Index index;
+  for (const auto& t : rows_) IndexInsert(&index, attr, t);
+  indexes_[attr] = std::move(index);
+}
+
+bool Relation::HasIndex(size_t attr_index) const {
+  return indexes_.count(attr_index) > 0;
+}
+
+std::vector<size_t> Relation::IndexedAttributes() const {
+  std::vector<size_t> attrs;
+  attrs.reserve(indexes_.size());
+  for (const auto& [attr, index] : indexes_) attrs.push_back(attr);
+  std::sort(attrs.begin(), attrs.end());
+  return attrs;
+}
+
+const std::vector<const Tuple*>* Relation::Probe(size_t attr_index,
+                                                 const Value& key) const {
+  auto it = indexes_.find(attr_index);
+  MVIEW_CHECK(it != indexes_.end(), "no index on attribute #", attr_index);
+  auto hit = it->second.find(key);
+  if (hit == it->second.end()) return nullptr;
+  return &hit->second;
+}
+
+std::vector<Tuple> Relation::ToSortedVector() const {
+  std::vector<Tuple> out(rows_.begin(), rows_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream os;
+  for (const auto& t : ToSortedVector()) os << t.ToString() << "\n";
+  return os.str();
+}
+
+void Relation::IndexInsert(Index* index, size_t attr, const Tuple& stored) {
+  (*index)[stored.at(attr)].push_back(&stored);
+}
+
+void Relation::IndexErase(Index* index, size_t attr, const Tuple& tuple) {
+  auto it = index->find(tuple.at(attr));
+  if (it == index->end()) return;
+  auto& vec = it->second;
+  for (size_t i = 0; i < vec.size(); ++i) {
+    if (*vec[i] == tuple) {
+      vec[i] = vec.back();
+      vec.pop_back();
+      break;
+    }
+  }
+  if (vec.empty()) index->erase(it);
+}
+
+void CountedRelation::Add(const Tuple& tuple, int64_t count) {
+  MVIEW_CHECK(tuple.size() == schema_.size(), "tuple arity ", tuple.size(),
+              " does not match scheme ", schema_.ToString());
+  if (count == 0) return;
+  auto [it, inserted] = counts_.emplace(tuple, 0);
+  it->second += count;
+  total_ += count;
+  MVIEW_CHECK(it->second >= 0, "multiplicity of ", tuple.ToString(),
+              " went negative");
+  if (it->second == 0) counts_.erase(it);
+}
+
+int64_t CountedRelation::Count(const Tuple& tuple) const {
+  auto it = counts_.find(tuple);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void CountedRelation::Scan(
+    const std::function<void(const Tuple&, int64_t)>& fn) const {
+  for (const auto& [t, c] : counts_) fn(t, c);
+}
+
+void CountedRelation::Clear() {
+  counts_.clear();
+  total_ = 0;
+}
+
+std::vector<std::pair<Tuple, int64_t>> CountedRelation::ToSortedVector()
+    const {
+  std::vector<std::pair<Tuple, int64_t>> out(counts_.begin(), counts_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+bool CountedRelation::SameContents(const CountedRelation& other) const {
+  if (counts_.size() != other.counts_.size()) return false;
+  for (const auto& [t, c] : counts_) {
+    if (other.Count(t) != c) return false;
+  }
+  return true;
+}
+
+std::string CountedRelation::ToString() const {
+  std::ostringstream os;
+  for (const auto& [t, c] : ToSortedVector()) {
+    os << t.ToString() << " x" << c << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mview

@@ -1,0 +1,92 @@
+#include "relational/schema.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace mview {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  index_.reserve(attributes_.size());
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    MVIEW_CHECK(!attributes_[i].name.empty(), "empty attribute name");
+    auto [it, inserted] = index_.emplace(attributes_[i].name, i);
+    (void)it;
+    MVIEW_CHECK(inserted, "duplicate attribute name: ", attributes_[i].name);
+  }
+}
+
+Schema Schema::OfInts(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const auto& n : names) attrs.push_back({n, ValueType::kInt64});
+  return Schema(std::move(attrs));
+}
+
+const Attribute& Schema::attribute(size_t index) const {
+  MVIEW_CHECK(index < attributes_.size(), "attribute index out of range");
+  return attributes_[index];
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t Schema::MustIndexOf(const std::string& name) const {
+  auto idx = IndexOf(name);
+  MVIEW_CHECK(idx.has_value(), "unknown attribute: ", name, " in scheme ",
+              ToString());
+  return *idx;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Attribute> attrs = attributes_;
+  for (const auto& a : other.attributes_) {
+    MVIEW_CHECK(!Contains(a.name),
+                "schemes share attribute when concatenating: ", a.name);
+    attrs.push_back(a);
+  }
+  return Schema(std::move(attrs));
+}
+
+Schema Schema::Project(const std::vector<std::string>& names,
+                       std::vector<size_t>* indices) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  if (indices != nullptr) {
+    indices->clear();
+    indices->reserve(names.size());
+  }
+  for (const auto& n : names) {
+    size_t idx = MustIndexOf(n);
+    attrs.push_back(attributes_[idx]);
+    if (indices != nullptr) indices->push_back(idx);
+  }
+  return Schema(std::move(attrs));
+}
+
+Schema Schema::WithPrefix(const std::string& prefix) const {
+  std::vector<Attribute> attrs = attributes_;
+  for (auto& a : attrs) a.name = prefix + a.name;
+  return Schema(std::move(attrs));
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attributes_[i].name << ":" << ValueTypeName(attributes_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace mview

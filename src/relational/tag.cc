@@ -1,0 +1,27 @@
+#include "relational/tag.h"
+
+namespace mview {
+
+const char* TagName(Tag tag) {
+  switch (tag) {
+    case Tag::kOld:
+      return "old";
+    case Tag::kInsert:
+      return "insert";
+    case Tag::kDelete:
+      return "delete";
+    case Tag::kIgnore:
+      return "ignore";
+  }
+  return "unknown";
+}
+
+Tag CombineTags(Tag a, Tag b) {
+  if (a == Tag::kIgnore || b == Tag::kIgnore) return Tag::kIgnore;
+  if (a == Tag::kOld) return b;
+  if (b == Tag::kOld) return a;
+  if (a == b) return a;  // insert ⋈ insert, delete ⋈ delete
+  return Tag::kIgnore;   // insert ⋈ delete in either order
+}
+
+}  // namespace mview

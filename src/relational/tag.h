@@ -1,0 +1,40 @@
+#ifndef MVIEW_RELATIONAL_TAG_H_
+#define MVIEW_RELATIONAL_TAG_H_
+
+#include <cstdint>
+
+namespace mview {
+
+/// The tuple tags of Section 5.3.
+///
+/// During differential re-evaluation every tuple is (conceptually) tagged to
+/// record whether it is part of the old relation state, was inserted, or was
+/// deleted by the transaction under consideration.  Joins combine tags by the
+/// table of Example 5.4, select and project preserve them.
+enum class Tag : uint8_t {
+  kOld,
+  kInsert,
+  kDelete,
+  /// The `insert ⋈ delete` combination: such join results correspond to
+  /// tuples matched against partners that no longer exist; they are discarded
+  /// ("do not emerge from the join").
+  kIgnore,
+};
+
+/// Returns a printable tag name.
+const char* TagName(Tag tag);
+
+/// Combines the tags of two join operands per the paper's table:
+///
+///     insert ⋈ insert → insert      delete ⋈ insert → ignore
+///     insert ⋈ delete → ignore      delete ⋈ delete → delete
+///     insert ⋈ old    → insert      delete ⋈ old    → delete
+///     old    ⋈ insert → insert      old    ⋈ delete → delete
+///     old    ⋈ old    → old
+///
+/// `kIgnore` is absorbing.
+Tag CombineTags(Tag a, Tag b);
+
+}  // namespace mview
+
+#endif  // MVIEW_RELATIONAL_TAG_H_

@@ -1,0 +1,54 @@
+#include "relational/tuple.h"
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/hash.h"
+
+namespace mview {
+
+const Value& Tuple::at(size_t index) const {
+  MVIEW_CHECK(index < values_.size(), "tuple index out of range");
+  return values_[index];
+}
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> values = values_;
+  values.insert(values.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(values));
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& indices) const {
+  std::vector<Value> values;
+  values.reserve(indices.size());
+  for (size_t idx : indices) values.push_back(at(idx));
+  return Tuple(std::move(values));
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c < 0;
+  }
+  return values_.size() < other.values_.size();
+}
+
+std::size_t Tuple::Hash() const {
+  std::size_t seed = 0x51ed270b;
+  for (const auto& v : values_) seed = HashCombine(seed, v.Hash());
+  return seed;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace mview

@@ -1,0 +1,69 @@
+#include "relational/value.h"
+
+#include <functional>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace mview {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+int64_t Value::AsInt64() const {
+  MVIEW_CHECK(type() == ValueType::kInt64, "value is not an int64: ",
+              ToString());
+  return std::get<int64_t>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  MVIEW_CHECK(type() == ValueType::kString, "value is not a string: ",
+              ToString());
+  return std::get<std::string>(rep_);
+}
+
+int Value::Compare(const Value& other) const {
+  MVIEW_CHECK(type() == other.type(), "mixed-type comparison: ", ToString(),
+              " vs ", other.ToString());
+  if (type() == ValueType::kInt64) {
+    int64_t a = std::get<int64_t>(rep_);
+    int64_t b = std::get<int64_t>(other.rep_);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const std::string& a = std::get<std::string>(rep_);
+  const std::string& b = std::get<std::string>(other.rep_);
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::size_t Value::Hash() const {
+  if (type() == ValueType::kInt64) {
+    // Mix so that small integers spread across buckets.
+    uint64_t x = static_cast<uint64_t>(std::get<int64_t>(rep_));
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+  return std::hash<std::string>{}(std::get<std::string>(rep_)) ^
+         0x9e3779b97f4a7c15ULL;
+}
+
+std::string Value::ToString() const {
+  if (type() == ValueType::kInt64) {
+    return std::to_string(std::get<int64_t>(rep_));
+  }
+  return "\"" + std::get<std::string>(rep_) + "\"";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace mview

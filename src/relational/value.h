@@ -1,0 +1,89 @@
+#ifndef MVIEW_RELATIONAL_VALUE_H_
+#define MVIEW_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+namespace mview {
+
+/// The attribute types supported by the engine.
+///
+/// The paper assumes all attributes range over discrete, finite domains that
+/// can be mapped to integers ("we use integer values in all examples"); the
+/// Rosenkrantz–Hunt satisfiability machinery of Section 4 is only defined for
+/// such domains.  We additionally support strings for realistic workloads;
+/// conditions over string attributes are evaluated exactly by the
+/// differential machinery, while the irrelevance filter treats atoms it
+/// cannot reason about conservatively (see `predicate/substitution.h`).
+enum class ValueType : uint8_t {
+  kInt64,
+  kString,
+};
+
+/// Returns a printable name for a value type ("int64" / "string").
+const char* ValueTypeName(ValueType type);
+
+/// A single attribute value: a 64-bit integer or a string.
+///
+/// Values are ordered and hashable.  Comparisons between values of different
+/// types throw `Error` — schemas are statically typed and the condition
+/// validator rejects mixed-type atoms, so such a comparison indicates a bug.
+class Value {
+ public:
+  /// Constructs the integer value 0.
+  Value() : rep_(int64_t{0}) {}
+  /// Constructs an integer value.
+  Value(int64_t v) : rep_(v) {}  // NOLINT: implicit by design for literals
+  /// Constructs an integer value from a plain int literal.
+  Value(int v) : rep_(int64_t{v}) {}  // NOLINT
+  /// Constructs a string value.
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT
+  /// Constructs a string value from a C literal.
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT
+
+  /// Returns the runtime type of this value.
+  ValueType type() const {
+    return std::holds_alternative<int64_t>(rep_) ? ValueType::kInt64
+                                                 : ValueType::kString;
+  }
+
+  /// Returns the integer payload; throws if this is not an integer.
+  int64_t AsInt64() const;
+
+  /// Returns the string payload; throws if this is not a string.
+  const std::string& AsString() const;
+
+  /// Three-way comparison; throws on mixed-type comparison.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return rep_ != other.rep_; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Returns a hash suitable for unordered containers.
+  std::size_t Hash() const;
+
+  /// Renders the value for diagnostics ("42" or "\"abc\"").
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace mview
+
+namespace std {
+template <>
+struct hash<mview::Value> {
+  std::size_t operator()(const mview::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // MVIEW_RELATIONAL_VALUE_H_

@@ -1,0 +1,531 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <fstream>
+
+#include "ra/planner.h"
+#include "relational/csv.h"
+#include "util/error.h"
+
+namespace mview::sql {
+namespace {
+
+MaintenanceMode ToMode(ViewMode mode) {
+  switch (mode) {
+    case ViewMode::kImmediate:
+      return MaintenanceMode::kImmediate;
+    case ViewMode::kDeferred:
+      return MaintenanceMode::kDeferred;
+    case ViewMode::kFullReevaluation:
+      return MaintenanceMode::kFullReevaluation;
+  }
+  return MaintenanceMode::kImmediate;
+}
+
+const char* ModeName(MaintenanceMode mode) {
+  switch (mode) {
+    case MaintenanceMode::kImmediate:
+      return "immediate";
+    case MaintenanceMode::kDeferred:
+      return "deferred";
+    case MaintenanceMode::kFullReevaluation:
+      return "recomputed";
+  }
+  return "?";
+}
+
+// Resolves SELECT-body column references to the canonical attribute names
+// used in the view/query's combined scheme: a column keeps its plain name
+// when it is unique across the FROM list, and is qualified as
+// `<alias>.<col>` otherwise.
+class NameResolver {
+ public:
+  NameResolver(const Database& db, const std::vector<TableRef>& from) {
+    MVIEW_CHECK(!from.empty(), "FROM list cannot be empty");
+    for (const auto& ref : from) {
+      const Relation& rel = db.Get(ref.table);
+      MVIEW_CHECK(alias_index_.emplace(ref.alias, tables_.size()).second,
+                  "duplicate table alias: ", ref.alias);
+      tables_.push_back(&ref);
+      schemas_.push_back(&rel.schema());
+      for (const auto& attr : rel.schema().attributes()) {
+        ++plain_count_[attr.name];
+      }
+    }
+  }
+
+  size_t num_tables() const { return tables_.size(); }
+
+  // The canonical name of table `t`'s attribute `a`.
+  std::string Canonical(size_t t, size_t a) const {
+    const std::string& plain = schemas_[t]->attribute(a).name;
+    if (plain_count_.at(plain) == 1) return plain;
+    return tables_[t]->alias + "." + plain;
+  }
+
+  // Resolves a possibly-qualified reference; throws on unknown/ambiguous.
+  std::string Resolve(const std::string& name) const {
+    size_t dot = name.find('.');
+    if (dot != std::string::npos) {
+      std::string alias = name.substr(0, dot);
+      std::string col = name.substr(dot + 1);
+      auto it = alias_index_.find(alias);
+      MVIEW_CHECK(it != alias_index_.end(), "unknown table alias: ", alias);
+      auto idx = schemas_[it->second]->IndexOf(col);
+      MVIEW_CHECK(idx.has_value(), "table ", alias, " has no column ", col);
+      return Canonical(it->second, *idx);
+    }
+    auto count_it = plain_count_.find(name);
+    MVIEW_CHECK(count_it != plain_count_.end(), "unknown column: ", name);
+    MVIEW_CHECK(count_it->second == 1, "ambiguous column: ", name,
+                " (qualify it as alias.column)");
+    return name;
+  }
+
+  // Rewrites every variable of `condition` to its canonical name.
+  Condition ResolveCondition(const Condition& condition) const {
+    std::vector<Conjunction> disjuncts;
+    for (const auto& d : condition.disjuncts()) {
+      Conjunction out;
+      for (const auto& atom : d.atoms) {
+        Atom resolved = atom;
+        resolved.lhs = Resolve(atom.lhs);
+        if (resolved.rhs_var.has_value()) {
+          resolved.rhs_var = Resolve(*atom.rhs_var);
+        }
+        out.atoms.push_back(std::move(resolved));
+      }
+      disjuncts.push_back(std::move(out));
+    }
+    return Condition(std::move(disjuncts));
+  }
+
+  // All canonical names in FROM order (for SELECT *).
+  std::vector<std::string> AllColumns() const {
+    std::vector<std::string> out;
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      for (size_t a = 0; a < schemas_[t]->size(); ++a) {
+        out.push_back(Canonical(t, a));
+      }
+    }
+    return out;
+  }
+
+  // BaseRefs with canonical aliases for a ViewDefinition.
+  std::vector<BaseRef> MakeBaseRefs() const {
+    std::vector<BaseRef> bases;
+    for (size_t t = 0; t < tables_.size(); ++t) {
+      BaseRef ref{tables_[t]->table, {}};
+      for (size_t a = 0; a < schemas_[t]->size(); ++a) {
+        ref.aliases.push_back(Canonical(t, a));
+      }
+      bases.push_back(std::move(ref));
+    }
+    return bases;
+  }
+
+ private:
+  std::vector<const TableRef*> tables_;
+  std::vector<const Schema*> schemas_;
+  std::map<std::string, size_t> alias_index_;
+  std::map<std::string, int> plain_count_;
+};
+
+Engine::Result RowsResult(Schema schema,
+                          std::vector<std::pair<Tuple, int64_t>> rows) {
+  Engine::Result result;
+  result.kind = Engine::Result::Kind::kRows;
+  result.schema = std::move(schema);
+  result.rows = std::move(rows);
+  return result;
+}
+
+Engine::Result Message(std::string text) {
+  Engine::Result result;
+  result.kind = Engine::Result::Kind::kMessage;
+  result.message = std::move(text);
+  return result;
+}
+
+}  // namespace
+
+std::string Engine::Result::ToString() const {
+  if (kind == Kind::kMessage) return message + "\n";
+  std::vector<std::string> headers;
+  headers.reserve(schema.size());
+  for (const auto& attr : schema.attributes()) headers.push_back(attr.name);
+  std::vector<size_t> widths;
+  for (const auto& h : headers) widths.push_back(h.size());
+  std::vector<std::vector<std::string>> cells;
+  bool any_dup = false;
+  for (const auto& [tuple, count] : rows) {
+    std::vector<std::string> row;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      const Value& v = tuple.at(i);
+      row.push_back(v.type() == ValueType::kString ? v.AsString()
+                                                   : v.ToString());
+      widths[i] = std::max(widths[i], row.back().size());
+    }
+    if (count != 1) any_dup = true;
+    cells.push_back(std::move(row));
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << (i > 0 ? " | " : "") << row[i];
+      if (i + 1 < row.size() || any_dup) {
+        os << std::string(widths[i] - row[i].size(), ' ');
+      }
+    }
+  };
+  emit(headers);
+  if (any_dup) os << " | #";
+  os << "\n";
+  size_t total = any_dup ? 4 : 0;
+  for (size_t w : widths) total += w + 3;
+  os << std::string(total > 3 ? total - 3 : total, '-') << "\n";
+  for (size_t r = 0; r < cells.size(); ++r) {
+    emit(cells[r]);
+    if (any_dup) os << " | " << rows[r].second;
+    os << "\n";
+  }
+  os << "(" << cells.size() << " row" << (cells.size() == 1 ? "" : "s")
+     << ")\n";
+  return os.str();
+}
+
+Engine::Engine() : views_(&db_), guard_(&db_) {}
+
+Engine::Result Engine::Execute(const std::string& sql) {
+  std::vector<Statement> statements = Parse(sql);
+  MVIEW_CHECK(statements.size() == 1,
+              "Execute expects exactly one statement; got ",
+              statements.size(), " (use ExecuteScript)");
+  return ExecuteStatement(statements[0]);
+}
+
+std::vector<Engine::Result> Engine::ExecuteScript(const std::string& sql) {
+  std::vector<Result> results;
+  for (const auto& stmt : Parse(sql)) {
+    results.push_back(ExecuteStatement(stmt));
+  }
+  return results;
+}
+
+ViewDefinition Engine::BuildDefinition(const std::string& name,
+                                       const SelectQuery& query) const {
+  for (const auto& ref : query.from) {
+    MVIEW_CHECK(!views_.HasView(ref.table),
+                "views over views are not supported: ", ref.table);
+    MVIEW_CHECK(db_.Exists(ref.table), "unknown table: ", ref.table);
+  }
+  NameResolver resolver(db_, query.from);
+  std::vector<std::string> projection;
+  if (query.star) {
+    projection = resolver.AllColumns();
+  } else {
+    for (const auto& col : query.columns) {
+      projection.push_back(resolver.Resolve(col));
+    }
+  }
+  return ViewDefinition(name, resolver.MakeBaseRefs(),
+                        resolver.ResolveCondition(query.where), projection);
+}
+
+Engine::Result Engine::ExecuteSelect(const SelectQuery& query) {
+  // SELECT over a single registered view reads the materialization.
+  if (query.from.size() == 1 && views_.HasView(query.from[0].table)) {
+    const CountedRelation& view = views_.View(query.from[0].table);
+    const Schema& schema = view.schema();
+    Condition where = query.where;
+    where.Validate(schema);
+    std::vector<std::string> projection = query.columns;
+    if (query.star) {
+      for (const auto& attr : schema.attributes()) {
+        projection.push_back(attr.name);
+      }
+    }
+    std::vector<size_t> indices;
+    Schema out_schema = schema.Project(projection, &indices);
+    CountedRelation out(out_schema);
+    view.Scan([&](const Tuple& t, int64_t c) {
+      if (where.Evaluate(schema, t)) out.Add(t.Project(indices), c);
+    });
+    return RowsResult(out_schema, out.ToSortedVector());
+  }
+  // Otherwise evaluate an SPJ query over base tables.
+  ViewDefinition def = BuildDefinition("__query", query);
+  def.Validate(db_);
+  DifferentialMaintainer evaluator(def, &db_);
+  CountedRelation out = evaluator.FullEvaluate();
+  return RowsResult(out.schema(), out.ToSortedVector());
+}
+
+Engine::Result Engine::ExecuteCreateView(const Statement& stmt) {
+  ViewDefinition def = BuildDefinition(stmt.name, stmt.query);
+  views_.RegisterView(std::move(def), ToMode(stmt.view_mode));
+  return Message("view " + stmt.name + " created (" +
+                 ModeName(views_.Mode(stmt.name)) + ", " +
+                 std::to_string(views_.View(stmt.name).size()) + " rows)");
+}
+
+Engine::Result Engine::ExecuteInsert(const Statement& stmt) {
+  const Relation& rel = db_.Get(stmt.name);
+  Transaction txn;
+  for (const auto& row : stmt.rows) {
+    MVIEW_CHECK(row.size() == rel.schema().size(), "INSERT into ", stmt.name,
+                " expects ", rel.schema().size(), " values, got ",
+                row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      MVIEW_CHECK(row[i].type() == rel.schema().attribute(i).type,
+                  "INSERT into ", stmt.name, ": column ",
+                  rel.schema().attribute(i).name, " expects ",
+                  ValueTypeName(rel.schema().attribute(i).type));
+    }
+    txn.Insert(stmt.name, Tuple(row));
+  }
+  size_t n = stmt.rows.size();
+  if (pending_.has_value()) {
+    for (const auto& row : stmt.rows) pending_->Insert(stmt.name, Tuple(row));
+    return Message(std::to_string(n) + " row(s) staged");
+  }
+  Result result = CommitTransaction(std::move(txn));
+  if (result.kind == Result::Kind::kMessage && result.message.empty()) {
+    result.message = std::to_string(n) + " row(s) inserted";
+  }
+  return result;
+}
+
+Engine::Result Engine::ExecuteDelete(const Statement& stmt) {
+  const Relation& rel = db_.Get(stmt.name);
+  stmt.where.Validate(rel.schema());
+  std::vector<Tuple> matches;
+  rel.Scan([&](const Tuple& t) {
+    if (stmt.where.Evaluate(rel.schema(), t)) matches.push_back(t);
+  });
+  if (pending_.has_value()) {
+    for (auto& t : matches) pending_->Delete(stmt.name, std::move(t));
+    return Message(std::to_string(matches.size()) + " row(s) staged");
+  }
+  Transaction txn;
+  txn.DeleteAll(stmt.name, matches);
+  Result result = CommitTransaction(std::move(txn));
+  if (result.kind == Result::Kind::kMessage && result.message.empty()) {
+    result.message = std::to_string(matches.size()) + " row(s) deleted";
+  }
+  return result;
+}
+
+Engine::Result Engine::ExecuteUpdate(const Statement& stmt) {
+  const Relation& rel = db_.Get(stmt.name);
+  const Schema& schema = rel.schema();
+  stmt.where.Validate(schema);
+  std::vector<std::pair<size_t, Value>> sets;
+  for (const auto& [col, value] : stmt.assignments) {
+    size_t idx = schema.MustIndexOf(col);
+    MVIEW_CHECK(value.type() == schema.attribute(idx).type, "UPDATE ",
+                stmt.name, ": column ", col, " expects ",
+                ValueTypeName(schema.attribute(idx).type));
+    sets.emplace_back(idx, value);
+  }
+  std::vector<std::pair<Tuple, Tuple>> changes;
+  rel.Scan([&](const Tuple& t) {
+    if (!stmt.where.Evaluate(schema, t)) return;
+    std::vector<Value> values = t.values();
+    for (const auto& [idx, value] : sets) values[idx] = value;
+    changes.emplace_back(t, Tuple(std::move(values)));
+  });
+  if (pending_.has_value()) {
+    for (auto& [old_t, new_t] : changes) {
+      pending_->Update(stmt.name, old_t, new_t);
+    }
+    return Message(std::to_string(changes.size()) + " row(s) staged");
+  }
+  Transaction txn;
+  for (auto& [old_t, new_t] : changes) txn.Update(stmt.name, old_t, new_t);
+  Result result = CommitTransaction(std::move(txn));
+  if (result.kind == Result::Kind::kMessage && result.message.empty()) {
+    result.message = std::to_string(changes.size()) + " row(s) updated";
+  }
+  return result;
+}
+
+Engine::Result Engine::CommitTransaction(Transaction txn) {
+  TransactionEffect effect = txn.Normalize(db_);
+  if (effect.Empty()) return Message("");
+  IntegrityGuard::Precheck precheck = guard_.PrecheckEffect(effect);
+  if (!precheck.ok) {
+    std::ostringstream os;
+    os << "rejected: transaction violates";
+    for (const auto& v : precheck.violations) {
+      os << " " << v.assertion << " (" << v.witnesses.size()
+         << " witness(es))";
+    }
+    return Message(os.str());
+  }
+  views_.ApplyEffect(effect);
+  guard_.CommitPrecheck(std::move(precheck));
+  return Message("");
+}
+
+void Engine::EnsureTableDroppable(const std::string& name) const {
+  for (const auto& view : views_.ViewNames()) {
+    for (const auto& base : views_.Definition(view).bases()) {
+      MVIEW_CHECK(base.relation != name, "cannot drop ", name,
+                  ": referenced by view ", view);
+    }
+  }
+  for (const auto& assertion : guard_.AssertionNames()) {
+    for (const auto& base : guard_.Definition(assertion).bases()) {
+      MVIEW_CHECK(base.relation != name, "cannot drop ", name,
+                  ": referenced by assertion ", assertion);
+    }
+  }
+}
+
+Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
+  using Kind = Statement::Kind;
+  switch (stmt.kind) {
+    case Kind::kCreateTable:
+      db_.CreateRelation(stmt.name, Schema(stmt.columns));
+      return Message("table " + stmt.name + " created");
+    case Kind::kDropTable:
+      EnsureTableDroppable(stmt.name);
+      db_.DropRelation(stmt.name);
+      return Message("table " + stmt.name + " dropped");
+    case Kind::kCreateView:
+      return ExecuteCreateView(stmt);
+    case Kind::kDropView:
+      views_.DropView(stmt.name);
+      return Message("view " + stmt.name + " dropped");
+    case Kind::kCreateAssertion: {
+      std::vector<BaseRef> bases;
+      for (const auto& t : stmt.tables) bases.push_back(BaseRef{t, {}});
+      guard_.AddAssertion(ViewDefinition(stmt.name, bases, stmt.where));
+      auto current = guard_.CurrentViolations();
+      for (const auto& v : current) {
+        if (v.assertion == stmt.name) {
+          return Message("assertion " + stmt.name + " created (WARNING: " +
+                         std::to_string(v.witnesses.size()) +
+                         " pre-existing violation(s))");
+        }
+      }
+      return Message("assertion " + stmt.name + " created");
+    }
+    case Kind::kDropAssertion:
+      guard_.DropAssertion(stmt.name);
+      return Message("assertion " + stmt.name + " dropped");
+    case Kind::kInsert:
+      return ExecuteInsert(stmt);
+    case Kind::kDelete:
+      return ExecuteDelete(stmt);
+    case Kind::kUpdate:
+      return ExecuteUpdate(stmt);
+    case Kind::kSelect:
+      return ExecuteSelect(stmt.query);
+    case Kind::kRefresh:
+      views_.Refresh(stmt.name);
+      return Message("view " + stmt.name + " refreshed (" +
+                     std::to_string(views_.View(stmt.name).size()) +
+                     " rows)");
+    case Kind::kShowTables: {
+      Schema schema({{"table", ValueType::kString}});
+      std::vector<std::pair<Tuple, int64_t>> rows;
+      for (const auto& name : db_.Names()) {
+        rows.emplace_back(Tuple({Value(name)}), 1);
+      }
+      return RowsResult(std::move(schema), std::move(rows));
+    }
+    case Kind::kShowViews: {
+      Schema schema({{"view", ValueType::kString},
+                     {"mode", ValueType::kString},
+                     {"rows", ValueType::kInt64},
+                     {"stale", ValueType::kString}});
+      std::vector<std::pair<Tuple, int64_t>> rows;
+      for (const auto& name : views_.ViewNames()) {
+        rows.emplace_back(
+            Tuple({Value(name), Value(ModeName(views_.Mode(name))),
+                   Value(static_cast<int64_t>(views_.View(name).size())),
+                   Value(views_.IsStale(name) ? "yes" : "no")}),
+            1);
+      }
+      return RowsResult(std::move(schema), std::move(rows));
+    }
+    case Kind::kShowAssertions: {
+      Schema schema({{"assertion", ValueType::kString},
+                     {"holds", ValueType::kString}});
+      std::vector<std::pair<Tuple, int64_t>> rows;
+      auto violations = guard_.CurrentViolations();
+      for (const auto& name : guard_.AssertionNames()) {
+        bool violated = false;
+        for (const auto& v : violations) violated |= v.assertion == name;
+        rows.emplace_back(
+            Tuple({Value(name), Value(violated ? "VIOLATED" : "yes")}), 1);
+      }
+      return RowsResult(std::move(schema), std::move(rows));
+    }
+    case Kind::kCopyTo: {
+      std::ofstream out(stmt.path);
+      MVIEW_CHECK(out.is_open(), "cannot open for writing: ", stmt.path);
+      size_t rows;
+      if (views_.HasView(stmt.name)) {
+        const CountedRelation& view = views_.View(stmt.name);
+        WriteCsv(view, out);
+        rows = view.size();
+      } else {
+        const Relation& rel = db_.Get(stmt.name);
+        WriteCsv(rel, out);
+        rows = rel.size();
+      }
+      return Message(std::to_string(rows) + " row(s) copied to " + stmt.path);
+    }
+    case Kind::kCopyFrom: {
+      const Relation& rel = db_.Get(stmt.name);
+      std::ifstream in(stmt.path);
+      MVIEW_CHECK(in.is_open(), "cannot open for reading: ", stmt.path);
+      Relation loaded = ReadCsv(in);
+      MVIEW_CHECK(loaded.schema() == rel.schema(), "CSV scheme ",
+                  loaded.schema().ToString(), " does not match table ",
+                  stmt.name, " ", rel.schema().ToString());
+      size_t n = loaded.size();
+      if (pending_.has_value()) {
+        loaded.Scan([&](const Tuple& t) { pending_->Insert(stmt.name, t); });
+        return Message(std::to_string(n) + " row(s) staged from " +
+                       stmt.path);
+      }
+      Transaction txn;
+      loaded.Scan([&](const Tuple& t) { txn.Insert(stmt.name, t); });
+      Result result = CommitTransaction(std::move(txn));
+      if (result.kind == Result::Kind::kMessage && result.message.empty()) {
+        result.message =
+            std::to_string(n) + " row(s) copied from " + stmt.path;
+      }
+      return result;
+    }
+    case Kind::kBegin:
+      MVIEW_CHECK(!pending_.has_value(), "already in a transaction");
+      pending_.emplace();
+      return Message("transaction started");
+    case Kind::kCommit: {
+      MVIEW_CHECK(pending_.has_value(), "no transaction in progress");
+      Transaction txn = std::move(*pending_);
+      pending_.reset();
+      size_t ops = txn.NumOperations();
+      Result result = CommitTransaction(std::move(txn));
+      if (result.kind == Result::Kind::kMessage && result.message.empty()) {
+        result.message =
+            "committed (" + std::to_string(ops) + " operation(s))";
+      }
+      return result;
+    }
+    case Kind::kRollback:
+      MVIEW_CHECK(pending_.has_value(), "no transaction in progress");
+      pending_.reset();
+      return Message("rolled back");
+  }
+  internal::ThrowError("corrupt statement");
+}
+
+}  // namespace mview::sql

@@ -1,0 +1,87 @@
+#ifndef MVIEW_SQL_ENGINE_H_
+#define MVIEW_SQL_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "ivm/integrity.h"
+#include "ivm/view_manager.h"
+#include "sql/parser.h"
+
+namespace mview::sql {
+
+/// A self-contained SQL session: a `Database`, a `ViewManager` keeping SQL-
+/// created materialized views consistent, and an `IntegrityGuard` enforcing
+/// SQL-created assertions.
+///
+/// This is the substrate the paper presumes around its algorithms — a
+/// relational system in which views are defined declaratively and updated
+/// transactions flow through the maintenance machinery.  DML statements
+/// outside BEGIN/COMMIT auto-commit; inside an explicit transaction they
+/// accumulate and commit atomically (with the net-effect semantics of
+/// Section 3), and ROLLBACK discards them.  A commit is admitted only when
+/// it violates no assertion; on success every immediate view is brought up
+/// to date differentially.
+class Engine {
+ public:
+  Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The outcome of one statement.
+  struct Result {
+    enum class Kind { kMessage, kRows };
+    Kind kind = Kind::kMessage;
+    std::string message;
+    // For kRows:
+    Schema schema;
+    std::vector<std::pair<Tuple, int64_t>> rows;  // sorted, with counts
+
+    /// Pretty-prints either the message or an aligned table with a
+    /// trailing multiplicity column.
+    std::string ToString() const;
+  };
+
+  /// Executes one statement (a trailing ';' is allowed).  Throws
+  /// `mview::Error` on syntax or semantic errors; failed assertion checks
+  /// return a `kMessage` result describing the rejection instead.
+  Result Execute(const std::string& sql);
+
+  /// Executes a ';'-separated script, stopping at the first error.
+  std::vector<Result> ExecuteScript(const std::string& sql);
+
+  Database& database() { return db_; }
+  ViewManager& views() { return views_; }
+  IntegrityGuard& guard() { return guard_; }
+
+  /// True while inside BEGIN … COMMIT/ROLLBACK.
+  bool in_transaction() const { return pending_.has_value(); }
+
+ private:
+  Result ExecuteStatement(const Statement& stmt);
+  Result ExecuteSelect(const SelectQuery& query);
+  Result ExecuteCreateView(const Statement& stmt);
+  Result ExecuteInsert(const Statement& stmt);
+  Result ExecuteDelete(const Statement& stmt);
+  Result ExecuteUpdate(const Statement& stmt);
+  Result CommitTransaction(Transaction txn);
+  void EnsureTableDroppable(const std::string& name) const;
+
+  // Builds a ViewDefinition (canonical attribute naming, resolved
+  // condition and projection) from a SELECT body over base tables.
+  ViewDefinition BuildDefinition(const std::string& name,
+                                 const SelectQuery& query) const;
+
+  Database db_;
+  ViewManager views_;
+  IntegrityGuard guard_;
+  std::optional<Transaction> pending_;
+};
+
+}  // namespace mview::sql
+
+#endif  // MVIEW_SQL_ENGINE_H_

@@ -1,0 +1,121 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/error.h"
+
+namespace mview::sql {
+
+namespace {
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+}  // namespace
+
+bool Token::Is(const char* upper_keyword) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, upper_keyword);
+}
+
+bool Token::IsSymbol(const char* symbol) const {
+  return kind == TokenKind::kSymbol && text == symbol;
+}
+
+std::vector<Token> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  auto push = [&tokens](TokenKind kind, std::string text, int64_t integer,
+                        size_t offset) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.integer = integer;
+    token.offset = offset;
+    tokens.push_back(std::move(token));
+  };
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      push(TokenKind::kIdentifier, sql.substr(offset, i - offset), 0, offset);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      std::string text = sql.substr(offset, i - offset);
+      int64_t integer = std::stoll(text);
+      push(TokenKind::kInteger, std::move(text), integer, offset);
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // doubled quote escape
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += sql[i++];
+      }
+      MVIEW_CHECK(closed, "unterminated string literal at offset ", offset);
+      push(TokenKind::kString, std::move(value), 0, offset);
+      continue;
+    }
+    // Multi-character operators first.
+    auto starts_with = [&](const char* s) {
+      size_t len = std::char_traits<char>::length(s);
+      return sql.compare(i, len, s) == 0;
+    };
+    const char* two_char[] = {"==", "!=", "<>", "<=", ">="};
+    bool matched = false;
+    for (const char* op : two_char) {
+      if (starts_with(op)) {
+        push(TokenKind::kSymbol, op, 0, offset);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    const std::string singles = "(),;.*=<>+-";
+    if (singles.find(c) != std::string::npos) {
+      push(TokenKind::kSymbol, std::string(1, c), 0, offset);
+      ++i;
+      continue;
+    }
+    internal::ThrowError("unexpected character '", std::string(1, c),
+                         "' at offset ", i);
+  }
+  push(TokenKind::kEnd, "", 0, n);
+  return tokens;
+}
+
+}  // namespace mview::sql

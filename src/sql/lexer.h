@@ -1,0 +1,40 @@
+#ifndef MVIEW_SQL_LEXER_H_
+#define MVIEW_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mview::sql {
+
+/// Token kinds produced by the SQL lexer.
+enum class TokenKind : uint8_t {
+  kIdentifier,  // bare or keyword (parser decides case-insensitively)
+  kInteger,     // [-]digits (sign handled by parser)
+  kString,      // '...' with '' escaping
+  kSymbol,      // punctuation / operators, text holds the exact lexeme
+  kEnd,
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t integer = 0;
+  size_t offset = 0;
+
+  /// Case-insensitive keyword/identifier comparison.
+  bool Is(const char* upper_keyword) const;
+
+  /// True for an exact symbol match.
+  bool IsSymbol(const char* symbol) const;
+};
+
+/// Tokenizes `sql`.  Supported symbols: `( ) , ; . * = == != <> <= >= < >`.
+/// `--` starts a comment running to end of line.  Throws `Error` on
+/// unterminated strings or unexpected characters.
+std::vector<Token> Lex(const std::string& sql);
+
+}  // namespace mview::sql
+
+#endif  // MVIEW_SQL_LEXER_H_

@@ -1,0 +1,93 @@
+#ifndef MVIEW_SQL_PARSER_H_
+#define MVIEW_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "predicate/condition.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace mview::sql {
+
+/// A table reference in a FROM list: `name [AS] alias`.
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+};
+
+/// A parsed `SELECT` body (also the body of `CREATE VIEW … AS`).
+struct SelectQuery {
+  bool star = false;
+  std::vector<std::string> columns;  // possibly alias-qualified
+  std::vector<TableRef> from;
+  Condition where = Condition::True();
+};
+
+/// When a SQL-created view is maintained (maps to `MaintenanceMode`).
+enum class ViewMode { kImmediate, kDeferred, kFullReevaluation };
+
+/// One parsed SQL statement.
+///
+/// Supported statements:
+///
+///     CREATE TABLE t (col INT64 | STRING, …);
+///     DROP TABLE t;
+///     CREATE [MATERIALIZED] VIEW v [DEFERRED | RECOMPUTED] AS SELECT …;
+///     DROP VIEW v;
+///     CREATE ASSERTION a ON t1 [, t2 …] WHERE <error predicate>;
+///     DROP ASSERTION a;
+///     INSERT INTO t VALUES (…), (…);
+///     DELETE FROM t [WHERE …];
+///     UPDATE t SET col = literal [, …] [WHERE …];
+///     SELECT * | col [, col …] FROM t [alias] [, …] [WHERE …];
+///     REFRESH [VIEW] v;
+///     SHOW TABLES; SHOW VIEWS; SHOW ASSERTIONS;
+///     COPY t TO 'file.csv'; COPY t FROM 'file.csv';
+///     BEGIN; COMMIT; ROLLBACK;
+///
+/// WHERE clauses use AND/OR/NOT with comparisons `x op y [± c]` / `x op
+/// literal` (`op ∈ {=, ==, !=, <>, <, <=, >, >=}`); string literals are
+/// single-quoted.
+struct Statement {
+  enum class Kind {
+    kCreateTable,
+    kDropTable,
+    kCreateView,
+    kDropView,
+    kCreateAssertion,
+    kDropAssertion,
+    kInsert,
+    kDelete,
+    kUpdate,
+    kSelect,
+    kRefresh,
+    kShowTables,
+    kShowViews,
+    kShowAssertions,
+    kCopyTo,    // COPY t TO 'file.csv'   (table or view → CSV)
+    kCopyFrom,  // COPY t FROM 'file.csv' (CSV rows inserted into table)
+    kBegin,
+    kCommit,
+    kRollback,
+  };
+
+  Kind kind = Kind::kSelect;
+  std::string name;                // table / view / assertion
+  std::vector<Attribute> columns;  // CREATE TABLE
+  SelectQuery query;               // CREATE VIEW / SELECT
+  ViewMode view_mode = ViewMode::kImmediate;
+  std::vector<std::vector<Value>> rows;              // INSERT
+  Condition where = Condition::True();               // DELETE/UPDATE/ASSERTION
+  std::vector<std::pair<std::string, Value>> assignments;  // UPDATE SET
+  std::vector<std::string> tables;                   // ASSERTION ON list
+  std::string path;                                  // COPY file path
+};
+
+/// Parses a `;`-separated script into statements.  Throws `Error` with an
+/// offset-bearing message on syntax errors.
+std::vector<Statement> Parse(const std::string& sql);
+
+}  // namespace mview::sql
+
+#endif  // MVIEW_SQL_PARSER_H_

@@ -1,0 +1,47 @@
+#ifndef MVIEW_UTIL_ERROR_H_
+#define MVIEW_UTIL_ERROR_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mview {
+
+/// Exception type thrown for API misuse and invariant violations.
+///
+/// The library throws `Error` for conditions that indicate a programming
+/// mistake by the caller (schema mismatches, references to unknown
+/// attributes or relations, malformed conditions) or a broken internal
+/// invariant.  Data-path code on the maintenance hot path does not throw.
+class Error : public std::logic_error {
+ public:
+  explicit Error(const std::string& message) : std::logic_error(message) {}
+};
+
+namespace internal {
+
+/// Builds an error message from streamable parts and throws `Error`.
+template <typename... Args>
+[[noreturn]] void ThrowError(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  throw Error(os.str());
+}
+
+}  // namespace internal
+}  // namespace mview
+
+/// Checks a condition and throws `mview::Error` with a formatted message
+/// when it does not hold.  Used for argument validation and internal
+/// invariants; always on (not compiled out in release builds), since a
+/// silently corrupted materialized view is worse than a failed call.
+#define MVIEW_CHECK(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mview::internal::ThrowError("mview check failed: ", #cond, " at ",  \
+                                    __FILE__, ":", __LINE__, ": ",          \
+                                    ##__VA_ARGS__);                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // MVIEW_UTIL_ERROR_H_

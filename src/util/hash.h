@@ -1,0 +1,24 @@
+#ifndef MVIEW_UTIL_HASH_H_
+#define MVIEW_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mview {
+
+/// Mixes `value` into an existing hash seed (boost-style combiner with a
+/// 64-bit golden-ratio constant).
+inline std::size_t HashCombine(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hashes an object with `std::hash` and mixes it into `seed`.
+template <typename T>
+std::size_t HashCombineValue(std::size_t seed, const T& value) {
+  return HashCombine(seed, std::hash<T>{}(value));
+}
+
+}  // namespace mview
+
+#endif  // MVIEW_UTIL_HASH_H_

@@ -1,0 +1,50 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace mview {
+
+Rng::Rng(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ULL : seed) {}
+
+uint64_t Rng::Next() {
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545f4914f6cdd1dULL;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  MVIEW_CHECK(lo <= hi, "invalid uniform range");
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  MVIEW_CHECK(n > 0, "Zipf needs a positive population");
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_cdf_.assign(static_cast<size_t>(n), 0.0);
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      zipf_cdf_[static_cast<size_t>(i)] = sum;
+    }
+    for (auto& c : zipf_cdf_) c /= sum;
+  }
+  double u = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) --it;
+  return static_cast<int64_t>(it - zipf_cdf_.begin());
+}
+
+}  // namespace mview

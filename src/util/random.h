@@ -1,0 +1,46 @@
+#ifndef MVIEW_UTIL_RANDOM_H_
+#define MVIEW_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mview {
+
+/// Deterministic pseudo-random number generator (xorshift64*).
+///
+/// Used by the workload generators and property tests so that every run of a
+/// test or benchmark sees the same data for a given seed.
+class Rng {
+ public:
+  /// Creates a generator from a non-zero seed (zero is remapped internally).
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in the inclusive range [lo, hi].
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Samples a Zipf-distributed rank in [0, n) with exponent `theta`.
+  ///
+  /// Uses the classic inverse-CDF method over a precomputed table when the
+  /// same (n, theta) is requested repeatedly.
+  int64_t Zipf(int64_t n, double theta);
+
+ private:
+  uint64_t state_;
+  // Cached Zipf CDF for the most recent (n, theta) pair.
+  int64_t zipf_n_ = 0;
+  double zipf_theta_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_UTIL_RANDOM_H_

@@ -1,0 +1,19 @@
+#include "util/stopwatch.h"
+
+namespace mview {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+int64_t Stopwatch::ElapsedNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Stopwatch::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedNanos()) * 1e-9;
+}
+
+}  // namespace mview

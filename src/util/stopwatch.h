@@ -1,0 +1,31 @@
+#ifndef MVIEW_UTIL_STOPWATCH_H_
+#define MVIEW_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mview {
+
+/// Monotonic wall-clock stopwatch used by the maintenance statistics and the
+/// paper-style summary tables printed by the benchmark binaries.
+class Stopwatch {
+ public:
+  /// Creates a running stopwatch.
+  Stopwatch();
+
+  /// Restarts timing from zero.
+  void Restart();
+
+  /// Returns elapsed nanoseconds since construction or the last Restart().
+  int64_t ElapsedNanos() const;
+
+  /// Returns elapsed time in seconds.
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_UTIL_STOPWATCH_H_

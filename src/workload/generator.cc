@@ -1,0 +1,104 @@
+#include "workload/generator.h"
+
+#include "util/error.h"
+
+namespace mview {
+
+std::string AttrName(const std::string& relation, size_t index) {
+  return relation + "_a" + std::to_string(index);
+}
+
+WorkloadGenerator::WorkloadGenerator(uint64_t seed) : rng_(seed) {}
+
+namespace {
+
+int64_t AttrDomain(const RelationSpec& spec, size_t attr) {
+  if (attr < spec.attr_domains.size() && spec.attr_domains[attr] > 0) {
+    return spec.attr_domains[attr];
+  }
+  return spec.domain;
+}
+
+}  // namespace
+
+void WorkloadGenerator::Populate(Database* db, const RelationSpec& spec) {
+  MVIEW_CHECK(db != nullptr, "null database");
+  // Guard against asking for more rows than the domains can provide (the
+  // set-semantics fill loop would never terminate).
+  double capacity = 1.0;
+  for (size_t i = 0; i < spec.arity; ++i) {
+    capacity *= static_cast<double>(AttrDomain(spec, i));
+  }
+  MVIEW_CHECK(static_cast<double>(spec.rows) <= capacity / 2.0,
+              "relation '", spec.name, "' wants ", spec.rows,
+              " distinct rows but the domains only admit ~", capacity,
+              "; widen the domain or lower rows");
+  std::vector<std::string> names;
+  names.reserve(spec.arity);
+  for (size_t i = 0; i < spec.arity; ++i) names.push_back(AttrName(spec.name, i));
+  Relation& rel = db->CreateRelation(spec.name, Schema::OfInts(names));
+  auto& pool = pools_[spec.name];
+  pool.reserve(spec.rows);
+  while (rel.size() < spec.rows) {
+    Tuple t = RandomTuple(spec);
+    if (rel.Insert(t)) pool.push_back(std::move(t));
+  }
+}
+
+Tuple WorkloadGenerator::RandomTuple(const RelationSpec& spec) {
+  std::vector<Value> values;
+  values.reserve(spec.arity);
+  for (size_t i = 0; i < spec.arity; ++i) {
+    values.emplace_back(rng_.Uniform(0, AttrDomain(spec, i) - 1));
+  }
+  return Tuple(std::move(values));
+}
+
+Tuple WorkloadGenerator::RandomTupleWithAttrIn(const RelationSpec& spec,
+                                               size_t attr_index, int64_t lo,
+                                               int64_t hi) {
+  MVIEW_CHECK(attr_index < spec.arity, "attribute index out of range");
+  std::vector<Value> values;
+  values.reserve(spec.arity);
+  for (size_t i = 0; i < spec.arity; ++i) {
+    if (i == attr_index) {
+      values.emplace_back(rng_.Uniform(lo, hi));
+    } else {
+      values.emplace_back(rng_.Uniform(0, spec.domain - 1));
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+Transaction WorkloadGenerator::MakeTransaction(const RelationSpec& spec,
+                                               size_t num_inserts,
+                                               size_t num_deletes) {
+  Transaction txn;
+  AddUpdates(&txn, spec, num_inserts, num_deletes);
+  return txn;
+}
+
+void WorkloadGenerator::AddUpdates(Transaction* txn, const RelationSpec& spec,
+                                   size_t num_inserts, size_t num_deletes) {
+  MVIEW_CHECK(txn != nullptr, "null transaction");
+  auto& pool = pools_[spec.name];
+  for (size_t i = 0; i < num_deletes && !pool.empty(); ++i) {
+    size_t pick = static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(pool.size()) - 1));
+    txn->Delete(spec.name, pool[pick]);
+    pool[pick] = pool.back();
+    pool.pop_back();
+  }
+  for (size_t i = 0; i < num_inserts; ++i) {
+    Tuple t = RandomTuple(spec);
+    txn->Insert(spec.name, t);
+    pool.push_back(std::move(t));
+  }
+}
+
+size_t WorkloadGenerator::PoolSize(const std::string& relation) const {
+  auto it = pools_.find(relation);
+  return it == pools_.end() ? 0 : it->second.size();
+}
+
+}  // namespace mview

@@ -1,0 +1,88 @@
+#ifndef MVIEW_WORKLOAD_GENERATOR_H_
+#define MVIEW_WORKLOAD_GENERATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/transaction.h"
+#include "util/random.h"
+
+namespace mview {
+
+/// Shape of a synthetic base relation.
+///
+/// Attributes are named `<name>_a0, <name>_a1, …` so that names stay unique
+/// across the relations of a view (the paper's disjoint-scheme assumption)
+/// and conditions can be written in text form.
+struct RelationSpec {
+  RelationSpec() = default;
+  RelationSpec(std::string name_in, size_t arity_in, int64_t domain_in,
+               size_t rows_in, std::vector<int64_t> attr_domains_in = {})
+      : name(std::move(name_in)),
+        arity(arity_in),
+        domain(domain_in),
+        rows(rows_in),
+        attr_domains(std::move(attr_domains_in)) {}
+
+  std::string name;
+  size_t arity = 2;
+  int64_t domain = 1000;  // attribute values are uniform in [0, domain)
+  size_t rows = 1000;
+  // Optional per-attribute domain overrides (index i overrides `domain`
+  // for attribute i); lets workloads mix a wide key with a narrow,
+  // fan-in-heavy attribute.
+  std::vector<int64_t> attr_domains;
+};
+
+/// Returns the attribute name `<relation>_a<i>`.
+std::string AttrName(const std::string& relation, size_t index);
+
+/// Deterministic generator of relations and update transactions for the
+/// tests and the benchmark harness.
+///
+/// The generator keeps a pool of the tuples it has inserted into each
+/// relation, so delete operations can sample *existing* tuples in O(1); all
+/// updates must flow through the generator for the pools to stay accurate.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(uint64_t seed = 42);
+
+  /// Creates and fills a relation in `db` per `spec`.
+  void Populate(Database* db, const RelationSpec& spec);
+
+  /// A fresh random tuple for `spec` (not guaranteed absent from the
+  /// relation, but collisions are rare for realistic domains).
+  Tuple RandomTuple(const RelationSpec& spec);
+
+  /// A random tuple whose attribute `attr_index` is drawn from
+  /// `[lo, hi]` and whose other attributes are uniform over the domain.
+  /// Used to steer updates into or out of a view's selection range.
+  Tuple RandomTupleWithAttrIn(const RelationSpec& spec, size_t attr_index,
+                              int64_t lo, int64_t hi);
+
+  /// Builds a transaction with `num_inserts` fresh tuples and `num_deletes`
+  /// tuples sampled from the generator's pool for `spec.name`, and updates
+  /// the pool under the assumption the transaction will commit.
+  Transaction MakeTransaction(const RelationSpec& spec, size_t num_inserts,
+                              size_t num_deletes);
+
+  /// Appends the same kind of update mix for `spec` onto an existing
+  /// transaction (multi-relation transactions).
+  void AddUpdates(Transaction* txn, const RelationSpec& spec,
+                  size_t num_inserts, size_t num_deletes);
+
+  /// Number of pooled tuples for a relation.
+  size_t PoolSize(const std::string& relation) const;
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+  std::map<std::string, std::vector<Tuple>> pools_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_WORKLOAD_GENERATOR_H_

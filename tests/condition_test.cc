@@ -1,0 +1,199 @@
+#include "predicate/condition.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/error.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::T;
+
+Schema AB() { return Schema::OfInts({"A", "B"}); }
+
+TEST(AtomTest, VarConstEvaluation) {
+  Atom a = Atom::VarConst("A", CompareOp::kLt, Value(10));
+  EXPECT_TRUE(a.Evaluate(AB(), T({5, 0})));
+  EXPECT_FALSE(a.Evaluate(AB(), T({10, 0})));
+}
+
+TEST(AtomTest, VarVarEvaluation) {
+  Atom a = Atom::VarVar("A", CompareOp::kEq, "B");
+  EXPECT_TRUE(a.Evaluate(AB(), T({3, 3})));
+  EXPECT_FALSE(a.Evaluate(AB(), T({3, 4})));
+}
+
+TEST(AtomTest, VarVarWithOffset) {
+  // A <= B + 2
+  Atom a = Atom::VarVar("A", CompareOp::kLe, "B", 2);
+  EXPECT_TRUE(a.Evaluate(AB(), T({5, 3})));
+  EXPECT_TRUE(a.Evaluate(AB(), T({5, 4})));
+  EXPECT_FALSE(a.Evaluate(AB(), T({6, 3})));
+}
+
+TEST(AtomTest, NegativeOffset) {
+  // A > B - 1  ⇔  A >= B
+  Atom a = Atom::VarVar("A", CompareOp::kGt, "B", -1);
+  EXPECT_TRUE(a.Evaluate(AB(), T({3, 3})));
+  EXPECT_FALSE(a.Evaluate(AB(), T({2, 3})));
+}
+
+TEST(AtomTest, OffsetDoesNotOverflow) {
+  // A < B + c near the int64 boundary: evaluation must not wrap.
+  Atom a = Atom::VarVar("A", CompareOp::kLt, "B", INT64_MAX / 2);
+  EXPECT_TRUE(a.Evaluate(AB(), T({0, 1})));
+}
+
+TEST(AtomTest, EveryOperator) {
+  Schema s = AB();
+  Tuple t = T({2, 3});
+  EXPECT_FALSE(Atom::VarVar("A", CompareOp::kEq, "B").Evaluate(s, t));
+  EXPECT_TRUE(Atom::VarVar("A", CompareOp::kNe, "B").Evaluate(s, t));
+  EXPECT_TRUE(Atom::VarVar("A", CompareOp::kLt, "B").Evaluate(s, t));
+  EXPECT_TRUE(Atom::VarVar("A", CompareOp::kLe, "B").Evaluate(s, t));
+  EXPECT_FALSE(Atom::VarVar("A", CompareOp::kGt, "B").Evaluate(s, t));
+  EXPECT_FALSE(Atom::VarVar("A", CompareOp::kGe, "B").Evaluate(s, t));
+}
+
+TEST(AtomTest, NegatedFlipsOperators) {
+  EXPECT_EQ(Atom::VarConst("A", CompareOp::kEq, Value(1)).Negated().op,
+            CompareOp::kNe);
+  EXPECT_EQ(Atom::VarConst("A", CompareOp::kNe, Value(1)).Negated().op,
+            CompareOp::kEq);
+  EXPECT_EQ(Atom::VarConst("A", CompareOp::kLt, Value(1)).Negated().op,
+            CompareOp::kGe);
+  EXPECT_EQ(Atom::VarConst("A", CompareOp::kLe, Value(1)).Negated().op,
+            CompareOp::kGt);
+  EXPECT_EQ(Atom::VarConst("A", CompareOp::kGt, Value(1)).Negated().op,
+            CompareOp::kLe);
+  EXPECT_EQ(Atom::VarConst("A", CompareOp::kGe, Value(1)).Negated().op,
+            CompareOp::kLt);
+}
+
+TEST(AtomTest, ToString) {
+  EXPECT_EQ(Atom::VarConst("A", CompareOp::kLt, Value(10)).ToString(),
+            "A < 10");
+  EXPECT_EQ(Atom::VarVar("A", CompareOp::kLe, "B", 3).ToString(),
+            "A <= B + 3");
+  EXPECT_EQ(Atom::VarVar("A", CompareOp::kGe, "B", -3).ToString(),
+            "A >= B - 3");
+}
+
+TEST(ConditionTest, TrueAndFalse) {
+  Schema s = AB();
+  EXPECT_TRUE(Condition::True().Evaluate(s, T({0, 0})));
+  EXPECT_FALSE(Condition::False().Evaluate(s, T({0, 0})));
+  EXPECT_TRUE(Condition::True().IsTriviallyTrue());
+  EXPECT_TRUE(Condition::False().IsTriviallyFalse());
+}
+
+TEST(ConditionTest, AndDistributesToDnf) {
+  // (a || b) && (c || d) → 4 disjuncts.
+  Condition left = Condition::FromAtom(
+      Atom::VarConst("A", CompareOp::kLt, Value(1)))
+      .Or(Condition::FromAtom(Atom::VarConst("A", CompareOp::kGt, Value(5))));
+  Condition right = Condition::FromAtom(
+      Atom::VarConst("B", CompareOp::kLt, Value(1)))
+      .Or(Condition::FromAtom(Atom::VarConst("B", CompareOp::kGt, Value(5))));
+  Condition c = left.And(right);
+  EXPECT_EQ(c.disjuncts().size(), 4u);
+  EXPECT_TRUE(c.Evaluate(AB(), T({0, 6})));
+  EXPECT_FALSE(c.Evaluate(AB(), T({3, 6})));
+}
+
+TEST(ConditionTest, AndWithTrueIsIdentity) {
+  Condition a = Condition::FromAtom(
+      Atom::VarConst("A", CompareOp::kEq, Value(1)));
+  Condition c = a.And(Condition::True());
+  EXPECT_EQ(c.disjuncts().size(), 1u);
+  EXPECT_TRUE(c.Evaluate(AB(), T({1, 0})));
+}
+
+TEST(ConditionTest, AndWithFalseIsFalse) {
+  Condition a = Condition::FromAtom(
+      Atom::VarConst("A", CompareOp::kEq, Value(1)));
+  EXPECT_TRUE(a.And(Condition::False()).IsTriviallyFalse());
+}
+
+TEST(ConditionTest, OrConcatenates) {
+  Condition a = Condition::FromAtom(
+      Atom::VarConst("A", CompareOp::kEq, Value(1)));
+  Condition b = Condition::FromAtom(
+      Atom::VarConst("A", CompareOp::kEq, Value(2)));
+  Condition c = a.Or(b);
+  EXPECT_EQ(c.disjuncts().size(), 2u);
+  EXPECT_TRUE(c.Evaluate(AB(), T({2, 0})));
+  EXPECT_FALSE(c.Evaluate(AB(), T({3, 0})));
+}
+
+TEST(ConditionTest, Variables) {
+  Condition c = Condition::FromAtom(Atom::VarVar("A", CompareOp::kLt, "B"))
+                    .Or(Condition::FromAtom(
+                        Atom::VarConst("C", CompareOp::kEq, Value(1))));
+  EXPECT_EQ(c.Variables(), (std::set<std::string>{"A", "B", "C"}));
+}
+
+TEST(ConditionTest, ValidateRejectsUnknownVariable) {
+  Condition c =
+      Condition::FromAtom(Atom::VarConst("Z", CompareOp::kEq, Value(1)));
+  EXPECT_THROW(c.Validate(AB()), Error);
+}
+
+TEST(ConditionTest, ValidateRejectsTypeMismatch) {
+  Schema s({{"A", ValueType::kInt64}, {"S", ValueType::kString}});
+  EXPECT_THROW(
+      Condition::FromAtom(Atom::VarVar("A", CompareOp::kEq, "S")).Validate(s),
+      Error);
+  EXPECT_THROW(Condition::FromAtom(
+                   Atom::VarConst("S", CompareOp::kEq, Value(1)))
+                   .Validate(s),
+               Error);
+  EXPECT_THROW(Condition::FromAtom(
+                   Atom::VarVar("S", CompareOp::kEq, "S", /*offset=*/1))
+                   .Validate(s),
+               Error);
+}
+
+TEST(ConditionTest, ValidateAcceptsStringEquality) {
+  Schema s({{"S", ValueType::kString}, {"U", ValueType::kString}});
+  Condition c = Condition::FromAtom(Atom::VarVar("S", CompareOp::kEq, "U"));
+  EXPECT_NO_THROW(c.Validate(s));
+  EXPECT_TRUE(c.Evaluate(s, Tuple({Value("x"), Value("x")})));
+}
+
+TEST(RhClassTest, IntAtomsWithoutNeAreRh) {
+  Schema s = AB();
+  EXPECT_TRUE(IsRhAtom(Atom::VarVar("A", CompareOp::kLe, "B", 3), s));
+  EXPECT_TRUE(IsRhAtom(Atom::VarConst("A", CompareOp::kEq, Value(1)), s));
+  EXPECT_FALSE(IsRhAtom(Atom::VarVar("A", CompareOp::kNe, "B"), s));
+}
+
+TEST(RhClassTest, StringAtomsAreNotRh) {
+  Schema s({{"A", ValueType::kInt64}, {"S", ValueType::kString}});
+  EXPECT_FALSE(IsRhAtom(Atom::VarConst("S", CompareOp::kEq, Value("x")), s));
+  EXPECT_FALSE(IsRhAtom(Atom::VarVar("S", CompareOp::kLt, "S"), s));
+}
+
+TEST(RhClassTest, ConditionLevel) {
+  Schema s = AB();
+  Condition rh = Condition::FromAtom(Atom::VarVar("A", CompareOp::kLt, "B"))
+                     .Or(Condition::FromAtom(
+                         Atom::VarConst("B", CompareOp::kGe, Value(0))));
+  EXPECT_TRUE(IsRhCondition(rh, s));
+  Condition not_rh =
+      rh.And(Condition::FromAtom(Atom::VarVar("A", CompareOp::kNe, "B")));
+  EXPECT_FALSE(IsRhCondition(not_rh, s));
+}
+
+TEST(ConditionTest, ToString) {
+  Condition c = Condition::FromAtom(Atom::VarConst("A", CompareOp::kLt, 10))
+                    .And(Condition::FromAtom(
+                        Atom::VarVar("B", CompareOp::kEq, "A")));
+  EXPECT_EQ(c.ToString(), "A < 10 && B = A");
+  EXPECT_EQ(Condition::False().ToString(), "false");
+  EXPECT_EQ(Condition::True().ToString(), "true");
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,158 @@
+#include "predicate/constraint_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/random.h"
+
+namespace mview {
+namespace {
+
+TEST(ConstraintGraphTest, EmptyGraphIsSatisfiable) {
+  ConstraintGraph g(3);
+  EXPECT_FALSE(g.Close());
+  EXPECT_FALSE(g.has_negative_cycle());
+}
+
+TEST(ConstraintGraphTest, SimpleNegativeCycle) {
+  // x − y ≤ −1 and y − x ≤ −1: edges y→x (−1), x→y (−1) — contradiction
+  // (x < y and y < x).
+  ConstraintGraph g(3);
+  g.AddEdge(2, 1, -1);
+  g.AddEdge(1, 2, -1);
+  EXPECT_TRUE(g.Close());
+}
+
+TEST(ConstraintGraphTest, ZeroWeightCycleIsSatisfiable) {
+  // x ≤ y and y ≤ x: consistent (x = y).
+  ConstraintGraph g(3);
+  g.AddEdge(2, 1, 0);
+  g.AddEdge(1, 2, 0);
+  EXPECT_FALSE(g.Close());
+}
+
+TEST(ConstraintGraphTest, ThreeNodeNegativeCycle) {
+  // x ≤ y − 1, y ≤ z − 1, z ≤ x + 1 → cycle weight −1.
+  ConstraintGraph g(4);
+  g.AddEdge(2, 1, -1);
+  g.AddEdge(3, 2, -1);
+  g.AddEdge(1, 3, 1);
+  EXPECT_TRUE(g.Close());
+}
+
+TEST(ConstraintGraphTest, DistancesAfterClose) {
+  ConstraintGraph g(3);
+  g.AddEdge(0, 1, 5);
+  g.AddEdge(1, 2, -2);
+  g.Close();
+  EXPECT_EQ(g.Dist(0, 1), 5);
+  EXPECT_EQ(g.Dist(0, 2), 3);
+  EXPECT_EQ(g.Dist(2, 0), ConstraintGraph::kInfinity);
+}
+
+TEST(ConstraintGraphTest, ParallelEdgesKeepMinimum) {
+  ConstraintGraph g(2);
+  g.AddEdge(0, 1, 7);
+  g.AddEdge(0, 1, 3);
+  g.Close();
+  EXPECT_EQ(g.Dist(0, 1), 3);
+}
+
+TEST(ConstraintGraphTest, AddAfterCloseThrows) {
+  ConstraintGraph g(2);
+  g.Close();
+  EXPECT_THROW(g.AddEdge(0, 1, 1), Error);
+}
+
+TEST(ConstraintGraphTest, IncrementalSingleEdgeCreatesCycle) {
+  // Closed graph with x − 0 ≤ 5 (edge 0→x, 5); adding 0 − x ≤ −6
+  // (edge x→0, −6) means x ≥ 6: contradiction.
+  ConstraintGraph g(2);
+  g.AddEdge(0, 1, 5);
+  g.Close();
+  std::vector<int64_t> scratch;
+  EXPECT_TRUE(g.WouldAddedEdgesCreateNegativeCycle({{1, 0, -6}}, &scratch));
+  EXPECT_FALSE(g.WouldAddedEdgesCreateNegativeCycle({{1, 0, -5}}, &scratch));
+}
+
+TEST(ConstraintGraphTest, IncrementalJointCycleAcrossTwoAddedEdges) {
+  // Neither added edge alone closes a cycle; together they do.
+  ConstraintGraph g(3);
+  g.Close();  // no invariant edges at all
+  std::vector<int64_t> scratch;
+  std::vector<GraphEdge> edges = {{1, 2, -1}, {2, 1, -1}};
+  EXPECT_TRUE(g.WouldAddedEdgesCreateNegativeCycle(edges, &scratch));
+  std::vector<GraphEdge> ok = {{1, 2, -1}, {2, 1, 1}};
+  EXPECT_FALSE(g.WouldAddedEdgesCreateNegativeCycle(ok, &scratch));
+}
+
+TEST(ConstraintGraphTest, IncrementalUsesInvariantPaths) {
+  // Invariant: x ≤ y (edge y→x, 0).  Adding y ≤ x − 1 (edge x→y, −1)
+  // creates the cycle through the invariant edge.
+  ConstraintGraph g(3);
+  g.AddEdge(2, 1, 0);
+  g.Close();
+  std::vector<int64_t> scratch;
+  EXPECT_TRUE(g.WouldAddedEdgesCreateNegativeCycle({{1, 2, -1}}, &scratch));
+}
+
+TEST(ConstraintGraphTest, IncrementalOnNegativeGraphShortCircuits) {
+  ConstraintGraph g(2);
+  g.AddEdge(0, 1, -1);
+  g.AddEdge(1, 0, 0);
+  g.Close();
+  ASSERT_TRUE(g.has_negative_cycle());
+  std::vector<int64_t> scratch;
+  EXPECT_TRUE(g.WouldAddedEdgesCreateNegativeCycle({}, &scratch));
+}
+
+TEST(ConstraintGraphTest, BellmanFordAgreesOnHandCases) {
+  {
+    ConstraintGraph g(3);
+    g.AddEdge(2, 1, -1);
+    g.AddEdge(1, 2, -1);
+    EXPECT_TRUE(g.HasNegativeCycleBellmanFord());
+  }
+  {
+    ConstraintGraph g(3);
+    g.AddEdge(2, 1, 0);
+    g.AddEdge(1, 2, 0);
+    EXPECT_FALSE(g.HasNegativeCycleBellmanFord());
+  }
+}
+
+TEST(ConstraintGraphTest, FloydAndBellmanFordAgreeOnRandomGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t n = static_cast<size_t>(rng.Uniform(2, 7));
+    size_t e = static_cast<size_t>(rng.Uniform(1, 12));
+    ConstraintGraph a(n);
+    ConstraintGraph b(n);
+    for (size_t i = 0; i < e; ++i) {
+      size_t from = static_cast<size_t>(rng.Uniform(0, n - 1));
+      size_t to = static_cast<size_t>(rng.Uniform(0, n - 1));
+      int64_t w = rng.Uniform(-4, 4);
+      a.AddEdge(from, to, w);
+      b.AddEdge(from, to, w);
+    }
+    EXPECT_EQ(a.Close(), b.HasNegativeCycleBellmanFord()) << "trial " << trial;
+  }
+}
+
+TEST(ConstraintGraphTest, SatAddSaturates) {
+  EXPECT_EQ(ConstraintGraph::SatAdd(ConstraintGraph::kInfinity, -5),
+            ConstraintGraph::kInfinity);
+  EXPECT_EQ(ConstraintGraph::SatAdd(1, 2), 3);
+  EXPECT_EQ(
+      ConstraintGraph::SatAdd(-ConstraintGraph::kInfinity + 1, -10),
+      -ConstraintGraph::kInfinity);
+}
+
+TEST(ConstraintGraphTest, SelfLoopNegativeIsCycle) {
+  ConstraintGraph g(2);
+  g.AddEdge(1, 1, -1);  // x − x ≤ −1: unsatisfiable
+  EXPECT_TRUE(g.Close());
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,91 @@
+#include "ivm/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/error.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::T;
+
+Schema A() { return Schema::OfInts({"A"}); }
+
+TEST(ViewDeltaTest, EmptyByDefault) {
+  ViewDelta d(A());
+  EXPECT_TRUE(d.Empty());
+  EXPECT_EQ(d.TotalCount(), 0);
+}
+
+TEST(ViewDeltaTest, TotalCountSumsBothSides) {
+  ViewDelta d(A());
+  d.inserts.Add(T({1}), 2);
+  d.deletes.Add(T({2}), 3);
+  EXPECT_FALSE(d.Empty());
+  EXPECT_EQ(d.TotalCount(), 5);
+}
+
+TEST(ViewDeltaTest, NormalizeCancelsOverlap) {
+  ViewDelta d(A());
+  d.inserts.Add(T({1}), 3);
+  d.deletes.Add(T({1}), 1);
+  d.Normalize();
+  EXPECT_EQ(d.inserts.Count(T({1})), 2);
+  EXPECT_FALSE(d.deletes.Contains(T({1})));
+}
+
+TEST(ViewDeltaTest, NormalizeCancelsExactMatch) {
+  ViewDelta d(A());
+  d.inserts.Add(T({1}), 2);
+  d.deletes.Add(T({1}), 2);
+  d.Normalize();
+  EXPECT_TRUE(d.Empty());
+}
+
+TEST(ViewDeltaTest, NormalizeKeepsDeleteExcess) {
+  ViewDelta d(A());
+  d.inserts.Add(T({1}), 1);
+  d.deletes.Add(T({1}), 4);
+  d.Normalize();
+  EXPECT_FALSE(d.inserts.Contains(T({1})));
+  EXPECT_EQ(d.deletes.Count(T({1})), 3);
+}
+
+TEST(ViewDeltaTest, NormalizeLeavesDisjointTuplesAlone) {
+  ViewDelta d(A());
+  d.inserts.Add(T({1}), 1);
+  d.deletes.Add(T({2}), 1);
+  d.Normalize();
+  EXPECT_EQ(d.TotalCount(), 2);
+}
+
+TEST(ViewDeltaTest, ApplyToAdjustsCounters) {
+  CountedRelation view(A());
+  view.Add(T({1}), 2);
+  view.Add(T({2}), 1);
+  ViewDelta d(A());
+  d.inserts.Add(T({3}), 1);
+  d.inserts.Add(T({1}), 1);
+  d.deletes.Add(T({2}), 1);
+  d.ApplyTo(&view);
+  EXPECT_EQ(view.Count(T({1})), 3);
+  EXPECT_FALSE(view.Contains(T({2})));
+  EXPECT_EQ(view.Count(T({3})), 1);
+}
+
+TEST(ViewDeltaTest, ApplyToThrowsOnForeignDelta) {
+  CountedRelation view(A());
+  view.Add(T({1}), 1);
+  ViewDelta d(A());
+  d.deletes.Add(T({1}), 2);  // more than the view holds
+  EXPECT_THROW(d.ApplyTo(&view), Error);
+}
+
+TEST(ViewDeltaTest, ApplyToNullThrows) {
+  ViewDelta d(A());
+  EXPECT_THROW(d.ApplyTo(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "ivm/differential.h"
+#include "ivm_test_util.h"
+#include "test_util.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::CheckMaintenance;
+using ::mview::testing::MakeRelation;
+using ::mview::testing::T;
+
+// Example 5.1: R = {A, B}, view π_B(R),
+//   r = {(1,10), (2,10), (3,20)}  →  v = {10 x2, 20 x1}.
+class Example51Test : public ::testing::Test {
+ protected:
+  Example51Test() {
+    MakeRelation(&db_, "r", {"A", "B"}, {{1, 10}, {2, 10}, {3, 20}});
+    def_ = ViewDefinition::Project("v", "r", {"B"});
+  }
+  Database db_;
+  ViewDefinition def_;
+};
+
+TEST_F(Example51Test, CountersRecordContributions) {
+  DifferentialMaintainer m(def_, &db_);
+  CountedRelation v = m.FullEvaluate();
+  EXPECT_EQ(v.Count(T({10})), 2);
+  EXPECT_EQ(v.Count(T({20})), 1);
+}
+
+TEST_F(Example51Test, DeleteOfUniqueContributorRemovesViewTuple) {
+  // delete(R, {(3,20)}) → delete(V, {20}).
+  Transaction txn;
+  txn.Delete("r", T({3, 20}));
+  CountedRelation v = CheckMaintenance(&db_, def_, txn);
+  EXPECT_FALSE(v.Contains(T({20})));
+  EXPECT_EQ(v.Count(T({10})), 2);
+}
+
+TEST_F(Example51Test, DeleteOfSharedContributorKeepsViewTuple) {
+  // The paper's problem case: delete(R, {(1,10)}) must NOT delete 10 from
+  // the view — (2,10) still contributes.  The counter drops from 2 to 1.
+  Transaction txn;
+  txn.Delete("r", T({1, 10}));
+  CountedRelation v = CheckMaintenance(&db_, def_, txn);
+  EXPECT_TRUE(v.Contains(T({10})));
+  EXPECT_EQ(v.Count(T({10})), 1);
+}
+
+TEST_F(Example51Test, InsertingDuplicateProjectionIncrementsCounter) {
+  Transaction txn;
+  txn.Insert("r", T({9, 10}));
+  CountedRelation v = CheckMaintenance(&db_, def_, txn);
+  EXPECT_EQ(v.Count(T({10})), 3);
+}
+
+TEST_F(Example51Test, DeleteBothContributors) {
+  Transaction txn;
+  txn.Delete("r", T({1, 10})).Delete("r", T({2, 10}));
+  CountedRelation v = CheckMaintenance(&db_, def_, txn);
+  EXPECT_FALSE(v.Contains(T({10})));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST_F(Example51Test, MixedInsertDeleteOnSameProjectedValue) {
+  // Delete one contributor of 10 and insert another: net counter unchanged.
+  Transaction txn;
+  txn.Delete("r", T({1, 10})).Insert("r", T({7, 10}));
+  CountedRelation v = CheckMaintenance(&db_, def_, txn);
+  EXPECT_EQ(v.Count(T({10})), 2);
+}
+
+TEST_F(Example51Test, DeltaNormalizationCancelsOffsettingChanges) {
+  Transaction txn;
+  txn.Delete("r", T({1, 10})).Insert("r", T({7, 10}));
+  DifferentialMaintainer m(def_, &db_);
+  ViewDelta delta = m.ComputeDelta(txn.Normalize(db_));
+  // +1 and −1 on (10) cancel during Normalize().
+  EXPECT_TRUE(delta.Empty());
+}
+
+TEST(ProjectViewTest, KeyProjectionBehavesLikeCounterOne) {
+  // The paper's alternative (2): projecting a key makes every counter 1.
+  Database db;
+  MakeRelation(&db, "r", {"K", "B"}, {{1, 10}, {2, 10}});
+  ViewDefinition def = ViewDefinition::Project("v", "r", {"K", "B"});
+  DifferentialMaintainer m(def, &db);
+  CountedRelation v = m.FullEvaluate();
+  v.Scan([](const Tuple&, int64_t c) { EXPECT_EQ(c, 1); });
+  Transaction txn;
+  txn.Delete("r", T({1, 10}));
+  CheckMaintenance(&db, def, txn);
+}
+
+TEST(ProjectViewTest, ProjectionReorderingAndDuplication) {
+  Database db;
+  MakeRelation(&db, "r", {"A", "B"}, {{1, 2}});
+  ViewDefinition def = ViewDefinition::Project("v", "r", {"B", "A"});
+  DifferentialMaintainer m(def, &db);
+  CountedRelation v = m.FullEvaluate();
+  EXPECT_TRUE(v.Contains(T({2, 1})));
+}
+
+TEST(ProjectViewTest, HeavyFanInCounter) {
+  Database db;
+  Relation& r = db.CreateRelation("r", Schema::OfInts({"A", "B"}));
+  for (int64_t i = 0; i < 100; ++i) r.Insert(T({i, 7}));
+  ViewDefinition def = ViewDefinition::Project("v", "r", {"B"});
+  DifferentialMaintainer m(def, &db);
+  EXPECT_EQ(m.FullEvaluate().Count(T({7})), 100);
+  Transaction txn;
+  for (int64_t i = 0; i < 99; ++i) txn.Delete("r", T({i, 7}));
+  CountedRelation v = CheckMaintenance(&db, def, txn);
+  EXPECT_EQ(v.Count(T({7})), 1);
+}
+
+}  // namespace
+}  // namespace mview

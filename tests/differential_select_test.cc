@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "ivm/differential.h"
+#include "ivm_test_util.h"
+#include "test_util.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::CheckMaintenance;
+using ::mview::testing::MakeRelation;
+using ::mview::testing::T;
+
+// Section 5.1: a select view V = σ_C(R) is maintained by
+// v' = v ∪ σ_C(i_r) − σ_C(d_r).
+class SelectViewTest : public ::testing::Test {
+ protected:
+  SelectViewTest() {
+    MakeRelation(&db_, "r", {"A", "B"},
+                 {{1, 10}, {2, 20}, {3, 30}, {8, 80}});
+    def_ = ViewDefinition::Select("v", "r", "A < 5");
+  }
+  Database db_;
+  ViewDefinition def_;
+};
+
+TEST_F(SelectViewTest, InitialMaterialization) {
+  DifferentialMaintainer m(def_, &db_);
+  CountedRelation v = m.FullEvaluate();
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_TRUE(v.Contains(T({1, 10})));
+  EXPECT_FALSE(v.Contains(T({8, 80})));
+}
+
+TEST_F(SelectViewTest, InsertMatchingTuple) {
+  Transaction txn;
+  txn.Insert("r", T({4, 40}));
+  DifferentialMaintainer m(def_, &db_);
+  TransactionEffect effect = txn.Normalize(db_);
+  MaintenanceStats stats;
+  ViewDelta delta = m.ComputeDelta(effect, &stats);
+  EXPECT_EQ(delta.inserts.TotalCount(), 1);
+  EXPECT_TRUE(delta.inserts.Contains(T({4, 40})));
+  EXPECT_TRUE(delta.deletes.empty());
+  CheckMaintenance(&db_, def_, txn);
+}
+
+TEST_F(SelectViewTest, InsertNonMatchingTupleFilteredAsIrrelevant) {
+  Transaction txn;
+  txn.Insert("r", T({9, 90}));
+  DifferentialMaintainer m(def_, &db_);
+  MaintenanceStats stats;
+  ViewDelta delta = m.ComputeDelta(txn.Normalize(db_), &stats);
+  EXPECT_TRUE(delta.Empty());
+  // Algorithm 4.1 removed the tuple before any re-evaluation.
+  EXPECT_EQ(stats.updates_filtered, 1);
+  EXPECT_EQ(stats.rows_evaluated, 0);
+}
+
+TEST_F(SelectViewTest, DeleteMatchingTuple) {
+  Transaction txn;
+  txn.Delete("r", T({3, 30}));
+  DifferentialMaintainer m(def_, &db_);
+  ViewDelta delta = m.ComputeDelta(txn.Normalize(db_));
+  EXPECT_EQ(delta.deletes.TotalCount(), 1);
+  EXPECT_TRUE(delta.deletes.Contains(T({3, 30})));
+  CheckMaintenance(&db_, def_, txn);
+}
+
+TEST_F(SelectViewTest, MixedInsertAndDelete) {
+  Transaction txn;
+  txn.Insert("r", T({0, 5})).Delete("r", T({1, 10})).Insert("r", T({7, 70}));
+  CheckMaintenance(&db_, def_, txn);
+}
+
+TEST_F(SelectViewTest, WithoutFilterResultIsTheSame) {
+  Transaction txn;
+  txn.Insert("r", T({0, 5})).Insert("r", T({9, 90})).Delete("r", T({2, 20}));
+  MaintenanceOptions no_filter;
+  no_filter.use_irrelevance_filter = false;
+  MaintenanceStats stats;
+  CheckMaintenance(&db_, def_, txn, no_filter, &stats);
+  EXPECT_EQ(stats.updates_filtered, 0);
+}
+
+TEST_F(SelectViewTest, SelectProjectView) {
+  // σ then π with counters: two source tuples can project to one view tuple.
+  Database db;
+  MakeRelation(&db, "r", {"A", "B"}, {{1, 7}, {2, 7}, {9, 7}});
+  ViewDefinition def = ViewDefinition::Select("v", "r", "A < 5", {"B"});
+  DifferentialMaintainer m(def, &db);
+  CountedRelation v = m.FullEvaluate();
+  EXPECT_EQ(v.Count(T({7})), 2);
+  Transaction txn;
+  txn.Delete("r", T({1, 7}));
+  CountedRelation maintained = CheckMaintenance(&db, def, txn);
+  EXPECT_EQ(maintained.Count(T({7})), 1);
+}
+
+TEST_F(SelectViewTest, DisjunctiveSelectCondition) {
+  ViewDefinition def = ViewDefinition::Select("v", "r", "A < 2 || B > 50");
+  Transaction txn;
+  txn.Insert("r", T({6, 60})).Insert("r", T({6, 6})).Delete("r", T({1, 10}));
+  CheckMaintenance(&db_, def, txn);
+}
+
+TEST_F(SelectViewTest, StringConditionMaintainsExactly) {
+  Database db;
+  Relation& r = db.CreateRelation(
+      "people", Schema({{"name", ValueType::kString},
+                        {"age", ValueType::kInt64}}));
+  r.Insert(Tuple({Value("alice"), Value(30)}));
+  r.Insert(Tuple({Value("bob"), Value(40)}));
+  ViewDefinition def =
+      ViewDefinition::Select("v", "people", "name = \"alice\"");
+  Transaction txn;
+  txn.Insert("people", Tuple({Value("alice"), Value(31)}));
+  txn.Insert("people", Tuple({Value("carol"), Value(22)}));
+  txn.Delete("people", Tuple({Value("bob"), Value(40)}));
+  CountedRelation v = CheckMaintenance(&db, def, txn);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST_F(SelectViewTest, TransactionOnOtherRelationIsIgnored) {
+  MakeRelation(&db_, "unrelated", {"X"}, {{1}});
+  Transaction txn;
+  txn.Insert("unrelated", T({2}));
+  DifferentialMaintainer m(def_, &db_);
+  EXPECT_FALSE(m.AffectedBy(txn.Normalize(db_)));
+}
+
+TEST_F(SelectViewTest, DeltaStatsCountRowsEnumerated) {
+  Transaction txn;
+  txn.Insert("r", T({0, 1})).Delete("r", T({1, 10}));
+  DifferentialMaintainer m(def_, &db_);
+  MaintenanceStats stats;
+  m.ComputeDelta(txn.Normalize(db_), &stats);
+  // Single relation with both parts: rows {ins}, {del} → 2 enumerated.
+  EXPECT_EQ(stats.rows_enumerated, 2);
+  EXPECT_EQ(stats.rows_evaluated, 2);
+}
+
+}  // namespace
+}  // namespace mview

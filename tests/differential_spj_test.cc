@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "ivm/differential.h"
+#include "ivm_test_util.h"
+#include "test_util.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::CheckMaintenance;
+using ::mview::testing::MakeRelation;
+using ::mview::testing::T;
+
+// Example 5.5: R = {A, B}, S = {B, C}, V = π_A(σ_{C>10}(R ⋈ S)).
+class Example55Test : public ::testing::Test {
+ protected:
+  Example55Test() {
+    MakeRelation(&db_, "R", {"A", "B"}, {{1, 2}, {3, 4}});
+    MakeRelation(&db_, "S", {"B2", "C"}, {{2, 20}, {4, 5}});
+    def_ = ViewDefinition("v", {BaseRef{"R", {}}, BaseRef{"S", {}}},
+                          "B = B2 && C > 10", {"A"});
+  }
+  Database db_;
+  ViewDefinition def_;
+};
+
+TEST_F(Example55Test, InitialState) {
+  DifferentialMaintainer m(def_, &db_);
+  CountedRelation v = m.FullEvaluate();
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_TRUE(v.Contains(T({1})));  // only C=20 > 10
+}
+
+TEST_F(Example55Test, InsertComputesOnlyDeltaJoin) {
+  // v' = v ∪ π_A(σ_{C>10}(i_r ⋈ s)).
+  Transaction txn;
+  txn.Insert("R", T({9, 2}));
+  DifferentialMaintainer m(def_, &db_);
+  MaintenanceStats stats;
+  ViewDelta delta = m.ComputeDelta(txn.Normalize(db_), &stats);
+  EXPECT_EQ(stats.rows_evaluated, 1);
+  EXPECT_TRUE(delta.inserts.Contains(T({9})));
+  CheckMaintenance(&db_, def_, txn);
+}
+
+TEST_F(Example55Test, IrrelevantInsertIntoS) {
+  // (6, 5): C = 5 fails C > 10 — Algorithm 4.1 drops it with no evaluation.
+  Transaction txn;
+  txn.Insert("S", T({6, 5}));
+  DifferentialMaintainer m(def_, &db_);
+  MaintenanceStats stats;
+  ViewDelta delta = m.ComputeDelta(txn.Normalize(db_), &stats);
+  EXPECT_TRUE(delta.Empty());
+  EXPECT_EQ(stats.updates_filtered, 1);
+  EXPECT_EQ(stats.rows_evaluated, 0);
+}
+
+TEST_F(Example55Test, Algorithm51FullTransaction) {
+  // A transaction touching both relations with inserts and deletes.
+  Transaction txn;
+  txn.Insert("R", T({9, 4}))
+      .Delete("R", T({1, 2}))
+      .Insert("S", T({4, 50}))
+      .Delete("S", T({4, 5}));
+  CheckMaintenance(&db_, def_, txn);
+}
+
+TEST_F(Example55Test, ProjectionCountersAcrossJoin) {
+  // Two R-tuples share B=2; deleting one decrements the A-projection count.
+  Database db;
+  MakeRelation(&db, "R", {"A", "B"}, {{1, 2}, {1, 4}});
+  MakeRelation(&db, "S", {"B2", "C"}, {{2, 20}, {4, 30}});
+  ViewDefinition def("v", {BaseRef{"R", {}}, BaseRef{"S", {}}},
+                     "B = B2 && C > 10", {"A"});
+  DifferentialMaintainer m(def, &db);
+  EXPECT_EQ(m.FullEvaluate().Count(T({1})), 2);
+  Transaction txn;
+  txn.Delete("R", T({1, 2}));
+  CountedRelation v = CheckMaintenance(&db, def, txn);
+  EXPECT_EQ(v.Count(T({1})), 1);  // still visible through (1,4)-(4,30)
+}
+
+TEST_F(Example55Test, DisjunctiveSpjView) {
+  ViewDefinition def("v", {BaseRef{"R", {}}, BaseRef{"S", {}}},
+                     "(B = B2 && C > 10) || (B = B2 && A > 100)", {"A"});
+  Transaction txn;
+  txn.Insert("R", T({200, 4})).Insert("S", T({2, 11})).Delete("R", T({1, 2}));
+  CheckMaintenance(&db_, def, txn);
+}
+
+TEST_F(Example55Test, InequalityJoinView) {
+  // Non-equi join condition exercises the step-filter path.
+  ViewDefinition def("v", {BaseRef{"R", {}}, BaseRef{"S", {}}},
+                     "B < B2 && C > 10", {"A", "C"});
+  Transaction txn;
+  txn.Insert("R", T({9, 1})).Delete("S", T({2, 20})).Insert("S", T({7, 70}));
+  CheckMaintenance(&db_, def, txn);
+}
+
+TEST_F(Example55Test, OffsetJoinView) {
+  // B = B2 + 2: arithmetic join predicate from the RH class.
+  ViewDefinition def("v", {BaseRef{"R", {}}, BaseRef{"S", {}}},
+                     "B = B2 + 2", {"A", "C"});
+  Transaction txn;
+  txn.Insert("R", T({9, 4}));  // joins S-tuples with B2 = 2
+  DifferentialMaintainer m(def, &db_);
+  ViewDelta delta = m.ComputeDelta(txn.Normalize(db_));
+  EXPECT_TRUE(delta.inserts.Contains(T({9, 20})));
+  CheckMaintenance(&db_, def, txn);
+}
+
+TEST_F(Example55Test, EmptyDeltaPartsPruneRows) {
+  // Touch R only: rows naming i_S or d_S never materialize.
+  Transaction txn;
+  txn.Insert("R", T({9, 2})).Delete("R", T({3, 4}));
+  DifferentialMaintainer m(def_, &db_);
+  MaintenanceStats stats;
+  m.ComputeDelta(txn.Normalize(db_), &stats);
+  EXPECT_EQ(stats.rows_enumerated, 2);  // {i_R}, {d_R} with S clean
+  EXPECT_EQ(stats.rows_evaluated, 2);
+}
+
+TEST_F(Example55Test, FourWayChainJoinMaintained) {
+  Database db;
+  MakeRelation(&db, "r1", {"a1", "b1"}, {{1, 2}, {3, 4}});
+  MakeRelation(&db, "r2", {"b2", "c2"}, {{2, 3}, {4, 5}});
+  MakeRelation(&db, "r3", {"c3", "d3"}, {{3, 4}, {5, 6}});
+  MakeRelation(&db, "r4", {"d4", "e4"}, {{4, 5}, {6, 7}});
+  ViewDefinition def("chain",
+                     {BaseRef{"r1", {}}, BaseRef{"r2", {}}, BaseRef{"r3", {}},
+                      BaseRef{"r4", {}}},
+                     "b1 = b2 && c2 = c3 && d3 = d4", {"a1", "e4"});
+  Transaction txn;
+  txn.Insert("r1", T({9, 2}))
+      .Insert("r2", T({4, 3}))
+      .Delete("r3", T({5, 6}))
+      .Insert("r4", T({4, 100}));
+  CheckMaintenance(&db, def, txn);
+}
+
+TEST_F(Example55Test, SkewedUpdateBothSidesOfJoinKey) {
+  // Insert many tuples sharing one join key; counts must multiply.
+  Database db;
+  MakeRelation(&db, "R", {"A", "B"}, {});
+  MakeRelation(&db, "S", {"B2", "C"}, {});
+  ViewDefinition def("v", {BaseRef{"R", {}}, BaseRef{"S", {}}}, "B = B2",
+                     {"B"});
+  Transaction txn;
+  for (int64_t i = 0; i < 5; ++i) txn.Insert("R", T({i, 7}));
+  for (int64_t i = 0; i < 3; ++i) txn.Insert("S", T({7, 100 + i}));
+  CountedRelation v = CheckMaintenance(&db, def, txn);
+  EXPECT_EQ(v.Count(T({7})), 15);
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,166 @@
+#include "ra/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/error.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::MakeRelation;
+using ::mview::testing::Rows;
+using ::mview::testing::T;
+using ::mview::testing::TC;
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  ExprEvalTest() {
+    MakeRelation(&db_, "r", {"A", "B"}, {{1, 2}, {2, 10}, {5, 10}});
+    MakeRelation(&db_, "s", {"C", "D"}, {{10, 5}, {20, 12}});
+  }
+  Database db_;
+};
+
+TEST_F(ExprEvalTest, BaseRelation) {
+  auto v = Evaluate(*Expr::Base("r"), db_);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.Count(T({1, 2})), 1);
+}
+
+TEST_F(ExprEvalTest, UnknownBaseThrows) {
+  EXPECT_THROW(Evaluate(*Expr::Base("nope"), db_), Error);
+}
+
+TEST_F(ExprEvalTest, Select) {
+  auto v = Evaluate(*Expr::Select(Expr::Base("r"), "B = 10"), db_);
+  EXPECT_EQ(Rows(v), (std::vector<std::pair<Tuple, int64_t>>{
+                         TC({2, 10}, 1), TC({5, 10}, 1)}));
+}
+
+TEST_F(ExprEvalTest, ProjectSumsCounts) {
+  // π_B(r): B = 10 appears twice → count 2 (Section 5.2).
+  auto v = Evaluate(*Expr::Project(Expr::Base("r"), {"B"}), db_);
+  EXPECT_EQ(Rows(v), (std::vector<std::pair<Tuple, int64_t>>{TC({2}, 1),
+                                                             TC({10}, 2)}));
+}
+
+TEST_F(ExprEvalTest, Product) {
+  auto v = Evaluate(*Expr::Product(Expr::Base("r"), Expr::Base("s")), db_);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v.Count(T({1, 2, 10, 5})), 1);
+}
+
+TEST_F(ExprEvalTest, ProductWithSharedAttributesThrows) {
+  EXPECT_THROW(Evaluate(*Expr::Product(Expr::Base("r"), Expr::Base("r")), db_),
+               Error);
+}
+
+TEST_F(ExprEvalTest, NaturalJoinOnSharedAttribute) {
+  // r(A,B) ⋈ t(B,E) joins on B.
+  MakeRelation(&db_, "t", {"B", "E"}, {{10, 7}, {2, 9}});
+  auto v = Evaluate(*Expr::NaturalJoin(Expr::Base("r"), Expr::Base("t")), db_);
+  EXPECT_EQ(Rows(v), (std::vector<std::pair<Tuple, int64_t>>{
+                         TC({1, 2, 9}, 1), TC({2, 10, 7}, 1),
+                         TC({5, 10, 7}, 1)}));
+}
+
+TEST_F(ExprEvalTest, NaturalJoinWithNoSharedAttributesIsProduct) {
+  auto join = Evaluate(*Expr::NaturalJoin(Expr::Base("r"), Expr::Base("s")),
+                       db_);
+  auto prod = Evaluate(*Expr::Product(Expr::Base("r"), Expr::Base("s")), db_);
+  EXPECT_TRUE(join.SameContents(prod));
+}
+
+TEST_F(ExprEvalTest, JoinMultipliesCounts) {
+  // Duplicate B values on both sides after projection.
+  MakeRelation(&db_, "u", {"B", "F"}, {{10, 1}, {10, 2}});
+  // π_B(r) has (10)x2; π_B(u) has (10)x2 → join on B gives count 4.
+  auto v = Evaluate(*Expr::NaturalJoin(Expr::Project(Expr::Base("r"), {"B"}),
+                                       Expr::Project(Expr::Base("u"), {"B"})),
+                    db_);
+  EXPECT_EQ(v.Count(T({10})), 4);
+}
+
+TEST_F(ExprEvalTest, UnionAddsCounts) {
+  auto v = Evaluate(*Expr::Union(Expr::Project(Expr::Base("r"), {"B"}),
+                                 Expr::Project(Expr::Base("r"), {"B"})),
+                    db_);
+  EXPECT_EQ(v.Count(T({10})), 4);
+  EXPECT_EQ(v.Count(T({2})), 2);
+}
+
+TEST_F(ExprEvalTest, UnionSchemaMismatchThrows) {
+  EXPECT_THROW(Evaluate(*Expr::Union(Expr::Base("r"), Expr::Base("s")), db_),
+               Error);
+}
+
+TEST_F(ExprEvalTest, DifferenceSubtractsCounts) {
+  auto v = Evaluate(
+      *Expr::Difference(Expr::Project(Expr::Base("r"), {"B"}),
+                        Expr::Project(
+                            Expr::Select(Expr::Base("r"), "A = 2"), {"B"})),
+      db_);
+  EXPECT_EQ(v.Count(T({10})), 1);
+  EXPECT_EQ(v.Count(T({2})), 1);
+}
+
+TEST_F(ExprEvalTest, ProjectionDistributesOverDifferenceWithCounts) {
+  // The motivating law of Section 5.2: π(r1 − r2) = π(r1) − π(r2) under
+  // counting semantics.  r1 = r, r2 = σ_{A=2}(r).
+  auto lhs = Evaluate(
+      *Expr::Project(
+          Expr::Difference(Expr::Base("r"),
+                           Expr::Select(Expr::Base("r"), "A = 2")),
+          {"B"}),
+      db_);
+  auto rhs = Evaluate(
+      *Expr::Difference(
+          Expr::Project(Expr::Base("r"), {"B"}),
+          Expr::Project(Expr::Select(Expr::Base("r"), "A = 2"), {"B"})),
+      db_);
+  EXPECT_TRUE(lhs.SameContents(rhs));
+}
+
+TEST_F(ExprEvalTest, Rename) {
+  auto v = Evaluate(*Expr::Rename(Expr::Base("r"), {{"A", "X"}}), db_);
+  EXPECT_TRUE(v.schema().Contains("X"));
+  EXPECT_FALSE(v.schema().Contains("A"));
+  EXPECT_EQ(v.Count(T({1, 2})), 1);
+}
+
+TEST_F(ExprEvalTest, RenameUnknownAttributeThrows) {
+  EXPECT_THROW(Evaluate(*Expr::Rename(Expr::Base("r"), {{"Z", "X"}}), db_),
+               Error);
+}
+
+TEST_F(ExprEvalTest, SelfJoinViaRename) {
+  // σ_{A < A2}(r × ρ(r)): pairs of r-tuples with increasing A.
+  auto renamed =
+      Expr::Rename(Expr::Base("r"), {{"A", "A2"}, {"B", "B2"}});
+  auto v = Evaluate(
+      *Expr::Select(Expr::Product(Expr::Base("r"), renamed), "A < A2"), db_);
+  EXPECT_EQ(v.size(), 3u);  // (1,2),(2,10),(5,10): pairs 1<2, 1<5, 2<5
+}
+
+TEST_F(ExprEvalTest, Example55Expression) {
+  // Example 5.5: V = π_A(σ_{C>10}(R ⋈ S)) with R={A,B}, S={B,C}.
+  Database db;
+  MakeRelation(&db, "R", {"A", "B"}, {{1, 2}, {3, 4}});
+  MakeRelation(&db, "S", {"B", "C"}, {{2, 20}, {4, 5}});
+  auto v = Evaluate(*Expr::Project(Expr::Select(Expr::NaturalJoin(
+                                                    Expr::Base("R"),
+                                                    Expr::Base("S")),
+                                                "C > 10"),
+                                   {"A"}),
+                    db);
+  EXPECT_EQ(Rows(v), (std::vector<std::pair<Tuple, int64_t>>{TC({1}, 1)}));
+}
+
+TEST_F(ExprEvalTest, ToStringRendering) {
+  auto e = Expr::Project(Expr::Select(Expr::Base("r"), "A < 10"), {"B"});
+  EXPECT_EQ(e->ToString(), "π{B}(σ[A < 10](r))");
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,165 @@
+#include "ivm/integrity.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/error.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::MakeRelation;
+using ::mview::testing::T;
+
+class IntegrityTest : public ::testing::Test {
+ protected:
+  IntegrityTest() : guard_(&db_) {
+    // accounts(id, balance); transfers(src, amount).
+    MakeRelation(&db_, "accounts", {"id", "balance"},
+                 {{1, 100}, {2, 50}});
+    MakeRelation(&db_, "transfers", {"src", "amount"}, {});
+  }
+  Database db_;
+  IntegrityGuard guard_;
+};
+
+TEST_F(IntegrityTest, SingleRelationAssertionBlocksViolation) {
+  // Error predicate: a negative balance.
+  guard_.AddAssertion("non_negative", {"accounts"}, "balance < 0");
+  EXPECT_TRUE(guard_.AllHold());
+  Transaction bad;
+  bad.Insert("accounts", T({3, -10}));
+  std::vector<IntegrityGuard::Violation> violations;
+  EXPECT_FALSE(guard_.TryApply(bad, &violations));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].assertion, "non_negative");
+  ASSERT_EQ(violations[0].witnesses.size(), 1u);
+  EXPECT_EQ(violations[0].witnesses[0], T({3, -10}));
+  // Rejected: the database is untouched.
+  EXPECT_FALSE(db_.Get("accounts").Contains(T({3, -10})));
+  EXPECT_TRUE(guard_.AllHold());
+}
+
+TEST_F(IntegrityTest, ValidTransactionCommits) {
+  guard_.AddAssertion("non_negative", {"accounts"}, "balance < 0");
+  Transaction good;
+  good.Insert("accounts", T({3, 10})).Delete("accounts", T({2, 50}));
+  EXPECT_TRUE(guard_.TryApply(good));
+  EXPECT_TRUE(db_.Get("accounts").Contains(T({3, 10})));
+  EXPECT_FALSE(db_.Get("accounts").Contains(T({2, 50})));
+}
+
+TEST_F(IntegrityTest, IrrelevantUpdatesAreFilteredNotEvaluated) {
+  guard_.AddAssertion("non_negative", {"accounts"}, "balance < 0");
+  for (int64_t i = 10; i < 30; ++i) {
+    Transaction txn;
+    txn.Insert("accounts", T({i, i * 10}));
+    EXPECT_TRUE(guard_.TryApply(txn));
+  }
+  const MaintenanceStats& stats = guard_.Stats("non_negative");
+  EXPECT_EQ(stats.updates_filtered, 20);
+  EXPECT_EQ(stats.rows_evaluated, 0);
+}
+
+TEST_F(IntegrityTest, CrossRelationAssertion) {
+  // Error: a transfer whose amount exceeds the source account's balance.
+  guard_.AddAssertion("sufficient_funds", {"transfers", "accounts"},
+                      "src = id && amount > balance");
+  Transaction ok;
+  ok.Insert("transfers", T({1, 80}));
+  EXPECT_TRUE(guard_.TryApply(ok));
+  Transaction overdraft;
+  overdraft.Insert("transfers", T({2, 80}));  // account 2 has 50
+  std::vector<IntegrityGuard::Violation> violations;
+  EXPECT_FALSE(guard_.TryApply(overdraft, &violations));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_FALSE(db_.Get("transfers").Contains(T({2, 80})));
+}
+
+TEST_F(IntegrityTest, ViolationThroughOtherRelation) {
+  guard_.AddAssertion("sufficient_funds", {"transfers", "accounts"},
+                      "src = id && amount > balance");
+  ASSERT_TRUE(guard_.TryApply(
+      Transaction().Insert("transfers", T({1, 80}))));
+  // Lowering the balance below an existing transfer is also a violation.
+  Transaction lower;
+  lower.Update("accounts", T({1, 100}), T({1, 60}));
+  std::vector<IntegrityGuard::Violation> violations;
+  EXPECT_FALSE(guard_.TryApply(lower, &violations));
+  EXPECT_TRUE(db_.Get("accounts").Contains(T({1, 100})));
+}
+
+TEST_F(IntegrityTest, RemovingViolationSourceIsAllowed) {
+  guard_.AddAssertion("sufficient_funds", {"transfers", "accounts"},
+                      "src = id && amount > balance");
+  ASSERT_TRUE(
+      guard_.TryApply(Transaction().Insert("transfers", T({1, 80}))));
+  // Deleting the account would NOT create a violating combination (the
+  // join partner disappears), so it is admitted.
+  Transaction del;
+  del.Delete("accounts", T({1, 100}));
+  EXPECT_TRUE(guard_.TryApply(del));
+}
+
+TEST_F(IntegrityTest, ApplyAndReportDoesNotBlock) {
+  guard_.AddAssertion("non_negative", {"accounts"}, "balance < 0");
+  Transaction bad;
+  bad.Insert("accounts", T({3, -10}));
+  auto violations = guard_.ApplyAndReport(bad);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_TRUE(db_.Get("accounts").Contains(T({3, -10})));
+  EXPECT_FALSE(guard_.AllHold());
+  auto current = guard_.CurrentViolations();
+  ASSERT_EQ(current.size(), 1u);
+  EXPECT_EQ(current[0].witnesses.size(), 1u);
+}
+
+TEST_F(IntegrityTest, PreexistingViolationsDoNotBlockUnrelatedWork) {
+  Transaction seed;
+  seed.Insert("accounts", T({9, -5}));
+  seed.Normalize(db_).ApplyTo(&db_);
+  guard_.AddAssertion("non_negative", {"accounts"}, "balance < 0");
+  EXPECT_FALSE(guard_.AllHold());
+  // New, unrelated work still commits (only NEW violations block).
+  Transaction ok;
+  ok.Insert("accounts", T({10, 5}));
+  EXPECT_TRUE(guard_.TryApply(ok));
+  // Clearing the bad row restores integrity.
+  Transaction fix;
+  fix.Delete("accounts", T({9, -5}));
+  EXPECT_TRUE(guard_.TryApply(fix));
+  EXPECT_TRUE(guard_.AllHold());
+}
+
+TEST_F(IntegrityTest, MultipleAssertionsReportTogether) {
+  guard_.AddAssertion("non_negative", {"accounts"}, "balance < 0");
+  guard_.AddAssertion("small_ids", {"accounts"}, "id > 1000");
+  Transaction bad;
+  bad.Insert("accounts", T({2000, -1}));
+  std::vector<IntegrityGuard::Violation> violations;
+  EXPECT_FALSE(guard_.TryApply(bad, &violations));
+  EXPECT_EQ(violations.size(), 2u);
+}
+
+TEST_F(IntegrityTest, AdminOperations) {
+  guard_.AddAssertion("a", {"accounts"}, "balance < 0");
+  guard_.AddAssertion("b", {"accounts"}, "id > 1000");
+  EXPECT_EQ(guard_.AssertionNames(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_THROW(guard_.AddAssertion("a", {"accounts"}, "balance < 0"), Error);
+  guard_.DropAssertion("a");
+  EXPECT_THROW(guard_.DropAssertion("a"), Error);
+  EXPECT_THROW(guard_.Stats("a"), Error);
+  Transaction bad;
+  bad.Insert("accounts", T({3, -10}));
+  EXPECT_TRUE(guard_.TryApply(bad));  // only "b" remains
+}
+
+TEST_F(IntegrityTest, EmptyTransactionAlwaysPasses) {
+  guard_.AddAssertion("non_negative", {"accounts"}, "balance < 0");
+  Transaction noop;
+  noop.Insert("accounts", T({1, 100}));  // already present
+  EXPECT_TRUE(guard_.TryApply(noop));
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,37 @@
+#ifndef MVIEW_TESTS_IVM_TEST_UTIL_H_
+#define MVIEW_TESTS_IVM_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "db/transaction.h"
+#include "ivm/differential.h"
+#include "ivm/view_def.h"
+
+namespace mview::testing {
+
+/// Runs one transaction through differential maintenance and verifies the
+/// result against full re-evaluation: materializes the view, computes the
+/// delta on the pre-state, applies the transaction, applies the delta, and
+/// EXPECTs the maintained view to equal a from-scratch evaluation of the
+/// post-state.  Returns the maintained view.
+inline CountedRelation CheckMaintenance(
+    Database* db, const ViewDefinition& def, const Transaction& txn,
+    MaintenanceOptions options = MaintenanceOptions{},
+    MaintenanceStats* stats = nullptr) {
+  DifferentialMaintainer maintainer(def, db, options);
+  CountedRelation view = maintainer.FullEvaluate();
+  TransactionEffect effect = txn.Normalize(*db);
+  ViewDelta delta = maintainer.ComputeDelta(effect, stats);
+  effect.ApplyTo(db);
+  delta.ApplyTo(&view);
+  CountedRelation expected = maintainer.FullEvaluate();
+  EXPECT_TRUE(view.SameContents(expected))
+      << "view " << def.ToString() << "\nmaintained:\n"
+      << view.ToString() << "expected:\n"
+      << expected.ToString();
+  return view;
+}
+
+}  // namespace mview::testing
+
+#endif  // MVIEW_TESTS_IVM_TEST_UTIL_H_

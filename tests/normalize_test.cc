@@ -1,0 +1,89 @@
+#include "predicate/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace mview {
+namespace {
+
+TEST(NormalizeTest, VarConstLe) {
+  auto cs = NormalizeAtom(Atom::VarConst("x", CompareOp::kLe, Value(5)));
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].ToString(), "x - 0 <= 5");
+}
+
+TEST(NormalizeTest, VarConstLtFoldsMinusOne) {
+  // x < 5 over integers ⇔ x ≤ 4 (Section 4's normalization).
+  auto cs = NormalizeAtom(Atom::VarConst("x", CompareOp::kLt, Value(5)));
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].ToString(), "x - 0 <= 4");
+}
+
+TEST(NormalizeTest, VarConstGe) {
+  auto cs = NormalizeAtom(Atom::VarConst("x", CompareOp::kGe, Value(5)));
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].ToString(), "0 - x <= -5");
+}
+
+TEST(NormalizeTest, VarConstGtFoldsPlusOne) {
+  // x > 5 ⇔ x ≥ 6 ⇔ 0 − x ≤ −6.
+  auto cs = NormalizeAtom(Atom::VarConst("x", CompareOp::kGt, Value(5)));
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].ToString(), "0 - x <= -6");
+}
+
+TEST(NormalizeTest, EqualitySplitsIntoTwoInequalities) {
+  auto cs = NormalizeAtom(Atom::VarConst("x", CompareOp::kEq, Value(5)));
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].ToString(), "x - 0 <= 5");
+  EXPECT_EQ(cs[1].ToString(), "0 - x <= -5");
+}
+
+TEST(NormalizeTest, VarVarWithOffset) {
+  auto cs = NormalizeAtom(Atom::VarVar("x", CompareOp::kLe, "y", 3));
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].ToString(), "x - y <= 3");
+}
+
+TEST(NormalizeTest, VarVarLtWithOffset) {
+  // x < y + 3 ⇔ x − y ≤ 2 (the paper: x ≤ y + c − 1).
+  auto cs = NormalizeAtom(Atom::VarVar("x", CompareOp::kLt, "y", 3));
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].ToString(), "x - y <= 2");
+}
+
+TEST(NormalizeTest, VarVarGtWithOffset) {
+  // x > y + 3 ⇔ y − x ≤ −4 (the paper: x ≥ y + c + 1).
+  auto cs = NormalizeAtom(Atom::VarVar("x", CompareOp::kGt, "y", 3));
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].ToString(), "y - x <= -4");
+}
+
+TEST(NormalizeTest, VarVarEquality) {
+  // x = y + c ⇔ (x ≤ y + c) ∧ (x ≥ y + c), per Section 4.
+  auto cs = NormalizeAtom(Atom::VarVar("x", CompareOp::kEq, "y", 3));
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].ToString(), "x - y <= 3");
+  EXPECT_EQ(cs[1].ToString(), "y - x <= -3");
+}
+
+TEST(NormalizeTest, NeThrows) {
+  EXPECT_THROW(NormalizeAtom(Atom::VarVar("x", CompareOp::kNe, "y")), Error);
+}
+
+TEST(NormalizeTest, StringConstantThrows) {
+  EXPECT_THROW(NormalizeAtom(Atom::VarConst("x", CompareOp::kEq, Value("s"))),
+               Error);
+}
+
+TEST(NormalizeTest, ConjunctionNormalizesAllAtoms) {
+  Conjunction c;
+  c.atoms.push_back(Atom::VarConst("x", CompareOp::kEq, Value(1)));
+  c.atoms.push_back(Atom::VarVar("x", CompareOp::kLt, "y"));
+  auto cs = NormalizeConjunction(c);
+  EXPECT_EQ(cs.size(), 3u);  // equality contributes two constraints
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,186 @@
+#include "predicate/satisfiability.h"
+
+#include <gtest/gtest.h>
+
+#include "predicate/parser.h"
+#include "util/error.h"
+#include "util/random.h"
+
+namespace mview {
+namespace {
+
+Schema Vars(const std::vector<std::string>& names) {
+  return Schema::OfInts(names);
+}
+
+// Brute-force satisfiability oracle: tries every assignment of the
+// condition's variables over [lo, hi].  For RH constraints with constants
+// bounded by C over n variables, any satisfiable system has a solution
+// within an O(n·C) window, so a generous window is exact on small inputs.
+bool BruteForceSatisfiable(const Condition& condition, int64_t lo,
+                           int64_t hi) {
+  std::set<std::string> var_set = condition.Variables();
+  std::vector<std::string> vars(var_set.begin(), var_set.end());
+  Schema schema = Schema::OfInts(vars);
+  std::vector<int64_t> assignment(vars.size(), lo);
+  while (true) {
+    std::vector<Value> values(assignment.begin(), assignment.end());
+    if (condition.Evaluate(schema, Tuple(std::move(values)))) return true;
+    size_t i = 0;
+    while (i < assignment.size() && assignment[i] == hi) {
+      assignment[i] = lo;
+      ++i;
+    }
+    if (i == assignment.size()) return false;
+    ++assignment[i];
+  }
+}
+
+TEST(SatisfiabilityTest, TrivialCases) {
+  Schema s = Vars({"x"});
+  EXPECT_TRUE(IsConjunctionSatisfiable(Conjunction{}, s));
+  EXPECT_FALSE(IsConditionSatisfiable(Condition::False(), s));
+  EXPECT_TRUE(IsConditionSatisfiable(Condition::True(), s));
+}
+
+TEST(SatisfiabilityTest, SimpleContradiction) {
+  Schema s = Vars({"x"});
+  EXPECT_FALSE(IsConditionSatisfiable(ParseCondition("x < 5 && x > 5"), s));
+  EXPECT_TRUE(IsConditionSatisfiable(ParseCondition("x <= 5 && x >= 5"), s));
+  // Integer semantics: 5 < x < 6 has no solution.
+  EXPECT_FALSE(IsConditionSatisfiable(ParseCondition("x > 5 && x < 6"), s));
+  EXPECT_TRUE(IsConditionSatisfiable(ParseCondition("x > 5 && x < 7"), s));
+}
+
+TEST(SatisfiabilityTest, TransitiveChainContradiction) {
+  Schema s = Vars({"x", "y", "z"});
+  EXPECT_FALSE(IsConditionSatisfiable(
+      ParseCondition("x < y && y < z && z < x"), s));
+  EXPECT_TRUE(IsConditionSatisfiable(
+      ParseCondition("x < y && y < z && z > x"), s));
+}
+
+TEST(SatisfiabilityTest, OffsetChain) {
+  Schema s = Vars({"x", "y"});
+  // x ≥ y + 3 and x ≤ y + 2: contradiction.
+  EXPECT_FALSE(IsConditionSatisfiable(
+      ParseCondition("x >= y + 3 && x <= y + 2"), s));
+  EXPECT_TRUE(IsConditionSatisfiable(
+      ParseCondition("x >= y + 3 && x <= y + 3"), s));
+}
+
+TEST(SatisfiabilityTest, EqualityPropagation) {
+  Schema s = Vars({"x", "y", "z"});
+  EXPECT_FALSE(IsConditionSatisfiable(
+      ParseCondition("x = y && y = z && x < z"), s));
+  EXPECT_FALSE(IsConditionSatisfiable(
+      ParseCondition("x = y + 1 && y = z && x <= z"), s));
+}
+
+TEST(SatisfiabilityTest, DnfIsSatisfiableWhenAnyDisjunctIs) {
+  Schema s = Vars({"x"});
+  EXPECT_TRUE(IsConditionSatisfiable(
+      ParseCondition("(x < 5 && x > 5) || x = 3"), s));
+  EXPECT_FALSE(IsConditionSatisfiable(
+      ParseCondition("(x < 5 && x > 5) || (x < 0 && x > 0)"), s));
+}
+
+TEST(SatisfiabilityTest, PaperExample41Substituted) {
+  // Example 4.1: C(9,10,C) = (9 < 10) ∧ (C > 5) ∧ (10 = C) is satisfiable;
+  // C(11,10,C) = (11 < 10) ∧ (C > 5) ∧ (10 = C) is not.  Encoded with the
+  // substituted values as constant atoms on a fresh variable "c".
+  Schema s = Vars({"c"});
+  EXPECT_TRUE(
+      IsConditionSatisfiable(ParseCondition("c > 5 && c = 10"), s));
+  // 11 < 10 is false, i.e. the disjunct is dropped entirely; model it as an
+  // unsatisfiable constant constraint c < c.
+  EXPECT_FALSE(IsConditionSatisfiable(
+      ParseCondition("c > 5 && c = 10 && c < c"), s));
+}
+
+TEST(SatisfiabilityTest, NonRhAtomThrowsInStrictApi) {
+  Schema s = Vars({"x", "y"});
+  EXPECT_THROW(
+      IsConditionSatisfiable(ParseCondition("x != y"), s), Error);
+}
+
+TEST(SatisfiabilityTest, RelaxedCheckOnNonRhAtoms) {
+  Schema s({{"x", ValueType::kInt64}, {"name", ValueType::kString}});
+  // ≠ atom alone: cannot decide → unknown.
+  Conjunction ne;
+  ne.atoms.push_back(Atom::VarVar("x", CompareOp::kNe, "x"));
+  EXPECT_EQ(CheckConjunction(ne, s), Satisfiability::kUnknown);
+  // RH subset already contradictory → unsatisfiable even with a string atom.
+  Conjunction mixed;
+  mixed.atoms.push_back(Atom::VarConst("x", CompareOp::kLt, Value(0)));
+  mixed.atoms.push_back(Atom::VarConst("x", CompareOp::kGt, Value(0)));
+  mixed.atoms.push_back(Atom::VarConst("name", CompareOp::kEq, Value("a")));
+  EXPECT_EQ(CheckConjunction(mixed, s), Satisfiability::kUnsatisfiable);
+  // Satisfiable RH subset + undecidable extra → unknown.
+  Conjunction maybe;
+  maybe.atoms.push_back(Atom::VarConst("x", CompareOp::kLt, Value(0)));
+  maybe.atoms.push_back(Atom::VarConst("name", CompareOp::kEq, Value("a")));
+  EXPECT_EQ(CheckConjunction(maybe, s), Satisfiability::kUnknown);
+}
+
+TEST(SatisfiabilityTest, RelaxedConditionVerdicts) {
+  Schema s({{"x", ValueType::kInt64}, {"name", ValueType::kString}});
+  Condition pure_sat = ParseCondition("x < 5");
+  EXPECT_EQ(CheckCondition(pure_sat, s), Satisfiability::kSatisfiable);
+  Condition pure_unsat = ParseCondition("x < 5 && x > 5");
+  EXPECT_EQ(CheckCondition(pure_unsat, s), Satisfiability::kUnsatisfiable);
+  Condition mixed = ParseCondition("(x < 5 && x > 5) || name = \"a\"");
+  EXPECT_EQ(CheckCondition(mixed, s), Satisfiability::kUnknown);
+}
+
+TEST(SatisfiabilityTest, BothAlgorithmsAgreeOnHandCases) {
+  Schema s = Vars({"x", "y", "z"});
+  for (const char* text :
+       {"x < y && y < z && z < x", "x < y && y < z", "x = y && y = z",
+        "x <= y + 2 && y <= z - 3 && z <= x - 1",
+        "x >= 5 && x <= 4"}) {
+    Condition c = ParseCondition(text);
+    EXPECT_EQ(IsConditionSatisfiable(c, s, SatAlgorithm::kFloydWarshall),
+              IsConditionSatisfiable(c, s, SatAlgorithm::kBellmanFord))
+        << text;
+  }
+}
+
+// Randomized cross-check against the brute-force oracle (Theorem 4.1's
+// machinery must be exact: both directions).
+//
+// The window [-8, 8] is exact for these inputs: a satisfiable difference-
+// constraint system over 3 variables with |constants| ≤ 2 has a solution
+// where every variable lies within (#vars + 1) · max|c| = 8 of zero.
+TEST(SatisfiabilityPropertyTest, MatchesBruteForceOnRandomConjunctions) {
+  Rng rng(2024);
+  const std::vector<std::string> names = {"a", "b", "c"};
+  Schema schema = Vars(names);
+  for (int trial = 0; trial < 400; ++trial) {
+    Conjunction conj;
+    size_t num_atoms = static_cast<size_t>(rng.Uniform(1, 5));
+    for (size_t i = 0; i < num_atoms; ++i) {
+      CompareOp ops[] = {CompareOp::kEq, CompareOp::kLt, CompareOp::kLe,
+                         CompareOp::kGt, CompareOp::kGe};
+      CompareOp op = ops[rng.Uniform(0, 4)];
+      const std::string& lhs = names[rng.Uniform(0, 2)];
+      if (rng.Bernoulli(0.5)) {
+        conj.atoms.push_back(
+            Atom::VarConst(lhs, op, Value(rng.Uniform(-2, 2))));
+      } else {
+        const std::string& rhs = names[rng.Uniform(0, 2)];
+        conj.atoms.push_back(Atom::VarVar(lhs, op, rhs, rng.Uniform(-1, 1)));
+      }
+    }
+    Condition condition({conj});
+    bool fast = IsConditionSatisfiable(condition, schema);
+    bool brute = BruteForceSatisfiable(condition, -8, 8);
+    EXPECT_EQ(fast, brute) << condition.ToString();
+    bool bf = IsConditionSatisfiable(condition, schema,
+                                     SatAlgorithm::kBellmanFord);
+    EXPECT_EQ(fast, bf) << condition.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,137 @@
+#include "ivm/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "ivm/view_manager.h"
+#include "test_util.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::MakeRelation;
+using ::mview::testing::T;
+
+TEST(BaseDeltaLogTest, LogsNetInsertsAndDeletes) {
+  BaseDeltaLog log(Schema::OfInts({"A"}));
+  log.LogInsert(T({1}));
+  log.LogDelete(T({2}));
+  EXPECT_TRUE(log.inserts().Contains(T({1})));
+  EXPECT_TRUE(log.deletes().Contains(T({2})));
+  EXPECT_EQ(log.TotalTuples(), 2u);
+}
+
+TEST(BaseDeltaLogTest, InsertCancelsPriorDelete) {
+  // Tuple present at snapshot time, deleted, then re-inserted → no net
+  // change relative to the snapshot.
+  BaseDeltaLog log(Schema::OfInts({"A"}));
+  log.LogDelete(T({1}));
+  log.LogInsert(T({1}));
+  EXPECT_TRUE(log.Empty());
+}
+
+TEST(BaseDeltaLogTest, DeleteCancelsPriorInsert) {
+  BaseDeltaLog log(Schema::OfInts({"A"}));
+  log.LogInsert(T({1}));
+  log.LogDelete(T({1}));
+  EXPECT_TRUE(log.Empty());
+}
+
+TEST(BaseDeltaLogTest, ClearForgetsEverything) {
+  BaseDeltaLog log(Schema::OfInts({"A"}));
+  log.LogInsert(T({1}));
+  log.LogDelete(T({2}));
+  log.Clear();
+  EXPECT_TRUE(log.Empty());
+  // Still usable after Clear.
+  log.LogInsert(T({3}));
+  EXPECT_EQ(log.TotalTuples(), 1u);
+}
+
+class SnapshotRefreshTest : public ::testing::Test {
+ protected:
+  SnapshotRefreshTest() : vm_(&db_) {
+    MakeRelation(&db_, "R", {"A", "B"}, {{1, 2}, {3, 4}});
+    MakeRelation(&db_, "S", {"B2", "C"}, {{2, 20}, {4, 40}});
+    def_ = ViewDefinition("snap", {BaseRef{"R", {}}, BaseRef{"S", {}}},
+                          "B = B2", {"A", "C"});
+  }
+  Database db_;
+  ViewManager vm_;
+  ViewDefinition def_;
+};
+
+TEST_F(SnapshotRefreshTest, RefreshAfterInsertDeleteChurn) {
+  vm_.RegisterView(def_, MaintenanceMode::kDeferred);
+  // Churn: insert a tuple, delete it again, delete an original, re-add it.
+  {
+    Transaction txn;
+    txn.Insert("R", T({9, 2}));
+    vm_.Apply(txn);
+  }
+  {
+    Transaction txn;
+    txn.Delete("R", T({9, 2})).Delete("R", T({1, 2}));
+    vm_.Apply(txn);
+  }
+  {
+    Transaction txn;
+    txn.Insert("R", T({1, 2})).Insert("S", T({2, 21}));
+    vm_.Apply(txn);
+  }
+  // Net change relative to the snapshot: only the S insert.
+  EXPECT_EQ(vm_.PendingTuples("snap"), 1u);
+  vm_.Refresh("snap");
+  DifferentialMaintainer oracle(def_, &db_);
+  EXPECT_TRUE(vm_.View("snap").SameContents(oracle.FullEvaluate()));
+}
+
+TEST_F(SnapshotRefreshTest, FilteredLoggingSkipsIrrelevantUpdates) {
+  ViewDefinition filtered("snap", {BaseRef{"R", {}}, BaseRef{"S", {}}},
+                          "B = B2 && C > 100", {"A", "C"});
+  vm_.RegisterView(filtered, MaintenanceMode::kDeferred);
+  Transaction txn;
+  txn.Insert("S", T({2, 50}));  // C = 50 ≤ 100 → provably irrelevant
+  vm_.Apply(txn);
+  EXPECT_EQ(vm_.PendingTuples("snap"), 0u);
+  EXPECT_FALSE(vm_.IsStale("snap"));
+  EXPECT_EQ(vm_.Stats("snap").updates_filtered, 1);
+}
+
+TEST_F(SnapshotRefreshTest, RepeatedRefreshCycles) {
+  vm_.RegisterView(def_, MaintenanceMode::kDeferred);
+  DifferentialMaintainer oracle(def_, &db_);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      Transaction txn;
+      txn.Insert("R", T({100 + round * 10 + i, 2}));
+      if (round > 0) txn.Delete("R", T({100 + (round - 1) * 10 + i, 2}));
+      vm_.Apply(txn);
+    }
+    vm_.Refresh("snap");
+    EXPECT_TRUE(vm_.View("snap").SameContents(oracle.FullEvaluate()))
+        << "round " << round;
+  }
+  EXPECT_EQ(vm_.Stats("snap").refreshes, 5);
+}
+
+TEST_F(SnapshotRefreshTest, DeferredAndImmediateAgreeUnderChurn) {
+  vm_.RegisterView(def_, MaintenanceMode::kDeferred);
+  ViewDefinition live("live", def_.bases(), "B = B2",
+                      std::vector<std::string>{"A", "C"});
+  vm_.RegisterView(live, MaintenanceMode::kImmediate);
+  for (int64_t i = 0; i < 30; ++i) {
+    Transaction txn;
+    txn.Insert("R", T({i, i % 4}));
+    txn.Insert("S", T({i % 4, i}));
+    if (i > 5) {
+      txn.Delete("R", T({i - 5, (i - 5) % 4}));
+      txn.Delete("S", T({(i - 3) % 4, i - 3}));
+    }
+    vm_.Apply(txn);
+  }
+  vm_.Refresh("snap");
+  EXPECT_TRUE(vm_.View("snap").SameContents(vm_.View("live")));
+}
+
+}  // namespace
+}  // namespace mview

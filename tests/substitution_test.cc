@@ -1,0 +1,253 @@
+#include "predicate/substitution.h"
+
+#include <gtest/gtest.h>
+
+#include "predicate/parser.h"
+#include "predicate/satisfiability.h"
+#include "test_util.h"
+#include "util/error.h"
+#include "util/random.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::T;
+
+TEST(ClassifyAtomTest, Definition42) {
+  auto in_r = [](const std::string& v) { return v == "A" || v == "B"; };
+  // Both variables substituted → variant evaluable.
+  EXPECT_EQ(ClassifyAtom(Atom::VarVar("A", CompareOp::kEq, "B"), in_r),
+            FormulaClass::kVariantEvaluable);
+  // Constant atom on a substituted variable → variant evaluable (c op d).
+  EXPECT_EQ(ClassifyAtom(Atom::VarConst("A", CompareOp::kLt, Value(10)), in_r),
+            FormulaClass::kVariantEvaluable);
+  // One side substituted → variant non-evaluable (x op c).
+  EXPECT_EQ(ClassifyAtom(Atom::VarVar("B", CompareOp::kEq, "C"), in_r),
+            FormulaClass::kVariantNonEvaluable);
+  EXPECT_EQ(ClassifyAtom(Atom::VarVar("C", CompareOp::kLe, "A", 2), in_r),
+            FormulaClass::kVariantNonEvaluable);
+  // No side substituted → invariant.
+  EXPECT_EQ(ClassifyAtom(Atom::VarConst("C", CompareOp::kGt, Value(5)), in_r),
+            FormulaClass::kInvariant);
+  EXPECT_EQ(ClassifyAtom(Atom::VarVar("C", CompareOp::kLt, "D"), in_r),
+            FormulaClass::kInvariant);
+}
+
+// ---------------------------------------------------------------------------
+// Example 4.1 from the paper.
+//
+//   R = {A, B}, S = {C, D},
+//   v = π_{A,D}(σ_{(A<10) ∧ (C>5) ∧ (B=C)}(r × s)).
+//
+// Inserting (9, 10) into r is relevant (C(9,10,C) satisfiable);
+// inserting (11, 10) is provably irrelevant (11 < 10 is false).
+// ---------------------------------------------------------------------------
+class Example41 : public ::testing::Test {
+ protected:
+  Example41()
+      : all_vars_(Schema::OfInts({"A", "B", "C", "D"})),
+        r_scheme_(Schema::OfInts({"A", "B"})),
+        filter_(ParseCondition("A < 10 && C > 5 && B = C"), all_vars_,
+                {r_scheme_}) {}
+
+  Schema all_vars_;
+  Schema r_scheme_;
+  SubstitutionFilter filter_;
+};
+
+TEST_F(Example41, Insert_9_10_IsRelevant) {
+  EXPECT_TRUE(filter_.MightBeRelevant(T({9, 10})));
+}
+
+TEST_F(Example41, Insert_11_10_IsIrrelevant) {
+  EXPECT_FALSE(filter_.MightBeRelevant(T({11, 10})));
+}
+
+TEST_F(Example41, VariantNonEvaluablePartMatters) {
+  // (9, 4): A < 10 holds but B = C forces C = 4, contradicting C > 5.
+  EXPECT_FALSE(filter_.MightBeRelevant(T({9, 4})));
+  // (9, 6): C = 6 > 5 — satisfiable.
+  EXPECT_TRUE(filter_.MightBeRelevant(T({9, 6})));
+  // Boundary: B = 5 forces C = 5, violating C > 5 (strict).
+  EXPECT_FALSE(filter_.MightBeRelevant(T({9, 5})));
+}
+
+TEST_F(Example41, SameConditionAppliesToDeletes) {
+  // Theorem 4.1 covers insertions and deletions alike.
+  EXPECT_TRUE(filter_.MightBeRelevant(T({0, 100})));
+  EXPECT_FALSE(filter_.MightBeRelevant(T({10, 100})));  // A < 10 fails at 10
+}
+
+TEST_F(Example41, StatsReflectClassification) {
+  const auto& stats = filter_.stats();
+  EXPECT_EQ(stats.input_disjuncts, 1u);
+  EXPECT_EQ(stats.variant_evaluable, 1u);      // A < 10
+  EXPECT_EQ(stats.invariant_atoms, 1u);        // C > 5
+  EXPECT_EQ(stats.variant_non_evaluable, 1u);  // B = C
+  EXPECT_EQ(stats.dropped_disjuncts, 0u);
+}
+
+TEST(SubstitutionFilterTest, SubstitutionFromSecondRelation) {
+  // Substituting s-tuples instead: Y1 = {C, D}.
+  Schema all = Schema::OfInts({"A", "B", "C", "D"});
+  SubstitutionFilter filter(ParseCondition("A < 10 && C > 5 && B = C"), all,
+                            {Schema::OfInts({"C", "D"})});
+  EXPECT_TRUE(filter.MightBeRelevant(T({6, 0})));
+  EXPECT_FALSE(filter.MightBeRelevant(T({5, 0})));  // C > 5 fails
+}
+
+TEST(SubstitutionFilterTest, AlwaysRelevantWhenConditionIgnoresRelation) {
+  Schema all = Schema::OfInts({"A", "B", "C"});
+  // Condition only mentions C; updates to {A, B} can never be proved
+  // irrelevant (some database state may always complete them).
+  SubstitutionFilter filter(ParseCondition("C > 5"), all,
+                            {Schema::OfInts({"A", "B"})});
+  EXPECT_TRUE(filter.always_relevant());
+  EXPECT_TRUE(filter.MightBeRelevant(T({0, 0})));
+}
+
+TEST(SubstitutionFilterTest, NeverRelevantWhenInvariantUnsatisfiable) {
+  Schema all = Schema::OfInts({"A", "C"});
+  SubstitutionFilter filter(ParseCondition("C > 5 && C < 5 && A = 1"), all,
+                            {Schema::OfInts({"A"})});
+  EXPECT_TRUE(filter.never_relevant());
+  EXPECT_FALSE(filter.MightBeRelevant(T({1})));
+}
+
+TEST(SubstitutionFilterTest, DisjunctionKeepsTupleIfAnyDisjunctSatisfiable) {
+  Schema all = Schema::OfInts({"A", "B"});
+  SubstitutionFilter filter(ParseCondition("A < 0 || (A > 10 && B < 5)"), all,
+                            {Schema::OfInts({"A"})});
+  EXPECT_TRUE(filter.MightBeRelevant(T({-1})));   // first disjunct
+  EXPECT_TRUE(filter.MightBeRelevant(T({11})));   // second disjunct
+  EXPECT_FALSE(filter.MightBeRelevant(T({5})));   // neither
+}
+
+TEST(SubstitutionFilterTest, OffsetAtomsAcrossSubstitution) {
+  // A <= B - 3 with A substituted: B >= t(A) + 3.
+  Schema all = Schema::OfInts({"A", "B"});
+  SubstitutionFilter filter(ParseCondition("A <= B - 3 && B < 10"), all,
+                            {Schema::OfInts({"A"})});
+  EXPECT_TRUE(filter.MightBeRelevant(T({6})));   // B ∈ [9, 9]
+  EXPECT_FALSE(filter.MightBeRelevant(T({7})));  // B ≥ 10 and B < 10
+}
+
+TEST(SubstitutionFilterTest, StringEvaluableAtomsAreExact) {
+  Schema all({{"name", ValueType::kString}, {"x", ValueType::kInt64}});
+  Schema sub({{"name", ValueType::kString}});
+  SubstitutionFilter filter(ParseCondition("name = \"alice\" && x > 0"), all,
+                            {sub});
+  EXPECT_TRUE(filter.MightBeRelevant(Tuple({Value("alice")})));
+  EXPECT_FALSE(filter.MightBeRelevant(Tuple({Value("bob")})));
+}
+
+TEST(SubstitutionFilterTest, NonEvaluableStringAtomsAreConservative) {
+  Schema all({{"x", ValueType::kInt64}, {"name", ValueType::kString}});
+  Schema sub = Schema::OfInts({"x"});
+  // `name = "alice"` cannot be decided when substituting only x: kept.
+  SubstitutionFilter filter(ParseCondition("name = \"alice\" && x > 0"), all,
+                            {sub});
+  EXPECT_TRUE(filter.MightBeRelevant(T({1})));
+  // But the evaluable part still prunes.
+  EXPECT_FALSE(filter.MightBeRelevant(T({0})));
+  EXPECT_EQ(filter.stats().conservative_atoms, 1u);
+}
+
+TEST(SubstitutionFilterTest, NeAtomsAreConservativeUnlessGround) {
+  Schema all = Schema::OfInts({"A", "B"});
+  {
+    // Ground ≠: evaluated exactly.
+    SubstitutionFilter filter(ParseCondition("A != 5"), all,
+                              {Schema::OfInts({"A"})});
+    EXPECT_FALSE(filter.MightBeRelevant(T({5})));
+    EXPECT_TRUE(filter.MightBeRelevant(T({6})));
+  }
+  {
+    // Non-ground ≠: conservative.
+    SubstitutionFilter filter(ParseCondition("A != B"), all,
+                              {Schema::OfInts({"A"})});
+    EXPECT_TRUE(filter.MightBeRelevant(T({5})));
+  }
+}
+
+// Theorem 4.2: simultaneous substitution of tuples into several relations.
+TEST(MultiTupleFilterTest, JointlyIrrelevantPair) {
+  Schema all = Schema::OfInts({"A", "B", "C", "D"});
+  // B = C links r = {A,B} and s = {C,D}.
+  SubstitutionFilter joint(ParseCondition("A < 10 && B = C && D > 0"), all,
+                           {Schema::OfInts({"A", "B"}),
+                            Schema::OfInts({"C", "D"})});
+  Tuple r_tuple = T({5, 7});
+  Tuple s_match = T({7, 1});
+  Tuple s_mismatch = T({8, 1});
+  std::vector<const Tuple*> ok{&r_tuple, &s_match};
+  std::vector<const Tuple*> bad{&r_tuple, &s_mismatch};
+  EXPECT_TRUE(joint.MightBeRelevant(ok));
+  // Individually both tuples are relevant; jointly they contradict B = C.
+  EXPECT_FALSE(joint.MightBeRelevant(bad));
+  SubstitutionFilter r_only(ParseCondition("A < 10 && B = C && D > 0"), all,
+                            {Schema::OfInts({"A", "B"})});
+  SubstitutionFilter s_only(ParseCondition("A < 10 && B = C && D > 0"), all,
+                            {Schema::OfInts({"C", "D"})});
+  EXPECT_TRUE(r_only.MightBeRelevant(r_tuple));
+  EXPECT_TRUE(s_only.MightBeRelevant(s_mismatch));
+}
+
+TEST(MultiTupleFilterTest, ArityAndSchemeChecks) {
+  Schema all = Schema::OfInts({"A", "B"});
+  SubstitutionFilter filter(ParseCondition("A < B"), all,
+                            {Schema::OfInts({"A"})});
+  Tuple wrong = T({1, 2});
+  std::vector<const Tuple*> tuples{&wrong};
+  EXPECT_THROW(filter.MightBeRelevant(tuples), Error);
+  EXPECT_THROW(
+      SubstitutionFilter(ParseCondition("A < B"), all,
+                         {Schema::OfInts({"A"}), Schema::OfInts({"A"})}),
+      Error);  // overlapping substituted schemes
+}
+
+// Exactness property (Theorem 4.1 is "necessary and sufficient"): for pure
+// RH conditions the filter's verdict must equal satisfiability of the
+// substituted condition, which we obtain independently by adding `var = value`
+// atoms and calling the satisfiability engine.
+TEST(SubstitutionPropertyTest, FilterMatchesDirectSatisfiability) {
+  Rng rng(99);
+  const std::vector<std::string> r_vars = {"A", "B"};
+  const std::vector<std::string> s_vars = {"C", "D"};
+  Schema all = Schema::OfInts({"A", "B", "C", "D"});
+  Schema r_scheme = Schema::OfInts(r_vars);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Random conjunction over all four variables.
+    Conjunction conj;
+    size_t num_atoms = static_cast<size_t>(rng.Uniform(1, 5));
+    const std::vector<std::string> names = {"A", "B", "C", "D"};
+    for (size_t i = 0; i < num_atoms; ++i) {
+      CompareOp ops[] = {CompareOp::kEq, CompareOp::kLt, CompareOp::kLe,
+                         CompareOp::kGt, CompareOp::kGe};
+      CompareOp op = ops[rng.Uniform(0, 4)];
+      const std::string& lhs = names[rng.Uniform(0, 3)];
+      if (rng.Bernoulli(0.4)) {
+        conj.atoms.push_back(
+            Atom::VarConst(lhs, op, Value(rng.Uniform(-3, 3))));
+      } else {
+        conj.atoms.push_back(Atom::VarVar(lhs, op, names[rng.Uniform(0, 3)],
+                                          rng.Uniform(-2, 2)));
+      }
+    }
+    Condition condition({conj});
+    SubstitutionFilter filter(condition, all, {r_scheme});
+    Tuple t = T({rng.Uniform(-4, 4), rng.Uniform(-4, 4)});
+    // Independent answer: condition ∧ A = t(A) ∧ B = t(B) satisfiable?
+    Condition substituted = condition
+        .And(Condition::FromAtom(
+            Atom::VarConst("A", CompareOp::kEq, t.at(0))))
+        .And(Condition::FromAtom(
+            Atom::VarConst("B", CompareOp::kEq, t.at(1))));
+    bool expected = IsConditionSatisfiable(substituted, all);
+    EXPECT_EQ(filter.MightBeRelevant(t), expected)
+        << condition.ToString() << " with t=" << t.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,83 @@
+#include "relational/tag.h"
+
+#include <gtest/gtest.h>
+
+namespace mview {
+namespace {
+
+// The complete tag-combination table from Section 5.3 (Example 5.4):
+//
+//   r1      r2      r1 ⋈ r2
+//   insert  insert  insert
+//   insert  delete  ignore
+//   insert  old     insert
+//   delete  insert  ignore
+//   delete  delete  delete
+//   delete  old     delete
+//   old     insert  insert
+//   old     delete  delete
+//   old     old     old
+struct TagCase {
+  Tag a;
+  Tag b;
+  Tag expected;
+};
+
+class TagCombineTest : public ::testing::TestWithParam<TagCase> {};
+
+TEST_P(TagCombineTest, MatchesPaperTable) {
+  const TagCase& c = GetParam();
+  EXPECT_EQ(CombineTags(c.a, c.b), c.expected)
+      << TagName(c.a) << " ⋈ " << TagName(c.b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable, TagCombineTest,
+    ::testing::Values(
+        TagCase{Tag::kInsert, Tag::kInsert, Tag::kInsert},
+        TagCase{Tag::kInsert, Tag::kDelete, Tag::kIgnore},
+        TagCase{Tag::kInsert, Tag::kOld, Tag::kInsert},
+        TagCase{Tag::kDelete, Tag::kInsert, Tag::kIgnore},
+        TagCase{Tag::kDelete, Tag::kDelete, Tag::kDelete},
+        TagCase{Tag::kDelete, Tag::kOld, Tag::kDelete},
+        TagCase{Tag::kOld, Tag::kInsert, Tag::kInsert},
+        TagCase{Tag::kOld, Tag::kDelete, Tag::kDelete},
+        TagCase{Tag::kOld, Tag::kOld, Tag::kOld}));
+
+TEST(TagTest, IgnoreIsAbsorbing) {
+  for (Tag t : {Tag::kOld, Tag::kInsert, Tag::kDelete, Tag::kIgnore}) {
+    EXPECT_EQ(CombineTags(Tag::kIgnore, t), Tag::kIgnore);
+    EXPECT_EQ(CombineTags(t, Tag::kIgnore), Tag::kIgnore);
+  }
+}
+
+TEST(TagTest, CombineIsCommutative) {
+  const Tag tags[] = {Tag::kOld, Tag::kInsert, Tag::kDelete, Tag::kIgnore};
+  for (Tag a : tags) {
+    for (Tag b : tags) {
+      EXPECT_EQ(CombineTags(a, b), CombineTags(b, a));
+    }
+  }
+}
+
+TEST(TagTest, CombineIsAssociative) {
+  const Tag tags[] = {Tag::kOld, Tag::kInsert, Tag::kDelete, Tag::kIgnore};
+  for (Tag a : tags) {
+    for (Tag b : tags) {
+      for (Tag c : tags) {
+        EXPECT_EQ(CombineTags(CombineTags(a, b), c),
+                  CombineTags(a, CombineTags(b, c)));
+      }
+    }
+  }
+}
+
+TEST(TagTest, Names) {
+  EXPECT_STREQ(TagName(Tag::kOld), "old");
+  EXPECT_STREQ(TagName(Tag::kInsert), "insert");
+  EXPECT_STREQ(TagName(Tag::kDelete), "delete");
+  EXPECT_STREQ(TagName(Tag::kIgnore), "ignore");
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,51 @@
+#ifndef MVIEW_TESTS_TEST_UTIL_H_
+#define MVIEW_TESTS_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace mview::testing {
+
+/// Builds an integer tuple.
+inline Tuple T(std::initializer_list<int64_t> values) {
+  std::vector<Value> vals;
+  for (int64_t v : values) vals.emplace_back(v);
+  return Tuple(std::move(vals));
+}
+
+/// Fills a relation with integer tuples.
+inline void Fill(Relation* rel,
+                 std::initializer_list<std::initializer_list<int64_t>> rows) {
+  for (const auto& row : rows) rel->Insert(T(row));
+}
+
+/// Creates and fills an all-int relation in `db`.
+inline Relation& MakeRelation(
+    Database* db, const std::string& name,
+    const std::vector<std::string>& attrs,
+    std::initializer_list<std::initializer_list<int64_t>> rows) {
+  Relation& rel = db->CreateRelation(name, Schema::OfInts(attrs));
+  Fill(&rel, rows);
+  return rel;
+}
+
+/// Collects a counted relation as sorted (tuple, count) pairs for EXPECT_EQ.
+inline std::vector<std::pair<Tuple, int64_t>> Rows(const CountedRelation& r) {
+  return r.ToSortedVector();
+}
+
+/// Shorthand for a (tuple, count) pair.
+inline std::pair<Tuple, int64_t> TC(std::initializer_list<int64_t> values,
+                                    int64_t count) {
+  return {T(values), count};
+}
+
+}  // namespace mview::testing
+
+#endif  // MVIEW_TESTS_TEST_UTIL_H_

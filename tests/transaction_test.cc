@@ -1,0 +1,173 @@
+#include "db/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/error.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::MakeRelation;
+using ::mview::testing::T;
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionTest() {
+    MakeRelation(&db_, "r", {"A", "B"}, {{1, 2}, {3, 4}});
+    MakeRelation(&db_, "s", {"C"}, {{7}});
+  }
+  Database db_;
+};
+
+TEST_F(TransactionTest, DatabaseCatalog) {
+  EXPECT_TRUE(db_.Exists("r"));
+  EXPECT_FALSE(db_.Exists("x"));
+  EXPECT_EQ(db_.Find("x"), nullptr);
+  EXPECT_THROW(db_.Get("x"), Error);
+  EXPECT_THROW(db_.CreateRelation("r", Schema::OfInts({"A"})), Error);
+  EXPECT_EQ(db_.Names(), (std::vector<std::string>{"r", "s"}));
+}
+
+TEST_F(TransactionTest, SimpleInsertDelete) {
+  Transaction txn;
+  txn.Insert("r", T({5, 6})).Delete("r", T({1, 2}));
+  TransactionEffect effect = txn.Normalize(db_);
+  const RelationEffect* re = effect.Find("r");
+  ASSERT_NE(re, nullptr);
+  EXPECT_TRUE(re->inserts.Contains(T({5, 6})));
+  EXPECT_TRUE(re->deletes.Contains(T({1, 2})));
+  EXPECT_EQ(effect.TotalTuples(), 2u);
+}
+
+TEST_F(TransactionTest, InsertOfPresentTupleIsNoop) {
+  Transaction txn;
+  txn.Insert("r", T({1, 2}));
+  EXPECT_TRUE(txn.Normalize(db_).Empty());
+}
+
+TEST_F(TransactionTest, DeleteOfAbsentTupleIsNoop) {
+  Transaction txn;
+  txn.Delete("r", T({9, 9}));
+  EXPECT_TRUE(txn.Normalize(db_).Empty());
+}
+
+TEST_F(TransactionTest, InsertThenDeleteCancels) {
+  // Section 5: "if a tuple not in the relation is inserted and then deleted
+  // within a transaction, it is not represented at all".
+  Transaction txn;
+  txn.Insert("r", T({9, 9})).Delete("r", T({9, 9}));
+  EXPECT_TRUE(txn.Normalize(db_).Empty());
+}
+
+TEST_F(TransactionTest, DeleteThenInsertOfExistingTupleCancels) {
+  Transaction txn;
+  txn.Delete("r", T({1, 2})).Insert("r", T({1, 2}));
+  EXPECT_TRUE(txn.Normalize(db_).Empty());
+}
+
+TEST_F(TransactionTest, DeleteThenInsertOfAbsentTupleIsInsert) {
+  Transaction txn;
+  txn.Delete("r", T({9, 9})).Insert("r", T({9, 9}));
+  TransactionEffect effect = txn.Normalize(db_);
+  const RelationEffect* re = effect.Find("r");
+  ASSERT_NE(re, nullptr);
+  EXPECT_TRUE(re->inserts.Contains(T({9, 9})));
+  EXPECT_TRUE(re->deletes.empty());
+}
+
+TEST_F(TransactionTest, NetEffectSetsAreDisjointFromBase) {
+  // Invariants of Section 3: i ∩ r = ∅, d ⊆ r, i ∩ d = ∅.
+  Transaction txn;
+  txn.Insert("r", T({1, 2}))    // already present → no-op
+      .Insert("r", T({8, 8}))   // new
+      .Delete("r", T({3, 4}))   // present → delete
+      .Delete("r", T({8, 8}))   // cancels the insert
+      .Insert("r", T({8, 8}));  // reinstates the insert
+  TransactionEffect effect = txn.Normalize(db_);
+  const RelationEffect* re = effect.Find("r");
+  ASSERT_NE(re, nullptr);
+  re->inserts.Scan([&](const Tuple& t) {
+    EXPECT_FALSE(db_.Get("r").Contains(t));
+    EXPECT_FALSE(re->deletes.Contains(t));
+  });
+  re->deletes.Scan(
+      [&](const Tuple& t) { EXPECT_TRUE(db_.Get("r").Contains(t)); });
+  EXPECT_TRUE(re->inserts.Contains(T({8, 8})));
+  EXPECT_TRUE(re->deletes.Contains(T({3, 4})));
+}
+
+TEST_F(TransactionTest, MultiRelationTransaction) {
+  Transaction txn;
+  txn.Insert("r", T({5, 6})).Insert("s", T({8}));
+  TransactionEffect effect = txn.Normalize(db_);
+  EXPECT_EQ(effect.TouchedRelations(),
+            (std::vector<std::string>{"r", "s"}));
+}
+
+TEST_F(TransactionTest, ApplyToUpdatesDatabase) {
+  Transaction txn;
+  txn.Insert("r", T({5, 6})).Delete("r", T({1, 2}));
+  txn.Normalize(db_).ApplyTo(&db_);
+  EXPECT_TRUE(db_.Get("r").Contains(T({5, 6})));
+  EXPECT_FALSE(db_.Get("r").Contains(T({1, 2})));
+  EXPECT_EQ(db_.Get("r").size(), 2u);
+}
+
+TEST_F(TransactionTest, UnknownRelationThrows) {
+  Transaction txn;
+  txn.Insert("nope", T({1}));
+  EXPECT_THROW(txn.Normalize(db_), Error);
+}
+
+TEST_F(TransactionTest, ArityMismatchThrows) {
+  Transaction txn;
+  txn.Insert("r", T({1}));
+  EXPECT_THROW(txn.Normalize(db_), Error);
+}
+
+TEST_F(TransactionTest, BatchHelpers) {
+  Transaction txn;
+  txn.InsertAll("r", {T({10, 10}), T({11, 11})});
+  txn.DeleteAll("r", {T({1, 2})});
+  EXPECT_EQ(txn.NumOperations(), 3u);
+  TransactionEffect effect = txn.Normalize(db_);
+  EXPECT_EQ(effect.TotalTuples(), 3u);
+}
+
+TEST_F(TransactionTest, UpdateIsDeletePlusInsert) {
+  Transaction txn;
+  txn.Update("r", T({1, 2}), T({1, 99}));
+  TransactionEffect effect = txn.Normalize(db_);
+  const RelationEffect* re = effect.Find("r");
+  ASSERT_NE(re, nullptr);
+  EXPECT_TRUE(re->deletes.Contains(T({1, 2})));
+  EXPECT_TRUE(re->inserts.Contains(T({1, 99})));
+}
+
+TEST_F(TransactionTest, SelfUpdateIsNoop) {
+  Transaction txn;
+  txn.Update("r", T({1, 2}), T({1, 2}));
+  EXPECT_TRUE(txn.Normalize(db_).Empty());
+}
+
+TEST_F(TransactionTest, UpdateOfAbsentTupleInsertsOnly) {
+  Transaction txn;
+  txn.Update("r", T({9, 9}), T({8, 8}));
+  TransactionEffect effect = txn.Normalize(db_);
+  const RelationEffect* re = effect.Find("r");
+  ASSERT_NE(re, nullptr);
+  EXPECT_TRUE(re->deletes.empty());
+  EXPECT_TRUE(re->inserts.Contains(T({8, 8})));
+}
+
+TEST_F(TransactionTest, EmptyEffectFindReturnsNull) {
+  Transaction txn;
+  txn.Insert("r", T({1, 2}));  // no-op
+  TransactionEffect effect = txn.Normalize(db_);
+  EXPECT_EQ(effect.Find("r"), nullptr);
+  EXPECT_EQ(effect.Find("s"), nullptr);
+}
+
+}  // namespace
+}  // namespace mview

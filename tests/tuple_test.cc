@@ -1,0 +1,61 @@
+#include "relational/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_util.h"
+#include "util/error.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::T;
+
+TEST(TupleTest, Access) {
+  Tuple t = T({1, 2, 3});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.at(1).AsInt64(), 2);
+  EXPECT_THROW(t.at(3), Error);
+}
+
+TEST(TupleTest, Concat) {
+  Tuple t = T({1}).Concat(T({2, 3}));
+  EXPECT_EQ(t, T({1, 2, 3}));
+}
+
+TEST(TupleTest, Project) {
+  Tuple t = T({10, 20, 30});
+  EXPECT_EQ(t.Project({2, 0}), T({30, 10}));
+  EXPECT_EQ(t.Project({}), T({}));
+  EXPECT_EQ(t.Project({1, 1}), T({20, 20}));
+}
+
+TEST(TupleTest, LexicographicOrder) {
+  EXPECT_LT(T({1, 2}), T({1, 3}));
+  EXPECT_LT(T({1}), T({1, 0}));
+  EXPECT_FALSE(T({2, 0}) < T({1, 9}));
+}
+
+TEST(TupleTest, HashAndEquality) {
+  std::unordered_set<Tuple> set;
+  set.insert(T({1, 2}));
+  set.insert(T({1, 2}));
+  set.insert(T({2, 1}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(T({1, 2})));
+}
+
+TEST(TupleTest, MixedTypeTuples) {
+  Tuple t({Value(1), Value("x")});
+  EXPECT_EQ(t.at(1).AsString(), "x");
+  EXPECT_EQ(t.ToString(), "(1, \"x\")");
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(T({1, 2}).ToString(), "(1, 2)");
+  EXPECT_EQ(T({}).ToString(), "()");
+}
+
+}  // namespace
+}  // namespace mview

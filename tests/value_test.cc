@@ -1,0 +1,90 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace mview {
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 0);
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v(42);
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 42);
+  EXPECT_EQ(Value(int64_t{-7}).AsInt64(), -7);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v("hello");
+  EXPECT_EQ(v.type(), ValueType::kString);
+  EXPECT_EQ(v.AsString(), "hello");
+}
+
+TEST(ValueTest, WrongAccessorThrows) {
+  EXPECT_THROW(Value(1).AsString(), Error);
+  EXPECT_THROW(Value("x").AsInt64(), Error);
+}
+
+TEST(ValueTest, IntComparisons) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_GT(Value(3), Value(2));
+  EXPECT_EQ(Value(5), Value(5));
+  EXPECT_NE(Value(5), Value(6));
+  EXPECT_LE(Value(5), Value(5));
+  EXPECT_GE(Value(5), Value(5));
+}
+
+TEST(ValueTest, StringComparisonsAreLexicographic) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value("ab"), Value("abc"));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, MixedTypeComparisonThrows) {
+  EXPECT_THROW((void)Value(1).Compare(Value("1")), Error);
+  EXPECT_THROW((void)(Value("a") < Value(2)), Error);
+}
+
+TEST(ValueTest, MixedTypeEqualityIsFalseNotThrow) {
+  // operator== uses variant equality (distinct alternatives are unequal).
+  EXPECT_FALSE(Value(1) == Value("1"));
+  EXPECT_TRUE(Value(1) != Value("1"));
+}
+
+TEST(ValueTest, HashDistinguishesTypicalValues) {
+  std::unordered_set<Value> set;
+  for (int64_t i = 0; i < 1000; ++i) set.insert(Value(i));
+  set.insert(Value("a"));
+  set.insert(Value("b"));
+  EXPECT_EQ(set.size(), 1002u);
+  EXPECT_TRUE(set.count(Value(999)));
+  EXPECT_TRUE(set.count(Value("a")));
+  EXPECT_FALSE(set.count(Value(1000)));
+}
+
+TEST(ValueTest, HashEqualForEqualValues) {
+  EXPECT_EQ(Value(7).Hash(), Value(7).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(-3).ToString(), "-3");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace mview

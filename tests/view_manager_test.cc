@@ -1,0 +1,194 @@
+#include "ivm/view_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/error.h"
+
+namespace mview {
+namespace {
+
+using ::mview::testing::MakeRelation;
+using ::mview::testing::T;
+
+class ViewManagerTest : public ::testing::Test {
+ protected:
+  ViewManagerTest() : vm_(&db_) {
+    MakeRelation(&db_, "R", {"A", "B"}, {{1, 2}, {3, 4}});
+    MakeRelation(&db_, "S", {"B2", "C"}, {{2, 20}, {4, 40}});
+  }
+  Database db_;
+  ViewManager vm_;
+
+  ViewDefinition JoinDef(const std::string& name) {
+    return ViewDefinition(name, {BaseRef{"R", {}}, BaseRef{"S", {}}},
+                          "B = B2", {"A", "C"});
+  }
+};
+
+TEST_F(ViewManagerTest, RegisterMaterializesImmediately) {
+  vm_.RegisterView(JoinDef("v"));
+  EXPECT_EQ(vm_.View("v").size(), 2u);
+  EXPECT_TRUE(vm_.View("v").Contains(T({1, 20})));
+}
+
+TEST_F(ViewManagerTest, RegisterCreatesJoinIndexes) {
+  vm_.RegisterView(JoinDef("v"));
+  EXPECT_TRUE(db_.Get("R").HasIndex(1));   // B
+  EXPECT_TRUE(db_.Get("S").HasIndex(0));   // B2
+}
+
+TEST_F(ViewManagerTest, DuplicateNameThrows) {
+  vm_.RegisterView(JoinDef("v"));
+  EXPECT_THROW(vm_.RegisterView(JoinDef("v")), Error);
+}
+
+TEST_F(ViewManagerTest, UnknownViewThrows) {
+  EXPECT_THROW(vm_.View("nope"), Error);
+  EXPECT_THROW(vm_.Stats("nope"), Error);
+  EXPECT_THROW(vm_.Refresh("nope"), Error);
+  EXPECT_THROW(vm_.DropView("nope"), Error);
+}
+
+TEST_F(ViewManagerTest, ImmediateMaintenanceOnCommit) {
+  vm_.RegisterView(JoinDef("v"));
+  Transaction txn;
+  txn.Insert("R", T({5, 2})).Delete("S", T({4, 40}));
+  vm_.Apply(txn);
+  // Base relations updated...
+  EXPECT_TRUE(db_.Get("R").Contains(T({5, 2})));
+  EXPECT_FALSE(db_.Get("S").Contains(T({4, 40})));
+  // ...and the view too.
+  EXPECT_TRUE(vm_.View("v").Contains(T({5, 20})));
+  EXPECT_FALSE(vm_.View("v").Contains(T({3, 40})));
+  EXPECT_EQ(vm_.Stats("v").transactions, 1);
+}
+
+TEST_F(ViewManagerTest, MultipleViewsMaintainedIndependently) {
+  vm_.RegisterView(JoinDef("join_view"));
+  vm_.RegisterView(ViewDefinition::Select("r_small", "R", "A < 3"));
+  vm_.RegisterView(ViewDefinition::Project("s_keys", "S", {"B2"}));
+  Transaction txn;
+  txn.Insert("R", T({2, 4})).Insert("S", T({2, 21}));
+  vm_.Apply(txn);
+  EXPECT_TRUE(vm_.View("join_view").Contains(T({2, 40})));
+  EXPECT_TRUE(vm_.View("join_view").Contains(T({1, 21})));
+  EXPECT_TRUE(vm_.View("r_small").Contains(T({2, 4})));
+  EXPECT_EQ(vm_.View("s_keys").Count(T({2})), 2);
+}
+
+TEST_F(ViewManagerTest, IrrelevantTransactionSkipsView) {
+  vm_.RegisterView(
+      ViewDefinition::Select("small", "R", "A < 0"));
+  Transaction txn;
+  txn.Insert("R", T({100, 100}));
+  vm_.Apply(txn);
+  EXPECT_TRUE(vm_.View("small").empty());
+  const MaintenanceStats& stats = vm_.Stats("small");
+  EXPECT_EQ(stats.skipped_irrelevant, 1);
+  EXPECT_EQ(stats.updates_filtered, 1);
+}
+
+TEST_F(ViewManagerTest, FullReevaluationModeMatchesImmediate) {
+  vm_.RegisterView(JoinDef("diff"), MaintenanceMode::kImmediate);
+  vm_.RegisterView(JoinDef("full"), MaintenanceMode::kFullReevaluation);
+  Transaction txn;
+  txn.Insert("R", T({5, 4})).Delete("R", T({1, 2})).Insert("S", T({9, 90}));
+  vm_.Apply(txn);
+  EXPECT_TRUE(vm_.View("diff").SameContents(vm_.View("full")));
+  EXPECT_EQ(vm_.Stats("full").full_reevaluations, 1);
+  EXPECT_EQ(vm_.Stats("diff").full_reevaluations, 0);
+}
+
+TEST_F(ViewManagerTest, DeferredViewGoesStaleAndRefreshes) {
+  vm_.RegisterView(JoinDef("snap"), MaintenanceMode::kDeferred);
+  Transaction txn;
+  txn.Insert("R", T({5, 2}));
+  vm_.Apply(txn);
+  EXPECT_TRUE(vm_.IsStale("snap"));
+  EXPECT_GT(vm_.PendingTuples("snap"), 0u);
+  // Stale contents: still the old materialization.
+  EXPECT_FALSE(vm_.View("snap").Contains(T({5, 20})));
+  vm_.Refresh("snap");
+  EXPECT_FALSE(vm_.IsStale("snap"));
+  EXPECT_TRUE(vm_.View("snap").Contains(T({5, 20})));
+  EXPECT_EQ(vm_.Stats("snap").refreshes, 1);
+}
+
+TEST_F(ViewManagerTest, DeferredRefreshAcrossManyTransactions) {
+  vm_.RegisterView(JoinDef("snap"), MaintenanceMode::kDeferred);
+  vm_.RegisterView(JoinDef("live"), MaintenanceMode::kImmediate);
+  for (int i = 0; i < 10; ++i) {
+    Transaction txn;
+    txn.Insert("R", T({100 + i, 2}));
+    if (i % 2 == 0) txn.Delete("R", T({100 + i - 2, 2}));
+    vm_.Apply(txn);
+  }
+  vm_.Refresh("snap");
+  EXPECT_TRUE(vm_.View("snap").SameContents(vm_.View("live")));
+}
+
+TEST_F(ViewManagerTest, RefreshAllAndNoopRefresh) {
+  vm_.RegisterView(JoinDef("a"), MaintenanceMode::kDeferred);
+  vm_.RegisterView(JoinDef("b"), MaintenanceMode::kDeferred);
+  Transaction txn;
+  txn.Insert("R", T({5, 2}));
+  vm_.Apply(txn);
+  vm_.RefreshAll();
+  EXPECT_FALSE(vm_.IsStale("a"));
+  EXPECT_FALSE(vm_.IsStale("b"));
+  // Refreshing an up-to-date view is a no-op.
+  vm_.Refresh("a");
+  EXPECT_EQ(vm_.Stats("a").refreshes, 1);
+}
+
+TEST_F(ViewManagerTest, DropView) {
+  vm_.RegisterView(JoinDef("v"));
+  vm_.DropView("v");
+  EXPECT_THROW(vm_.View("v"), Error);
+  EXPECT_TRUE(vm_.ViewNames().empty());
+}
+
+TEST_F(ViewManagerTest, ViewNamesSorted) {
+  vm_.RegisterView(JoinDef("b"));
+  vm_.RegisterView(JoinDef("a"));
+  EXPECT_EQ(vm_.ViewNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(ViewManagerTest, EmptyTransactionIsNoop) {
+  vm_.RegisterView(JoinDef("v"));
+  Transaction txn;
+  txn.Insert("R", T({1, 2}));  // already present → net no-op
+  vm_.Apply(txn);
+  EXPECT_EQ(vm_.Stats("v").transactions, 0);
+}
+
+TEST_F(ViewManagerTest, StatsAccumulateAcrossTransactions) {
+  vm_.RegisterView(JoinDef("v"));
+  for (int64_t i = 0; i < 5; ++i) {
+    Transaction txn;
+    txn.Insert("R", T({10 + i, 2}));
+    vm_.Apply(txn);
+  }
+  const MaintenanceStats& stats = vm_.Stats("v");
+  EXPECT_EQ(stats.transactions, 5);
+  EXPECT_EQ(stats.delta_inserts, 5);
+  EXPECT_GT(stats.maintenance_nanos, 0);
+}
+
+TEST_F(ViewManagerTest, SequenceOfMixedTransactionsStaysConsistent) {
+  vm_.RegisterView(JoinDef("v"));
+  DifferentialMaintainer oracle(JoinDef("oracle"), &db_);
+  for (int64_t i = 0; i < 20; ++i) {
+    Transaction txn;
+    txn.Insert("R", T({i, i % 5}));
+    txn.Insert("S", T({i % 5, i * 10}));
+    if (i > 2) txn.Delete("R", T({i - 2, (i - 2) % 5}));
+    vm_.Apply(txn);
+    EXPECT_TRUE(vm_.View("v").SameContents(oracle.FullEvaluate()))
+        << "diverged at step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,113 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace mview {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(3);
+  int64_t low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Zipf(100, 1.1);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+    if (v < 10) ++low;
+    if (v >= 90) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(WorkloadGeneratorTest, PopulateCreatesRequestedRows) {
+  Database db;
+  WorkloadGenerator gen(42);
+  gen.Populate(&db, {"r", 3, 10000, 500});
+  const Relation& r = db.Get("r");
+  EXPECT_EQ(r.size(), 500u);
+  EXPECT_EQ(r.schema().size(), 3u);
+  EXPECT_TRUE(r.schema().Contains("r_a0"));
+  EXPECT_TRUE(r.schema().Contains("r_a2"));
+  EXPECT_EQ(gen.PoolSize("r"), 500u);
+}
+
+TEST(WorkloadGeneratorTest, ValuesWithinDomain) {
+  Database db;
+  WorkloadGenerator gen(42);
+  gen.Populate(&db, {"r", 2, 50, 200});
+  db.Get("r").Scan([](const Tuple& t) {
+    for (const auto& v : t.values()) {
+      EXPECT_GE(v.AsInt64(), 0);
+      EXPECT_LT(v.AsInt64(), 50);
+    }
+  });
+}
+
+TEST(WorkloadGeneratorTest, TransactionsKeepPoolInSync) {
+  Database db;
+  WorkloadGenerator gen(42);
+  RelationSpec spec{"r", 2, 1000, 100};
+  gen.Populate(&db, spec);
+  Transaction txn = gen.MakeTransaction(spec, 5, 3);
+  TransactionEffect effect = txn.Normalize(db);
+  effect.ApplyTo(&db);
+  // deletes come from the pool (existing tuples), so all 3 applied...
+  EXPECT_LE(db.Get("r").size(), 102u);
+  // ...and the pool tracks the post-state size (modulo rare collisions).
+  EXPECT_EQ(gen.PoolSize("r"), 102u);
+}
+
+TEST(WorkloadGeneratorTest, SteeredTuplesRespectRange) {
+  WorkloadGenerator gen(42);
+  RelationSpec spec{"r", 3, 1000, 0};
+  for (int i = 0; i < 100; ++i) {
+    Tuple t = gen.RandomTupleWithAttrIn(spec, 1, 500, 600);
+    EXPECT_GE(t.at(1).AsInt64(), 500);
+    EXPECT_LE(t.at(1).AsInt64(), 600);
+  }
+}
+
+TEST(WorkloadGeneratorTest, MultiRelationTransaction) {
+  Database db;
+  WorkloadGenerator gen(42);
+  RelationSpec r{"r", 2, 1000, 50};
+  RelationSpec s{"s", 2, 1000, 50};
+  gen.Populate(&db, r);
+  gen.Populate(&db, s);
+  Transaction txn;
+  gen.AddUpdates(&txn, r, 2, 1);
+  gen.AddUpdates(&txn, s, 1, 2);
+  TransactionEffect effect = txn.Normalize(db);
+  EXPECT_EQ(effect.TouchedRelations().size(), 2u);
+}
+
+TEST(WorkloadGeneratorTest, AttrNameHelper) {
+  EXPECT_EQ(AttrName("orders", 2), "orders_a2");
+}
+
+}  // namespace
+}  // namespace mview
