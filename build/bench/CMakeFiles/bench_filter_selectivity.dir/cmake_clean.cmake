@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filter_selectivity.dir/bench_filter_selectivity.cc.o"
+  "CMakeFiles/bench_filter_selectivity.dir/bench_filter_selectivity.cc.o.d"
+  "bench_filter_selectivity"
+  "bench_filter_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filter_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

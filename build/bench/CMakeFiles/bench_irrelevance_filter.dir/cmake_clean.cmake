@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_irrelevance_filter.dir/bench_irrelevance_filter.cc.o"
+  "CMakeFiles/bench_irrelevance_filter.dir/bench_irrelevance_filter.cc.o.d"
+  "bench_irrelevance_filter"
+  "bench_irrelevance_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_irrelevance_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_view.dir/bench_join_view.cc.o"
+  "CMakeFiles/bench_join_view.dir/bench_join_view.cc.o.d"
+  "bench_join_view"
+  "bench_join_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

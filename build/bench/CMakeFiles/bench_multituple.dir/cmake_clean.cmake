@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multituple.dir/bench_multituple.cc.o"
+  "CMakeFiles/bench_multituple.dir/bench_multituple.cc.o.d"
+  "bench_multituple"
+  "bench_multituple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multituple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_project_view.dir/bench_project_view.cc.o"
+  "CMakeFiles/bench_project_view.dir/bench_project_view.cc.o.d"
+  "bench_project_view"
+  "bench_project_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_project_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

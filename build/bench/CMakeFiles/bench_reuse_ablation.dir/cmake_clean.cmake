@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reuse_ablation.dir/bench_reuse_ablation.cc.o"
+  "CMakeFiles/bench_reuse_ablation.dir/bench_reuse_ablation.cc.o.d"
+  "bench_reuse_ablation"
+  "bench_reuse_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reuse_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_satisfiability.dir/bench_satisfiability.cc.o"
+  "CMakeFiles/bench_satisfiability.dir/bench_satisfiability.cc.o.d"
+  "bench_satisfiability"
+  "bench_satisfiability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_satisfiability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

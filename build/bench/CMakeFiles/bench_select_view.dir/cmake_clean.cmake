@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_select_view.dir/bench_select_view.cc.o"
+  "CMakeFiles/bench_select_view.dir/bench_select_view.cc.o.d"
+  "bench_select_view"
+  "bench_select_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_select_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snapshot.dir/bench_snapshot.cc.o"
+  "CMakeFiles/bench_snapshot.dir/bench_snapshot.cc.o.d"
+  "bench_snapshot"
+  "bench_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spj_view.dir/bench_spj_view.cc.o"
+  "CMakeFiles/bench_spj_view.dir/bench_spj_view.cc.o.d"
+  "bench_spj_view"
+  "bench_spj_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spj_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

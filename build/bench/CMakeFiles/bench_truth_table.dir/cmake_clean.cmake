@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_truth_table.dir/bench_truth_table.cc.o"
+  "CMakeFiles/bench_truth_table.dir/bench_truth_table.cc.o.d"
+  "bench_truth_table"
+  "bench_truth_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_truth_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alerter.dir/alerter.cc.o"
+  "CMakeFiles/alerter.dir/alerter.cc.o.d"
+  "alerter"
+  "alerter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alerter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for alerter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_dashboard.dir/realtime_dashboard.cc.o"
+  "CMakeFiles/realtime_dashboard.dir/realtime_dashboard.cc.o.d"
+  "realtime_dashboard"
+  "realtime_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_refresh.dir/snapshot_refresh.cc.o"
+  "CMakeFiles/snapshot_refresh.dir/snapshot_refresh.cc.o.d"
+  "snapshot_refresh"
+  "snapshot_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

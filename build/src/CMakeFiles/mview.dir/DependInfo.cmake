@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/mview.dir/db/database.cc.o" "gcc" "src/CMakeFiles/mview.dir/db/database.cc.o.d"
+  "/root/repo/src/db/transaction.cc" "src/CMakeFiles/mview.dir/db/transaction.cc.o" "gcc" "src/CMakeFiles/mview.dir/db/transaction.cc.o.d"
+  "/root/repo/src/ivm/delta.cc" "src/CMakeFiles/mview.dir/ivm/delta.cc.o" "gcc" "src/CMakeFiles/mview.dir/ivm/delta.cc.o.d"
+  "/root/repo/src/ivm/differential.cc" "src/CMakeFiles/mview.dir/ivm/differential.cc.o" "gcc" "src/CMakeFiles/mview.dir/ivm/differential.cc.o.d"
+  "/root/repo/src/ivm/integrity.cc" "src/CMakeFiles/mview.dir/ivm/integrity.cc.o" "gcc" "src/CMakeFiles/mview.dir/ivm/integrity.cc.o.d"
+  "/root/repo/src/ivm/irrelevance.cc" "src/CMakeFiles/mview.dir/ivm/irrelevance.cc.o" "gcc" "src/CMakeFiles/mview.dir/ivm/irrelevance.cc.o.d"
+  "/root/repo/src/ivm/snapshot.cc" "src/CMakeFiles/mview.dir/ivm/snapshot.cc.o" "gcc" "src/CMakeFiles/mview.dir/ivm/snapshot.cc.o.d"
+  "/root/repo/src/ivm/view_def.cc" "src/CMakeFiles/mview.dir/ivm/view_def.cc.o" "gcc" "src/CMakeFiles/mview.dir/ivm/view_def.cc.o.d"
+  "/root/repo/src/ivm/view_manager.cc" "src/CMakeFiles/mview.dir/ivm/view_manager.cc.o" "gcc" "src/CMakeFiles/mview.dir/ivm/view_manager.cc.o.d"
+  "/root/repo/src/predicate/condition.cc" "src/CMakeFiles/mview.dir/predicate/condition.cc.o" "gcc" "src/CMakeFiles/mview.dir/predicate/condition.cc.o.d"
+  "/root/repo/src/predicate/constraint_graph.cc" "src/CMakeFiles/mview.dir/predicate/constraint_graph.cc.o" "gcc" "src/CMakeFiles/mview.dir/predicate/constraint_graph.cc.o.d"
+  "/root/repo/src/predicate/normalize.cc" "src/CMakeFiles/mview.dir/predicate/normalize.cc.o" "gcc" "src/CMakeFiles/mview.dir/predicate/normalize.cc.o.d"
+  "/root/repo/src/predicate/parser.cc" "src/CMakeFiles/mview.dir/predicate/parser.cc.o" "gcc" "src/CMakeFiles/mview.dir/predicate/parser.cc.o.d"
+  "/root/repo/src/predicate/satisfiability.cc" "src/CMakeFiles/mview.dir/predicate/satisfiability.cc.o" "gcc" "src/CMakeFiles/mview.dir/predicate/satisfiability.cc.o.d"
+  "/root/repo/src/predicate/substitution.cc" "src/CMakeFiles/mview.dir/predicate/substitution.cc.o" "gcc" "src/CMakeFiles/mview.dir/predicate/substitution.cc.o.d"
+  "/root/repo/src/ra/decomposition.cc" "src/CMakeFiles/mview.dir/ra/decomposition.cc.o" "gcc" "src/CMakeFiles/mview.dir/ra/decomposition.cc.o.d"
+  "/root/repo/src/ra/eval.cc" "src/CMakeFiles/mview.dir/ra/eval.cc.o" "gcc" "src/CMakeFiles/mview.dir/ra/eval.cc.o.d"
+  "/root/repo/src/ra/expr.cc" "src/CMakeFiles/mview.dir/ra/expr.cc.o" "gcc" "src/CMakeFiles/mview.dir/ra/expr.cc.o.d"
+  "/root/repo/src/ra/input.cc" "src/CMakeFiles/mview.dir/ra/input.cc.o" "gcc" "src/CMakeFiles/mview.dir/ra/input.cc.o.d"
+  "/root/repo/src/ra/planner.cc" "src/CMakeFiles/mview.dir/ra/planner.cc.o" "gcc" "src/CMakeFiles/mview.dir/ra/planner.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/CMakeFiles/mview.dir/relational/csv.cc.o" "gcc" "src/CMakeFiles/mview.dir/relational/csv.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/mview.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/mview.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/mview.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/mview.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tag.cc" "src/CMakeFiles/mview.dir/relational/tag.cc.o" "gcc" "src/CMakeFiles/mview.dir/relational/tag.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/mview.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/mview.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/mview.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/mview.dir/relational/value.cc.o.d"
+  "/root/repo/src/sql/engine.cc" "src/CMakeFiles/mview.dir/sql/engine.cc.o" "gcc" "src/CMakeFiles/mview.dir/sql/engine.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/mview.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/mview.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/mview.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/mview.dir/sql/parser.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/mview.dir/util/random.cc.o" "gcc" "src/CMakeFiles/mview.dir/util/random.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/mview.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/mview.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/mview.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/mview.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

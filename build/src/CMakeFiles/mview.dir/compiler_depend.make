@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mview.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_graph_test.dir/constraint_graph_test.cc.o"
+  "CMakeFiles/constraint_graph_test.dir/constraint_graph_test.cc.o.d"
+  "constraint_graph_test"
+  "constraint_graph_test.pdb"
+  "constraint_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

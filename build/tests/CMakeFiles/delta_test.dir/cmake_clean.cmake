@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_test.dir/delta_test.cc.o"
+  "CMakeFiles/delta_test.dir/delta_test.cc.o.d"
+  "delta_test"
+  "delta_test.pdb"
+  "delta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_project_test.dir/differential_project_test.cc.o"
+  "CMakeFiles/differential_project_test.dir/differential_project_test.cc.o.d"
+  "differential_project_test"
+  "differential_project_test.pdb"
+  "differential_project_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_project_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

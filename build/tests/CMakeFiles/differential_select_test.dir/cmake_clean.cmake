@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_select_test.dir/differential_select_test.cc.o"
+  "CMakeFiles/differential_select_test.dir/differential_select_test.cc.o.d"
+  "differential_select_test"
+  "differential_select_test.pdb"
+  "differential_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

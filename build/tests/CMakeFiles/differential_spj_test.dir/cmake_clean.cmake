@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_spj_test.dir/differential_spj_test.cc.o"
+  "CMakeFiles/differential_spj_test.dir/differential_spj_test.cc.o.d"
+  "differential_spj_test"
+  "differential_spj_test.pdb"
+  "differential_spj_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_spj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrity_test.dir/integrity_test.cc.o"
+  "CMakeFiles/integrity_test.dir/integrity_test.cc.o.d"
+  "integrity_test"
+  "integrity_test.pdb"
+  "integrity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

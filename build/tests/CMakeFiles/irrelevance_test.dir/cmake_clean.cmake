@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irrelevance_test.dir/irrelevance_test.cc.o"
+  "CMakeFiles/irrelevance_test.dir/irrelevance_test.cc.o.d"
+  "irrelevance_test"
+  "irrelevance_test.pdb"
+  "irrelevance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irrelevance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

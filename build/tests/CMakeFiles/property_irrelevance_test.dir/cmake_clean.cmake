@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_irrelevance_test.dir/property_irrelevance_test.cc.o"
+  "CMakeFiles/property_irrelevance_test.dir/property_irrelevance_test.cc.o.d"
+  "property_irrelevance_test"
+  "property_irrelevance_test.pdb"
+  "property_irrelevance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_irrelevance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

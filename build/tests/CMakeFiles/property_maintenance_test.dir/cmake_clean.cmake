@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_maintenance_test.dir/property_maintenance_test.cc.o"
+  "CMakeFiles/property_maintenance_test.dir/property_maintenance_test.cc.o.d"
+  "property_maintenance_test"
+  "property_maintenance_test.pdb"
+  "property_maintenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satisfiability_test.dir/satisfiability_test.cc.o"
+  "CMakeFiles/satisfiability_test.dir/satisfiability_test.cc.o.d"
+  "satisfiability_test"
+  "satisfiability_test.pdb"
+  "satisfiability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satisfiability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

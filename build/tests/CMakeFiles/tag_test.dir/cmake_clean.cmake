@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_test.dir/tag_test.cc.o"
+  "CMakeFiles/tag_test.dir/tag_test.cc.o.d"
+  "tag_test"
+  "tag_test.pdb"
+  "tag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_manager_test.dir/view_manager_test.cc.o"
+  "CMakeFiles/view_manager_test.dir/view_manager_test.cc.o.d"
+  "view_manager_test"
+  "view_manager_test.pdb"
+  "view_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
