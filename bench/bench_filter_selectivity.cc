@@ -50,7 +50,7 @@ double RunStream(double irrelevant_fraction, bool use_filter,
     vm.Apply(txn);
   }
   double elapsed = timer.ElapsedSeconds();
-  if (stats_out != nullptr) *stats_out = vm.Stats("v");
+  if (stats_out != nullptr) *stats_out = vm.Describe("v").stats;
   return elapsed;
 }
 

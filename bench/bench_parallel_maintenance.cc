@@ -1,0 +1,137 @@
+// Experiment E14: the parallel commit pipeline.  With many registered views,
+// the per-view filter + differential phase of a commit is embarrassingly
+// parallel (every view reads the same immutable pre-state); only the final
+// delta application is serial.  This benchmark measures end-to-end commit
+// throughput for the serial pipeline vs. a ThreadPool with 1/2/4/8 workers,
+// and contrasts both against full re-evaluation, on a workload of eight
+// mixed select/project/join views over four base relations.
+//
+// Note: speedup requires actual cores.  On a single-core host all worker
+// counts collapse to serial throughput (minus pool overhead); the expected
+// >=1.5x at 4 workers materializes on multi-core hardware.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "ivm/view_manager.h"
+#include "workload/generator.h"
+
+namespace mview {
+namespace {
+
+constexpr size_t kTransactions = 64;
+constexpr size_t kUpdatesPerRelation = 6;
+
+struct Setup {
+  Database db;
+  WorkloadGenerator gen{42};
+  std::vector<RelationSpec> specs{
+      RelationSpec{"r0", 2, 4000, 4000},
+      RelationSpec{"r1", 2, 4000, 4000},
+      RelationSpec{"r2", 2, 4000, 4000},
+      RelationSpec{"r3", 2, 4000, 4000},
+  };
+  ViewManager vm;
+
+  // parallelism 0 = serial pipeline (no pool).
+  explicit Setup(size_t parallelism,
+                 MaintenanceMode mode = MaintenanceMode::kImmediate)
+      : vm(&db, parallelism) {
+    for (const auto& spec : specs) gen.Populate(&db, spec);
+    auto join = [](std::string name, const std::string& a,
+                   const std::string& b) {
+      return ViewDefinition(std::move(name),
+                            {BaseRef{a, {}}, BaseRef{b, {}}},
+                            a + "_a1 = " + b + "_a0");
+    };
+    vm.RegisterView(join("v_join_01", "r0", "r1"), mode);
+    vm.RegisterView(join("v_join_12", "r1", "r2"), mode);
+    vm.RegisterView(join("v_join_23", "r2", "r3"), mode);
+    vm.RegisterView(join("v_join_30", "r3", "r0"), mode);
+    vm.RegisterView(
+        ViewDefinition::Select("v_sel_0", "r0", "r0_a0 < 2000"), mode);
+    vm.RegisterView(
+        ViewDefinition::Select("v_sel_2", "r2", "r2_a1 >= 1000"), mode);
+    vm.RegisterView(ViewDefinition::Project("v_proj_1", "r1", {"r1_a1"}),
+                    mode);
+    vm.RegisterView(ViewDefinition::Project("v_proj_3", "r3", {"r3_a0"}),
+                    mode);
+  }
+
+  void RunTransactions(size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      Transaction txn;
+      for (const auto& spec : specs) {
+        gen.AddUpdates(&txn, spec, kUpdatesPerRelation / 2,
+                       kUpdatesPerRelation / 2);
+      }
+      vm.Apply(txn);
+    }
+  }
+};
+
+void BM_CommitPipeline(benchmark::State& state) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Setup setup(workers);
+    state.ResumeTiming();
+    setup.RunTransactions(kTransactions);
+  }
+}
+// 0 = serial (no pool); 1..8 = pool workers.
+BENCHMARK(BM_CommitPipeline)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_FullReevaluation(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Setup setup(0, MaintenanceMode::kFullReevaluation);
+    state.ResumeTiming();
+    setup.RunTransactions(kTransactions);
+  }
+}
+BENCHMARK(BM_FullReevaluation)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void PrintSummary() {
+  using bench::FormatSeconds;
+  using bench::FormatSpeedup;
+  std::printf("\nhardware_concurrency: %u\n",
+              std::thread::hardware_concurrency());
+  bench::SummaryTable table(
+      "E14: parallel per-view maintenance — 64 commits, 8 views over 4 "
+      "relations (6 updates per relation per commit)",
+      {"pipeline", "total commit time", "speedup vs serial"});
+  const double serial = bench::TimeIt(
+      [] { Setup setup(0); setup.RunTransactions(kTransactions); });
+  table.AddRow({"serial (no pool)", FormatSeconds(serial), "1.00x"});
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    const double t = bench::TimeIt([workers] {
+      Setup setup(workers);
+      setup.RunTransactions(kTransactions);
+    });
+    table.AddRow({"pool, " + std::to_string(workers) + " worker(s)",
+                  FormatSeconds(t), FormatSpeedup(serial / t)});
+  }
+  const double full = bench::TimeIt([] {
+    Setup setup(0, MaintenanceMode::kFullReevaluation);
+    setup.RunTransactions(kTransactions);
+  });
+  table.AddRow({"full re-evaluation", FormatSeconds(full),
+                FormatSpeedup(serial / full)});
+  table.Print();
+}
+
+}  // namespace
+}  // namespace mview
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  mview::PrintSummary();
+  return 0;
+}

@@ -68,13 +68,13 @@ void PrintSummary() {
         setup.gen.AddUpdates(&txn, setup.r, 4, 4);
         setup.vm.Apply(txn);
         if (i % period == 0) {
-          max_pending = std::max(max_pending, setup.vm.PendingTuples("v"));
+          max_pending = std::max(max_pending, setup.vm.Describe("v").pending_tuples);
           setup.vm.Refresh("v");
         }
       }
       double total = timer.ElapsedSeconds();
       table.AddRow({std::to_string(period),
-                    std::to_string(setup.vm.Stats("v").refreshes),
+                    std::to_string(setup.vm.Describe("v").stats.refreshes),
                     std::to_string(max_pending), FormatSeconds(total)});
     }
     table.Print();
@@ -97,8 +97,8 @@ void PrintSummary() {
         "E11b: log composition under churn — 100 alternating insert/delete "
         "transactions of one tuple",
         {"transactions", "pending tuples in log", "is stale"});
-    table.AddRow({"100", std::to_string(setup.vm.PendingTuples("v")),
-                  setup.vm.IsStale("v") ? "yes" : "no"});
+    table.AddRow({"100", std::to_string(setup.vm.Describe("v").pending_tuples),
+                  setup.vm.Describe("v").stale ? "yes" : "no"});
     table.Print();
   }
   {

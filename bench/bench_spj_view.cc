@@ -71,7 +71,7 @@ void PrintSummary() {
   // Work-counter view of the same story, machine-independent.
   SpjSetup setup(MaintenanceMode::kImmediate);
   for (int i = 0; i < 50; ++i) setup.OneTransaction(16);
-  const MaintenanceStats& stats = setup.vm.Stats("v");
+  const MaintenanceStats stats = setup.vm.Describe("v").stats;
   bench::SummaryTable counters(
       "E8 work counters after 50 transactions (differential mode)",
       {"txns", "updates seen", "filtered", "rows evaluated", "tuples scanned",

@@ -62,7 +62,7 @@ int main() {
     }
   }
 
-  const MaintenanceStats& stats = vm.Stats("hot_critical");
+  const MaintenanceStats stats = vm.Describe("hot_critical").stats;
   std::printf(
       "\nmonitoring summary: %lld updates inspected, %lld (%.1f%%) proved "
       "irrelevant by the Section-4 filter, %lld transactions skipped "

@@ -62,7 +62,7 @@ int main() {
   PrintView(vm, "v");
 
   // 6. Maintenance statistics.
-  const MaintenanceStats& stats = vm.Stats("v");
+  const MaintenanceStats stats = vm.Describe("v").stats;
   std::printf(
       "\nstats: %lld transactions, %lld updates seen, %lld filtered as "
       "irrelevant, %lld truth-table rows evaluated\n",

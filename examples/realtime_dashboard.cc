@@ -55,13 +55,13 @@ int main() {
   std::printf("%-24s %14s %14s %12s\n", "panel", "maint time", "per txn",
               "view size");
   for (const auto& name : vm.ViewNames()) {
-    const MaintenanceStats& stats = vm.Stats(name);
+    const MaintenanceStats stats = vm.Describe(name).stats;
     double secs = static_cast<double>(stats.maintenance_nanos) * 1e-9;
     std::printf("%-24s %12.3f ms %12.1f us %12zu\n", name.c_str(),
                 secs * 1e3, secs * 1e6 / kTransactions, vm.View(name).size());
   }
-  const MaintenanceStats& diff = vm.Stats("panel_join");
-  const MaintenanceStats& full = vm.Stats("panel_join_recompute");
+  const MaintenanceStats diff = vm.Describe("panel_join").stats;
+  const MaintenanceStats full = vm.Describe("panel_join_recompute").stats;
   std::printf(
       "\ndifferential maintenance of panel_join was %.1fx cheaper than "
       "recomputation, and the panels are identical: %s\n",

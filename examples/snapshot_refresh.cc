@@ -47,19 +47,19 @@ int main() {
     }
     std::printf(
         "day %d: %3zu net changes pending, report %s\n", day,
-        vm.PendingTuples("branch_report"),
-        vm.IsStale("branch_report") ? "stale (serving yesterday's data)"
+        vm.Describe("branch_report").pending_tuples,
+        vm.Describe("branch_report").stale ? "stale (serving yesterday's data)"
                                     : "fresh");
     // Nightly refresh: one differential pass over the composed delta.
     vm.Refresh("branch_report");
     bool exact = vm.View("branch_report").SameContents(vm.View("reference"));
     std::printf("        nightly refresh #%lld done — matches live view: %s\n",
-                static_cast<long long>(vm.Stats("branch_report").refreshes),
+                static_cast<long long>(vm.Describe("branch_report").stats.refreshes),
                 exact ? "yes" : "NO (bug!)");
   }
 
-  const MaintenanceStats& snap = vm.Stats("branch_report");
-  const MaintenanceStats& live = vm.Stats("reference");
+  const MaintenanceStats snap = vm.Describe("branch_report").stats;
+  const MaintenanceStats live = vm.Describe("reference").stats;
   std::printf(
       "\ntotals over 600 transactions:\n"
       "  deferred:  %8.3f ms maintenance (3 refreshes, %lld updates logged "

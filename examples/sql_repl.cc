@@ -19,6 +19,8 @@
 //     UPDATE emp SET salary = 200 WHERE name = 'ann';
 //     SELECT * FROM emp_city WHERE salary > 100;
 //     SHOW VIEWS;
+//     SHOW STATS;        -- maintenance counters and phase timers
+//     SHOW STATS JSON;   -- the same, as one JSON document
 //
 // When a script is piped on stdin the shell executes it and exits.
 
@@ -27,7 +29,6 @@
 #include <string>
 
 #include "sql/engine.h"
-#include "util/error.h"
 
 int main() {
   mview::sql::Engine engine;
@@ -46,13 +47,15 @@ int main() {
     buffer += line;
     buffer += '\n';
     if (buffer.find(';') == std::string::npos) continue;
-    try {
-      for (const auto& result : engine.ExecuteScript(buffer)) {
-        std::fputs(result.ToString().c_str(), stdout);
-      }
-    } catch (const mview::Error& e) {
-      std::printf("error: %s\n", e.what());
+    // Results of the statements that ran are printed even when a later
+    // statement fails; the status then names the failing one.
+    std::vector<mview::sql::Engine::Result> results;
+    mview::sql::Engine::Status status =
+        engine.TryExecuteScript(buffer, &results);
+    for (const auto& result : results) {
+      std::fputs(result.ToString().c_str(), stdout);
     }
+    if (!status.ok) std::printf("error: %s\n", status.message.c_str());
     buffer.clear();
   }
   std::printf("\nbye\n");

@@ -1,8 +1,17 @@
 #include "ivm/differential.h"
 
 #include "util/error.h"
+#include "util/stopwatch.h"
 
 namespace mview {
+
+PhaseBreakdown& PhaseBreakdown::operator+=(const PhaseBreakdown& o) {
+  normalize_nanos += o.normalize_nanos;
+  filter_nanos += o.filter_nanos;
+  differential_nanos += o.differential_nanos;
+  apply_nanos += o.apply_nanos;
+  return *this;
+}
 
 MaintenanceStats& MaintenanceStats::operator+=(const MaintenanceStats& o) {
   transactions += o.transactions;
@@ -43,11 +52,13 @@ bool DifferentialMaintainer::AffectedBy(const TransactionEffect& effect) const {
 }
 
 ViewDelta DifferentialMaintainer::ComputeDelta(const TransactionEffect& effect,
-                                               MaintenanceStats* stats) const {
+                                               MaintenanceStats* stats,
+                                               PhaseBreakdown* phases) const {
   // Filtered copies of the per-base deltas (Algorithm 4.1).  The clean part
   // subtracts the *unfiltered* deletes — the surviving state is defined by
   // what the transaction actually removed; tuples the filter drops are
   // provably invisible to the view either way.
+  Stopwatch filter_timer;
   std::vector<std::unique_ptr<Relation>> filtered;
   std::vector<BaseParts> parts(def_.bases().size());
   for (size_t i = 0; i < def_.bases().size(); ++i) {
@@ -79,7 +90,13 @@ ViewDelta DifferentialMaintainer::ComputeDelta(const TransactionEffect& effect,
     parts[i].inserts = filter_one(re->inserts);
     parts[i].deletes = filter_one(re->deletes);
   }
-  return ComputeDeltaFromParts(parts, stats);
+  if (phases != nullptr) phases->filter_nanos += filter_timer.ElapsedNanos();
+  Stopwatch differential_timer;
+  ViewDelta delta = ComputeDeltaFromParts(parts, stats);
+  if (phases != nullptr) {
+    phases->differential_nanos += differential_timer.ElapsedNanos();
+  }
+  return delta;
 }
 
 ViewDelta DifferentialMaintainer::ComputeDeltaFromParts(

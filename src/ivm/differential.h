@@ -41,6 +41,18 @@ struct MaintenanceOptions {
   DeltaStrategy strategy = DeltaStrategy::kTruthTable;
 };
 
+/// Wall-clock nanoseconds spent in each phase of the commit pipeline,
+/// aggregated per view (filter/differential/apply) or per commit
+/// (normalize) by the `ViewManager`'s `MetricsRegistry`.
+struct PhaseBreakdown {
+  int64_t normalize_nanos = 0;     // Transaction::Normalize (Section 3)
+  int64_t filter_nanos = 0;        // Algorithm 4.1 irrelevance filtering
+  int64_t differential_nanos = 0;  // Algorithm 5.1 delta computation
+  int64_t apply_nanos = 0;         // delta application / recompute
+
+  PhaseBreakdown& operator+=(const PhaseBreakdown& other);
+};
+
 /// Work counters for maintenance, aggregated per view by the `ViewManager`
 /// and reported by the benchmark harness.
 struct MaintenanceStats {
@@ -95,9 +107,16 @@ class DifferentialMaintainer {
   /// Computes the view delta for a transaction's net effect.  The database
   /// must still hold the *pre-transaction* state (the paper's assumption
   /// (a), Section 5).  Irrelevant tuples are filtered per Algorithm 4.1
-  /// when enabled.
+  /// when enabled.  When `phases` is non-null, filter and differential time
+  /// are accumulated into it separately.
+  ///
+  /// Thread-safety: const and reads only the (frozen) database pre-state,
+  /// so concurrent calls for *different* maintainers are safe as long as no
+  /// thread mutates the database — the property the parallel commit
+  /// pipeline relies on.
   ViewDelta ComputeDelta(const TransactionEffect& effect,
-                         MaintenanceStats* stats = nullptr) const;
+                         MaintenanceStats* stats = nullptr,
+                         PhaseBreakdown* phases = nullptr) const;
 
   /// Lower-level entry point used by deferred refresh: `parts[i]` describes
   /// base occurrence `i` (all fields may be null for untouched bases).

@@ -1,0 +1,132 @@
+#include "ivm/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mview {
+namespace {
+
+// Minimal JSON string escaping (view names are SQL identifiers, but the
+// C++ API places no restriction on them).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void SizeHistogram::Record(int64_t size) {
+  if (size < 0) size = 0;
+  size_t b = 0;
+  while (b + 1 < kBuckets && (int64_t{1} << b) <= size) ++b;
+  // counts_[0] holds size 0, counts_[b] holds [2^(b-1), 2^b) for b ≥ 1.
+  ++counts_[b];
+  ++total_samples_;
+  max_sample_ = std::max(max_sample_, size);
+}
+
+std::string SizeHistogram::BucketLabel(size_t b) {
+  if (b == 0) return "0";
+  if (b == 1) return "1";
+  int64_t lo = int64_t{1} << (b - 1);
+  if (b + 1 == kBuckets) return std::to_string(lo) + "+";
+  int64_t hi = (int64_t{1} << b) - 1;
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+std::string SizeHistogram::ToJson() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << BucketLabel(b) << "\": " << counts_[b];
+  }
+  os << "}";
+  return os.str();
+}
+
+SizeHistogram& SizeHistogram::operator+=(const SizeHistogram& other) {
+  for (size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  total_samples_ += other.total_samples_;
+  max_sample_ = std::max(max_sample_, other.max_sample_);
+  return *this;
+}
+
+ViewMetrics& ViewMetrics::operator+=(const ViewMetrics& other) {
+  stats += other.stats;
+  phases += other.phases;
+  delta_sizes += other.delta_sizes;
+  return *this;
+}
+
+std::string ViewMetrics::ToJson() const {
+  std::ostringstream os;
+  os << "{\"transactions\": " << stats.transactions
+     << ", \"skipped_irrelevant\": " << stats.skipped_irrelevant
+     << ", \"updates_seen\": " << stats.updates_seen
+     << ", \"updates_filtered\": " << stats.updates_filtered
+     << ", \"rows_enumerated\": " << stats.rows_enumerated
+     << ", \"rows_evaluated\": " << stats.rows_evaluated
+     << ", \"delta_inserts\": " << stats.delta_inserts
+     << ", \"delta_deletes\": " << stats.delta_deletes
+     << ", \"full_reevaluations\": " << stats.full_reevaluations
+     << ", \"refreshes\": " << stats.refreshes
+     << ", \"maintenance_nanos\": " << stats.maintenance_nanos
+     << ", \"filter_nanos\": " << phases.filter_nanos
+     << ", \"differential_nanos\": " << phases.differential_nanos
+     << ", \"apply_nanos\": " << phases.apply_nanos
+     << ", \"delta_size_histogram\": " << delta_sizes.ToJson() << "}";
+  return os.str();
+}
+
+ViewMetrics& MetricsRegistry::ForView(const std::string& view) {
+  auto& slot = views_[view];
+  if (slot == nullptr) slot = std::make_unique<ViewMetrics>();
+  return *slot;
+}
+
+const ViewMetrics* MetricsRegistry::Find(const std::string& view) const {
+  auto it = views_.find(view);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::Erase(const std::string& view) { views_.erase(view); }
+
+std::vector<std::string> MetricsRegistry::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, metrics] : views_) names.push_back(name);
+  return names;
+}
+
+ViewMetrics MetricsRegistry::Aggregate() const {
+  ViewMetrics total;
+  for (const auto& [name, metrics] : views_) total += *metrics;
+  return total;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  os << "{\"commits\": " << commit_.commits
+     << ", \"normalize_nanos\": " << commit_.normalize_nanos
+     << ", \"base_apply_nanos\": " << commit_.base_apply_nanos
+     << ", \"global\": " << Aggregate().ToJson() << ", \"views\": {";
+  bool first = true;
+  for (const auto& [name, metrics] : views_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\": " << metrics->ToJson();
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace mview

@@ -1,0 +1,112 @@
+#ifndef MVIEW_IVM_METRICS_H_
+#define MVIEW_IVM_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivm/differential.h"
+
+namespace mview {
+
+/// A histogram over non-negative sizes with power-of-two buckets
+/// `[0], [1], [2,3], [4,7], …` — used to record view-delta sizes (total
+/// multiplicity moved per maintained commit), whose distribution is the
+/// paper's whole argument for differential maintenance: most deltas are
+/// tiny relative to the view.
+class SizeHistogram {
+ public:
+  /// Bucket count; the last bucket absorbs everything ≥ 2^(kBuckets-2).
+  static constexpr size_t kBuckets = 32;
+
+  /// Records one sample (negative values clamp to 0).
+  void Record(int64_t size);
+
+  int64_t total_samples() const { return total_samples_; }
+  int64_t max_sample() const { return max_sample_; }
+
+  /// The count in bucket `b` (see `BucketLabel`).
+  int64_t bucket(size_t b) const { return counts_.at(b); }
+
+  /// Human-readable range of bucket `b`: "0", "1", "2-3", "4-7", …
+  static std::string BucketLabel(size_t b);
+
+  /// `{"0": 3, "2-3": 1}` — only non-empty buckets.
+  std::string ToJson() const;
+
+  SizeHistogram& operator+=(const SizeHistogram& other);
+
+ private:
+  std::array<int64_t, kBuckets> counts_{};
+  int64_t total_samples_ = 0;
+  int64_t max_sample_ = 0;
+};
+
+/// Everything the system records about one view's maintenance: the paper's
+/// work counters, the wall-clock phase breakdown of the commit pipeline,
+/// and the delta-size distribution.
+///
+/// Owned by the `MetricsRegistry`; during a parallel commit each view's
+/// `ViewMetrics` is written only by the worker computing that view's delta,
+/// so no synchronization is needed.
+struct ViewMetrics {
+  MaintenanceStats stats;
+  PhaseBreakdown phases;
+  SizeHistogram delta_sizes;
+
+  ViewMetrics& operator+=(const ViewMetrics& other);
+
+  /// One JSON object with counters, phase timers, and the histogram.
+  std::string ToJson() const;
+};
+
+/// Commit-scope counters not attributable to a single view.
+struct CommitMetrics {
+  int64_t commits = 0;             // non-empty effects applied
+  int64_t normalize_nanos = 0;     // Transaction::Normalize time
+  int64_t base_apply_nanos = 0;    // TransactionEffect::ApplyTo time
+};
+
+/// Per-view + global maintenance metrics for one `ViewManager`.
+///
+/// The registry is keyed by view name and hands out stable `ViewMetrics`
+/// pointers (entries never move).  It is *not* internally synchronized:
+/// the `ViewManager` guarantees that concurrent writers touch disjoint
+/// per-view entries and that registration, commit-scope updates, and
+/// `ToJson` happen on the coordinating thread only.
+class MetricsRegistry {
+ public:
+  /// Returns the entry for `view`, creating it on first use.
+  ViewMetrics& ForView(const std::string& view);
+
+  /// Returns the entry or nullptr.
+  const ViewMetrics* Find(const std::string& view) const;
+
+  /// Forgets a view's metrics (no-op when absent).
+  void Erase(const std::string& view);
+
+  /// Registered view names, sorted.
+  std::vector<std::string> ViewNames() const;
+
+  CommitMetrics& commit() { return commit_; }
+  const CommitMetrics& commit() const { return commit_; }
+
+  /// Sum of every view's metrics (the "global" row of SHOW STATS).
+  ViewMetrics Aggregate() const;
+
+  /// The full registry as one JSON document:
+  /// `{"commits": …, "normalize_nanos": …, "base_apply_nanos": …,
+  ///   "global": {…}, "views": {"name": {…}, …}}`.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<ViewMetrics>> views_;
+  CommitMetrics commit_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_IVM_METRICS_H_

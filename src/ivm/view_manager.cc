@@ -5,8 +5,17 @@
 
 namespace mview {
 
-ViewManager::ViewManager(Database* db) : db_(db) {
+ViewManager::ViewManager(Database* db, size_t parallelism) : db_(db) {
   MVIEW_CHECK(db_ != nullptr, "null database");
+  SetParallelism(parallelism);
+}
+
+void ViewManager::SetParallelism(size_t workers) {
+  if (workers == 0) {
+    pool_.reset();
+  } else if (pool_ == nullptr || pool_->num_workers() != workers) {
+    pool_ = std::make_unique<util::ThreadPool>(workers);
+  }
 }
 
 void ViewManager::RegisterView(ViewDefinition def, MaintenanceMode mode,
@@ -28,6 +37,7 @@ void ViewManager::RegisterView(ViewDefinition def, MaintenanceMode mode,
   view->maintainer =
       std::make_unique<DifferentialMaintainer>(std::move(def), db_, options);
   view->materialized = view->maintainer->FullEvaluate();
+  view->metrics = &metrics_.ForView(name);
   if (mode == MaintenanceMode::kDeferred) {
     const ViewDefinition& d = view->maintainer->definition();
     for (size_t i = 0; i < d.bases().size(); ++i) {
@@ -40,59 +50,97 @@ void ViewManager::RegisterView(ViewDefinition def, MaintenanceMode mode,
 
 void ViewManager::DropView(const std::string& name) {
   MVIEW_CHECK(views_.erase(name) > 0, "unknown view: ", name);
+  metrics_.Erase(name);
 }
 
 void ViewManager::Apply(const Transaction& txn) {
-  ApplyEffect(txn.Normalize(*db_));
+  Stopwatch timer;
+  TransactionEffect effect = txn.Normalize(*db_);
+  metrics_.commit().normalize_nanos += timer.ElapsedNanos();
+  ApplyEffect(effect);
+}
+
+void ViewManager::ComputeJob(CommitJob* job, const TransactionEffect& effect) {
+  ManagedView* view = job->view;
+  ViewMetrics& m = *view->metrics;
+  ++m.stats.transactions;
+  Stopwatch timer;
+  switch (view->mode) {
+    case MaintenanceMode::kImmediate: {
+      ViewDelta delta =
+          view->maintainer->ComputeDelta(effect, &m.stats, &m.phases);
+      if (delta.Empty()) {
+        ++m.stats.skipped_irrelevant;
+      } else {
+        job->delta = std::make_unique<ViewDelta>(std::move(delta));
+      }
+      break;
+    }
+    case MaintenanceMode::kDeferred: {
+      Stopwatch filter_timer;
+      LogDeferred(view, effect);
+      m.phases.filter_nanos += filter_timer.ElapsedNanos();
+      break;
+    }
+    case MaintenanceMode::kFullReevaluation:
+      break;  // recomputed after the effect lands
+  }
+  m.stats.maintenance_nanos += timer.ElapsedNanos();
 }
 
 void ViewManager::ApplyEffect(const TransactionEffect& effect) {
   if (effect.Empty()) return;
+  ++metrics_.commit().commits;
 
-  // Phase 1: compute deltas against the pre-state (assumption (a) of
-  // Section 5: base-relation contents before the transaction).
-  std::vector<std::pair<ManagedView*, ViewDelta>> deltas;
+  // Phase 2 (after the caller's phase-1 normalize): per affected view,
+  // filter + differential against the immutable pre-state (assumption (a)
+  // of Section 5: base-relation contents before the transaction).  The
+  // jobs only read the database and only write their own view's state, so
+  // they fan out across the pool when one is configured.
+  std::vector<CommitJob> jobs;
   for (auto& [name, view] : views_) {
     if (!view->maintainer->AffectedBy(effect)) continue;
-    Stopwatch timer;
-    switch (view->mode) {
-      case MaintenanceMode::kImmediate: {
-        ++view->stats.transactions;
-        ViewDelta delta = view->maintainer->ComputeDelta(effect, &view->stats);
-        if (delta.Empty()) {
-          ++view->stats.skipped_irrelevant;
-        } else {
-          deltas.emplace_back(view.get(), std::move(delta));
-        }
-        break;
-      }
-      case MaintenanceMode::kDeferred:
-        ++view->stats.transactions;
-        LogDeferred(view.get(), effect);
-        break;
-      case MaintenanceMode::kFullReevaluation:
-        ++view->stats.transactions;
-        break;  // recomputed after the effect lands
+    jobs.push_back(CommitJob{view.get(), nullptr});
+  }
+  if (pool_ != nullptr && jobs.size() > 1) {
+    for (auto& job : jobs) {
+      pool_->Submit([this, &job, &effect] { ComputeJob(&job, effect); });
     }
-    view->stats.maintenance_nanos += timer.ElapsedNanos();
+    // Rethrows the first task error before anything is mutated, so a
+    // failed commit leaves bases and views untouched.
+    pool_->WaitAll();
+  } else {
+    for (auto& job : jobs) ComputeJob(&job, effect);
   }
 
-  // Phase 2: apply the transaction to the base relations.
-  effect.ApplyTo(db_);
-
-  // Phase 3: apply the deltas / recompute baselines.
-  for (auto& [view, delta] : deltas) {
+  // Phase 3: apply the transaction to the base relations.
+  {
     Stopwatch timer;
-    delta.ApplyTo(&view->materialized);
-    view->stats.maintenance_nanos += timer.ElapsedNanos();
+    effect.ApplyTo(db_);
+    metrics_.commit().base_apply_nanos += timer.ElapsedNanos();
   }
-  for (auto& [name, view] : views_) {
-    if (view->mode != MaintenanceMode::kFullReevaluation) continue;
-    if (!view->maintainer->AffectedBy(effect)) continue;
-    Stopwatch timer;
-    view->materialized = view->maintainer->FullEvaluate(&view->stats.plan);
-    ++view->stats.full_reevaluations;
-    view->stats.maintenance_nanos += timer.ElapsedNanos();
+
+  // Phase 4: apply the deltas / recompute baselines, serially in name
+  // order (`jobs` follows the sorted `views_` map) for determinism.
+  for (auto& job : jobs) {
+    ManagedView* view = job.view;
+    ViewMetrics& m = *view->metrics;
+    if (job.delta != nullptr) {
+      Stopwatch timer;
+      job.delta->ApplyTo(&view->materialized);
+      int64_t nanos = timer.ElapsedNanos();
+      m.phases.apply_nanos += nanos;
+      m.stats.maintenance_nanos += nanos;
+      m.delta_sizes.Record(job.delta->TotalCount());
+    }
+    if (view->mode == MaintenanceMode::kFullReevaluation) {
+      Stopwatch timer;
+      view->materialized = view->maintainer->FullEvaluate(&m.stats.plan);
+      ++m.stats.full_reevaluations;
+      int64_t nanos = timer.ElapsedNanos();
+      m.phases.apply_nanos += nanos;
+      m.stats.maintenance_nanos += nanos;
+    }
   }
 }
 
@@ -100,6 +148,7 @@ void ViewManager::LogDeferred(ManagedView* view,
                               const TransactionEffect& effect) {
   const ViewDefinition& def = view->maintainer->definition();
   const bool use_filter = view->maintainer->options().use_irrelevance_filter;
+  MaintenanceStats& stats = view->metrics->stats;
   for (size_t i = 0; i < def.bases().size(); ++i) {
     const RelationEffect* re = effect.Find(def.bases()[i].relation);
     if (re == nullptr) continue;
@@ -107,17 +156,17 @@ void ViewManager::LogDeferred(ManagedView* view,
         view->maintainer->filter().base_filter(i);
     BaseDeltaLog& log = *view->pending[i];
     re->inserts.Scan([&](const Tuple& t) {
-      ++view->stats.updates_seen;
+      ++stats.updates_seen;
       if (use_filter && !filter.MightBeRelevant(t)) {
-        ++view->stats.updates_filtered;
+        ++stats.updates_filtered;
         return;
       }
       log.LogInsert(t);
     });
     re->deletes.Scan([&](const Tuple& t) {
-      ++view->stats.updates_seen;
+      ++stats.updates_seen;
       if (use_filter && !filter.MightBeRelevant(t)) {
-        ++view->stats.updates_filtered;
+        ++stats.updates_filtered;
         return;
       }
       log.LogDelete(t);
@@ -133,6 +182,7 @@ void ViewManager::RefreshView(const std::string& name, ManagedView* view) {
     if (!log->Empty()) stale = true;
   }
   if (!stale) return;
+  ViewMetrics& m = *view->metrics;
   Stopwatch timer;
   // The database now holds the post-state; the clean old part of each base
   // is r_now − inserts (= r_old − deletes).
@@ -144,12 +194,15 @@ void ViewManager::RefreshView(const std::string& name, ManagedView* view) {
     parts[i].deletes = &log.deletes();
     parts[i].subtract = &log.inserts();
   }
-  ViewDelta delta =
-      view->maintainer->ComputeDeltaFromParts(parts, &view->stats);
+  ViewDelta delta = view->maintainer->ComputeDeltaFromParts(parts, &m.stats);
+  m.phases.differential_nanos += timer.ElapsedNanos();
+  Stopwatch apply_timer;
   delta.ApplyTo(&view->materialized);
+  m.phases.apply_nanos += apply_timer.ElapsedNanos();
+  m.delta_sizes.Record(delta.TotalCount());
   for (auto& log : view->pending) log->Clear();
-  ++view->stats.refreshes;
-  view->stats.maintenance_nanos += timer.ElapsedNanos();
+  ++m.stats.refreshes;
+  m.stats.maintenance_nanos += timer.ElapsedNanos();
 }
 
 void ViewManager::Refresh(const std::string& name) {
@@ -160,19 +213,27 @@ void ViewManager::RefreshAll() {
   for (auto& [name, view] : views_) RefreshView(name, view.get());
 }
 
-bool ViewManager::IsStale(const std::string& name) const {
+ViewInfo ViewManager::Describe(const std::string& name) const {
   const ManagedView& view = GetView(name);
+  ViewInfo info;
+  info.name = name;
+  info.mode = view.mode;
+  info.definition = view.maintainer->definition();
+  info.stats = view.metrics->stats;
+  info.rows = view.materialized.size();
   for (const auto& log : view.pending) {
-    if (!log->Empty()) return true;
+    if (!log->Empty()) info.stale = true;
+    info.pending_tuples += log->TotalTuples();
   }
-  return false;
+  return info;
+}
+
+bool ViewManager::IsStale(const std::string& name) const {
+  return Describe(name).stale;
 }
 
 size_t ViewManager::PendingTuples(const std::string& name) const {
-  const ManagedView& view = GetView(name);
-  size_t total = 0;
-  for (const auto& log : view.pending) total += log->TotalTuples();
-  return total;
+  return Describe(name).pending_tuples;
 }
 
 const CountedRelation& ViewManager::View(const std::string& name) const {
@@ -180,7 +241,7 @@ const CountedRelation& ViewManager::View(const std::string& name) const {
 }
 
 const MaintenanceStats& ViewManager::Stats(const std::string& name) const {
-  return GetView(name).stats;
+  return GetView(name).metrics->stats;
 }
 
 const ViewDefinition& ViewManager::Definition(const std::string& name) const {

@@ -9,8 +9,10 @@
 #include "db/database.h"
 #include "db/transaction.h"
 #include "ivm/differential.h"
+#include "ivm/metrics.h"
 #include "ivm/snapshot.h"
 #include "ivm/view_def.h"
+#include "util/thread_pool.h"
 
 namespace mview {
 
@@ -29,23 +31,53 @@ enum class MaintenanceMode {
   kFullReevaluation,
 };
 
+/// Everything one call needs to know about a registered view: a value
+/// snapshot taken at `Describe` time (later commits do not mutate it).
+struct ViewInfo {
+  std::string name;
+  MaintenanceMode mode = MaintenanceMode::kImmediate;
+  ViewDefinition definition;
+  MaintenanceStats stats;     // snapshot of the work counters
+  size_t rows = 0;            // distinct tuples currently materialized
+  bool stale = false;         // deferred view with pending base changes
+  size_t pending_tuples = 0;  // logged tuples awaiting a refresh
+};
+
 /// Owns the materializations of a set of SPJ views over a `Database` and
 /// keeps them consistent as transactions commit.
 ///
-/// `Apply` implements the paper's commit protocol: the transaction is
-/// normalized to its net effect against the pre-state (Section 3),
-/// irrelevant updates are filtered per view (Section 4), surviving updates
-/// drive differential re-evaluation (Section 5) against the pre-state, the
-/// effect is applied to the base relations, and finally the view deltas are
-/// applied to the materializations.
+/// `Apply` implements the paper's commit protocol as a four-phase pipeline:
+/// the transaction is normalized to its net effect against the pre-state
+/// (Section 3); per view, irrelevant updates are filtered (Section 4) and
+/// surviving updates drive differential re-evaluation (Section 5) against
+/// the pre-state; the effect is applied to the base relations; finally the
+/// view deltas are applied to the materializations.
+///
+/// The per-view phase is read-only against the database and independent
+/// across views, so `SetParallelism` can fan it out over a `ThreadPool`;
+/// deltas are still applied serially in name order, so view contents are
+/// bit-identical to the serial pipeline regardless of worker count (see
+/// DESIGN.md, "Commit pipeline").
+///
+/// The manager is not itself thread-safe: one thread drives `Apply` and the
+/// accessors.  Parallelism is internal to a single commit.
 class ViewManager {
  public:
   /// The manager maintains views over `db`; base relations must be created
-  /// before views referencing them.
-  explicit ViewManager(Database* db);
+  /// before views referencing them.  `parallelism` is the number of worker
+  /// threads for the per-view commit phase; 0 (the default) runs it inline
+  /// on the calling thread.
+  explicit ViewManager(Database* db, size_t parallelism = 0);
 
   ViewManager(const ViewManager&) = delete;
   ViewManager& operator=(const ViewManager&) = delete;
+
+  /// Resizes the worker pool; 0 reverts to the serial pipeline.  Must not
+  /// be called from inside a maintenance task.
+  void SetParallelism(size_t workers);
+  size_t parallelism() const {
+    return pool_ == nullptr ? 0 : pool_->num_workers();
+  }
 
   /// Registers a view, creates hash indexes on its equi-join attributes,
   /// and materializes it from the current database state.  Throws when the
@@ -54,7 +86,7 @@ class ViewManager {
                     MaintenanceMode mode = MaintenanceMode::kImmediate,
                     MaintenanceOptions options = MaintenanceOptions{});
 
-  /// Removes a view and its materialization.
+  /// Removes a view, its materialization, and its metrics.
   void DropView(const std::string& name);
 
   /// Commits a transaction: updates the base relations and maintains every
@@ -75,17 +107,33 @@ class ViewManager {
   /// Refreshes every deferred view.
   void RefreshAll();
 
-  /// True when a deferred view has pending base changes.
-  bool IsStale(const std::string& name) const;
+  /// A point-in-time description of a registered view — mode, definition,
+  /// stats snapshot, staleness, pending count.  Throws on unknown names.
+  /// This replaces the former name-keyed getters (`Stats`, `Definition`,
+  /// `Mode`, `IsStale`, `PendingTuples`), which survive below as thin
+  /// forwarders for one release.
+  ViewInfo Describe(const std::string& name) const;
 
-  /// Pending logged tuples of a deferred view (0 otherwise).
-  size_t PendingTuples(const std::string& name) const;
-
-  const MaintenanceStats& Stats(const std::string& name) const;
-  const ViewDefinition& Definition(const std::string& name) const;
-  MaintenanceMode Mode(const std::string& name) const;
   bool HasView(const std::string& name) const { return views_.count(name) > 0; }
   const DifferentialMaintainer& Maintainer(const std::string& name) const;
+
+  /// Per-view and global maintenance metrics (counters, phase timers,
+  /// delta-size histograms); `metrics().ToJson()` is what SQL `SHOW STATS
+  /// JSON` prints.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Deprecated: use `Describe(name).stale`.
+  bool IsStale(const std::string& name) const;
+  /// Deprecated: use `Describe(name).pending_tuples`.
+  size_t PendingTuples(const std::string& name) const;
+  /// Deprecated: use `Describe(name).stats` (or `metrics()` for the live
+  /// registry entry).
+  const MaintenanceStats& Stats(const std::string& name) const;
+  /// Deprecated: use `Describe(name).definition`.
+  const ViewDefinition& Definition(const std::string& name) const;
+  /// Deprecated: use `Describe(name).mode`.
+  MaintenanceMode Mode(const std::string& name) const;
 
   std::vector<std::string> ViewNames() const;
   Database& database() { return *db_; }
@@ -96,18 +144,31 @@ class ViewManager {
     MaintenanceMode mode = MaintenanceMode::kImmediate;
     std::unique_ptr<DifferentialMaintainer> maintainer;
     CountedRelation materialized;
-    MaintenanceStats stats;
+    ViewMetrics* metrics = nullptr;  // owned by metrics_, stable address
     // Deferred mode: one filtered change log per base occurrence.
     std::vector<std::unique_ptr<BaseDeltaLog>> pending;
   };
 
+  /// One view's slot in a commit: filled by the (possibly parallel)
+  /// compute phase, consumed by the serial apply phase.
+  struct CommitJob {
+    ManagedView* view = nullptr;
+    std::unique_ptr<ViewDelta> delta;  // null: nothing to apply
+  };
+
   ManagedView& GetView(const std::string& name);
   const ManagedView& GetView(const std::string& name) const;
+  /// Phase-2 body for one view: filter + differential (immediate), log
+  /// (deferred).  Reads only the frozen pre-state; writes only this view's
+  /// state and metrics, so jobs are safe to run concurrently.
+  void ComputeJob(CommitJob* job, const TransactionEffect& effect);
   void LogDeferred(ManagedView* view, const TransactionEffect& effect);
   void RefreshView(const std::string& name, ManagedView* view);
 
   Database* db_;
   std::map<std::string, std::unique_ptr<ManagedView>> views_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace mview

@@ -8,6 +8,7 @@
 #include "ra/planner.h"
 #include "relational/csv.h"
 #include "util/error.h"
+#include "util/stopwatch.h"
 
 namespace mview::sql {
 namespace {
@@ -198,6 +199,14 @@ std::string Engine::Result::ToString() const {
 
 Engine::Engine() : views_(&db_), guard_(&db_) {}
 
+Engine::Status Engine::Status::ParseError(std::string message) {
+  return Status{false, Kind::kParseError, std::move(message)};
+}
+
+Engine::Status Engine::Status::ExecutionError(std::string message) {
+  return Status{false, Kind::kExecutionError, std::move(message)};
+}
+
 Engine::Result Engine::Execute(const std::string& sql) {
   std::vector<Statement> statements = Parse(sql);
   MVIEW_CHECK(statements.size() == 1,
@@ -206,12 +215,62 @@ Engine::Result Engine::Execute(const std::string& sql) {
   return ExecuteStatement(statements[0]);
 }
 
+Engine::Status Engine::TryExecute(const std::string& sql, Result* result) {
+  std::vector<Statement> statements;
+  try {
+    statements = Parse(sql);
+  } catch (const Error& e) {
+    return Status::ParseError(e.what());
+  }
+  if (statements.size() != 1) {
+    return Status::ParseError("TryExecute expects exactly one statement; got " +
+                              std::to_string(statements.size()) +
+                              " (use TryExecuteScript)");
+  }
+  try {
+    Result r = ExecuteStatement(statements[0]);
+    if (result != nullptr) *result = std::move(r);
+  } catch (const Error& e) {
+    return Status::ExecutionError(e.what());
+  }
+  return Status::Ok();
+}
+
 std::vector<Engine::Result> Engine::ExecuteScript(const std::string& sql) {
+  std::vector<Statement> statements = Parse(sql);
   std::vector<Result> results;
-  for (const auto& stmt : Parse(sql)) {
-    results.push_back(ExecuteStatement(stmt));
+  for (size_t i = 0; i < statements.size(); ++i) {
+    try {
+      results.push_back(ExecuteStatement(statements[i]));
+    } catch (const Error& e) {
+      internal::ThrowError("statement ", i + 1, " of ", statements.size(),
+                           ": ", e.what());
+    }
   }
   return results;
+}
+
+Engine::Status Engine::TryExecuteScript(const std::string& sql,
+                                        std::vector<Result>* results,
+                                        size_t* failed_statement) {
+  std::vector<Statement> statements;
+  try {
+    statements = Parse(sql);
+  } catch (const Error& e) {
+    return Status::ParseError(e.what());
+  }
+  for (size_t i = 0; i < statements.size(); ++i) {
+    try {
+      Result r = ExecuteStatement(statements[i]);
+      if (results != nullptr) results->push_back(std::move(r));
+    } catch (const Error& e) {
+      if (failed_statement != nullptr) *failed_statement = i;
+      return Status::ExecutionError("statement " + std::to_string(i + 1) +
+                                    " of " + std::to_string(statements.size()) +
+                                    ": " + e.what());
+    }
+  }
+  return Status::Ok();
 }
 
 ViewDefinition Engine::BuildDefinition(const std::string& name,
@@ -266,9 +325,9 @@ Engine::Result Engine::ExecuteSelect(const SelectQuery& query) {
 Engine::Result Engine::ExecuteCreateView(const Statement& stmt) {
   ViewDefinition def = BuildDefinition(stmt.name, stmt.query);
   views_.RegisterView(std::move(def), ToMode(stmt.view_mode));
-  return Message("view " + stmt.name + " created (" +
-                 ModeName(views_.Mode(stmt.name)) + ", " +
-                 std::to_string(views_.View(stmt.name).size()) + " rows)");
+  ViewInfo info = views_.Describe(stmt.name);
+  return Message("view " + stmt.name + " created (" + ModeName(info.mode) +
+                 ", " + std::to_string(info.rows) + " rows)");
 }
 
 Engine::Result Engine::ExecuteInsert(const Statement& stmt) {
@@ -353,7 +412,12 @@ Engine::Result Engine::ExecuteUpdate(const Statement& stmt) {
 }
 
 Engine::Result Engine::CommitTransaction(Transaction txn) {
+  // Normalized here (not via ViewManager::Apply) because the integrity
+  // precheck needs the effect before the views see it; credit the phase-1
+  // timer so SQL commits report normalize_nanos like direct Apply calls.
+  Stopwatch timer;
   TransactionEffect effect = txn.Normalize(db_);
+  views_.metrics().commit().normalize_nanos += timer.ElapsedNanos();
   if (effect.Empty()) return Message("");
   IntegrityGuard::Precheck precheck = guard_.PrecheckEffect(effect);
   if (!precheck.ok) {
@@ -372,7 +436,8 @@ Engine::Result Engine::CommitTransaction(Transaction txn) {
 
 void Engine::EnsureTableDroppable(const std::string& name) const {
   for (const auto& view : views_.ViewNames()) {
-    for (const auto& base : views_.Definition(view).bases()) {
+    const ViewInfo info = views_.Describe(view);
+    for (const auto& base : info.definition.bases()) {
       MVIEW_CHECK(base.relation != name, "cannot drop ", name,
                   ": referenced by view ", view);
     }
@@ -445,11 +510,52 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
                      {"stale", ValueType::kString}});
       std::vector<std::pair<Tuple, int64_t>> rows;
       for (const auto& name : views_.ViewNames()) {
+        ViewInfo info = views_.Describe(name);
         rows.emplace_back(
-            Tuple({Value(name), Value(ModeName(views_.Mode(name))),
-                   Value(static_cast<int64_t>(views_.View(name).size())),
-                   Value(views_.IsStale(name) ? "yes" : "no")}),
+            Tuple({Value(name), Value(ModeName(info.mode)),
+                   Value(static_cast<int64_t>(info.rows)),
+                   Value(info.stale ? "yes" : "no")}),
             1);
+      }
+      return RowsResult(std::move(schema), std::move(rows));
+    }
+    case Kind::kShowStats: {
+      if (stmt.json) return Message(views_.metrics().ToJson());
+      // Long format: one (view, metric, value) row per counter, with the
+      // cross-view aggregate and commit-scope timers under view "*".
+      Schema schema({{"view", ValueType::kString},
+                     {"metric", ValueType::kString},
+                     {"value", ValueType::kInt64}});
+      std::vector<std::pair<Tuple, int64_t>> rows;
+      auto emit = [&rows](const std::string& view, const char* metric,
+                          int64_t value) {
+        rows.emplace_back(
+            Tuple({Value(view), Value(metric), Value(value)}), 1);
+      };
+      auto emit_view = [&emit](const std::string& view,
+                               const ViewMetrics& m) {
+        emit(view, "transactions", m.stats.transactions);
+        emit(view, "skipped_irrelevant", m.stats.skipped_irrelevant);
+        emit(view, "updates_seen", m.stats.updates_seen);
+        emit(view, "updates_filtered", m.stats.updates_filtered);
+        emit(view, "delta_inserts", m.stats.delta_inserts);
+        emit(view, "delta_deletes", m.stats.delta_deletes);
+        emit(view, "full_reevaluations", m.stats.full_reevaluations);
+        emit(view, "refreshes", m.stats.refreshes);
+        emit(view, "maintenance_nanos", m.stats.maintenance_nanos);
+        emit(view, "filter_nanos", m.phases.filter_nanos);
+        emit(view, "differential_nanos", m.phases.differential_nanos);
+        emit(view, "apply_nanos", m.phases.apply_nanos);
+        emit(view, "deltas_recorded", m.delta_sizes.total_samples());
+        emit(view, "max_delta_size", m.delta_sizes.max_sample());
+      };
+      const MetricsRegistry& registry = views_.metrics();
+      emit("*", "commits", registry.commit().commits);
+      emit("*", "normalize_nanos", registry.commit().normalize_nanos);
+      emit("*", "base_apply_nanos", registry.commit().base_apply_nanos);
+      emit_view("*", registry.Aggregate());
+      for (const auto& name : registry.ViewNames()) {
+        emit_view(name, *registry.Find(name));
       }
       return RowsResult(std::move(schema), std::move(rows));
     }

@@ -46,13 +46,49 @@ class Engine {
     std::string ToString() const;
   };
 
+  /// The outcome of a non-throwing execution (`TryExecute` /
+  /// `TryExecuteScript`): success, or a classified failure with the error
+  /// text.  Lets drivers and REPLs branch on failure instead of using
+  /// exceptions for control flow.
+  struct Status {
+    enum class Kind {
+      kOk,
+      kParseError,      // lexer/parser rejected the text
+      kExecutionError,  // a statement failed (semantic error, unknown
+                        // name, type mismatch, …)
+    };
+    bool ok = true;
+    Kind kind = Kind::kOk;
+    std::string message;
+
+    static Status Ok() { return Status{}; }
+    static Status ParseError(std::string message);
+    static Status ExecutionError(std::string message);
+  };
+
   /// Executes one statement (a trailing ';' is allowed).  Throws
   /// `mview::Error` on syntax or semantic errors; failed assertion checks
   /// return a `kMessage` result describing the rejection instead.
   Result Execute(const std::string& sql);
 
-  /// Executes a ';'-separated script, stopping at the first error.
+  /// Non-throwing sibling of `Execute`: on success fills `*result` and
+  /// returns an ok status; on failure leaves `*result` untouched and
+  /// returns the classified error.  `result` may be null when the caller
+  /// only cares about success.
+  Status TryExecute(const std::string& sql, Result* result);
+
+  /// Executes a ';'-separated script, stopping at the first error; the
+  /// thrown `Error` names the 1-based index of the failing statement.
   std::vector<Result> ExecuteScript(const std::string& sql);
+
+  /// Non-throwing sibling of `ExecuteScript`: appends one `Result` per
+  /// successfully executed statement to `*results` (may be null), and on
+  /// execution failure reports the 0-based index of the failing statement
+  /// via `*failed_statement` (may be null; untouched on parse errors,
+  /// which reject the whole script before anything runs).
+  Status TryExecuteScript(const std::string& sql,
+                          std::vector<Result>* results,
+                          size_t* failed_statement = nullptr);
 
   Database& database() { return db_; }
   ViewManager& views() { return views_; }

@@ -339,6 +339,9 @@ class Parser {
         stmt.kind = Statement::Kind::kShowTables;
       } else if (ConsumeKeyword("VIEWS")) {
         stmt.kind = Statement::Kind::kShowViews;
+      } else if (ConsumeKeyword("STATS")) {
+        stmt.kind = Statement::Kind::kShowStats;
+        stmt.json = ConsumeKeyword("JSON");
       } else {
         ExpectKeyword("ASSERTIONS");
         stmt.kind = Statement::Kind::kShowAssertions;

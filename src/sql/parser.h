@@ -43,6 +43,7 @@ enum class ViewMode { kImmediate, kDeferred, kFullReevaluation };
 ///     SELECT * | col [, col …] FROM t [alias] [, …] [WHERE …];
 ///     REFRESH [VIEW] v;
 ///     SHOW TABLES; SHOW VIEWS; SHOW ASSERTIONS;
+///     SHOW STATS [JSON];
 ///     COPY t TO 'file.csv'; COPY t FROM 'file.csv';
 ///     BEGIN; COMMIT; ROLLBACK;
 ///
@@ -65,6 +66,7 @@ struct Statement {
     kShowTables,
     kShowViews,
     kShowAssertions,
+    kShowStats,  // SHOW STATS [JSON] — maintenance metrics
     kCopyTo,    // COPY t TO 'file.csv'   (table or view → CSV)
     kCopyFrom,  // COPY t FROM 'file.csv' (CSV rows inserted into table)
     kBegin,
@@ -82,6 +84,7 @@ struct Statement {
   std::vector<std::pair<std::string, Value>> assignments;  // UPDATE SET
   std::vector<std::string> tables;                   // ASSERTION ON list
   std::string path;                                  // COPY file path
+  bool json = false;                                 // SHOW STATS JSON
 };
 
 /// Parses a `;`-separated script into statements.  Throws `Error` with an

@@ -1,0 +1,72 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace mview::util {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  MVIEW_CHECK(num_workers >= 1, "thread pool needs at least one worker");
+  threads_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  MVIEW_CHECK(task != nullptr, "null task");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    MVIEW_CHECK(!shutting_down_, "Submit on a destructing pool");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+      if (--in_flight_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace mview::util

@@ -1,0 +1,65 @@
+#ifndef MVIEW_UTIL_THREAD_POOL_H_
+#define MVIEW_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mview::util {
+
+/// A fixed-size pool of worker threads with a single shared FIFO queue (no
+/// work stealing — tasks here are per-view delta computations of comparable
+/// size, so a central queue keeps the implementation small and the
+/// completion order deterministic enough for `WaitAll`).
+///
+/// Usage is submit-then-join: callers `Submit` a batch of independent tasks
+/// and `WaitAll` blocks until every submitted task has finished.  The pool
+/// is reusable across batches.  Exceptions thrown by tasks are captured; the
+/// *first* one (in completion order) is rethrown from `WaitAll`, after all
+/// tasks have drained, so the caller never observes a half-running batch.
+///
+/// Thread-safety: `Submit` and `WaitAll` may be called from any thread, but
+/// the submit-then-join protocol assumes one coordinating caller (as in
+/// `ViewManager::ApplyEffect`).  Tasks must not themselves call `Submit` or
+/// `WaitAll` on their own pool.
+class ThreadPool {
+ public:
+  /// Starts `num_workers` (≥ 1) worker threads.  Throws `Error` on 0.
+  explicit ThreadPool(size_t num_workers);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return threads_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed, then rethrows the
+  /// first exception a task raised (if any).  Afterwards the pool is idle
+  /// and reusable.
+  void WaitAll();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable task_available_;  // signals workers
+  std::condition_variable batch_done_;      // signals WaitAll
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mview::util
+
+#endif  // MVIEW_UTIL_THREAD_POOL_H_

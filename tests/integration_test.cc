@@ -98,7 +98,7 @@ TEST_F(WarehouseIntegrationTest, FourViewsStayConsistentUnderLoad) {
 
   // The irrelevance filter must have been busy for the region-0 view:
   // roughly 3 of 4 customer-dependent updates are irrelevant to region 0.
-  const MaintenanceStats& stats = vm_.Stats("region0_items");
+  const MaintenanceStats stats = vm_.Describe("region0_items").stats;
   EXPECT_GT(stats.updates_seen, 0);
 }
 
@@ -127,7 +127,7 @@ TEST_F(WarehouseIntegrationTest, AlerterScenario) {
     }
   }
   EXPECT_EQ(alerts, 4u);  // i % 100 ∈ {96..99}
-  const MaintenanceStats& stats = vm_.Stats("alert");
+  const MaintenanceStats stats = vm_.Describe("alert").stats;
   EXPECT_EQ(stats.updates_filtered, 96);
 }
 
@@ -138,7 +138,7 @@ TEST_F(WarehouseIntegrationTest, StatsPlumbing) {
   Transaction txn;
   txn.Insert("orders", T({999, 3, 50}));
   vm_.Apply(txn);
-  const MaintenanceStats& stats = vm_.Stats("order_regions");
+  const MaintenanceStats stats = vm_.Describe("order_regions").stats;
   EXPECT_EQ(stats.transactions, 1);
   EXPECT_EQ(stats.rows_evaluated, 1);
   EXPECT_EQ(stats.delta_inserts, 1);

@@ -1,0 +1,108 @@
+#include "ivm/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mview {
+namespace {
+
+TEST(SizeHistogramTest, PowerOfTwoBucketing) {
+  SizeHistogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(4);
+  h.Record(7);
+  h.Record(8);
+  h.Record(-5);  // clamps to 0
+  EXPECT_EQ(h.total_samples(), 8);
+  EXPECT_EQ(h.max_sample(), 8);
+  EXPECT_EQ(h.bucket(0), 2);  // the two zeros
+  EXPECT_EQ(h.bucket(1), 1);  // 1
+  EXPECT_EQ(h.bucket(2), 2);  // 2, 3
+  EXPECT_EQ(h.bucket(3), 2);  // 4, 7
+  EXPECT_EQ(h.bucket(4), 1);  // 8
+}
+
+TEST(SizeHistogramTest, LabelsAndJson) {
+  EXPECT_EQ(SizeHistogram::BucketLabel(0), "0");
+  EXPECT_EQ(SizeHistogram::BucketLabel(1), "1");
+  EXPECT_EQ(SizeHistogram::BucketLabel(2), "2-3");
+  EXPECT_EQ(SizeHistogram::BucketLabel(3), "4-7");
+  SizeHistogram h;
+  h.Record(0);
+  h.Record(5);
+  h.Record(6);
+  EXPECT_EQ(h.ToJson(), "{\"0\": 1, \"4-7\": 2}");
+}
+
+TEST(SizeHistogramTest, HugeSampleLandsInOverflowBucket) {
+  SizeHistogram h;
+  h.Record(int64_t{1} << 62);
+  EXPECT_EQ(h.bucket(SizeHistogram::kBuckets - 1), 1);
+}
+
+TEST(SizeHistogramTest, Accumulation) {
+  SizeHistogram a, b;
+  a.Record(1);
+  b.Record(1);
+  b.Record(16);
+  a += b;
+  EXPECT_EQ(a.total_samples(), 3);
+  EXPECT_EQ(a.bucket(1), 2);
+  EXPECT_EQ(a.max_sample(), 16);
+}
+
+TEST(MetricsRegistryTest, PerViewEntriesAndAggregate) {
+  MetricsRegistry registry;
+  ViewMetrics& a = registry.ForView("a");
+  ViewMetrics& b = registry.ForView("b");
+  a.stats.transactions = 3;
+  a.phases.filter_nanos = 10;
+  b.stats.transactions = 4;
+  b.phases.filter_nanos = 20;
+  // ForView is idempotent and stable.
+  EXPECT_EQ(&registry.ForView("a"), &a);
+  EXPECT_EQ(registry.Find("a"), &a);
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+  EXPECT_EQ(registry.ViewNames(), (std::vector<std::string>{"a", "b"}));
+  ViewMetrics total = registry.Aggregate();
+  EXPECT_EQ(total.stats.transactions, 7);
+  EXPECT_EQ(total.phases.filter_nanos, 30);
+}
+
+TEST(MetricsRegistryTest, EraseForgets) {
+  MetricsRegistry registry;
+  registry.ForView("a");
+  registry.Erase("a");
+  EXPECT_EQ(registry.Find("a"), nullptr);
+  registry.Erase("a");  // no-op
+}
+
+TEST(MetricsRegistryTest, ToJsonShape) {
+  MetricsRegistry registry;
+  registry.commit().commits = 2;
+  registry.commit().normalize_nanos = 5;
+  ViewMetrics& v = registry.ForView("v");
+  v.stats.transactions = 2;
+  v.stats.delta_inserts = 9;
+  v.delta_sizes.Record(9);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"commits\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"normalize_nanos\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"global\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"views\": {\"v\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"delta_inserts\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"delta_size_histogram\": {\"8-15\": 1}"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonEscapesViewNames) {
+  MetricsRegistry registry;
+  registry.ForView("we\"ird\\name");
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"we\\\"ird\\\\name\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mview

@@ -79,7 +79,7 @@ TEST_F(SnapshotRefreshTest, RefreshAfterInsertDeleteChurn) {
     vm_.Apply(txn);
   }
   // Net change relative to the snapshot: only the S insert.
-  EXPECT_EQ(vm_.PendingTuples("snap"), 1u);
+  EXPECT_EQ(vm_.Describe("snap").pending_tuples, 1u);
   vm_.Refresh("snap");
   DifferentialMaintainer oracle(def_, &db_);
   EXPECT_TRUE(vm_.View("snap").SameContents(oracle.FullEvaluate()));
@@ -92,9 +92,9 @@ TEST_F(SnapshotRefreshTest, FilteredLoggingSkipsIrrelevantUpdates) {
   Transaction txn;
   txn.Insert("S", T({2, 50}));  // C = 50 ≤ 100 → provably irrelevant
   vm_.Apply(txn);
-  EXPECT_EQ(vm_.PendingTuples("snap"), 0u);
-  EXPECT_FALSE(vm_.IsStale("snap"));
-  EXPECT_EQ(vm_.Stats("snap").updates_filtered, 1);
+  EXPECT_EQ(vm_.Describe("snap").pending_tuples, 0u);
+  EXPECT_FALSE(vm_.Describe("snap").stale);
+  EXPECT_EQ(vm_.Describe("snap").stats.updates_filtered, 1);
 }
 
 TEST_F(SnapshotRefreshTest, RepeatedRefreshCycles) {
@@ -111,7 +111,7 @@ TEST_F(SnapshotRefreshTest, RepeatedRefreshCycles) {
     EXPECT_TRUE(vm_.View("snap").SameContents(oracle.FullEvaluate()))
         << "round " << round;
   }
-  EXPECT_EQ(vm_.Stats("snap").refreshes, 5);
+  EXPECT_EQ(vm_.Describe("snap").stats.refreshes, 5);
 }
 
 TEST_F(SnapshotRefreshTest, DeferredAndImmediateAgreeUnderChurn) {

@@ -376,5 +376,141 @@ TEST(SqlFuzzTest, RandomTokenSoupThrowsCleanly) {
   EXPECT_GE(parsed_ok, 0);
 }
 
+// ----------------------------------------------- TryExecute / Status ---
+
+TEST(SqlStatusTest, TryExecuteSuccess) {
+  Engine engine;
+  Engine::Result result;
+  Engine::Status status =
+      engine.TryExecute("CREATE TABLE t (a INT);", &result);
+  EXPECT_TRUE(status.ok);
+  EXPECT_EQ(status.kind, Engine::Status::Kind::kOk);
+  EXPECT_EQ(result.message, "table t created");
+  // A null result pointer is allowed.
+  EXPECT_TRUE(engine.TryExecute("INSERT INTO t VALUES (1);", nullptr).ok);
+}
+
+TEST(SqlStatusTest, TryExecuteClassifiesParseErrors) {
+  Engine engine;
+  Engine::Result result;
+  result.message = "untouched";
+  Engine::Status status = engine.TryExecute("FROBNICATE;", &result);
+  EXPECT_FALSE(status.ok);
+  EXPECT_EQ(status.kind, Engine::Status::Kind::kParseError);
+  EXPECT_NE(status.message.find("unrecognized statement"), std::string::npos);
+  EXPECT_EQ(result.message, "untouched");
+  // Multiple statements are a misuse of the single-statement entry point.
+  EXPECT_EQ(engine.TryExecute("SHOW VIEWS; SHOW VIEWS;", nullptr).kind,
+            Engine::Status::Kind::kParseError);
+}
+
+TEST(SqlStatusTest, TryExecuteClassifiesExecutionErrors) {
+  Engine engine;
+  Engine::Status status = engine.TryExecute("SELECT * FROM missing;", nullptr);
+  EXPECT_FALSE(status.ok);
+  EXPECT_EQ(status.kind, Engine::Status::Kind::kExecutionError);
+  EXPECT_NE(status.message.find("missing"), std::string::npos);
+}
+
+TEST(SqlStatusTest, TryExecuteScriptReportsFailingStatementIndex) {
+  Engine engine;
+  std::vector<Engine::Result> results;
+  size_t failed = 999;
+  Engine::Status status = engine.TryExecuteScript(
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); "
+      "SELECT * FROM missing; INSERT INTO t VALUES (2);",
+      &results, &failed);
+  EXPECT_FALSE(status.ok);
+  EXPECT_EQ(status.kind, Engine::Status::Kind::kExecutionError);
+  EXPECT_EQ(failed, 2u);  // 0-based index of the SELECT
+  EXPECT_NE(status.message.find("statement 3 of 4"), std::string::npos);
+  // The first two statements ran and their results were kept...
+  ASSERT_EQ(results.size(), 2u);
+  // ...and the statement after the failure did not run.
+  Engine::Result count = engine.Execute("SELECT a FROM t;");
+  EXPECT_EQ(count.rows.size(), 1u);
+}
+
+TEST(SqlStatusTest, TryExecuteScriptParseErrorRunsNothing) {
+  Engine engine;
+  std::vector<Engine::Result> results;
+  size_t failed = 999;
+  Engine::Status status = engine.TryExecuteScript(
+      "CREATE TABLE t (a INT); THIS IS NOT SQL;", &results, &failed);
+  EXPECT_EQ(status.kind, Engine::Status::Kind::kParseError);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(failed, 999u);  // untouched on parse errors
+  EXPECT_FALSE(engine.database().Exists("t"));
+}
+
+TEST(SqlStatusTest, ExecuteScriptThrowsWithStatementIndex) {
+  Engine engine;
+  try {
+    engine.ExecuteScript(
+        "CREATE TABLE t (a INT); SELECT * FROM missing; SHOW VIEWS;");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("statement 2 of 3"),
+              std::string::npos);
+  }
+}
+
+// ------------------------------------------------------- SHOW STATS ---
+
+TEST(SqlShowStatsTest, TabularStats) {
+  Engine engine;
+  engine.ExecuteScript(
+      "CREATE TABLE t (a INT, b INT);"
+      "CREATE MATERIALIZED VIEW v AS SELECT a, b FROM t WHERE a < 10;"
+      "INSERT INTO t VALUES (1, 2), (50, 3);");
+  Engine::Result result = engine.Execute("SHOW STATS;");
+  ASSERT_EQ(result.kind, Engine::Result::Kind::kRows);
+  ASSERT_EQ(result.schema.size(), 3u);
+  EXPECT_EQ(result.schema.attribute(0).name, "view");
+  EXPECT_EQ(result.schema.attribute(1).name, "metric");
+  EXPECT_EQ(result.schema.attribute(2).name, "value");
+  auto value_of = [&result](const std::string& view,
+                            const std::string& metric) -> int64_t {
+    for (const auto& [tuple, count] : result.rows) {
+      if (tuple.at(0).AsString() == view &&
+          tuple.at(1).AsString() == metric) {
+        return tuple.at(2).AsInt64();
+      }
+    }
+    return -1;
+  };
+  EXPECT_EQ(value_of("*", "commits"), 1);
+  EXPECT_EQ(value_of("v", "transactions"), 1);
+  EXPECT_EQ(value_of("v", "updates_seen"), 2);
+  EXPECT_EQ(value_of("v", "updates_filtered"), 1);  // a=50 is irrelevant
+  EXPECT_EQ(value_of("v", "delta_inserts"), 1);
+  EXPECT_EQ(value_of("v", "deltas_recorded"), 1);
+}
+
+TEST(SqlShowStatsTest, JsonStats) {
+  Engine engine;
+  engine.ExecuteScript(
+      "CREATE TABLE t (a INT);"
+      "CREATE MATERIALIZED VIEW v AS SELECT a FROM t WHERE a < 10;"
+      "INSERT INTO t VALUES (1);");
+  Engine::Result result = engine.Execute("SHOW STATS JSON;");
+  ASSERT_EQ(result.kind, Engine::Result::Kind::kMessage);
+  EXPECT_EQ(result.message.front(), '{');
+  EXPECT_NE(result.message.find("\"commits\": 1"), std::string::npos);
+  EXPECT_NE(result.message.find("\"views\": {\"v\": {"), std::string::npos);
+  EXPECT_NE(result.message.find("\"delta_size_histogram\""),
+            std::string::npos);
+}
+
+TEST(SqlShowStatsTest, StatsFollowDropView) {
+  Engine engine;
+  engine.ExecuteScript(
+      "CREATE TABLE t (a INT);"
+      "CREATE MATERIALIZED VIEW v AS SELECT a FROM t;"
+      "DROP VIEW v;");
+  Engine::Result result = engine.Execute("SHOW STATS JSON;");
+  EXPECT_EQ(result.message.find("\"v\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mview::sql

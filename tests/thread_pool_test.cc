@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mview::util {
+namespace {
+
+TEST(ThreadPoolTest, ZeroWorkersThrows) {
+  EXPECT_THROW(ThreadPool(0), Error);
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    for (int i = 0; i < 8; ++i) pool.Submit([&count] { ++count; });
+    pool.WaitAll();
+    EXPECT_EQ(count.load(), (batch + 1) * 8);
+  }
+}
+
+TEST(ThreadPoolTest, WaitAllOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitAll();
+  pool.WaitAll();
+}
+
+TEST(ThreadPoolTest, PropagatesFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&completed, i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+      ++completed;
+    });
+  }
+  EXPECT_THROW(pool.WaitAll(), std::runtime_error);
+  // Every non-throwing task still ran: a failed batch drains fully.
+  EXPECT_EQ(completed.load(), 9);
+  // The pool recovers for the next batch.
+  pool.Submit([&completed] { ++completed; });
+  pool.WaitAll();
+  EXPECT_EQ(completed.load(), 10);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsSerially) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.WaitAll();
+  // One worker and a FIFO queue: submission order is execution order, and
+  // no synchronization on `order` is needed.
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&count] { ++count; });
+    // No WaitAll: destruction must still run everything before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace mview::util

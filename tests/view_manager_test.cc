@@ -45,7 +45,7 @@ TEST_F(ViewManagerTest, DuplicateNameThrows) {
 
 TEST_F(ViewManagerTest, UnknownViewThrows) {
   EXPECT_THROW(vm_.View("nope"), Error);
-  EXPECT_THROW(vm_.Stats("nope"), Error);
+  EXPECT_THROW(vm_.Describe("nope"), Error);
   EXPECT_THROW(vm_.Refresh("nope"), Error);
   EXPECT_THROW(vm_.DropView("nope"), Error);
 }
@@ -61,7 +61,7 @@ TEST_F(ViewManagerTest, ImmediateMaintenanceOnCommit) {
   // ...and the view too.
   EXPECT_TRUE(vm_.View("v").Contains(T({5, 20})));
   EXPECT_FALSE(vm_.View("v").Contains(T({3, 40})));
-  EXPECT_EQ(vm_.Stats("v").transactions, 1);
+  EXPECT_EQ(vm_.Describe("v").stats.transactions, 1);
 }
 
 TEST_F(ViewManagerTest, MultipleViewsMaintainedIndependently) {
@@ -84,7 +84,7 @@ TEST_F(ViewManagerTest, IrrelevantTransactionSkipsView) {
   txn.Insert("R", T({100, 100}));
   vm_.Apply(txn);
   EXPECT_TRUE(vm_.View("small").empty());
-  const MaintenanceStats& stats = vm_.Stats("small");
+  const MaintenanceStats stats = vm_.Describe("small").stats;
   EXPECT_EQ(stats.skipped_irrelevant, 1);
   EXPECT_EQ(stats.updates_filtered, 1);
 }
@@ -96,8 +96,8 @@ TEST_F(ViewManagerTest, FullReevaluationModeMatchesImmediate) {
   txn.Insert("R", T({5, 4})).Delete("R", T({1, 2})).Insert("S", T({9, 90}));
   vm_.Apply(txn);
   EXPECT_TRUE(vm_.View("diff").SameContents(vm_.View("full")));
-  EXPECT_EQ(vm_.Stats("full").full_reevaluations, 1);
-  EXPECT_EQ(vm_.Stats("diff").full_reevaluations, 0);
+  EXPECT_EQ(vm_.Describe("full").stats.full_reevaluations, 1);
+  EXPECT_EQ(vm_.Describe("diff").stats.full_reevaluations, 0);
 }
 
 TEST_F(ViewManagerTest, DeferredViewGoesStaleAndRefreshes) {
@@ -105,14 +105,14 @@ TEST_F(ViewManagerTest, DeferredViewGoesStaleAndRefreshes) {
   Transaction txn;
   txn.Insert("R", T({5, 2}));
   vm_.Apply(txn);
-  EXPECT_TRUE(vm_.IsStale("snap"));
-  EXPECT_GT(vm_.PendingTuples("snap"), 0u);
+  EXPECT_TRUE(vm_.Describe("snap").stale);
+  EXPECT_GT(vm_.Describe("snap").pending_tuples, 0u);
   // Stale contents: still the old materialization.
   EXPECT_FALSE(vm_.View("snap").Contains(T({5, 20})));
   vm_.Refresh("snap");
-  EXPECT_FALSE(vm_.IsStale("snap"));
+  EXPECT_FALSE(vm_.Describe("snap").stale);
   EXPECT_TRUE(vm_.View("snap").Contains(T({5, 20})));
-  EXPECT_EQ(vm_.Stats("snap").refreshes, 1);
+  EXPECT_EQ(vm_.Describe("snap").stats.refreshes, 1);
 }
 
 TEST_F(ViewManagerTest, DeferredRefreshAcrossManyTransactions) {
@@ -135,11 +135,11 @@ TEST_F(ViewManagerTest, RefreshAllAndNoopRefresh) {
   txn.Insert("R", T({5, 2}));
   vm_.Apply(txn);
   vm_.RefreshAll();
-  EXPECT_FALSE(vm_.IsStale("a"));
-  EXPECT_FALSE(vm_.IsStale("b"));
+  EXPECT_FALSE(vm_.Describe("a").stale);
+  EXPECT_FALSE(vm_.Describe("b").stale);
   // Refreshing an up-to-date view is a no-op.
   vm_.Refresh("a");
-  EXPECT_EQ(vm_.Stats("a").refreshes, 1);
+  EXPECT_EQ(vm_.Describe("a").stats.refreshes, 1);
 }
 
 TEST_F(ViewManagerTest, DropView) {
@@ -160,7 +160,7 @@ TEST_F(ViewManagerTest, EmptyTransactionIsNoop) {
   Transaction txn;
   txn.Insert("R", T({1, 2}));  // already present → net no-op
   vm_.Apply(txn);
-  EXPECT_EQ(vm_.Stats("v").transactions, 0);
+  EXPECT_EQ(vm_.Describe("v").stats.transactions, 0);
 }
 
 TEST_F(ViewManagerTest, StatsAccumulateAcrossTransactions) {
@@ -170,10 +170,95 @@ TEST_F(ViewManagerTest, StatsAccumulateAcrossTransactions) {
     txn.Insert("R", T({10 + i, 2}));
     vm_.Apply(txn);
   }
-  const MaintenanceStats& stats = vm_.Stats("v");
+  const MaintenanceStats stats = vm_.Describe("v").stats;
   EXPECT_EQ(stats.transactions, 5);
   EXPECT_EQ(stats.delta_inserts, 5);
   EXPECT_GT(stats.maintenance_nanos, 0);
+}
+
+TEST_F(ViewManagerTest, DescribeReturnsFullSnapshot) {
+  vm_.RegisterView(JoinDef("snap"), MaintenanceMode::kDeferred);
+  Transaction txn;
+  txn.Insert("R", T({5, 2}));
+  vm_.Apply(txn);
+  ViewInfo info = vm_.Describe("snap");
+  EXPECT_EQ(info.name, "snap");
+  EXPECT_EQ(info.mode, MaintenanceMode::kDeferred);
+  EXPECT_EQ(info.definition.name(), "snap");
+  EXPECT_EQ(info.definition.bases().size(), 2u);
+  EXPECT_EQ(info.stats.transactions, 1);
+  EXPECT_EQ(info.rows, vm_.View("snap").size());
+  EXPECT_TRUE(info.stale);
+  EXPECT_GT(info.pending_tuples, 0u);
+  // The info is a snapshot: refreshing does not mutate it.
+  vm_.Refresh("snap");
+  EXPECT_TRUE(info.stale);
+  EXPECT_FALSE(vm_.Describe("snap").stale);
+}
+
+TEST_F(ViewManagerTest, DeprecatedForwardersAgreeWithDescribe) {
+  vm_.RegisterView(JoinDef("snap"), MaintenanceMode::kDeferred);
+  Transaction txn;
+  txn.Insert("R", T({5, 2}));
+  vm_.Apply(txn);
+  ViewInfo info = vm_.Describe("snap");
+  EXPECT_EQ(vm_.Mode("snap"), info.mode);
+  EXPECT_EQ(vm_.Definition("snap").ToString(), info.definition.ToString());
+  EXPECT_EQ(vm_.Stats("snap").transactions, info.stats.transactions);
+  EXPECT_EQ(vm_.IsStale("snap"), info.stale);
+  EXPECT_EQ(vm_.PendingTuples("snap"), info.pending_tuples);
+}
+
+TEST_F(ViewManagerTest, MetricsRecordPhasesAndDeltaSizes) {
+  vm_.RegisterView(JoinDef("v"));
+  Transaction txn;
+  txn.Insert("R", T({5, 2}));
+  vm_.Apply(txn);
+  const ViewMetrics* m = vm_.metrics().Find("v");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->stats.transactions, 1);
+  EXPECT_GT(m->phases.differential_nanos, 0);
+  EXPECT_EQ(m->delta_sizes.total_samples(), 1);
+  EXPECT_EQ(vm_.metrics().commit().commits, 1);
+  // Apply() (vs. ApplyEffect) also times normalization.
+  EXPECT_GT(vm_.metrics().commit().normalize_nanos, 0);
+  std::string json = vm_.metrics().ToJson();
+  EXPECT_NE(json.find("\"views\": {\"v\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"delta_size_histogram\""), std::string::npos);
+}
+
+TEST_F(ViewManagerTest, DropViewErasesMetrics) {
+  vm_.RegisterView(JoinDef("v"));
+  EXPECT_NE(vm_.metrics().Find("v"), nullptr);
+  vm_.DropView("v");
+  EXPECT_EQ(vm_.metrics().Find("v"), nullptr);
+}
+
+TEST_F(ViewManagerTest, ParallelPipelineMatchesSerial) {
+  // One manager runs serial, one with a 4-worker pool, over identical
+  // databases; contents must match after every commit.
+  Database db2;
+  ::mview::testing::MakeRelation(&db2, "R", {"A", "B"}, {{1, 2}, {3, 4}});
+  ::mview::testing::MakeRelation(&db2, "S", {"B2", "C"}, {{2, 20}, {4, 40}});
+  ViewManager parallel(&db2, /*parallelism=*/4);
+  EXPECT_EQ(parallel.parallelism(), 4u);
+  for (const char* name : {"v1", "v2", "v3"}) {
+    vm_.RegisterView(JoinDef(name));
+    parallel.RegisterView(JoinDef(name));
+  }
+  for (int64_t i = 0; i < 10; ++i) {
+    Transaction txn;
+    txn.Insert("R", T({10 + i, i % 5}));
+    txn.Insert("S", T({i % 5, i}));
+    vm_.Apply(txn);
+    parallel.Apply(txn);
+    for (const char* name : {"v1", "v2", "v3"}) {
+      EXPECT_TRUE(vm_.View(name).SameContents(parallel.View(name)))
+          << name << " diverged at step " << i;
+    }
+  }
+  EXPECT_EQ(vm_.Describe("v2").stats.delta_inserts,
+            parallel.Describe("v2").stats.delta_inserts);
 }
 
 TEST_F(ViewManagerTest, SequenceOfMixedTransactionsStaysConsistent) {
