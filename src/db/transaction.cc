@@ -37,6 +37,13 @@ void TransactionEffect::ApplyTo(Database* db) const {
   }
 }
 
+RelationEffect& TransactionEffect::Mutable(const std::string& relation,
+                                           const Schema& schema) {
+  auto& slot = effects_[relation];
+  if (slot == nullptr) slot = std::make_unique<RelationEffect>(schema);
+  return *slot;
+}
+
 size_t TransactionEffect::TotalTuples() const {
   size_t total = 0;
   for (const auto& [name, effect] : effects_) {

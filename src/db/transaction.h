@@ -49,6 +49,15 @@ class TransactionEffect {
   /// Total number of inserted plus deleted tuples.
   size_t TotalTuples() const;
 
+  /// Returns a mutable effect slot for `relation`, creating an empty one
+  /// with `schema` on first use.  This is the build path for effects
+  /// reconstructed from a durable log rather than normalized from a live
+  /// transaction; the caller is responsible for the Section 3 invariants
+  /// (`inserts ∩ r = ∅`, `deletes ⊆ r`, `inserts ∩ deletes = ∅`) — WAL
+  /// replay preserves them by re-applying effects in original commit order
+  /// from the checkpointed state.
+  RelationEffect& Mutable(const std::string& relation, const Schema& schema);
+
  private:
   friend class Transaction;
   std::map<std::string, std::unique_ptr<RelationEffect>> effects_;

@@ -87,6 +87,19 @@ std::string ViewMetrics::ToJson() const {
   return os.str();
 }
 
+std::string StorageMetrics::ToJson() const {
+  std::ostringstream os;
+  os << "{\"wal_appends\": " << wal_appends
+     << ", \"wal_fsyncs\": " << wal_fsyncs
+     << ", \"wal_bytes\": " << wal_bytes
+     << ", \"fsync_nanos\": " << fsync_nanos
+     << ", \"checkpoints\": " << checkpoints
+     << ", \"checkpoint_nanos\": " << checkpoint_nanos
+     << ", \"replayed_records\": " << replayed_records
+     << ", \"batch_commits_histogram\": " << batch_commits.ToJson() << "}";
+  return os.str();
+}
+
 ViewMetrics& MetricsRegistry::ForView(const std::string& view) {
   auto& slot = views_[view];
   if (slot == nullptr) slot = std::make_unique<ViewMetrics>();
@@ -118,6 +131,7 @@ std::string MetricsRegistry::ToJson() const {
   os << "{\"commits\": " << commit_.commits
      << ", \"normalize_nanos\": " << commit_.normalize_nanos
      << ", \"base_apply_nanos\": " << commit_.base_apply_nanos
+     << ", \"storage\": " << storage_.ToJson()
      << ", \"global\": " << Aggregate().ToJson() << ", \"views\": {";
   bool first = true;
   for (const auto& [name, metrics] : views_) {

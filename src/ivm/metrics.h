@@ -70,6 +70,25 @@ struct CommitMetrics {
   int64_t base_apply_nanos = 0;    // TransactionEffect::ApplyTo time
 };
 
+/// Durability-layer counters: WAL appends, group-commit batching, fsync
+/// latency, checkpoints, recovery replay.  Written by `storage::Wal` and
+/// `Storage` when a session is attached to durable storage; surfaced under
+/// the "storage" key of `SHOW STATS JSON` and as `*`-scoped rows of the
+/// long `SHOW STATS` format.
+struct StorageMetrics {
+  int64_t wal_appends = 0;       // records made durable
+  int64_t wal_fsyncs = 0;        // fsync calls issued by the log
+  int64_t wal_bytes = 0;         // record bytes written (excl. header)
+  int64_t fsync_nanos = 0;       // total wall time inside write+fsync
+  int64_t checkpoints = 0;       // checkpoint files written
+  int64_t checkpoint_nanos = 0;  // time spent writing checkpoints
+  int64_t replayed_records = 0;  // WAL records replayed at recovery
+  SizeHistogram batch_commits;   // commits coalesced per fsync batch
+
+  /// One JSON object with the counters and the batch-size histogram.
+  std::string ToJson() const;
+};
+
 /// Per-view + global maintenance metrics for one `ViewManager`.
 ///
 /// The registry is keyed by view name and hands out stable `ViewMetrics`
@@ -94,17 +113,21 @@ class MetricsRegistry {
   CommitMetrics& commit() { return commit_; }
   const CommitMetrics& commit() const { return commit_; }
 
+  StorageMetrics& storage() { return storage_; }
+  const StorageMetrics& storage() const { return storage_; }
+
   /// Sum of every view's metrics (the "global" row of SHOW STATS).
   ViewMetrics Aggregate() const;
 
   /// The full registry as one JSON document:
   /// `{"commits": …, "normalize_nanos": …, "base_apply_nanos": …,
-  ///   "global": {…}, "views": {"name": {…}, …}}`.
+  ///   "storage": {…}, "global": {…}, "views": {"name": {…}, …}}`.
   std::string ToJson() const;
 
  private:
   std::map<std::string, std::unique_ptr<ViewMetrics>> views_;
   CommitMetrics commit_;
+  StorageMetrics storage_;
 };
 
 }  // namespace mview

@@ -16,6 +16,12 @@ void BaseDeltaLog::LogDelete(const Tuple& t) {
   deletes_.Insert(t);
 }
 
+void BaseDeltaLog::ForEachNetChange(
+    const std::function<void(const Tuple&, bool is_insert)>& fn) const {
+  for (const auto& t : inserts_.ToSortedVector()) fn(t, true);
+  for (const auto& t : deletes_.ToSortedVector()) fn(t, false);
+}
+
 void BaseDeltaLog::Clear() {
   // Relations have no bulk clear; rebuild empty ones with the same scheme.
   Relation empty_inserts(inserts_.schema());

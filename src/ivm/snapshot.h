@@ -1,6 +1,8 @@
 #ifndef MVIEW_IVM_SNAPSHOT_H_
 #define MVIEW_IVM_SNAPSHOT_H_
 
+#include <functional>
+
 #include "relational/relation.h"
 
 namespace mview {
@@ -30,6 +32,15 @@ class BaseDeltaLog {
 
   bool Empty() const { return inserts_.empty() && deletes_.empty(); }
   size_t TotalTuples() const { return inserts_.size() + deletes_.size(); }
+
+  /// Streams the combined net effect — every logged insert as
+  /// `fn(tuple, /*is_insert=*/true)`, then every logged delete as
+  /// `fn(tuple, false)` — without materializing a combined relation.
+  /// Inserts and deletes are each visited in sorted tuple order, so the
+  /// stream is deterministic; the refresh path and the storage-layer
+  /// serializers (WAL-style checkpoint pending sections) consume this.
+  void ForEachNetChange(
+      const std::function<void(const Tuple&, bool is_insert)>& fn) const;
 
   /// Forgets everything (after a refresh).
   void Clear();

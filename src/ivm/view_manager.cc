@@ -48,6 +48,42 @@ void ViewManager::RegisterView(ViewDefinition def, MaintenanceMode mode,
   views_[name] = std::move(view);
 }
 
+void ViewManager::RestoreView(ViewDefinition def, MaintenanceMode mode,
+                              MaintenanceOptions options,
+                              CountedRelation materialized,
+                              std::vector<std::unique_ptr<BaseDeltaLog>> pending) {
+  const std::string name = def.name();
+  MVIEW_CHECK(views_.count(name) == 0, "view already registered: ", name);
+  def.Validate(*db_);
+
+  auto join_attrs = def.JoinAttributes(*db_);
+  for (size_t i = 0; i < def.bases().size(); ++i) {
+    Relation& rel = db_->Get(def.bases()[i].relation);
+    for (const auto& attr : join_attrs[i]) rel.CreateIndex(attr);
+  }
+
+  auto view = std::make_unique<ManagedView>();
+  view->mode = mode;
+  view->maintainer =
+      std::make_unique<DifferentialMaintainer>(std::move(def), db_, options);
+  view->materialized = std::move(materialized);
+  view->metrics = &metrics_.ForView(name);
+  if (mode == MaintenanceMode::kDeferred) {
+    const ViewDefinition& d = view->maintainer->definition();
+    MVIEW_CHECK(pending.empty() || pending.size() == d.bases().size(),
+                "restored pending logs must cover every base of ", name);
+    if (pending.empty()) {
+      for (size_t i = 0; i < d.bases().size(); ++i) {
+        view->pending.push_back(
+            std::make_unique<BaseDeltaLog>(d.AliasedSchema(*db_, i)));
+      }
+    } else {
+      view->pending = std::move(pending);
+    }
+  }
+  views_[name] = std::move(view);
+}
+
 void ViewManager::DropView(const std::string& name) {
   MVIEW_CHECK(views_.erase(name) > 0, "unknown view: ", name);
   metrics_.Erase(name);
@@ -228,28 +264,13 @@ ViewInfo ViewManager::Describe(const std::string& name) const {
   return info;
 }
 
-bool ViewManager::IsStale(const std::string& name) const {
-  return Describe(name).stale;
-}
-
-size_t ViewManager::PendingTuples(const std::string& name) const {
-  return Describe(name).pending_tuples;
-}
-
 const CountedRelation& ViewManager::View(const std::string& name) const {
   return GetView(name).materialized;
 }
 
-const MaintenanceStats& ViewManager::Stats(const std::string& name) const {
-  return GetView(name).metrics->stats;
-}
-
-const ViewDefinition& ViewManager::Definition(const std::string& name) const {
-  return GetView(name).maintainer->definition();
-}
-
-MaintenanceMode ViewManager::Mode(const std::string& name) const {
-  return GetView(name).mode;
+const std::vector<std::unique_ptr<BaseDeltaLog>>& ViewManager::PendingLogs(
+    const std::string& name) const {
+  return GetView(name).pending;
 }
 
 const DifferentialMaintainer& ViewManager::Maintainer(

@@ -110,8 +110,7 @@ class ViewManager {
   /// A point-in-time description of a registered view — mode, definition,
   /// stats snapshot, staleness, pending count.  Throws on unknown names.
   /// This replaces the former name-keyed getters (`Stats`, `Definition`,
-  /// `Mode`, `IsStale`, `PendingTuples`), which survive below as thin
-  /// forwarders for one release.
+  /// `Mode`, `IsStale`, `PendingTuples`), now removed.
   ViewInfo Describe(const std::string& name) const;
 
   bool HasView(const std::string& name) const { return views_.count(name) > 0; }
@@ -123,17 +122,22 @@ class ViewManager {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
-  /// Deprecated: use `Describe(name).stale`.
-  bool IsStale(const std::string& name) const;
-  /// Deprecated: use `Describe(name).pending_tuples`.
-  size_t PendingTuples(const std::string& name) const;
-  /// Deprecated: use `Describe(name).stats` (or `metrics()` for the live
-  /// registry entry).
-  const MaintenanceStats& Stats(const std::string& name) const;
-  /// Deprecated: use `Describe(name).definition`.
-  const ViewDefinition& Definition(const std::string& name) const;
-  /// Deprecated: use `Describe(name).mode`.
-  MaintenanceMode Mode(const std::string& name) const;
+  /// Installs a view with an exact previously-captured state instead of
+  /// evaluating it: `materialized` becomes the view's contents verbatim and
+  /// `pending` (deferred mode; one log per base occurrence, may be empty
+  /// for "nothing pending") becomes its change backlog.  This is the
+  /// recovery path — a checkpointed deferred view may be stale, so
+  /// re-registering via `RegisterView`/`FullEvaluate` would both lose that
+  /// staleness and double-count the backlog.  Creates join-attribute
+  /// indexes like `RegisterView`; performs no evaluation.
+  void RestoreView(ViewDefinition def, MaintenanceMode mode,
+                   MaintenanceOptions options, CountedRelation materialized,
+                   std::vector<std::unique_ptr<BaseDeltaLog>> pending);
+
+  /// The pending change logs of a deferred view, one per base occurrence
+  /// (empty vector for other modes) — read by the checkpoint writer.
+  const std::vector<std::unique_ptr<BaseDeltaLog>>& PendingLogs(
+      const std::string& name) const;
 
   std::vector<std::string> ViewNames() const;
   Database& database() { return *db_; }

@@ -7,6 +7,7 @@
 
 #include "ra/planner.h"
 #include "relational/csv.h"
+#include "storage/storage.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
 
@@ -199,12 +200,37 @@ std::string Engine::Result::ToString() const {
 
 Engine::Engine() : views_(&db_), guard_(&db_) {}
 
+Engine::Engine(Storage* storage) : Engine() {
+  if (storage != nullptr) {
+    storage->Attach(*this);
+    storage_ = storage;
+  }
+}
+
+Engine::~Engine() {
+  if (storage_ == nullptr) return;
+  try {
+    storage_->Close();
+  } catch (const Error&) {
+    // Destructors must not throw; the log already holds every commit, so
+    // the next Open recovers without the final checkpoint.
+  }
+}
+
 Engine::Status Engine::Status::ParseError(std::string message) {
   return Status{false, Kind::kParseError, std::move(message)};
 }
 
 Engine::Status Engine::Status::ExecutionError(std::string message) {
   return Status{false, Kind::kExecutionError, std::move(message)};
+}
+
+Engine::Status Engine::Status::IoError(std::string message) {
+  return Status{false, Kind::kIoError, std::move(message)};
+}
+
+Engine::Status Engine::Status::Corruption(std::string message) {
+  return Status{false, Kind::kCorruption, std::move(message)};
 }
 
 Engine::Result Engine::Execute(const std::string& sql) {
@@ -230,6 +256,10 @@ Engine::Status Engine::TryExecute(const std::string& sql, Result* result) {
   try {
     Result r = ExecuteStatement(statements[0]);
     if (result != nullptr) *result = std::move(r);
+  } catch (const storage::CorruptionError& e) {
+    return Status::Corruption(e.what());
+  } catch (const storage::IoError& e) {
+    return Status::IoError(e.what());
   } catch (const Error& e) {
     return Status::ExecutionError(e.what());
   }
@@ -265,9 +295,16 @@ Engine::Status Engine::TryExecuteScript(const std::string& sql,
       if (results != nullptr) results->push_back(std::move(r));
     } catch (const Error& e) {
       if (failed_statement != nullptr) *failed_statement = i;
-      return Status::ExecutionError("statement " + std::to_string(i + 1) +
-                                    " of " + std::to_string(statements.size()) +
-                                    ": " + e.what());
+      std::string message = "statement " + std::to_string(i + 1) + " of " +
+                            std::to_string(statements.size()) + ": " +
+                            e.what();
+      if (dynamic_cast<const storage::CorruptionError*>(&e) != nullptr) {
+        return Status::Corruption(std::move(message));
+      }
+      if (dynamic_cast<const storage::IoError*>(&e) != nullptr) {
+        return Status::IoError(std::move(message));
+      }
+      return Status::ExecutionError(std::move(message));
     }
   }
   return Status::Ok();
@@ -429,9 +466,16 @@ Engine::Result Engine::CommitTransaction(Transaction txn) {
     }
     return Message(os.str());
   }
+  // The write-ahead rule: the effect is durable before any in-memory
+  // state changes, so an I/O failure here aborts the commit cleanly.
+  if (storage_ != nullptr) storage_->LogCommit(effect);
   views_.ApplyEffect(effect);
   guard_.CommitPrecheck(std::move(precheck));
   return Message("");
+}
+
+void Engine::NoteCatalogChange() {
+  if (storage_ != nullptr) storage_->OnCatalogChange();
 }
 
 void Engine::EnsureTableDroppable(const std::string& name) const {
@@ -455,20 +499,27 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
   switch (stmt.kind) {
     case Kind::kCreateTable:
       db_.CreateRelation(stmt.name, Schema(stmt.columns));
+      NoteCatalogChange();
       return Message("table " + stmt.name + " created");
     case Kind::kDropTable:
       EnsureTableDroppable(stmt.name);
       db_.DropRelation(stmt.name);
+      NoteCatalogChange();
       return Message("table " + stmt.name + " dropped");
-    case Kind::kCreateView:
-      return ExecuteCreateView(stmt);
+    case Kind::kCreateView: {
+      Result result = ExecuteCreateView(stmt);
+      NoteCatalogChange();
+      return result;
+    }
     case Kind::kDropView:
       views_.DropView(stmt.name);
+      NoteCatalogChange();
       return Message("view " + stmt.name + " dropped");
     case Kind::kCreateAssertion: {
       std::vector<BaseRef> bases;
       for (const auto& t : stmt.tables) bases.push_back(BaseRef{t, {}});
       guard_.AddAssertion(ViewDefinition(stmt.name, bases, stmt.where));
+      NoteCatalogChange();
       auto current = guard_.CurrentViolations();
       for (const auto& v : current) {
         if (v.assertion == stmt.name) {
@@ -481,6 +532,7 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
     }
     case Kind::kDropAssertion:
       guard_.DropAssertion(stmt.name);
+      NoteCatalogChange();
       return Message("assertion " + stmt.name + " dropped");
     case Kind::kInsert:
       return ExecuteInsert(stmt);
@@ -553,11 +605,47 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       emit("*", "commits", registry.commit().commits);
       emit("*", "normalize_nanos", registry.commit().normalize_nanos);
       emit("*", "base_apply_nanos", registry.commit().base_apply_nanos);
+      const StorageMetrics& storage = registry.storage();
+      emit("*", "wal_appends", storage.wal_appends);
+      emit("*", "wal_fsyncs", storage.wal_fsyncs);
+      emit("*", "wal_bytes", storage.wal_bytes);
+      emit("*", "fsync_nanos", storage.fsync_nanos);
+      emit("*", "checkpoints", storage.checkpoints);
+      emit("*", "checkpoint_nanos", storage.checkpoint_nanos);
+      emit("*", "replayed_records", storage.replayed_records);
+      emit("*", "max_commit_batch", storage.batch_commits.max_sample());
       emit_view("*", registry.Aggregate());
       for (const auto& name : registry.ViewNames()) {
         emit_view(name, *registry.Find(name));
       }
       return RowsResult(std::move(schema), std::move(rows));
+    }
+    case Kind::kShowWal: {
+      Schema schema({{"metric", ValueType::kString},
+                     {"value", ValueType::kInt64}});
+      std::vector<std::pair<Tuple, int64_t>> rows;
+      storage::WalStats stats =
+          storage_ == nullptr ? storage::WalStats{} : storage_->wal_stats();
+      auto emit = [&rows](const char* metric, int64_t value) {
+        rows.emplace_back(Tuple({Value(metric), Value(value)}), 1);
+      };
+      emit("attached", storage_ != nullptr ? 1 : 0);
+      emit("base_lsn", static_cast<int64_t>(stats.base_lsn));
+      emit("durable_lsn", static_cast<int64_t>(stats.durable_lsn));
+      emit("next_lsn", static_cast<int64_t>(stats.next_lsn));
+      emit("records_appended", stats.records_appended);
+      emit("bytes_appended", stats.bytes_appended);
+      emit("fsyncs", stats.fsyncs);
+      emit("records_replayed", stats.records_replayed);
+      emit("truncated_bytes", stats.truncated_bytes);
+      return RowsResult(std::move(schema), std::move(rows));
+    }
+    case Kind::kCheckpoint: {
+      MVIEW_CHECK(storage_ != nullptr,
+                  "CHECKPOINT requires an attached storage directory");
+      storage_->Checkpoint();
+      return Message("checkpoint written (LSN " +
+                     std::to_string(storage_->wal_stats().base_lsn) + ")");
     }
     case Kind::kShowAssertions: {
       Schema schema({{"assertion", ValueType::kString},

@@ -11,6 +11,10 @@
 #include "ivm/view_manager.h"
 #include "sql/parser.h"
 
+namespace mview {
+class Storage;
+}  // namespace mview
+
 namespace mview::sql {
 
 /// A self-contained SQL session: a `Database`, a `ViewManager` keeping SQL-
@@ -28,6 +32,17 @@ namespace mview::sql {
 class Engine {
  public:
   Engine();
+
+  /// A durable session: attaches `storage` (not owned; may be null for an
+  /// in-memory engine, must outlive this engine otherwise), which recovers
+  /// the directory's checkpoint and WAL tail into this engine before the
+  /// constructor returns.  Afterwards every commit is logged durably
+  /// before it is applied, and catalog changes force checkpoints.
+  explicit Engine(Storage* storage);
+
+  /// Closes the attached storage (checkpointing per its options) while
+  /// the engine state is still alive to snapshot.
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -56,6 +71,10 @@ class Engine {
       kParseError,      // lexer/parser rejected the text
       kExecutionError,  // a statement failed (semantic error, unknown
                         // name, type mismatch, …)
+      kIoError,         // the durable log or checkpoint hit an I/O
+                        // failure; the commit did not happen
+      kCorruption,      // persistent state failed validation (bad magic,
+                        // CRC mismatch, undecodable body)
     };
     bool ok = true;
     Kind kind = Kind::kOk;
@@ -64,6 +83,8 @@ class Engine {
     static Status Ok() { return Status{}; }
     static Status ParseError(std::string message);
     static Status ExecutionError(std::string message);
+    static Status IoError(std::string message);
+    static Status Corruption(std::string message);
   };
 
   /// Executes one statement (a trailing ';' is allowed).  Throws
@@ -94,6 +115,9 @@ class Engine {
   ViewManager& views() { return views_; }
   IntegrityGuard& guard() { return guard_; }
 
+  /// The attached storage, or null for an in-memory engine.
+  Storage* storage() { return storage_; }
+
   /// True while inside BEGIN … COMMIT/ROLLBACK.
   bool in_transaction() const { return pending_.has_value(); }
 
@@ -106,6 +130,9 @@ class Engine {
   Result ExecuteUpdate(const Statement& stmt);
   Result CommitTransaction(Transaction txn);
   void EnsureTableDroppable(const std::string& name) const;
+  // Called after every successful DDL statement: with storage attached,
+  // forces a checkpoint so the WAL only ever carries DML.
+  void NoteCatalogChange();
 
   // Builds a ViewDefinition (canonical attribute naming, resolved
   // condition and projection) from a SELECT body over base tables.
@@ -115,6 +142,7 @@ class Engine {
   Database db_;
   ViewManager views_;
   IntegrityGuard guard_;
+  Storage* storage_ = nullptr;  // not owned
   std::optional<Transaction> pending_;
 };
 

@@ -342,6 +342,8 @@ class Parser {
       } else if (ConsumeKeyword("STATS")) {
         stmt.kind = Statement::Kind::kShowStats;
         stmt.json = ConsumeKeyword("JSON");
+      } else if (ConsumeKeyword("WAL")) {
+        stmt.kind = Statement::Kind::kShowWal;
       } else {
         ExpectKeyword("ASSERTIONS");
         stmt.kind = Statement::Kind::kShowAssertions;
@@ -360,6 +362,11 @@ class Parser {
       MVIEW_CHECK(Peek().kind == TokenKind::kString,
                   "expected quoted file path at offset ", Peek().offset);
       stmt.path = Advance().text;
+      return stmt;
+    }
+    if (t.Is("CHECKPOINT")) {
+      Advance();
+      stmt.kind = Statement::Kind::kCheckpoint;
       return stmt;
     }
     if (t.Is("BEGIN")) {

@@ -43,7 +43,8 @@ enum class ViewMode { kImmediate, kDeferred, kFullReevaluation };
 ///     SELECT * | col [, col …] FROM t [alias] [, …] [WHERE …];
 ///     REFRESH [VIEW] v;
 ///     SHOW TABLES; SHOW VIEWS; SHOW ASSERTIONS;
-///     SHOW STATS [JSON];
+///     SHOW STATS [JSON]; SHOW WAL;
+///     CHECKPOINT;
 ///     COPY t TO 'file.csv'; COPY t FROM 'file.csv';
 ///     BEGIN; COMMIT; ROLLBACK;
 ///
@@ -67,6 +68,8 @@ struct Statement {
     kShowViews,
     kShowAssertions,
     kShowStats,  // SHOW STATS [JSON] — maintenance metrics
+    kShowWal,    // SHOW WAL — durable-log counters (LSNs, fsyncs, bytes)
+    kCheckpoint,  // CHECKPOINT — snapshot state, truncate the log
     kCopyTo,    // COPY t TO 'file.csv'   (table or view → CSV)
     kCopyFrom,  // COPY t FROM 'file.csv' (CSV rows inserted into table)
     kBegin,

@@ -1,0 +1,42 @@
+#ifndef MVIEW_STORAGE_RECOVERY_H_
+#define MVIEW_STORAGE_RECOVERY_H_
+
+#include <vector>
+
+#include "db/database.h"
+#include "db/transaction.h"
+#include "ivm/integrity.h"
+#include "ivm/view_manager.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
+
+namespace mview::storage {
+
+/// Rebuilds base relations and views from a decoded checkpoint.  Tables
+/// are created and filled first; views are then installed with their
+/// *exact* checkpointed materialization and pending backlog via
+/// `ViewManager::RestoreView` — not re-evaluated, because a deferred
+/// view's checkpointed contents may legitimately lag its bases.  The
+/// caller replays the WAL tail afterwards and registers assertions last
+/// (see `InstallAssertions`).  Expects an empty database/manager.
+void InstallCheckpoint(CheckpointData&& data, Database* db,
+                       ViewManager* views);
+
+/// Re-registers checkpointed assertions.  Must run *after* WAL replay:
+/// replay drives `ViewManager::ApplyEffect` directly (replayed
+/// transactions were already admitted once, so prechecking them again is
+/// both wasted work and wrong under assertions added later), which
+/// bypasses `IntegrityGuard` error-view maintenance — registering here
+/// computes each error view once against the final recovered state.
+void InstallAssertions(const std::vector<ViewDefinition>& assertions,
+                       IntegrityGuard* guard);
+
+/// Converts a decoded WAL record back into a `TransactionEffect` against
+/// `db`'s catalog (schemas are looked up by relation name; throws
+/// `CorruptionError` when a record names an unknown relation — the
+/// DDL-forces-checkpoint policy makes that impossible for an intact log).
+TransactionEffect ToEffect(const WalRecord& record, const Database& db);
+
+}  // namespace mview::storage
+
+#endif  // MVIEW_STORAGE_RECOVERY_H_

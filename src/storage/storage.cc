@@ -1,0 +1,113 @@
+#include "storage/storage.h"
+
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "sql/engine.h"
+#include "storage/checkpoint.h"
+#include "storage/recovery.h"
+#include "util/error.h"
+#include "util/stopwatch.h"
+
+namespace mview {
+
+std::unique_ptr<Storage> Storage::Open(const std::string& path,
+                                       Options options) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    throw storage::IoError("storage: cannot create directory " + path + ": " +
+                           ec.message());
+  }
+  return std::unique_ptr<Storage>(new Storage(path, options));
+}
+
+std::unique_ptr<Storage> Storage::Open(const std::string& path) {
+  return Open(path, Options());
+}
+
+Storage::Storage(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {}
+
+Storage::~Storage() {
+  // No checkpoint here — the attached engine may already be destroyed
+  // (`Engine`'s destructor calls `Close`, which checkpoints while the
+  // engine is still alive).  Dropping the log without a checkpoint is
+  // safe: it holds every commit, so the next `Open` recovers everything.
+  wal_.reset();
+  engine_ = nullptr;
+}
+
+void Storage::Attach(sql::Engine& engine) {
+  MVIEW_CHECK(engine_ == nullptr, "storage already attached");
+
+  uint64_t checkpoint_lsn = 0;
+  std::vector<ViewDefinition> assertions;
+  if (auto checkpoint = storage::ReadCheckpoint(checkpoint_path())) {
+    checkpoint_lsn = checkpoint->lsn;
+    assertions = std::move(checkpoint->assertions);
+    storage::InstallCheckpoint(std::move(*checkpoint), &engine.database(),
+                               &engine.views());
+  }
+
+  StorageMetrics& metrics = engine.views().metrics().storage();
+  storage::WalOptions wal_options;
+  wal_options.group_commit_window = options_.group_commit_window;
+  wal_options.max_batch = options_.max_batch;
+  wal_options.fsync = options_.fsync;
+  wal_options.failure_policy = options_.failure_policy;
+  wal_options.metrics = &metrics;
+  wal_ = std::make_unique<storage::Wal>(
+      wal_path(), wal_options, [&](storage::WalRecord&& record) {
+        // A crash between checkpoint write and log rotation leaves records
+        // the checkpoint already covers; skipping by LSN makes replay
+        // idempotent.
+        if (record.lsn <= checkpoint_lsn) return;
+        engine.views().ApplyEffect(
+            storage::ToEffect(record, engine.database()));
+        ++metrics.replayed_records;
+      });
+
+  // Assertions go last: replay bypassed the integrity guard (those
+  // transactions were admitted when first committed), so each error view
+  // is computed once against the fully recovered state.
+  storage::InstallAssertions(assertions, &engine.guard());
+  engine_ = &engine;
+}
+
+void Storage::Checkpoint() {
+  MVIEW_CHECK(engine_ != nullptr && wal_ != nullptr, "storage not attached");
+  Stopwatch timer;
+  uint64_t lsn = wal_->stats().durable_lsn;
+  storage::WriteCheckpoint(checkpoint_path(), lsn, engine_->database(),
+                           engine_->views(), &engine_->guard());
+  wal_->Rotate(lsn);
+  StorageMetrics& metrics = engine_->views().metrics().storage();
+  ++metrics.checkpoints;
+  metrics.checkpoint_nanos += timer.ElapsedNanos();
+}
+
+void Storage::Close() {
+  if (engine_ == nullptr) return;
+  if (options_.checkpoint_on_close && !wal_->failed()) Checkpoint();
+  wal_.reset();
+  engine_ = nullptr;
+}
+
+storage::WalStats Storage::wal_stats() const {
+  return wal_ == nullptr ? storage::WalStats{} : wal_->stats();
+}
+
+void Storage::LogCommit(const TransactionEffect& effect) {
+  if (wal_ == nullptr || effect.Empty()) return;
+  wal_->Append(effect);
+}
+
+void Storage::OnCatalogChange() {
+  if (wal_ == nullptr) return;
+  Checkpoint();
+}
+
+}  // namespace mview

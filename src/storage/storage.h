@@ -1,0 +1,116 @@
+#ifndef MVIEW_STORAGE_STORAGE_H_
+#define MVIEW_STORAGE_STORAGE_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "storage/wal.h"
+
+namespace mview::sql {
+class Engine;
+}  // namespace mview::sql
+
+namespace mview {
+
+/// The single storage-facing facade: one durable database directory
+/// holding a checkpoint (`checkpoint.mv`) and a write-ahead log
+/// (`wal.mv`).
+///
+/// Lifecycle: `Open` the directory, construct an `sql::Engine` with the
+/// `Storage*` (the engine attaches, which recovers — checkpoint restore,
+/// WAL tail replay through the maintenance pipeline, assertion
+/// re-registration), then use the engine normally; every committed
+/// transaction is appended to the log (group-committed) before it is
+/// applied, and every catalog change forces a checkpoint so the log only
+/// ever carries DML.  `Checkpoint` (or SQL `CHECKPOINT`) snapshots state
+/// and truncates the log; `Close` detaches (checkpointing first by
+/// default).
+class Storage {
+ public:
+  struct Options {
+    /// Group-commit window and batch bound — see `storage::WalOptions`.
+    std::chrono::microseconds group_commit_window{0};
+    size_t max_batch = 64;
+
+    /// When false, the log never fsyncs (benchmark baseline only).
+    bool fsync = true;
+
+    /// Checkpoint automatically in `Close` (skipped when the log has
+    /// failed — a later `Open` recovers from the last durable state).
+    bool checkpoint_on_close = true;
+
+    /// Fault injection for crash tests; not owned, may be null.
+    storage::FailurePolicy* failure_policy = nullptr;
+  };
+
+  /// Opens (creating if needed) the database directory.  Throws
+  /// `storage::IoError` when the directory cannot be created.  Recovery
+  /// happens at `Attach` time, not here.  The storage must outlive the
+  /// engine it attaches to; the engine calls `Close` from its destructor,
+  /// so the usual declaration order (`Storage` first, `Engine` second)
+  /// checkpoints cleanly on scope exit.
+  static std::unique_ptr<Storage> Open(const std::string& path,
+                                       Options options);
+  static std::unique_ptr<Storage> Open(const std::string& path);
+
+  /// Closes the log file; does NOT checkpoint (the engine may already be
+  /// gone).  Call `Close` — or let the engine's destructor do it — for a
+  /// checkpointing shutdown.
+  ~Storage();
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  /// Binds this storage to an *empty* engine and recovers into it:
+  /// restores the latest checkpoint, replays the WAL tail through
+  /// `ViewManager::ApplyEffect` (so replayed updates flow through
+  /// irrelevance filtering and differential re-evaluation), truncates any
+  /// torn tail, and re-registers assertions against the recovered state.
+  /// Called by the `sql::Engine(Storage*)` constructor; callable directly
+  /// for engines assembled by hand.  Throws `storage::CorruptionError` /
+  /// `storage::IoError` on unrecoverable state.
+  void Attach(sql::Engine& engine);
+
+  /// Snapshots the full engine state (at the current durable LSN) to the
+  /// checkpoint file atomically, then truncates the log.  Requires an
+  /// attached engine.
+  void Checkpoint();
+
+  /// Detaches from the engine, checkpointing first when
+  /// `checkpoint_on_close` is set and the log is healthy.  Idempotent;
+  /// the engine remains usable but non-durable afterwards.
+  void Close();
+
+  bool attached() const { return engine_ != nullptr; }
+  const std::string& path() const { return path_; }
+  std::string wal_path() const { return path_ + "/wal.mv"; }
+  std::string checkpoint_path() const { return path_ + "/checkpoint.mv"; }
+
+  /// Counters of the underlying log (zeroes when not attached) — what SQL
+  /// `SHOW WAL` prints.
+  storage::WalStats wal_stats() const;
+
+ private:
+  friend class sql::Engine;
+
+  Storage(std::string path, Options options);
+
+  /// Appends the committed effect to the log; returns once durable.
+  /// Called by the engine *before* the effect is applied anywhere (the
+  /// write-ahead rule).
+  void LogCommit(const TransactionEffect& effect);
+
+  /// Called by the engine after any successful catalog change; forces a
+  /// checkpoint so the log never spans DDL.
+  void OnCatalogChange();
+
+  std::string path_;
+  Options options_;
+  sql::Engine* engine_ = nullptr;
+  std::unique_ptr<storage::Wal> wal_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_STORAGE_STORAGE_H_

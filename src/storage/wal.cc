@@ -1,0 +1,440 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "util/stopwatch.h"
+
+namespace mview::storage {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'V', 'W', 'A', 'L', '0', '0', '1'};
+constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t);
+// A record larger than this cannot be legitimate; treat it as damage
+// rather than attempting a multi-gigabyte allocation.
+constexpr uint32_t kMaxPayload = 1u << 30;
+
+[[noreturn]] void ThrowErrno(const std::string& what, const std::string& path) {
+  throw IoError("wal: " + what + " failed for " + path + ": " +
+                std::strerror(errno));
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+namespace wire {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutI64(std::string* out, int64_t v) { PutU64(out, static_cast<uint64_t>(v)); }
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  if (v.type() == ValueType::kInt64) {
+    PutU8(out, 0);
+    PutI64(out, v.AsInt64());
+  } else {
+    PutU8(out, 1);
+    PutString(out, v.AsString());
+  }
+}
+
+void PutTuple(std::string* out, const Tuple& t) {
+  PutU32(out, static_cast<uint32_t>(t.size()));
+  for (size_t i = 0; i < t.size(); ++i) PutValue(out, t.at(i));
+}
+
+void Reader::Need(size_t n) const {
+  if (static_cast<size_t>(end_ - p_) < n) {
+    throw CorruptionError("storage decode: record truncated");
+  }
+}
+
+uint8_t Reader::GetU8() {
+  Need(1);
+  return static_cast<uint8_t>(*p_++);
+}
+
+uint32_t Reader::GetU32() {
+  Need(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p_[i])) << (8 * i);
+  }
+  p_ += 4;
+  return v;
+}
+
+uint64_t Reader::GetU64() {
+  Need(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p_[i])) << (8 * i);
+  }
+  p_ += 8;
+  return v;
+}
+
+int64_t Reader::GetI64() { return static_cast<int64_t>(GetU64()); }
+
+std::string Reader::GetString() {
+  uint32_t n = GetU32();
+  Need(n);
+  std::string s(p_, n);
+  p_ += n;
+  return s;
+}
+
+Value Reader::GetValue() {
+  uint8_t tag = GetU8();
+  if (tag == 0) return Value(GetI64());
+  if (tag == 1) return Value(GetString());
+  throw CorruptionError("storage decode: unknown value tag " +
+                        std::to_string(tag));
+}
+
+Tuple Reader::GetTuple() {
+  uint32_t arity = GetU32();
+  if (arity > kMaxPayload) {
+    throw CorruptionError("storage decode: absurd tuple arity");
+  }
+  std::vector<Value> values;
+  values.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) values.push_back(GetValue());
+  return Tuple(std::move(values));
+}
+
+}  // namespace wire
+
+namespace {
+
+std::string EncodePayload(uint64_t lsn, const TransactionEffect& effect) {
+  std::string payload;
+  wire::PutU64(&payload, lsn);
+  std::vector<std::string> touched = effect.TouchedRelations();
+  wire::PutU32(&payload, static_cast<uint32_t>(touched.size()));
+  for (const auto& name : touched) {
+    const RelationEffect* re = effect.Find(name);
+    wire::PutString(&payload, name);
+    // Sorted order keeps the encoding deterministic for a given effect.
+    std::vector<Tuple> ins = re->inserts.ToSortedVector();
+    std::vector<Tuple> del = re->deletes.ToSortedVector();
+    wire::PutU32(&payload, static_cast<uint32_t>(ins.size()));
+    for (const auto& t : ins) wire::PutTuple(&payload, t);
+    wire::PutU32(&payload, static_cast<uint32_t>(del.size()));
+    for (const auto& t : del) wire::PutTuple(&payload, t);
+  }
+  return payload;
+}
+
+WalRecord DecodePayload(const std::string& payload) {
+  wire::Reader r(payload);
+  WalRecord record;
+  record.lsn = r.GetU64();
+  uint32_t n_changes = r.GetU32();
+  for (uint32_t c = 0; c < n_changes; ++c) {
+    WalRecord::Change change;
+    change.relation = r.GetString();
+    uint32_t n_ins = r.GetU32();
+    for (uint32_t i = 0; i < n_ins; ++i) change.inserts.push_back(r.GetTuple());
+    uint32_t n_del = r.GetU32();
+    for (uint32_t i = 0; i < n_del; ++i) change.deletes.push_back(r.GetTuple());
+    record.changes.push_back(std::move(change));
+  }
+  if (!r.AtEnd()) {
+    throw CorruptionError("wal: trailing bytes inside a record payload");
+  }
+  return record;
+}
+
+}  // namespace
+
+std::string Wal::EncodeRecord(uint64_t lsn, const TransactionEffect& effect) {
+  std::string payload = EncodePayload(lsn, effect);
+  std::string record;
+  wire::PutU32(&record, static_cast<uint32_t>(payload.size()));
+  wire::PutU32(&record, Crc32(payload.data(), payload.size()));
+  record.append(payload);
+  return record;
+}
+
+Wal::Wal(std::string path, WalOptions options, const ReplayFn& replay)
+    : path_(std::move(path)), options_(options) {
+  MVIEW_CHECK(options_.max_batch >= 1, "wal: max_batch must be at least 1");
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) ThrowErrno("open", path_);
+  try {
+    ScanExisting(replay);
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Wal::ScanExisting(const ReplayFn& replay) {
+  std::string contents;
+  {
+    off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size < 0) ThrowErrno("lseek", path_);
+    contents.resize(static_cast<size_t>(size));
+    size_t done = 0;
+    while (done < contents.size()) {
+      ssize_t n = ::pread(fd_, contents.data() + done, contents.size() - done,
+                          static_cast<off_t>(done));
+      if (n < 0) ThrowErrno("read", path_);
+      if (n == 0) break;
+      done += static_cast<size_t>(n);
+    }
+    contents.resize(done);
+  }
+
+  if (contents.empty()) {
+    WriteHeader(0);
+    return;
+  }
+  if (contents.size() < kHeaderSize ||
+      std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw CorruptionError("wal: bad header in " + path_);
+  }
+  {
+    wire::Reader header(contents.data() + sizeof(kMagic), sizeof(uint64_t));
+    base_lsn_ = header.GetU64();
+  }
+  next_lsn_ = base_lsn_ + 1;
+  durable_lsn_ = base_lsn_;
+
+  // Decode records until the end of the file or a torn tail.  A record
+  // that frames correctly (length fits, CRC matches) but decodes to
+  // garbage or breaks the LSN chain is *mid-log* damage — corruption, not
+  // a torn write — because appends are strictly sequential.
+  size_t good = kHeaderSize;
+  uint64_t expect = next_lsn_;
+  while (good < contents.size()) {
+    size_t remaining = contents.size() - good;
+    if (remaining < 8) break;  // torn frame header
+    wire::Reader frame(contents.data() + good, 8);
+    uint32_t len = frame.GetU32();
+    uint32_t crc = frame.GetU32();
+    if (len > kMaxPayload) break;         // garbage length: torn tail
+    if (remaining < 8 + len) break;       // torn payload
+    const char* payload = contents.data() + good + 8;
+    if (Crc32(payload, len) != crc) break;  // torn or bit-rotted tail
+    WalRecord record = DecodePayload(std::string(payload, len));
+    if (record.lsn != expect) {
+      throw CorruptionError("wal: LSN " + std::to_string(record.lsn) +
+                            " where " + std::to_string(expect) +
+                            " expected in " + path_);
+    }
+    if (replay) replay(std::move(record));
+    ++expect;
+    good += 8 + len;
+    ++stats_.records_replayed;
+  }
+  next_lsn_ = expect;
+  durable_lsn_ = expect - 1;
+  if (good < contents.size()) {
+    stats_.truncated_bytes +=
+        static_cast<int64_t>(contents.size() - good);
+    if (::ftruncate(fd_, static_cast<off_t>(good)) != 0) {
+      ThrowErrno("ftruncate", path_);
+    }
+    if (options_.fsync && ::fsync(fd_) != 0) ThrowErrno("fsync", path_);
+  }
+  // Leave the offset at the end of the valid prefix so appends extend it
+  // (the scan and a possible truncation both moved it elsewhere).
+  if (::lseek(fd_, static_cast<off_t>(good), SEEK_SET) < 0) {
+    ThrowErrno("lseek", path_);
+  }
+}
+
+void Wal::WriteHeader(uint64_t base_lsn) {
+  std::string header(kMagic, sizeof(kMagic));
+  wire::PutU64(&header, base_lsn);
+  if (::ftruncate(fd_, 0) != 0) ThrowErrno("ftruncate", path_);
+  size_t done = 0;
+  while (done < header.size()) {
+    ssize_t n = ::pwrite(fd_, header.data() + done, header.size() - done,
+                         static_cast<off_t>(done));
+    if (n < 0) ThrowErrno("write", path_);
+    done += static_cast<size_t>(n);
+  }
+  if (options_.fsync && ::fsync(fd_) != 0) ThrowErrno("fsync", path_);
+  // pwrite does not move the file offset, but record appends in
+  // WriteAndSync are offset-relative — park the offset after the header.
+  if (::lseek(fd_, static_cast<off_t>(kHeaderSize), SEEK_SET) < 0) {
+    ThrowErrno("lseek", path_);
+  }
+  base_lsn_ = base_lsn;
+  next_lsn_ = base_lsn + 1;
+  durable_lsn_ = base_lsn;
+}
+
+int64_t Wal::WriteAndSync(const std::string& batch) {
+  Stopwatch timer;
+  size_t admit = batch.size();
+  if (options_.failure_policy != nullptr) {
+    admit = options_.failure_policy->AdmitWrite(batch.size());
+  }
+  size_t done = 0;
+  while (done < admit) {
+    ssize_t n = ::write(fd_, batch.data() + done, admit - done);
+    if (n < 0) ThrowErrno("write", path_);
+    done += static_cast<size_t>(n);
+  }
+  if (admit < batch.size()) {
+    throw IoError("wal: injected torn write after " + std::to_string(admit) +
+                  " of " + std::to_string(batch.size()) + " bytes");
+  }
+  if (options_.failure_policy != nullptr) options_.failure_policy->BeforeSync();
+  if (options_.fsync && ::fsync(fd_) != 0) ThrowErrno("fsync", path_);
+  return timer.ElapsedNanos();
+}
+
+void Wal::ThrowIfFailed() const {
+  if (failed_) {
+    throw IoError("wal: log has failed and needs recovery: " +
+                  failure_message_);
+  }
+}
+
+uint64_t Wal::Append(const TransactionEffect& effect) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ThrowIfFailed();
+  uint64_t lsn = next_lsn_++;
+  if (pending_.empty()) batch_open_ = std::chrono::steady_clock::now();
+  pending_.push_back(EncodeRecord(lsn, effect));
+  cv_batch_.notify_all();  // a window-waiting leader may now have a full batch
+  while (true) {
+    if (durable_lsn_ >= lsn) return lsn;
+    ThrowIfFailed();  // the batch carrying our record failed with the log
+    if (!leader_active_) {
+      LeadBatch(lk);
+    } else {
+      cv_durable_.wait(lk);
+    }
+  }
+}
+
+void Wal::LeadBatch(std::unique_lock<std::mutex>& lk) {
+  leader_active_ = true;
+  // Hold the batch open, measured from its *first* commit, so the window
+  // overlaps the previous batch's fsync instead of stacking after it.
+  if (options_.group_commit_window.count() > 0) {
+    auto deadline = batch_open_ + options_.group_commit_window;
+    while (pending_.size() < options_.max_batch &&
+           std::chrono::steady_clock::now() < deadline) {
+      cv_batch_.wait_until(lk, deadline);
+    }
+  }
+  size_t take = std::min(pending_.size(), options_.max_batch);
+  std::string batch;
+  for (size_t i = 0; i < take; ++i) {
+    batch += pending_.front();
+    pending_.pop_front();
+  }
+  if (!pending_.empty()) batch_open_ = std::chrono::steady_clock::now();
+  uint64_t batch_last = durable_lsn_ + take;
+
+  lk.unlock();
+  int64_t nanos = 0;
+  bool ok = true;
+  std::string error;
+  try {
+    nanos = WriteAndSync(batch);
+  } catch (const Error& e) {
+    ok = false;
+    error = e.what();
+  }
+  lk.lock();
+
+  leader_active_ = false;
+  if (!ok) {
+    // The records of this batch (and everything after) are not durable;
+    // fail the log so every waiter and future append surfaces the error.
+    failed_ = true;
+    failure_message_ = error;
+  } else {
+    durable_lsn_ = batch_last;
+    stats_.records_appended += static_cast<int64_t>(take);
+    stats_.bytes_appended += static_cast<int64_t>(batch.size());
+    ++stats_.fsyncs;
+    if (options_.metrics != nullptr) {
+      StorageMetrics& m = *options_.metrics;
+      m.wal_appends += static_cast<int64_t>(take);
+      m.wal_bytes += static_cast<int64_t>(batch.size());
+      ++m.wal_fsyncs;
+      m.fsync_nanos += nanos;
+      m.batch_commits.Record(static_cast<int64_t>(take));
+    }
+  }
+  cv_durable_.notify_all();
+}
+
+void Wal::Rotate(uint64_t base_lsn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  MVIEW_CHECK(!leader_active_ && pending_.empty(),
+              "wal: Rotate must not race appends");
+  ThrowIfFailed();
+  MVIEW_CHECK(base_lsn + 1 >= next_lsn_,
+              "wal: cannot rotate to base LSN ", base_lsn,
+              " below already-assigned LSN ", next_lsn_ - 1);
+  WriteHeader(base_lsn);
+}
+
+bool Wal::failed() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return failed_;
+}
+
+WalStats Wal::stats() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  WalStats s = stats_;
+  s.base_lsn = base_lsn_;
+  s.durable_lsn = durable_lsn_;
+  s.next_lsn = next_lsn_;
+  return s;
+}
+
+}  // namespace mview::storage

@@ -1,0 +1,227 @@
+#ifndef MVIEW_STORAGE_WAL_H_
+#define MVIEW_STORAGE_WAL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/transaction.h"
+#include "ivm/metrics.h"
+#include "relational/tuple.h"
+#include "util/error.h"
+
+namespace mview::storage {
+
+/// A durability failure: the operating system refused a write/fsync, or a
+/// `FailurePolicy` injected one.  Surfaced to SQL callers as
+/// `Engine::Status::Kind::kIoError`, not as a new public exception type —
+/// catch sites live inside `TryExecute`.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& message) : Error(message) {}
+};
+
+/// Persistent state failed validation: bad magic, a CRC mismatch away from
+/// the log tail, an impossible LSN sequence, or a checkpoint that does not
+/// decode.  Surfaced as `Engine::Status::Kind::kCorruption`.
+class CorruptionError : public Error {
+ public:
+  explicit CorruptionError(const std::string& message) : Error(message) {}
+};
+
+/// Fault-injection hook for crash tests: lets a test make the log
+/// misbehave mid-write to prove torn-tail truncation and idempotent
+/// replay.  The default policy never fails.  Once a policy injects a
+/// failure the log is sticky-failed (as a crashed process would be); the
+/// test then reopens the file through recovery.
+class FailurePolicy {
+ public:
+  virtual ~FailurePolicy() = default;
+
+  /// Called with the size of each physical batch about to be written.
+  /// Return `size` to write it whole; return less to simulate a torn
+  /// write — the prefix is written, then the append fails with `IoError`.
+  virtual size_t AdmitWrite(size_t size) { return size; }
+
+  /// Called between write and fsync; throw `IoError` to simulate power
+  /// loss in the window where bytes may or may not be durable.
+  virtual void BeforeSync() {}
+};
+
+/// One decoded log record: the normalized net effect (Section 3) of a
+/// committed transaction, tagged with its log sequence number.
+struct WalRecord {
+  struct Change {
+    std::string relation;
+    std::vector<Tuple> inserts;
+    std::vector<Tuple> deletes;
+  };
+  uint64_t lsn = 0;
+  std::vector<Change> changes;
+};
+
+/// Knobs for the log; every field has a production-safe default.
+struct WalOptions {
+  /// How long a group-commit leader holds a batch open for more commits,
+  /// measured from the first commit in the batch.  0 (the default) never
+  /// delays: a batch is exactly what accumulated while the previous fsync
+  /// was in flight (natural batching).  Positive windows trade commit
+  /// latency for fewer, larger fsyncs.
+  std::chrono::microseconds group_commit_window{0};
+
+  /// Upper bound on commits coalesced into one fsync.  1 degenerates to
+  /// per-commit fsync (the E15 baseline).
+  size_t max_batch = 64;
+
+  /// When false, records are written but never fsynced — the "no
+  /// durability" benchmark baseline.  Never disable this for real data.
+  bool fsync = true;
+
+  FailurePolicy* failure_policy = nullptr;  // not owned; may be null
+  StorageMetrics* metrics = nullptr;        // not owned; may be null
+};
+
+/// Point-in-time counters of one log instance.
+struct WalStats {
+  uint64_t base_lsn = 0;     // LSN of the checkpoint the log starts after
+  uint64_t durable_lsn = 0;  // highest LSN guaranteed on disk
+  uint64_t next_lsn = 0;     // LSN the next append will receive
+  int64_t records_appended = 0;
+  int64_t bytes_appended = 0;
+  int64_t fsyncs = 0;
+  int64_t records_replayed = 0;  // recovered at open
+  int64_t truncated_bytes = 0;   // torn tail dropped at open
+};
+
+/// An fsync-batched append-only log of committed transaction effects.
+///
+/// File layout: an 16-byte header (`"MVWAL001"` + little-endian u64 base
+/// LSN) followed by records `[u32 payload_len][u32 crc32][payload]`.  The
+/// payload carries the LSN and the per-relation insert/delete tuple sets
+/// in sorted order with self-describing value types, so a log can be
+/// decoded without the catalog.  LSNs are assigned contiguously from
+/// `base_lsn + 1`; recovery rejects gaps as corruption and truncates an
+/// unreadable *tail* (short or CRC-failing trailing bytes) as a torn
+/// write.
+///
+/// `Append` is thread-safe and returns only when the record is durable
+/// (group commit): the first waiter becomes the batch leader, holds the
+/// batch open per `group_commit_window`/`max_batch`, writes and fsyncs
+/// once, and wakes every commit the batch covered.  Commits arriving
+/// while a leader is syncing form the next batch — under load the log
+/// batches naturally even with a zero window.
+class Wal {
+ public:
+  using ReplayFn = std::function<void(WalRecord&&)>;
+
+  /// Opens or creates the log at `path`.  Existing records are decoded in
+  /// order and passed to `replay` (when non-null); a torn tail is
+  /// truncated before the log accepts appends.  Throws `IoError` on file
+  /// errors and `CorruptionError` on a bad header or mid-log damage.
+  Wal(std::string path, WalOptions options, const ReplayFn& replay = nullptr);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends the effect as one record and returns its LSN once durable.
+  /// Thread-safe.  Throws `IoError` when the log has failed (the failure
+  /// is sticky — reopen through recovery).
+  uint64_t Append(const TransactionEffect& effect);
+
+  /// Empties the log and restarts it after `base_lsn` (call after a
+  /// checkpoint covering everything up to `base_lsn` is durable).  Must
+  /// not race appends.
+  void Rotate(uint64_t base_lsn);
+
+  WalStats stats() const;
+  const std::string& path() const { return path_; }
+
+  /// True once an append has failed; the log rejects further work until
+  /// reopened through recovery.
+  bool failed() const;
+
+  /// Encodes one record (length+crc framing included) — exposed for the
+  /// checkpoint writer and tests, which reuse the wire format.
+  static std::string EncodeRecord(uint64_t lsn,
+                                  const TransactionEffect& effect);
+
+ private:
+  void ScanExisting(const ReplayFn& replay);
+  void WriteHeader(uint64_t base_lsn);
+  // Writes `batch` at the current end of file and fsyncs; returns nanos
+  // spent.  Called by the batch leader with `mu_` released.
+  int64_t WriteAndSync(const std::string& batch);
+  // Drains up to max_batch pending records as the leader; `lk` holds mu_.
+  void LeadBatch(std::unique_lock<std::mutex>& lk);
+  void ThrowIfFailed() const;  // requires mu_
+
+  std::string path_;
+  WalOptions options_;
+  int fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_batch_;    // new record buffered
+  std::condition_variable cv_durable_;  // durable_lsn_ advanced / failure
+  std::deque<std::string> pending_;     // encoded records awaiting fsync
+  std::chrono::steady_clock::time_point batch_open_;  // first pending arrival
+  bool leader_active_ = false;
+  bool failed_ = false;
+  std::string failure_message_;
+
+  uint64_t base_lsn_ = 0;
+  uint64_t next_lsn_ = 1;
+  uint64_t durable_lsn_ = 0;
+  WalStats stats_;
+};
+
+/// CRC-32 (IEEE, reflected) over `data` — the integrity check of WAL
+/// records and checkpoint bodies.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Little-endian primitives of the storage wire format, shared by the WAL
+/// record codec and the checkpoint file codec.
+namespace wire {
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutString(std::string* out, const std::string& s);
+/// Self-describing value: a type tag byte then the payload.
+void PutValue(std::string* out, const Value& v);
+void PutTuple(std::string* out, const Tuple& t);
+
+/// A bounds-checked cursor over encoded bytes; every getter throws
+/// `CorruptionError` on underflow or a bad tag.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit Reader(const std::string& data) : Reader(data.data(), data.size()) {}
+
+  uint8_t GetU8();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  int64_t GetI64();
+  std::string GetString();
+  Value GetValue();
+  Tuple GetTuple();
+
+  bool AtEnd() const { return p_ == end_; }
+  size_t Remaining() const { return static_cast<size_t>(end_ - p_); }
+
+ private:
+  void Need(size_t n) const;
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace wire
+}  // namespace mview::storage
+
+#endif  // MVIEW_STORAGE_WAL_H_

@@ -1,0 +1,434 @@
+// Crash-recovery matrix and end-to-end durability tests: a durable engine
+// killed after zero, partial, or full fsync — with immediate and deferred
+// views registered — must recover to exactly the state an uninterrupted
+// engine would hold, and WAL replay of a random workload must match direct
+// execution tuple for tuple.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/transaction.h"
+#include "ivm/view_def.h"
+#include "ivm/view_manager.h"
+#include "sql/engine.h"
+#include "storage/checkpoint.h"
+#include "storage/recovery.h"
+#include "storage/storage.h"
+#include "storage/wal.h"
+#include "workload/generator.h"
+
+namespace mview {
+namespace {
+
+using sql::Engine;
+
+// Simulates a kill before anything reaches the disk: every physical batch
+// is dropped whole (zero bytes written), then the append fails.  The
+// deterministic stand-in for "power lost with zero fsyncs completed" —
+// an in-process BeforeSync crash would still leave the written bytes in
+// the file, which a real power cut may or may not.
+class DropWritePolicy : public storage::FailurePolicy {
+ public:
+  size_t AdmitWrite(size_t) override { return 0; }
+};
+
+// Tears the `fail_at`-th physical batch in half: a partial write reaches
+// the disk, then the append fails.
+class TornWritePolicy : public storage::FailurePolicy {
+ public:
+  explicit TornWritePolicy(int fail_at) : fail_at_(fail_at) {}
+  size_t AdmitWrite(size_t size) override {
+    return ++writes_ == fail_at_ ? size / 2 : size;
+  }
+
+ private:
+  int fail_at_;
+  int writes_ = 0;
+};
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("recovery_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  std::string Dir() const { return dir_.string(); }
+
+  // The schema + view + assertion preamble every SQL test shares: an
+  // immediate join view, a deferred selection view, and an assertion.
+  static const char* Preamble() {
+    return "CREATE TABLE r (a INT64, b INT64);"
+           "CREATE TABLE s (b2 INT64, c INT64);"
+           "CREATE MATERIALIZED VIEW joined AS "
+           "  SELECT a, c FROM r, s WHERE b = b2;"
+           "CREATE MATERIALIZED VIEW small_a DEFERRED AS "
+           "  SELECT a, b FROM r WHERE a < 100;"
+           "CREATE ASSERTION a_bounded ON r WHERE a > 1000000;";
+  }
+
+  static std::string Query(Engine& engine, const std::string& sql) {
+    return engine.Execute(sql).ToString();
+  }
+
+  // Compares the full visible state of two engines: every base table and
+  // every view materialization, via SELECT (sorted rows with counts).
+  static void ExpectSameState(Engine& recovered, Engine& reference) {
+    for (const char* rel : {"r", "s", "joined", "small_a"}) {
+      EXPECT_EQ(Query(recovered, std::string("SELECT * FROM ") + rel),
+                Query(reference, std::string("SELECT * FROM ") + rel))
+          << "divergence in " << rel;
+    }
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST_F(RecoveryTest, CleanShutdownRecoversTablesViewsAndStaleness) {
+  Engine reference;
+  reference.ExecuteScript(Preamble());
+  reference.ExecuteScript(
+      "INSERT INTO r VALUES (1, 10), (2, 20);"
+      "INSERT INTO s VALUES (10, 100), (20, 200);");
+
+  {
+    auto storage = Storage::Open(Dir());
+    Engine engine(storage.get());
+    engine.ExecuteScript(Preamble());
+    engine.ExecuteScript(
+        "INSERT INTO r VALUES (1, 10), (2, 20);"
+        "INSERT INTO s VALUES (10, 100), (20, 200);");
+    // Engine destruction closes the storage, which checkpoints.
+  }
+
+  auto storage = Storage::Open(Dir());
+  Engine recovered(storage.get());
+  ExpectSameState(recovered, reference);
+
+  // Everything was inside the close-time checkpoint: nothing to replay.
+  EXPECT_EQ(storage->wal_stats().records_replayed, 0);
+
+  // The deferred view's staleness survived the restart bit for bit.
+  ViewInfo recovered_info = recovered.views().Describe("small_a");
+  ViewInfo reference_info = reference.views().Describe("small_a");
+  EXPECT_EQ(recovered_info.stale, reference_info.stale);
+  EXPECT_EQ(recovered_info.pending_tuples, reference_info.pending_tuples);
+  EXPECT_TRUE(recovered_info.stale);  // the INSERTs are still pending
+
+  recovered.Execute("REFRESH small_a;");
+  reference.Execute("REFRESH small_a;");
+  EXPECT_EQ(Query(recovered, "SELECT * FROM small_a"),
+            Query(reference, "SELECT * FROM small_a"));
+}
+
+TEST_F(RecoveryTest, CrashAfterFullFsyncReplaysTheWalTail) {
+  Engine reference;
+  reference.ExecuteScript(Preamble());
+  reference.ExecuteScript(
+      "INSERT INTO r VALUES (1, 10);"
+      "INSERT INTO s VALUES (10, 100);"
+      "INSERT INTO r VALUES (2, 10), (3, 30);"
+      "DELETE FROM r WHERE a = 1;");
+
+  {
+    Storage::Options options;
+    options.checkpoint_on_close = false;  // simulated kill: no shutdown
+                                          // checkpoint, WAL tail remains
+    auto storage = Storage::Open(Dir(), options);
+    Engine engine(storage.get());
+    engine.ExecuteScript(Preamble());
+    engine.ExecuteScript(
+        "INSERT INTO r VALUES (1, 10);"
+        "INSERT INTO s VALUES (10, 100);"
+        "INSERT INTO r VALUES (2, 10), (3, 30);"
+        "DELETE FROM r WHERE a = 1;");
+    EXPECT_EQ(storage->wal_stats().durable_lsn, 4u);
+  }
+
+  auto storage = Storage::Open(Dir());
+  Engine recovered(storage.get());
+  EXPECT_EQ(storage->wal_stats().records_replayed, 4);
+  ExpectSameState(recovered, reference);
+
+  // Replay flowed through the maintenance pipeline: the deferred view is
+  // stale with the same backlog, and refreshing converges both engines.
+  EXPECT_TRUE(recovered.views().Describe("small_a").stale);
+  recovered.Execute("REFRESH small_a;");
+  reference.Execute("REFRESH small_a;");
+  EXPECT_EQ(Query(recovered, "SELECT * FROM small_a"),
+            Query(reference, "SELECT * FROM small_a"));
+}
+
+TEST_F(RecoveryTest, CrashBeforeAnyFsyncLosesOnlyTheUndurableCommit) {
+  DropWritePolicy policy;  // no record batch ever reaches the disk
+  {
+    Storage::Options options;
+    options.checkpoint_on_close = false;
+    options.failure_policy = &policy;
+    auto storage = Storage::Open(Dir(), options);
+    Engine engine(storage.get());
+    // DDL checkpoints bypass the WAL write path, so the schema lands
+    // durably even though every DML fsync will "lose power".
+    engine.ExecuteScript(Preamble());
+
+    Engine::Status status =
+        engine.TryExecute("INSERT INTO r VALUES (1, 10);", nullptr);
+    ASSERT_FALSE(status.ok);
+    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+
+    // Write-ahead rule: the failed commit never touched the live state.
+    EXPECT_TRUE(engine.database().Get("r").empty());
+    EXPECT_EQ(engine.views().View("joined").size(), 0u);
+  }
+
+  auto storage = Storage::Open(Dir());
+  Engine recovered(storage.get());
+  EXPECT_EQ(storage->wal_stats().records_replayed, 0);
+
+  Engine reference;
+  reference.ExecuteScript(Preamble());
+  ExpectSameState(recovered, reference);
+}
+
+TEST_F(RecoveryTest, CrashMidWriteDropsOnlyTheTornCommit) {
+  TornWritePolicy policy(/*fail_at=*/3);  // third commit is torn in half
+  {
+    Storage::Options options;
+    options.checkpoint_on_close = false;
+    options.failure_policy = &policy;
+    auto storage = Storage::Open(Dir(), options);
+    Engine engine(storage.get());
+    engine.ExecuteScript(Preamble());
+    engine.Execute("INSERT INTO r VALUES (1, 10);");
+    engine.Execute("INSERT INTO s VALUES (10, 100);");
+
+    Engine::Status status =
+        engine.TryExecute("INSERT INTO r VALUES (3, 30);", nullptr);
+    ASSERT_FALSE(status.ok);
+    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+
+    // The failure is sticky, as after a real crash.
+    status = engine.TryExecute("INSERT INTO r VALUES (4, 40);", nullptr);
+    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+  }
+
+  auto storage = Storage::Open(Dir());
+  Engine recovered(storage.get());
+  EXPECT_EQ(storage->wal_stats().records_replayed, 2);
+  EXPECT_GT(storage->wal_stats().truncated_bytes, 0);
+
+  Engine reference;
+  reference.ExecuteScript(Preamble());
+  reference.Execute("INSERT INTO r VALUES (1, 10);");
+  reference.Execute("INSERT INTO s VALUES (10, 100);");
+  ExpectSameState(recovered, reference);
+}
+
+TEST_F(RecoveryTest, ReplaySkipsRecordsTheCheckpointAlreadyCovers) {
+  // Simulate a crash in the window between checkpoint write and log
+  // rotation: the checkpoint covers LSNs the log still carries.  Replay
+  // must skip them or every covered commit would apply twice.
+  Engine reference;
+  reference.ExecuteScript(Preamble());
+  reference.ExecuteScript(
+      "INSERT INTO r VALUES (1, 10);INSERT INTO r VALUES (2, 20);");
+
+  {
+    Storage::Options options;
+    options.checkpoint_on_close = false;
+    auto storage = Storage::Open(Dir(), options);
+    Engine engine(storage.get());
+    engine.ExecuteScript(Preamble());
+    engine.ExecuteScript(
+        "INSERT INTO r VALUES (1, 10);INSERT INTO r VALUES (2, 20);");
+    // Write the checkpoint by hand — without the Rotate that
+    // Storage::Checkpoint would perform next.
+    storage::WriteCheckpoint(storage->checkpoint_path(),
+                             storage->wal_stats().durable_lsn,
+                             engine.database(), engine.views(),
+                             &engine.guard());
+  }
+
+  auto storage = Storage::Open(Dir());
+  Engine recovered(storage.get());
+  // The log still carries both records (they were scanned at open), but
+  // the checkpoint covers them, so none may be re-applied.
+  EXPECT_EQ(storage->wal_stats().records_replayed, 2);
+  EXPECT_EQ(recovered.views().metrics().storage().replayed_records, 0);
+  ExpectSameState(recovered, reference);
+}
+
+TEST_F(RecoveryTest, DdlForcesACheckpointAndRotatesTheLog) {
+  auto storage = Storage::Open(Dir());
+  Engine engine(storage.get());
+  engine.Execute("CREATE TABLE r (a INT64, b INT64);");
+  EXPECT_EQ(storage->wal_stats().base_lsn, 0u);
+
+  engine.Execute("INSERT INTO r VALUES (1, 10);");
+  engine.Execute("INSERT INTO r VALUES (2, 20);");
+  EXPECT_EQ(storage->wal_stats().durable_lsn, 2u);
+
+  // Any catalog change checkpoints and rebases the log: the WAL never
+  // spans DDL.
+  engine.Execute("CREATE TABLE s (b2 INT64, c INT64);");
+  EXPECT_EQ(storage->wal_stats().base_lsn, 2u);
+  EXPECT_EQ(storage->wal_stats().next_lsn, 3u);
+
+  engine.Execute("INSERT INTO s VALUES (10, 100);");
+  EXPECT_EQ(storage->wal_stats().durable_lsn, 3u);
+}
+
+TEST_F(RecoveryTest, AssertionsRecoverAndStillRejectViolations) {
+  {
+    auto storage = Storage::Open(Dir());
+    Engine engine(storage.get());
+    engine.ExecuteScript(Preamble());
+    engine.Execute("INSERT INTO r VALUES (5, 50);");
+  }
+
+  auto storage = Storage::Open(Dir());
+  Engine recovered(storage.get());
+
+  // The recovered assertion still guards commits.
+  Engine::Result result =
+      recovered.Execute("INSERT INTO r VALUES (2000000, 1);");
+  EXPECT_EQ(result.kind, Engine::Result::Kind::kMessage);
+  EXPECT_NE(result.message.find("a_bounded"), std::string::npos);
+  EXPECT_FALSE(recovered.database().Get("r").Contains(
+      Tuple({Value(int64_t{2000000}), Value(int64_t{1})})));
+
+  // And legal commits still pass.
+  recovered.Execute("INSERT INTO r VALUES (6, 60);");
+  EXPECT_TRUE(recovered.database().Get("r").Contains(
+      Tuple({Value(int64_t{6}), Value(int64_t{60})})));
+}
+
+TEST_F(RecoveryTest, SqlCheckpointShowWalAndStorageStats) {
+  auto storage = Storage::Open(Dir());
+  Engine engine(storage.get());
+  engine.ExecuteScript(Preamble());
+  engine.ExecuteScript(
+      "INSERT INTO r VALUES (1, 10);INSERT INTO r VALUES (2, 20);");
+
+  Engine::Result checkpoint = engine.Execute("CHECKPOINT;");
+  EXPECT_EQ(checkpoint.kind, Engine::Result::Kind::kMessage);
+  EXPECT_NE(checkpoint.message.find("checkpoint"), std::string::npos);
+  EXPECT_EQ(storage->wal_stats().base_lsn, 2u);
+
+  Engine::Result wal = engine.Execute("SHOW WAL;");
+  ASSERT_EQ(wal.kind, Engine::Result::Kind::kRows);
+  bool saw_attached = false;
+  bool saw_base_lsn = false;
+  for (const auto& [row, count] : wal.rows) {
+    if (row.at(0).AsString() == "attached") {
+      saw_attached = true;
+      EXPECT_EQ(row.at(1).AsInt64(), 1);
+    }
+    if (row.at(0).AsString() == "base_lsn") {
+      saw_base_lsn = true;
+      EXPECT_EQ(row.at(1).AsInt64(), 2);
+    }
+  }
+  EXPECT_TRUE(saw_attached);
+  EXPECT_TRUE(saw_base_lsn);
+
+  // The storage counters ride along in the metrics registry JSON.
+  std::string json = engine.Execute("SHOW STATS JSON;").message;
+  EXPECT_NE(json.find("\"storage\""), std::string::npos);
+  EXPECT_NE(json.find("\"wal_appends\""), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoints\""), std::string::npos);
+
+  // An in-memory engine reports an unattached log.
+  Engine in_memory;
+  Engine::Result detached = in_memory.Execute("SHOW WAL;");
+  ASSERT_EQ(detached.kind, Engine::Result::Kind::kRows);
+  EXPECT_EQ(detached.rows.at(0).first.at(0).AsString(), "attached");
+  EXPECT_EQ(detached.rows.at(0).first.at(1).AsInt64(), 0);
+}
+
+// The replay == direct-execution property, at the component level: a
+// random multi-relation workload is applied to a live ViewManager while
+// every effect is appended to a WAL; recovering checkpoint + WAL into a
+// fresh database must reproduce the tables, both view materializations,
+// and the deferred backlog exactly.
+TEST_F(RecoveryTest, RandomWorkloadReplayMatchesDirectExecution) {
+  const std::string wal_path = Dir() + "/wal.mv";
+  const std::string ckpt_path = Dir() + "/checkpoint.mv";
+
+  RelationSpec r_spec("R", /*arity=*/2, /*domain=*/40, /*rows=*/60);
+  RelationSpec s_spec("S", /*arity=*/2, /*domain=*/40, /*rows=*/60);
+  WorkloadGenerator gen(/*seed=*/7);
+
+  Database live_db;
+  gen.Populate(&live_db, r_spec);
+  gen.Populate(&live_db, s_spec);
+
+  ViewManager live(&live_db);
+  ViewDefinition join("j", {BaseRef{"R", {}}, BaseRef{"S", {}}},
+                      "R_a1 = S_a0", {"R_a0", "S_a1"});
+  ViewDefinition select = ViewDefinition::Select("sel", "R", "R_a0 < 20");
+  live.RegisterView(join, MaintenanceMode::kImmediate);
+  live.RegisterView(select, MaintenanceMode::kDeferred);
+
+  // Checkpoint the populated initial state at LSN 0, then stream a random
+  // workload through the live manager and the log in lockstep.
+  storage::WriteCheckpoint(ckpt_path, /*lsn=*/0, live_db, live,
+                           /*guard=*/nullptr);
+  {
+    storage::Wal wal(wal_path, storage::WalOptions{});
+    for (int i = 0; i < 40; ++i) {
+      Transaction txn = gen.MakeTransaction(r_spec, /*num_inserts=*/3,
+                                            /*num_deletes=*/2);
+      gen.AddUpdates(&txn, s_spec, /*num_inserts=*/2, /*num_deletes=*/1);
+      TransactionEffect effect = txn.Normalize(live_db);
+      if (effect.Empty()) continue;
+      wal.Append(effect);
+      live.ApplyEffect(effect);
+    }
+  }
+
+  // Recover into a fresh database + manager.
+  Database recovered_db;
+  ViewManager recovered(&recovered_db);
+  auto checkpoint = storage::ReadCheckpoint(ckpt_path);
+  ASSERT_TRUE(checkpoint.has_value());
+  storage::InstallCheckpoint(std::move(*checkpoint), &recovered_db,
+                             &recovered);
+  int64_t replayed = 0;
+  {
+    storage::Wal wal(wal_path, storage::WalOptions{},
+                     [&](storage::WalRecord&& record) {
+                       recovered.ApplyEffect(
+                           storage::ToEffect(record, recovered_db));
+                       ++replayed;
+                     });
+    EXPECT_GT(replayed, 0);
+  }
+
+  for (const char* rel : {"R", "S"}) {
+    EXPECT_EQ(recovered_db.Get(rel).ToSortedVector(),
+              live_db.Get(rel).ToSortedVector())
+        << "table " << rel << " diverged";
+  }
+  EXPECT_TRUE(recovered.View("j").SameContents(live.View("j")));
+  EXPECT_EQ(recovered.Describe("sel").pending_tuples,
+            live.Describe("sel").pending_tuples);
+
+  recovered.RefreshAll();
+  live.RefreshAll();
+  EXPECT_TRUE(recovered.View("sel").SameContents(live.View("sel")));
+  EXPECT_TRUE(recovered.View("j").SameContents(live.View("j")));
+}
+
+}  // namespace
+}  // namespace mview

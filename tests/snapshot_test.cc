@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "ivm/view_manager.h"
 #include "test_util.h"
 
@@ -34,6 +37,24 @@ TEST(BaseDeltaLogTest, DeleteCancelsPriorInsert) {
   log.LogInsert(T({1}));
   log.LogDelete(T({1}));
   EXPECT_TRUE(log.Empty());
+}
+
+TEST(BaseDeltaLogTest, ForEachNetChangeVisitsBothSidesOnce) {
+  BaseDeltaLog log(Schema::OfInts({"A"}));
+  log.LogInsert(T({1}));
+  log.LogInsert(T({2}));
+  log.LogDelete(T({9}));
+  log.LogInsert(T({3}));
+  log.LogDelete(T({3}));  // cancels: must not be visited
+
+  std::vector<Tuple> inserts;
+  std::vector<Tuple> deletes;
+  log.ForEachNetChange([&](const Tuple& t, bool is_insert) {
+    (is_insert ? inserts : deletes).push_back(t);
+  });
+  std::sort(inserts.begin(), inserts.end());
+  EXPECT_EQ(inserts, (std::vector<Tuple>{T({1}), T({2})}));
+  EXPECT_EQ(deletes, std::vector<Tuple>{T({9})});
 }
 
 TEST(BaseDeltaLogTest, ClearForgetsEverything) {
