@@ -54,10 +54,7 @@ struct RunResult {
 RunResult Run(const storage::WalOptions& base_options, int threads,
               int per_thread) {
   std::filesystem::remove(WalPath());
-  StorageMetrics metrics;
-  storage::WalOptions options = base_options;
-  options.metrics = &metrics;
-  storage::Wal wal(WalPath(), options);
+  storage::Wal wal(WalPath(), base_options);
 
   std::vector<TransactionEffect> effects;
   effects.reserve(static_cast<size_t>(threads) * per_thread);
@@ -78,7 +75,7 @@ RunResult Run(const storage::WalOptions& base_options, int threads,
   RunResult result;
   result.seconds = timer.ElapsedSeconds();
   result.stats = wal.stats();
-  const SizeHistogram& batches = metrics.batch_commits;
+  const SizeHistogram& batches = result.stats.batch_commits;
   result.mean_batch =
       batches.total_samples() == 0
           ? 0.0

@@ -71,10 +71,13 @@ struct CommitMetrics {
 };
 
 /// Durability-layer counters: WAL appends, group-commit batching, fsync
-/// latency, checkpoints, recovery replay.  Written by `storage::Wal` and
-/// `Storage` when a session is attached to durable storage; surfaced under
-/// the "storage" key of `SHOW STATS JSON` and as `*`-scoped rows of the
-/// long `SHOW STATS` format.
+/// latency, checkpoints, recovery replay.  Written only on the engine
+/// thread: the checkpoint/replay counters directly by `Storage`, and the
+/// WAL counters by `Storage::SyncWalMetrics`, which copies a snapshot
+/// taken under the log mutex before `SHOW STATS` renders — group-commit
+/// leader threads never touch this struct.  Surfaced under the "storage"
+/// key of `SHOW STATS JSON` and as `*`-scoped rows of the long
+/// `SHOW STATS` format.
 struct StorageMetrics {
   int64_t wal_appends = 0;       // records made durable
   int64_t wal_fsyncs = 0;        // fsync calls issued by the log

@@ -572,6 +572,9 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       return RowsResult(std::move(schema), std::move(rows));
     }
     case Kind::kShowStats: {
+      // Pull the WAL's counters (written behind its mutex by commit
+      // leaders) into the registry as one coherent snapshot first.
+      if (storage_ != nullptr) storage_->SyncWalMetrics();
       if (stmt.json) return Message(views_.metrics().ToJson());
       // Long format: one (view, metric, value) row per counter, with the
       // cross-view aggregate and commit-scope timers under view "*".

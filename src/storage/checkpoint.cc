@@ -65,12 +65,13 @@ void PutCondition(std::string* out, const Condition& cond) {
 }
 
 Condition GetCondition(wire::Reader* r) {
-  uint32_t n_disjuncts = r->GetU32();
+  uint32_t n_disjuncts = r->GetCount();
   std::vector<Conjunction> disjuncts;
   disjuncts.reserve(n_disjuncts);
   for (uint32_t d = 0; d < n_disjuncts; ++d) {
     Conjunction conj;
-    uint32_t n_atoms = r->GetU32();
+    uint32_t n_atoms = r->GetCount();
+    conj.atoms.reserve(n_atoms);
     for (uint32_t a = 0; a < n_atoms; ++a) conj.atoms.push_back(GetAtom(r));
     disjuncts.push_back(std::move(conj));
   }
@@ -83,7 +84,7 @@ void PutStrings(std::string* out, const std::vector<std::string>& v) {
 }
 
 std::vector<std::string> GetStrings(wire::Reader* r) {
-  uint32_t n = r->GetU32();
+  uint32_t n = r->GetCount();
   std::vector<std::string> v;
   v.reserve(n);
   for (uint32_t i = 0; i < n; ++i) v.push_back(r->GetString());
@@ -103,7 +104,7 @@ void PutDefinition(std::string* out, const ViewDefinition& def) {
 
 ViewDefinition GetDefinition(wire::Reader* r) {
   std::string name = r->GetString();
-  uint32_t n_bases = r->GetU32();
+  uint32_t n_bases = r->GetCount();
   std::vector<BaseRef> bases;
   bases.reserve(n_bases);
   for (uint32_t i = 0; i < n_bases; ++i) {
@@ -131,7 +132,7 @@ void PutTuples(std::string* out, const std::vector<Tuple>& tuples) {
 }
 
 std::vector<Tuple> GetTuples(wire::Reader* r) {
-  uint32_t n = r->GetU32();
+  uint32_t n = r->GetCount();
   std::vector<Tuple> tuples;
   tuples.reserve(n);
   for (uint32_t i = 0; i < n; ++i) tuples.push_back(r->GetTuple());
@@ -190,14 +191,14 @@ CheckpointData DecodeBody(const std::string& body) {
   CheckpointData data;
   data.lsn = r.GetU64();
 
-  uint32_t n_tables = r.GetU32();
+  uint32_t n_tables = r.GetCount();
   for (uint32_t i = 0; i < n_tables; ++i) {
     std::string name = r.GetString();
     std::istringstream csv(r.GetString());
     data.tables.emplace_back(std::move(name), ReadCsv(csv));
   }
 
-  uint32_t n_views = r.GetU32();
+  uint32_t n_views = r.GetCount();
   for (uint32_t i = 0; i < n_views; ++i) {
     CheckpointView view;
     view.name = r.GetString();
@@ -216,7 +217,7 @@ CheckpointData DecodeBody(const std::string& body) {
     view.definition = GetDefinition(&r);
     std::istringstream csv(r.GetString());
     view.materialized = ReadCountedCsv(csv);
-    uint32_t n_logs = r.GetU32();
+    uint32_t n_logs = r.GetCount();
     for (uint32_t l = 0; l < n_logs; ++l) {
       CheckpointView::PendingLog log;
       log.inserts = GetTuples(&r);
@@ -226,7 +227,7 @@ CheckpointData DecodeBody(const std::string& body) {
     data.views.push_back(std::move(view));
   }
 
-  uint32_t n_assertions = r.GetU32();
+  uint32_t n_assertions = r.GetCount();
   for (uint32_t i = 0; i < n_assertions; ++i) {
     data.assertions.push_back(GetDefinition(&r));
   }

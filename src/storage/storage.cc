@@ -44,8 +44,10 @@ void Storage::Attach(sql::Engine& engine) {
   MVIEW_CHECK(engine_ == nullptr, "storage already attached");
 
   uint64_t checkpoint_lsn = 0;
+  bool have_checkpoint = false;
   std::vector<ViewDefinition> assertions;
   if (auto checkpoint = storage::ReadCheckpoint(checkpoint_path())) {
+    have_checkpoint = true;
     checkpoint_lsn = checkpoint->lsn;
     assertions = std::move(checkpoint->assertions);
     storage::InstallCheckpoint(std::move(*checkpoint), &engine.database(),
@@ -58,7 +60,10 @@ void Storage::Attach(sql::Engine& engine) {
   wal_options.max_batch = options_.max_batch;
   wal_options.fsync = options_.fsync;
   wal_options.failure_policy = options_.failure_policy;
-  wal_options.metrics = &metrics;
+  // With a checkpoint in hand, a header-sized-or-shorter WAL with a bad
+  // header is a torn rotate (the checkpoint covers everything such a file
+  // could have held), not corruption.
+  wal_options.tolerate_torn_header = have_checkpoint;
   wal_ = std::make_unique<storage::Wal>(
       wal_path(), wal_options, [&](storage::WalRecord&& record) {
         // A crash between checkpoint write and log rotation leaves records
@@ -69,6 +74,16 @@ void Storage::Attach(sql::Engine& engine) {
             storage::ToEffect(record, engine.database()));
         ++metrics.replayed_records;
       });
+
+  // A crash during `Rotate` (or an externally emptied log) can leave the
+  // log rebased *below* the checkpoint.  Fresh appends would then be
+  // assigned LSNs the replay filter above skips — acknowledged commits
+  // silently lost on the next recovery.  Rebase above the checkpoint
+  // before accepting any append; everything the old log held at or below
+  // `checkpoint_lsn` is covered by the checkpoint.
+  if (wal_->stats().durable_lsn < checkpoint_lsn) {
+    wal_->Rotate(checkpoint_lsn);
+  }
 
   // Assertions go last: replay bypassed the integrity guard (those
   // transactions were admitted when first committed), so each error view
@@ -107,7 +122,33 @@ void Storage::LogCommit(const TransactionEffect& effect) {
 
 void Storage::OnCatalogChange() {
   if (wal_ == nullptr) return;
-  Checkpoint();
+  try {
+    Checkpoint();
+  } catch (...) {
+    // The in-memory catalog already changed but the durable checkpoint
+    // does not reflect it, and the log never carries DDL — a later commit
+    // touching the new schema would be acknowledged durable yet
+    // unrecoverable.  Sticky-fail the log so nothing further is
+    // acknowledged until the directory is reopened through recovery,
+    // which rolls back to the last durable catalog.
+    wal_->Fail("checkpoint after catalog change failed; reopen to recover");
+    throw;
+  }
+}
+
+void Storage::SyncWalMetrics() {
+  if (engine_ == nullptr || wal_ == nullptr) return;
+  // The WAL's own counters are written by group-commit leader threads
+  // under the log mutex; copying a locked snapshot here (on the engine
+  // thread, which owns the registry) keeps `SHOW STATS` readers off the
+  // leaders' plain fields.
+  storage::WalStats s = wal_->stats();
+  StorageMetrics& m = engine_->views().metrics().storage();
+  m.wal_appends = s.records_appended;
+  m.wal_bytes = s.bytes_appended;
+  m.wal_fsyncs = s.fsyncs;
+  m.fsync_nanos = s.fsync_nanos;
+  m.batch_commits = s.batch_commits;
 }
 
 }  // namespace mview

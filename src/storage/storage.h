@@ -66,7 +66,9 @@ class Storage {
   /// restores the latest checkpoint, replays the WAL tail through
   /// `ViewManager::ApplyEffect` (so replayed updates flow through
   /// irrelevance filtering and differential re-evaluation), truncates any
-  /// torn tail, and re-registers assertions against the recovered state.
+  /// torn tail, rebases the log above the checkpoint LSN when a torn
+  /// rotation left it behind, and re-registers assertions against the
+  /// recovered state.
   /// Called by the `sql::Engine(Storage*)` constructor; callable directly
   /// for engines assembled by hand.  Throws `storage::CorruptionError` /
   /// `storage::IoError` on unrecoverable state.
@@ -102,8 +104,17 @@ class Storage {
   void LogCommit(const TransactionEffect& effect);
 
   /// Called by the engine after any successful catalog change; forces a
-  /// checkpoint so the log never spans DDL.
+  /// checkpoint so the log never spans DDL.  When the checkpoint fails
+  /// the log is sticky-failed before the error propagates: the in-memory
+  /// catalog has already diverged from the durable state, so no further
+  /// commit may be acknowledged until the directory is reopened.
   void OnCatalogChange();
+
+  /// Refreshes the WAL-owned counters in the engine's `MetricsRegistry`
+  /// from a snapshot taken under the log mutex.  Called by the engine
+  /// before rendering `SHOW STATS`, so metrics reads never race the
+  /// group-commit leader.
+  void SyncWalMetrics();
 
   std::string path_;
   Options options_;

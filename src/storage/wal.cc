@@ -5,7 +5,9 @@
 
 #include <array>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "util/stopwatch.h"
 
@@ -131,14 +133,21 @@ Value Reader::GetValue() {
 }
 
 Tuple Reader::GetTuple() {
-  uint32_t arity = GetU32();
-  if (arity > kMaxPayload) {
-    throw CorruptionError("storage decode: absurd tuple arity");
-  }
+  uint32_t arity = GetCount();
   std::vector<Value> values;
   values.reserve(arity);
   for (uint32_t i = 0; i < arity; ++i) values.push_back(GetValue());
   return Tuple(std::move(values));
+}
+
+uint32_t Reader::GetCount() {
+  uint32_t n = GetU32();
+  if (n > Remaining()) {
+    throw CorruptionError("storage decode: element count " +
+                          std::to_string(n) + " exceeds the " +
+                          std::to_string(Remaining()) + " bytes remaining");
+  }
+  return n;
 }
 
 }  // namespace wire
@@ -168,13 +177,15 @@ WalRecord DecodePayload(const std::string& payload) {
   wire::Reader r(payload);
   WalRecord record;
   record.lsn = r.GetU64();
-  uint32_t n_changes = r.GetU32();
+  uint32_t n_changes = r.GetCount();
   for (uint32_t c = 0; c < n_changes; ++c) {
     WalRecord::Change change;
     change.relation = r.GetString();
-    uint32_t n_ins = r.GetU32();
+    uint32_t n_ins = r.GetCount();
+    change.inserts.reserve(n_ins);
     for (uint32_t i = 0; i < n_ins; ++i) change.inserts.push_back(r.GetTuple());
-    uint32_t n_del = r.GetU32();
+    uint32_t n_del = r.GetCount();
+    change.deletes.reserve(n_del);
     for (uint32_t i = 0; i < n_del; ++i) change.deletes.push_back(r.GetTuple());
     record.changes.push_back(std::move(change));
   }
@@ -236,6 +247,16 @@ void Wal::ScanExisting(const ReplayFn& replay) {
   }
   if (contents.size() < kHeaderSize ||
       std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    // A header-sized-or-shorter file with a bad header cannot hold any
+    // record, so when the caller vouches for a checkpoint
+    // (tolerate_torn_header) it is a torn header write — re-initialize
+    // and let `Storage::Attach` rebase above the checkpoint LSN.  A file
+    // long enough to carry records is damage either way.
+    if (options_.tolerate_torn_header && contents.size() <= kHeaderSize) {
+      stats_.truncated_bytes += static_cast<int64_t>(contents.size());
+      WriteHeader(0);
+      return;
+    }
     throw CorruptionError("wal: bad header in " + path_);
   }
   {
@@ -400,14 +421,8 @@ void Wal::LeadBatch(std::unique_lock<std::mutex>& lk) {
     stats_.records_appended += static_cast<int64_t>(take);
     stats_.bytes_appended += static_cast<int64_t>(batch.size());
     ++stats_.fsyncs;
-    if (options_.metrics != nullptr) {
-      StorageMetrics& m = *options_.metrics;
-      m.wal_appends += static_cast<int64_t>(take);
-      m.wal_bytes += static_cast<int64_t>(batch.size());
-      ++m.wal_fsyncs;
-      m.fsync_nanos += nanos;
-      m.batch_commits.Record(static_cast<int64_t>(take));
-    }
+    stats_.fsync_nanos += nanos;
+    stats_.batch_commits.Record(static_cast<int64_t>(take));
   }
   cv_durable_.notify_all();
 }
@@ -420,7 +435,58 @@ void Wal::Rotate(uint64_t base_lsn) {
   MVIEW_CHECK(base_lsn + 1 >= next_lsn_,
               "wal: cannot rotate to base LSN ", base_lsn,
               " below already-assigned LSN ", next_lsn_ - 1);
-  WriteHeader(base_lsn);
+  // Truncating the live file in place would open a window where a crash
+  // leaves an empty or half-written header and LSN assignment restarts
+  // below the checkpoint.  Build the new log beside the old one and swap
+  // it in atomically instead: a crash leaves the old records (covered by
+  // the checkpoint, skipped at replay) or the complete new header.
+  const std::string tmp = path_ + ".tmp";
+  int nfd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (nfd < 0) ThrowErrno("open", tmp);
+  try {
+    std::string header(kMagic, sizeof(kMagic));
+    wire::PutU64(&header, base_lsn);
+    size_t done = 0;
+    while (done < header.size()) {
+      ssize_t n = ::pwrite(nfd, header.data() + done, header.size() - done,
+                           static_cast<off_t>(done));
+      if (n < 0) ThrowErrno("write", tmp);
+      done += static_cast<size_t>(n);
+    }
+    if (options_.fsync && ::fsync(nfd) != 0) ThrowErrno("fsync", tmp);
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) ThrowErrno("rename", path_);
+  } catch (...) {
+    ::close(nfd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  // Make the swap itself durable (best effort: some filesystems reject
+  // directory fsync).
+  if (options_.fsync) {
+    std::string dir = std::filesystem::path(path_).parent_path().string();
+    if (dir.empty()) dir = ".";
+    int dfd = ::open(dir.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+  ::close(fd_);
+  fd_ = nfd;
+  if (::lseek(fd_, static_cast<off_t>(kHeaderSize), SEEK_SET) < 0) {
+    ThrowErrno("lseek", path_);
+  }
+  base_lsn_ = base_lsn;
+  next_lsn_ = base_lsn + 1;
+  durable_lsn_ = base_lsn;
+}
+
+void Wal::Fail(const std::string& message) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (failed_) return;
+  failed_ = true;
+  failure_message_ = message;
+  cv_durable_.notify_all();
 }
 
 bool Wal::failed() const {

@@ -82,11 +82,23 @@ struct WalOptions {
   /// durability" benchmark baseline.  Never disable this for real data.
   bool fsync = true;
 
+  /// When true, a file too short to hold the 16-byte header (or exactly
+  /// header-sized with bad magic) is treated as a *torn header write* —
+  /// re-initialized empty instead of throwing `CorruptionError`.  Set this
+  /// only when an authoritative checkpoint exists: such a file cannot
+  /// contain a complete record, so with a checkpoint nothing is lost, but
+  /// without one the same bytes more likely mean external damage.  A file
+  /// long enough to carry records whose magic is wrong is always
+  /// corruption.  The caller must rebase the log above the checkpoint LSN
+  /// afterwards (see `Storage::Attach`).
+  bool tolerate_torn_header = false;
+
   FailurePolicy* failure_policy = nullptr;  // not owned; may be null
-  StorageMetrics* metrics = nullptr;        // not owned; may be null
 };
 
-/// Point-in-time counters of one log instance.
+/// Point-in-time counters of one log instance.  Returned by `Wal::stats`
+/// as a snapshot taken under the log mutex, so reading one is safe while
+/// other threads commit.
 struct WalStats {
   uint64_t base_lsn = 0;     // LSN of the checkpoint the log starts after
   uint64_t durable_lsn = 0;  // highest LSN guaranteed on disk
@@ -94,8 +106,10 @@ struct WalStats {
   int64_t records_appended = 0;
   int64_t bytes_appended = 0;
   int64_t fsyncs = 0;
+  int64_t fsync_nanos = 0;       // wall time inside write+fsync
   int64_t records_replayed = 0;  // recovered at open
   int64_t truncated_bytes = 0;   // torn tail dropped at open
+  SizeHistogram batch_commits;   // commits coalesced per fsync batch
 };
 
 /// An fsync-batched append-only log of committed transaction effects.
@@ -135,8 +149,11 @@ class Wal {
   uint64_t Append(const TransactionEffect& effect);
 
   /// Empties the log and restarts it after `base_lsn` (call after a
-  /// checkpoint covering everything up to `base_lsn` is durable).  Must
-  /// not race appends.
+  /// checkpoint covering everything up to `base_lsn` is durable).  The
+  /// new log is built beside the old one and swapped in with an atomic
+  /// rename, so a crash at any instant leaves either the old records or
+  /// the complete new header — never a truncated file.  Must not race
+  /// appends.
   void Rotate(uint64_t base_lsn);
 
   WalStats stats() const;
@@ -145,6 +162,13 @@ class Wal {
   /// True once an append has failed; the log rejects further work until
   /// reopened through recovery.
   bool failed() const;
+
+  /// Sticky-fails the log from outside the append path.  Used when the
+  /// durable state has diverged from the in-memory state in a way the log
+  /// cannot represent (e.g. a post-DDL checkpoint failed): every waiter
+  /// and future append gets an `IoError` until the directory is reopened
+  /// through recovery.  Thread-safe; a no-op if already failed.
+  void Fail(const std::string& message);
 
   /// Encodes one record (length+crc framing included) — exposed for the
   /// checkpoint writer and tests, which reuse the wire format.
@@ -211,6 +235,13 @@ class Reader {
   std::string GetString();
   Value GetValue();
   Tuple GetTuple();
+
+  /// Reads a u32 element count and validates it against the bytes left:
+  /// every counted element encodes to at least one byte, so a count above
+  /// `Remaining()` is impossible in a well-formed stream.  Throws
+  /// `CorruptionError` instead of letting callers `reserve()` multi-GB
+  /// vectors off a corrupt length prefix.
+  uint32_t GetCount();
 
   bool AtEnd() const { return p_ == end_; }
   size_t Remaining() const { return static_cast<size_t>(end_ - p_); }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -266,6 +267,89 @@ TEST_F(RecoveryTest, ReplaySkipsRecordsTheCheckpointAlreadyCovers) {
   EXPECT_EQ(storage->wal_stats().records_replayed, 2);
   EXPECT_EQ(recovered.views().metrics().storage().replayed_records, 0);
   ExpectSameState(recovered, reference);
+}
+
+TEST_F(RecoveryTest, TornRotateDoesNotSwallowPostRecoveryCommits) {
+  // A crash during log rotation can leave the WAL empty (or a torn header
+  // prefix) while the checkpoint's LSN is high.  Recovery must rebase the
+  // log *above* the checkpoint — otherwise post-recovery commits get LSNs
+  // the replay filter skips, and acknowledged-durable work silently
+  // vanishes on the next restart.
+  {
+    auto storage = Storage::Open(Dir());
+    Engine engine(storage.get());
+    engine.ExecuteScript(Preamble());
+    engine.ExecuteScript(
+        "INSERT INTO r VALUES (1, 10);INSERT INTO r VALUES (2, 20);");
+    engine.Execute("CHECKPOINT;");  // checkpoint LSN is now 2
+  }
+  {
+    // Simulate the torn rotate: the checkpoint is durable, the log is a
+    // 3-byte header prefix.
+    std::ofstream wal(Dir() + "/wal.mv", std::ios::binary | std::ios::trunc);
+    wal.write("MVW", 3);
+  }
+  {
+    Storage::Options options;
+    options.checkpoint_on_close = false;  // the commit must live in the WAL
+    auto storage = Storage::Open(Dir(), options);
+    Engine engine(storage.get());
+    // The log restarted above the checkpoint, not at LSN 1.
+    EXPECT_GE(storage->wal_stats().base_lsn, 2u);
+    engine.Execute("INSERT INTO r VALUES (3, 30);");
+  }
+
+  auto storage = Storage::Open(Dir());
+  Engine recovered(storage.get());
+  EXPECT_EQ(storage->wal_stats().records_replayed, 1);
+
+  Engine reference;
+  reference.ExecuteScript(Preamble());
+  reference.ExecuteScript(
+      "INSERT INTO r VALUES (1, 10);INSERT INTO r VALUES (2, 20);"
+      "INSERT INTO r VALUES (3, 30);");
+  ExpectSameState(recovered, reference);
+}
+
+TEST_F(RecoveryTest, FailedDdlCheckpointStickyFailsTheLog) {
+  // DDL mutates the in-memory catalog, then checkpoints.  If that
+  // checkpoint fails, the log may not acknowledge anything further: a
+  // commit against the new schema would be durable in a WAL that the old
+  // checkpoint cannot decode.
+  {
+    auto storage = Storage::Open(Dir());
+    Engine engine(storage.get());
+    engine.Execute("CREATE TABLE r (a INT64, b INT64);");
+    engine.Execute("INSERT INTO r VALUES (1, 10);");
+
+    // Break checkpointing: its scratch file path is occupied by a
+    // directory, so the next WriteCheckpoint fails with an I/O error.
+    std::filesystem::create_directory(Dir() + "/checkpoint.mv.tmp");
+    Engine::Status ddl =
+        engine.TryExecute("CREATE TABLE s (b2 INT64, c INT64);", nullptr);
+    ASSERT_FALSE(ddl.ok);
+    EXPECT_EQ(ddl.kind, Engine::Status::Kind::kIoError);
+
+    // The log is sticky-failed: no commit is acknowledged while the
+    // durable catalog disagrees with the in-memory one.
+    Engine::Status dml =
+        engine.TryExecute("INSERT INTO r VALUES (2, 20);", nullptr);
+    ASSERT_FALSE(dml.ok);
+    EXPECT_EQ(dml.kind, Engine::Status::Kind::kIoError);
+    std::filesystem::remove(Dir() + "/checkpoint.mv.tmp");
+    // Engine destruction skips the close-time checkpoint (failed log).
+  }
+
+  auto storage = Storage::Open(Dir());
+  Engine recovered(storage.get());
+  // Recovery rolls back to the last durable catalog: no table s, and the
+  // pre-DDL commit survived.
+  Engine reference;
+  reference.Execute("CREATE TABLE r (a INT64, b INT64);");
+  reference.Execute("INSERT INTO r VALUES (1, 10);");
+  EXPECT_EQ(Query(recovered, "SELECT * FROM r"),
+            Query(reference, "SELECT * FROM r"));
+  EXPECT_FALSE(recovered.database().Exists("s"));
 }
 
 TEST_F(RecoveryTest, DdlForcesACheckpointAndRotatesTheLog) {
