@@ -14,7 +14,7 @@
 namespace mview {
 namespace {
 
-constexpr size_t kRows = 30000;
+size_t Rows() { return bench::Scaled(30000, 400); }
 
 struct ViewCase {
   const char* name;
@@ -32,7 +32,7 @@ std::pair<double, double> Measure(const ViewCase& vc, double fraction) {
   std::vector<BaseRef> bases;
   const char* names[] = {"r", "s"};
   for (size_t i = 0; i < vc.num_relations; ++i) {
-    specs.push_back({names[i], 2, static_cast<int64_t>(kRows), kRows});
+    specs.push_back({names[i], 2, static_cast<int64_t>(Rows()), Rows()});
     gen.Populate(&db, specs.back());
     bases.push_back(BaseRef{specs.back().name, {}});
   }
@@ -46,7 +46,7 @@ std::pair<double, double> Measure(const ViewCase& vc, double fraction) {
   }
   DifferentialMaintainer maintainer(def, &db);
   size_t per_rel =
-      std::max<size_t>(1, static_cast<size_t>(fraction * kRows / 2));
+      std::max<size_t>(1, static_cast<size_t>(fraction * Rows() / 2));
   Transaction txn;
   for (const auto& spec : specs) gen.AddUpdates(&txn, spec, per_rel, per_rel);
   TransactionEffect effect = txn.Normalize(db);
@@ -84,13 +84,18 @@ BENCHMARK(BM_Crossover)
 
 void PrintSummary() {
   using bench::FormatSeconds;
+  const std::vector<double> pcts =
+      bench::Options().smoke
+          ? std::vector<double>{1.0, 20.0}
+          : std::vector<double>{0.01, 0.1, 1.0, 5.0, 20.0, 50.0, 100.0};
   for (const auto& vc : kCases) {
     bench::SummaryTable table(
         std::string("E12: differential vs. complete re-evaluation — ") +
-            vc.name + " view, |r| = 30000, sweep of txn size as % of base",
+            vc.name + " view, |r| = " + std::to_string(Rows()) +
+            ", sweep of txn size as % of base",
         {"delta %", "differential", "full re-eval", "speedup",
          "winner"});
-    for (double pct : {0.01, 0.1, 1.0, 5.0, 20.0, 50.0, 100.0}) {
+    for (double pct : pcts) {
       auto [diff, full] = Measure(vc, pct / 100.0);
       table.AddRow({std::to_string(pct), FormatSeconds(diff),
                     FormatSeconds(full), bench::FormatSpeedup(full / diff),
@@ -104,8 +109,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

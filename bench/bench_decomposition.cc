@@ -81,7 +81,11 @@ void PrintSummary() {
       "E13: evaluating one differential row (delta ⋈ r ⋈ s, |delta| = 16) — "
       "hash/index planner vs. Wong–Youssefi decomposition [WY76]",
       {"|r|=|s|", "planner", "decomposition", "planner speedup"});
-  for (size_t rows : {1000u, 10000u, 40000u}) {
+  const std::vector<size_t> sizes = bench::Options().smoke
+                                        ? std::vector<size_t>{200, 400}
+                                        : std::vector<size_t>{1000, 10000,
+                                                              40000};
+  for (size_t rows : sizes) {
     Setup setup(rows);
     Condition cond = ParseCondition("d_a1 = r_a0 && r_a1 = s_a0");
     FullRelationInput d(&setup.delta, setup.delta.schema());
@@ -107,8 +111,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

@@ -101,7 +101,10 @@ void PrintSummary() {
       "(compiled invariant graph vs naive re-decision)",
       {"invariant vars", "compiled/tuple", "naive/tuple", "speedup"});
   Rng rng(9);
-  for (size_t vars : {4u, 8u, 16u, 32u}) {
+  const std::vector<size_t> var_counts =
+      bench::Options().smoke ? std::vector<size_t>{4, 8}
+                             : std::vector<size_t>{4, 8, 16, 32};
+  for (size_t vars : var_counts) {
     Condition cond = BuildCondition(vars);
     Schema all = AllVars(vars);
     SubstitutionFilter filter(cond, all, {Schema::OfInts({"u0", "u1"})});
@@ -132,8 +135,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

@@ -75,7 +75,11 @@ void PrintSummary() {
         "re-evaluation as |r| = |s| grows (paper §5.3: differential scales "
         "with the delta, not the relations)",
         {"|r|=|s|", "differential", "full re-eval", "speedup"});
-    for (size_t rows : {1000u, 10000u, 50000u, 200000u}) {
+    const std::vector<size_t> sizes =
+        bench::Options().smoke
+            ? std::vector<size_t>{200, 400}
+            : std::vector<size_t>{1000, 10000, 50000, 200000};
+    for (size_t rows : sizes) {
       JoinSetup setup(rows, static_cast<int64_t>(rows));
       Transaction txn;
       setup.gen.AddUpdates(&txn, setup.r, 8, 8);
@@ -99,8 +103,12 @@ void PrintSummary() {
         "E6b: join view — differential cost vs. transaction size "
         "(|r| = |s| = 50000)",
         {"updates/txn", "differential", "full re-eval", "speedup"});
-    for (size_t upd : {2u, 32u, 512u, 8192u}) {
-      JoinSetup setup(50000, 50000);
+    const size_t base = bench::Scaled(50000, 400);
+    const std::vector<size_t> updates =
+        bench::Options().smoke ? std::vector<size_t>{2, 32}
+                               : std::vector<size_t>{2, 32, 512, 8192};
+    for (size_t upd : updates) {
+      JoinSetup setup(base, static_cast<int64_t>(base));
       Transaction txn;
       setup.gen.AddUpdates(&txn, setup.r, upd / 2, upd / 2);
       TransactionEffect effect = txn.Normalize(setup.db);
@@ -123,8 +131,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

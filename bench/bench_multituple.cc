@@ -56,7 +56,7 @@ BENCHMARK(BM_JointPairFilter);
 void PrintSummary() {
   Setup setup;
   Rng rng(7);
-  const int kPairs = 20000;
+  const int kPairs = static_cast<int>(bench::Scaled(20000, 500));
   int single_kept_both = 0;
   int joint_kept = 0;
   double single_time, joint_time;
@@ -87,7 +87,8 @@ void PrintSummary() {
   }
   bench::SummaryTable table(
       "E10: Theorem 4.2 — joint (pair) irrelevance vs. per-tuple filtering "
-      "on 20000 random (r, s) tuple pairs; condition A<50 && B=C && D>10",
+      "on " + std::to_string(kPairs) +
+          " random (r, s) tuple pairs; condition A<50 && B=C && D>10",
       {"method", "pairs kept", "kept %", "total time"});
   auto pct = [&](int kept) {
     char buf[16];
@@ -110,8 +111,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

@@ -22,17 +22,17 @@
 namespace mview {
 namespace {
 
-constexpr size_t kTransactions = 64;
+size_t Transactions() { return bench::Scaled(64, 8); }
 constexpr size_t kUpdatesPerRelation = 6;
 
 struct Setup {
   Database db;
   WorkloadGenerator gen{42};
   std::vector<RelationSpec> specs{
-      RelationSpec{"r0", 2, 4000, 4000},
-      RelationSpec{"r1", 2, 4000, 4000},
-      RelationSpec{"r2", 2, 4000, 4000},
-      RelationSpec{"r3", 2, 4000, 4000},
+      RelationSpec{"r0", 2, 4000, bench::Scaled(4000, 400)},
+      RelationSpec{"r1", 2, 4000, bench::Scaled(4000, 400)},
+      RelationSpec{"r2", 2, 4000, bench::Scaled(4000, 400)},
+      RelationSpec{"r3", 2, 4000, bench::Scaled(4000, 400)},
   };
   ViewManager vm;
 
@@ -79,7 +79,7 @@ void BM_CommitPipeline(benchmark::State& state) {
     state.PauseTiming();
     Setup setup(workers);
     state.ResumeTiming();
-    setup.RunTransactions(kTransactions);
+    setup.RunTransactions(Transactions());
   }
 }
 // 0 = serial (no pool); 1..8 = pool workers.
@@ -92,7 +92,7 @@ void BM_FullReevaluation(benchmark::State& state) {
     state.PauseTiming();
     Setup setup(0, MaintenanceMode::kFullReevaluation);
     state.ResumeTiming();
-    setup.RunTransactions(kTransactions);
+    setup.RunTransactions(Transactions());
   }
 }
 BENCHMARK(BM_FullReevaluation)->Iterations(3)->Unit(benchmark::kMillisecond);
@@ -103,23 +103,27 @@ void PrintSummary() {
   std::printf("\nhardware_concurrency: %u\n",
               std::thread::hardware_concurrency());
   bench::SummaryTable table(
-      "E14: parallel per-view maintenance — 64 commits, 8 views over 4 "
-      "relations (6 updates per relation per commit)",
+      "E14: parallel per-view maintenance — " +
+          std::to_string(Transactions()) + " commits, 8 views over 4 "
+          "relations (6 updates per relation per commit)",
       {"pipeline", "total commit time", "speedup vs serial"});
   const double serial = bench::TimeIt(
-      [] { Setup setup(0); setup.RunTransactions(kTransactions); });
+      [] { Setup setup(0); setup.RunTransactions(Transactions()); });
   table.AddRow({"serial (no pool)", FormatSeconds(serial), "1.00x"});
-  for (size_t workers : {1u, 2u, 4u, 8u}) {
+  const std::vector<size_t> worker_counts =
+      bench::Options().smoke ? std::vector<size_t>{1, 2}
+                             : std::vector<size_t>{1, 2, 4, 8};
+  for (size_t workers : worker_counts) {
     const double t = bench::TimeIt([workers] {
       Setup setup(workers);
-      setup.RunTransactions(kTransactions);
+      setup.RunTransactions(Transactions());
     });
     table.AddRow({"pool, " + std::to_string(workers) + " worker(s)",
                   FormatSeconds(t), FormatSpeedup(serial / t)});
   }
   const double full = bench::TimeIt([] {
     Setup setup(0, MaintenanceMode::kFullReevaluation);
-    setup.RunTransactions(kTransactions);
+    setup.RunTransactions(Transactions());
   });
   table.AddRow({"full re-evaluation", FormatSeconds(full),
                 FormatSpeedup(serial / full)});
@@ -130,8 +134,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

@@ -77,8 +77,12 @@ void PrintSummary() {
         "re-evaluation (|r| = 20000, fan-in controlled by |dom(a1)|)",
         {"|dom(a1)|", "view size", "diff (64 upd)", "full re-eval",
          "speedup"});
-    for (int64_t domain : {10, 100, 1000, 10000}) {
-      Setup setup(20000, domain, false);
+    const size_t rows = bench::Scaled(20000, 500);
+    const std::vector<int64_t> domains =
+        bench::Options().smoke ? std::vector<int64_t>{10, 100}
+                               : std::vector<int64_t>{10, 100, 1000, 10000};
+    for (int64_t domain : domains) {
+      Setup setup(rows, domain, false);
       CountedRelation v = setup.maintainer->FullEvaluate();
       Transaction txn = setup.gen.MakeTransaction(setup.spec, 32, 32);
       TransactionEffect effect = txn.Normalize(setup.db);
@@ -102,7 +106,7 @@ void PrintSummary() {
         "same workload, |r| = 20000, |dom(a1)| = 100",
         {"mode", "view tuples", "total count", "maint (64 upd)"});
     for (bool key_mode : {false, true}) {
-      Setup setup(20000, 100, key_mode);
+      Setup setup(bench::Scaled(20000, 500), 100, key_mode);
       CountedRelation v = setup.maintainer->FullEvaluate();
       Transaction txn = setup.gen.MakeTransaction(setup.spec, 32, 32);
       TransactionEffect effect = txn.Normalize(setup.db);
@@ -122,8 +126,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

@@ -25,7 +25,9 @@ struct Setup {
     std::vector<BaseRef> bases;
     for (size_t i = 0; i < p; ++i) {
       // No indexes here: hash tables get built per row unless cached.
-      RelationSpec spec{"r" + std::to_string(i), 2, 2000, 5000};
+      RelationSpec spec{"r" + std::to_string(i), 2,
+                        static_cast<int64_t>(bench::Scaled(2000, 100)),
+                        bench::Scaled(5000, 300)};
       gen.Populate(&db, spec);
       specs.push_back(spec);
       bases.push_back(BaseRef{spec.name, {}});
@@ -52,6 +54,9 @@ void BM_WithReuse(benchmark::State& state) {
   TransactionEffect effect = setup.TouchAll(4);
   MaintenanceOptions options;
   options.reuse_subexpressions = true;
+  // E9 isolates *per-round* reuse; the cross-round join-state cache (E16)
+  // would blur the ablation.
+  options.enable_join_cache = false;
   DifferentialMaintainer m(setup.def, &setup.db, options);
   for (auto _ : state) {
     ViewDelta d = m.ComputeDelta(effect);
@@ -65,6 +70,7 @@ void BM_WithoutReuse(benchmark::State& state) {
   TransactionEffect effect = setup.TouchAll(4);
   MaintenanceOptions options;
   options.reuse_subexpressions = false;
+  options.enable_join_cache = false;
   DifferentialMaintainer m(setup.def, &setup.db, options);
   for (auto _ : state) {
     ViewDelta d = m.ComputeDelta(effect);
@@ -81,12 +87,17 @@ void PrintSummary() {
       "all relations modified → many rows share clean inputs)",
       {"p relations", "rows", "scanned w/ reuse", "scanned w/o", "with reuse",
        "without", "speedup"});
-  for (size_t p : {2u, 3u, 4u, 5u}) {
+  const std::vector<size_t> ps = bench::Options().smoke
+                                     ? std::vector<size_t>{2, 3}
+                                     : std::vector<size_t>{2, 3, 4, 5};
+  for (size_t p : ps) {
     Setup setup(p);
     TransactionEffect effect = setup.TouchAll(4);
     MaintenanceOptions with, without;
     with.reuse_subexpressions = true;
+    with.enable_join_cache = false;  // ablate per-round reuse only
     without.reuse_subexpressions = false;
+    without.enable_join_cache = false;
     DifferentialMaintainer m_with(setup.def, &setup.db, with);
     DifferentialMaintainer m_without(setup.def, &setup.db, without);
     MaintenanceStats s_with, s_without;
@@ -112,8 +123,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

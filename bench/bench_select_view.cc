@@ -61,8 +61,12 @@ void PrintSummary() {
       "full re-evaluation as the transaction grows (paper §5.1: cheaper "
       "while |v| > |d_r|)",
       {"|i|+|d|", "differential", "full re-eval", "speedup"});
-  for (size_t delta : {1u, 16u, 256u, 4096u, 25000u}) {
-    Setup setup(50000);
+  const size_t rows = bench::Scaled(50000, 500);
+  const std::vector<size_t> deltas =
+      bench::Options().smoke ? std::vector<size_t>{1, 16}
+                             : std::vector<size_t>{1, 16, 256, 4096, 25000};
+  for (size_t delta : deltas) {
+    Setup setup(rows);
     Transaction txn = setup.gen.MakeTransaction(setup.spec, delta, delta);
     TransactionEffect effect = txn.Normalize(setup.db);
     double diff = bench::TimeIt([&] {
@@ -83,8 +87,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

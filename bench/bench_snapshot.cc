@@ -18,8 +18,8 @@ namespace {
 struct Setup {
   Database db;
   WorkloadGenerator gen{42};
-  RelationSpec r{"r", 2, 20000, 20000};
-  RelationSpec s{"s", 2, 20000, 20000};
+  RelationSpec r{"r", 2, 20000, bench::Scaled(20000, 400)};
+  RelationSpec s{"s", 2, 20000, bench::Scaled(20000, 400)};
   ViewManager vm{&db};
 
   explicit Setup(MaintenanceMode mode) {
@@ -54,16 +54,21 @@ BENCHMARK(BM_DeferredRefreshAfterN)->Arg(1)->Arg(16)->Arg(128)->Iterations(10)
 void PrintSummary() {
   using bench::FormatSeconds;
   {
+    const size_t txns = bench::Scaled(128, 16);
     bench::SummaryTable table(
-        "E11a: snapshot refresh — total maintenance cost for 128 deferred "
-        "transactions (8 updates each) vs. refresh period "
-        "(refresh every N transactions)",
+        "E11a: snapshot refresh — total maintenance cost for " +
+            std::to_string(txns) + " deferred "
+            "transactions (8 updates each) vs. refresh period "
+            "(refresh every N transactions)",
         {"refresh period", "refreshes", "pending at refresh", "total time"});
-    for (size_t period : {1u, 8u, 32u, 128u}) {
+    const std::vector<size_t> periods =
+        bench::Options().smoke ? std::vector<size_t>{1, 8}
+                               : std::vector<size_t>{1, 8, 32, 128};
+    for (size_t period : periods) {
       Setup setup(MaintenanceMode::kDeferred);
       size_t max_pending = 0;
       Stopwatch timer;
-      for (size_t i = 1; i <= 128; ++i) {
+      for (size_t i = 1; i <= txns; ++i) {
         Transaction txn;
         setup.gen.AddUpdates(&txn, setup.r, 4, 4);
         setup.vm.Apply(txn);
@@ -84,7 +89,8 @@ void PrintSummary() {
     // net-effect composition should cancel nearly everything.
     Setup setup(MaintenanceMode::kDeferred);
     Tuple hot({Value(99999), Value(5)});
-    for (int i = 0; i < 100; ++i) {
+    const int churn = static_cast<int>(bench::Scaled(100, 10));
+    for (int i = 0; i < churn; ++i) {
       Transaction txn;
       if (i % 2 == 0) {
         txn.Insert("r", hot);
@@ -94,25 +100,27 @@ void PrintSummary() {
       setup.vm.Apply(txn);
     }
     bench::SummaryTable table(
-        "E11b: log composition under churn — 100 alternating insert/delete "
-        "transactions of one tuple",
+        "E11b: log composition under churn — " + std::to_string(churn) +
+            " alternating insert/delete transactions of one tuple",
         {"transactions", "pending tuples in log", "is stale"});
-    table.AddRow({"100", std::to_string(setup.vm.Describe("v").pending_tuples),
+    table.AddRow({std::to_string(churn),
+                  std::to_string(setup.vm.Describe("v").pending_tuples),
                   setup.vm.Describe("v").stale ? "yes" : "no"});
     table.Print();
   }
   {
+    const size_t txns = bench::Scaled(128, 16);
     bench::SummaryTable table(
-        "E11c: immediate vs. deferred (refresh once at the end) — 128 "
-        "transactions of 8 updates",
+        "E11c: immediate vs. deferred (refresh once at the end) — " +
+            std::to_string(txns) + " transactions of 8 updates",
         {"mode", "total maintenance time"});
     Setup immediate(MaintenanceMode::kImmediate);
     Stopwatch t1;
-    immediate.RunTransactions(128, 8);
+    immediate.RunTransactions(txns, 8);
     table.AddRow({"immediate (per-commit)", FormatSeconds(t1.ElapsedSeconds())});
     Setup deferred(MaintenanceMode::kDeferred);
     Stopwatch t2;
-    deferred.RunTransactions(128, 8);
+    deferred.RunTransactions(txns, 8);
     deferred.vm.Refresh("v");
     table.AddRow({"deferred (one refresh)", FormatSeconds(t2.ElapsedSeconds())});
     table.Print();
@@ -123,8 +131,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

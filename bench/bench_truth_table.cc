@@ -82,7 +82,8 @@ void PrintSummary() {
       "telescoped extension → 2k terms)",
       {"k modified", "rows enumerated", "2^k - 1", "rows (mixed ins+del)",
        "telescoped terms", "table time", "telescoped time"});
-  for (size_t k = 1; k <= 6; ++k) {
+  const size_t max_k = bench::Scaled(6, 3);
+  for (size_t k = 1; k <= max_k; ++k) {
     ChainSetup setup(6);
     MaintenanceOptions options;
     options.use_irrelevance_filter = false;
@@ -135,8 +136,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

@@ -2,13 +2,86 @@
 #define MVIEW_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/stopwatch.h"
 
 namespace mview::bench {
+
+/// Harness flags shared by every bench binary (parsed before
+/// `benchmark::Initialize` so google-benchmark never sees them):
+///   --smoke         run a tiny workload and skip the google-benchmark
+///                   suites — the CI `bench-smoke` ctest label uses this to
+///                   prove each binary still runs, not to measure anything.
+///   --json <path>   additionally write the summary rows as a JSON array
+///                   (e.g. BENCH_E16.json for the experiment log).
+struct BenchOptions {
+  bool smoke = false;
+  std::string json_path;
+};
+
+inline BenchOptions& Options() {
+  static BenchOptions options;
+  return options;
+}
+
+/// Strips the flags above out of argc/argv into `Options()`.
+inline void ParseBenchOptions(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      Options().smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      Options().json_path = argv[++i];
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Picks the full-size or smoke-size workload parameter.
+inline size_t Scaled(size_t full, size_t smoke) {
+  return Options().smoke ? smoke : full;
+}
+
+/// Accumulates numeric result rows and writes them as a JSON array of
+/// objects — the machine-readable twin of `SummaryTable`.
+class JsonRows {
+ public:
+  void Add(std::vector<std::pair<std::string, double>> fields) {
+    rows_.push_back(std::move(fields));
+  }
+
+  /// Writes to `Options().json_path` when set; returns false on I/O error.
+  bool WriteIfRequested() const {
+    if (Options().json_path.empty()) return true;
+    std::FILE* f = std::fopen(Options().json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", Options().json_path.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "  {");
+      for (size_t c = 0; c < rows_[r].size(); ++c) {
+        std::fprintf(f, "%s\"%s\": %.9g", c == 0 ? "" : ", ",
+                     rows_[r][c].first.c_str(), rows_[r][c].second);
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+};
 
 /// Formats seconds with an adaptive unit ("1.23 ms").
 inline std::string FormatSeconds(double s) {
@@ -73,8 +146,10 @@ class SummaryTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Runs `fn` `reps` times and returns the average seconds per run.
+/// Runs `fn` `reps` times and returns the average seconds per run (a
+/// single rep under --smoke).
 inline double TimeIt(const std::function<void()>& fn, int reps = 3) {
+  if (Options().smoke) reps = 1;
   // One warm-up run.
   fn();
   Stopwatch timer;

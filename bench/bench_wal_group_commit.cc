@@ -95,15 +95,15 @@ BENCHMARK(BM_AppendDurable)->Unit(benchmark::kMicrosecond);
 
 void PrintSummary() {
   using bench::FormatSpeedup;
-  constexpr int kThreads = 8;
-  constexpr int kPerThread = 250;
-  constexpr int kTotal = kThreads * kPerThread;
+  const int kThreads = static_cast<int>(bench::Scaled(8, 4));
+  const int kPerThread = static_cast<int>(bench::Scaled(250, 10));
+  const int kTotal = kThreads * kPerThread;
 
   struct Config {
     std::string label;
     storage::WalOptions options;
   };
-  auto window_config = [](const std::string& label, int64_t micros) {
+  auto window_config = [kThreads](const std::string& label, int64_t micros) {
     Config c{label, {}};
     c.options.group_commit_window = std::chrono::microseconds(micros);
     // Bound the batch at the client count: the window closes as soon as
@@ -155,8 +155,9 @@ void PrintSummary() {
 }  // namespace mview
 
 int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
   mview::PrintSummary();
   return 0;
 }

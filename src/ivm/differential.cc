@@ -25,6 +25,10 @@ MaintenanceStats& MaintenanceStats::operator+=(const MaintenanceStats& o) {
   full_reevaluations += o.full_reevaluations;
   refreshes += o.refreshes;
   maintenance_nanos += o.maintenance_nanos;
+  cache_hits += o.cache_hits;
+  cache_misses += o.cache_misses;
+  cache_evictions += o.cache_evictions;
+  cache_bytes += o.cache_bytes;
   plan += o.plan;
   return *this;
 }
@@ -42,6 +46,10 @@ DifferentialMaintainer::DifferentialMaintainer(ViewDefinition def,
     aliased_.push_back(def_.AliasedSchema(*db_, i));
   }
   filter_ = std::make_unique<IrrelevanceFilter>(def_, *db_);
+  if (options_.enable_join_cache) {
+    join_cache_ =
+        std::make_unique<JoinStateCache>(options_.join_cache_budget_bytes);
+  }
 }
 
 bool DifferentialMaintainer::AffectedBy(const TransactionEffect& effect) const {
@@ -92,7 +100,35 @@ ViewDelta DifferentialMaintainer::ComputeDelta(const TransactionEffect& effect,
   }
   if (phases != nullptr) phases->filter_nanos += filter_timer.ElapsedNanos();
   Stopwatch differential_timer;
-  ViewDelta delta = ComputeDeltaFromParts(parts, stats);
+  // Open a cache round: validate entries against each base's
+  // (uid, version) token and apply the *unfiltered* deletes so warm tables
+  // mirror the clean pre-state the planner's clean inputs stream.  The
+  // unfiltered inserts are replayed (through each entry's stored local
+  // filters) when the round closes.
+  JoinCacheCounters before;
+  if (join_cache_ != nullptr) {
+    before = join_cache_->counters();
+    std::vector<JoinStateCache::SlotUpdate> slots(def_.bases().size());
+    for (size_t i = 0; i < def_.bases().size(); ++i) {
+      const Relation& rel = db_->Get(def_.bases()[i].relation);
+      const RelationEffect* re = effect.Find(def_.bases()[i].relation);
+      slots[i] = {rel.uid(), rel.version(),
+                  re != nullptr ? &re->deletes : nullptr,
+                  re != nullptr ? &re->inserts : nullptr};
+    }
+    join_cache_->BeginRound(std::move(slots));
+  }
+  ViewDelta delta = EvaluateParts(parts, stats, join_cache_ != nullptr);
+  if (join_cache_ != nullptr) {
+    join_cache_->EndRound();
+    if (stats != nullptr) {
+      const JoinCacheCounters& after = join_cache_->counters();
+      stats->cache_hits += after.hits - before.hits;
+      stats->cache_misses += after.misses - before.misses;
+      stats->cache_evictions += after.evictions - before.evictions;
+      stats->cache_bytes = static_cast<int64_t>(join_cache_->bytes());
+    }
+  }
   if (phases != nullptr) {
     phases->differential_nanos += differential_timer.ElapsedNanos();
   }
@@ -101,28 +137,24 @@ ViewDelta DifferentialMaintainer::ComputeDelta(const TransactionEffect& effect,
 
 ViewDelta DifferentialMaintainer::ComputeDeltaFromParts(
     const std::vector<BaseParts>& parts, MaintenanceStats* stats) const {
+  return EvaluateParts(parts, stats, /*bind_join_cache=*/false);
+}
+
+ViewDelta DifferentialMaintainer::EvaluateParts(
+    const std::vector<BaseParts>& parts, MaintenanceStats* stats,
+    bool bind_join_cache) const {
   MVIEW_CHECK(parts.size() == def_.bases().size(),
               "expected one BaseParts per base occurrence");
   size_t n = def_.bases().size();
   std::vector<std::unique_ptr<RelationInput>> clean(n), ins(n), del(n);
-  // The telescoped strategy probes deltas through Concat inputs, which are
-  // probe-capable only when both parts are; copy the (small) deltas and
-  // give them the base relation's indexes.
-  std::vector<std::unique_ptr<Relation>> indexed_deltas;
+  // Deltas are streamed through `DeltaIndexInput`, which claims probe
+  // support on every attribute and builds a single-attribute hash index
+  // lazily on first probe — the telescoped strategy used to *copy* each
+  // delta and eagerly rebuild all of the base's indexes on it, per term,
+  // per transaction.
   auto make_delta_input =
       [&](size_t i, const Relation* part) -> std::unique_ptr<RelationInput> {
-    if (options_.strategy == DeltaStrategy::kTelescoped) {
-      const Relation& rel = db_->Get(def_.bases()[i].relation);
-      auto copy = std::make_unique<Relation>(rel.schema());
-      part->Scan([&](const Tuple& t) { copy->Insert(t); });
-      for (size_t attr : rel.IndexedAttributes()) {
-        copy->CreateIndex(rel.schema().attribute(attr).name);
-      }
-      indexed_deltas.push_back(std::move(copy));
-      return std::make_unique<FullRelationInput>(indexed_deltas.back().get(),
-                                                 aliased_[i]);
-    }
-    return std::make_unique<FullRelationInput>(part, aliased_[i]);
+    return std::make_unique<DeltaIndexInput>(part, aliased_[i]);
   };
   for (size_t i = 0; i < n; ++i) {
     const Relation& rel = db_->Get(def_.bases()[i].relation);
@@ -131,6 +163,12 @@ ViewDelta DifferentialMaintainer::ComputeDeltaFromParts(
           &rel, parts[i].subtract, aliased_[i]);
     } else {
       clean[i] = std::make_unique<FullRelationInput>(&rel, aliased_[i]);
+    }
+    if (bind_join_cache) {
+      // Only the clean inputs go through the persistent cache: their slot
+      // index is a stable identity and their contents advance exactly by
+      // the normalized deltas the cache round replays.
+      clean[i]->BindJoinCache(join_cache_.get(), static_cast<uint32_t>(i));
     }
     if (parts[i].inserts != nullptr && !parts[i].inserts->empty()) {
       ins[i] = make_delta_input(i, parts[i].inserts);

@@ -8,6 +8,7 @@
 #include "ivm/delta.h"
 #include "ivm/irrelevance.h"
 #include "ivm/view_def.h"
+#include "ra/join_cache.h"
 #include "ra/planner.h"
 
 namespace mview {
@@ -39,6 +40,17 @@ struct MaintenanceOptions {
 
   /// Delta-join decomposition (see `DeltaStrategy`).
   DeltaStrategy strategy = DeltaStrategy::kTruthTable;
+
+  /// Keep the planner's clean-input join tables alive *across* transactions
+  /// in a per-view `JoinStateCache`, updated by each round's normalized
+  /// deltas (O(|delta|)) instead of rebuilt from the base (O(|base|)) —
+  /// the cross-transaction extension of `reuse_subexpressions`; bench E16
+  /// measures it.
+  bool enable_join_cache = true;
+
+  /// Byte budget for the per-view join-state cache; least-recently-used
+  /// entries are evicted past it at round boundaries.
+  size_t join_cache_budget_bytes = size_t{256} << 20;
 };
 
 /// Wall-clock nanoseconds spent in each phase of the commit pipeline,
@@ -67,6 +79,14 @@ struct MaintenanceStats {
   int64_t full_reevaluations = 0;
   int64_t refreshes = 0;             // deferred-mode refresh operations
   int64_t maintenance_nanos = 0;     // time spent maintaining this view
+  // Join-state cache activity.  The first three are cumulative counters;
+  // `cache_bytes` is a gauge overwritten with the cache's current size
+  // after every round (operator+= sums it, which aggregates per-view
+  // gauges into a total across views).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_bytes = 0;
   PlanStats plan;
 
   MaintenanceStats& operator+=(const MaintenanceStats& other);
@@ -110,17 +130,26 @@ class DifferentialMaintainer {
   /// when enabled.  When `phases` is non-null, filter and differential time
   /// are accumulated into it separately.
   ///
-  /// Thread-safety: const and reads only the (frozen) database pre-state,
-  /// so concurrent calls for *different* maintainers are safe as long as no
-  /// thread mutates the database — the property the parallel commit
-  /// pipeline relies on.
+  /// When the join-state cache is enabled this runs one cache *round*:
+  /// entries are validated and synchronized with the effect's normalized
+  /// deltas, so a steady-state call touches O(|delta|) cached rows instead
+  /// of rehashing the clean bases.
+  ///
+  /// Thread-safety: reads only the (frozen) database pre-state and mutates
+  /// only this maintainer's own join-state cache shard, so concurrent
+  /// calls for *different* maintainers are safe as long as no thread
+  /// mutates the database — the property the parallel commit pipeline
+  /// relies on (it runs at most one worker per view per commit).
+  /// Concurrent calls on the *same* maintainer are not safe.
   ViewDelta ComputeDelta(const TransactionEffect& effect,
                          MaintenanceStats* stats = nullptr,
                          PhaseBreakdown* phases = nullptr) const;
 
   /// Lower-level entry point used by deferred refresh: `parts[i]` describes
   /// base occurrence `i` (all fields may be null for untouched bases).
-  /// No filtering is applied here — callers filter when logging.
+  /// No filtering is applied here — callers filter when logging.  This
+  /// path never touches the join-state cache: refresh reconstructs an old
+  /// state (`r_now − i`) that no cached table mirrors.
   ViewDelta ComputeDeltaFromParts(const std::vector<BaseParts>& parts,
                                   MaintenanceStats* stats = nullptr) const;
 
@@ -136,7 +165,13 @@ class DifferentialMaintainer {
   const Schema& output_schema() const { return output_; }
   const MaintenanceOptions& options() const { return options_; }
 
+  /// This view's join-state cache shard (null when disabled).
+  const JoinStateCache* join_cache() const { return join_cache_.get(); }
+
  private:
+  ViewDelta EvaluateParts(const std::vector<BaseParts>& parts,
+                          MaintenanceStats* stats,
+                          bool bind_join_cache) const;
   void EnumerateRows(const std::vector<std::unique_ptr<RelationInput>>& clean,
                      const std::vector<std::unique_ptr<RelationInput>>& ins,
                      const std::vector<std::unique_ptr<RelationInput>>& del,
@@ -156,6 +191,9 @@ class DifferentialMaintainer {
   Schema output_;
   std::vector<Schema> aliased_;
   std::unique_ptr<IrrelevanceFilter> filter_;
+  // Per-view (per-maintainer) shard; mutable because ComputeDelta is
+  // logically const yet advances the cache between rounds.
+  mutable std::unique_ptr<JoinStateCache> join_cache_;
 };
 
 }  // namespace mview

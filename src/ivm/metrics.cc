@@ -80,6 +80,10 @@ std::string ViewMetrics::ToJson() const {
      << ", \"full_reevaluations\": " << stats.full_reevaluations
      << ", \"refreshes\": " << stats.refreshes
      << ", \"maintenance_nanos\": " << stats.maintenance_nanos
+     << ", \"cache_hits\": " << stats.cache_hits
+     << ", \"cache_misses\": " << stats.cache_misses
+     << ", \"cache_evictions\": " << stats.cache_evictions
+     << ", \"cache_bytes\": " << stats.cache_bytes
      << ", \"filter_nanos\": " << phases.filter_nanos
      << ", \"differential_nanos\": " << phases.differential_nanos
      << ", \"apply_nanos\": " << phases.apply_nanos

@@ -57,7 +57,11 @@ struct ViewInfo {
 /// across views, so `SetParallelism` can fan it out over a `ThreadPool`;
 /// deltas are still applied serially in name order, so view contents are
 /// bit-identical to the serial pipeline regardless of worker count (see
-/// DESIGN.md, "Commit pipeline").
+/// DESIGN.md, "Commit pipeline").  Each view's maintainer owns a private
+/// `JoinStateCache` shard, and the pipeline runs at most one worker per
+/// view per commit, so the shards need no locking; DDL
+/// (`DropView`/`RegisterView`/`RestoreView`) replaces the maintainer and
+/// its shard wholesale, which is how cached state is invalidated.
 ///
 /// The manager is not itself thread-safe: one thread drives `Apply` and the
 /// accessors.  Parallelism is internal to a single commit.
@@ -164,7 +168,8 @@ class ViewManager {
   const ManagedView& GetView(const std::string& name) const;
   /// Phase-2 body for one view: filter + differential (immediate), log
   /// (deferred).  Reads only the frozen pre-state; writes only this view's
-  /// state and metrics, so jobs are safe to run concurrently.
+  /// state, metrics, and join-state cache shard, so jobs are safe to run
+  /// concurrently.
   void ComputeJob(CommitJob* job, const TransactionEffect& effect);
   void LogDeferred(ManagedView* view, const TransactionEffect& effect);
   void RefreshView(const std::string& name, ManagedView* view);

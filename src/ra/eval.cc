@@ -121,12 +121,19 @@ CountedRelation Evaluate(const Expr& expr, const Database& db) {
       SplitJoinAttributes(l.schema(), r.schema(), &ls, &rs, &rr);
       // Hash the right side on the shared attributes.
       std::unordered_map<Tuple, std::vector<std::pair<Tuple, int64_t>>> table;
+      table.reserve(r.size());
       r.Scan([&](const Tuple& rt, int64_t rc) {
         table[rt.Project(rs)].emplace_back(rt.Project(rr), rc);
       });
       CountedRelation out(out_schema);
+      // One scratch key reused across probes: overwriting its values
+      // recycles string capacity instead of allocating a fresh key tuple
+      // per left row.
+      Tuple probe(std::vector<Value>(ls.size()));
       l.Scan([&](const Tuple& lt, int64_t lc) {
-        auto hit = table.find(lt.Project(ls));
+        auto& key_vals = probe.mutable_values();
+        for (size_t i = 0; i < ls.size(); ++i) key_vals[i] = lt.at(ls[i]);
+        auto hit = table.find(probe);
         if (hit == table.end()) return;
         for (const auto& [rest, rc] : hit->second) {
           // Section 5.2: t(N) = u(N) * v(N).

@@ -1,8 +1,15 @@
 #include "ra/input.h"
 
+#include <atomic>
+
 #include "util/error.h"
 
 namespace mview {
+
+RelationInput::RelationInput() {
+  static std::atomic<uint64_t> serial{0};
+  debug_serial_ = serial.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 bool RelationInput::CanProbe(size_t) const { return false; }
 
@@ -76,6 +83,32 @@ CountedRelationInput::CountedRelationInput(const CountedRelation* relation,
 
 void CountedRelationInput::Scan(const TupleSink& sink) const {
   relation_->Scan(sink);
+}
+
+DeltaIndexInput::DeltaIndexInput(const Relation* relation, Schema schema)
+    : relation_(relation), schema_(std::move(schema)) {
+  MVIEW_CHECK(relation_ != nullptr, "null relation");
+  MVIEW_CHECK(schema_.size() == relation_->schema().size(),
+              "alias scheme arity mismatch");
+}
+
+void DeltaIndexInput::Scan(const TupleSink& sink) const {
+  relation_->Scan([&](const Tuple& t) { sink(t, 1); });
+}
+
+void DeltaIndexInput::ProbeEqual(size_t attr, const Value& key,
+                                 const TupleSink& sink) const {
+  auto [it, created] = indexes_.try_emplace(attr);
+  if (created) {
+    // First probe on this attribute: build the index once, O(|delta|).
+    // Tuple pointers reference the relation's stable set nodes.
+    it->second.reserve(relation_->size());
+    relation_->Scan(
+        [&](const Tuple& t) { it->second[t.at(attr)].push_back(&t); });
+  }
+  auto hit = it->second.find(key);
+  if (hit == it->second.end()) return;
+  for (const Tuple* t : hit->second) sink(*t, 1);
 }
 
 ConcatRelationInput::ConcatRelationInput(const RelationInput* first,

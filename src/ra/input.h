@@ -11,6 +11,8 @@
 
 namespace mview {
 
+class JoinStateCache;
+
 /// Callback receiving a tuple and its multiplicity.
 using TupleSink = std::function<void(const Tuple&, int64_t)>;
 
@@ -27,6 +29,7 @@ using TupleSink = std::function<void(const Tuple&, int64_t)>;
 /// aliased scheme is what `schema()` reports.
 class RelationInput {
  public:
+  RelationInput();
   virtual ~RelationInput() = default;
 
   /// The (possibly aliased) scheme of the streamed tuples.
@@ -44,6 +47,28 @@ class RelationInput {
   /// Streams the tuples whose attribute `attr` equals `key` (index join).
   virtual void ProbeEqual(size_t attr, const Value& key,
                           const TupleSink& sink) const;
+
+  /// Attaches this input to slot `slot` of a cross-transaction join-state
+  /// cache.  The planner materializes a bound input through the cache —
+  /// keyed by the stable slot identity rather than this (per-round) object
+  /// — instead of rebuilding its hash table from scratch.  Only the *clean*
+  /// inputs of a maintenance round are ever bound.
+  void BindJoinCache(JoinStateCache* cache, uint32_t slot) {
+    join_cache_ = cache;
+    cache_slot_ = slot;
+  }
+  JoinStateCache* join_cache() const { return join_cache_; }
+  uint32_t cache_slot() const { return cache_slot_; }
+
+  /// A process-unique serial stamped at construction; `PlannerCache`
+  /// records it so debug builds can assert an entry's input pointer was
+  /// not freed and reused (pointer-keyed caches dangle silently otherwise).
+  uint64_t debug_serial() const { return debug_serial_; }
+
+ private:
+  JoinStateCache* join_cache_ = nullptr;
+  uint32_t cache_slot_ = 0;
+  uint64_t debug_serial_ = 0;
 };
 
 /// The whole contents of a set-semantics `Relation` (multiplicity 1).
@@ -100,6 +125,37 @@ class CountedRelationInput : public RelationInput {
  private:
   const CountedRelation* relation_;
   Schema schema_;
+};
+
+/// A small delta relation exposed with *lazy* per-attribute hash indexes.
+///
+/// The telescoped strategy anchors each term at a delta and probes it via
+/// `ConcatRelationInput`, which is probe-capable only when both parts are.
+/// Copying the delta and eagerly rebuilding the base relation's indexes on
+/// it (the old approach) costs O(|delta| · indexes) per term per round;
+/// this input instead claims probe support on every attribute and builds a
+/// single-attribute index the first time one is actually probed.
+///
+/// Thread-safety: the lazy indexes mutate on first probe, so an instance
+/// must stay confined to the maintenance round (and thread) that created
+/// it — the same lifetime delta inputs already have.
+class DeltaIndexInput : public RelationInput {
+ public:
+  DeltaIndexInput(const Relation* relation, Schema schema);
+
+  const Schema& schema() const override { return schema_; }
+  size_t SizeHint() const override { return relation_->size(); }
+  void Scan(const TupleSink& sink) const override;
+  bool CanProbe(size_t) const override { return true; }
+  void ProbeEqual(size_t attr, const Value& key,
+                  const TupleSink& sink) const override;
+
+ private:
+  using LazyIndex = std::unordered_map<Value, std::vector<const Tuple*>>;
+
+  const Relation* relation_;
+  Schema schema_;
+  mutable std::unordered_map<size_t, LazyIndex> indexes_;
 };
 
 /// A union of two parts streamed in sequence (e.g. the reconstructed old

@@ -1,0 +1,227 @@
+#include "ra/join_cache.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace mview {
+
+size_t JoinStateCache::ApproxRowBytes(const Tuple& tuple) {
+  // One copy in Table::rows plus (roughly) one key copy in the hash index
+  // or the keyless reverse map, plus container node overhead.  The budget
+  // is a coarse knob, not an allocator audit.
+  size_t value_bytes = 0;
+  for (const Value& v : tuple.values()) {
+    value_bytes += sizeof(Value);
+    if (v.type() == ValueType::kString) value_bytes += v.AsString().size();
+  }
+  return 2 * (sizeof(Tuple) + value_bytes) + 64;
+}
+
+void JoinStateCache::BeginRound(std::vector<SlotUpdate> slots) {
+  if (round_active_) AbortRound();
+  slots_ = std::move(slots);
+  round_active_ = true;
+
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = *it->second;
+    const uint32_t slot = it->first.first;
+    const SlotUpdate* current =
+        slot < slots_.size() ? &slots_[slot] : nullptr;
+    const bool stale = entry.inround || !entry.complete ||
+                       current == nullptr || entry.uid != current->uid ||
+                       entry.version != current->version;
+    if (stale) {
+      bytes_ -= entry.bytes;
+      it = entries_.erase(it);
+      continue;
+    }
+    // Apply the round's deletes so the entry mirrors the clean pre-state
+    // `r − d` the planner's clean inputs stream.
+    if (current->deletes != nullptr && !current->deletes->empty()) {
+      entry.inround = true;
+      current->deletes->Scan([&](const Tuple& t) { RemoveRow(&entry, t); });
+    } else if (current->inserts != nullptr && !current->inserts->empty()) {
+      entry.inround = true;  // inserts pending at EndRound
+    }
+    ++it;
+  }
+}
+
+void JoinStateCache::EndRound() {
+  if (!round_active_) return;
+  for (auto& [key, entry_ptr] : entries_) {
+    Entry& entry = *entry_ptr;
+    if (!entry.inround) continue;
+    const SlotUpdate& slot = slots_[key.first];
+    if (slot.inserts != nullptr) {
+      slot.inserts->Scan([&](const Tuple& t) { AddRow(&entry, t); });
+    }
+    // Normalized effects satisfy deletes ⊆ r and inserts ∩ r = ∅, so every
+    // applied tuple bumps the relation's version exactly once.
+    entry.version = slot.version +
+                    (slot.deletes != nullptr ? slot.deletes->size() : 0) +
+                    (slot.inserts != nullptr ? slot.inserts->size() : 0);
+    entry.inround = false;
+  }
+  round_active_ = false;
+  slots_.clear();
+  EvictToBudget(nullptr);
+}
+
+void JoinStateCache::AbortRound() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& entry = *it->second;
+    if (entry.inround || !entry.complete) {
+      bytes_ -= entry.bytes;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  round_active_ = false;
+  slots_.clear();
+}
+
+bool JoinStateCache::Peek(uint32_t slot,
+                          const std::vector<size_t>& key_attrs) const {
+  if (!round_active_) return false;
+  auto it = entries_.find(Key{slot, key_attrs});
+  return it != entries_.end() && it->second->complete;
+}
+
+PlannerCache::Table* JoinStateCache::Lookup(
+    uint32_t slot, const std::vector<size_t>& key_attrs) {
+  if (!round_active_) return nullptr;
+  auto it = entries_.find(Key{slot, key_attrs});
+  if (it == entries_.end() || !it->second->complete) return nullptr;
+  ++counters_.hits;
+  it->second->last_used = ++tick_;
+  return &it->second->table;
+}
+
+PlannerCache::Table* JoinStateCache::Install(
+    uint32_t slot, const std::vector<size_t>& key_attrs, const Schema& schema,
+    const std::vector<Atom>& filters) {
+  if (!round_active_ || slot >= slots_.size()) return nullptr;
+  ++counters_.misses;
+  auto& entry_ptr = entries_[Key{slot, key_attrs}];
+  if (entry_ptr != nullptr) bytes_ -= entry_ptr->bytes;
+  entry_ptr = std::make_unique<Entry>();
+  Entry& entry = *entry_ptr;
+  entry.table.key_attrs = key_attrs;
+  entry.schema = schema;
+  entry.filters = filters;
+  const SlotUpdate& current = slots_[slot];
+  entry.uid = current.uid;
+  entry.version = current.version;
+  // A table built during the round holds the clean state `r − d`; it still
+  // needs the round's inserts (and the post-version stamp) at EndRound
+  // whenever the slot was touched.
+  entry.inround =
+      (current.deletes != nullptr && !current.deletes->empty()) ||
+      (current.inserts != nullptr && !current.inserts->empty());
+  entry.last_used = ++tick_;
+  return &entry.table;
+}
+
+void JoinStateCache::CompleteInstall(uint32_t slot,
+                                     const std::vector<size_t>& key_attrs) {
+  auto it = entries_.find(Key{slot, key_attrs});
+  MVIEW_CHECK(it != entries_.end(), "CompleteInstall without Install");
+  Entry& entry = *it->second;
+  entry.bytes = 256;  // fixed per-entry overhead
+  for (size_t i = 0; i < entry.table.rows.size(); ++i) {
+    entry.bytes += ApproxRowBytes(entry.table.rows[i].first);
+    if (key_attrs.empty()) entry.row_of[entry.table.rows[i].first] = i;
+  }
+  entry.complete = true;
+  bytes_ += entry.bytes;
+  EvictToBudget(&entry);
+}
+
+void JoinStateCache::AddRow(Entry* entry, const Tuple& tuple) {
+  for (const Atom& atom : entry->filters) {
+    if (!atom.Evaluate(entry->schema, tuple)) return;
+  }
+  const size_t row = entry->table.rows.size();
+  entry->table.rows.emplace_back(tuple, 1);
+  if (!entry->table.key_attrs.empty()) {
+    entry->table.index[tuple.Project(entry->table.key_attrs)].push_back(row);
+  } else {
+    entry->row_of[tuple] = row;
+  }
+  const size_t row_bytes = ApproxRowBytes(tuple);
+  entry->bytes += row_bytes;
+  bytes_ += row_bytes;
+  ++counters_.delta_rows;
+}
+
+void JoinStateCache::RemoveRow(Entry* entry, const Tuple& tuple) {
+  auto& rows = entry->table.rows;
+  size_t row = rows.size();
+  if (!entry->table.key_attrs.empty()) {
+    auto hit = entry->table.index.find(tuple.Project(entry->table.key_attrs));
+    if (hit == entry->table.index.end()) return;  // filtered out at build
+    auto& bucket = hit->second;
+    size_t pos = bucket.size();
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (rows[bucket[i]].first == tuple) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == bucket.size()) return;  // filtered out at build
+    row = bucket[pos];
+    bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(pos));
+    if (bucket.empty()) entry->table.index.erase(hit);
+  } else {
+    auto hit = entry->row_of.find(tuple);
+    if (hit == entry->row_of.end()) return;  // filtered out at build
+    row = hit->second;
+    entry->row_of.erase(hit);
+  }
+
+  // Swap-remove; redirect references to the moved last row.
+  const size_t last = rows.size() - 1;
+  if (row != last) {
+    if (!entry->table.key_attrs.empty()) {
+      Tuple moved_key = rows[last].first.Project(entry->table.key_attrs);
+      auto& bucket = entry->table.index[moved_key];
+      std::replace(bucket.begin(), bucket.end(), last, row);
+    } else {
+      entry->row_of[rows[last].first] = row;
+    }
+    rows[row] = std::move(rows[last]);
+  }
+  rows.pop_back();
+  const size_t row_bytes = ApproxRowBytes(tuple);
+  entry->bytes -= std::min(entry->bytes, row_bytes);
+  bytes_ -= std::min(bytes_, row_bytes);
+  ++counters_.delta_rows;
+}
+
+void JoinStateCache::EvictToBudget(const Entry* keep) {
+  while (bytes_ > budget_bytes_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      const Entry& entry = *it->second;
+      // In-round entries may still be served to the current round (and the
+      // just-installed table's pointer is live in the planner), so only
+      // settled entries are evictable.
+      if (entry.inround || !entry.complete || it->second.get() == keep) {
+        continue;
+      }
+      if (victim == entries_.end() ||
+          entry.last_used < victim->second->last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;
+    bytes_ -= victim->second->bytes;
+    ++counters_.evictions;
+    entries_.erase(victim);
+  }
+}
+
+}  // namespace mview

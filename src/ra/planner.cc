@@ -1,8 +1,10 @@
 #include "ra/planner.h"
 
 #include <algorithm>
+#include <cassert>
 #include <optional>
 
+#include "ra/join_cache.h"
 #include "util/error.h"
 
 namespace mview {
@@ -18,13 +20,20 @@ PlanStats& PlanStats::operator+=(const PlanStats& other) {
 PlannerCache::Table* PlannerCache::Find(const RelationInput* input,
                                         const std::vector<size_t>& key) {
   auto it = tables_.find({input, key});
-  return it == tables_.end() ? nullptr : it->second.get();
+  if (it == tables_.end()) return nullptr;
+  // A serial mismatch means the input this entry was built from was
+  // destroyed and another now occupies its address — the cache outlived
+  // its inputs, which release builds would answer with freed data.
+  assert(it->second->debug_serial == input->debug_serial() &&
+         "PlannerCache outlived the RelationInput it indexes");
+  return it->second.get();
 }
 
 PlannerCache::Table* PlannerCache::Create(const RelationInput* input,
                                           const std::vector<size_t>& key) {
   auto table = std::make_unique<Table>();
   table->key_attrs = key;
+  table->debug_serial = input->debug_serial();
   Table* raw = table.get();
   tables_[{input, key}] = std::move(table);
   return raw;
@@ -94,6 +103,8 @@ class SpjExecutor {
 
   PlannerCache::Table* MaterializeTable(size_t input_id,
                                         const std::vector<size_t>& key_attrs);
+  void FillTable(const InputInfo& info, const std::vector<size_t>& key_attrs,
+                 PlannerCache::Table* table);
 
   const SpjQuery& query_;
   CountedRelation* out_;
@@ -252,14 +263,41 @@ bool SpjExecutor::PassesLocalFilters(const InputInfo& info,
 
 PlannerCache::Table* SpjExecutor::MaterializeTable(
     size_t input_id, const std::vector<size_t>& key_attrs) {
+  const InputInfo& info = inputs_[input_id];
+  // Cross-round path: a clean input bound to a `JoinStateCache` keeps its
+  // table alive across maintenance rounds (keyed by its stable slot, not
+  // this per-round input object) and only pays the full scan on a cold
+  // miss; the cache replays later deltas into the installed table.
+  if (JoinStateCache* jsc = info.input->join_cache()) {
+    const uint32_t slot = info.input->cache_slot();
+    if (PlannerCache::Table* warm = jsc->Lookup(slot, key_attrs)) return warm;
+    if (PlannerCache::Table* table = jsc->Install(
+            slot, key_attrs, info.input->schema(), info.local_filters)) {
+      FillTable(info, key_attrs, table);
+      jsc->CompleteInstall(slot, key_attrs);
+      return table;
+    }
+    // No active round; fall through to the per-round cache.
+  }
   PlannerCache* cache = cache_ != nullptr ? cache_ : &local_cache_;
-  if (PlannerCache::Table* hit =
-          cache->Find(inputs_[input_id].input, key_attrs)) {
+  if (PlannerCache::Table* hit = cache->Find(info.input, key_attrs)) {
     return hit;
   }
-  PlannerCache::Table* table =
-      cache->Create(inputs_[input_id].input, key_attrs);
-  const InputInfo& info = inputs_[input_id];
+  PlannerCache::Table* table = cache->Create(info.input, key_attrs);
+  FillTable(info, key_attrs, table);
+  return table;
+}
+
+void SpjExecutor::FillTable(const InputInfo& info,
+                            const std::vector<size_t>& key_attrs,
+                            PlannerCache::Table* table) {
+  // Without local filters the input size is the exact row count; with
+  // filters a full-size reserve could vastly overshoot the survivors.
+  if (info.local_filters.empty()) {
+    const size_t hint = info.input->SizeHint();
+    table->rows.reserve(hint);
+    if (!key_attrs.empty()) table->index.reserve(hint);
+  }
   info.input->Scan([&](const Tuple& t, int64_t count) {
     ++local_stats_.rows_scanned;
     if (!PassesLocalFilters(info, t)) return;
@@ -270,7 +308,6 @@ PlannerCache::Table* SpjExecutor::MaterializeTable(
       table->index[std::move(key)].push_back(row);
     }
   });
-  return table;
 }
 
 void SpjExecutor::ExecuteFirst(std::vector<PartialRow>* rows) {
@@ -316,7 +353,6 @@ void SpjExecutor::ExecuteStep(size_t input_id, std::vector<PartialRow>* rows) {
   }
 
   std::vector<PartialRow> next;
-  Tuple probe_tuple;  // reused scratch for the combined partial row check
 
   auto emit_match = [&](const PartialRow& row, const Tuple& t, int64_t count) {
     PartialRow merged;
@@ -353,7 +389,13 @@ void SpjExecutor::ExecuteStep(size_t input_id, std::vector<PartialRow>* rows) {
 
   // Strategy selection: index join when the input exposes an index on a
   // connecting attribute and is large; otherwise hash join on all
-  // connecting attributes; cross join when nothing connects.
+  // connecting attributes; cross join when nothing connects.  A warm
+  // persistent table beats an index-probe plan — its build is already paid
+  // for and its rows are pre-filtered — so peek before deciding.
+  std::vector<size_t> key_attrs;
+  key_attrs.reserve(links.size());
+  for (const auto& l : links) key_attrs.push_back(l.local_attr);
+
   std::optional<size_t> probe_link;
   for (size_t li = 0; li < links.size(); ++li) {
     if (info.input->CanProbe(links[li].local_attr)) {
@@ -361,19 +403,32 @@ void SpjExecutor::ExecuteStep(size_t input_id, std::vector<PartialRow>* rows) {
       break;
     }
   }
-  bool use_index = probe_link.has_value() &&
+  bool warm = false;
+  if (JoinStateCache* jsc = info.input->join_cache();
+      jsc != nullptr && !links.empty()) {
+    warm = jsc->Peek(info.input->cache_slot(), key_attrs);
+  }
+  bool use_index = !warm && probe_link.has_value() &&
                    info.input->SizeHint() > rows->size();
 
   if (!links.empty() && !use_index) {
-    std::vector<size_t> key_attrs;
-    key_attrs.reserve(links.size());
-    for (const auto& l : links) key_attrs.push_back(l.local_attr);
     PlannerCache::Table* table = MaterializeTable(input_id, key_attrs);
+    // One scratch key reused across probes: assigning into its values
+    // recycles their string capacity instead of materializing a fresh
+    // tuple (and fresh strings) per probe.
+    Tuple probe_key(std::vector<Value>(links.size()));
     for (const auto& row : *rows) {
-      std::vector<Value> key_vals;
-      key_vals.reserve(links.size());
-      for (const auto& l : links) key_vals.push_back(compute_key(row, l));
-      auto hit = table->index.find(Tuple(std::move(key_vals)));
+      auto& key_vals = probe_key.mutable_values();
+      for (size_t li = 0; li < links.size(); ++li) {
+        const Link& l = links[li];
+        const Value& bound_val = row.vals[l.bound_combined];
+        if (l.key_offset == 0) {
+          key_vals[li] = bound_val;
+        } else {
+          key_vals[li] = Value(bound_val.AsInt64() + l.key_offset);
+        }
+      }
+      auto hit = table->index.find(probe_key);
       if (hit == table->index.end()) continue;
       for (size_t idx : hit->second) {
         const auto& [t, count] = table->rows[idx];

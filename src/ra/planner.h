@@ -43,10 +43,14 @@ struct PlanStats {
 /// plan executions over the *same* condition (the truth-table rows of
 /// Section 5.3/5.4 all share the view condition and most inputs).  This is
 /// the paper's "re-using partial subexpressions appearing in multiple rows";
-/// bench E9 ablates it.
+/// bench E9 ablates it.  (The *cross-round* reuse of these tables lives in
+/// `JoinStateCache`, which keys on stable slot identities instead.)
 ///
 /// Entries are keyed by input identity, so a cache must never outlive the
 /// inputs it indexes, and must not be shared across different conditions.
+/// Debug builds assert this: each entry records its input's
+/// `debug_serial()`, and `Find` trips when a freed input's address was
+/// reused by a newer one.
 class PlannerCache {
  public:
   /// A filtered, materialized input with an optional equi-join hash index.
@@ -55,6 +59,7 @@ class PlannerCache {
     // Key tuple (values of key_attrs in order) → indices into rows.
     std::unordered_map<Tuple, std::vector<size_t>> index;
     std::vector<size_t> key_attrs;  // empty for plain materializations
+    uint64_t debug_serial = 0;      // RelationInput::debug_serial() at Create
   };
 
   /// Returns the cached table for (input, key_attrs), or nullptr.

@@ -1,17 +1,24 @@
 #include "relational/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "util/error.h"
 
 namespace mview {
 
+uint64_t Relation::NextUid() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 bool Relation::Insert(const Tuple& tuple) {
   MVIEW_CHECK(tuple.size() == schema_.size(), "tuple arity ", tuple.size(),
               " does not match scheme ", schema_.ToString());
   auto [it, inserted] = rows_.insert(tuple);
   if (inserted) {
+    ++version_;
     for (auto& [attr, index] : indexes_) IndexInsert(&index, attr, *it);
   }
   return inserted;
@@ -20,6 +27,7 @@ bool Relation::Insert(const Tuple& tuple) {
 bool Relation::Erase(const Tuple& tuple) {
   auto it = rows_.find(tuple);
   if (it == rows_.end()) return false;
+  ++version_;
   for (auto& [attr, index] : indexes_) IndexErase(&index, attr, *it);
   rows_.erase(it);
   return true;

@@ -28,6 +28,17 @@ class Relation {
   size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
 
+  /// A process-unique identity assigned at construction.  Together with
+  /// `version()` it forms the validity token of the cross-transaction
+  /// join-state cache: a cached structure derived from a relation is
+  /// current exactly when both values still match (a recreated relation —
+  /// e.g. after recovery — gets a fresh uid even at the same address).
+  uint64_t uid() const { return uid_; }
+
+  /// Content version: incremented by every successful `Insert`/`Erase`
+  /// (index creation does not change contents and leaves it alone).
+  uint64_t version() const { return version_; }
+
   /// Inserts a tuple; returns false when it was already present.
   /// Throws when the tuple arity does not match the scheme.
   bool Insert(const Tuple& tuple);
@@ -65,9 +76,13 @@ class Relation {
  private:
   using Index = std::unordered_map<Value, std::vector<const Tuple*>>;
 
+  static uint64_t NextUid();
+
   void IndexInsert(Index* index, size_t attr, const Tuple& stored);
   void IndexErase(Index* index, size_t attr, const Tuple& tuple);
 
+  uint64_t uid_ = NextUid();
+  uint64_t version_ = 0;
   Schema schema_;
   std::unordered_set<Tuple> rows_;
   // attr index -> value -> tuples.  Pointers reference nodes of `rows_`,

@@ -27,6 +27,11 @@ class Tuple {
   const Value& at(size_t index) const;
   const std::vector<Value>& values() const { return values_; }
 
+  /// Mutable access for scratch tuples reused across hash probes (the
+  /// join hot loops overwrite one key tuple in place instead of
+  /// materializing a fresh tuple — and its string values — per probe).
+  std::vector<Value>& mutable_values() { return values_; }
+
   /// Returns the concatenation of this tuple with `other`.
   Tuple Concat(const Tuple& other) const;
 

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "ivm/differential.h"
+#include "sql/engine.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace mview {
+namespace {
+
+using testing::T;
+
+// These tests drive the maintainer directly over *unindexed* relations so
+// the planner takes the hash-join MaterializeTable path — the regime the
+// join-state cache accelerates.  (ViewManager::RegisterView creates
+// equi-join indexes, routing those joins through index probes instead.)
+
+ViewDefinition JoinDef() {
+  return ViewDefinition("v", {BaseRef{"r", {}}, BaseRef{"s", {}}},
+                        "r_a1 = s_a0", {"r_a0", "s_a1"});
+}
+
+void PopulateJoinDb(Database* db, uint32_t seed) {
+  WorkloadGenerator gen(seed);
+  gen.Populate(db, {"r", 2, 12, 60});
+  gen.Populate(db, {"s", 2, 12, 60});
+}
+
+// One maintained commit: delta on the pre-state, then base + view apply.
+void Step(Database* db, const DifferentialMaintainer& m, CountedRelation* view,
+          const Transaction& txn, MaintenanceStats* stats = nullptr) {
+  TransactionEffect effect = txn.Normalize(*db);
+  ViewDelta delta = m.ComputeDelta(effect, stats);
+  effect.ApplyTo(db);
+  delta.ApplyTo(view);
+}
+
+TEST(JoinCacheTest, WarmRoundsHitAndStayCorrect) {
+  Database db;
+  PopulateJoinDb(&db, 42);
+  DifferentialMaintainer m(JoinDef(), &db);
+  ASSERT_NE(m.join_cache(), nullptr);
+  CountedRelation view = m.FullEvaluate();
+  WorkloadGenerator gen(7);
+  MaintenanceStats stats;
+  for (int step = 0; step < 10; ++step) {
+    Transaction txn;
+    gen.AddUpdates(&txn, {"r", 2, 12, 60}, 2, 2);  // only r changes
+    Step(&db, m, &view, txn, &stats);
+    ASSERT_TRUE(view.SameContents(m.FullEvaluate())) << "step " << step;
+    if (step == 0) {
+      // Cold: the clean-s table had to be built.
+      EXPECT_GT(stats.cache_misses, 0);
+    }
+  }
+  // Steady state: the clean-s entry was built exactly once and every later
+  // round reuses its incrementally-updated table.
+  EXPECT_EQ(stats.cache_misses, 1);
+  EXPECT_GT(stats.cache_hits, 0);
+  EXPECT_GT(stats.cache_bytes, 0);
+}
+
+TEST(JoinCacheTest, TouchingAllRelationsStaysWarm) {
+  Database db;
+  PopulateJoinDb(&db, 43);
+  DifferentialMaintainer m(JoinDef(), &db);
+  CountedRelation view = m.FullEvaluate();
+  WorkloadGenerator gen(11);
+  MaintenanceStats stats;
+  for (int step = 0; step < 8; ++step) {
+    Transaction txn;
+    gen.AddUpdates(&txn, {"r", 2, 12, 60}, 2, 2);
+    gen.AddUpdates(&txn, {"s", 2, 12, 60}, 2, 2);
+    Step(&db, m, &view, txn, &stats);
+    ASSERT_TRUE(view.SameContents(m.FullEvaluate())) << "step " << step;
+  }
+  EXPECT_GT(stats.cache_hits, 0);
+  // Both slots' bases changed, so entries were maintained incrementally.
+  EXPECT_GT(m.join_cache()->counters().delta_rows, 0);
+}
+
+TEST(JoinCacheTest, DisabledCacheHasNullShard) {
+  Database db;
+  PopulateJoinDb(&db, 44);
+  MaintenanceOptions options;
+  options.enable_join_cache = false;
+  DifferentialMaintainer m(JoinDef(), &db, options);
+  EXPECT_EQ(m.join_cache(), nullptr);
+  CountedRelation view = m.FullEvaluate();
+  WorkloadGenerator gen(3);
+  MaintenanceStats stats;
+  Transaction txn;
+  gen.AddUpdates(&txn, {"r", 2, 12, 60}, 2, 2);
+  Step(&db, m, &view, txn, &stats);
+  EXPECT_TRUE(view.SameContents(m.FullEvaluate()));
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.cache_misses, 0);
+  EXPECT_EQ(stats.cache_bytes, 0);
+}
+
+// A base mutated outside the maintenance protocol (no ComputeDelta round
+// saw the change) must invalidate cached entries instead of serving stale
+// rows: the version token no longer matches.
+TEST(JoinCacheTest, OutOfBandMutationInvalidates) {
+  Database db;
+  PopulateJoinDb(&db, 45);
+  MaintenanceOptions off;
+  off.enable_join_cache = false;
+  DifferentialMaintainer cached(JoinDef(), &db);
+  DifferentialMaintainer plain(JoinDef(), &db, off);
+  WorkloadGenerator gen(5);
+
+  // Warm the cache with one maintained commit.
+  Transaction warm;
+  gen.AddUpdates(&warm, {"r", 2, 12, 60}, 2, 2);
+  TransactionEffect we = warm.Normalize(db);
+  cached.ComputeDelta(we);
+  we.ApplyTo(&db);
+
+  // Mutate s behind the cache's back.
+  Transaction sneak;
+  gen.AddUpdates(&sneak, {"s", 2, 12, 60}, 3, 3);
+  sneak.Normalize(db).ApplyTo(&db);
+
+  // The next maintained commit must agree with the uncached maintainer.
+  Transaction txn;
+  gen.AddUpdates(&txn, {"r", 2, 12, 60}, 2, 2);
+  TransactionEffect effect = txn.Normalize(db);
+  MaintenanceStats stats;
+  ViewDelta got = cached.ComputeDelta(effect, &stats);
+  ViewDelta want = plain.ComputeDelta(effect);
+  EXPECT_TRUE(got.inserts.SameContents(want.inserts));
+  EXPECT_TRUE(got.deletes.SameContents(want.deletes));
+  EXPECT_GT(stats.cache_misses, 0);  // the stale entry was rebuilt
+}
+
+// A computed delta whose transaction never commits (the effect is not
+// applied) leaves entries half-synchronized; the next round must discard
+// them rather than double-apply deletes.
+TEST(JoinCacheTest, RejectedCommitInvalidates) {
+  Database db;
+  PopulateJoinDb(&db, 46);
+  MaintenanceOptions off;
+  off.enable_join_cache = false;
+  DifferentialMaintainer cached(JoinDef(), &db);
+  DifferentialMaintainer plain(JoinDef(), &db, off);
+  WorkloadGenerator gen(9);
+
+  Transaction rejected;
+  gen.AddUpdates(&rejected, {"r", 2, 12, 60}, 2, 2);
+  gen.AddUpdates(&rejected, {"s", 2, 12, 60}, 2, 2);
+  cached.ComputeDelta(rejected.Normalize(db));  // never applied
+
+  Transaction txn;
+  gen.AddUpdates(&txn, {"r", 2, 12, 60}, 2, 2);
+  TransactionEffect effect = txn.Normalize(db);
+  ViewDelta got = cached.ComputeDelta(effect);
+  ViewDelta want = plain.ComputeDelta(effect);
+  EXPECT_TRUE(got.inserts.SameContents(want.inserts));
+  EXPECT_TRUE(got.deletes.SameContents(want.deletes));
+}
+
+TEST(JoinCacheTest, TinyBudgetEvictsAndStaysCorrect) {
+  Database db;
+  PopulateJoinDb(&db, 47);
+  MaintenanceOptions options;
+  options.join_cache_budget_bytes = 1;  // nothing survives a round boundary
+  DifferentialMaintainer m(JoinDef(), &db, options);
+  CountedRelation view = m.FullEvaluate();
+  WorkloadGenerator gen(13);
+  MaintenanceStats stats;
+  for (int step = 0; step < 6; ++step) {
+    Transaction txn;
+    gen.AddUpdates(&txn, {"r", 2, 12, 60}, 2, 2);
+    Step(&db, m, &view, txn, &stats);
+    ASSERT_TRUE(view.SameContents(m.FullEvaluate())) << "step " << step;
+  }
+  EXPECT_GT(stats.cache_evictions, 0);
+  // Nothing survives a round boundary under a 1-byte budget.
+  EXPECT_EQ(m.join_cache()->entry_count(), 0u);
+  EXPECT_LE(m.join_cache()->bytes(), m.join_cache()->budget_bytes());
+}
+
+// The SQL surface: cache counters appear in both SHOW STATS formats.  An
+// inequality join has no equi-core, so RegisterView creates no indexes and
+// maintenance exercises the (keyless) cached-materialization path.
+TEST(JoinCacheTest, SqlStatsExposeCacheCounters) {
+  sql::Engine engine;
+  engine.ExecuteScript(
+      "CREATE TABLE lo (a INT, b INT);"
+      "CREATE TABLE hi (c INT, d INT);"
+      "CREATE MATERIALIZED VIEW v AS "
+      "  SELECT a, c FROM lo, hi WHERE a < c;"
+      "INSERT INTO hi VALUES (3, 4), (9, 9);"
+      "INSERT INTO lo VALUES (1, 2);"
+      "INSERT INTO lo VALUES (5, 6);");
+  sql::Engine::Result tab = engine.Execute("SHOW STATS;");
+  ASSERT_EQ(tab.kind, sql::Engine::Result::Kind::kRows);
+  auto value_of = [&tab](const std::string& view,
+                         const std::string& metric) -> int64_t {
+    for (const auto& [tuple, count] : tab.rows) {
+      if (tuple.at(0).AsString() == view && tuple.at(1).AsString() == metric) {
+        return tuple.at(2).AsInt64();
+      }
+    }
+    return -1;
+  };
+  // The first lo insert builds the clean-hi table cold; the second reuses
+  // it warm.
+  EXPECT_GT(value_of("v", "cache_misses"), 0);
+  EXPECT_GT(value_of("v", "cache_hits"), 0);
+  EXPECT_GE(value_of("v", "cache_evictions"), 0);
+  EXPECT_GT(value_of("v", "cache_bytes"), 0);
+
+  sql::Engine::Result js = engine.Execute("SHOW STATS JSON;");
+  ASSERT_EQ(js.kind, sql::Engine::Result::Kind::kMessage);
+  EXPECT_NE(js.message.find("\"cache_hits\""), std::string::npos);
+  EXPECT_NE(js.message.find("\"cache_misses\""), std::string::npos);
+  EXPECT_NE(js.message.find("\"cache_evictions\""), std::string::npos);
+  EXPECT_NE(js.message.find("\"cache_bytes\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mview
