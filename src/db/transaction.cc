@@ -81,6 +81,11 @@ Transaction& Transaction::DeleteAll(const std::string& relation,
   return *this;
 }
 
+Transaction& Transaction::Append(const Transaction& other) {
+  ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+  return *this;
+}
+
 TransactionEffect Transaction::Normalize(const Database& db) const {
   // Replay the operations over an overlay recording each touched tuple's
   // final presence; compare with its pre-state presence to get the net

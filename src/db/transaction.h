@@ -90,6 +90,10 @@ class Transaction {
   Transaction& DeleteAll(const std::string& relation,
                          const std::vector<Tuple>& tuples);
 
+  /// Appends every operation of `other` in order — merges a
+  /// statement-built transaction into an enclosing BEGIN … COMMIT scope.
+  Transaction& Append(const Transaction& other);
+
   size_t NumOperations() const { return ops_.size(); }
 
   /// Computes the net effect relative to `db`'s current (pre-transaction)

@@ -1,5 +1,6 @@
 #include "ivm/differential.h"
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
 
@@ -62,10 +63,20 @@ bool DifferentialMaintainer::AffectedBy(const TransactionEffect& effect) const {
 ViewDelta DifferentialMaintainer::ComputeDelta(const TransactionEffect& effect,
                                                MaintenanceStats* stats,
                                                PhaseBreakdown* phases) const {
+  static const uint32_t kScreenName =
+      obs::Tracer::Global().InternName("irrelevance_screen");
+  static const uint32_t kDifferentialName =
+      obs::Tracer::Global().InternName("differential");
+  static const uint32_t kCacheRepairName =
+      obs::Tracer::Global().InternName("join_cache_repair");
+  static const uint32_t kFilteredArg =
+      obs::Tracer::Global().InternName("updates_filtered");
   // Filtered copies of the per-base deltas (Algorithm 4.1).  The clean part
   // subtracts the *unfiltered* deletes — the surviving state is defined by
   // what the transaction actually removed; tuples the filter drops are
   // provably invisible to the view either way.
+  obs::TraceSpan screen_span(kScreenName);
+  const int64_t filtered_before = stats != nullptr ? stats->updates_filtered : 0;
   Stopwatch filter_timer;
   std::vector<std::unique_ptr<Relation>> filtered;
   std::vector<BaseParts> parts(def_.bases().size());
@@ -99,6 +110,11 @@ ViewDelta DifferentialMaintainer::ComputeDelta(const TransactionEffect& effect,
     parts[i].deletes = filter_one(re->deletes);
   }
   if (phases != nullptr) phases->filter_nanos += filter_timer.ElapsedNanos();
+  if (stats != nullptr) {
+    screen_span.SetArg(kFilteredArg, stats->updates_filtered - filtered_before);
+  }
+  screen_span.End();
+  obs::TraceSpan differential_span(kDifferentialName);
   Stopwatch differential_timer;
   // Open a cache round: validate entries against each base's
   // (uid, version) token and apply the *unfiltered* deletes so warm tables
@@ -116,6 +132,7 @@ ViewDelta DifferentialMaintainer::ComputeDelta(const TransactionEffect& effect,
                   re != nullptr ? &re->deletes : nullptr,
                   re != nullptr ? &re->inserts : nullptr};
     }
+    obs::TraceSpan repair_span(kCacheRepairName);
     join_cache_->BeginRound(std::move(slots));
   }
   ViewDelta delta = EvaluateParts(parts, stats, join_cache_ != nullptr);

@@ -49,6 +49,18 @@ const SubstitutionFilter& IrrelevanceFilter::base_filter(
   return *filters_[base_index];
 }
 
+obs::IrrelevanceExplanation IrrelevanceFilter::Explain(
+    size_t base_index, const Tuple& tuple) const {
+  MVIEW_CHECK(base_index < aliased_.size(), "base index out of range");
+  return obs::ExplainSubstitution(def_.condition(), combined_,
+                                  {aliased_[base_index]}, {&tuple});
+}
+
+const Schema& IrrelevanceFilter::aliased_schema(size_t base_index) const {
+  MVIEW_CHECK(base_index < aliased_.size(), "base index out of range");
+  return aliased_[base_index];
+}
+
 SubstitutionFilter IrrelevanceFilter::CompileJointFilter(
     const std::vector<size_t>& base_indices) const {
   MVIEW_CHECK(!base_indices.empty(), "joint filter needs base indices");

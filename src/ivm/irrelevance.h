@@ -6,6 +6,7 @@
 
 #include "db/database.h"
 #include "ivm/view_def.h"
+#include "obs/explain.h"
 #include "predicate/substitution.h"
 #include "relational/relation.h"
 
@@ -41,6 +42,20 @@ class IrrelevanceFilter {
 
   /// The compiled per-base filter (for stats and direct use).
   const SubstitutionFilter& base_filter(size_t base_index) const;
+
+  /// The audit twin of `IsRelevant`: re-derives the Theorem 4.1 decision
+  /// for substituting `tuple` into the `base_index`-th base occurrence,
+  /// recording the substituted condition, the invariant/variant split, and
+  /// the negative-cycle witness when unsatisfiable.  Always agrees with
+  /// `IsRelevant` on the verdict.
+  obs::IrrelevanceExplanation Explain(size_t base_index,
+                                      const Tuple& tuple) const;
+
+  /// The combined scheme the view condition ranges over.
+  const Schema& combined_schema() const { return combined_; }
+
+  /// The aliased scheme of base occurrence `base_index`.
+  const Schema& aliased_schema(size_t base_index) const;
 
   /// Theorem 4.2: compiles a joint filter substituting tuples into several
   /// base occurrences simultaneously.  A set of tuples can be jointly

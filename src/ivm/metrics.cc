@@ -64,6 +64,9 @@ ViewMetrics& ViewMetrics::operator+=(const ViewMetrics& other) {
   stats += other.stats;
   phases += other.phases;
   delta_sizes += other.delta_sizes;
+  filter_latency += other.filter_latency;
+  differential_latency += other.differential_latency;
+  apply_latency += other.apply_latency;
   return *this;
 }
 
@@ -87,7 +90,17 @@ std::string ViewMetrics::ToJson() const {
      << ", \"filter_nanos\": " << phases.filter_nanos
      << ", \"differential_nanos\": " << phases.differential_nanos
      << ", \"apply_nanos\": " << phases.apply_nanos
-     << ", \"delta_size_histogram\": " << delta_sizes.ToJson() << "}";
+     << ", \"delta_size_histogram\": " << delta_sizes.ToJson()
+     << ", \"filter_latency\": " << filter_latency.ToJson()
+     << ", \"differential_latency\": " << differential_latency.ToJson()
+     << ", \"apply_latency\": " << apply_latency.ToJson() << "}";
+  return os.str();
+}
+
+std::string PoolMetrics::ToJson() const {
+  std::ostringstream os;
+  os << "{\"workers\": " << workers << ", \"queue_depth\": " << queue_depth
+     << ", \"active_workers\": " << active_workers << "}";
   return os.str();
 }
 
@@ -100,7 +113,8 @@ std::string StorageMetrics::ToJson() const {
      << ", \"checkpoints\": " << checkpoints
      << ", \"checkpoint_nanos\": " << checkpoint_nanos
      << ", \"replayed_records\": " << replayed_records
-     << ", \"batch_commits_histogram\": " << batch_commits.ToJson() << "}";
+     << ", \"batch_commits_histogram\": " << batch_commits.ToJson()
+     << ", \"fsync_latency\": " << fsync_latency.ToJson() << "}";
   return os.str();
 }
 
@@ -115,7 +129,12 @@ const ViewMetrics* MetricsRegistry::Find(const std::string& view) const {
   return it == views_.end() ? nullptr : it->second.get();
 }
 
-void MetricsRegistry::Erase(const std::string& view) { views_.erase(view); }
+void MetricsRegistry::Remove(const std::string& view) {
+  auto it = views_.find(view);
+  if (it == views_.end()) return;
+  retired_ += *it->second;
+  views_.erase(it);
+}
 
 std::vector<std::string> MetricsRegistry::ViewNames() const {
   std::vector<std::string> names;
@@ -135,8 +154,11 @@ std::string MetricsRegistry::ToJson() const {
   os << "{\"commits\": " << commit_.commits
      << ", \"normalize_nanos\": " << commit_.normalize_nanos
      << ", \"base_apply_nanos\": " << commit_.base_apply_nanos
+     << ", \"commit_latency\": " << commit_.commit_latency.ToJson()
      << ", \"storage\": " << storage_.ToJson()
-     << ", \"global\": " << Aggregate().ToJson() << ", \"views\": {";
+     << ", \"pool\": " << pool_.ToJson()
+     << ", \"global\": " << Aggregate().ToJson()
+     << ", \"retired\": " << retired_.ToJson() << ", \"views\": {";
   bool first = true;
   for (const auto& [name, metrics] : views_) {
     if (!first) os << ", ";

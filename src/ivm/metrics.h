@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ivm/differential.h"
+#include "obs/histogram.h"
 
 namespace mview {
 
@@ -57,9 +58,16 @@ struct ViewMetrics {
   PhaseBreakdown phases;
   SizeHistogram delta_sizes;
 
+  // Per-commit latency distributions of the three maintenance phases.
+  // The `phases` sums above stay authoritative for totals; the histograms
+  // add the p50/p95/p99 shape that sums cannot express.
+  obs::LatencyHistogram filter_latency;
+  obs::LatencyHistogram differential_latency;
+  obs::LatencyHistogram apply_latency;
+
   ViewMetrics& operator+=(const ViewMetrics& other);
 
-  /// One JSON object with counters, phase timers, and the histogram.
+  /// One JSON object with counters, phase timers, and the histograms.
   std::string ToJson() const;
 };
 
@@ -68,6 +76,20 @@ struct CommitMetrics {
   int64_t commits = 0;             // non-empty effects applied
   int64_t normalize_nanos = 0;     // Transaction::Normalize time
   int64_t base_apply_nanos = 0;    // TransactionEffect::ApplyTo time
+  obs::LatencyHistogram commit_latency;  // end-to-end ApplyEffect latency
+};
+
+/// Point-in-time ThreadPool gauges, refreshed by
+/// `ViewManager::SyncPoolMetrics()` before stats are rendered — the pool
+/// itself is sampled under its own mutex, this struct is just the last
+/// snapshot.
+struct PoolMetrics {
+  int64_t workers = 0;         // pool size (0 = serial maintenance)
+  int64_t queue_depth = 0;     // tasks queued, not yet picked up
+  int64_t active_workers = 0;  // tasks currently executing
+
+  /// `{"workers": …, "queue_depth": …, "active_workers": …}`.
+  std::string ToJson() const;
 };
 
 /// Durability-layer counters: WAL appends, group-commit batching, fsync
@@ -87,6 +109,7 @@ struct StorageMetrics {
   int64_t checkpoint_nanos = 0;  // time spent writing checkpoints
   int64_t replayed_records = 0;  // WAL records replayed at recovery
   SizeHistogram batch_commits;   // commits coalesced per fsync batch
+  obs::LatencyHistogram fsync_latency;  // per write+fsync batch
 
   /// One JSON object with the counters and the batch-size histogram.
   std::string ToJson() const;
@@ -107,8 +130,12 @@ class MetricsRegistry {
   /// Returns the entry or nullptr.
   const ViewMetrics* Find(const std::string& view) const;
 
-  /// Forgets a view's metrics (no-op when absent).
-  void Erase(const std::string& view);
+  /// Retires a view's metrics (no-op when absent).  The dropped view's
+  /// counters are folded into the `retired()` accumulator instead of being
+  /// discarded, so `DROP VIEW` mid-session can no longer make session
+  /// totals jump backwards while `Aggregate()` stays exactly the sum of
+  /// the live views.
+  void Remove(const std::string& view);
 
   /// Registered view names, sorted.
   std::vector<std::string> ViewNames() const;
@@ -119,18 +146,28 @@ class MetricsRegistry {
   StorageMetrics& storage() { return storage_; }
   const StorageMetrics& storage() const { return storage_; }
 
-  /// Sum of every view's metrics (the "global" row of SHOW STATS).
+  PoolMetrics& pool() { return pool_; }
+  const PoolMetrics& pool() const { return pool_; }
+
+  /// Metrics accumulated by views dropped since session start.
+  const ViewMetrics& retired() const { return retired_; }
+
+  /// Sum of every *live* view's metrics (the "global" row of SHOW STATS);
+  /// dropped views are accounted separately under `retired()`.
   ViewMetrics Aggregate() const;
 
   /// The full registry as one JSON document:
   /// `{"commits": …, "normalize_nanos": …, "base_apply_nanos": …,
-  ///   "storage": {…}, "global": {…}, "views": {"name": {…}, …}}`.
+  ///   "commit_latency": {…}, "storage": {…}, "pool": {…}, "global": {…},
+  ///   "retired": {…}, "views": {"name": {…}, …}}`.
   std::string ToJson() const;
 
  private:
   std::map<std::string, std::unique_ptr<ViewMetrics>> views_;
+  ViewMetrics retired_;
   CommitMetrics commit_;
   StorageMetrics storage_;
+  PoolMetrics pool_;
 };
 
 }  // namespace mview

@@ -1,5 +1,6 @@
 #include "ivm/view_manager.h"
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
 
@@ -38,6 +39,7 @@ void ViewManager::RegisterView(ViewDefinition def, MaintenanceMode mode,
       std::make_unique<DifferentialMaintainer>(std::move(def), db_, options);
   view->materialized = view->maintainer->FullEvaluate();
   view->metrics = &metrics_.ForView(name);
+  view->span_name_id = obs::Tracer::Global().InternName("maintain:" + name);
   if (mode == MaintenanceMode::kDeferred) {
     const ViewDefinition& d = view->maintainer->definition();
     for (size_t i = 0; i < d.bases().size(); ++i) {
@@ -68,6 +70,7 @@ void ViewManager::RestoreView(ViewDefinition def, MaintenanceMode mode,
       std::make_unique<DifferentialMaintainer>(std::move(def), db_, options);
   view->materialized = std::move(materialized);
   view->metrics = &metrics_.ForView(name);
+  view->span_name_id = obs::Tracer::Global().InternName("maintain:" + name);
   if (mode == MaintenanceMode::kDeferred) {
     const ViewDefinition& d = view->maintainer->definition();
     MVIEW_CHECK(pending.empty() || pending.size() == d.bases().size(),
@@ -86,7 +89,19 @@ void ViewManager::RestoreView(ViewDefinition def, MaintenanceMode mode,
 
 void ViewManager::DropView(const std::string& name) {
   MVIEW_CHECK(views_.erase(name) > 0, "unknown view: ", name);
-  metrics_.Erase(name);
+  metrics_.Remove(name);
+}
+
+void ViewManager::SyncPoolMetrics() {
+  PoolMetrics& pm = metrics_.pool();
+  if (pool_ == nullptr) {
+    pm = PoolMetrics{};
+    return;
+  }
+  util::ThreadPool::Gauges g = pool_->gauges();
+  pm.workers = static_cast<int64_t>(g.workers);
+  pm.queue_depth = static_cast<int64_t>(g.queued);
+  pm.active_workers = static_cast<int64_t>(g.active);
 }
 
 void ViewManager::Apply(const Transaction& txn) {
@@ -97,17 +112,26 @@ void ViewManager::Apply(const Transaction& txn) {
 }
 
 void ViewManager::ComputeJob(CommitJob* job, const TransactionEffect& effect) {
+  static const uint32_t kDeltaRowsArg =
+      obs::Tracer::Global().InternName("delta_rows");
   ManagedView* view = job->view;
   ViewMetrics& m = *view->metrics;
   ++m.stats.transactions;
+  obs::TraceSpan span(view->span_name_id);
   Stopwatch timer;
   switch (view->mode) {
     case MaintenanceMode::kImmediate: {
+      const int64_t filter_before = m.phases.filter_nanos;
+      const int64_t differential_before = m.phases.differential_nanos;
       ViewDelta delta =
           view->maintainer->ComputeDelta(effect, &m.stats, &m.phases);
+      m.filter_latency.Record(m.phases.filter_nanos - filter_before);
+      m.differential_latency.Record(m.phases.differential_nanos -
+                                    differential_before);
       if (delta.Empty()) {
         ++m.stats.skipped_irrelevant;
       } else {
+        span.SetArg(kDeltaRowsArg, delta.TotalCount());
         job->delta = std::make_unique<ViewDelta>(std::move(delta));
       }
       break;
@@ -115,7 +139,9 @@ void ViewManager::ComputeJob(CommitJob* job, const TransactionEffect& effect) {
     case MaintenanceMode::kDeferred: {
       Stopwatch filter_timer;
       LogDeferred(view, effect);
-      m.phases.filter_nanos += filter_timer.ElapsedNanos();
+      const int64_t nanos = filter_timer.ElapsedNanos();
+      m.phases.filter_nanos += nanos;
+      m.filter_latency.Record(nanos);
       break;
     }
     case MaintenanceMode::kFullReevaluation:
@@ -125,8 +151,13 @@ void ViewManager::ComputeJob(CommitJob* job, const TransactionEffect& effect) {
 }
 
 void ViewManager::ApplyEffect(const TransactionEffect& effect) {
+  static const uint32_t kBaseApplyName =
+      obs::Tracer::Global().InternName("base_apply");
+  static const uint32_t kSerialApplyName =
+      obs::Tracer::Global().InternName("serial_apply");
   if (effect.Empty()) return;
   ++metrics_.commit().commits;
+  Stopwatch commit_timer;
 
   // Phase 2 (after the caller's phase-1 normalize): per affected view,
   // filter + differential against the immutable pre-state (assumption (a)
@@ -151,6 +182,7 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
 
   // Phase 3: apply the transaction to the base relations.
   {
+    obs::TraceSpan span(kBaseApplyName);
     Stopwatch timer;
     effect.ApplyTo(db_);
     metrics_.commit().base_apply_nanos += timer.ElapsedNanos();
@@ -158,26 +190,32 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
 
   // Phase 4: apply the deltas / recompute baselines, serially in name
   // order (`jobs` follows the sorted `views_` map) for determinism.
-  for (auto& job : jobs) {
-    ManagedView* view = job.view;
-    ViewMetrics& m = *view->metrics;
-    if (job.delta != nullptr) {
-      Stopwatch timer;
-      job.delta->ApplyTo(&view->materialized);
-      int64_t nanos = timer.ElapsedNanos();
-      m.phases.apply_nanos += nanos;
-      m.stats.maintenance_nanos += nanos;
-      m.delta_sizes.Record(job.delta->TotalCount());
-    }
-    if (view->mode == MaintenanceMode::kFullReevaluation) {
-      Stopwatch timer;
-      view->materialized = view->maintainer->FullEvaluate(&m.stats.plan);
-      ++m.stats.full_reevaluations;
-      int64_t nanos = timer.ElapsedNanos();
-      m.phases.apply_nanos += nanos;
-      m.stats.maintenance_nanos += nanos;
+  {
+    obs::TraceSpan span(kSerialApplyName);
+    for (auto& job : jobs) {
+      ManagedView* view = job.view;
+      ViewMetrics& m = *view->metrics;
+      if (job.delta != nullptr) {
+        Stopwatch timer;
+        job.delta->ApplyTo(&view->materialized);
+        int64_t nanos = timer.ElapsedNanos();
+        m.phases.apply_nanos += nanos;
+        m.stats.maintenance_nanos += nanos;
+        m.apply_latency.Record(nanos);
+        m.delta_sizes.Record(job.delta->TotalCount());
+      }
+      if (view->mode == MaintenanceMode::kFullReevaluation) {
+        Stopwatch timer;
+        view->materialized = view->maintainer->FullEvaluate(&m.stats.plan);
+        ++m.stats.full_reevaluations;
+        int64_t nanos = timer.ElapsedNanos();
+        m.phases.apply_nanos += nanos;
+        m.stats.maintenance_nanos += nanos;
+        m.apply_latency.Record(nanos);
+      }
     }
   }
+  metrics_.commit().commit_latency.Record(commit_timer.ElapsedNanos());
 }
 
 void ViewManager::LogDeferred(ManagedView* view,

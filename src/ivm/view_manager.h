@@ -126,6 +126,11 @@ class ViewManager {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Refreshes `metrics().pool()` with the thread pool's current gauges
+  /// (size, queue depth, active workers).  Called before stats are
+  /// rendered; samples under the pool's mutex.
+  void SyncPoolMetrics();
+
   /// Installs a view with an exact previously-captured state instead of
   /// evaluating it: `materialized` becomes the view's contents verbatim and
   /// `pending` (deferred mode; one log per base occurrence, may be empty
@@ -153,6 +158,7 @@ class ViewManager {
     std::unique_ptr<DifferentialMaintainer> maintainer;
     CountedRelation materialized;
     ViewMetrics* metrics = nullptr;  // owned by metrics_, stable address
+    uint32_t span_name_id = 0;       // interned "maintain:<name>" span name
     // Deferred mode: one filtered change log per base occurrence.
     std::vector<std::unique_ptr<BaseDeltaLog>> pending;
   };

@@ -1,0 +1,321 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "predicate/constraint_graph.h"
+#include "predicate/normalize.h"
+#include "util/error.h"
+
+namespace mview::obs {
+namespace {
+
+int64_t ClampForGraph(int64_t v) {
+  return std::clamp(v, -ConstraintGraph::kInfinity / 2,
+                    ConstraintGraph::kInfinity / 2);
+}
+
+CompareOp Reflect(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+// Looks up a variable in the substituted schemes; returns its value from
+// the corresponding tuple when substituted.
+std::optional<Value> SubstitutedValue(
+    const std::string& var, const std::vector<Schema>& substituted,
+    const std::vector<const Tuple*>& tuples) {
+  for (size_t i = 0; i < substituted.size(); ++i) {
+    if (auto idx = substituted[i].IndexOf(var)) return tuples[i]->at(*idx);
+  }
+  return std::nullopt;
+}
+
+// Renders an atom with substituted variables replaced by their values,
+// mirroring Atom::ToString ("A <= B + 3").
+std::string RenderSubstituted(const Atom& atom,
+                              const std::vector<Schema>& substituted,
+                              const std::vector<const Tuple*>& tuples) {
+  auto side = [&](const std::string& var) {
+    auto v = SubstitutedValue(var, substituted, tuples);
+    return v.has_value() ? v->ToString() : var;
+  };
+  std::ostringstream os;
+  os << side(atom.lhs) << " " << CompareOpName(atom.op) << " ";
+  if (atom.rhs_var.has_value()) {
+    os << side(*atom.rhs_var);
+    if (atom.offset != 0) {
+      const int64_t mag = atom.offset < 0 ? -atom.offset : atom.offset;
+      os << (atom.offset > 0 ? " + " : " - ") << mag;
+    }
+  } else {
+    os << atom.rhs_const.ToString();
+  }
+  return os.str();
+}
+
+// lhs op rhs + offset, exactly as SubstitutionFilter::EvaluateAtom.
+bool EvaluateGround(const Value& lhs, CompareOp op, const Value& rhs,
+                    int64_t offset) {
+  if (offset == 0) return EvalCompare(lhs.Compare(rhs), op);
+  return EvalCompare(Value(lhs.AsInt64() - offset).Compare(rhs), op);
+}
+
+}  // namespace
+
+const char* FormulaClassName(FormulaClass cls) {
+  switch (cls) {
+    case FormulaClass::kInvariant:
+      return "invariant";
+    case FormulaClass::kVariantEvaluable:
+      return "variant-evaluable";
+    case FormulaClass::kVariantNonEvaluable:
+      return "variant-non-evaluable";
+  }
+  return "?";
+}
+
+IrrelevanceExplanation ExplainSubstitution(
+    const Condition& condition, const Schema& variables,
+    const std::vector<Schema>& substituted,
+    const std::vector<const Tuple*>& tuples) {
+  MVIEW_CHECK(tuples.size() == substituted.size(),
+              "expected one tuple per substituted scheme");
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    MVIEW_CHECK(tuples[i] != nullptr &&
+                    tuples[i]->size() == substituted[i].size(),
+                "tuple does not match substituted scheme #", i);
+  }
+  auto is_substituted = [&](const std::string& var) {
+    return SubstitutedValue(var, substituted, tuples).has_value();
+  };
+
+  IrrelevanceExplanation out;
+  out.relevant = false;
+  out.condition = condition.ToString();
+  {
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& disjunct : condition.disjuncts()) {
+      if (!first) os << " || ";
+      first = false;
+      if (condition.disjuncts().size() > 1) os << "(";
+      bool first_atom = true;
+      for (const auto& atom : disjunct.atoms) {
+        if (!first_atom) os << " && ";
+        first_atom = false;
+        os << RenderSubstituted(atom, substituted, tuples);
+      }
+      if (condition.disjuncts().size() > 1) os << ")";
+    }
+    out.substituted_condition = os.str();
+  }
+
+  for (const auto& disjunct : condition.disjuncts()) {
+    DisjunctTrace trace;
+    {
+      std::ostringstream os;
+      bool first = true;
+      for (const auto& atom : disjunct.atoms) {
+        if (!first) os << " && ";
+        first = false;
+        os << RenderSubstituted(atom, substituted, tuples);
+      }
+      trace.substituted = os.str();
+    }
+
+    // Number the free variables of RH atoms exactly as the compiled filter
+    // does (node 0 is the zero node), keeping names for the witness.
+    std::unordered_map<std::string, size_t> nodes;
+    std::vector<std::string> node_names{"0"};
+    auto node_of_free = [&](const std::string& var) {
+      auto [it, inserted] = nodes.emplace(var, node_names.size());
+      if (inserted) node_names.push_back(var);
+      return it->second;
+    };
+    for (const auto& atom : disjunct.atoms) {
+      if (!IsRhAtom(atom, variables)) continue;
+      if (!is_substituted(atom.lhs)) node_of_free(atom.lhs);
+      if (atom.rhs_var.has_value() && !is_substituted(*atom.rhs_var)) {
+        node_of_free(*atom.rhs_var);
+      }
+    }
+
+    // Build one graph holding invariant *and* instantiated variant edges,
+    // tagging every edge with its source atom for the witness.
+    struct EdgeInfo {
+      std::string source;
+      bool invariant = false;
+    };
+    std::vector<GraphEdge> edges;
+    std::vector<EdgeInfo> infos;
+
+    for (const auto& atom : disjunct.atoms) {
+      AtomTrace at;
+      at.original = atom.ToString();
+      at.substituted = RenderSubstituted(atom, substituted, tuples);
+      at.cls = ClassifyAtom(atom, is_substituted);
+      at.in_rh_class = IsRhAtom(atom, variables);
+      switch (at.cls) {
+        case FormulaClass::kInvariant: {
+          if (!at.in_rh_class) break;  // conservative: contributes nothing
+          for (const auto& dc : NormalizeAtom(atom)) {
+            size_t from = dc.y.has_value() ? nodes.at(*dc.y) : 0;
+            size_t to = dc.x.has_value() ? nodes.at(*dc.x) : 0;
+            edges.push_back({from, to, dc.c});
+            infos.push_back({at.substituted, /*invariant=*/true});
+          }
+          break;
+        }
+        case FormulaClass::kVariantEvaluable: {
+          const Value lhs = *SubstitutedValue(atom.lhs, substituted, tuples);
+          const Value rhs =
+              atom.rhs_var.has_value()
+                  ? *SubstitutedValue(*atom.rhs_var, substituted, tuples)
+                  : atom.rhs_const;
+          at.evaluated = true;
+          at.value = EvaluateGround(lhs, atom.op, rhs, atom.offset);
+          if (!at.value) trace.ground_failed = true;
+          break;
+        }
+        case FormulaClass::kVariantNonEvaluable: {
+          if (!at.in_rh_class) break;  // conservative
+          // Rewrite as `free_var op' K` (K = value + b) as in the filter.
+          std::string free_var;
+          CompareOp op = atom.op;
+          int64_t value, b;
+          if (auto v = SubstitutedValue(atom.lhs, substituted, tuples)) {
+            free_var = *atom.rhs_var;
+            op = Reflect(atom.op);
+            value = v->AsInt64();
+            b = -atom.offset;
+          } else {
+            free_var = atom.lhs;
+            value =
+                SubstitutedValue(*atom.rhs_var, substituted, tuples)->AsInt64();
+            b = atom.offset;
+          }
+          const size_t nf = nodes.at(free_var);
+          const int64_t k = ClampForGraph(ClampForGraph(value) + b);
+          auto add_edge = [&](bool upper, int64_t delta) {
+            GraphEdge e;
+            if (upper) {  // f ≤ K (+delta): edge 0 → f
+              e = {0, nf, ClampForGraph(k + delta)};
+            } else {  // f ≥ K (−delta): edge f → 0
+              e = {nf, 0, ClampForGraph(-k + delta)};
+            }
+            edges.push_back(e);
+            infos.push_back({at.substituted, /*invariant=*/false});
+          };
+          switch (op) {
+            case CompareOp::kLe:
+              add_edge(true, 0);
+              break;
+            case CompareOp::kLt:
+              add_edge(true, -1);
+              break;
+            case CompareOp::kGe:
+              add_edge(false, 0);
+              break;
+            case CompareOp::kGt:
+              add_edge(false, -1);
+              break;
+            case CompareOp::kEq:
+              add_edge(true, 0);
+              add_edge(false, 0);
+              break;
+            case CompareOp::kNe:
+              break;  // unreachable: RH excludes ≠
+          }
+          break;
+        }
+      }
+      trace.atoms.push_back(std::move(at));
+    }
+
+    if (trace.ground_failed) {
+      trace.satisfiable = false;
+    } else {
+      ConstraintGraph graph(node_names.size());
+      for (const GraphEdge& e : edges) graph.AddEdge(e.from, e.to, e.weight);
+      std::vector<GraphEdge> cycle = graph.FindNegativeCycle();
+      if (!cycle.empty()) {
+        trace.satisfiable = false;
+        trace.invariant_only = true;
+        for (const GraphEdge& e : cycle) {
+          CycleStep step;
+          step.from = node_names.at(e.from);
+          step.to = node_names.at(e.to);
+          step.weight = e.weight;
+          // Attribute the edge to the first matching source atom.
+          for (size_t i = 0; i < edges.size(); ++i) {
+            if (edges[i].from == e.from && edges[i].to == e.to &&
+                edges[i].weight == e.weight) {
+              step.source = infos[i].source;
+              if (!infos[i].invariant) trace.invariant_only = false;
+              break;
+            }
+          }
+          trace.cycle_weight += e.weight;
+          trace.cycle.push_back(std::move(step));
+        }
+      }
+    }
+    if (trace.satisfiable) out.relevant = true;
+    out.disjuncts.push_back(std::move(trace));
+  }
+  if (condition.disjuncts().empty()) out.relevant = false;
+  return out;
+}
+
+std::string IrrelevanceExplanation::ToString() const {
+  std::ostringstream os;
+  os << "condition:   " << condition << "\n";
+  os << "substituted: " << substituted_condition << "\n";
+  for (size_t d = 0; d < disjuncts.size(); ++d) {
+    const DisjunctTrace& t = disjuncts[d];
+    os << "disjunct " << (d + 1) << ": " << t.substituted << "\n";
+    for (const AtomTrace& at : t.atoms) {
+      os << "  [" << FormulaClassName(at.cls);
+      if (!at.in_rh_class) os << ", outside RH class (conservative)";
+      os << "] " << at.original;
+      if (at.substituted != at.original) os << "  =>  " << at.substituted;
+      if (at.evaluated) os << "  ->  " << (at.value ? "true" : "false");
+      os << "\n";
+    }
+    if (t.satisfiable) {
+      os << "  satisfiable -> update is RELEVANT through this disjunct\n";
+    } else if (t.ground_failed) {
+      os << "  unsatisfiable: a substituted atom evaluates to false\n";
+    } else {
+      os << "  unsatisfiable: negative-weight cycle (total "
+         << t.cycle_weight << ")"
+         << (t.invariant_only ? " in the invariant part alone" : "") << ":\n";
+      for (const CycleStep& s : t.cycle) {
+        os << "    " << s.from << " -> " << s.to << "  (weight " << s.weight
+           << ")  from " << s.source << "\n";
+      }
+    }
+  }
+  os << "verdict: "
+     << (relevant ? "RELEVANT (some disjunct satisfiable)"
+                  : "IRRELEVANT (every disjunct unsatisfiable, Theorem 4.1)")
+     << "\n";
+  return os.str();
+}
+
+}  // namespace mview::obs

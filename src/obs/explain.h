@@ -1,0 +1,78 @@
+#ifndef MVIEW_OBS_EXPLAIN_H_
+#define MVIEW_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predicate/condition.h"
+#include "predicate/substitution.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace mview::obs {
+
+/// One edge of a negative-weight cycle witness, rendered over variable
+/// names ("0" is the distinguished zero node) together with the condition
+/// atom that contributed it.
+struct CycleStep {
+  std::string from;
+  std::string to;
+  int64_t weight = 0;
+  std::string source;  // the (substituted) atom this edge came from
+};
+
+/// The audit record for one atom of one disjunct (Definition 4.2).
+struct AtomTrace {
+  std::string original;     // the atom as written in the view condition
+  std::string substituted;  // with the update tuple's values plugged in
+  FormulaClass cls = FormulaClass::kInvariant;
+  bool in_rh_class = true;  // outside RH → handled conservatively
+  bool evaluated = false;   // variant-evaluable atoms are decided outright
+  bool value = false;       // … and this is their truth value
+};
+
+/// The audit record for one disjunct of the DNF condition.
+struct DisjunctTrace {
+  std::string substituted;  // the whole conjunction after substitution
+  std::vector<AtomTrace> atoms;
+  bool ground_failed = false;    // a variant-evaluable atom was false
+  bool satisfiable = true;       // final verdict for this disjunct
+  bool invariant_only = false;   // cycle uses no update-dependent edge
+  std::vector<CycleStep> cycle;  // non-empty iff unsat via negative cycle
+  int64_t cycle_weight = 0;      // sum of cycle weights (< 0)
+};
+
+/// The full Theorem 4.1 decision for one substituted update, with every
+/// intermediate step recorded: the substituted condition, the
+/// invariant/variant split per atom, and — when a disjunct is refuted by
+/// the constraint graph — the negative-weight cycle that proves it.
+struct IrrelevanceExplanation {
+  bool relevant = true;
+  std::string condition;              // original DNF condition
+  std::string substituted_condition;  // after substitution
+  std::vector<DisjunctTrace> disjuncts;
+
+  /// Multi-line human-readable rendering (the body of
+  /// `EXPLAIN MAINTENANCE` output).
+  std::string ToString() const;
+};
+
+/// Printable name of a formula class ("invariant", "variant-evaluable",
+/// "variant-non-evaluable").
+const char* FormulaClassName(FormulaClass cls);
+
+/// Re-derives the irrelevance test of `SubstitutionFilter::MightBeRelevant`
+/// for one concrete substitution, recording every decision.  `substituted`
+/// and `tuples` pair up exactly as in the filter; the verdict (`relevant`)
+/// agrees with the compiled filter on every input — the explainer is the
+/// slow, talkative twin of the compiled fast path, re-run only when a user
+/// asks `EXPLAIN MAINTENANCE`.
+IrrelevanceExplanation ExplainSubstitution(
+    const Condition& condition, const Schema& variables,
+    const std::vector<Schema>& substituted,
+    const std::vector<const Tuple*>& tuples);
+
+}  // namespace mview::obs
+
+#endif  // MVIEW_OBS_EXPLAIN_H_

@@ -1,0 +1,83 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace mview::obs {
+
+void LatencyHistogram::Record(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  size_t b = 0;
+  while (b + 1 < kBuckets && (int64_t{1} << b) <= nanos) ++b;
+  // counts_[0] holds 0 ns, counts_[b] holds [2^(b-1), 2^b) for b ≥ 1.
+  ++counts_[b];
+  ++count_;
+  sum_nanos_ += nanos;
+  max_nanos_ = std::max(max_nanos_, nanos);
+}
+
+int64_t LatencyHistogram::BucketLowerBound(size_t b) {
+  return b == 0 ? 0 : int64_t{1} << (b - 1);
+}
+
+int64_t LatencyHistogram::BucketUpperBound(size_t b) {
+  if (b == 0) return 1;
+  if (b + 1 >= kBuckets) return std::numeric_limits<int64_t>::max();
+  return int64_t{1} << b;
+}
+
+int64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The sample with (1-based) rank ceil(q * count) bounds the quantile.
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count_) + 0.5);
+  rank = std::clamp<int64_t>(rank, 1, count_);
+  int64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    if (seen + counts_[b] < rank) {
+      seen += counts_[b];
+      continue;
+    }
+    int64_t lo = BucketLowerBound(b);
+    // Interpolate within the bucket; the open top bucket and the running
+    // maximum both cap at max_nanos_.
+    int64_t hi = std::min(BucketUpperBound(b), max_nanos_ + 1);
+    if (hi <= lo) return std::min(lo, max_nanos_);
+    double frac = static_cast<double>(rank - seen) /
+                  static_cast<double>(counts_[b]);
+    int64_t value = lo + static_cast<int64_t>(frac *
+                             static_cast<double>(hi - lo));
+    return std::min(value, max_nanos_);
+  }
+  return max_nanos_;
+}
+
+std::string LatencyHistogram::ToJson() const {
+  std::ostringstream os;
+  os << "{\"count\": " << count_ << ", \"sum_nanos\": " << sum_nanos_
+     << ", \"max_nanos\": " << max_nanos_
+     << ", \"p50_nanos\": " << Quantile(0.50)
+     << ", \"p95_nanos\": " << Quantile(0.95)
+     << ", \"p99_nanos\": " << Quantile(0.99) << ", \"buckets\": {";
+  bool first = true;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << BucketLowerBound(b) << "\": " << counts_[b];
+  }
+  os << "}}";
+  return os.str();
+}
+
+LatencyHistogram& LatencyHistogram::operator+=(const LatencyHistogram& other) {
+  for (size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+  sum_nanos_ += other.sum_nanos_;
+  max_nanos_ = std::max(max_nanos_, other.max_nanos_);
+  return *this;
+}
+
+}  // namespace mview::obs

@@ -1,0 +1,61 @@
+#ifndef MVIEW_OBS_HISTOGRAM_H_
+#define MVIEW_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mview::obs {
+
+/// A fixed-bucket log-scale histogram over nanosecond latencies.
+///
+/// Buckets are powers of two: `[0], [1], [2,3], [4,7], …`; with 48 buckets
+/// the last one opens at 2^46 ns ≈ 19.5 h, so every realistic latency lands
+/// in a bounded bucket and `Quantile` can interpolate inside it.  Recording
+/// is two array ops and three adds — cheap enough for the commit hot path —
+/// and the struct is plain data: merging shards is `operator+=`.
+///
+/// Not internally synchronized; writers follow the same single-writer
+/// discipline as the surrounding metrics structs.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 48;
+
+  /// Records one latency sample (negative values clamp to 0).
+  void Record(int64_t nanos);
+
+  int64_t count() const { return count_; }
+  int64_t sum_nanos() const { return sum_nanos_; }
+  int64_t max_nanos() const { return max_nanos_; }
+
+  /// The count in bucket `b` (see `BucketLowerBound`).
+  int64_t bucket(size_t b) const { return counts_.at(b); }
+
+  /// Inclusive lower bound of bucket `b`: 0, 1, 2, 4, 8, …
+  static int64_t BucketLowerBound(size_t b);
+
+  /// Exclusive upper bound of bucket `b` (INT64_MAX for the last bucket).
+  static int64_t BucketUpperBound(size_t b);
+
+  /// Estimated `q`-quantile (`q` in [0,1]) by linear interpolation within
+  /// the containing bucket, capped at the observed maximum.  Returns 0 when
+  /// empty.
+  int64_t Quantile(double q) const;
+
+  /// `{"count": …, "sum_nanos": …, "max_nanos": …, "p50_nanos": …,
+  ///   "p95_nanos": …, "p99_nanos": …, "buckets": {"1024": 3, …}}` where
+  /// bucket keys are lower bounds and only non-empty buckets appear.
+  std::string ToJson() const;
+
+  LatencyHistogram& operator+=(const LatencyHistogram& other);
+
+ private:
+  std::array<int64_t, kBuckets> counts_{};
+  int64_t count_ = 0;
+  int64_t sum_nanos_ = 0;
+  int64_t max_nanos_ = 0;
+};
+
+}  // namespace mview::obs
+
+#endif  // MVIEW_OBS_HISTOGRAM_H_

@@ -1,0 +1,207 @@
+#include "obs/prometheus.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ivm/metrics.h"
+
+namespace mview::obs {
+namespace {
+
+std::string LabelEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string Seconds(double nanos) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", nanos * 1e-9);
+  return buf;
+}
+
+// Emits `# HELP` / `# TYPE` once, then one sample line per labelled value.
+class Family {
+ public:
+  Family(std::ostringstream& os, std::string name, const char* type,
+         const char* help)
+      : os_(os), name_(std::move(name)) {
+    os_ << "# HELP " << name_ << " " << help << "\n";
+    os_ << "# TYPE " << name_ << " " << type << "\n";
+  }
+
+  void Sample(const std::string& labels, int64_t value) {
+    os_ << name_ << labels << " " << value << "\n";
+  }
+
+  void Sample(const std::string& labels, const std::string& value) {
+    os_ << name_ << labels << " " << value << "\n";
+  }
+
+ private:
+  std::ostringstream& os_;
+  std::string name_;
+};
+
+std::string ViewLabel(const std::string& view) {
+  return "{view=\"" + LabelEscape(view) + "\"}";
+}
+
+// One Prometheus histogram family from a LatencyHistogram, `le` in seconds.
+// Buckets are cumulative; empty trailing buckets collapse into `+Inf`.
+void EmitLatencyFamily(
+    std::ostringstream& os, const std::string& name, const char* help,
+    const std::vector<std::pair<std::string, const LatencyHistogram*>>&
+        series) {
+  os << "# HELP " << name << " " << help << "\n";
+  os << "# TYPE " << name << " histogram\n";
+  for (const auto& [labels, hist] : series) {
+    std::string inner = labels.empty()
+                            ? std::string()
+                            : labels.substr(1, labels.size() - 2) + ",";
+    size_t last = 0;
+    for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      if (hist->bucket(b) != 0) last = b;
+    }
+    int64_t cumulative = 0;
+    for (size_t b = 0; b <= last; ++b) {
+      cumulative += hist->bucket(b);
+      os << name << "_bucket{" << inner << "le=\""
+         << Seconds(static_cast<double>(LatencyHistogram::BucketUpperBound(b)))
+         << "\"} " << cumulative << "\n";
+    }
+    os << name << "_bucket{" << inner << "le=\"+Inf\"} " << hist->count()
+       << "\n";
+    os << name << "_sum" << labels << " "
+       << Seconds(static_cast<double>(hist->sum_nanos())) << "\n";
+    os << name << "_count" << labels << " " << hist->count() << "\n";
+  }
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  const CommitMetrics& commit = registry.commit();
+  const StorageMetrics& storage = registry.storage();
+  const PoolMetrics& pool = registry.pool();
+
+  Family(os, "mview_commits_total", "counter",
+         "Non-empty transaction effects applied")
+      .Sample("", commit.commits);
+  Family(os, "mview_normalize_seconds_total", "counter",
+         "Time spent normalizing transactions")
+      .Sample("", Seconds(static_cast<double>(commit.normalize_nanos)));
+  Family(os, "mview_base_apply_seconds_total", "counter",
+         "Time spent applying effects to base relations")
+      .Sample("", Seconds(static_cast<double>(commit.base_apply_nanos)));
+  EmitLatencyFamily(os, "mview_commit_latency_seconds",
+                    "End-to-end maintained-commit latency",
+                    {{"", &commit.commit_latency}});
+
+  Family pool_workers(os, "mview_pool_workers", "gauge",
+                      "Maintenance thread-pool size");
+  pool_workers.Sample("", pool.workers);
+  Family pool_queue(os, "mview_pool_queue_depth", "gauge",
+                    "Maintenance tasks queued, not yet running");
+  pool_queue.Sample("", pool.queue_depth);
+  Family pool_active(os, "mview_pool_active_workers", "gauge",
+                     "Maintenance tasks currently executing");
+  pool_active.Sample("", pool.active_workers);
+
+  Family(os, "mview_wal_appends_total", "counter",
+         "WAL records made durable")
+      .Sample("", storage.wal_appends);
+  Family(os, "mview_wal_fsyncs_total", "counter",
+         "fsync calls issued by the log")
+      .Sample("", storage.wal_fsyncs);
+  Family(os, "mview_wal_bytes_total", "counter",
+         "WAL record bytes written")
+      .Sample("", storage.wal_bytes);
+  Family(os, "mview_checkpoints_total", "counter",
+         "Checkpoint files written")
+      .Sample("", storage.checkpoints);
+  Family(os, "mview_checkpoint_seconds_total", "counter",
+         "Time spent writing checkpoints")
+      .Sample("", Seconds(static_cast<double>(storage.checkpoint_nanos)));
+  Family(os, "mview_wal_replayed_records_total", "counter",
+         "WAL records replayed at recovery")
+      .Sample("", storage.replayed_records);
+  EmitLatencyFamily(os, "mview_fsync_latency_seconds",
+                    "Group-commit write+fsync batch latency",
+                    {{"", &storage.fsync_latency}});
+
+  const std::vector<std::string> views = registry.ViewNames();
+  struct ViewCounter {
+    const char* name;
+    const char* help;
+    int64_t (*get)(const ViewMetrics&);
+  };
+  const ViewCounter counters[] = {
+      {"mview_view_transactions_total", "Maintained transactions per view",
+       [](const ViewMetrics& m) { return m.stats.transactions; }},
+      {"mview_view_skipped_irrelevant_total",
+       "Transactions skipped entirely by the irrelevance screen",
+       [](const ViewMetrics& m) { return m.stats.skipped_irrelevant; }},
+      {"mview_view_updates_seen_total", "Update tuples examined",
+       [](const ViewMetrics& m) { return m.stats.updates_seen; }},
+      {"mview_view_updates_filtered_total",
+       "Update tuples proven irrelevant (Theorem 4.1)",
+       [](const ViewMetrics& m) { return m.stats.updates_filtered; }},
+      {"mview_view_delta_inserts_total", "View delta insert multiplicity",
+       [](const ViewMetrics& m) { return m.stats.delta_inserts; }},
+      {"mview_view_delta_deletes_total", "View delta delete multiplicity",
+       [](const ViewMetrics& m) { return m.stats.delta_deletes; }},
+      {"mview_view_full_reevaluations_total",
+       "Deltas answered by full re-evaluation",
+       [](const ViewMetrics& m) { return m.stats.full_reevaluations; }},
+      {"mview_view_cache_hits_total", "Join-state cache hits",
+       [](const ViewMetrics& m) { return m.stats.cache_hits; }},
+      {"mview_view_cache_misses_total", "Join-state cache misses",
+       [](const ViewMetrics& m) { return m.stats.cache_misses; }},
+      {"mview_view_cache_evictions_total", "Join-state cache evictions",
+       [](const ViewMetrics& m) { return m.stats.cache_evictions; }},
+  };
+  for (const ViewCounter& c : counters) {
+    Family family(os, c.name, "counter", c.help);
+    for (const std::string& view : views) {
+      family.Sample(ViewLabel(view), c.get(*registry.Find(view)));
+    }
+  }
+  Family cache_bytes(os, "mview_view_cache_bytes", "gauge",
+                     "Join-state cache resident bytes");
+  for (const std::string& view : views) {
+    cache_bytes.Sample(ViewLabel(view), registry.Find(view)->stats.cache_bytes);
+  }
+
+  std::vector<std::pair<std::string, const LatencyHistogram*>> filter_series,
+      diff_series, apply_series;
+  for (const std::string& view : views) {
+    const ViewMetrics* m = registry.Find(view);
+    filter_series.emplace_back(ViewLabel(view), &m->filter_latency);
+    diff_series.emplace_back(ViewLabel(view), &m->differential_latency);
+    apply_series.emplace_back(ViewLabel(view), &m->apply_latency);
+  }
+  EmitLatencyFamily(os, "mview_view_filter_latency_seconds",
+                    "Irrelevance-screen latency per maintained commit",
+                    filter_series);
+  EmitLatencyFamily(os, "mview_view_differential_latency_seconds",
+                    "Differential-evaluation latency per maintained commit",
+                    diff_series);
+  EmitLatencyFamily(os, "mview_view_apply_latency_seconds",
+                    "Serial delta-apply latency per maintained commit",
+                    apply_series);
+  return os.str();
+}
+
+}  // namespace mview::obs

@@ -1,0 +1,21 @@
+#ifndef MVIEW_OBS_PROMETHEUS_H_
+#define MVIEW_OBS_PROMETHEUS_H_
+
+#include <string>
+
+namespace mview {
+class MetricsRegistry;
+}  // namespace mview
+
+namespace mview::obs {
+
+/// Renders the whole metrics registry in the Prometheus text exposition
+/// format (version 0.0.4): `# HELP` / `# TYPE` headers, `mview_`-prefixed
+/// families, per-view series labelled `{view="name"}`, and latency
+/// histograms as cumulative `_bucket{le="…"}` series with `le` in seconds.
+/// Scrape-ready: serve the string as `text/plain; version=0.0.4`.
+std::string ExportPrometheus(const MetricsRegistry& registry);
+
+}  // namespace mview::obs
+
+#endif  // MVIEW_OBS_PROMETHEUS_H_

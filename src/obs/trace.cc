@@ -1,0 +1,201 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "util/stopwatch.h"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mview::obs {
+namespace {
+
+int64_t CurrentOsTid() {
+#if defined(__linux__)
+  return static_cast<int64_t>(::syscall(SYS_gettid));
+#else
+  // Portable fallback: a stable per-thread hash (not an OS tid, but still
+  // distinguishes threads in the export).
+  return static_cast<int64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0x7fffffff);
+#endif
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives exiting threads
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
+  // The shared_ptr is co-owned by the registry, so the buffer survives
+  // thread exit and stays snapshot-able until process end.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto b = std::make_shared<ThreadBuffer>(CurrentOsTid());
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void Tracer::Clear() {
+  clear_epoch_nanos_.store(Stopwatch::NowNanos(), std::memory_order_relaxed);
+}
+
+uint32_t Tracer::InternName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      name_ids_.emplace(name, static_cast<uint32_t>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+void Tracer::Record(uint32_t name_id, int64_t start_nanos, int64_t dur_nanos,
+                    uint32_t arg_name_id, int64_t arg) {
+  ThreadBuffer& buf = BufferForThisThread();
+  uint64_t h = buf.head.load(std::memory_order_relaxed);
+  Slot& slot = buf.slots[h & (kSlotCapacity - 1)];
+  slot.seq.store(2 * h + 1, std::memory_order_relaxed);
+  slot.start_nanos.store(start_nanos, std::memory_order_relaxed);
+  slot.dur_nanos.store(dur_nanos, std::memory_order_relaxed);
+  slot.ids.store((uint64_t{name_id} << 32) | arg_name_id,
+                 std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.seq.store(2 * h + 2, std::memory_order_release);
+  buf.head.store(h + 1, std::memory_order_release);
+}
+
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  ThreadBuffer& buf = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  buf.thread_name = name;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t epoch = clear_epoch_nanos_.load(std::memory_order_relaxed);
+  std::vector<TraceEvent> events;
+  for (const auto& buf : buffers_) {
+    const uint64_t head = buf->head.load(std::memory_order_acquire);
+    const uint64_t count = std::min<uint64_t>(head, kSlotCapacity);
+    for (uint64_t h = head - count; h < head; ++h) {
+      const Slot& slot = buf->slots[h & (kSlotCapacity - 1)];
+      const uint64_t expect = 2 * h + 2;
+      if (slot.seq.load(std::memory_order_acquire) != expect) continue;
+      TraceEvent ev;
+      ev.start_nanos = slot.start_nanos.load(std::memory_order_relaxed);
+      ev.dur_nanos = slot.dur_nanos.load(std::memory_order_relaxed);
+      const uint64_t ids = slot.ids.load(std::memory_order_relaxed);
+      ev.arg = slot.arg.load(std::memory_order_relaxed);
+      // Revalidate: if the owner lapped us mid-read, the fields above may
+      // mix two pushes — drop the slot rather than emit garbage.
+      if (slot.seq.load(std::memory_order_acquire) != expect) continue;
+      if (ev.start_nanos < epoch) continue;
+      const auto name_id = static_cast<uint32_t>(ids >> 32);
+      const auto arg_name_id = static_cast<uint32_t>(ids & 0xffffffffu);
+      if (name_id < names_.size()) ev.name = names_[name_id];
+      if (arg_name_id != 0 && arg_name_id < names_.size()) {
+        ev.arg_name = names_[arg_name_id];
+      }
+      ev.tid = buf->tid;
+      ev.thread_name = buf->thread_name;
+      events.push_back(std::move(ev));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_nanos != b.start_nanos) {
+                return a.start_nanos < b.start_nanos;
+              }
+              // Parents before children: longer span first at equal start.
+              return a.dur_nanos > b.dur_nanos;
+            });
+  return events;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  int64_t base = 0;
+  for (const TraceEvent& ev : events) {
+    base = base == 0 ? ev.start_nanos : std::min(base, ev.start_nanos);
+  }
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  // Thread-name metadata events, one per (tid, name) pair seen.
+  std::vector<int64_t> named_tids;
+  for (const TraceEvent& ev : events) {
+    if (ev.thread_name.empty()) continue;
+    if (std::find(named_tids.begin(), named_tids.end(), ev.tid) !=
+        named_tids.end()) {
+      continue;
+    }
+    named_tids.push_back(ev.tid);
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+       << "\"tid\": " << ev.tid << ", \"args\": {\"name\": \""
+       << JsonEscape(ev.thread_name) << "\"}}";
+  }
+  char num[64];
+  for (const TraceEvent& ev : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": \"" << JsonEscape(ev.name)
+       << "\", \"ph\": \"X\", \"cat\": \"mview\", \"pid\": 1, \"tid\": "
+       << ev.tid;
+    std::snprintf(num, sizeof(num), "%.3f",
+                  static_cast<double>(ev.start_nanos - base) * 1e-3);
+    os << ", \"ts\": " << num;
+    std::snprintf(num, sizeof(num), "%.3f",
+                  static_cast<double>(ev.dur_nanos) * 1e-3);
+    os << ", \"dur\": " << num;
+    if (!ev.arg_name.empty()) {
+      os << ", \"args\": {\"" << JsonEscape(ev.arg_name)
+         << "\": " << ev.arg << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+TraceSpan::TraceSpan(uint32_t name_id) {
+  // The whole disabled-path cost: one relaxed load and this branch.
+  active_ = Tracer::Global().enabled();
+  if (active_) {
+    name_id_ = name_id;
+    start_nanos_ = Stopwatch::NowNanos();
+  }
+}
+
+void TraceSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  const int64_t now = Stopwatch::NowNanos();
+  Tracer::Global().Record(name_id_, start_nanos_, now - start_nanos_,
+                          arg_name_id_, arg_);
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+}  // namespace mview::obs

@@ -1,0 +1,149 @@
+#ifndef MVIEW_OBS_TRACE_H_
+#define MVIEW_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mview::obs {
+
+/// One completed span, snapshotted out of the ring buffers.
+struct TraceEvent {
+  std::string name;         // interned span name ("commit", "wal_fsync", …)
+  std::string thread_name;  // "" when the thread never named itself
+  int64_t tid = 0;          // OS thread id (gettid)
+  int64_t start_nanos = 0;  // steady-clock timestamp (Stopwatch::NowNanos)
+  int64_t dur_nanos = 0;
+  std::string arg_name;     // optional counter attached to the span
+  int64_t arg = 0;
+};
+
+/// Process-global span recorder.
+///
+/// Design constraints, in order:
+///  1. Disabled cost is one relaxed atomic load and a branch — the
+///     `TraceSpan` constructor does nothing else when tracing is off.
+///  2. Enabled recording never takes a lock.  Each thread writes completed
+///     spans into its own fixed-capacity ring buffer whose slots are made
+///     entirely of relaxed `std::atomic<uint64_t>` fields guarded by a
+///     per-slot seqlock generation counter: the single owning thread writes
+///     (odd seq → fields → even seq, release), readers validate the
+///     generation and drop torn slots.  The ring overwrites its oldest
+///     entries, bounding memory at ~`kSlotCapacity` spans per thread.
+///  3. Exports are crash-consistent snapshots: `Snapshot()` walks every
+///     registered buffer under the registry mutex without stopping writers.
+///
+/// Span *names* are interned once per call site
+/// (`static const uint32_t id = Tracer::Global().InternName("x");`) so the
+/// hot path records two 32-bit ids, two timestamps, and one argument —
+/// never a string.
+///
+/// `Clear()` does not reset the rings (a foreign thread resetting a ring
+/// head would race with its owner); it advances an epoch timestamp and
+/// snapshots filter out spans that started before it.
+class Tracer {
+ public:
+  /// Spans each thread can hold before the ring wraps (power of two).
+  static constexpr size_t kSlotCapacity = 8192;
+
+  static Tracer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Discards all recorded spans (epoch-based; see class comment).
+  void Clear();
+
+  /// Returns a stable id for `name` (id 0 is reserved for "no name").
+  /// Takes the registry mutex — intern once per call site, not per record.
+  uint32_t InternName(const std::string& name);
+
+  /// Records one completed span into the calling thread's ring buffer.
+  /// Lock-free; safe from any thread, including WAL leader and pool
+  /// workers.  `arg_name_id` 0 means no argument.
+  void Record(uint32_t name_id, int64_t start_nanos, int64_t dur_nanos,
+              uint32_t arg_name_id = 0, int64_t arg = 0);
+
+  /// Labels the calling thread in exports ("engine", "pool-worker-3", …).
+  /// Idempotent; takes the registry mutex.
+  void SetCurrentThreadName(const std::string& name);
+
+  /// All spans recorded since the last `Clear()`, sorted by start time.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// The snapshot in Chrome `trace_event` JSON (the `{"traceEvents": […]}`
+  /// object form): "X" complete events with microsecond ts/dur plus "M"
+  /// thread_name metadata, loadable in chrome://tracing and Perfetto.
+  std::string ExportChromeJson() const;
+
+ private:
+  struct Slot {
+    // Seqlock generation: 2h+1 while the owner writes slot for the h-th
+    // push, 2h+2 once complete.  All fields relaxed atomics — the seqlock
+    // only guards against *torn logical reads* (fields from two pushes),
+    // not data races, which relaxed atomics already preclude.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<int64_t> start_nanos{0};
+    std::atomic<int64_t> dur_nanos{0};
+    std::atomic<uint64_t> ids{0};  // name_id << 32 | arg_name_id
+    std::atomic<int64_t> arg{0};
+  };
+
+  struct ThreadBuffer {
+    explicit ThreadBuffer(int64_t os_tid) : tid(os_tid) {}
+    std::vector<Slot> slots{kSlotCapacity};
+    std::atomic<uint64_t> head{0};  // monotonic push count
+    const int64_t tid;
+    std::string thread_name;  // written and read under Tracer::mu_
+  };
+
+  Tracer() = default;
+
+  ThreadBuffer& BufferForThisThread();
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> clear_epoch_nanos_{0};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;  // under mu_
+  std::unordered_map<std::string, uint32_t> name_ids_;  // under mu_
+  std::vector<std::string> names_{""};                  // under mu_; id 0 = ""
+};
+
+/// RAII span: captures the start timestamp if tracing is enabled at
+/// construction and records on destruction.  Cheap to place on the hot
+/// path — disabled cost is the enabled() branch.
+class TraceSpan {
+ public:
+  explicit TraceSpan(uint32_t name_id);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  /// Attaches one named counter (delta rows, batch size, …) to the span.
+  void SetArg(uint32_t arg_name_id, int64_t value) {
+    arg_name_id_ = arg_name_id;
+    arg_ = value;
+  }
+
+  /// Ends the span now, recording it; the destructor becomes a no-op.
+  /// Useful when a span's extent is narrower than its enclosing scope.
+  void End();
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+  uint32_t name_id_ = 0;
+  uint32_t arg_name_id_ = 0;
+  int64_t start_nanos_ = 0;
+  int64_t arg_ = 0;
+};
+
+}  // namespace mview::obs
+
+#endif  // MVIEW_OBS_TRACE_H_

@@ -92,6 +92,48 @@ bool ConstraintGraph::WouldAddedEdgesCreateNegativeCycle(
   return false;
 }
 
+std::vector<GraphEdge> ConstraintGraph::FindNegativeCycle(
+    const std::vector<GraphEdge>& extra) const {
+  std::vector<GraphEdge> all(edges_);
+  all.insert(all.end(), extra.begin(), extra.end());
+  for (const GraphEdge& e : all) {
+    MVIEW_CHECK(e.from < n_ && e.to < n_, "edge endpoint out of range");
+  }
+  // Bellman–Ford from a virtual source (all distances start at 0), keeping
+  // for every node the edge that last improved it.  After n passes any
+  // further relaxation proves a negative cycle reachable from the relaxed
+  // node's predecessor chain.
+  std::vector<int64_t> d(n_, 0);
+  std::vector<size_t> pred(n_, SIZE_MAX);
+  size_t witness = SIZE_MAX;
+  for (size_t pass = 0; pass < n_; ++pass) {
+    witness = SIZE_MAX;
+    for (size_t idx = 0; idx < all.size(); ++idx) {
+      const GraphEdge& e = all[idx];
+      int64_t via = SatAdd(d[e.from], e.weight);
+      if (via < d[e.to]) {
+        d[e.to] = via;
+        pred[e.to] = idx;
+        witness = e.to;
+      }
+    }
+    if (witness == SIZE_MAX) return {};  // converged: no negative cycle
+  }
+  // `witness` was relaxed on the n-th pass, so its predecessor chain leads
+  // into a negative cycle; walking n steps lands strictly inside it.
+  size_t node = witness;
+  for (size_t i = 0; i < n_; ++i) node = all[pred[node]].from;
+  std::vector<GraphEdge> cycle;
+  size_t cur = node;
+  do {
+    const GraphEdge& e = all[pred[cur]];
+    cycle.push_back(e);
+    cur = e.from;
+  } while (cur != node && cycle.size() <= n_ + all.size());
+  std::reverse(cycle.begin(), cycle.end());
+  return cycle;
+}
+
 bool ConstraintGraph::HasNegativeCycleBellmanFord() const {
   // Virtual source with zero-weight edges to every node: start all at 0.
   std::vector<int64_t> d(n_, 0);

@@ -65,6 +65,19 @@ class ConstraintGraph {
   /// Negative-cycle detection by Bellman–Ford (no closure computed).
   bool HasNegativeCycleBellmanFord() const;
 
+  /// Returns the edges of one negative-weight cycle in the graph formed by
+  /// this graph's edges plus `extra`, in traversal order (each edge's `to`
+  /// is the next edge's `from`, wrapping around), or an empty vector when
+  /// no negative cycle exists.  Bellman–Ford with predecessor tracking;
+  /// does not require `Close()` and never mutates the graph.
+  ///
+  /// This is the audit channel for Theorem 4.1: when a substituted
+  /// conjunction is unsatisfiable, the returned cycle *is* the proof —
+  /// summing its weights gives the negative total that contradicts
+  /// `x − x ≤ 0`.
+  std::vector<GraphEdge> FindNegativeCycle(
+      const std::vector<GraphEdge>& extra = {}) const;
+
   /// The saturated infinity used in distance matrices.
   static constexpr int64_t kInfinity = INT64_MAX / 4;
 

@@ -5,6 +5,8 @@
 
 #include <fstream>
 
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 #include "ra/planner.h"
 #include "relational/csv.h"
 #include "storage/storage.h"
@@ -151,6 +153,21 @@ Engine::Result Message(std::string text) {
   return result;
 }
 
+// `Parse` under a "parse" span, so every statement's trace starts with
+// the parse phase nested inside the caller's "execute" span.
+std::vector<Statement> ParseTraced(const std::string& sql) {
+  static const uint32_t kParseName =
+      obs::Tracer::Global().InternName("parse");
+  obs::TraceSpan span(kParseName);
+  return Parse(sql);
+}
+
+uint32_t ExecuteSpanName() {
+  static const uint32_t kExecuteName =
+      obs::Tracer::Global().InternName("execute");
+  return kExecuteName;
+}
+
 }  // namespace
 
 std::string Engine::Result::ToString() const {
@@ -198,7 +215,11 @@ std::string Engine::Result::ToString() const {
   return os.str();
 }
 
-Engine::Engine() : views_(&db_), guard_(&db_) {}
+Engine::Engine() : views_(&db_), guard_(&db_) {
+  // Label the session thread in trace exports; idempotent when several
+  // engines share a thread.
+  obs::Tracer::Global().SetCurrentThreadName("engine");
+}
 
 Engine::Engine(Storage* storage) : Engine() {
   if (storage != nullptr) {
@@ -234,7 +255,8 @@ Engine::Status Engine::Status::Corruption(std::string message) {
 }
 
 Engine::Result Engine::Execute(const std::string& sql) {
-  std::vector<Statement> statements = Parse(sql);
+  obs::TraceSpan span(ExecuteSpanName());
+  std::vector<Statement> statements = ParseTraced(sql);
   MVIEW_CHECK(statements.size() == 1,
               "Execute expects exactly one statement; got ",
               statements.size(), " (use ExecuteScript)");
@@ -242,9 +264,10 @@ Engine::Result Engine::Execute(const std::string& sql) {
 }
 
 Engine::Status Engine::TryExecute(const std::string& sql, Result* result) {
+  obs::TraceSpan span(ExecuteSpanName());
   std::vector<Statement> statements;
   try {
-    statements = Parse(sql);
+    statements = ParseTraced(sql);
   } catch (const Error& e) {
     return Status::ParseError(e.what());
   }
@@ -267,7 +290,8 @@ Engine::Status Engine::TryExecute(const std::string& sql, Result* result) {
 }
 
 std::vector<Engine::Result> Engine::ExecuteScript(const std::string& sql) {
-  std::vector<Statement> statements = Parse(sql);
+  obs::TraceSpan span(ExecuteSpanName());
+  std::vector<Statement> statements = ParseTraced(sql);
   std::vector<Result> results;
   for (size_t i = 0; i < statements.size(); ++i) {
     try {
@@ -283,9 +307,10 @@ std::vector<Engine::Result> Engine::ExecuteScript(const std::string& sql) {
 Engine::Status Engine::TryExecuteScript(const std::string& sql,
                                         std::vector<Result>* results,
                                         size_t* failed_statement) {
+  obs::TraceSpan span(ExecuteSpanName());
   std::vector<Statement> statements;
   try {
-    statements = Parse(sql);
+    statements = ParseTraced(sql);
   } catch (const Error& e) {
     return Status::ParseError(e.what());
   }
@@ -367,7 +392,7 @@ Engine::Result Engine::ExecuteCreateView(const Statement& stmt) {
                  ", " + std::to_string(info.rows) + " rows)");
 }
 
-Engine::Result Engine::ExecuteInsert(const Statement& stmt) {
+Transaction Engine::BuildInsert(const Statement& stmt, size_t* rows) const {
   const Relation& rel = db_.Get(stmt.name);
   Transaction txn;
   for (const auto& row : stmt.rows) {
@@ -382,39 +407,24 @@ Engine::Result Engine::ExecuteInsert(const Statement& stmt) {
     }
     txn.Insert(stmt.name, Tuple(row));
   }
-  size_t n = stmt.rows.size();
-  if (pending_.has_value()) {
-    for (const auto& row : stmt.rows) pending_->Insert(stmt.name, Tuple(row));
-    return Message(std::to_string(n) + " row(s) staged");
-  }
-  Result result = CommitTransaction(std::move(txn));
-  if (result.kind == Result::Kind::kMessage && result.message.empty()) {
-    result.message = std::to_string(n) + " row(s) inserted";
-  }
-  return result;
+  *rows = stmt.rows.size();
+  return txn;
 }
 
-Engine::Result Engine::ExecuteDelete(const Statement& stmt) {
+Transaction Engine::BuildDelete(const Statement& stmt, size_t* rows) const {
   const Relation& rel = db_.Get(stmt.name);
   stmt.where.Validate(rel.schema());
   std::vector<Tuple> matches;
   rel.Scan([&](const Tuple& t) {
     if (stmt.where.Evaluate(rel.schema(), t)) matches.push_back(t);
   });
-  if (pending_.has_value()) {
-    for (auto& t : matches) pending_->Delete(stmt.name, std::move(t));
-    return Message(std::to_string(matches.size()) + " row(s) staged");
-  }
+  *rows = matches.size();
   Transaction txn;
   txn.DeleteAll(stmt.name, matches);
-  Result result = CommitTransaction(std::move(txn));
-  if (result.kind == Result::Kind::kMessage && result.message.empty()) {
-    result.message = std::to_string(matches.size()) + " row(s) deleted";
-  }
-  return result;
+  return txn;
 }
 
-Engine::Result Engine::ExecuteUpdate(const Statement& stmt) {
+Transaction Engine::BuildUpdate(const Statement& stmt, size_t* rows) const {
   const Relation& rel = db_.Get(stmt.name);
   const Schema& schema = rel.schema();
   stmt.where.Validate(schema);
@@ -426,37 +436,135 @@ Engine::Result Engine::ExecuteUpdate(const Statement& stmt) {
                 ValueTypeName(schema.attribute(idx).type));
     sets.emplace_back(idx, value);
   }
-  std::vector<std::pair<Tuple, Tuple>> changes;
+  Transaction txn;
+  size_t changed = 0;
   rel.Scan([&](const Tuple& t) {
     if (!stmt.where.Evaluate(schema, t)) return;
     std::vector<Value> values = t.values();
     for (const auto& [idx, value] : sets) values[idx] = value;
-    changes.emplace_back(t, Tuple(std::move(values)));
+    txn.Update(stmt.name, t, Tuple(std::move(values)));
+    ++changed;
   });
-  if (pending_.has_value()) {
-    for (auto& [old_t, new_t] : changes) {
-      pending_->Update(stmt.name, old_t, new_t);
-    }
-    return Message(std::to_string(changes.size()) + " row(s) staged");
+  *rows = changed;
+  return txn;
+}
+
+Transaction Engine::BuildDml(const Statement& stmt, size_t* rows) const {
+  switch (stmt.kind) {
+    case Statement::Kind::kInsert:
+      return BuildInsert(stmt, rows);
+    case Statement::Kind::kDelete:
+      return BuildDelete(stmt, rows);
+    case Statement::Kind::kUpdate:
+      return BuildUpdate(stmt, rows);
+    default:
+      internal::ThrowError("not a DML statement");
   }
-  Transaction txn;
-  for (auto& [old_t, new_t] : changes) txn.Update(stmt.name, old_t, new_t);
+}
+
+Engine::Result Engine::ExecuteInsert(const Statement& stmt) {
+  size_t n = 0;
+  Transaction txn = BuildInsert(stmt, &n);
+  if (pending_.has_value()) {
+    pending_->Append(txn);
+    return Message(std::to_string(n) + " row(s) staged");
+  }
   Result result = CommitTransaction(std::move(txn));
   if (result.kind == Result::Kind::kMessage && result.message.empty()) {
-    result.message = std::to_string(changes.size()) + " row(s) updated";
+    result.message = std::to_string(n) + " row(s) inserted";
   }
   return result;
 }
 
+Engine::Result Engine::ExecuteDelete(const Statement& stmt) {
+  size_t n = 0;
+  Transaction txn = BuildDelete(stmt, &n);
+  if (pending_.has_value()) {
+    pending_->Append(txn);
+    return Message(std::to_string(n) + " row(s) staged");
+  }
+  Result result = CommitTransaction(std::move(txn));
+  if (result.kind == Result::Kind::kMessage && result.message.empty()) {
+    result.message = std::to_string(n) + " row(s) deleted";
+  }
+  return result;
+}
+
+Engine::Result Engine::ExecuteUpdate(const Statement& stmt) {
+  size_t n = 0;
+  Transaction txn = BuildUpdate(stmt, &n);
+  if (pending_.has_value()) {
+    pending_->Append(txn);
+    return Message(std::to_string(n) + " row(s) staged");
+  }
+  Result result = CommitTransaction(std::move(txn));
+  if (result.kind == Result::Kind::kMessage && result.message.empty()) {
+    result.message = std::to_string(n) + " row(s) updated";
+  }
+  return result;
+}
+
+Engine::Result Engine::ExecuteExplainMaintenance(const Statement& stmt) {
+  const Statement& dml = stmt.inner.front();
+  size_t n = 0;
+  Transaction txn = BuildDml(dml, &n);
+  // Normalize is const against the database: the would-be net effect is
+  // computed and audited, nothing is applied or logged.
+  TransactionEffect effect = txn.Normalize(db_);
+  std::ostringstream os;
+  os << "EXPLAIN MAINTENANCE: " << n << " row(s) matched, net effect "
+     << effect.TotalTuples() << " tuple(s)\n";
+  if (effect.Empty()) {
+    os << "net effect is empty; no view would be maintained\n";
+    return Message(os.str());
+  }
+  size_t audited = 0;
+  for (const auto& name : views_.ViewNames()) {
+    const DifferentialMaintainer& maintainer = views_.Maintainer(name);
+    const ViewDefinition& def = maintainer.definition();
+    for (size_t i = 0; i < def.bases().size(); ++i) {
+      const RelationEffect* rel = effect.Find(def.bases()[i].relation);
+      if (rel == nullptr) continue;
+      auto audit = [&](const Relation& side, const char* tag) {
+        side.Scan([&](const Tuple& t) {
+          obs::IrrelevanceExplanation ex = maintainer.filter().Explain(i, t);
+          os << "\nview " << name << ", base #" << i << " ("
+             << def.bases()[i].relation << "), " << tag << " "
+             << t.ToString() << ":\n"
+             << ex.ToString();
+          ++audited;
+        });
+      };
+      audit(rel->inserts, "insert");
+      audit(rel->deletes, "delete");
+    }
+  }
+  if (audited == 0) {
+    os << "no registered view references the touched relation(s)\n";
+  }
+  return Message(os.str());
+}
+
 Engine::Result Engine::CommitTransaction(Transaction txn) {
+  static const uint32_t kCommitName =
+      obs::Tracer::Global().InternName("commit");
+  static const uint32_t kNormalizeName =
+      obs::Tracer::Global().InternName("normalize");
+  static const uint32_t kPrecheckName =
+      obs::Tracer::Global().InternName("precheck");
+  obs::TraceSpan commit_span(kCommitName);
   // Normalized here (not via ViewManager::Apply) because the integrity
   // precheck needs the effect before the views see it; credit the phase-1
   // timer so SQL commits report normalize_nanos like direct Apply calls.
   Stopwatch timer;
+  obs::TraceSpan normalize_span(kNormalizeName);
   TransactionEffect effect = txn.Normalize(db_);
+  normalize_span.End();
   views_.metrics().commit().normalize_nanos += timer.ElapsedNanos();
   if (effect.Empty()) return Message("");
+  obs::TraceSpan precheck_span(kPrecheckName);
   IntegrityGuard::Precheck precheck = guard_.PrecheckEffect(effect);
+  precheck_span.End();
   if (!precheck.ok) {
     std::ostringstream os;
     os << "rejected: transaction violates";
@@ -476,6 +584,19 @@ Engine::Result Engine::CommitTransaction(Transaction txn) {
 
 void Engine::NoteCatalogChange() {
   if (storage_ != nullptr) storage_->OnCatalogChange();
+}
+
+void Engine::DumpTrace(const std::string& path) const {
+  std::ofstream out(path);
+  MVIEW_CHECK(out.is_open(), "cannot open for writing: ", path);
+  out << obs::Tracer::Global().ExportChromeJson();
+  MVIEW_CHECK(out.good(), "error writing trace to ", path);
+}
+
+std::string Engine::ExportMetricsText() {
+  if (storage_ != nullptr) storage_->SyncWalMetrics();
+  views_.SyncPoolMetrics();
+  return obs::ExportPrometheus(views_.metrics());
 }
 
 void Engine::EnsureTableDroppable(const std::string& name) const {
@@ -573,8 +694,10 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
     }
     case Kind::kShowStats: {
       // Pull the WAL's counters (written behind its mutex by commit
-      // leaders) into the registry as one coherent snapshot first.
+      // leaders) and the pool gauges into the registry as one coherent
+      // snapshot first.
       if (storage_ != nullptr) storage_->SyncWalMetrics();
+      views_.SyncPoolMetrics();
       if (stmt.json) return Message(views_.metrics().ToJson());
       // Long format: one (view, metric, value) row per counter, with the
       // cross-view aggregate and commit-scope timers under view "*".
@@ -621,6 +744,10 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       emit("*", "checkpoint_nanos", storage.checkpoint_nanos);
       emit("*", "replayed_records", storage.replayed_records);
       emit("*", "max_commit_batch", storage.batch_commits.max_sample());
+      const PoolMetrics& pool = registry.pool();
+      emit("*", "pool_workers", pool.workers);
+      emit("*", "pool_queue_depth", pool.queue_depth);
+      emit("*", "pool_active_workers", pool.active_workers);
       emit_view("*", registry.Aggregate());
       for (const auto& name : registry.ViewNames()) {
         emit_view(name, *registry.Find(name));
@@ -647,6 +774,43 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       emit("truncated_bytes", stats.truncated_bytes);
       return RowsResult(std::move(schema), std::move(rows));
     }
+    case Kind::kTrace: {
+      obs::Tracer& tracer = obs::Tracer::Global();
+      if (stmt.trace_on) {
+        // Each TRACE ON starts a fresh trace session: prior spans are
+        // epoch-cleared so SHOW TRACE reflects only what follows.
+        tracer.Clear();
+        tracer.Enable();
+        return Message("tracing on");
+      }
+      tracer.Disable();
+      return Message("tracing off");
+    }
+    case Kind::kShowTrace: {
+      if (stmt.json) return Message(obs::Tracer::Global().ExportChromeJson());
+      Schema schema({{"span", ValueType::kString},
+                     {"thread", ValueType::kString},
+                     {"tid", ValueType::kInt64},
+                     {"start_us", ValueType::kInt64},
+                     {"dur_us", ValueType::kInt64},
+                     {"arg", ValueType::kString}});
+      std::vector<std::pair<Tuple, int64_t>> rows;
+      std::vector<obs::TraceEvent> events = obs::Tracer::Global().Snapshot();
+      const int64_t base = events.empty() ? 0 : events.front().start_nanos;
+      for (const auto& ev : events) {
+        std::string arg = ev.arg_name.empty()
+                              ? ""
+                              : ev.arg_name + "=" + std::to_string(ev.arg);
+        rows.emplace_back(
+            Tuple({Value(ev.name), Value(ev.thread_name), Value(ev.tid),
+                   Value((ev.start_nanos - base) / 1000),
+                   Value(ev.dur_nanos / 1000), Value(std::move(arg))}),
+            1);
+      }
+      return RowsResult(std::move(schema), std::move(rows));
+    }
+    case Kind::kExplainMaintenance:
+      return ExecuteExplainMaintenance(stmt);
     case Kind::kCheckpoint: {
       MVIEW_CHECK(storage_ != nullptr,
                   "CHECKPOINT requires an attached storage directory");

@@ -111,6 +111,16 @@ class Engine {
                           std::vector<Result>* results,
                           size_t* failed_statement = nullptr);
 
+  /// Writes the current trace snapshot (Chrome `trace_event` JSON, the
+  /// `SHOW TRACE JSON` payload) to `path` — loadable in chrome://tracing
+  /// and Perfetto.  Throws `Error` when the file cannot be opened.
+  void DumpTrace(const std::string& path) const;
+
+  /// Prometheus text-format (exposition 0.0.4) rendering of the full
+  /// metrics registry, WAL and pool gauges synced first.  Suitable as a
+  /// `/metrics` scrape body; works with or without attached storage.
+  std::string ExportMetricsText();
+
   Database& database() { return db_; }
   ViewManager& views() { return views_; }
   IntegrityGuard& guard() { return guard_; }
@@ -128,7 +138,16 @@ class Engine {
   Result ExecuteInsert(const Statement& stmt);
   Result ExecuteDelete(const Statement& stmt);
   Result ExecuteUpdate(const Statement& stmt);
+  Result ExecuteExplainMaintenance(const Statement& stmt);
   Result CommitTransaction(Transaction txn);
+
+  // Validate a DML statement against the catalog and return the
+  // transaction it would commit (affected-row count via `rows`), applying
+  // nothing — shared by the execution paths and EXPLAIN MAINTENANCE.
+  Transaction BuildInsert(const Statement& stmt, size_t* rows) const;
+  Transaction BuildDelete(const Statement& stmt, size_t* rows) const;
+  Transaction BuildUpdate(const Statement& stmt, size_t* rows) const;
+  Transaction BuildDml(const Statement& stmt, size_t* rows) const;
   void EnsureTableDroppable(const std::string& name) const;
   // Called after every successful DDL statement: with storage attached,
   // forces a checkpoint so the WAL only ever carries DML.

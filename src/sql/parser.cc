@@ -342,6 +342,9 @@ class Parser {
       } else if (ConsumeKeyword("STATS")) {
         stmt.kind = Statement::Kind::kShowStats;
         stmt.json = ConsumeKeyword("JSON");
+      } else if (ConsumeKeyword("TRACE")) {
+        stmt.kind = Statement::Kind::kShowTrace;
+        stmt.json = ConsumeKeyword("JSON");
       } else if (ConsumeKeyword("WAL")) {
         stmt.kind = Statement::Kind::kShowWal;
       } else {
@@ -362,6 +365,28 @@ class Parser {
       MVIEW_CHECK(Peek().kind == TokenKind::kString,
                   "expected quoted file path at offset ", Peek().offset);
       stmt.path = Advance().text;
+      return stmt;
+    }
+    if (t.Is("TRACE")) {
+      Advance();
+      stmt.kind = Statement::Kind::kTrace;
+      if (ConsumeKeyword("ON")) {
+        stmt.trace_on = true;
+      } else {
+        ExpectKeyword("OFF");
+      }
+      return stmt;
+    }
+    if (t.Is("EXPLAIN")) {
+      Advance();
+      ExpectKeyword("MAINTENANCE");
+      stmt.kind = Statement::Kind::kExplainMaintenance;
+      Statement dml = ParseStatement();
+      MVIEW_CHECK(dml.kind == Statement::Kind::kInsert ||
+                      dml.kind == Statement::Kind::kDelete ||
+                      dml.kind == Statement::Kind::kUpdate,
+                  "EXPLAIN MAINTENANCE expects INSERT, DELETE, or UPDATE");
+      stmt.inner.push_back(std::move(dml));
       return stmt;
     }
     if (t.Is("CHECKPOINT")) {

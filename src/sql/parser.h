@@ -44,6 +44,9 @@ enum class ViewMode { kImmediate, kDeferred, kFullReevaluation };
 ///     REFRESH [VIEW] v;
 ///     SHOW TABLES; SHOW VIEWS; SHOW ASSERTIONS;
 ///     SHOW STATS [JSON]; SHOW WAL;
+///     TRACE ON; TRACE OFF;
+///     SHOW TRACE [JSON];
+///     EXPLAIN MAINTENANCE <INSERT … | DELETE … | UPDATE …>;
 ///     CHECKPOINT;
 ///     COPY t TO 'file.csv'; COPY t FROM 'file.csv';
 ///     BEGIN; COMMIT; ROLLBACK;
@@ -69,6 +72,9 @@ struct Statement {
     kShowAssertions,
     kShowStats,  // SHOW STATS [JSON] — maintenance metrics
     kShowWal,    // SHOW WAL — durable-log counters (LSNs, fsyncs, bytes)
+    kTrace,      // TRACE ON | OFF — toggle the maintenance span recorder
+    kShowTrace,  // SHOW TRACE [JSON] — spans / Chrome trace_event JSON
+    kExplainMaintenance,  // EXPLAIN MAINTENANCE <dml> — irrelevance audit
     kCheckpoint,  // CHECKPOINT — snapshot state, truncate the log
     kCopyTo,    // COPY t TO 'file.csv'   (table or view → CSV)
     kCopyFrom,  // COPY t FROM 'file.csv' (CSV rows inserted into table)
@@ -87,7 +93,9 @@ struct Statement {
   std::vector<std::pair<std::string, Value>> assignments;  // UPDATE SET
   std::vector<std::string> tables;                   // ASSERTION ON list
   std::string path;                                  // COPY file path
-  bool json = false;                                 // SHOW STATS JSON
+  bool json = false;             // SHOW STATS JSON / SHOW TRACE JSON
+  bool trace_on = false;         // TRACE ON vs TRACE OFF
+  std::vector<Statement> inner;  // EXPLAIN MAINTENANCE wrapped DML (size 1)
 };
 
 /// Parses a `;`-separated script into statements.  Throws `Error` with an

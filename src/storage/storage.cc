@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 #include "sql/engine.h"
 #include "storage/checkpoint.h"
 #include "storage/recovery.h"
@@ -94,6 +96,9 @@ void Storage::Attach(sql::Engine& engine) {
 
 void Storage::Checkpoint() {
   MVIEW_CHECK(engine_ != nullptr && wal_ != nullptr, "storage not attached");
+  static const uint32_t kCheckpointName =
+      obs::Tracer::Global().InternName("checkpoint");
+  obs::TraceSpan span(kCheckpointName);
   Stopwatch timer;
   uint64_t lsn = wal_->stats().durable_lsn;
   storage::WriteCheckpoint(checkpoint_path(), lsn, engine_->database(),
@@ -149,6 +154,14 @@ void Storage::SyncWalMetrics() {
   m.wal_fsyncs = s.fsyncs;
   m.fsync_nanos = s.fsync_nanos;
   m.batch_commits = s.batch_commits;
+  m.fsync_latency = s.fsync_latency;
+}
+
+std::string Storage::ExportMetricsText() {
+  if (engine_ == nullptr) return "";
+  SyncWalMetrics();
+  engine_->views().SyncPoolMetrics();
+  return obs::ExportPrometheus(engine_->views().metrics());
 }
 
 }  // namespace mview

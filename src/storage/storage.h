@@ -93,6 +93,11 @@ class Storage {
   /// `SHOW WAL` prints.
   storage::WalStats wal_stats() const;
 
+  /// Prometheus text-format (exposition 0.0.4) rendering of the attached
+  /// engine's full metrics registry, WAL counters synced first.  Empty
+  /// when not attached.  Suitable as a `/metrics` scrape body.
+  std::string ExportMetricsText();
+
  private:
   friend class sql::Engine;
 

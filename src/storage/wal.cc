@@ -9,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace mview::storage {
@@ -361,6 +362,11 @@ void Wal::ThrowIfFailed() const {
 }
 
 uint64_t Wal::Append(const TransactionEffect& effect) {
+  static const uint32_t kAppendName =
+      obs::Tracer::Global().InternName("wal_append");
+  // Covers enqueue + group-commit wait: the span ends when the record is
+  // durable, so its extent is the commit's durability latency.
+  obs::TraceSpan span(kAppendName);
   std::unique_lock<std::mutex> lk(mu_);
   ThrowIfFailed();
   uint64_t lsn = next_lsn_++;
@@ -399,14 +405,22 @@ void Wal::LeadBatch(std::unique_lock<std::mutex>& lk) {
   uint64_t batch_last = durable_lsn_ + take;
 
   lk.unlock();
+  static const uint32_t kFsyncName =
+      obs::Tracer::Global().InternName("wal_fsync");
+  static const uint32_t kBatchArg =
+      obs::Tracer::Global().InternName("batch_commits");
   int64_t nanos = 0;
   bool ok = true;
   std::string error;
-  try {
-    nanos = WriteAndSync(batch);
-  } catch (const Error& e) {
-    ok = false;
-    error = e.what();
+  {
+    obs::TraceSpan span(kFsyncName);
+    span.SetArg(kBatchArg, static_cast<int64_t>(take));
+    try {
+      nanos = WriteAndSync(batch);
+    } catch (const Error& e) {
+      ok = false;
+      error = e.what();
+    }
   }
   lk.lock();
 
@@ -422,6 +436,7 @@ void Wal::LeadBatch(std::unique_lock<std::mutex>& lk) {
     stats_.bytes_appended += static_cast<int64_t>(batch.size());
     ++stats_.fsyncs;
     stats_.fsync_nanos += nanos;
+    stats_.fsync_latency.Record(nanos);
     stats_.batch_commits.Record(static_cast<int64_t>(take));
   }
   cv_durable_.notify_all();

@@ -110,6 +110,7 @@ struct WalStats {
   int64_t records_replayed = 0;  // recovered at open
   int64_t truncated_bytes = 0;   // torn tail dropped at open
   SizeHistogram batch_commits;   // commits coalesced per fsync batch
+  obs::LatencyHistogram fsync_latency;  // write+fsync wall time per batch
 };
 
 /// An fsync-batched append-only log of committed transaction effects.

@@ -2,15 +2,17 @@
 
 namespace mview {
 
-Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-
-void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
-
-int64_t Stopwatch::ElapsedNanos() const {
+int64_t Stopwatch::NowNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now() - start_)
+             std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+Stopwatch::Stopwatch() : start_nanos_(NowNanos()) {}
+
+void Stopwatch::Restart() { start_nanos_ = NowNanos(); }
+
+int64_t Stopwatch::ElapsedNanos() const { return NowNanos() - start_nanos_; }
 
 double Stopwatch::ElapsedSeconds() const {
   return static_cast<double>(ElapsedNanos()) * 1e-9;

@@ -8,8 +8,18 @@ namespace mview {
 
 /// Monotonic wall-clock stopwatch used by the maintenance statistics and the
 /// paper-style summary tables printed by the benchmark binaries.
+///
+/// Every reading is taken from `std::chrono::steady_clock` and stored as
+/// nanoseconds since the clock's (process-wide) epoch, so timestamps taken
+/// on different threads are mutually ordered and can never go backwards —
+/// the property the tracer relies on when it stitches per-thread span
+/// streams into one commit timeline.
 class Stopwatch {
  public:
+  /// Current steady-clock reading in nanoseconds.  Comparable across
+  /// threads; the span recorder timestamps with this directly.
+  static int64_t NowNanos();
+
   /// Creates a running stopwatch.
   Stopwatch();
 
@@ -23,7 +33,7 @@ class Stopwatch {
   double ElapsedSeconds() const;
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  int64_t start_nanos_;
 };
 
 }  // namespace mview

@@ -1,7 +1,9 @@
 #include "util/thread_pool.h"
 
+#include <string>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace mview::util {
@@ -10,7 +12,11 @@ ThreadPool::ThreadPool(size_t num_workers) {
   MVIEW_CHECK(num_workers >= 1, "thread pool needs at least one worker");
   threads_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] {
+      obs::Tracer::Global().SetCurrentThreadName("pool-worker-" +
+                                                 std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -21,6 +27,15 @@ ThreadPool::~ThreadPool() {
   }
   task_available_.notify_all();
   for (auto& thread : threads_) thread.join();
+}
+
+ThreadPool::Gauges ThreadPool::gauges() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  Gauges g;
+  g.workers = threads_.size();
+  g.queued = queue_.size();
+  g.active = in_flight_ - queue_.size();
+  return g;
 }
 
 void ThreadPool::Submit(std::function<void()> task) {

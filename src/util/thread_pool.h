@@ -38,6 +38,19 @@ class ThreadPool {
 
   size_t num_workers() const { return threads_.size(); }
 
+  /// A consistent point-in-time sample of the pool's load, taken under the
+  /// pool mutex: `queued` tasks are waiting, `active` tasks are executing
+  /// on a worker right now (`queued + active` = in-flight batch size).
+  struct Gauges {
+    size_t workers = 0;
+    size_t queued = 0;
+    size_t active = 0;
+  };
+
+  /// Samples the current gauges.  Safe from any thread; surfaced by
+  /// `SHOW STATS` so parallel maintenance is no longer a black box.
+  Gauges gauges() const;
+
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
@@ -51,7 +64,7 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_available_;  // signals workers
   std::condition_variable batch_done_;      // signals WaitAll
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,117 @@
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace mview::obs {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum_nanos(), 0);
+  EXPECT_EQ(h.max_nanos(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.Quantile(0.99), 0);
+}
+
+TEST(LatencyHistogramTest, PowerOfTwoBucketing) {
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(4);
+  h.Record(7);
+  h.Record(8);
+  h.Record(-5);  // clamps to 0
+  EXPECT_EQ(h.count(), 8);
+  EXPECT_EQ(h.max_nanos(), 8);
+  EXPECT_EQ(h.bucket(0), 2);  // the two zeros
+  EXPECT_EQ(h.bucket(1), 1);  // 1
+  EXPECT_EQ(h.bucket(2), 2);  // 2, 3
+  EXPECT_EQ(h.bucket(3), 2);  // 4, 7
+  EXPECT_EQ(h.bucket(4), 1);  // 8
+}
+
+TEST(LatencyHistogramTest, BucketBounds) {
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(1), 1);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(2), 2);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(10), 512);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(0), 1);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(1), 2);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(10), 1024);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(LatencyHistogram::kBuckets - 1),
+            INT64_MAX);
+  // Bounds tile the line: every bucket starts where the previous ends.
+  for (size_t b = 1; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(b),
+              LatencyHistogram::BucketUpperBound(b - 1));
+  }
+}
+
+TEST(LatencyHistogramTest, HugeSampleLandsInLastBucket) {
+  LatencyHistogram h;
+  h.Record(int64_t{1} << 62);
+  EXPECT_EQ(h.bucket(LatencyHistogram::kBuckets - 1), 1);
+  EXPECT_EQ(h.max_nanos(), int64_t{1} << 62);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreOrderedAndCappedAtMax) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000);  // all in [512, 1024)
+  h.Record(100000);  // one outlier
+  int64_t p50 = h.Quantile(0.50);
+  int64_t p95 = h.Quantile(0.95);
+  int64_t p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max_nanos());
+  // p50 of 100 identical-bucket samples must land inside that bucket.
+  EXPECT_GE(p50, 512);
+  EXPECT_LT(p50, 1024);
+}
+
+TEST(LatencyHistogramTest, SingleSampleQuantileIsExactishAndCapped) {
+  LatencyHistogram h;
+  h.Record(700);
+  // One sample: every quantile is that sample (interpolation is capped at
+  // the observed max, so it cannot exceed 700).
+  EXPECT_LE(h.Quantile(0.5), 700);
+  EXPECT_GE(h.Quantile(0.5), 512);
+  EXPECT_EQ(h.Quantile(1.0), 700);
+}
+
+TEST(LatencyHistogramTest, Accumulation) {
+  LatencyHistogram a, b;
+  a.Record(10);
+  b.Record(10);
+  b.Record(5000);
+  a += b;
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.sum_nanos(), 5020);
+  EXPECT_EQ(a.max_nanos(), 5000);
+  EXPECT_EQ(a.bucket(4), 2);  // the two 10s in [8,16)
+}
+
+TEST(LatencyHistogramTest, ToJsonShape) {
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(1024);
+  std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum_nanos\": 1024"), std::string::npos);
+  EXPECT_NE(json.find("\"max_nanos\": 1024"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_nanos\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_nanos\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_nanos\":"), std::string::npos);
+  // Non-empty buckets keyed by lower bound; empty buckets omitted.
+  EXPECT_NE(json.find("\"0\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"1024\": 1"), std::string::npos);
+  EXPECT_EQ(json.find("\"512\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mview::obs

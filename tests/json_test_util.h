@@ -1,0 +1,212 @@
+#ifndef MVIEW_TESTS_JSON_TEST_UTIL_H_
+#define MVIEW_TESTS_JSON_TEST_UTIL_H_
+
+// A minimal recursive-descent JSON parser for tests that validate the
+// engine's JSON outputs (SHOW STATS JSON, SHOW TRACE JSON).  Strict enough
+// to reject malformed documents; not a production parser.
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mview::testjson {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool Has(const std::string& key) const { return object.count(key) > 0; }
+  const JsonValue& At(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) {
+      throw std::runtime_error("missing JSON key: " + key);
+    }
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  static JsonValue Parse(const std::string& text) {
+    JsonParser p(text);
+    JsonValue v = p.ParseValue();
+    p.SkipSpace();
+    if (p.pos_ != text.size()) {
+      throw std::runtime_error("trailing bytes after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at byte " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = ParseString();
+      return v;
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(c == 't');
+    if (c == 'n') {
+      ExpectWord("null");
+      return JsonValue{};
+    }
+    return ParseNumber();
+  }
+
+  void ExpectWord(const std::string& word) {
+    SkipSpace();
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      throw std::runtime_error("expected " + word);
+    }
+    pos_ += word.size();
+  }
+
+  JsonValue ParseKeyword(bool value) {
+    ExpectWord(value ? "true" : "false");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = value;
+    return v;
+  }
+
+  JsonValue ParseNumber() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      size_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) throw std::runtime_error("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) throw std::runtime_error("bad fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) throw std::runtime_error("bad exponent");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            pos_ += 4;  // tests never need the decoded code point
+            out.push_back('?');
+            break;
+          default:
+            throw std::runtime_error("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (Consume('}')) return v;
+    while (true) {
+      std::string key = ParseString();
+      Expect(':');
+      v.object.emplace(std::move(key), ParseValue());
+      if (Consume('}')) return v;
+      Expect(',');
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (Consume(']')) return v;
+    while (true) {
+      v.array.push_back(ParseValue());
+      if (Consume(']')) return v;
+      Expect(',');
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mview::testjson
+
+#endif  // MVIEW_TESTS_JSON_TEST_UTIL_H_

@@ -71,12 +71,56 @@ TEST(MetricsRegistryTest, PerViewEntriesAndAggregate) {
   EXPECT_EQ(total.phases.filter_nanos, 30);
 }
 
-TEST(MetricsRegistryTest, EraseForgets) {
+TEST(MetricsRegistryTest, RemoveForgets) {
   MetricsRegistry registry;
   registry.ForView("a");
-  registry.Erase("a");
+  registry.Remove("a");
   EXPECT_EQ(registry.Find("a"), nullptr);
-  registry.Erase("a");  // no-op
+  registry.Remove("a");  // no-op
+}
+
+TEST(MetricsRegistryTest, RemoveFoldsCountersIntoRetired) {
+  MetricsRegistry registry;
+  ViewMetrics& a = registry.ForView("a");
+  a.stats.transactions = 5;
+  a.phases.filter_nanos = 100;
+  a.delta_sizes.Record(4);
+  registry.Remove("a");
+  EXPECT_EQ(registry.retired().stats.transactions, 5);
+  EXPECT_EQ(registry.retired().phases.filter_nanos, 100);
+  EXPECT_EQ(registry.retired().delta_sizes.total_samples(), 1);
+  // The live aggregate no longer includes the dropped view.
+  EXPECT_EQ(registry.Aggregate().stats.transactions, 0);
+}
+
+// Regression for the DROP VIEW accounting hole: after arbitrary
+// register/drop churn, Aggregate() must equal the sum over live views
+// exactly (dropped views' work lives in retired(), not in the aggregate).
+TEST(MetricsRegistryTest, AggregateEqualsSumOfLiveViewsAfterChurn) {
+  MetricsRegistry registry;
+  int64_t retired_transactions = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      std::string name = "v" + std::to_string(round) + "_" + std::to_string(i);
+      ViewMetrics& m = registry.ForView(name);
+      m.stats.transactions = round * 10 + i;
+      m.phases.differential_nanos = i * 7;
+    }
+    // Drop one view per round.
+    std::string victim = "v" + std::to_string(round) + "_1";
+    retired_transactions += registry.Find(victim)->stats.transactions;
+    registry.Remove(victim);
+    int64_t live_transactions = 0;
+    int64_t live_differential = 0;
+    for (const auto& name : registry.ViewNames()) {
+      live_transactions += registry.Find(name)->stats.transactions;
+      live_differential += registry.Find(name)->phases.differential_nanos;
+    }
+    ViewMetrics total = registry.Aggregate();
+    EXPECT_EQ(total.stats.transactions, live_transactions);
+    EXPECT_EQ(total.phases.differential_nanos, live_differential);
+    EXPECT_EQ(registry.retired().stats.transactions, retired_transactions);
+  }
 }
 
 TEST(MetricsRegistryTest, ToJsonShape) {

@@ -1,0 +1,145 @@
+// Golden-schema test for `SHOW STATS JSON`: the document must stay a
+// parseable JSON object with the keys downstream dashboards scrape.  Keys
+// may be added; removing or renaming one must fail here.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "json_test_util.h"
+#include "sql/engine.h"
+#include "storage/storage.h"
+
+namespace mview {
+namespace {
+
+using testjson::JsonParser;
+using testjson::JsonValue;
+
+void ExpectViewMetricsShape(const JsonValue& v, const std::string& where) {
+  SCOPED_TRACE(where);
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  for (const char* key :
+       {"transactions", "skipped_irrelevant", "updates_seen",
+        "updates_filtered", "rows_enumerated", "rows_evaluated",
+        "delta_inserts", "delta_deletes", "full_reevaluations", "refreshes",
+        "maintenance_nanos", "cache_hits", "cache_misses", "cache_evictions",
+        "cache_bytes", "filter_nanos", "differential_nanos", "apply_nanos"}) {
+    ASSERT_TRUE(v.Has(key)) << "missing per-view key: " << key;
+    EXPECT_EQ(v.At(key).kind, JsonValue::Kind::kNumber) << key;
+  }
+  ASSERT_TRUE(v.Has("delta_size_histogram"));
+  for (const char* key :
+       {"filter_latency", "differential_latency", "apply_latency"}) {
+    ASSERT_TRUE(v.Has(key)) << "missing histogram key: " << key;
+    const JsonValue& h = v.At(key);
+    ASSERT_EQ(h.kind, JsonValue::Kind::kObject) << key;
+    for (const char* hk : {"count", "sum_nanos", "max_nanos", "p50_nanos",
+                           "p95_nanos", "p99_nanos", "buckets"}) {
+      EXPECT_TRUE(h.Has(hk)) << key << " missing " << hk;
+    }
+  }
+}
+
+TEST(StatsJsonTest, GoldenSchema) {
+  std::string dir = ::testing::TempDir() + "/mview_stats_json_" +
+                    std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  {
+    auto storage = Storage::Open(dir);
+    sql::Engine engine(storage.get());
+    engine.views().SetParallelism(2);
+    engine.ExecuteScript(
+        "CREATE TABLE r (a INT64, b INT64);"
+        "CREATE TABLE s (b INT64, c INT64);"
+        "CREATE MATERIALIZED VIEW v AS SELECT * FROM r, s WHERE r.b = s.b;"
+        "CREATE MATERIALIZED VIEW w AS SELECT * FROM r WHERE a < 100;"
+        "CREATE MATERIALIZED VIEW dropped AS SELECT * FROM r WHERE a > 5;"
+        "INSERT INTO s VALUES (1, 10), (2, 20);"
+        "INSERT INTO r VALUES (1, 1), (2, 2), (3, 3);"
+        "DELETE FROM r WHERE a = 3;"
+        "DROP VIEW dropped;"  // retired metrics must surface, not vanish
+        "CHECKPOINT;");
+
+    sql::Engine::Result result = engine.Execute("SHOW STATS JSON");
+    ASSERT_EQ(result.kind, sql::Engine::Result::Kind::kMessage);
+    JsonValue doc = JsonParser::Parse(result.message);
+    ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+
+    // Commit scope.
+    for (const char* key : {"commits", "normalize_nanos", "base_apply_nanos"}) {
+      ASSERT_TRUE(doc.Has(key)) << key;
+      EXPECT_EQ(doc.At(key).kind, JsonValue::Kind::kNumber) << key;
+    }
+    EXPECT_GT(doc.At("commits").number, 0);
+    ASSERT_TRUE(doc.Has("commit_latency"));
+    EXPECT_GT(doc.At("commit_latency").At("count").number, 0);
+
+    // Storage scope.
+    const JsonValue& storage_json = doc.At("storage");
+    for (const char* key :
+         {"wal_appends", "wal_fsyncs", "wal_bytes", "fsync_nanos",
+          "checkpoints", "checkpoint_nanos", "replayed_records",
+          "batch_commits_histogram", "fsync_latency"}) {
+      ASSERT_TRUE(storage_json.Has(key)) << key;
+    }
+    EXPECT_GT(storage_json.At("wal_appends").number, 0);
+    EXPECT_GT(storage_json.At("fsync_latency").At("count").number, 0);
+
+    // Pool gauges.
+    const JsonValue& pool = doc.At("pool");
+    EXPECT_EQ(pool.At("workers").number, 2);
+    EXPECT_GE(pool.At("queue_depth").number, 0);
+    EXPECT_GE(pool.At("active_workers").number, 0);
+
+    // Aggregate, retired, and per-view scopes share the view shape.
+    ExpectViewMetricsShape(doc.At("global"), "global");
+    ExpectViewMetricsShape(doc.At("retired"), "retired");
+    const JsonValue& views = doc.At("views");
+    ASSERT_EQ(views.kind, JsonValue::Kind::kObject);
+    ASSERT_TRUE(views.Has("v"));
+    ASSERT_TRUE(views.Has("w"));
+    EXPECT_FALSE(views.Has("dropped"));
+    ExpectViewMetricsShape(views.At("v"), "views.v");
+    ExpectViewMetricsShape(views.At("w"), "views.w");
+    // The dropped view did work before being dropped; it must be retired.
+    EXPECT_GT(doc.At("retired").At("transactions").number, 0);
+    // Live views recorded per-phase latency histograms.
+    EXPECT_GT(views.At("v").At("differential_latency").At("count").number, 0);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StatsJsonTest, InMemoryEngineParsesToo) {
+  sql::Engine engine;
+  engine.ExecuteScript(
+      "CREATE TABLE t (a INT64);"
+      "CREATE MATERIALIZED VIEW v AS SELECT * FROM t WHERE a < 10;"
+      "INSERT INTO t VALUES (1);");
+  JsonValue doc = JsonParser::Parse(engine.Execute("SHOW STATS JSON").message);
+  EXPECT_EQ(doc.At("storage").At("wal_appends").number, 0);
+  EXPECT_EQ(doc.At("pool").At("workers").number, 0);
+  EXPECT_GT(doc.At("views").At("v").At("transactions").number, 0);
+}
+
+TEST(StatsJsonTest, LongFormatCarriesPoolGauges) {
+  sql::Engine engine;
+  engine.views().SetParallelism(3);
+  engine.ExecuteScript("CREATE TABLE t (a INT64);");
+  sql::Engine::Result result = engine.Execute("SHOW STATS");
+  ASSERT_EQ(result.kind, sql::Engine::Result::Kind::kRows);
+  bool saw_workers = false;
+  for (const auto& [tuple, count] : result.rows) {
+    if (tuple.at(1).AsString() == "pool_workers") {
+      saw_workers = true;
+      EXPECT_EQ(tuple.at(2).AsInt64(), 3);
+    }
+  }
+  EXPECT_TRUE(saw_workers);
+}
+
+}  // namespace
+}  // namespace mview
