@@ -1,10 +1,41 @@
 #include "ivm/differential.h"
 
+#include <optional>
+
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace mview {
+namespace {
+
+/// Exception-safe wrapper of the join-cache round protocol: the destructor
+/// aborts a round that never reached `Commit()`, so a throw anywhere
+/// between `BeginRound` and `EndRound` (planner failure, injected fault,
+/// bad_alloc) cannot leave the cache with a round open and half-repaired
+/// entries that the *next* round would then silently discard mid-state.
+class JoinCacheRoundGuard {
+ public:
+  /// Construct *before* `BeginRound` so even a throw from inside the
+  /// repair itself (after the round flag is set) unwinds through the
+  /// abort.
+  explicit JoinCacheRoundGuard(JoinStateCache* cache) : cache_(cache) {}
+  ~JoinCacheRoundGuard() {
+    if (cache_->round_active()) cache_->AbortRound();
+  }
+
+  /// Applies the round's inserts and closes it normally.
+  void Commit() { cache_->EndRound(); }
+
+  JoinCacheRoundGuard(const JoinCacheRoundGuard&) = delete;
+  JoinCacheRoundGuard& operator=(const JoinCacheRoundGuard&) = delete;
+
+ private:
+  JoinStateCache* cache_;
+};
+
+}  // namespace
 
 PhaseBreakdown& PhaseBreakdown::operator+=(const PhaseBreakdown& o) {
   normalize_nanos += o.normalize_nanos;
@@ -25,6 +56,8 @@ MaintenanceStats& MaintenanceStats::operator+=(const MaintenanceStats& o) {
   delta_deletes += o.delta_deletes;
   full_reevaluations += o.full_reevaluations;
   refreshes += o.refreshes;
+  quarantines += o.quarantines;
+  repairs += o.repairs;
   maintenance_nanos += o.maintenance_nanos;
   cache_hits += o.cache_hits;
   cache_misses += o.cache_misses;
@@ -122,6 +155,7 @@ ViewDelta DifferentialMaintainer::ComputeDelta(const TransactionEffect& effect,
   // unfiltered inserts are replayed (through each entry's stored local
   // filters) when the round closes.
   JoinCacheCounters before;
+  std::optional<JoinCacheRoundGuard> round;
   if (join_cache_ != nullptr) {
     before = join_cache_->counters();
     std::vector<JoinStateCache::SlotUpdate> slots(def_.bases().size());
@@ -133,11 +167,12 @@ ViewDelta DifferentialMaintainer::ComputeDelta(const TransactionEffect& effect,
                   re != nullptr ? &re->inserts : nullptr};
     }
     obs::TraceSpan repair_span(kCacheRepairName);
+    round.emplace(join_cache_.get());
     join_cache_->BeginRound(std::move(slots));
   }
   ViewDelta delta = EvaluateParts(parts, stats, join_cache_ != nullptr);
   if (join_cache_ != nullptr) {
-    join_cache_->EndRound();
+    round->Commit();
     if (stats != nullptr) {
       const JoinCacheCounters& after = join_cache_->counters();
       stats->cache_hits += after.hits - before.hits;
@@ -157,9 +192,21 @@ ViewDelta DifferentialMaintainer::ComputeDeltaFromParts(
   return EvaluateParts(parts, stats, /*bind_join_cache=*/false);
 }
 
+void DifferentialMaintainer::ResetJoinCache() {
+  if (options_.enable_join_cache) {
+    join_cache_ =
+        std::make_unique<JoinStateCache>(options_.join_cache_budget_bytes);
+  }
+}
+
 ViewDelta DifferentialMaintainer::EvaluateParts(
     const std::vector<BaseParts>& parts, MaintenanceStats* stats,
     bool bind_join_cache) const {
+  // Covers the delta paths — commit-time rows and deferred refresh both
+  // funnel through here.  `FullEvaluate` deliberately does not: it is the
+  // recovery oracle, and a point there would let a sticky fault block the
+  // repair it is supposed to exercise.
+  MVIEW_FAULT_POINT("differential.eval");
   MVIEW_CHECK(parts.size() == def_.bases().size(),
               "expected one BaseParts per base occurrence");
   size_t n = def_.bases().size();

@@ -78,6 +78,8 @@ struct MaintenanceStats {
   int64_t delta_deletes = 0;         // view tuples deleted (multiplicity)
   int64_t full_reevaluations = 0;
   int64_t refreshes = 0;             // deferred-mode refresh operations
+  int64_t quarantines = 0;           // times this view entered quarantine
+  int64_t repairs = 0;               // successful heals (full recompute)
   int64_t maintenance_nanos = 0;     // time spent maintaining this view
   // Join-state cache activity.  The first three are cumulative counters;
   // `cache_bytes` is a gauge overwritten with the cache's current size
@@ -167,6 +169,12 @@ class DifferentialMaintainer {
 
   /// This view's join-state cache shard (null when disabled).
   const JoinStateCache* join_cache() const { return join_cache_.get(); }
+
+  /// Discards every cached join table (fresh empty shard, same budget).
+  /// Called when the view's materialization is rebuilt outside the normal
+  /// delta path (quarantine/repair): the cached tables may mirror a state
+  /// the failure left inconsistent, and a cold rebuild is always safe.
+  void ResetJoinCache();
 
  private:
   ViewDelta EvaluateParts(const std::vector<BaseParts>& parts,

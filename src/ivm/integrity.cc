@@ -1,6 +1,7 @@
 #include "ivm/integrity.h"
 
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace mview {
@@ -44,6 +45,9 @@ bool IntegrityGuard::ComputeViolationDeltas(
     const TransactionEffect& effect,
     std::vector<std::pair<Assertion*, ViewDelta>>* deltas,
     std::vector<Violation>* violations) {
+  // Fires before any delta is computed: a failing precheck must reject the
+  // transaction with the database and every error view untouched.
+  MVIEW_FAULT_POINT("integrity.precheck");
   bool any_new = false;
   for (auto& [name, assertion] : assertions_) {
     if (!assertion.maintainer->AffectedBy(effect)) continue;

@@ -82,6 +82,8 @@ std::string ViewMetrics::ToJson() const {
      << ", \"delta_deletes\": " << stats.delta_deletes
      << ", \"full_reevaluations\": " << stats.full_reevaluations
      << ", \"refreshes\": " << stats.refreshes
+     << ", \"quarantines\": " << stats.quarantines
+     << ", \"repairs\": " << stats.repairs
      << ", \"maintenance_nanos\": " << stats.maintenance_nanos
      << ", \"cache_hits\": " << stats.cache_hits
      << ", \"cache_misses\": " << stats.cache_misses
@@ -101,6 +103,16 @@ std::string PoolMetrics::ToJson() const {
   std::ostringstream os;
   os << "{\"workers\": " << workers << ", \"queue_depth\": " << queue_depth
      << ", \"active_workers\": " << active_workers << "}";
+  return os.str();
+}
+
+std::string ScrubMetrics::ToJson() const {
+  std::ostringstream os;
+  os << "{\"views_scrubbed\": " << views_scrubbed
+     << ", \"views_clean\": " << views_clean
+     << ", \"views_drifted\": " << views_drifted
+     << ", \"drift_tuples\": " << drift_tuples
+     << ", \"repairs\": " << repairs << "}";
   return os.str();
 }
 
@@ -157,6 +169,7 @@ std::string MetricsRegistry::ToJson() const {
      << ", \"commit_latency\": " << commit_.commit_latency.ToJson()
      << ", \"storage\": " << storage_.ToJson()
      << ", \"pool\": " << pool_.ToJson()
+     << ", \"scrub\": " << scrub_.ToJson()
      << ", \"global\": " << Aggregate().ToJson()
      << ", \"retired\": " << retired_.ToJson() << ", \"views\": {";
   bool first = true;

@@ -115,6 +115,20 @@ struct StorageMetrics {
   std::string ToJson() const;
 };
 
+/// Cumulative counters of the online consistency scrubber, exported under
+/// the "scrub" key of `SHOW STATS JSON` and as the `mview_scrub_*`
+/// Prometheus families.  Written by the `Scrubber` on the engine thread.
+struct ScrubMetrics {
+  int64_t views_scrubbed = 0;  // scrub passes over individual views
+  int64_t views_clean = 0;
+  int64_t views_drifted = 0;   // passes that found drift
+  int64_t drift_tuples = 0;    // total |missing| + |extra| multiplicity
+  int64_t repairs = 0;         // auto-repairs that succeeded
+
+  /// `{"views_scrubbed": …, …}`.
+  std::string ToJson() const;
+};
+
 /// Per-view + global maintenance metrics for one `ViewManager`.
 ///
 /// The registry is keyed by view name and hands out stable `ViewMetrics`
@@ -149,6 +163,9 @@ class MetricsRegistry {
   PoolMetrics& pool() { return pool_; }
   const PoolMetrics& pool() const { return pool_; }
 
+  ScrubMetrics& scrub() { return scrub_; }
+  const ScrubMetrics& scrub() const { return scrub_; }
+
   /// Metrics accumulated by views dropped since session start.
   const ViewMetrics& retired() const { return retired_; }
 
@@ -168,6 +185,7 @@ class MetricsRegistry {
   CommitMetrics commit_;
   StorageMetrics storage_;
   PoolMetrics pool_;
+  ScrubMetrics scrub_;
 };
 
 }  // namespace mview

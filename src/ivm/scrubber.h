@@ -1,0 +1,97 @@
+#ifndef MVIEW_IVM_SCRUBBER_H_
+#define MVIEW_IVM_SCRUBBER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ivm/metrics.h"
+#include "ivm/view_manager.h"
+#include "relational/tuple.h"
+
+namespace mview {
+
+/// Knobs for one scrub pass.
+struct ScrubOptions {
+  /// When drift is found, quarantine the view and immediately repair it
+  /// (full recompute + double-evaluation verification).  Off by default:
+  /// a scrub is a diagnostic read, healing is opt-in (`SCRUB … REPAIR`).
+  bool auto_repair = false;
+
+  /// Upper bound on divergent tuples recorded per view in the report
+  /// (the drift *counts* are always exact).
+  size_t max_samples = 10;
+};
+
+/// One divergent tuple: the recomputed truth says `expected`, the live
+/// materialization holds `actual`.
+struct ScrubDrift {
+  Tuple tuple;
+  int64_t expected = 0;
+  int64_t actual = 0;
+};
+
+/// The scrub outcome for one view.
+struct ViewScrubResult {
+  std::string view;
+
+  /// The view was quarantined before the scrub — its materialization is
+  /// already known-untrusted, so there is nothing meaningful to diff.
+  bool quarantined = false;
+
+  bool clean = true;      // no drift (always true when `quarantined`)
+  int64_t missing = 0;    // multiplicity the materialization lacks
+  int64_t extra = 0;      // multiplicity it holds beyond the truth
+  bool repaired = false;  // auto-repair ran and verified
+  std::string repair_error;  // auto-repair threw; view left quarantined
+  std::vector<ScrubDrift> samples;
+};
+
+/// A full scrub pass over one or more views.
+struct ScrubReport {
+  std::vector<ViewScrubResult> views;
+
+  bool AllClean() const {
+    for (const auto& v : views) {
+      if (v.quarantined || !v.clean) return false;
+    }
+    return true;
+  }
+};
+
+/// The online consistency scrubber: recomputes a view's contents from the
+/// current base state (the paper's full re-evaluation — the definitionally
+/// correct answer) and diffs the result against the live materialization.
+/// Zero drift is the invariant differential maintenance promises; any
+/// divergence means a maintenance bug or an unnoticed partial failure.
+///
+/// A *stale deferred* view is not drift: the scrubber computes the delta
+/// its pending backlog would apply (exactly what `Refresh` would do) and
+/// compares against the stale expectation, so `SCRUB` never punishes a
+/// view for the staleness its mode permits.
+///
+/// Runs on the engine thread between commits (the single-writer model is
+/// the snapshot), reads the materialization raw — a scrub of a healthy
+/// view never throws `ViewQuarantinedError` — and mutates nothing unless
+/// `auto_repair` is set.
+class Scrubber {
+ public:
+  /// `views` must outlive the scrubber; `metrics` (optional) receives the
+  /// cumulative counters.
+  explicit Scrubber(ViewManager* views, ScrubMetrics* metrics = nullptr);
+
+  /// Scrubs one view.  Throws `Error` on unknown names.
+  ViewScrubResult ScrubView(const std::string& name,
+                            const ScrubOptions& options = ScrubOptions{});
+
+  /// Scrubs every registered view, in name order.
+  ScrubReport ScrubAll(const ScrubOptions& options = ScrubOptions{});
+
+ private:
+  ViewManager* views_;
+  ScrubMetrics* metrics_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_IVM_SCRUBBER_H_

@@ -2,9 +2,43 @@
 
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace mview {
+namespace {
+
+/// Whether the failure behind `error` warrants automatic repair retries.
+/// Only plain `IoError` qualifies (a transient durability hiccup);
+/// corruption, logic errors, and allocation failures are sticky.
+bool IsTransientFailure(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const CorruptionError&) {
+    return false;
+  } catch (const IoError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string DescribeFailure(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+// Automatic-repair policy for transient quarantines: retry after 1 commit,
+// then 2, then 4; after `kMaxRepairAttempts` failed retries the quarantine
+// becomes sticky and only an explicit repair can heal the view.
+constexpr int64_t kMaxRepairAttempts = 3;
+
+}  // namespace
 
 ViewManager::ViewManager(Database* db, size_t parallelism) : db_(db) {
   MVIEW_CHECK(db_ != nullptr, "null database");
@@ -34,6 +68,7 @@ void ViewManager::RegisterView(ViewDefinition def, MaintenanceMode mode,
   }
 
   auto view = std::make_unique<ManagedView>();
+  view->name = name;
   view->mode = mode;
   view->maintainer =
       std::make_unique<DifferentialMaintainer>(std::move(def), db_, options);
@@ -53,7 +88,8 @@ void ViewManager::RegisterView(ViewDefinition def, MaintenanceMode mode,
 void ViewManager::RestoreView(ViewDefinition def, MaintenanceMode mode,
                               MaintenanceOptions options,
                               CountedRelation materialized,
-                              std::vector<std::unique_ptr<BaseDeltaLog>> pending) {
+                              std::vector<std::unique_ptr<BaseDeltaLog>> pending,
+                              RestoredHealth health) {
   const std::string name = def.name();
   MVIEW_CHECK(views_.count(name) == 0, "view already registered: ", name);
   def.Validate(*db_);
@@ -65,7 +101,11 @@ void ViewManager::RestoreView(ViewDefinition def, MaintenanceMode mode,
   }
 
   auto view = std::make_unique<ManagedView>();
+  view->name = name;
   view->mode = mode;
+  view->quarantined = health.quarantined;
+  view->quarantine_reason = std::move(health.reason);
+  view->quarantine_sticky = health.sticky;
   view->maintainer =
       std::make_unique<DifferentialMaintainer>(std::move(def), db_, options);
   view->materialized = std::move(materialized);
@@ -119,6 +159,26 @@ void ViewManager::ComputeJob(CommitJob* job, const TransactionEffect& effect) {
   ++m.stats.transactions;
   obs::TraceSpan span(view->span_name_id);
   Stopwatch timer;
+  try {
+    // Fires before this view's delta is computed — the "worker blew up
+    // before producing anything" shape of maintenance failure.
+    MVIEW_FAULT_POINT("viewmgr.differential.pre_apply");
+    ComputeJobBody(job, effect, kDeltaRowsArg, span);
+  } catch (...) {
+    // Captured, not propagated: the serial phase quarantines this view
+    // while bases and sibling views commit normally.
+    job->error = std::current_exception();
+    job->delta.reset();
+  }
+  m.stats.maintenance_nanos += timer.ElapsedNanos();
+}
+
+void ViewManager::ComputeJobBody(CommitJob* job,
+                                 const TransactionEffect& effect,
+                                 uint32_t delta_rows_arg,
+                                 obs::TraceSpan& span) {
+  ManagedView* view = job->view;
+  ViewMetrics& m = *view->metrics;
   switch (view->mode) {
     case MaintenanceMode::kImmediate: {
       const int64_t filter_before = m.phases.filter_nanos;
@@ -131,7 +191,7 @@ void ViewManager::ComputeJob(CommitJob* job, const TransactionEffect& effect) {
       if (delta.Empty()) {
         ++m.stats.skipped_irrelevant;
       } else {
-        span.SetArg(kDeltaRowsArg, delta.TotalCount());
+        span.SetArg(delta_rows_arg, delta.TotalCount());
         job->delta = std::make_unique<ViewDelta>(std::move(delta));
       }
       break;
@@ -147,7 +207,6 @@ void ViewManager::ComputeJob(CommitJob* job, const TransactionEffect& effect) {
     case MaintenanceMode::kFullReevaluation:
       break;  // recomputed after the effect lands
   }
-  m.stats.maintenance_nanos += timer.ElapsedNanos();
 }
 
 void ViewManager::ApplyEffect(const TransactionEffect& effect) {
@@ -157,24 +216,33 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
       obs::Tracer::Global().InternName("serial_apply");
   if (effect.Empty()) return;
   ++metrics_.commit().commits;
+  ++commit_seq_;
   Stopwatch commit_timer;
+
+  // Heal transient-quarantined views whose backoff has elapsed while the
+  // database still holds the pre-state; a view repaired here participates
+  // in this commit like any healthy sibling.
+  RetryTransientQuarantines();
 
   // Phase 2 (after the caller's phase-1 normalize): per affected view,
   // filter + differential against the immutable pre-state (assumption (a)
   // of Section 5: base-relation contents before the transaction).  The
   // jobs only read the database and only write their own view's state, so
-  // they fan out across the pool when one is configured.
+  // they fan out across the pool when one is configured.  Quarantined
+  // views are skipped: their materialization is untrusted, so a delta
+  // against it is meaningless — repair recomputes from the bases.
   std::vector<CommitJob> jobs;
   for (auto& [name, view] : views_) {
+    if (view->quarantined) continue;
     if (!view->maintainer->AffectedBy(effect)) continue;
-    jobs.push_back(CommitJob{view.get(), nullptr});
+    jobs.push_back(CommitJob{view.get(), nullptr, nullptr});
   }
   if (pool_ != nullptr && jobs.size() > 1) {
     for (auto& job : jobs) {
       pool_->Submit([this, &job, &effect] { ComputeJob(&job, effect); });
     }
-    // Rethrows the first task error before anything is mutated, so a
-    // failed commit leaves bases and views untouched.
+    // ComputeJob captures its own failures into the job, so WaitAll
+    // returns normally even when a view's maintenance blew up.
     pool_->WaitAll();
   } else {
     for (auto& job : jobs) ComputeJob(&job, effect);
@@ -189,33 +257,156 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
   }
 
   // Phase 4: apply the deltas / recompute baselines, serially in name
-  // order (`jobs` follows the sorted `views_` map) for determinism.
+  // order (`jobs` follows the sorted `views_` map) for determinism.  A
+  // failure — captured in phase 2 or thrown here — quarantines its view
+  // and the loop moves on: the bases are already committed, and sibling
+  // views must not lose their deltas to someone else's fault.
   {
     obs::TraceSpan span(kSerialApplyName);
     for (auto& job : jobs) {
       ManagedView* view = job.view;
-      ViewMetrics& m = *view->metrics;
-      if (job.delta != nullptr) {
-        Stopwatch timer;
-        job.delta->ApplyTo(&view->materialized);
-        int64_t nanos = timer.ElapsedNanos();
-        m.phases.apply_nanos += nanos;
-        m.stats.maintenance_nanos += nanos;
-        m.apply_latency.Record(nanos);
-        m.delta_sizes.Record(job.delta->TotalCount());
+      if (job.error != nullptr) {
+        QuarantineFor(view, job.error);
+        continue;
       }
-      if (view->mode == MaintenanceMode::kFullReevaluation) {
-        Stopwatch timer;
-        view->materialized = view->maintainer->FullEvaluate(&m.stats.plan);
-        ++m.stats.full_reevaluations;
-        int64_t nanos = timer.ElapsedNanos();
-        m.phases.apply_nanos += nanos;
-        m.stats.maintenance_nanos += nanos;
-        m.apply_latency.Record(nanos);
+      ViewMetrics& m = *view->metrics;
+      try {
+        MVIEW_FAULT_POINT("viewmgr.apply.serial");
+        if (job.delta != nullptr) {
+          Stopwatch timer;
+          job.delta->ApplyTo(&view->materialized);
+          int64_t nanos = timer.ElapsedNanos();
+          m.phases.apply_nanos += nanos;
+          m.stats.maintenance_nanos += nanos;
+          m.apply_latency.Record(nanos);
+          m.delta_sizes.Record(job.delta->TotalCount());
+        }
+        if (view->mode == MaintenanceMode::kFullReevaluation) {
+          Stopwatch timer;
+          view->materialized = view->maintainer->FullEvaluate(&m.stats.plan);
+          ++m.stats.full_reevaluations;
+          int64_t nanos = timer.ElapsedNanos();
+          m.phases.apply_nanos += nanos;
+          m.stats.maintenance_nanos += nanos;
+          m.apply_latency.Record(nanos);
+        }
+      } catch (...) {
+        QuarantineFor(view, std::current_exception());
       }
     }
   }
   metrics_.commit().commit_latency.Record(commit_timer.ElapsedNanos());
+}
+
+void ViewManager::QuarantineFor(ManagedView* view,
+                                const std::exception_ptr& error) {
+  Quarantine(view->name, DescribeFailure(error), !IsTransientFailure(error));
+}
+
+void ViewManager::Quarantine(const std::string& name, const std::string& reason,
+                             bool sticky) {
+  ManagedView& view = GetView(name);
+  const bool was_quarantined = view.quarantined;
+  view.quarantined = true;
+  view.quarantine_reason = reason;
+  view.quarantine_sticky = view.quarantine_sticky || sticky;
+  if (!was_quarantined) {
+    ++view.metrics->stats.quarantines;
+    view.repair_attempts = 0;
+    view.next_retry_commit = commit_seq_ + 1;
+  }
+  // Drop derived state the failure may have left inconsistent: the cached
+  // join tables mirror a commit that never finished for this view, and the
+  // deferred backlog is dead weight once repair recomputes from the bases.
+  view.maintainer->ResetJoinCache();
+  for (auto& log : view.pending) log->Clear();
+  PublishHealthEvent({ViewHealthEvent::Kind::kQuarantine, name, reason,
+                      view.quarantine_sticky});
+}
+
+void ViewManager::Repair(const std::string& name) {
+  ManagedView& view = GetView(name);
+  ViewMetrics& m = *view.metrics;
+  Stopwatch timer;
+  // Lets tests fail the heal itself (exercising retry backoff and sticky
+  // escalation) without touching `FullEvaluate`, the recovery oracle.
+  MVIEW_FAULT_POINT("viewmgr.repair");
+  // Full recompute from the current base state — the paper's always-valid
+  // fallback.  Evaluate twice and require byte equality: a fault that
+  // perturbs evaluation itself must fail the repair, never install a
+  // wrong materialization as "healed".
+  CountedRelation result = view.maintainer->FullEvaluate(&m.stats.plan);
+  CountedRelation check = view.maintainer->FullEvaluate();
+  if (!result.SameContents(check)) {
+    throw Error("repair verification failed for view " + name +
+                ": two full evaluations disagree");
+  }
+  view.materialized = std::move(result);
+  view.maintainer->ResetJoinCache();
+  for (auto& log : view.pending) log->Clear();
+  const bool was_quarantined = view.quarantined;
+  view.quarantined = false;
+  view.quarantine_reason.clear();
+  view.quarantine_sticky = false;
+  view.repair_attempts = 0;
+  view.next_retry_commit = 0;
+  ++m.stats.repairs;
+  m.stats.maintenance_nanos += timer.ElapsedNanos();
+  if (was_quarantined) {
+    PublishHealthEvent({ViewHealthEvent::Kind::kRepair, name, "", false});
+  }
+}
+
+void ViewManager::RetryTransientQuarantines() {
+  for (auto& [name, view] : views_) {
+    ManagedView* v = view.get();
+    if (!v->quarantined || v->quarantine_sticky) continue;
+    if (commit_seq_ < v->next_retry_commit) continue;
+    try {
+      Repair(name);
+    } catch (...) {
+      ++v->repair_attempts;
+      if (v->repair_attempts >= kMaxRepairAttempts) {
+        // Retries exhausted: escalate to sticky so the failure stops
+        // burning a full recompute per commit; explicit REPAIR VIEW only.
+        v->quarantine_sticky = true;
+        PublishHealthEvent({ViewHealthEvent::Kind::kQuarantine, name,
+                            v->quarantine_reason, true});
+      } else {
+        // Exponential backoff in commits: retry after 2, then 4.
+        v->next_retry_commit =
+            commit_seq_ + (int64_t{1} << v->repair_attempts);
+      }
+    }
+  }
+}
+
+bool ViewManager::IsQuarantined(const std::string& name) const {
+  return GetView(name).quarantined;
+}
+
+std::vector<std::string> ViewManager::QuarantinedViews() const {
+  std::vector<std::string> names;
+  for (const auto& [name, view] : views_) {
+    if (view->quarantined) names.push_back(name);
+  }
+  return names;
+}
+
+void ViewManager::SetHealthListener(
+    std::function<void(const ViewHealthEvent&)> listener) {
+  health_listener_ = std::move(listener);
+}
+
+void ViewManager::PublishHealthEvent(const ViewHealthEvent& event) {
+  if (!health_listener_) return;
+  try {
+    health_listener_(event);
+  } catch (...) {
+    // Durability of health state is best-effort: a failing listener (e.g.
+    // a failed WAL) must not turn a contained view fault into a crash —
+    // recovery recomputes views correctly without the record.
+  }
 }
 
 void ViewManager::LogDeferred(ManagedView* view,
@@ -250,6 +441,9 @@ void ViewManager::LogDeferred(ManagedView* view,
 
 void ViewManager::RefreshView(const std::string& name, ManagedView* view) {
   (void)name;
+  // A quarantined view has no backlog to replay (quarantine cleared it);
+  // reads surface the quarantine, and repair rebuilds from the bases.
+  if (view->quarantined) return;
   if (view->mode != MaintenanceMode::kDeferred) return;
   bool stale = false;
   for (const auto& log : view->pending) {
@@ -258,25 +452,32 @@ void ViewManager::RefreshView(const std::string& name, ManagedView* view) {
   if (!stale) return;
   ViewMetrics& m = *view->metrics;
   Stopwatch timer;
-  // The database now holds the post-state; the clean old part of each base
-  // is r_now − inserts (= r_old − deletes).
-  std::vector<BaseParts> parts(view->pending.size());
-  for (size_t i = 0; i < view->pending.size(); ++i) {
-    const BaseDeltaLog& log = *view->pending[i];
-    if (log.Empty()) continue;
-    parts[i].inserts = &log.inserts();
-    parts[i].deletes = &log.deletes();
-    parts[i].subtract = &log.inserts();
+  try {
+    MVIEW_FAULT_POINT("viewmgr.refresh");
+    // The database now holds the post-state; the clean old part of each
+    // base is r_now − inserts (= r_old − deletes).
+    std::vector<BaseParts> parts(view->pending.size());
+    for (size_t i = 0; i < view->pending.size(); ++i) {
+      const BaseDeltaLog& log = *view->pending[i];
+      if (log.Empty()) continue;
+      parts[i].inserts = &log.inserts();
+      parts[i].deletes = &log.deletes();
+      parts[i].subtract = &log.inserts();
+    }
+    ViewDelta delta = view->maintainer->ComputeDeltaFromParts(parts, &m.stats);
+    m.phases.differential_nanos += timer.ElapsedNanos();
+    Stopwatch apply_timer;
+    delta.ApplyTo(&view->materialized);
+    m.phases.apply_nanos += apply_timer.ElapsedNanos();
+    m.delta_sizes.Record(delta.TotalCount());
+    for (auto& log : view->pending) log->Clear();
+    ++m.stats.refreshes;
+    m.stats.maintenance_nanos += timer.ElapsedNanos();
+  } catch (...) {
+    // Same containment as the commit pipeline: a failed refresh (possibly
+    // mid-apply) leaves the materialization untrusted — quarantine it.
+    QuarantineFor(view, std::current_exception());
   }
-  ViewDelta delta = view->maintainer->ComputeDeltaFromParts(parts, &m.stats);
-  m.phases.differential_nanos += timer.ElapsedNanos();
-  Stopwatch apply_timer;
-  delta.ApplyTo(&view->materialized);
-  m.phases.apply_nanos += apply_timer.ElapsedNanos();
-  m.delta_sizes.Record(delta.TotalCount());
-  for (auto& log : view->pending) log->Clear();
-  ++m.stats.refreshes;
-  m.stats.maintenance_nanos += timer.ElapsedNanos();
 }
 
 void ViewManager::Refresh(const std::string& name) {
@@ -299,10 +500,28 @@ ViewInfo ViewManager::Describe(const std::string& name) const {
     if (!log->Empty()) info.stale = true;
     info.pending_tuples += log->TotalTuples();
   }
+  info.quarantined = view.quarantined;
+  info.quarantine_reason = view.quarantine_reason;
+  info.quarantine_sticky = view.quarantine_sticky;
   return info;
 }
 
 const CountedRelation& ViewManager::View(const std::string& name) const {
+  const ManagedView& view = GetView(name);
+  if (view.quarantined) {
+    throw ViewQuarantinedError("view " + name + " is quarantined (" +
+                               view.quarantine_reason +
+                               "); run REPAIR VIEW " + name);
+  }
+  return view.materialized;
+}
+
+const CountedRelation& ViewManager::Materialization(
+    const std::string& name) const {
+  return GetView(name).materialized;
+}
+
+CountedRelation& ViewManager::MutableMaterialization(const std::string& name) {
   return GetView(name).materialized;
 }
 

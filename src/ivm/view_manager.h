@@ -1,6 +1,7 @@
 #ifndef MVIEW_IVM_VIEW_MANAGER_H_
 #define MVIEW_IVM_VIEW_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,6 +16,10 @@
 #include "util/thread_pool.h"
 
 namespace mview {
+
+namespace obs {
+class TraceSpan;
+}
 
 /// When a materialized view is brought up to date.
 enum class MaintenanceMode {
@@ -41,6 +46,30 @@ struct ViewInfo {
   size_t rows = 0;            // distinct tuples currently materialized
   bool stale = false;         // deferred view with pending base changes
   size_t pending_tuples = 0;  // logged tuples awaiting a refresh
+  // Health: a quarantined view's materialization is untrusted (maintenance
+  // failed mid-commit); reads throw until it is repaired.
+  bool quarantined = false;
+  std::string quarantine_reason;
+  bool quarantine_sticky = false;  // no automatic retry; REPAIR VIEW only
+};
+
+/// Checkpointed health state handed back to `ViewManager::RestoreView`;
+/// the default is healthy.
+struct RestoredHealth {
+  bool quarantined = false;
+  std::string reason;
+  bool sticky = false;
+};
+
+/// A view-health transition, published to the listener installed with
+/// `ViewManager::SetHealthListener` (the storage layer logs these to the
+/// WAL so quarantine survives recovery).
+struct ViewHealthEvent {
+  enum class Kind { kQuarantine, kRepair };
+  Kind kind = Kind::kQuarantine;
+  std::string view;
+  std::string reason;   // kQuarantine: the captured exception message
+  bool sticky = false;  // kQuarantine: no automatic retry
 };
 
 /// Owns the materializations of a set of SPJ views over a `Database` and
@@ -62,6 +91,17 @@ struct ViewInfo {
 /// view per commit, so the shards need no locking; DDL
 /// (`DropView`/`RegisterView`/`RestoreView`) replaces the maintainer and
 /// its shard wholesale, which is how cached state is invalidated.
+///
+/// Failure containment: an exception inside one view's maintenance does
+/// not poison the commit.  The failing view is *quarantined* — its
+/// materialization is marked untrusted, reads throw
+/// `ViewQuarantinedError`, and its join-cache shard is dropped — while the
+/// base relations and every sibling view commit normally.  A transient
+/// failure (`IoError`) retries automatically with exponential backoff
+/// measured in commits; anything else (corruption, logic errors, OOM) is
+/// sticky and heals only through an explicit `Repair`, which re-evaluates
+/// the view from the bases and verifies the result by double evaluation
+/// before installing it.  See DESIGN.md, "Failure model and self-healing".
 ///
 /// The manager is not itself thread-safe: one thread drives `Apply` and the
 /// accessors.  Parallelism is internal to a single commit.
@@ -101,15 +141,60 @@ class ViewManager {
   void ApplyEffect(const TransactionEffect& effect);
 
   /// The current materialization.  For a deferred view this may be stale;
-  /// call `Refresh` first for up-to-date contents.
+  /// call `Refresh` first for up-to-date contents.  Throws
+  /// `ViewQuarantinedError` when the view is quarantined — its contents
+  /// are not trusted until repaired.
   const CountedRelation& View(const std::string& name) const;
+
+  /// The raw materialization with no health check — what the checkpoint
+  /// writer and the scrubber read (both must see a quarantined view's
+  /// bytes as they are).
+  const CountedRelation& Materialization(const std::string& name) const;
+
+  /// Mutable access to the raw materialization.  Exists for tests (the
+  /// scrubber suite injects drift through it) — production code never
+  /// mutates a materialization except through the commit pipeline.
+  CountedRelation& MutableMaterialization(const std::string& name);
 
   /// Brings a deferred view up to date (no-op for other modes or when
   /// nothing is pending).
   void Refresh(const std::string& name);
 
-  /// Refreshes every deferred view.
+  /// Refreshes every deferred view (quarantined views are skipped — their
+  /// backlog is rebuilt by `Repair`, not replayed).
   void RefreshAll();
+
+  /// Marks a view's materialization as untrusted.  `reason` is surfaced by
+  /// `Describe`/reads; `sticky` disables the automatic transient retry.
+  /// Drops the view's join-cache shard and its deferred backlog (a repair
+  /// recomputes from the bases, so the backlog is dead weight).  Publishes
+  /// a `kQuarantine` health event.  Idempotent escalation: quarantining an
+  /// already-quarantined view updates the reason and may raise (never
+  /// lower) stickiness.
+  void Quarantine(const std::string& name, const std::string& reason,
+                  bool sticky);
+
+  /// Heals a view by full re-evaluation from the current base state —
+  /// the paper's provably-correct fallback (recompute is always available
+  /// when differential maintenance cannot be trusted).  The view is
+  /// evaluated twice and the results compared byte-for-byte before
+  /// installation, so a fault that corrupts evaluation itself cannot
+  /// "heal" a view into a wrong state.  Clears quarantine and the deferred
+  /// backlog, resets the join-cache shard, and publishes a `kRepair`
+  /// event.  Works on healthy views too (re-verification).  Throws —
+  /// leaving the view quarantined — when evaluation fails or the double
+  /// evaluation disagrees.
+  void Repair(const std::string& name);
+
+  bool IsQuarantined(const std::string& name) const;
+
+  /// Names of currently quarantined views, sorted.
+  std::vector<std::string> QuarantinedViews() const;
+
+  /// Installs the observer for quarantine/repair transitions (null to
+  /// clear).  Listener failures are swallowed: durability of health state
+  /// is best-effort and must not turn a contained failure into a crash.
+  void SetHealthListener(std::function<void(const ViewHealthEvent&)> listener);
 
   /// A point-in-time description of a registered view — mode, definition,
   /// stats snapshot, staleness, pending count.  Throws on unknown names.
@@ -138,10 +223,14 @@ class ViewManager {
   /// recovery path — a checkpointed deferred view may be stale, so
   /// re-registering via `RegisterView`/`FullEvaluate` would both lose that
   /// staleness and double-count the backlog.  Creates join-attribute
-  /// indexes like `RegisterView`; performs no evaluation.
+  /// indexes like `RegisterView`; performs no evaluation.  `health`
+  /// restores the checkpointed quarantine state (the default is healthy);
+  /// restoring a quarantine does not publish a health event — the state is
+  /// already durable.
   void RestoreView(ViewDefinition def, MaintenanceMode mode,
                    MaintenanceOptions options, CountedRelation materialized,
-                   std::vector<std::unique_ptr<BaseDeltaLog>> pending);
+                   std::vector<std::unique_ptr<BaseDeltaLog>> pending,
+                   RestoredHealth health = RestoredHealth{});
 
   /// The pending change logs of a deferred view, one per base occurrence
   /// (empty vector for other modes) — read by the checkpoint writer.
@@ -154,6 +243,7 @@ class ViewManager {
 
  private:
   struct ManagedView {
+    std::string name;
     MaintenanceMode mode = MaintenanceMode::kImmediate;
     std::unique_ptr<DifferentialMaintainer> maintainer;
     CountedRelation materialized;
@@ -161,6 +251,14 @@ class ViewManager {
     uint32_t span_name_id = 0;       // interned "maintain:<name>" span name
     // Deferred mode: one filtered change log per base occurrence.
     std::vector<std::unique_ptr<BaseDeltaLog>> pending;
+    // Health.  While quarantined the view is skipped by the commit
+    // pipeline; `repair_attempts`/`next_retry_commit` drive the automatic
+    // transient retry (exponential backoff measured in commits).
+    bool quarantined = false;
+    std::string quarantine_reason;
+    bool quarantine_sticky = false;
+    int64_t repair_attempts = 0;
+    int64_t next_retry_commit = 0;
   };
 
   /// One view's slot in a commit: filled by the (possibly parallel)
@@ -168,6 +266,9 @@ class ViewManager {
   struct CommitJob {
     ManagedView* view = nullptr;
     std::unique_ptr<ViewDelta> delta;  // null: nothing to apply
+    // A compute-phase failure, captured instead of propagated so one
+    // view's fault cannot abort the commit for its siblings.
+    std::exception_ptr error;
   };
 
   ManagedView& GetView(const std::string& name);
@@ -177,13 +278,24 @@ class ViewManager {
   /// state, metrics, and join-state cache shard, so jobs are safe to run
   /// concurrently.
   void ComputeJob(CommitJob* job, const TransactionEffect& effect);
+  void ComputeJobBody(CommitJob* job, const TransactionEffect& effect,
+                      uint32_t delta_rows_arg, obs::TraceSpan& span);
   void LogDeferred(ManagedView* view, const TransactionEffect& effect);
   void RefreshView(const std::string& name, ManagedView* view);
+  /// Quarantines `view` for the failure captured in `error` (transient
+  /// `IoError` → automatic retry; everything else sticky).
+  void QuarantineFor(ManagedView* view, const std::exception_ptr& error);
+  /// Retries the repair of transient-quarantined views whose backoff has
+  /// elapsed; called at the top of each commit against the pre-state.
+  void RetryTransientQuarantines();
+  void PublishHealthEvent(const ViewHealthEvent& event);
 
   Database* db_;
   std::map<std::string, std::unique_ptr<ManagedView>> views_;
   MetricsRegistry metrics_;
   std::unique_ptr<util::ThreadPool> pool_;
+  std::function<void(const ViewHealthEvent&)> health_listener_;
+  int64_t commit_seq_ = 0;  // commits seen; the backoff clock
 };
 
 }  // namespace mview

@@ -171,6 +171,12 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
        [](const ViewMetrics& m) { return m.stats.cache_misses; }},
       {"mview_view_cache_evictions_total", "Join-state cache evictions",
        [](const ViewMetrics& m) { return m.stats.cache_evictions; }},
+      {"mview_view_quarantines_total",
+       "Maintenance failures that quarantined the view",
+       [](const ViewMetrics& m) { return m.stats.quarantines; }},
+      {"mview_view_repairs_total",
+       "Successful repairs (full recompute, verified) of the view",
+       [](const ViewMetrics& m) { return m.stats.repairs; }},
   };
   for (const ViewCounter& c : counters) {
     Family family(os, c.name, "counter", c.help);
@@ -201,6 +207,23 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
   EmitLatencyFamily(os, "mview_view_apply_latency_seconds",
                     "Serial delta-apply latency per maintained commit",
                     apply_series);
+
+  const ScrubMetrics& scrub = registry.scrub();
+  Family(os, "mview_scrub_views_total", "counter",
+         "Views examined by the consistency scrubber")
+      .Sample("", scrub.views_scrubbed);
+  Family(os, "mview_scrub_clean_total", "counter",
+         "Scrubbed views whose materialization matched recompute")
+      .Sample("", scrub.views_clean);
+  Family(os, "mview_scrub_drifted_total", "counter",
+         "Scrubbed views with materialization drift")
+      .Sample("", scrub.views_drifted);
+  Family(os, "mview_scrub_drift_tuples_total", "counter",
+         "Total drift multiplicity (missing + extra) found by scrubs")
+      .Sample("", scrub.drift_tuples);
+  Family(os, "mview_scrub_repairs_total", "counter",
+         "Repairs performed by SCRUB ... REPAIR")
+      .Sample("", scrub.repairs);
   return os.str();
 }
 

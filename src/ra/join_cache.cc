@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace mview {
 
@@ -22,6 +23,10 @@ void JoinStateCache::BeginRound(std::vector<SlotUpdate> slots) {
   if (round_active_) AbortRound();
   slots_ = std::move(slots);
   round_active_ = true;
+  // Fires with the round open: a failure here models a crash mid-repair
+  // (entries partially synchronized) and exercises the maintainer's
+  // round guard, which must abort the round so the next one rebuilds cold.
+  MVIEW_FAULT_POINT("joincache.repair");
 
   for (auto it = entries_.begin(); it != entries_.end();) {
     Entry& entry = *it->second;

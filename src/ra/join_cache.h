@@ -116,6 +116,13 @@ class JoinStateCache {
   /// invisible to `Peek`/`Lookup` and dropped by the next `BeginRound`.
   void CompleteInstall(uint32_t slot, const std::vector<size_t>& key_attrs);
 
+  /// Abandons an open round without applying inserts: the entries the
+  /// round touched are discarded (their deletes were already applied, so
+  /// they no longer mirror any consistent state).  Safe to call with no
+  /// round open.  Exposed for the maintainer's exception path — a throw
+  /// between `BeginRound` and `EndRound` must not leave the round open.
+  void AbortRound();
+
   const JoinCacheCounters& counters() const { return counters_; }
   size_t bytes() const { return bytes_; }
   size_t entry_count() const { return entries_.size(); }
@@ -140,7 +147,6 @@ class JoinStateCache {
 
   using Key = std::pair<uint32_t, std::vector<size_t>>;
 
-  void AbortRound();
   void AddRow(Entry* entry, const Tuple& tuple);
   void RemoveRow(Entry* entry, const Tuple& tuple);
   void EvictToBudget(const Entry* keep);

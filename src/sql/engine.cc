@@ -5,6 +5,7 @@
 
 #include <fstream>
 
+#include "ivm/scrubber.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "ra/planner.h"
@@ -254,6 +255,14 @@ Engine::Status Engine::Status::Corruption(std::string message) {
   return Status{false, Kind::kCorruption, std::move(message)};
 }
 
+Engine::Status Engine::Status::ViewQuarantined(std::string message) {
+  return Status{false, Kind::kViewQuarantined, std::move(message)};
+}
+
+Engine::Status Engine::Status::Internal(std::string message) {
+  return Status{false, Kind::kInternal, std::move(message)};
+}
+
 Engine::Result Engine::Execute(const std::string& sql) {
   obs::TraceSpan span(ExecuteSpanName());
   std::vector<Statement> statements = ParseTraced(sql);
@@ -283,8 +292,14 @@ Engine::Status Engine::TryExecute(const std::string& sql, Result* result) {
     return Status::Corruption(e.what());
   } catch (const storage::IoError& e) {
     return Status::IoError(e.what());
+  } catch (const ViewQuarantinedError& e) {
+    return Status::ViewQuarantined(e.what());
   } catch (const Error& e) {
     return Status::ExecutionError(e.what());
+  } catch (const std::exception& e) {
+    // Anything else (std::bad_alloc, a library exception) must not escape
+    // the non-throwing API: classify it instead of crashing the caller.
+    return Status::Internal(e.what());
   }
   return Status::Ok();
 }
@@ -318,7 +333,7 @@ Engine::Status Engine::TryExecuteScript(const std::string& sql,
     try {
       Result r = ExecuteStatement(statements[i]);
       if (results != nullptr) results->push_back(std::move(r));
-    } catch (const Error& e) {
+    } catch (const std::exception& e) {
       if (failed_statement != nullptr) *failed_statement = i;
       std::string message = "statement " + std::to_string(i + 1) + " of " +
                             std::to_string(statements.size()) + ": " +
@@ -329,7 +344,15 @@ Engine::Status Engine::TryExecuteScript(const std::string& sql,
       if (dynamic_cast<const storage::IoError*>(&e) != nullptr) {
         return Status::IoError(std::move(message));
       }
-      return Status::ExecutionError(std::move(message));
+      if (dynamic_cast<const ViewQuarantinedError*>(&e) != nullptr) {
+        return Status::ViewQuarantined(std::move(message));
+      }
+      if (dynamic_cast<const Error*>(&e) != nullptr) {
+        return Status::ExecutionError(std::move(message));
+      }
+      // Unclassified (std::bad_alloc, a library exception): contain it —
+      // the non-throwing API must not let it escape.
+      return Status::Internal(std::move(message));
     }
   }
   return Status::Ok();
@@ -668,6 +691,47 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       return Message("view " + stmt.name + " refreshed (" +
                      std::to_string(views_.View(stmt.name).size()) +
                      " rows)");
+    case Kind::kRepair: {
+      const bool was_quarantined = views_.IsQuarantined(stmt.name);
+      views_.Repair(stmt.name);
+      return Message("view " + stmt.name +
+                     (was_quarantined ? " repaired (" : " recomputed (") +
+                     std::to_string(views_.View(stmt.name).size()) +
+                     " rows)");
+    }
+    case Kind::kScrub: {
+      Scrubber scrubber(&views_, &views_.metrics().scrub());
+      ScrubOptions options;
+      options.auto_repair = stmt.repair;
+      ScrubReport report;
+      if (stmt.name.empty()) {
+        report = scrubber.ScrubAll(options);
+      } else {
+        report.views.push_back(scrubber.ScrubView(stmt.name, options));
+      }
+      Schema schema({{"view", ValueType::kString},
+                     {"status", ValueType::kString},
+                     {"missing", ValueType::kInt64},
+                     {"extra", ValueType::kInt64},
+                     {"action", ValueType::kString}});
+      std::vector<std::pair<Tuple, int64_t>> rows;
+      for (const auto& r : report.views) {
+        std::string status = r.quarantined ? "quarantined"
+                             : r.clean     ? "clean"
+                                           : "drift";
+        std::string action;
+        if (r.repaired) {
+          action = "repaired";
+        } else if (!r.repair_error.empty()) {
+          action = "repair failed: " + r.repair_error;
+        }
+        rows.emplace_back(Tuple({Value(r.view), Value(status),
+                                 Value(r.missing), Value(r.extra),
+                                 Value(action)}),
+                          1);
+      }
+      return RowsResult(std::move(schema), std::move(rows));
+    }
     case Kind::kShowTables: {
       Schema schema({{"table", ValueType::kString}});
       std::vector<std::pair<Tuple, int64_t>> rows;
@@ -680,14 +744,21 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       Schema schema({{"view", ValueType::kString},
                      {"mode", ValueType::kString},
                      {"rows", ValueType::kInt64},
-                     {"stale", ValueType::kString}});
+                     {"stale", ValueType::kString},
+                     {"health", ValueType::kString}});
       std::vector<std::pair<Tuple, int64_t>> rows;
       for (const auto& name : views_.ViewNames()) {
         ViewInfo info = views_.Describe(name);
+        std::string health = "ok";
+        if (info.quarantined) {
+          health = std::string("quarantined") +
+                   (info.quarantine_sticky ? " (sticky): " : ": ") +
+                   info.quarantine_reason;
+        }
         rows.emplace_back(
             Tuple({Value(name), Value(ModeName(info.mode)),
                    Value(static_cast<int64_t>(info.rows)),
-                   Value(info.stale ? "yes" : "no")}),
+                   Value(info.stale ? "yes" : "no"), Value(health)}),
             1);
       }
       return RowsResult(std::move(schema), std::move(rows));

@@ -75,6 +75,11 @@ class Engine {
                         // failure; the commit did not happen
       kCorruption,      // persistent state failed validation (bad magic,
                         // CRC mismatch, undecodable body)
+      kViewQuarantined,  // the statement read a quarantined view; run
+                         // REPAIR VIEW to heal it first
+      kInternal,        // an unclassified exception (std::bad_alloc, a
+                        // library error, …) — the engine caught it rather
+                        // than letting it escape a noexcept boundary
     };
     bool ok = true;
     Kind kind = Kind::kOk;
@@ -85,6 +90,8 @@ class Engine {
     static Status ExecutionError(std::string message);
     static Status IoError(std::string message);
     static Status Corruption(std::string message);
+    static Status ViewQuarantined(std::string message);
+    static Status Internal(std::string message);
   };
 
   /// Executes one statement (a trailing ';' is allowed).  Throws

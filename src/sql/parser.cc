@@ -333,6 +333,23 @@ class Parser {
       stmt.name = ExpectIdentifier();
       return stmt;
     }
+    if (t.Is("REPAIR")) {
+      Advance();
+      ConsumeKeyword("VIEW");
+      stmt.kind = Statement::Kind::kRepair;
+      stmt.name = ExpectIdentifier();
+      return stmt;
+    }
+    if (t.Is("SCRUB")) {
+      Advance();
+      stmt.kind = Statement::Kind::kScrub;
+      if (!ConsumeKeyword("ALL")) {  // SCRUB ALL leaves `name` empty
+        ConsumeKeyword("VIEW");
+        stmt.name = ExpectIdentifier();
+      }
+      stmt.repair = ConsumeKeyword("REPAIR");
+      return stmt;
+    }
     if (t.Is("SHOW")) {
       Advance();
       if (ConsumeKeyword("TABLES")) {

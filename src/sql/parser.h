@@ -42,6 +42,8 @@ enum class ViewMode { kImmediate, kDeferred, kFullReevaluation };
 ///     UPDATE t SET col = literal [, …] [WHERE …];
 ///     SELECT * | col [, col …] FROM t [alias] [, …] [WHERE …];
 ///     REFRESH [VIEW] v;
+///     REPAIR [VIEW] v;
+///     SCRUB VIEW v [REPAIR]; SCRUB ALL [REPAIR];
 ///     SHOW TABLES; SHOW VIEWS; SHOW ASSERTIONS;
 ///     SHOW STATS [JSON]; SHOW WAL;
 ///     TRACE ON; TRACE OFF;
@@ -67,6 +69,8 @@ struct Statement {
     kUpdate,
     kSelect,
     kRefresh,
+    kRepair,  // REPAIR [VIEW] v — heal a quarantined view by recompute
+    kScrub,   // SCRUB VIEW v [REPAIR] | SCRUB ALL [REPAIR]
     kShowTables,
     kShowViews,
     kShowAssertions,
@@ -95,6 +99,7 @@ struct Statement {
   std::string path;                                  // COPY file path
   bool json = false;             // SHOW STATS JSON / SHOW TRACE JSON
   bool trace_on = false;         // TRACE ON vs TRACE OFF
+  bool repair = false;           // SCRUB … REPAIR — auto-repair drift
   std::vector<Statement> inner;  // EXPLAIN MAINTENANCE wrapped DML (size 1)
 };
 

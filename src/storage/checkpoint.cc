@@ -10,11 +10,15 @@
 
 #include "relational/csv.h"
 #include "storage/wal.h"
+#include "util/fault.h"
 
 namespace mview::storage {
 namespace {
 
-constexpr char kMagic[8] = {'M', 'V', 'C', 'K', 'P', 'T', '0', '1'};
+// "02" added the per-view health fields (quarantine flag, reason,
+// stickiness).  No migration: a checkpoint is rewritten wholesale on every
+// CHECKPOINT/close, so no deployment carries an old file across versions.
+constexpr char kMagic[8] = {'M', 'V', 'C', 'K', 'P', 'T', '0', '2'};
 
 [[noreturn]] void ThrowErrno(const std::string& what, const std::string& path) {
   throw IoError("checkpoint: " + what + " failed for " + path + ": " +
@@ -161,8 +165,14 @@ std::string EncodeBody(uint64_t lsn, const Database& db,
     wire::PutU8(&body, opts.use_irrelevance_filter ? 1 : 0);
     wire::PutU8(&body, opts.reuse_subexpressions ? 1 : 0);
     wire::PutU8(&body, static_cast<uint8_t>(opts.strategy));
+    wire::PutU8(&body, info.quarantined ? 1 : 0);
+    wire::PutString(&body, info.quarantine_reason);
+    wire::PutU8(&body, info.quarantine_sticky ? 1 : 0);
     PutDefinition(&body, info.definition);
-    wire::PutString(&body, ToCsvBlob(views.View(name)));
+    // The raw materialization, not `View()`: a quarantined view's contents
+    // still checkpoint (recovery restores them alongside the quarantine
+    // flag; `REPAIR VIEW` rebuilds from bases later).
+    wire::PutString(&body, ToCsvBlob(views.Materialization(name)));
     const auto& pending = views.PendingLogs(name);
     wire::PutU32(&body, static_cast<uint32_t>(pending.size()));
     for (const auto& log : pending) {
@@ -214,6 +224,9 @@ CheckpointData DecodeBody(const std::string& body) {
       throw CorruptionError("checkpoint: bad delta strategy tag");
     }
     view.options.strategy = static_cast<DeltaStrategy>(strategy);
+    view.quarantined = r.GetU8() != 0;
+    view.quarantine_reason = r.GetString();
+    view.quarantine_sticky = r.GetU8() != 0;
     view.definition = GetDefinition(&r);
     std::istringstream csv(r.GetString());
     view.materialized = ReadCountedCsv(csv);
@@ -251,6 +264,9 @@ void WriteAll(int fd, const std::string& data, const std::string& path) {
 void WriteCheckpoint(const std::string& path, uint64_t lsn,
                      const Database& db, const ViewManager& views,
                      const IntegrityGuard* guard) {
+  // Fires before the temp file exists, so an injected failure leaves the
+  // previous checkpoint (and the un-rotated WAL) fully authoritative.
+  MVIEW_FAULT_POINT("checkpoint.write");
   std::string body = EncodeBody(lsn, db, views, guard);
   std::string file(kMagic, sizeof(kMagic));
   wire::PutU32(&file, Crc32(body.data(), body.size()));

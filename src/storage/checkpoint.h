@@ -31,6 +31,11 @@ struct CheckpointView {
   CountedRelation materialized;
   /// One entry per base occurrence for deferred views; empty otherwise.
   std::vector<PendingLog> pending;
+  /// View health at checkpoint time: a quarantined view stays quarantined
+  /// across recovery (its materialization is untrusted until repaired).
+  bool quarantined = false;
+  std::string quarantine_reason;
+  bool quarantine_sticky = false;
 };
 
 /// A decoded checkpoint: everything needed to rebuild the engine state as

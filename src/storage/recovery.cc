@@ -32,8 +32,13 @@ void InstallCheckpoint(CheckpointData&& data, Database* db,
         pending.push_back(std::move(log));
       }
     }
+    RestoredHealth health;
+    health.quarantined = view.quarantined;
+    health.reason = std::move(view.quarantine_reason);
+    health.sticky = view.quarantine_sticky;
     views->RestoreView(std::move(view.definition), view.mode, view.options,
-                       std::move(view.materialized), std::move(pending));
+                       std::move(view.materialized), std::move(pending),
+                       std::move(health));
   }
 }
 

@@ -72,8 +72,28 @@ void Storage::Attach(sql::Engine& engine) {
         // the checkpoint already covers; skipping by LSN makes replay
         // idempotent.
         if (record.lsn <= checkpoint_lsn) return;
-        engine.views().ApplyEffect(
-            storage::ToEffect(record, engine.database()));
+        switch (record.type) {
+          case storage::WalRecord::Type::kEffect:
+            engine.views().ApplyEffect(
+                storage::ToEffect(record, engine.database()));
+            break;
+          case storage::WalRecord::Type::kQuarantine:
+            // Re-enter the quarantine at the same point in the replayed
+            // history; subsequent effect records then skip the view
+            // exactly as the live pipeline did.
+            if (engine.views().HasView(record.view)) {
+              engine.views().Quarantine(record.view, record.reason,
+                                        record.sticky);
+            }
+            break;
+          case storage::WalRecord::Type::kRepair:
+            // Re-run the heal (a full re-evaluation at this point of the
+            // history is deterministic and cheap relative to recovery).
+            if (engine.views().HasView(record.view)) {
+              engine.views().Repair(record.view);
+            }
+            break;
+        }
         ++metrics.replayed_records;
       });
 
@@ -91,6 +111,23 @@ void Storage::Attach(sql::Engine& engine) {
   // transactions were admitted when first committed), so each error view
   // is computed once against the fully recovered state.
   storage::InstallAssertions(assertions, &engine.guard());
+
+  // Installed *after* replay so replayed health transitions are not
+  // re-logged.  Best-effort by design: a failing append here must not
+  // turn a contained view fault into a commit failure — recovery without
+  // the record still recomputes the view correctly.
+  engine.views().SetHealthListener([this](const ViewHealthEvent& event) {
+    if (wal_ == nullptr || wal_->failed()) return;
+    try {
+      if (event.kind == ViewHealthEvent::Kind::kQuarantine) {
+        wal_->AppendQuarantine(event.view, event.reason, event.sticky);
+      } else {
+        wal_->AppendRepair(event.view);
+      }
+    } catch (...) {
+      // Swallowed: see above.
+    }
+  });
   engine_ = &engine;
 }
 
@@ -112,6 +149,7 @@ void Storage::Checkpoint() {
 void Storage::Close() {
   if (engine_ == nullptr) return;
   if (options_.checkpoint_on_close && !wal_->failed()) Checkpoint();
+  engine_->views().SetHealthListener(nullptr);  // engine outlives the log
   wal_.reset();
   engine_ = nullptr;
 }

@@ -10,12 +10,16 @@
 #include <filesystem>
 
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace mview::storage {
 namespace {
 
-constexpr char kMagic[8] = {'M', 'V', 'W', 'A', 'L', '0', '0', '1'};
+// "002" added the record-type byte after the LSN (quarantine/repair
+// records).  Older logs are not migrated: the log is rotated away at every
+// checkpoint, so no deployment carries a long-lived WAL across versions.
+constexpr char kMagic[8] = {'M', 'V', 'W', 'A', 'L', '0', '0', '2'};
 constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t);
 // A record larger than this cannot be legitimate; treat it as damage
 // rather than attempting a multi-gigabyte allocation.
@@ -155,9 +159,11 @@ uint32_t Reader::GetCount() {
 
 namespace {
 
-std::string EncodePayload(uint64_t lsn, const TransactionEffect& effect) {
+// The payload *tail*: everything after the leading `[u64 lsn]`, which
+// `Wal::AppendPayload` prepends once the LSN is assigned under the mutex.
+std::string EncodeEffectTail(const TransactionEffect& effect) {
   std::string payload;
-  wire::PutU64(&payload, lsn);
+  wire::PutU8(&payload, static_cast<uint8_t>(WalRecord::Type::kEffect));
   std::vector<std::string> touched = effect.TouchedRelations();
   wire::PutU32(&payload, static_cast<uint32_t>(touched.size()));
   for (const auto& name : touched) {
@@ -178,17 +184,39 @@ WalRecord DecodePayload(const std::string& payload) {
   wire::Reader r(payload);
   WalRecord record;
   record.lsn = r.GetU64();
-  uint32_t n_changes = r.GetCount();
-  for (uint32_t c = 0; c < n_changes; ++c) {
-    WalRecord::Change change;
-    change.relation = r.GetString();
-    uint32_t n_ins = r.GetCount();
-    change.inserts.reserve(n_ins);
-    for (uint32_t i = 0; i < n_ins; ++i) change.inserts.push_back(r.GetTuple());
-    uint32_t n_del = r.GetCount();
-    change.deletes.reserve(n_del);
-    for (uint32_t i = 0; i < n_del; ++i) change.deletes.push_back(r.GetTuple());
-    record.changes.push_back(std::move(change));
+  uint8_t type = r.GetU8();
+  if (type > static_cast<uint8_t>(WalRecord::Type::kRepair)) {
+    throw CorruptionError("wal: unknown record type " + std::to_string(type));
+  }
+  record.type = static_cast<WalRecord::Type>(type);
+  switch (record.type) {
+    case WalRecord::Type::kEffect: {
+      uint32_t n_changes = r.GetCount();
+      for (uint32_t c = 0; c < n_changes; ++c) {
+        WalRecord::Change change;
+        change.relation = r.GetString();
+        uint32_t n_ins = r.GetCount();
+        change.inserts.reserve(n_ins);
+        for (uint32_t i = 0; i < n_ins; ++i) {
+          change.inserts.push_back(r.GetTuple());
+        }
+        uint32_t n_del = r.GetCount();
+        change.deletes.reserve(n_del);
+        for (uint32_t i = 0; i < n_del; ++i) {
+          change.deletes.push_back(r.GetTuple());
+        }
+        record.changes.push_back(std::move(change));
+      }
+      break;
+    }
+    case WalRecord::Type::kQuarantine:
+      record.view = r.GetString();
+      record.reason = r.GetString();
+      record.sticky = r.GetU8() != 0;
+      break;
+    case WalRecord::Type::kRepair:
+      record.view = r.GetString();
+      break;
   }
   if (!r.AtEnd()) {
     throw CorruptionError("wal: trailing bytes inside a record payload");
@@ -198,8 +226,23 @@ WalRecord DecodePayload(const std::string& payload) {
 
 }  // namespace
 
+size_t RegistryFailurePolicy::AdmitWrite(size_t size) {
+  try {
+    MVIEW_FAULT_POINT("wal.torn_write");
+  } catch (const IoError&) {
+    return size / 2;  // write half the batch, then the append fails torn
+  }
+  return size;
+}
+
+void RegistryFailurePolicy::BeforeSync() {
+  MVIEW_FAULT_POINT("wal.before_sync");
+}
+
 std::string Wal::EncodeRecord(uint64_t lsn, const TransactionEffect& effect) {
-  std::string payload = EncodePayload(lsn, effect);
+  std::string payload;
+  wire::PutU64(&payload, lsn);
+  payload += EncodeEffectTail(effect);
   std::string record;
   wire::PutU32(&record, static_cast<uint32_t>(payload.size()));
   wire::PutU32(&record, Crc32(payload.data(), payload.size()));
@@ -334,6 +377,12 @@ void Wal::WriteHeader(uint64_t base_lsn) {
 }
 
 int64_t Wal::WriteAndSync(const std::string& batch) {
+  // Fires before the write so an injected EIO leaves nothing of the batch
+  // on disk: recovery then replays exactly the acknowledged prefix, which
+  // is what the sticky-failure contract promises.  (The bytes-written-but-
+  // maybe-not-durable window is exercised separately via
+  // `FailurePolicy::BeforeSync` / the "wal.before_sync" point.)
+  MVIEW_FAULT_POINT("wal.fsync");
   Stopwatch timer;
   size_t admit = batch.size();
   if (options_.failure_policy != nullptr) {
@@ -362,6 +411,30 @@ void Wal::ThrowIfFailed() const {
 }
 
 uint64_t Wal::Append(const TransactionEffect& effect) {
+  // Fires before any state changes: an injected failure here models the
+  // append being rejected outright (nothing enqueued, no LSN consumed).
+  MVIEW_FAULT_POINT("wal.append");
+  return AppendPayload(EncodeEffectTail(effect));
+}
+
+uint64_t Wal::AppendQuarantine(const std::string& view,
+                               const std::string& reason, bool sticky) {
+  std::string tail;
+  wire::PutU8(&tail, static_cast<uint8_t>(WalRecord::Type::kQuarantine));
+  wire::PutString(&tail, view);
+  wire::PutString(&tail, reason);
+  wire::PutU8(&tail, sticky ? 1 : 0);
+  return AppendPayload(std::move(tail));
+}
+
+uint64_t Wal::AppendRepair(const std::string& view) {
+  std::string tail;
+  wire::PutU8(&tail, static_cast<uint8_t>(WalRecord::Type::kRepair));
+  wire::PutString(&tail, view);
+  return AppendPayload(std::move(tail));
+}
+
+uint64_t Wal::AppendPayload(std::string payload_tail) {
   static const uint32_t kAppendName =
       obs::Tracer::Global().InternName("wal_append");
   // Covers enqueue + group-commit wait: the span ends when the record is
@@ -370,8 +443,16 @@ uint64_t Wal::Append(const TransactionEffect& effect) {
   std::unique_lock<std::mutex> lk(mu_);
   ThrowIfFailed();
   uint64_t lsn = next_lsn_++;
+  std::string payload;
+  payload.reserve(sizeof(uint64_t) + payload_tail.size());
+  wire::PutU64(&payload, lsn);
+  payload += payload_tail;
+  std::string record;
+  wire::PutU32(&record, static_cast<uint32_t>(payload.size()));
+  wire::PutU32(&record, Crc32(payload.data(), payload.size()));
+  record.append(payload);
   if (pending_.empty()) batch_open_ = std::chrono::steady_clock::now();
-  pending_.push_back(EncodeRecord(lsn, effect));
+  pending_.push_back(std::move(record));
   cv_batch_.notify_all();  // a window-waiting leader may now have a full batch
   while (true) {
     if (durable_lsn_ >= lsn) return lsn;

@@ -17,28 +17,23 @@
 
 namespace mview::storage {
 
-/// A durability failure: the operating system refused a write/fsync, or a
-/// `FailurePolicy` injected one.  Surfaced to SQL callers as
-/// `Engine::Status::Kind::kIoError`, not as a new public exception type —
-/// catch sites live inside `TryExecute`.
-class IoError : public Error {
- public:
-  explicit IoError(const std::string& message) : Error(message) {}
-};
-
-/// Persistent state failed validation: bad magic, a CRC mismatch away from
-/// the log tail, an impossible LSN sequence, or a checkpoint that does not
-/// decode.  Surfaced as `Engine::Status::Kind::kCorruption`.
-class CorruptionError : public Error {
- public:
-  explicit CorruptionError(const std::string& message) : Error(message) {}
-};
+// The storage exception types now live in `util/error.h` (the process-wide
+// fault registry throws them from arbitrary layers); these aliases keep
+// every existing `storage::IoError` / `storage::CorruptionError` reference
+// and catch site compiling against the same types.
+using mview::CorruptionError;
+using mview::IoError;
 
 /// Fault-injection hook for crash tests: lets a test make the log
 /// misbehave mid-write to prove torn-tail truncation and idempotent
 /// replay.  The default policy never fails.  Once a policy injects a
 /// failure the log is sticky-failed (as a crashed process would be); the
 /// test then reopens the file through recovery.
+///
+/// This predates the process-wide `util::FaultRegistry` and remains for
+/// tests that need the torn-write *prefix* semantics; `RegistryFailurePolicy`
+/// below adapts it onto the registry's named fault points so one armed
+/// registry drives both mechanisms.
 class FailurePolicy {
  public:
   virtual ~FailurePolicy() = default;
@@ -53,16 +48,40 @@ class FailurePolicy {
   virtual void BeforeSync() {}
 };
 
-/// One decoded log record: the normalized net effect (Section 3) of a
-/// committed transaction, tagged with its log sequence number.
+/// Adapter from the legacy `FailurePolicy` hooks onto the process-wide
+/// fault registry: `AdmitWrite` fires the `"wal.torn_write"` point (an
+/// injected `IoError` there truncates the batch to half, simulating a torn
+/// write) and `BeforeSync` fires `"wal.before_sync"` (throwing models power
+/// loss in the bytes-maybe-durable window).  Stateless; one instance can
+/// serve every log in the process.
+class RegistryFailurePolicy : public FailurePolicy {
+ public:
+  size_t AdmitWrite(size_t size) override;
+  void BeforeSync() override;
+};
+
+/// One decoded log record, tagged with its log sequence number.  Most
+/// records are `kEffect` — the normalized net effect (Section 3) of a
+/// committed transaction.  View-health transitions are logged too so a
+/// quarantine survives recovery: `kQuarantine` marks a view whose
+/// maintenance failed mid-commit, `kRepair` marks its subsequent heal.
 struct WalRecord {
+  enum class Type : uint8_t {
+    kEffect = 0,
+    kQuarantine = 1,
+    kRepair = 2,
+  };
   struct Change {
     std::string relation;
     std::vector<Tuple> inserts;
     std::vector<Tuple> deletes;
   };
   uint64_t lsn = 0;
-  std::vector<Change> changes;
+  Type type = Type::kEffect;
+  std::vector<Change> changes;  // kEffect
+  std::string view;             // kQuarantine / kRepair
+  std::string reason;           // kQuarantine
+  bool sticky = false;          // kQuarantine
 };
 
 /// Knobs for the log; every field has a production-safe default.
@@ -113,12 +132,14 @@ struct WalStats {
   obs::LatencyHistogram fsync_latency;  // write+fsync wall time per batch
 };
 
-/// An fsync-batched append-only log of committed transaction effects.
+/// An fsync-batched append-only log of committed transaction effects and
+/// view-health transitions.
 ///
-/// File layout: an 16-byte header (`"MVWAL001"` + little-endian u64 base
+/// File layout: an 16-byte header (`"MVWAL002"` + little-endian u64 base
 /// LSN) followed by records `[u32 payload_len][u32 crc32][payload]`.  The
-/// payload carries the LSN and the per-relation insert/delete tuple sets
-/// in sorted order with self-describing value types, so a log can be
+/// payload carries the LSN, a record-type byte (`WalRecord::Type`), and
+/// the type's body — for effects, the per-relation insert/delete tuple
+/// sets in sorted order with self-describing value types, so a log can be
 /// decoded without the catalog.  LSNs are assigned contiguously from
 /// `base_lsn + 1`; recovery rejects gaps as corruption and truncates an
 /// unreadable *tail* (short or CRC-failing trailing bytes) as a torn
@@ -130,6 +151,16 @@ struct WalStats {
 /// once, and wakes every commit the batch covered.  Commits arriving
 /// while a leader is syncing form the next batch — under load the log
 /// batches naturally even with a zero window.
+///
+/// Sticky fsync-failure rule (fsyncgate semantics): when a batch's
+/// write+fsync fails — a real `EIO` or an injected fault — the log is
+/// failed permanently and **never retries the fsync**.  After an `EIO`
+/// the kernel may mark the dirty pages clean, so a "successful" retry
+/// would acknowledge commits whose bytes were silently dropped; the only
+/// safe recovery is to reject every waiter and future append with
+/// `IoError` until the directory is reopened through recovery, which
+/// replays exactly the acknowledged prefix (unacknowledged records were
+/// never written past the failure).
 class Wal {
  public:
   using ReplayFn = std::function<void(WalRecord&&)>;
@@ -148,6 +179,15 @@ class Wal {
   /// Thread-safe.  Throws `IoError` when the log has failed (the failure
   /// is sticky — reopen through recovery).
   uint64_t Append(const TransactionEffect& effect);
+
+  /// Appends a view-quarantine record (the view's maintenance failed and
+  /// its materialization is no longer trusted); durable before return.
+  uint64_t AppendQuarantine(const std::string& view, const std::string& reason,
+                            bool sticky);
+
+  /// Appends a view-repair record (the quarantined view was healed by full
+  /// re-evaluation); durable before return.
+  uint64_t AppendRepair(const std::string& view);
 
   /// Empties the log and restarts it after `base_lsn` (call after a
   /// checkpoint covering everything up to `base_lsn` is durable).  The
@@ -177,6 +217,9 @@ class Wal {
                                   const TransactionEffect& effect);
 
  private:
+  // Shared group-commit path: assigns the LSN, frames `payload_tail` (the
+  // payload bytes after the leading LSN), and blocks until durable.
+  uint64_t AppendPayload(std::string payload_tail);
   void ScanExisting(const ReplayFn& replay);
   void WriteHeader(uint64_t base_lsn);
   // Writes `batch` at the current end of file and fsyncs; returns nanos

@@ -18,6 +18,35 @@ class Error : public std::logic_error {
   explicit Error(const std::string& message) : std::logic_error(message) {}
 };
 
+/// A durability failure: the operating system refused a write/fsync, or a
+/// fault-injection policy injected one.  Surfaced to SQL callers as
+/// `Engine::Status::Kind::kIoError`, not as a new public exception type —
+/// catch sites live inside `TryExecute`.  Treated as *transient* by the
+/// view-quarantine machinery (automatic repair retries with backoff).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& message) : Error(message) {}
+};
+
+/// Persistent state failed validation: bad magic, a CRC mismatch away from
+/// the log tail, an impossible LSN sequence, or a checkpoint that does not
+/// decode.  Surfaced as `Engine::Status::Kind::kCorruption`.  Treated as
+/// *sticky* by the quarantine machinery (no automatic retry; explicit
+/// `REPAIR VIEW` only).
+class CorruptionError : public Error {
+ public:
+  explicit CorruptionError(const std::string& message) : Error(message) {}
+};
+
+/// A read against a quarantined materialized view: maintenance failed
+/// mid-commit and the materialization is not trusted until `REPAIR VIEW`
+/// (or the automatic transient-retry path) heals it.  Surfaced as
+/// `Engine::Status::Kind::kViewQuarantined`.
+class ViewQuarantinedError : public Error {
+ public:
+  explicit ViewQuarantinedError(const std::string& message) : Error(message) {}
+};
+
 namespace internal {
 
 /// Builds an error message from streamable parts and throws `Error`.

@@ -1,0 +1,99 @@
+#include "util/fault.h"
+
+#include <new>
+
+#include "util/error.h"
+
+namespace mview::util {
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
+  MVIEW_CHECK(!point.empty(), "fault point name cannot be empty");
+  MVIEW_CHECK(spec.probability >= 0.0 && spec.probability <= 1.0,
+              "fault probability must be within [0, 1]");
+  MVIEW_CHECK(spec.hits_before >= 0, "hits_before cannot be negative");
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = points_.try_emplace(point);
+  Armed& armed = it->second;
+  armed.spec = std::move(spec);
+  armed.hits = 0;
+  armed.fires = 0;
+  armed.spent = false;
+  armed.rng.seed(armed.spec.seed);
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  armed_points_.fetch_sub(static_cast<int64_t>(points_.size()),
+                          std::memory_order_relaxed);
+  points_.clear();
+}
+
+void FaultRegistry::OnHit(const char* point) {
+  FaultKind kind;
+  std::string message;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return;  // a different point is armed
+    Armed& armed = it->second;
+    ++armed.hits;
+    if (armed.spent) return;
+    if (armed.hits <= armed.spec.hits_before) return;
+    if (armed.spec.probability < 1.0) {
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      if (coin(armed.rng) >= armed.spec.probability) return;
+    }
+    ++armed.fires;
+    if (!armed.spec.sticky) armed.spent = true;
+    kind = armed.spec.kind;
+    message = "injected fault at " + std::string(point);
+    if (!armed.spec.message.empty()) message += ": " + armed.spec.message;
+  }
+  // Throw outside the lock: unwinding may re-enter the registry (another
+  // fault point on the cleanup path).
+  switch (kind) {
+    case FaultKind::kError:
+      throw Error(message);
+    case FaultKind::kIoError:
+      throw IoError(message);
+    case FaultKind::kCorruption:
+      throw CorruptionError(message);
+    case FaultKind::kBadAlloc:
+      throw std::bad_alloc();
+  }
+}
+
+int64_t FaultRegistry::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultRegistry::FireCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, armed] : points_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mview::util

@@ -1,0 +1,341 @@
+// Chaos matrix: every registry fault point × {fail-once, sticky} ×
+// {join cache on, off}, driven through a durable engine against a
+// fault-free in-memory shadow.  The invariant after disarm + recovery:
+// either the database is identical to the shadow's, or the damage is
+// contained to quarantined views that REPAIR VIEW restores — verified by a
+// full consistency scrub.  Plus the fsyncgate sticky-failure contract and
+// join-cache round exception safety.
+//
+// Knobs: MVIEW_CHAOS_SEED seeds the randomized pass (printed on failure),
+// MVIEW_CHAOS_ITERS bounds its iteration count.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivm/differential.h"
+#include "ivm/scrubber.h"
+#include "ivm/view_manager.h"
+#include "sql/engine.h"
+#include "storage/storage.h"
+#include "storage/wal.h"
+#include "util/fault.h"
+
+namespace mview {
+namespace {
+
+using sql::Engine;
+using util::FaultKind;
+using util::FaultRegistry;
+using util::FaultSpec;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoll(v);
+}
+
+// Every named fault point in the system.  `differential.eval` sits inside
+// delta evaluation, so with an assertion registered it can also reject
+// commits at the integrity precheck — both containment paths are valid.
+const char* const kAllPoints[] = {
+    "viewmgr.differential.pre_apply",
+    "viewmgr.apply.serial",
+    "viewmgr.refresh",
+    "viewmgr.repair",
+    "differential.eval",
+    "joincache.repair",
+    "integrity.precheck",
+    "wal.append",
+    "wal.fsync",
+    "wal.before_sync",
+    "wal.torn_write",
+    "checkpoint.write",
+};
+
+// Points whose behaviour can depend on the cross-transaction join cache;
+// only these get the cache-off dimension (the rest run cache-on only).
+bool CacheSensitive(const std::string& point) {
+  return point == "differential.eval" || point == "joincache.repair" ||
+         point == "viewmgr.differential.pre_apply" ||
+         point == "viewmgr.apply.serial";
+}
+
+const char* Preamble() {
+  return "CREATE TABLE r (a INT64, b INT64);"
+         "CREATE TABLE s (c INT64, d INT64);"
+         "CREATE MATERIALIZED VIEW va AS SELECT a, d FROM r, s WHERE b = c;"
+         "CREATE MATERIALIZED VIEW vb AS SELECT c, d FROM s WHERE c < 100;"
+         "CREATE MATERIALIZED VIEW vd DEFERRED AS "
+         "  SELECT a, b FROM r WHERE a < 100;"
+         "CREATE ASSERTION bounded ON r WHERE a > 1000;";
+}
+
+// DML + refresh + checkpoint mix; every statement is independently
+// retriable (TryExecute) so a failing one is simply "not acknowledged".
+std::vector<std::string> Workload() {
+  return {
+      "INSERT INTO r VALUES (1, 10), (2, 20)",
+      "INSERT INTO s VALUES (10, 100)",
+      "UPDATE r SET b = 11 WHERE a = 1",
+      "REFRESH VIEW vd",
+      "INSERT INTO r VALUES (3, 30), (4, 4)",
+      "DELETE FROM s WHERE c = 10",
+      "CHECKPOINT",
+      "INSERT INTO s VALUES (20, 200), (30, 300)",
+      "UPDATE s SET d = 5 WHERE c = 20",
+      "INSERT INTO r VALUES (5, 50)",
+      "REFRESH VIEW vd",
+      "DELETE FROM r WHERE a = 2",
+      "INSERT INTO r VALUES (6, 60)",
+  };
+}
+
+// Re-registers every view with the cross-transaction join cache disabled
+// (definitions and modes preserved; tables are still empty at this point).
+void DisableJoinCache(Engine& engine) {
+  for (const auto& name : engine.views().ViewNames()) {
+    ViewInfo info = engine.views().Describe(name);
+    MaintenanceOptions options;
+    options.enable_join_cache = false;
+    ViewDefinition def = info.definition;
+    MaintenanceMode mode = info.mode;
+    engine.views().DropView(name);
+    engine.views().RegisterView(std::move(def), mode, options);
+  }
+}
+
+std::string Dump(Engine& engine, const char* relation) {
+  return engine.Execute(std::string("SELECT * FROM ") + relation).ToString();
+}
+
+bool SameVisibleState(Engine& a, Engine& b) {
+  for (const char* rel : {"r", "s", "va", "vb", "vd"}) {
+    if (Dump(a, rel) != Dump(b, rel)) return false;
+  }
+  return true;
+}
+
+// Post-disarm acceptance check: heal whatever is quarantined, bring the
+// deferred views up to date on both sides, scrub, and require the states
+// to match — allowing `in_flight` (a commit that failed *at* the log, so
+// its bytes may or may not have become durable) to be present or absent.
+void RepairRefreshAndCompare(Engine& recovered, Engine& shadow,
+                             const std::string& in_flight,
+                             const std::string& trace) {
+  SCOPED_TRACE(trace);
+  for (const auto& view : recovered.views().QuarantinedViews()) {
+    recovered.Execute("REPAIR VIEW " + view);
+  }
+  EXPECT_TRUE(recovered.views().QuarantinedViews().empty());
+  recovered.Execute("REFRESH VIEW vd");
+  shadow.Execute("REFRESH VIEW vd");
+
+  Scrubber scrubber(&recovered.views());
+  ScrubReport report = scrubber.ScrubAll(ScrubOptions{});
+  for (const auto& r : report.views) {
+    EXPECT_TRUE(r.clean) << r.view << ": " << r.missing << " missing, "
+                         << r.extra << " extra";
+  }
+
+  if (SameVisibleState(recovered, shadow)) return;
+  ASSERT_FALSE(in_flight.empty())
+      << "recovered state diverged from the shadow with no in-flight commit";
+  // The in-flight record became durable: the shadow must match once it
+  // carries that commit too (acked ⊆ recovered ⊆ attempted).
+  shadow.Execute(in_flight);
+  shadow.Execute("REFRESH VIEW vd");
+  for (const char* rel : {"r", "s", "va", "vb", "vd"}) {
+    EXPECT_EQ(Dump(recovered, rel), Dump(shadow, rel)) << "divergence in "
+                                                       << rel;
+  }
+}
+
+class ChaosMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("chaos_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+  }
+
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+
+  std::string FreshDir() {
+    std::filesystem::remove_all(dir_);
+    return dir_.string();
+  }
+
+  // One end-to-end scenario under an armed registry.  Returns through the
+  // acceptance check above.
+  void RunScenario(const std::vector<std::pair<std::string, FaultSpec>>& arm,
+                   bool cache, const std::string& trace) {
+    const std::string dir = FreshDir();
+    Engine shadow;
+    shadow.ExecuteScript(Preamble());
+    if (!cache) DisableJoinCache(shadow);
+
+    std::vector<std::string> acked;
+    std::string in_flight;
+    {
+      storage::RegistryFailurePolicy policy;
+      Storage::Options options;
+      options.failure_policy = &policy;
+      auto storage = Storage::Open(dir, options);
+      Engine engine(storage.get());
+      engine.ExecuteScript(Preamble());
+      if (!cache) DisableJoinCache(engine);
+
+      for (const auto& [point, spec] : arm) {
+        FaultRegistry::Global().Arm(point, spec);
+      }
+      for (const auto& sql : Workload()) {
+        Engine::Status status = engine.TryExecute(sql, nullptr);
+        if (status.ok) {
+          acked.push_back(sql);
+        } else if (status.kind == Engine::Status::Kind::kIoError &&
+                   in_flight.empty() && sql != "CHECKPOINT" &&
+                   sql.rfind("REFRESH", 0) != 0) {
+          // The first log-level rejection: its bytes may or may not be
+          // durable depending on where in the append the fault fired.
+          in_flight = sql;
+        }
+      }
+      FaultRegistry::Global().DisarmAll();
+      // Scope exit: the engine closes the storage (checkpointing when the
+      // log is still healthy).
+    }
+
+    for (const auto& sql : acked) {
+      if (sql == "CHECKPOINT") continue;
+      Engine::Status status = shadow.TryExecute(sql, nullptr);
+      EXPECT_TRUE(status.ok) << sql << ": " << status.message;
+    }
+
+    auto storage = Storage::Open(dir);
+    Engine recovered(storage.get());
+    RepairRefreshAndCompare(recovered, shadow, in_flight, trace);
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST_F(ChaosMatrixTest, EveryFaultPointIsContained) {
+  for (const char* point : kAllPoints) {
+    for (bool sticky : {false, true}) {
+      for (bool cache : {true, false}) {
+        if (!cache && !CacheSensitive(point)) continue;
+        FaultSpec spec;
+        spec.kind = FaultKind::kIoError;
+        spec.sticky = sticky;
+        RunScenario({{point, spec}}, cache,
+                    std::string("point=") + point +
+                        " sticky=" + (sticky ? "1" : "0") +
+                        " cache=" + (cache ? "1" : "0"));
+      }
+    }
+  }
+}
+
+TEST_F(ChaosMatrixTest, RandomizedMultiPointChaos) {
+  const int64_t seed = EnvInt("MVIEW_CHAOS_SEED", 20260806);
+  const int64_t iters = EnvInt("MVIEW_CHAOS_ITERS", 2);
+  for (int64_t iter = 0; iter < iters; ++iter) {
+    std::vector<std::pair<std::string, FaultSpec>> arm;
+    for (size_t i = 0; i < std::size(kAllPoints); ++i) {
+      FaultSpec spec;
+      spec.kind = FaultKind::kIoError;
+      spec.sticky = true;
+      spec.probability = 0.15;
+      spec.seed = static_cast<uint64_t>(seed + iter * 1000 + i);
+      arm.emplace_back(kAllPoints[i], spec);
+    }
+    RunScenario(arm, /*cache=*/true,
+                "MVIEW_CHAOS_SEED=" + std::to_string(seed) +
+                    " iter=" + std::to_string(iter));
+  }
+}
+
+// Satellite (c): fsyncgate semantics.  After one injected EIO on the WAL
+// fsync the log must refuse every further append — even though the fault
+// was fail-once — and recovery must replay exactly the acknowledged
+// prefix.
+TEST_F(ChaosMatrixTest, FsyncFailureSticksAndRecoveryReplaysAckedPrefix) {
+  const std::string dir = FreshDir();
+  Engine reference;
+  reference.ExecuteScript(Preamble());
+  reference.Execute("INSERT INTO r VALUES (1, 10)");
+
+  {
+    auto storage = Storage::Open(dir);
+    Engine engine(storage.get());
+    engine.ExecuteScript(Preamble());
+    engine.Execute("INSERT INTO r VALUES (1, 10)");  // acknowledged
+
+    FaultSpec eio;
+    eio.kind = FaultKind::kIoError;  // fail-once: fires exactly one hit
+    FaultRegistry::Global().Arm("wal.fsync", eio);
+    Engine::Status status =
+        engine.TryExecute("INSERT INTO r VALUES (2, 20)", nullptr);
+    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+    EXPECT_EQ(FaultRegistry::Global().FireCount("wal.fsync"), 1);
+
+    // The fault is spent, but the log never retries a failed fsync: every
+    // further append is refused until the directory is reopened.
+    status = engine.TryExecute("INSERT INTO r VALUES (3, 30)", nullptr);
+    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+    EXPECT_EQ(FaultRegistry::Global().FireCount("wal.fsync"), 1);
+    FaultRegistry::Global().DisarmAll();
+    status = engine.TryExecute("INSERT INTO r VALUES (4, 40)", nullptr);
+    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+
+    // The rejected commits were applied nowhere.
+    EXPECT_EQ(Dump(engine, "r"), Dump(reference, "r"));
+    // Scope exit: the failed log also suppresses the close checkpoint.
+  }
+
+  auto storage = Storage::Open(dir);
+  Engine recovered(storage.get());
+  for (const char* rel : {"r", "s", "va", "vb", "vd"}) {
+    EXPECT_EQ(Dump(recovered, rel), Dump(reference, rel)) << rel;
+  }
+}
+
+// Satellite (b): an exception inside a join-cache round must unwind
+// through AbortRound — the next delta computation starts a fresh round
+// instead of tripping over a still-open one.
+TEST_F(ChaosMatrixTest, JoinCacheRoundUnwindsOnFault) {
+  Engine reference;
+  reference.ExecuteScript(Preamble());
+  Engine engine;
+  engine.ExecuteScript(Preamble());
+  for (Engine* e : {&reference, &engine}) {
+    e->Execute("INSERT INTO r VALUES (1, 10)");
+    e->Execute("INSERT INTO s VALUES (10, 100)");  // warms va's join cache
+  }
+
+  FaultSpec eio;
+  eio.kind = FaultKind::kIoError;
+  FaultRegistry::Global().Arm("joincache.repair", eio);
+  engine.Execute("INSERT INTO s VALUES (20, 200)");  // va quarantined
+  reference.Execute("INSERT INTO s VALUES (20, 200)");
+  EXPECT_TRUE(engine.views().IsQuarantined("va"));
+
+  // Transient: the next commit heals va, and its join cache rounds work
+  // again (BeginRound would throw "round already active" had the failed
+  // round leaked).
+  for (Engine* e : {&reference, &engine}) {
+    e->Execute("INSERT INTO r VALUES (2, 20)");
+    e->Execute("INSERT INTO s VALUES (30, 300)");
+  }
+  EXPECT_FALSE(engine.views().IsQuarantined("va"));
+  EXPECT_EQ(Dump(engine, "va"), Dump(reference, "va"));
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,151 @@
+// Fault-injection registry semantics: fail-once vs sticky firing,
+// fire-on-Nth-hit, seeded probabilistic firing, exception-kind mapping,
+// scoped disarm, and the zero-cost disabled fast path.
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <string>
+
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace mview {
+namespace {
+
+using util::FaultKind;
+using util::FaultRegistry;
+using util::FaultSpec;
+using util::ScopedFault;
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(FaultTest, DisabledRegistryIsInert) {
+  EXPECT_FALSE(FaultRegistry::Global().armed());
+  // A hit on a fully disarmed registry never reaches the slow path; the
+  // macro itself must be safe to execute anywhere.
+  MVIEW_FAULT_POINT("fault_test.unused");
+  EXPECT_EQ(FaultRegistry::Global().HitCount("fault_test.unused"), 0);
+}
+
+TEST_F(FaultTest, FailOnceFiresExactlyOnce) {
+  FaultRegistry::Global().Arm("fault_test.p", FaultSpec{});
+  EXPECT_TRUE(FaultRegistry::Global().armed());
+  EXPECT_THROW(MVIEW_FAULT_POINT("fault_test.p"), Error);
+  // Spent: further hits pass.
+  MVIEW_FAULT_POINT("fault_test.p");
+  MVIEW_FAULT_POINT("fault_test.p");
+  EXPECT_EQ(FaultRegistry::Global().HitCount("fault_test.p"), 3);
+  EXPECT_EQ(FaultRegistry::Global().FireCount("fault_test.p"), 1);
+}
+
+TEST_F(FaultTest, StickyFiresEveryHit) {
+  FaultSpec spec;
+  spec.sticky = true;
+  FaultRegistry::Global().Arm("fault_test.p", spec);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(MVIEW_FAULT_POINT("fault_test.p"), Error);
+  }
+  EXPECT_EQ(FaultRegistry::Global().FireCount("fault_test.p"), 3);
+  FaultRegistry::Global().Disarm("fault_test.p");
+  MVIEW_FAULT_POINT("fault_test.p");  // disarmed: passes
+}
+
+TEST_F(FaultTest, HitsBeforeTargetsTheNthHit) {
+  FaultSpec spec;
+  spec.hits_before = 2;
+  FaultRegistry::Global().Arm("fault_test.p", spec);
+  MVIEW_FAULT_POINT("fault_test.p");
+  MVIEW_FAULT_POINT("fault_test.p");
+  EXPECT_THROW(MVIEW_FAULT_POINT("fault_test.p"), Error);
+  EXPECT_EQ(FaultRegistry::Global().HitCount("fault_test.p"), 3);
+  EXPECT_EQ(FaultRegistry::Global().FireCount("fault_test.p"), 1);
+}
+
+TEST_F(FaultTest, KindSelectsTheThrownException) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kIoError;
+  FaultRegistry::Global().Arm("fault_test.p", spec);
+  EXPECT_THROW(MVIEW_FAULT_POINT("fault_test.p"), IoError);
+
+  spec.kind = FaultKind::kCorruption;
+  FaultRegistry::Global().Arm("fault_test.p", spec);
+  EXPECT_THROW(MVIEW_FAULT_POINT("fault_test.p"), CorruptionError);
+
+  spec.kind = FaultKind::kBadAlloc;
+  FaultRegistry::Global().Arm("fault_test.p", spec);
+  EXPECT_THROW(MVIEW_FAULT_POINT("fault_test.p"), std::bad_alloc);
+}
+
+TEST_F(FaultTest, MessageNamesThePoint) {
+  FaultSpec spec;
+  spec.message = "disk on fire";
+  FaultRegistry::Global().Arm("fault_test.p", spec);
+  try {
+    MVIEW_FAULT_POINT("fault_test.p");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fault_test.p"), std::string::npos) << what;
+    EXPECT_NE(what.find("disk on fire"), std::string::npos) << what;
+  }
+}
+
+TEST_F(FaultTest, SeededProbabilityIsReproducible) {
+  auto run = [](uint64_t seed) {
+    FaultSpec spec;
+    spec.sticky = true;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    FaultRegistry::Global().Arm("fault_test.p", spec);
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        MVIEW_FAULT_POINT("fault_test.p");
+        pattern.push_back('.');
+      } catch (const Error&) {
+        pattern.push_back('X');
+      }
+    }
+    FaultRegistry::Global().Disarm("fault_test.p");
+    return pattern;
+  };
+  const std::string a = run(42);
+  EXPECT_EQ(a, run(42));  // same seed, same firing pattern
+  EXPECT_NE(a.find('X'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+  EXPECT_NE(a, run(43));  // different seed diverges (32 coin flips)
+}
+
+TEST_F(FaultTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault fault("fault_test.p", FaultSpec{});
+    EXPECT_TRUE(FaultRegistry::Global().armed());
+    EXPECT_EQ(FaultRegistry::Global().ArmedPoints(),
+              std::vector<std::string>{"fault_test.p"});
+  }
+  EXPECT_FALSE(FaultRegistry::Global().armed());
+  MVIEW_FAULT_POINT("fault_test.p");  // passes
+}
+
+TEST_F(FaultTest, UnarmedPointPassesWhileAnotherIsArmed) {
+  FaultRegistry::Global().Arm("fault_test.armed", FaultSpec{});
+  // The registry is armed, so this takes the slow path — but only the
+  // armed point may fire.
+  MVIEW_FAULT_POINT("fault_test.other");
+  EXPECT_THROW(MVIEW_FAULT_POINT("fault_test.armed"), Error);
+}
+
+TEST_F(FaultTest, RearmResetsCounters) {
+  FaultRegistry::Global().Arm("fault_test.p", FaultSpec{});
+  EXPECT_THROW(MVIEW_FAULT_POINT("fault_test.p"), Error);
+  FaultRegistry::Global().Arm("fault_test.p", FaultSpec{});  // re-arm
+  EXPECT_EQ(FaultRegistry::Global().HitCount("fault_test.p"), 0);
+  EXPECT_THROW(MVIEW_FAULT_POINT("fault_test.p"), Error);  // fires again
+}
+
+}  // namespace
+}  // namespace mview
