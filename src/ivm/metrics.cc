@@ -106,6 +106,14 @@ std::string PoolMetrics::ToJson() const {
   return os.str();
 }
 
+std::string SessionMetrics::ToJson() const {
+  std::ostringstream os;
+  os << "{\"opened\": " << opened << ", \"closed\": " << closed
+     << ", \"active\": " << active << ", \"totals\": " << totals.ToJson()
+     << "}";
+  return os.str();
+}
+
 std::string ScrubMetrics::ToJson() const {
   std::ostringstream os;
   os << "{\"views_scrubbed\": " << views_scrubbed
@@ -166,10 +174,14 @@ std::string MetricsRegistry::ToJson() const {
   os << "{\"commits\": " << commit_.commits
      << ", \"normalize_nanos\": " << commit_.normalize_nanos
      << ", \"base_apply_nanos\": " << commit_.base_apply_nanos
+     << ", \"epochs_published\": " << commit_.epochs_published
+     << ", \"snapshot_reuses\": " << commit_.snapshot_reuses
+     << ", \"snapshot_copies\": " << commit_.snapshot_copies
      << ", \"commit_latency\": " << commit_.commit_latency.ToJson()
      << ", \"storage\": " << storage_.ToJson()
      << ", \"pool\": " << pool_.ToJson()
      << ", \"scrub\": " << scrub_.ToJson()
+     << ", \"sessions\": " << sessions_.ToJson()
      << ", \"global\": " << Aggregate().ToJson()
      << ", \"retired\": " << retired_.ToJson() << ", \"views\": {";
   bool first = true;

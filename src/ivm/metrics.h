@@ -10,6 +10,7 @@
 
 #include "ivm/differential.h"
 #include "obs/histogram.h"
+#include "obs/session_stats.h"
 
 namespace mview {
 
@@ -76,6 +77,11 @@ struct CommitMetrics {
   int64_t commits = 0;             // non-empty effects applied
   int64_t normalize_nanos = 0;     // Transaction::Normalize time
   int64_t base_apply_nanos = 0;    // TransactionEffect::ApplyTo time
+  // Epoch-snapshot publication (the non-blocking read path).
+  int64_t epochs_published = 0;   // RCU snapshots installed
+  int64_t snapshot_reuses = 0;    // retired buffers recycled via delta replay
+  int64_t snapshot_copies = 0;    // buffers cloned (first commit, or a
+                                  // reader still pinned the spare)
   obs::LatencyHistogram commit_latency;  // end-to-end ApplyEffect latency
 };
 
@@ -112,6 +118,22 @@ struct StorageMetrics {
   obs::LatencyHistogram fsync_latency;  // per write+fsync batch
 
   /// One JSON object with the counters and the batch-size histogram.
+  std::string ToJson() const;
+};
+
+/// Session-scope counters: how many client sessions have existed and the
+/// combined work they did.  Refreshed by the engine (closed sessions'
+/// totals plus a sample of every live session) before stats are rendered,
+/// on the thread holding the engine's exclusive lock — like `PoolMetrics`
+/// this struct is just the last snapshot.  Surfaced under the "sessions"
+/// key of `SHOW STATS JSON` and the `mview_session_*` Prometheus families.
+struct SessionMetrics {
+  int64_t opened = 0;  // sessions ever created (incl. the engine default)
+  int64_t closed = 0;
+  int64_t active = 0;            // = opened - closed at sample time
+  obs::SessionStats totals;      // all sessions, closed + live
+
+  /// `{"opened": …, "closed": …, "active": …, "totals": {…}}`.
   std::string ToJson() const;
 };
 
@@ -166,6 +188,9 @@ class MetricsRegistry {
   ScrubMetrics& scrub() { return scrub_; }
   const ScrubMetrics& scrub() const { return scrub_; }
 
+  SessionMetrics& sessions() { return sessions_; }
+  const SessionMetrics& sessions() const { return sessions_; }
+
   /// Metrics accumulated by views dropped since session start.
   const ViewMetrics& retired() const { return retired_; }
 
@@ -175,8 +200,10 @@ class MetricsRegistry {
 
   /// The full registry as one JSON document:
   /// `{"commits": …, "normalize_nanos": …, "base_apply_nanos": …,
-  ///   "commit_latency": {…}, "storage": {…}, "pool": {…}, "global": {…},
-  ///   "retired": {…}, "views": {"name": {…}, …}}`.
+  ///   "epochs_published": …, "snapshot_reuses": …, "snapshot_copies": …,
+  ///   "commit_latency": {…}, "storage": {…}, "pool": {…}, "scrub": {…},
+  ///   "sessions": {…}, "global": {…}, "retired": {…},
+  ///   "views": {"name": {…}, …}}`.
   std::string ToJson() const;
 
  private:
@@ -186,6 +213,7 @@ class MetricsRegistry {
   StorageMetrics storage_;
   PoolMetrics pool_;
   ScrubMetrics scrub_;
+  SessionMetrics sessions_;
 };
 
 }  // namespace mview

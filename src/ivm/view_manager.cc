@@ -40,9 +40,77 @@ constexpr int64_t kMaxRepairAttempts = 3;
 
 }  // namespace
 
+const ViewSnapshot* EpochSnapshot::Find(const std::string& name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+const CountedRelation& EpochSnapshot::Read(const std::string& name) const {
+  const ViewSnapshot* view = Find(name);
+  MVIEW_CHECK(view != nullptr, "unknown view: ", name);
+  if (view->quarantined) {
+    throw ViewQuarantinedError("view " + name + " is quarantined (" +
+                               view->quarantine_reason +
+                               "); run REPAIR VIEW " + name);
+  }
+  return *view->data;
+}
+
+std::vector<std::string> EpochSnapshot::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, view] : views_) names.push_back(name);
+  return names;
+}
+
 ViewManager::ViewManager(Database* db, size_t parallelism) : db_(db) {
   MVIEW_CHECK(db_ != nullptr, "null database");
   SetParallelism(parallelism);
+  PublishEpoch();  // epoch 0: no views yet, but Snapshot() is never null
+}
+
+void ViewManager::PublishEpoch() {
+  auto snap = std::make_shared<EpochSnapshot>();
+  snap->epoch_ = epoch_seq_++;
+  for (const auto& [name, view] : views_) {
+    ViewSnapshot vs;
+    vs.data = view->materialized;
+    vs.mode = view->mode;
+    vs.quarantined = view->quarantined;
+    vs.quarantine_reason = view->quarantine_reason;
+    for (const auto& log : view->pending) {
+      if (!log->Empty()) vs.stale = true;
+    }
+    snap->views_.emplace(name, std::move(vs));
+  }
+  published_.Store(std::move(snap));
+  ++metrics_.commit().epochs_published;
+}
+
+void ViewManager::PublishAsEpochZero() {
+  epoch_seq_ = 0;
+  PublishEpoch();
+}
+
+std::shared_ptr<CountedRelation> ViewManager::WritableBuffer(
+    ManagedView* view) {
+  if (view->spare != nullptr && view->lag_delta != nullptr &&
+      view->spare.use_count() == 1) {
+    // No snapshot pins the retired buffer: catch it up to the front by
+    // replaying the delta that separates them — O(|delta|), no copy.
+    std::shared_ptr<CountedRelation> buffer = std::move(view->spare);
+    view->lag_delta->ApplyTo(buffer.get());
+    view->lag_delta.reset();
+    ++metrics_.commit().snapshot_reuses;
+    return buffer;
+  }
+  // First delta for this view, or a reader still holds the spare: start
+  // from a clone of the front.  Steady state with prompt readers never
+  // takes this branch after the first commit.
+  view->spare.reset();
+  view->lag_delta.reset();
+  ++metrics_.commit().snapshot_copies;
+  return std::make_shared<CountedRelation>(*view->materialized);
 }
 
 void ViewManager::SetParallelism(size_t workers) {
@@ -72,7 +140,8 @@ void ViewManager::RegisterView(ViewDefinition def, MaintenanceMode mode,
   view->mode = mode;
   view->maintainer =
       std::make_unique<DifferentialMaintainer>(std::move(def), db_, options);
-  view->materialized = view->maintainer->FullEvaluate();
+  view->materialized =
+      std::make_shared<CountedRelation>(view->maintainer->FullEvaluate());
   view->metrics = &metrics_.ForView(name);
   view->span_name_id = obs::Tracer::Global().InternName("maintain:" + name);
   if (mode == MaintenanceMode::kDeferred) {
@@ -83,6 +152,7 @@ void ViewManager::RegisterView(ViewDefinition def, MaintenanceMode mode,
     }
   }
   views_[name] = std::move(view);
+  PublishEpoch();
 }
 
 void ViewManager::RestoreView(ViewDefinition def, MaintenanceMode mode,
@@ -108,7 +178,8 @@ void ViewManager::RestoreView(ViewDefinition def, MaintenanceMode mode,
   view->quarantine_sticky = health.sticky;
   view->maintainer =
       std::make_unique<DifferentialMaintainer>(std::move(def), db_, options);
-  view->materialized = std::move(materialized);
+  view->materialized =
+      std::make_shared<CountedRelation>(std::move(materialized));
   view->metrics = &metrics_.ForView(name);
   view->span_name_id = obs::Tracer::Global().InternName("maintain:" + name);
   if (mode == MaintenanceMode::kDeferred) {
@@ -125,11 +196,13 @@ void ViewManager::RestoreView(ViewDefinition def, MaintenanceMode mode,
     }
   }
   views_[name] = std::move(view);
+  PublishEpoch();
 }
 
 void ViewManager::DropView(const std::string& name) {
   MVIEW_CHECK(views_.erase(name) > 0, "unknown view: ", name);
   metrics_.Remove(name);
+  PublishEpoch();
 }
 
 void ViewManager::SyncPoolMetrics() {
@@ -274,16 +347,27 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
         MVIEW_FAULT_POINT("viewmgr.apply.serial");
         if (job.delta != nullptr) {
           Stopwatch timer;
-          job.delta->ApplyTo(&view->materialized);
+          // RCU install: apply the delta to a writable successor buffer,
+          // retire the published front as the new spare, and remember the
+          // delta so the spare can be recycled next commit.  The published
+          // epoch's buffer is never touched.
+          std::shared_ptr<CountedRelation> next = WritableBuffer(view);
+          job.delta->ApplyTo(next.get());
+          m.delta_sizes.Record(job.delta->TotalCount());
+          view->spare = std::move(view->materialized);
+          view->materialized = std::move(next);
+          view->lag_delta = std::move(job.delta);
           int64_t nanos = timer.ElapsedNanos();
           m.phases.apply_nanos += nanos;
           m.stats.maintenance_nanos += nanos;
           m.apply_latency.Record(nanos);
-          m.delta_sizes.Record(job.delta->TotalCount());
         }
         if (view->mode == MaintenanceMode::kFullReevaluation) {
           Stopwatch timer;
-          view->materialized = view->maintainer->FullEvaluate(&m.stats.plan);
+          view->materialized = std::make_shared<CountedRelation>(
+              view->maintainer->FullEvaluate(&m.stats.plan));
+          view->spare.reset();
+          view->lag_delta.reset();
           ++m.stats.full_reevaluations;
           int64_t nanos = timer.ElapsedNanos();
           m.phases.apply_nanos += nanos;
@@ -295,6 +379,7 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
       }
     }
   }
+  PublishEpoch();
   metrics_.commit().commit_latency.Record(commit_timer.ElapsedNanos());
 }
 
@@ -322,6 +407,9 @@ void ViewManager::Quarantine(const std::string& name, const std::string& reason,
   for (auto& log : view.pending) log->Clear();
   PublishHealthEvent({ViewHealthEvent::Kind::kQuarantine, name, reason,
                       view.quarantine_sticky});
+  // Snapshot readers must observe the quarantine too (their epoch's data
+  // pointer still exists but `Read` now throws).
+  PublishEpoch();
 }
 
 void ViewManager::Repair(const std::string& name) {
@@ -341,7 +429,9 @@ void ViewManager::Repair(const std::string& name) {
     throw Error("repair verification failed for view " + name +
                 ": two full evaluations disagree");
   }
-  view.materialized = std::move(result);
+  view.materialized = std::make_shared<CountedRelation>(std::move(result));
+  view.spare.reset();
+  view.lag_delta.reset();
   view.maintainer->ResetJoinCache();
   for (auto& log : view.pending) log->Clear();
   const bool was_quarantined = view.quarantined;
@@ -355,6 +445,7 @@ void ViewManager::Repair(const std::string& name) {
   if (was_quarantined) {
     PublishHealthEvent({ViewHealthEvent::Kind::kRepair, name, "", false});
   }
+  PublishEpoch();
 }
 
 void ViewManager::RetryTransientQuarantines() {
@@ -467,12 +558,17 @@ void ViewManager::RefreshView(const std::string& name, ManagedView* view) {
     ViewDelta delta = view->maintainer->ComputeDeltaFromParts(parts, &m.stats);
     m.phases.differential_nanos += timer.ElapsedNanos();
     Stopwatch apply_timer;
-    delta.ApplyTo(&view->materialized);
-    m.phases.apply_nanos += apply_timer.ElapsedNanos();
+    std::shared_ptr<CountedRelation> next = WritableBuffer(view);
+    delta.ApplyTo(next.get());
     m.delta_sizes.Record(delta.TotalCount());
+    view->spare = std::move(view->materialized);
+    view->materialized = std::move(next);
+    view->lag_delta = std::make_unique<ViewDelta>(std::move(delta));
+    m.phases.apply_nanos += apply_timer.ElapsedNanos();
     for (auto& log : view->pending) log->Clear();
     ++m.stats.refreshes;
     m.stats.maintenance_nanos += timer.ElapsedNanos();
+    PublishEpoch();
   } catch (...) {
     // Same containment as the commit pipeline: a failed refresh (possibly
     // mid-apply) leaves the materialization untrusted — quarantine it.
@@ -495,7 +591,7 @@ ViewInfo ViewManager::Describe(const std::string& name) const {
   info.mode = view.mode;
   info.definition = view.maintainer->definition();
   info.stats = view.metrics->stats;
-  info.rows = view.materialized.size();
+  info.rows = view.materialized->size();
   for (const auto& log : view.pending) {
     if (!log->Empty()) info.stale = true;
     info.pending_tuples += log->TotalTuples();
@@ -513,16 +609,23 @@ const CountedRelation& ViewManager::View(const std::string& name) const {
                                view.quarantine_reason +
                                "); run REPAIR VIEW " + name);
   }
-  return view.materialized;
+  return *view.materialized;
 }
 
 const CountedRelation& ViewManager::Materialization(
     const std::string& name) const {
-  return GetView(name).materialized;
+  return *GetView(name).materialized;
 }
 
 CountedRelation& ViewManager::MutableMaterialization(const std::string& name) {
-  return GetView(name).materialized;
+  ManagedView& view = GetView(name);
+  // The returned buffer may be shared with the published epoch, so injected
+  // drift is visible to snapshot readers too.  Drop the retired spare and
+  // its catch-up delta: replaying them later would resurrect pre-drift
+  // bytes and silently undo what the test injected.
+  view.spare.reset();
+  view.lag_delta.reset();
+  return *view.materialized;
 }
 
 const std::vector<std::unique_ptr<BaseDeltaLog>>& ViewManager::PendingLogs(

@@ -1,9 +1,12 @@
 #ifndef MVIEW_IVM_VIEW_MANAGER_H_
 #define MVIEW_IVM_VIEW_MANAGER_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -72,6 +75,49 @@ struct ViewHealthEvent {
   bool sticky = false;  // kQuarantine: no automatic retry
 };
 
+/// One view's entry in a published epoch: an immutable materialization
+/// plus the health/staleness the view had when the epoch was installed.
+struct ViewSnapshot {
+  /// The materialized contents at the epoch — never null, never mutated
+  /// after publication (the commit pipeline installs the *next* version in
+  /// a different buffer).
+  std::shared_ptr<const CountedRelation> data;
+  MaintenanceMode mode = MaintenanceMode::kImmediate;
+  bool quarantined = false;
+  std::string quarantine_reason;
+  bool stale = false;  // deferred view with pending base changes
+};
+
+/// An immutable snapshot of every registered view as of one committed
+/// round.  Readers obtain one via `ViewManager::Snapshot()` (a single
+/// atomic shared_ptr load) and read it without any locking: the commit
+/// pipeline never mutates a published epoch, it swaps in a successor.
+/// Holding an `EpochSnapshot` pins its buffers alive — drop it promptly so
+/// the writer can recycle retired buffers instead of copying.
+class EpochSnapshot {
+ public:
+  /// Monotonic publication counter.  Recovery installs epoch 0 (the
+  /// recovered state); every later mutation publishes the next epoch.
+  uint64_t epoch() const { return epoch_; }
+
+  /// The named view's entry, or nullptr when no such view existed at this
+  /// epoch.
+  const ViewSnapshot* Find(const std::string& name) const;
+
+  /// The materialization of `name` with the same health contract as
+  /// `ViewManager::View`: throws `ViewQuarantinedError` when the view was
+  /// quarantined at this epoch and `Error` when it did not exist.
+  const CountedRelation& Read(const std::string& name) const;
+
+  std::vector<std::string> ViewNames() const;
+  size_t NumViews() const { return views_.size(); }
+
+ private:
+  friend class ViewManager;
+  uint64_t epoch_ = 0;
+  std::map<std::string, ViewSnapshot> views_;
+};
+
 /// Owns the materializations of a set of SPJ views over a `Database` and
 /// keeps them consistent as transactions commit.
 ///
@@ -103,8 +149,21 @@ struct ViewHealthEvent {
 /// the view from the bases and verifies the result by double evaluation
 /// before installing it.  See DESIGN.md, "Failure model and self-healing".
 ///
-/// The manager is not itself thread-safe: one thread drives `Apply` and the
-/// accessors.  Parallelism is internal to a single commit.
+/// Epoch snapshots: every mutation that changes observable view state
+/// (commit, register/drop/restore, refresh, repair, quarantine) publishes
+/// an immutable `EpochSnapshot` through an atomic shared_ptr swap.
+/// `Snapshot()` is safe to call from any thread at any time and is the
+/// basis of the engine's non-blocking read path: readers scan the published
+/// buffers while the commit pipeline builds the next version in separate
+/// buffers (RCU).  Per view the manager keeps the published front buffer
+/// plus one retired spare and the delta between them; when no reader still
+/// pins the spare it is recycled by replaying that delta (O(|delta|)), so
+/// steady-state publication does not copy materializations (see DESIGN.md,
+/// "Sessions, epochs, and the server").
+///
+/// Apart from `Snapshot()`, the manager is not itself thread-safe: one
+/// thread (or an external lock) drives `Apply` and the accessors.
+/// Parallelism is internal to a single commit.
 class ViewManager {
  public:
   /// The manager maintains views over `db`; base relations must be created
@@ -153,8 +212,24 @@ class ViewManager {
 
   /// Mutable access to the raw materialization.  Exists for tests (the
   /// scrubber suite injects drift through it) — production code never
-  /// mutates a materialization except through the commit pipeline.
+  /// mutates a materialization except through the commit pipeline.  The
+  /// returned buffer may be shared with the published epoch snapshot, so
+  /// injected drift is visible to snapshot readers too; the view's retired
+  /// spare buffer is dropped so later commits never resurrect pre-drift
+  /// bytes.  Single-threaded use only.
   CountedRelation& MutableMaterialization(const std::string& name);
+
+  /// The latest published epoch — one atomic pointer read, callable from
+  /// any thread concurrently with commits.  Never null.
+  std::shared_ptr<const EpochSnapshot> Snapshot() const {
+    return published_.Load();
+  }
+
+  /// Re-publishes the current state as epoch 0 and restarts the epoch
+  /// counter.  Recovery calls this once after replay so a freshly opened
+  /// database always starts serving from epoch 0 regardless of how many
+  /// rounds the WAL replayed.
+  void PublishAsEpochZero();
 
   /// Brings a deferred view up to date (no-op for other modes or when
   /// nothing is pending).
@@ -246,7 +321,17 @@ class ViewManager {
     std::string name;
     MaintenanceMode mode = MaintenanceMode::kImmediate;
     std::unique_ptr<DifferentialMaintainer> maintainer;
-    CountedRelation materialized;
+    // The front buffer: the view's current contents, shared with the
+    // published epoch snapshot.  Once published it is treated as immutable
+    // by the commit pipeline — deltas are applied to a successor buffer
+    // which then replaces it (RCU).
+    std::shared_ptr<CountedRelation> materialized;
+    // The previous front, retired at the last delta commit, plus the delta
+    // that separates it from `materialized`.  When no epoch snapshot still
+    // pins `spare` (use_count == 1) the next commit recycles it by
+    // replaying `lag_delta` instead of copying the whole view.
+    std::shared_ptr<CountedRelation> spare;
+    std::unique_ptr<ViewDelta> lag_delta;
     ViewMetrics* metrics = nullptr;  // owned by metrics_, stable address
     uint32_t span_name_id = 0;       // interned "maintain:<name>" span name
     // Deferred mode: one filtered change log per base occurrence.
@@ -289,6 +374,42 @@ class ViewManager {
   /// elapsed; called at the top of each commit against the pre-state.
   void RetryTransientQuarantines();
   void PublishHealthEvent(const ViewHealthEvent& event);
+  /// Builds the next epoch from the current view states and installs it
+  /// with a release store.  Called after every observable mutation.
+  void PublishEpoch();
+  /// A buffer holding `view`'s current contents that the commit pipeline
+  /// may mutate: the retired spare caught up via `lag_delta` replay when no
+  /// snapshot pins it, otherwise a clone of the front (counted in
+  /// `CommitMetrics::snapshot_copies`).
+  std::shared_ptr<CountedRelation> WritableBuffer(ManagedView* view);
+
+  /// The atomically-swappable holder of the published epoch.  Morally
+  /// `std::atomic<std::shared_ptr<const EpochSnapshot>>`, but GCC 12's
+  /// implementation of that type is not ThreadSanitizer-clean (its reader
+  /// unlock is relaxed, so the internal pointer-field accesses formally
+  /// race; fixed in later libstdc++).  A reader-writer lock around the
+  /// pointer keeps every access a constant-time refcount bump — readers
+  /// never serialize against each other, only against the instant of a
+  /// publish — and keeps the whole system race-detector-clean.
+  class PublishedEpoch {
+   public:
+    std::shared_ptr<const EpochSnapshot> Load() const {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      return ptr_;
+    }
+    void Store(std::shared_ptr<const EpochSnapshot> next) {
+      {
+        std::unique_lock<std::shared_mutex> lock(mu_);
+        ptr_.swap(next);
+      }
+      // `next` (the retired epoch) is destroyed here, outside the lock,
+      // so readers are never blocked behind buffer teardown.
+    }
+
+   private:
+    mutable std::shared_mutex mu_;
+    std::shared_ptr<const EpochSnapshot> ptr_;
+  };
 
   Database* db_;
   std::map<std::string, std::unique_ptr<ManagedView>> views_;
@@ -296,6 +417,11 @@ class ViewManager {
   std::unique_ptr<util::ThreadPool> pool_;
   std::function<void(const ViewHealthEvent&)> health_listener_;
   int64_t commit_seq_ = 0;  // commits seen; the backoff clock
+  // The latest published epoch (never null after construction) and the
+  // sequence counter behind it.  Only `published_` is touched by readers;
+  // everything else is writer-private.
+  PublishedEpoch published_;
+  uint64_t epoch_seq_ = 0;
 };
 
 }  // namespace mview

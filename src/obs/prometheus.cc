@@ -108,6 +108,15 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
   EmitLatencyFamily(os, "mview_commit_latency_seconds",
                     "End-to-end maintained-commit latency",
                     {{"", &commit.commit_latency}});
+  Family(os, "mview_epochs_published_total", "counter",
+         "Immutable view-epoch snapshots published for lock-free readers")
+      .Sample("", commit.epochs_published);
+  Family(os, "mview_snapshot_reuses_total", "counter",
+         "Commits that recycled the retired view buffer via lag-delta replay")
+      .Sample("", commit.snapshot_reuses);
+  Family(os, "mview_snapshot_copies_total", "counter",
+         "Commits that cloned the published view buffer (reader pinned it)")
+      .Sample("", commit.snapshot_copies);
 
   Family pool_workers(os, "mview_pool_workers", "gauge",
                       "Maintenance thread-pool size");
@@ -224,6 +233,35 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
   Family(os, "mview_scrub_repairs_total", "counter",
          "Repairs performed by SCRUB ... REPAIR")
       .Sample("", scrub.repairs);
+
+  const SessionMetrics& sessions = registry.sessions();
+  Family(os, "mview_sessions_opened_total", "counter",
+         "Client sessions opened")
+      .Sample("", sessions.opened);
+  Family(os, "mview_sessions_closed_total", "counter",
+         "Client sessions closed")
+      .Sample("", sessions.closed);
+  Family(os, "mview_sessions_active", "gauge",
+         "Client sessions currently open")
+      .Sample("", sessions.active);
+  Family(os, "mview_session_statements_total", "counter",
+         "Statements executed across all sessions")
+      .Sample("", sessions.totals.statements);
+  Family(os, "mview_session_errors_total", "counter",
+         "Statements that raised an error across all sessions")
+      .Sample("", sessions.totals.errors);
+  Family(os, "mview_session_rows_returned_total", "counter",
+         "Result rows returned across all sessions")
+      .Sample("", sessions.totals.rows_returned);
+  Family(os, "mview_session_snapshot_reads_total", "counter",
+         "View SELECTs served lock-free from a published epoch")
+      .Sample("", sessions.totals.snapshot_reads);
+  EmitLatencyFamily(os, "mview_session_statement_latency_seconds",
+                    "Per-statement latency across all sessions",
+                    {{"", &sessions.totals.statement_latency}});
+  EmitLatencyFamily(os, "mview_session_read_latency_seconds",
+                    "SELECT latency across all sessions",
+                    {{"", &sessions.totals.read_latency}});
   return os.str();
 }
 

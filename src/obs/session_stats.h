@@ -1,0 +1,52 @@
+#ifndef MVIEW_OBS_SESSION_STATS_H_
+#define MVIEW_OBS_SESSION_STATS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "obs/histogram.h"
+
+namespace mview::obs {
+
+/// Counters one `sql::Session` accumulates over its lifetime: statement
+/// volume, error count, how many reads were served lock-free from an epoch
+/// snapshot, and the latency shape of reads vs. all statements.
+///
+/// Plain data, single-writer like the other metrics structs; the session
+/// guards its instance with its own mutex and the engine folds closed
+/// sessions' stats into a global total with `operator+=`.
+struct SessionStats {
+  int64_t statements = 0;      // statements executed (ok or not)
+  int64_t errors = 0;          // statements that failed
+  int64_t rows_returned = 0;   // result rows across all statements
+  int64_t snapshot_reads = 0;  // view SELECTs served from an epoch snapshot
+                               // without taking the engine lock
+  LatencyHistogram statement_latency;  // every statement, end to end
+  LatencyHistogram read_latency;       // SELECT statements only
+
+  SessionStats& operator+=(const SessionStats& other) {
+    statements += other.statements;
+    errors += other.errors;
+    rows_returned += other.rows_returned;
+    snapshot_reads += other.snapshot_reads;
+    statement_latency += other.statement_latency;
+    read_latency += other.read_latency;
+    return *this;
+  }
+
+  /// One JSON object with the counters and both latency histograms.
+  std::string ToJson() const {
+    std::ostringstream os;
+    os << "{\"statements\": " << statements << ", \"errors\": " << errors
+       << ", \"rows_returned\": " << rows_returned
+       << ", \"snapshot_reads\": " << snapshot_reads
+       << ", \"statement_latency\": " << statement_latency.ToJson()
+       << ", \"read_latency\": " << read_latency.ToJson() << "}";
+    return os.str();
+  }
+};
+
+}  // namespace mview::obs
+
+#endif  // MVIEW_OBS_SESSION_STATS_H_

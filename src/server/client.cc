@@ -1,0 +1,103 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace mview::server {
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw IoError(std::string("client: ") + what + ": " +
+                std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    throw IoError("client: bad address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    Close();
+    errno = saved;
+    ThrowErrno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+WireResponse Client::Execute(const std::string& sql) {
+  MVIEW_CHECK(fd_ >= 0, "client: not connected");
+  std::string request = sql;
+  request += '\n';
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd_, request.data() + sent, request.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  char chunk[4096];
+  while (true) {
+    size_t eol = buffer_.find('\n');
+    if (eol != std::string::npos) {
+      std::string line = buffer_.substr(0, eol);
+      buffer_.erase(0, eol + 1);
+      return ParseResponse(line);
+    }
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("read");
+    }
+    if (n == 0) {
+      throw IoError("client: connection closed before response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace mview::server

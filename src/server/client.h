@@ -1,0 +1,44 @@
+#ifndef MVIEW_SERVER_CLIENT_H_
+#define MVIEW_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/wire.h"
+
+namespace mview::server {
+
+/// A minimal blocking client for the line protocol (server/wire.h): one
+/// statement out, one JSON response line back.  Single-threaded; used by
+/// the server tests, the concurrent-session benchmark's TCP mode, and as
+/// the reference implementation for external clients.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to `host:port`.  Throws `IoError` on failure.  `host` is a
+  /// dotted-quad address ("127.0.0.1"), not a DNS name.
+  void Connect(const std::string& host, uint16_t port);
+
+  /// Sends one statement and blocks for its response line.  Throws
+  /// `IoError` when not connected or when the connection drops before a
+  /// full response arrives (the server is draining, crashed, …).
+  WireResponse Execute(const std::string& sql);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last consumed response line
+};
+
+}  // namespace mview::server
+
+#endif  // MVIEW_SERVER_CLIENT_H_

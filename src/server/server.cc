@@ -1,0 +1,207 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "server/wire.h"
+#include "sql/engine.h"
+#include "sql/session.h"
+#include "util/error.h"
+
+namespace mview::server {
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw IoError(std::string("server: ") + what + ": " +
+                std::strerror(errno));
+}
+
+// Writes the whole buffer; MSG_NOSIGNAL so a vanished peer surfaces as
+// EPIPE instead of killing the process.  Returns false when the peer is
+// gone.
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(sql::EngineCore* core, Options options)
+    : core_(core), options_(options) {}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Start() {
+  MVIEW_CHECK(!started_, "server already started");
+
+  if (::pipe(stop_pipe_) != 0) ThrowErrno("pipe");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) ThrowErrno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ThrowErrno("bind");
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) ThrowErrno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    ThrowErrno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  started_ = true;
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+}
+
+void Server::RequestShutdown() {
+  if (!started_) return;
+  draining_.store(true, std::memory_order_release);
+  // One byte wakes every poller: nobody ever reads the pipe, so POLLIN
+  // stays raised for all of them.  Async-signal-safe by construction.
+  char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(stop_pipe_[1], &b, 1);
+}
+
+void Server::Wait() {
+  if (!started_ || joined_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(connections_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+  joined_ = true;
+}
+
+void Server::Shutdown() {
+  RequestShutdown();
+  Wait();
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // drain requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.emplace_back(&Server::Serve, this, fd);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::Serve(int fd) {
+  std::unique_ptr<sql::Session> session = core_->CreateSession();
+  std::string buffer;
+  char chunk[4096];
+  bool peer_gone = false;
+  while (!peer_gone) {
+    // Serve every complete line already buffered before reading more, so
+    // a drain still answers requests that made it to us in time.
+    size_t eol;
+    while ((eol = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, eol);
+      buffer.erase(0, eol + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      sql::Result result;
+      Status status = session->TryExecute(line, &result);
+      std::string response =
+          EncodeResponse(status, status.ok ? &result : nullptr);
+      response += '\n';
+      if (!WriteAll(fd, response)) {
+        peer_gone = true;
+        break;
+      }
+    }
+    if (peer_gone) break;
+    if (draining_.load(std::memory_order_acquire)) break;
+    pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) break;  // EOF or error: client went away
+      buffer.append(chunk, static_cast<size_t>(n));
+    } else if (fds[1].revents != 0) {
+      break;  // drain requested while idle
+    }
+  }
+  ::close(fd);
+  // The session's counters fold into the core's totals on destruction.
+}
+
+namespace {
+
+std::atomic<int> g_shutdown_fd{-1};
+
+void ShutdownSignalHandler(int) {
+  int fd = g_shutdown_fd.load(std::memory_order_relaxed);
+  if (fd < 0) return;
+  char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(fd, &b, 1);
+}
+
+}  // namespace
+
+void InstallShutdownSignalHandlers(Server& server) {
+  g_shutdown_fd.store(server.shutdown_fd(), std::memory_order_relaxed);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = ShutdownSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace mview::server

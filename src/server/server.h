@@ -1,0 +1,97 @@
+#ifndef MVIEW_SERVER_SERVER_H_
+#define MVIEW_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mview::sql {
+class EngineCore;
+}  // namespace mview::sql
+
+namespace mview::server {
+
+/// A line-oriented TCP frontend over one `EngineCore`.
+///
+/// Each accepted connection gets its own `sql::Session` (so BEGIN…COMMIT
+/// state is per-connection) and its own handler thread; concurrency between
+/// connections is exactly the engine's session model — view SELECTs are
+/// served lock-free from the published epoch, everything else takes the
+/// engine lock its statement class requires.
+///
+/// Protocol: see server/wire.h.  One SQL statement per request line, one
+/// single-line JSON response per request.
+///
+/// Shutdown is a graceful drain: `RequestShutdown` (or a SIGINT/SIGTERM
+/// after `InstallShutdownSignalHandlers`) stops the accept loop, lets every
+/// connection finish the statement it is executing — including writing its
+/// response — and then closes.  `Wait` joins everything.
+class Server {
+ public:
+  struct Options {
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+    /// from `port()` after `Start`).
+    uint16_t port = 0;
+    int backlog = 64;
+  };
+
+  /// `core` is not owned and must outlive the server.
+  Server(sql::EngineCore* core, Options options);
+
+  /// Drains and joins (equivalent to `Shutdown`) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop.  Throws `IoError` when
+  /// the socket cannot be set up.
+  void Start();
+
+  /// The bound port (valid after `Start`).
+  uint16_t port() const { return port_; }
+
+  /// Signals the drain from any thread — or a signal handler: the
+  /// implementation is one `write` to a pipe, which is async-signal-safe.
+  /// Does not wait; pair with `Wait`.
+  void RequestShutdown();
+
+  /// Blocks until the accept loop and every connection handler exit.
+  void Wait();
+
+  /// `RequestShutdown` + `Wait`.  Idempotent.
+  void Shutdown();
+
+  /// The pipe fd a signal handler may write one byte to in order to
+  /// trigger the drain (valid after `Start`).
+  int shutdown_fd() const { return stop_pipe_[1]; }
+
+ private:
+  void AcceptLoop();
+  void Serve(int fd);
+
+  sql::EngineCore* core_;  // not owned
+  Options options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};  // [0]=read (polled), [1]=write (signal)
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+  bool joined_ = false;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+};
+
+/// Installs SIGINT and SIGTERM handlers that request this server's
+/// drain (async-signal-safe: the handler writes one byte to the server's
+/// stop pipe).  Call after `Start`; the server must outlive the handlers'
+/// last possible firing.  One server per process — installing for a second
+/// server redirects the signals to it.
+void InstallShutdownSignalHandlers(Server& server);
+
+}  // namespace mview::server
+
+#endif  // MVIEW_SERVER_SERVER_H_

@@ -1,0 +1,78 @@
+// mview_server: the line-oriented TCP frontend as a standalone binary.
+//
+//   mview_server [--port=N] [--data=DIR] [--parallelism=N]
+//
+//  --port=N         port on 127.0.0.1 (default 7433; 0 = ephemeral)
+//  --data=DIR       durable database directory (recovered on start,
+//                   checkpointed on drain); omit for an in-memory engine
+//  --parallelism=N  maintenance thread-pool size (default serial)
+//
+// Protocol: one SQL statement per line in, one JSON response line out —
+// see src/server/wire.h.  SIGINT/SIGTERM drain gracefully: in-flight
+// statements finish and their responses are written before sockets close.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "server/server.h"
+#include "sql/engine.h"
+#include "storage/storage.h"
+
+namespace {
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7433;
+  std::string data;
+  size_t parallelism = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "port", &value)) {
+      port = static_cast<uint16_t>(std::stoul(value));
+    } else if (ParseFlag(arg, "data", &value)) {
+      data = value;
+    } else if (ParseFlag(arg, "parallelism", &value)) {
+      parallelism = std::stoul(value);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n"
+                << "usage: mview_server [--port=N] [--data=DIR]"
+                   " [--parallelism=N]\n";
+      return 2;
+    }
+  }
+
+  try {
+    std::unique_ptr<mview::Storage> storage;
+    if (!data.empty()) storage = mview::Storage::Open(data);
+    mview::sql::EngineCore core(storage.get());
+    if (parallelism > 0) core.mutable_views().SetParallelism(parallelism);
+
+    mview::server::Server::Options options;
+    options.port = port;
+    mview::server::Server server(&core, options);
+    server.Start();
+    mview::server::InstallShutdownSignalHandlers(server);
+    std::cout << "mview_server listening on 127.0.0.1:" << server.port()
+              << (data.empty() ? " (in-memory)" : (" (data: " + data + ")"))
+              << std::endl;
+    server.Wait();
+    std::cout << "mview_server drained" << std::endl;
+  } catch (const std::exception& e) {
+    std::cerr << "mview_server: " << e.what() << std::endl;
+    return 1;
+  }
+  return 0;
+}

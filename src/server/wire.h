@@ -1,0 +1,53 @@
+#ifndef MVIEW_SERVER_WIRE_H_
+#define MVIEW_SERVER_WIRE_H_
+
+#include <string>
+
+#include "sql/result.h"
+#include "util/status.h"
+
+namespace mview::server {
+
+/// The wire protocol, shared by server and client:
+///
+///  - Requests are line-oriented: one SQL statement per line, terminated
+///    by '\n' (a trailing '\r' is tolerated).  Empty lines are ignored.
+///  - Every request gets exactly one single-line JSON response:
+///      {"ok":true,<result body>}                       on success
+///      {"ok":false,"kind":"<kind>","message":"<text>"} on failure
+///    where <result body> is `sql::Result::AppendJsonBody` (so a wire
+///    response carries the same encoding `Result::ToJson` produces) and
+///    <kind> is `StatusKindName` of the classified error.
+///
+/// The response is guaranteed to be one line: every string is JSON-escaped,
+/// so no raw newline ever appears inside it.
+
+/// Encodes one response line (without the trailing '\n').  `result` may be
+/// null — for an error status, or for an ok status with no payload (the
+/// encoder then emits an empty message body).
+std::string EncodeResponse(const Status& status, const sql::Result* result);
+
+/// A shallowly decoded response: enough structure for clients to branch on
+/// without a full JSON parser.  `raw` always holds the exact line, so
+/// callers that want the rows can parse the payload themselves (or simply
+/// compare bytes, as the tests do).
+struct WireResponse {
+  bool ok = false;
+  Status::Kind kind = Status::Kind::kInternal;
+  std::string message;  // decoded error text; empty on ok
+  std::string raw;      // the full response line, verbatim
+
+  Status ToStatus() const {
+    if (ok) return Status::Ok();
+    return Status{false, kind, message};
+  }
+};
+
+/// Decodes a response line produced by `EncodeResponse`.  Never throws: a
+/// malformed line comes back as `kInternal` with the line quoted in
+/// `message`.
+WireResponse ParseResponse(const std::string& line);
+
+}  // namespace mview::server
+
+#endif  // MVIEW_SERVER_WIRE_H_

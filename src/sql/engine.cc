@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "ra/planner.h"
 #include "relational/csv.h"
+#include "sql/session.h"
 #include "storage/storage.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
@@ -138,98 +139,66 @@ class NameResolver {
   std::map<std::string, int> plain_count_;
 };
 
-Engine::Result RowsResult(Schema schema,
-                          std::vector<std::pair<Tuple, int64_t>> rows) {
-  Engine::Result result;
-  result.kind = Engine::Result::Kind::kRows;
+Result RowsResult(Schema schema, std::vector<std::pair<Tuple, int64_t>> rows) {
+  Result result;
+  result.kind = Result::Kind::kRows;
   result.schema = std::move(schema);
   result.rows = std::move(rows);
   return result;
 }
 
-Engine::Result Message(std::string text) {
-  Engine::Result result;
-  result.kind = Engine::Result::Kind::kMessage;
+Result Message(std::string text) {
+  Result result;
+  result.kind = Result::Kind::kMessage;
   result.message = std::move(text);
   return result;
 }
 
-// `Parse` under a "parse" span, so every statement's trace starts with
-// the parse phase nested inside the caller's "execute" span.
-std::vector<Statement> ParseTraced(const std::string& sql) {
-  static const uint32_t kParseName =
-      obs::Tracer::Global().InternName("parse");
-  obs::TraceSpan span(kParseName);
-  return Parse(sql);
+Result JsonMessage(std::string json) {
+  Result result = Message(std::move(json));
+  result.json_message = true;
+  return result;
 }
 
-uint32_t ExecuteSpanName() {
-  static const uint32_t kExecuteName =
-      obs::Tracer::Global().InternName("execute");
-  return kExecuteName;
+// SELECT-with-WHERE-and-projection over one materialization — the body
+// shared by the locked view read and the lock-free snapshot read, so both
+// produce byte-identical results by construction.
+Result SelectFromMaterialization(const CountedRelation& view,
+                                 const SelectQuery& query) {
+  const Schema& schema = view.schema();
+  Condition where = query.where;
+  where.Validate(schema);
+  std::vector<std::string> projection = query.columns;
+  if (query.star) {
+    for (const auto& attr : schema.attributes()) {
+      projection.push_back(attr.name);
+    }
+  }
+  std::vector<size_t> indices;
+  Schema out_schema = schema.Project(projection, &indices);
+  CountedRelation out(out_schema);
+  view.Scan([&](const Tuple& t, int64_t c) {
+    if (where.Evaluate(schema, t)) out.Add(t.Project(indices), c);
+  });
+  return RowsResult(out_schema, out.ToSortedVector());
 }
 
 }  // namespace
 
-std::string Engine::Result::ToString() const {
-  if (kind == Kind::kMessage) return message + "\n";
-  std::vector<std::string> headers;
-  headers.reserve(schema.size());
-  for (const auto& attr : schema.attributes()) headers.push_back(attr.name);
-  std::vector<size_t> widths;
-  for (const auto& h : headers) widths.push_back(h.size());
-  std::vector<std::vector<std::string>> cells;
-  bool any_dup = false;
-  for (const auto& [tuple, count] : rows) {
-    std::vector<std::string> row;
-    for (size_t i = 0; i < tuple.size(); ++i) {
-      const Value& v = tuple.at(i);
-      row.push_back(v.type() == ValueType::kString ? v.AsString()
-                                                   : v.ToString());
-      widths[i] = std::max(widths[i], row.back().size());
-    }
-    if (count != 1) any_dup = true;
-    cells.push_back(std::move(row));
-  }
-  std::ostringstream os;
-  auto emit = [&](const std::vector<std::string>& row) {
-    for (size_t i = 0; i < row.size(); ++i) {
-      os << (i > 0 ? " | " : "") << row[i];
-      if (i + 1 < row.size() || any_dup) {
-        os << std::string(widths[i] - row[i].size(), ' ');
-      }
-    }
-  };
-  emit(headers);
-  if (any_dup) os << " | #";
-  os << "\n";
-  size_t total = any_dup ? 4 : 0;
-  for (size_t w : widths) total += w + 3;
-  os << std::string(total > 3 ? total - 3 : total, '-') << "\n";
-  for (size_t r = 0; r < cells.size(); ++r) {
-    emit(cells[r]);
-    if (any_dup) os << " | " << rows[r].second;
-    os << "\n";
-  }
-  os << "(" << cells.size() << " row" << (cells.size() == 1 ? "" : "s")
-     << ")\n";
-  return os.str();
-}
-
-Engine::Engine() : views_(&db_), guard_(&db_) {
+EngineCore::EngineCore() : views_(&db_), guard_(&db_) {
   // Label the session thread in trace exports; idempotent when several
   // engines share a thread.
   obs::Tracer::Global().SetCurrentThreadName("engine");
 }
 
-Engine::Engine(Storage* storage) : Engine() {
+EngineCore::EngineCore(Storage* storage) : EngineCore() {
   if (storage != nullptr) {
     storage->Attach(*this);
     storage_ = storage;
   }
 }
 
-Engine::~Engine() {
+EngineCore::~EngineCore() {
   if (storage_ == nullptr) return;
   try {
     storage_->Close();
@@ -239,127 +208,107 @@ Engine::~Engine() {
   }
 }
 
-Engine::Status Engine::Status::ParseError(std::string message) {
-  return Status{false, Kind::kParseError, std::move(message)};
+std::unique_ptr<Session> EngineCore::CreateSession() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::unique_ptr<Session> session(new Session(this, next_session_id_++));
+  sessions_.insert(session.get());
+  ++sessions_opened_;
+  return session;
 }
 
-Engine::Status Engine::Status::ExecutionError(std::string message) {
-  return Status{false, Kind::kExecutionError, std::move(message)};
+void EngineCore::UnregisterSession(Session* session) {
+  obs::SessionStats stats = session->StatsSnapshot();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(session);
+  ++sessions_closed_;
+  closed_session_totals_ += stats;
 }
 
-Engine::Status Engine::Status::IoError(std::string message) {
-  return Status{false, Kind::kIoError, std::move(message)};
+void EngineCore::SyncSessionMetrics() {
+  SessionMetrics& sm = views_.metrics().sessions();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sm.opened = sessions_opened_;
+  sm.closed = sessions_closed_;
+  sm.active = static_cast<int64_t>(sessions_.size());
+  obs::SessionStats totals = closed_session_totals_;
+  for (Session* session : sessions_) totals += session->StatsSnapshot();
+  sm.totals = std::move(totals);
 }
 
-Engine::Status Engine::Status::Corruption(std::string message) {
-  return Status{false, Kind::kCorruption, std::move(message)};
-}
-
-Engine::Status Engine::Status::ViewQuarantined(std::string message) {
-  return Status{false, Kind::kViewQuarantined, std::move(message)};
-}
-
-Engine::Status Engine::Status::Internal(std::string message) {
-  return Status{false, Kind::kInternal, std::move(message)};
-}
-
-Engine::Result Engine::Execute(const std::string& sql) {
-  obs::TraceSpan span(ExecuteSpanName());
-  std::vector<Statement> statements = ParseTraced(sql);
-  MVIEW_CHECK(statements.size() == 1,
-              "Execute expects exactly one statement; got ",
-              statements.size(), " (use ExecuteScript)");
-  return ExecuteStatement(statements[0]);
-}
-
-Engine::Status Engine::TryExecute(const std::string& sql, Result* result) {
-  obs::TraceSpan span(ExecuteSpanName());
-  std::vector<Statement> statements;
-  try {
-    statements = ParseTraced(sql);
-  } catch (const Error& e) {
-    return Status::ParseError(e.what());
+EngineCore::LockClass EngineCore::Classify(const Statement& stmt,
+                                           bool in_transaction) {
+  using Kind = Statement::Kind;
+  switch (stmt.kind) {
+    case Kind::kBegin:
+    case Kind::kRollback:
+      // Session-local transaction state only; no shared state is touched.
+      return LockClass::kNone;
+    case Kind::kSelect:
+    case Kind::kShowTables:
+    case Kind::kShowViews:
+    case Kind::kShowWal:
+    case Kind::kShowAssertions:
+    case Kind::kShowTrace:
+    case Kind::kExplainMaintenance:
+    case Kind::kCopyTo:
+      // Read-only against the catalog, base relations, and view state.
+      return LockClass::kShared;
+    case Kind::kInsert:
+    case Kind::kDelete:
+    case Kind::kUpdate:
+    case Kind::kCopyFrom:
+      // Inside BEGIN the statement only validates against the catalog and
+      // stages into the session's pending transaction; the commit itself
+      // happens at COMMIT under the exclusive lock.  Outside BEGIN it
+      // auto-commits.
+      return in_transaction ? LockClass::kShared : LockClass::kExclusive;
+    default:
+      // DDL, COMMIT, REFRESH/REPAIR/SCRUB, CHECKPOINT, TRACE, SHOW STATS
+      // (which syncs metrics into the registry) — all mutate shared state.
+      return LockClass::kExclusive;
   }
-  if (statements.size() != 1) {
-    return Status::ParseError("TryExecute expects exactly one statement; got " +
-                              std::to_string(statements.size()) +
-                              " (use TryExecuteScript)");
-  }
-  try {
-    Result r = ExecuteStatement(statements[0]);
-    if (result != nullptr) *result = std::move(r);
-  } catch (const storage::CorruptionError& e) {
-    return Status::Corruption(e.what());
-  } catch (const storage::IoError& e) {
-    return Status::IoError(e.what());
-  } catch (const ViewQuarantinedError& e) {
-    return Status::ViewQuarantined(e.what());
-  } catch (const Error& e) {
-    return Status::ExecutionError(e.what());
-  } catch (const std::exception& e) {
-    // Anything else (std::bad_alloc, a library exception) must not escape
-    // the non-throwing API: classify it instead of crashing the caller.
-    return Status::Internal(e.what());
-  }
-  return Status::Ok();
 }
 
-std::vector<Engine::Result> Engine::ExecuteScript(const std::string& sql) {
-  obs::TraceSpan span(ExecuteSpanName());
-  std::vector<Statement> statements = ParseTraced(sql);
-  std::vector<Result> results;
-  for (size_t i = 0; i < statements.size(); ++i) {
-    try {
-      results.push_back(ExecuteStatement(statements[i]));
-    } catch (const Error& e) {
-      internal::ThrowError("statement ", i + 1, " of ", statements.size(),
-                           ": ", e.what());
+Result EngineCore::ExecuteParsed(const Statement& stmt,
+                                 std::optional<Transaction>* pending,
+                                 bool* served_from_snapshot) {
+  *served_from_snapshot = false;
+  // The non-blocking read path: a SELECT over a single materialized view
+  // is answered from the published epoch snapshot without touching the
+  // engine lock — concurrent commits install later epochs, they never
+  // mutate this one.  The snapshot (not `views_`) is the authority on
+  // which views exist here, so the check itself is race-free.
+  if (stmt.kind == Statement::Kind::kSelect && stmt.query.from.size() == 1) {
+    std::shared_ptr<const EpochSnapshot> snap = views_.Snapshot();
+    if (snap->Find(stmt.query.from[0].table) != nullptr) {
+      *served_from_snapshot = true;
+      return ExecuteSelectFromSnapshot(*snap, stmt.query);
     }
   }
-  return results;
-}
-
-Engine::Status Engine::TryExecuteScript(const std::string& sql,
-                                        std::vector<Result>* results,
-                                        size_t* failed_statement) {
-  obs::TraceSpan span(ExecuteSpanName());
-  std::vector<Statement> statements;
-  try {
-    statements = ParseTraced(sql);
-  } catch (const Error& e) {
-    return Status::ParseError(e.what());
-  }
-  for (size_t i = 0; i < statements.size(); ++i) {
-    try {
-      Result r = ExecuteStatement(statements[i]);
-      if (results != nullptr) results->push_back(std::move(r));
-    } catch (const std::exception& e) {
-      if (failed_statement != nullptr) *failed_statement = i;
-      std::string message = "statement " + std::to_string(i + 1) + " of " +
-                            std::to_string(statements.size()) + ": " +
-                            e.what();
-      if (dynamic_cast<const storage::CorruptionError*>(&e) != nullptr) {
-        return Status::Corruption(std::move(message));
-      }
-      if (dynamic_cast<const storage::IoError*>(&e) != nullptr) {
-        return Status::IoError(std::move(message));
-      }
-      if (dynamic_cast<const ViewQuarantinedError*>(&e) != nullptr) {
-        return Status::ViewQuarantined(std::move(message));
-      }
-      if (dynamic_cast<const Error*>(&e) != nullptr) {
-        return Status::ExecutionError(std::move(message));
-      }
-      // Unclassified (std::bad_alloc, a library exception): contain it —
-      // the non-throwing API must not let it escape.
-      return Status::Internal(std::move(message));
+  switch (Classify(stmt, pending->has_value())) {
+    case LockClass::kNone:
+      return ExecuteStatement(stmt, pending);
+    case LockClass::kShared: {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      return ExecuteStatement(stmt, pending);
+    }
+    case LockClass::kExclusive: {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      return ExecuteStatement(stmt, pending);
     }
   }
-  return Status::Ok();
+  internal::ThrowError("corrupt lock class");
 }
 
-ViewDefinition Engine::BuildDefinition(const std::string& name,
-                                       const SelectQuery& query) const {
+Result EngineCore::ExecuteSelectFromSnapshot(const EpochSnapshot& snap,
+                                             const SelectQuery& query) {
+  // `Read` applies the same health contract as the locked path: a
+  // quarantined view throws `ViewQuarantinedError` with the same message.
+  return SelectFromMaterialization(snap.Read(query.from[0].table), query);
+}
+
+ViewDefinition EngineCore::BuildDefinition(const std::string& name,
+                                           const SelectQuery& query) const {
   for (const auto& ref : query.from) {
     MVIEW_CHECK(!views_.HasView(ref.table),
                 "views over views are not supported: ", ref.table);
@@ -378,26 +327,12 @@ ViewDefinition Engine::BuildDefinition(const std::string& name,
                         resolver.ResolveCondition(query.where), projection);
 }
 
-Engine::Result Engine::ExecuteSelect(const SelectQuery& query) {
-  // SELECT over a single registered view reads the materialization.
+Result EngineCore::ExecuteSelect(const SelectQuery& query) {
+  // SELECT over a single registered view reads the materialization.  (The
+  // lock-free snapshot path normally answers these first; this branch
+  // remains for in-process callers that reach the dispatcher directly.)
   if (query.from.size() == 1 && views_.HasView(query.from[0].table)) {
-    const CountedRelation& view = views_.View(query.from[0].table);
-    const Schema& schema = view.schema();
-    Condition where = query.where;
-    where.Validate(schema);
-    std::vector<std::string> projection = query.columns;
-    if (query.star) {
-      for (const auto& attr : schema.attributes()) {
-        projection.push_back(attr.name);
-      }
-    }
-    std::vector<size_t> indices;
-    Schema out_schema = schema.Project(projection, &indices);
-    CountedRelation out(out_schema);
-    view.Scan([&](const Tuple& t, int64_t c) {
-      if (where.Evaluate(schema, t)) out.Add(t.Project(indices), c);
-    });
-    return RowsResult(out_schema, out.ToSortedVector());
+    return SelectFromMaterialization(views_.View(query.from[0].table), query);
   }
   // Otherwise evaluate an SPJ query over base tables.
   ViewDefinition def = BuildDefinition("__query", query);
@@ -407,7 +342,7 @@ Engine::Result Engine::ExecuteSelect(const SelectQuery& query) {
   return RowsResult(out.schema(), out.ToSortedVector());
 }
 
-Engine::Result Engine::ExecuteCreateView(const Statement& stmt) {
+Result EngineCore::ExecuteCreateView(const Statement& stmt) {
   ViewDefinition def = BuildDefinition(stmt.name, stmt.query);
   views_.RegisterView(std::move(def), ToMode(stmt.view_mode));
   ViewInfo info = views_.Describe(stmt.name);
@@ -415,7 +350,8 @@ Engine::Result Engine::ExecuteCreateView(const Statement& stmt) {
                  ", " + std::to_string(info.rows) + " rows)");
 }
 
-Transaction Engine::BuildInsert(const Statement& stmt, size_t* rows) const {
+Transaction EngineCore::BuildInsert(const Statement& stmt,
+                                    size_t* rows) const {
   const Relation& rel = db_.Get(stmt.name);
   Transaction txn;
   for (const auto& row : stmt.rows) {
@@ -434,7 +370,8 @@ Transaction Engine::BuildInsert(const Statement& stmt, size_t* rows) const {
   return txn;
 }
 
-Transaction Engine::BuildDelete(const Statement& stmt, size_t* rows) const {
+Transaction EngineCore::BuildDelete(const Statement& stmt,
+                                    size_t* rows) const {
   const Relation& rel = db_.Get(stmt.name);
   stmt.where.Validate(rel.schema());
   std::vector<Tuple> matches;
@@ -447,7 +384,8 @@ Transaction Engine::BuildDelete(const Statement& stmt, size_t* rows) const {
   return txn;
 }
 
-Transaction Engine::BuildUpdate(const Statement& stmt, size_t* rows) const {
+Transaction EngineCore::BuildUpdate(const Statement& stmt,
+                                    size_t* rows) const {
   const Relation& rel = db_.Get(stmt.name);
   const Schema& schema = rel.schema();
   stmt.where.Validate(schema);
@@ -472,7 +410,7 @@ Transaction Engine::BuildUpdate(const Statement& stmt, size_t* rows) const {
   return txn;
 }
 
-Transaction Engine::BuildDml(const Statement& stmt, size_t* rows) const {
+Transaction EngineCore::BuildDml(const Statement& stmt, size_t* rows) const {
   switch (stmt.kind) {
     case Statement::Kind::kInsert:
       return BuildInsert(stmt, rows);
@@ -485,11 +423,12 @@ Transaction Engine::BuildDml(const Statement& stmt, size_t* rows) const {
   }
 }
 
-Engine::Result Engine::ExecuteInsert(const Statement& stmt) {
+Result EngineCore::ExecuteInsert(const Statement& stmt,
+                                 std::optional<Transaction>* pending) {
   size_t n = 0;
   Transaction txn = BuildInsert(stmt, &n);
-  if (pending_.has_value()) {
-    pending_->Append(txn);
+  if (pending->has_value()) {
+    (*pending)->Append(txn);
     return Message(std::to_string(n) + " row(s) staged");
   }
   Result result = CommitTransaction(std::move(txn));
@@ -499,11 +438,12 @@ Engine::Result Engine::ExecuteInsert(const Statement& stmt) {
   return result;
 }
 
-Engine::Result Engine::ExecuteDelete(const Statement& stmt) {
+Result EngineCore::ExecuteDelete(const Statement& stmt,
+                                 std::optional<Transaction>* pending) {
   size_t n = 0;
   Transaction txn = BuildDelete(stmt, &n);
-  if (pending_.has_value()) {
-    pending_->Append(txn);
+  if (pending->has_value()) {
+    (*pending)->Append(txn);
     return Message(std::to_string(n) + " row(s) staged");
   }
   Result result = CommitTransaction(std::move(txn));
@@ -513,11 +453,12 @@ Engine::Result Engine::ExecuteDelete(const Statement& stmt) {
   return result;
 }
 
-Engine::Result Engine::ExecuteUpdate(const Statement& stmt) {
+Result EngineCore::ExecuteUpdate(const Statement& stmt,
+                                 std::optional<Transaction>* pending) {
   size_t n = 0;
   Transaction txn = BuildUpdate(stmt, &n);
-  if (pending_.has_value()) {
-    pending_->Append(txn);
+  if (pending->has_value()) {
+    (*pending)->Append(txn);
     return Message(std::to_string(n) + " row(s) staged");
   }
   Result result = CommitTransaction(std::move(txn));
@@ -527,7 +468,7 @@ Engine::Result Engine::ExecuteUpdate(const Statement& stmt) {
   return result;
 }
 
-Engine::Result Engine::ExecuteExplainMaintenance(const Statement& stmt) {
+Result EngineCore::ExecuteExplainMaintenance(const Statement& stmt) {
   const Statement& dml = stmt.inner.front();
   size_t n = 0;
   Transaction txn = BuildDml(dml, &n);
@@ -568,7 +509,7 @@ Engine::Result Engine::ExecuteExplainMaintenance(const Statement& stmt) {
   return Message(os.str());
 }
 
-Engine::Result Engine::CommitTransaction(Transaction txn) {
+Result EngineCore::CommitTransaction(Transaction txn) {
   static const uint32_t kCommitName =
       obs::Tracer::Global().InternName("commit");
   static const uint32_t kNormalizeName =
@@ -605,24 +546,26 @@ Engine::Result Engine::CommitTransaction(Transaction txn) {
   return Message("");
 }
 
-void Engine::NoteCatalogChange() {
+void EngineCore::NoteCatalogChange() {
   if (storage_ != nullptr) storage_->OnCatalogChange();
 }
 
-void Engine::DumpTrace(const std::string& path) const {
+void EngineCore::DumpTrace(const std::string& path) const {
   std::ofstream out(path);
   MVIEW_CHECK(out.is_open(), "cannot open for writing: ", path);
   out << obs::Tracer::Global().ExportChromeJson();
   MVIEW_CHECK(out.good(), "error writing trace to ", path);
 }
 
-std::string Engine::ExportMetricsText() {
+std::string EngineCore::ExportMetricsText() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (storage_ != nullptr) storage_->SyncWalMetrics();
   views_.SyncPoolMetrics();
+  SyncSessionMetrics();
   return obs::ExportPrometheus(views_.metrics());
 }
 
-void Engine::EnsureTableDroppable(const std::string& name) const {
+void EngineCore::EnsureTableDroppable(const std::string& name) const {
   for (const auto& view : views_.ViewNames()) {
     const ViewInfo info = views_.Describe(view);
     for (const auto& base : info.definition.bases()) {
@@ -638,7 +581,8 @@ void Engine::EnsureTableDroppable(const std::string& name) const {
   }
 }
 
-Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
+Result EngineCore::ExecuteStatement(const Statement& stmt,
+                                    std::optional<Transaction>* pending) {
   using Kind = Statement::Kind;
   switch (stmt.kind) {
     case Kind::kCreateTable:
@@ -679,11 +623,11 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       NoteCatalogChange();
       return Message("assertion " + stmt.name + " dropped");
     case Kind::kInsert:
-      return ExecuteInsert(stmt);
+      return ExecuteInsert(stmt, pending);
     case Kind::kDelete:
-      return ExecuteDelete(stmt);
+      return ExecuteDelete(stmt, pending);
     case Kind::kUpdate:
-      return ExecuteUpdate(stmt);
+      return ExecuteUpdate(stmt, pending);
     case Kind::kSelect:
       return ExecuteSelect(stmt.query);
     case Kind::kRefresh:
@@ -765,11 +709,12 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
     }
     case Kind::kShowStats: {
       // Pull the WAL's counters (written behind its mutex by commit
-      // leaders) and the pool gauges into the registry as one coherent
-      // snapshot first.
+      // leaders), the pool gauges, and the session totals into the
+      // registry as one coherent snapshot first.
       if (storage_ != nullptr) storage_->SyncWalMetrics();
       views_.SyncPoolMetrics();
-      if (stmt.json) return Message(views_.metrics().ToJson());
+      SyncSessionMetrics();
+      if (stmt.json) return JsonMessage(views_.metrics().ToJson());
       // Long format: one (view, metric, value) row per counter, with the
       // cross-view aggregate and commit-scope timers under view "*".
       Schema schema({{"view", ValueType::kString},
@@ -806,6 +751,9 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       emit("*", "commits", registry.commit().commits);
       emit("*", "normalize_nanos", registry.commit().normalize_nanos);
       emit("*", "base_apply_nanos", registry.commit().base_apply_nanos);
+      emit("*", "epochs_published", registry.commit().epochs_published);
+      emit("*", "snapshot_reuses", registry.commit().snapshot_reuses);
+      emit("*", "snapshot_copies", registry.commit().snapshot_copies);
       const StorageMetrics& storage = registry.storage();
       emit("*", "wal_appends", storage.wal_appends);
       emit("*", "wal_fsyncs", storage.wal_fsyncs);
@@ -819,6 +767,14 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       emit("*", "pool_workers", pool.workers);
       emit("*", "pool_queue_depth", pool.queue_depth);
       emit("*", "pool_active_workers", pool.active_workers);
+      const SessionMetrics& sessions = registry.sessions();
+      emit("*", "sessions_opened", sessions.opened);
+      emit("*", "sessions_closed", sessions.closed);
+      emit("*", "sessions_active", sessions.active);
+      emit("*", "session_statements", sessions.totals.statements);
+      emit("*", "session_errors", sessions.totals.errors);
+      emit("*", "session_rows_returned", sessions.totals.rows_returned);
+      emit("*", "session_snapshot_reads", sessions.totals.snapshot_reads);
       emit_view("*", registry.Aggregate());
       for (const auto& name : registry.ViewNames()) {
         emit_view(name, *registry.Find(name));
@@ -858,7 +814,9 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       return Message("tracing off");
     }
     case Kind::kShowTrace: {
-      if (stmt.json) return Message(obs::Tracer::Global().ExportChromeJson());
+      if (stmt.json) {
+        return JsonMessage(obs::Tracer::Global().ExportChromeJson());
+      }
       Schema schema({{"span", ValueType::kString},
                      {"thread", ValueType::kString},
                      {"tid", ValueType::kInt64},
@@ -926,8 +884,9 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
                   loaded.schema().ToString(), " does not match table ",
                   stmt.name, " ", rel.schema().ToString());
       size_t n = loaded.size();
-      if (pending_.has_value()) {
-        loaded.Scan([&](const Tuple& t) { pending_->Insert(stmt.name, t); });
+      if (pending->has_value()) {
+        loaded.Scan(
+            [&](const Tuple& t) { (*pending)->Insert(stmt.name, t); });
         return Message(std::to_string(n) + " row(s) staged from " +
                        stmt.path);
       }
@@ -941,13 +900,13 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       return result;
     }
     case Kind::kBegin:
-      MVIEW_CHECK(!pending_.has_value(), "already in a transaction");
-      pending_.emplace();
+      MVIEW_CHECK(!pending->has_value(), "already in a transaction");
+      pending->emplace();
       return Message("transaction started");
     case Kind::kCommit: {
-      MVIEW_CHECK(pending_.has_value(), "no transaction in progress");
-      Transaction txn = std::move(*pending_);
-      pending_.reset();
+      MVIEW_CHECK(pending->has_value(), "no transaction in progress");
+      Transaction txn = std::move(**pending);
+      pending->reset();
       size_t ops = txn.NumOperations();
       Result result = CommitTransaction(std::move(txn));
       if (result.kind == Result::Kind::kMessage && result.message.empty()) {
@@ -957,11 +916,42 @@ Engine::Result Engine::ExecuteStatement(const Statement& stmt) {
       return result;
     }
     case Kind::kRollback:
-      MVIEW_CHECK(pending_.has_value(), "no transaction in progress");
-      pending_.reset();
+      MVIEW_CHECK(pending->has_value(), "no transaction in progress");
+      pending->reset();
       return Message("rolled back");
   }
   internal::ThrowError("corrupt statement");
 }
+
+Engine::Engine() : core_(), session_(core_.CreateSession()) {}
+
+Engine::Engine(Storage* storage)
+    : core_(storage), session_(core_.CreateSession()) {}
+
+Engine::~Engine() = default;
+
+Result Engine::Execute(const std::string& sql) {
+  return session_->Execute(sql);
+}
+
+Status Engine::TryExecute(const std::string& sql, Result* result) {
+  return session_->TryExecute(sql, result);
+}
+
+std::vector<Result> Engine::ExecuteScript(const std::string& sql) {
+  return session_->ExecuteScript(sql);
+}
+
+Status Engine::TryExecuteScript(const std::string& sql,
+                                std::vector<Result>* results,
+                                size_t* failed_statement) {
+  return session_->TryExecuteScript(sql, results, failed_statement);
+}
+
+std::unique_ptr<Session> Engine::CreateSession() {
+  return core_.CreateSession();
+}
+
+bool Engine::in_transaction() const { return session_->in_transaction(); }
 
 }  // namespace mview::sql

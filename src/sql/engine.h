@@ -1,15 +1,22 @@
 #ifndef MVIEW_SQL_ENGINE_H_
 #define MVIEW_SQL_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "db/database.h"
 #include "ivm/integrity.h"
 #include "ivm/view_manager.h"
+#include "obs/session_stats.h"
 #include "sql/parser.h"
+#include "sql/result.h"
+#include "util/status.h"
 
 namespace mview {
 class Storage;
@@ -17,86 +24,197 @@ class Storage;
 
 namespace mview::sql {
 
-/// A self-contained SQL session: a `Database`, a `ViewManager` keeping SQL-
-/// created materialized views consistent, and an `IntegrityGuard` enforcing
-/// SQL-created assertions.
+class Session;
+
+/// The shared, thread-safe heart of a SQL engine: a `Database`, a
+/// `ViewManager` keeping SQL-created materialized views consistent, and an
+/// `IntegrityGuard` enforcing SQL-created assertions.
 ///
 /// This is the substrate the paper presumes around its algorithms — a
 /// relational system in which views are defined declaratively and updated
-/// transactions flow through the maintenance machinery.  DML statements
-/// outside BEGIN/COMMIT auto-commit; inside an explicit transaction they
-/// accumulate and commit atomically (with the net-effect semantics of
-/// Section 3), and ROLLBACK discards them.  A commit is admitted only when
-/// it violates no assertion; on success every immediate view is brought up
-/// to date differentially.
+/// transactions flow through the maintenance machinery.  Clients do not
+/// talk to the core directly; they execute SQL through `Session` objects
+/// (`CreateSession`), each carrying its own BEGIN…COMMIT state.
+///
+/// Concurrency model (see DESIGN.md, "Sessions, epochs, and the server"):
+///
+///  - A SELECT over a single materialized view never takes the engine lock
+///    at all: it reads the immutable `EpochSnapshot` most recently
+///    published by the commit pipeline (one atomic load), so view reads
+///    are wait-free with respect to writers.
+///  - Read-only statements over base tables (ad-hoc SELECT, SHOW …,
+///    EXPLAIN MAINTENANCE, COPY TO) share a reader-writer lock, as does
+///    DML *staging* inside an explicit transaction (it only validates
+///    against the catalog and appends to the session's pending
+///    transaction).
+///  - Everything that mutates shared state — commits, DDL, REFRESH/REPAIR/
+///    SCRUB, CHECKPOINT, SHOW STATS (which syncs metrics) — takes the lock
+///    exclusively and serializes through the existing commit path.
+///  - BEGIN and ROLLBACK touch only session-local state and take no lock.
+class EngineCore {
+ public:
+  EngineCore();
+
+  /// A durable core: attaches `storage` (not owned; may be null for an
+  /// in-memory engine, must outlive this core otherwise), which recovers
+  /// the directory's checkpoint and WAL tail into this core — and
+  /// republishes the recovered state as epoch 0 — before the constructor
+  /// returns.  Afterwards every commit is logged durably before it is
+  /// applied, and catalog changes force checkpoints.
+  explicit EngineCore(Storage* storage);
+
+  /// Closes the attached storage (checkpointing per its options) while the
+  /// core's state is still alive to snapshot.  Every `Session` must have
+  /// been destroyed first.
+  ~EngineCore();
+
+  EngineCore(const EngineCore&) = delete;
+  EngineCore& operator=(const EngineCore&) = delete;
+
+  /// Opens a new client session.  Sessions are cheap, independently own
+  /// their transaction state, and must not outlive the core.  Thread-safe.
+  std::unique_ptr<Session> CreateSession();
+
+  /// Executes one parsed statement on behalf of a session whose pending
+  /// transaction is `*pending`, taking whatever lock the statement class
+  /// requires (see the class comment).  Sets `*served_from_snapshot` when
+  /// the statement was a view SELECT answered lock-free from the published
+  /// epoch.  Throws like the former `Engine::Execute`.
+  Result ExecuteParsed(const Statement& stmt,
+                       std::optional<Transaction>* pending,
+                       bool* served_from_snapshot);
+
+  /// The latest published epoch of every materialized view — one atomic
+  /// load, callable from any thread concurrently with commits.
+  std::shared_ptr<const EpochSnapshot> Snapshot() const {
+    return views_.Snapshot();
+  }
+
+  /// Const inspection of the engine's state.  These return references into
+  /// live structures, so they are only meaningful when no other thread is
+  /// writing (tests, tools, single-threaded embedding); concurrent
+  /// programs read views through `Snapshot()` and everything else through
+  /// SQL.
+  const Database& database() const { return db_; }
+  const ViewManager& views() const { return views_; }
+  const IntegrityGuard& guard() const { return guard_; }
+
+  /// Mutable escape hatches for tests and the recovery path ONLY (drift
+  /// injection, direct view registration, scrubber construction).  They
+  /// bypass the engine lock entirely: never call them while another thread
+  /// is executing statements.  Production code mutates state through SQL.
+  Database& mutable_database() { return db_; }
+  ViewManager& mutable_views() { return views_; }
+  IntegrityGuard& mutable_guard() { return guard_; }
+
+  /// The attached storage, or null for an in-memory core.
+  Storage* storage() { return storage_; }
+
+  /// Writes the current trace snapshot (Chrome `trace_event` JSON, the
+  /// `SHOW TRACE JSON` payload) to `path` — loadable in chrome://tracing
+  /// and Perfetto.  Throws `Error` when the file cannot be opened.
+  void DumpTrace(const std::string& path) const;
+
+  /// Prometheus text-format (exposition 0.0.4) rendering of the full
+  /// metrics registry, WAL/pool/session gauges synced first (takes the
+  /// lock exclusively).  Suitable as a `/metrics` scrape body.
+  std::string ExportMetricsText();
+
+ private:
+  friend class Session;
+
+  /// How much of the engine a statement needs (see the class comment).
+  enum class LockClass { kNone, kShared, kExclusive };
+  static LockClass Classify(const Statement& stmt, bool in_transaction);
+
+  /// The statement dispatcher; the caller holds the lock `Classify`
+  /// demanded.
+  Result ExecuteStatement(const Statement& stmt,
+                          std::optional<Transaction>* pending);
+  Result ExecuteSelect(const SelectQuery& query);
+  /// The lock-free fast path: serves `query` (single-FROM over a view
+  /// present in `snap`) from the epoch's immutable buffer.
+  Result ExecuteSelectFromSnapshot(const EpochSnapshot& snap,
+                                   const SelectQuery& query);
+  Result ExecuteCreateView(const Statement& stmt);
+  Result ExecuteInsert(const Statement& stmt,
+                       std::optional<Transaction>* pending);
+  Result ExecuteDelete(const Statement& stmt,
+                       std::optional<Transaction>* pending);
+  Result ExecuteUpdate(const Statement& stmt,
+                       std::optional<Transaction>* pending);
+  Result ExecuteExplainMaintenance(const Statement& stmt);
+  Result CommitTransaction(Transaction txn);
+
+  // Validate a DML statement against the catalog and return the
+  // transaction it would commit (affected-row count via `rows`), applying
+  // nothing — shared by the execution paths and EXPLAIN MAINTENANCE.
+  Transaction BuildInsert(const Statement& stmt, size_t* rows) const;
+  Transaction BuildDelete(const Statement& stmt, size_t* rows) const;
+  Transaction BuildUpdate(const Statement& stmt, size_t* rows) const;
+  Transaction BuildDml(const Statement& stmt, size_t* rows) const;
+  void EnsureTableDroppable(const std::string& name) const;
+  // Called after every successful DDL statement: with storage attached,
+  // forces a checkpoint so the WAL only ever carries DML.
+  void NoteCatalogChange();
+
+  // Builds a ViewDefinition (canonical attribute naming, resolved
+  // condition and projection) from a SELECT body over base tables.
+  ViewDefinition BuildDefinition(const std::string& name,
+                                 const SelectQuery& query) const;
+
+  // Session registry (guarded by `sessions_mu_`, which nests inside the
+  // engine lock and outside the sessions' own stats mutexes).
+  void UnregisterSession(Session* session);
+  /// Folds closed-session totals plus a sample of every live session into
+  /// `views_.metrics().sessions()`.  Caller holds the exclusive lock.
+  void SyncSessionMetrics();
+
+  Database db_;
+  ViewManager views_;
+  IntegrityGuard guard_;
+  Storage* storage_ = nullptr;  // not owned
+
+  // The engine lock: shared by read-only statements, exclusive for
+  // anything that mutates shared state.  View SELECTs bypass it entirely.
+  mutable std::shared_mutex mu_;
+
+  mutable std::mutex sessions_mu_;
+  std::set<Session*> sessions_;   // live sessions
+  uint64_t next_session_id_ = 1;
+  int64_t sessions_opened_ = 0;
+  int64_t sessions_closed_ = 0;
+  obs::SessionStats closed_session_totals_;
+};
+
+/// The embedded façade most callers use: an `EngineCore` plus one default
+/// `Session`, preserving the historical single-object API (`Execute` on
+/// the engine itself).  Additional concurrent clients call
+/// `CreateSession`; the façade's own statement methods are *not*
+/// thread-safe with each other (they share the default session), but they
+/// are safe against statements on other sessions.
 class Engine {
  public:
+  /// Back-compat aliases: these types were nested here before they were
+  /// promoted to `mview::Status` (util/status.h) and `sql::Result`
+  /// (sql/result.h).  `Engine::Status`/`Engine::Result` keep old code and
+  /// old spellings working unchanged.
+  using Status = ::mview::Status;
+  using Result = ::mview::sql::Result;
+
   Engine();
 
-  /// A durable session: attaches `storage` (not owned; may be null for an
-  /// in-memory engine, must outlive this engine otherwise), which recovers
-  /// the directory's checkpoint and WAL tail into this engine before the
-  /// constructor returns.  Afterwards every commit is logged durably
-  /// before it is applied, and catalog changes force checkpoints.
+  /// A durable engine; see `EngineCore::EngineCore(Storage*)`.
   explicit Engine(Storage* storage);
-
-  /// Closes the attached storage (checkpointing per its options) while
-  /// the engine state is still alive to snapshot.
   ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// The outcome of one statement.
-  struct Result {
-    enum class Kind { kMessage, kRows };
-    Kind kind = Kind::kMessage;
-    std::string message;
-    // For kRows:
-    Schema schema;
-    std::vector<std::pair<Tuple, int64_t>> rows;  // sorted, with counts
-
-    /// Pretty-prints either the message or an aligned table with a
-    /// trailing multiplicity column.
-    std::string ToString() const;
-  };
-
-  /// The outcome of a non-throwing execution (`TryExecute` /
-  /// `TryExecuteScript`): success, or a classified failure with the error
-  /// text.  Lets drivers and REPLs branch on failure instead of using
-  /// exceptions for control flow.
-  struct Status {
-    enum class Kind {
-      kOk,
-      kParseError,      // lexer/parser rejected the text
-      kExecutionError,  // a statement failed (semantic error, unknown
-                        // name, type mismatch, …)
-      kIoError,         // the durable log or checkpoint hit an I/O
-                        // failure; the commit did not happen
-      kCorruption,      // persistent state failed validation (bad magic,
-                        // CRC mismatch, undecodable body)
-      kViewQuarantined,  // the statement read a quarantined view; run
-                         // REPAIR VIEW to heal it first
-      kInternal,        // an unclassified exception (std::bad_alloc, a
-                        // library error, …) — the engine caught it rather
-                        // than letting it escape a noexcept boundary
-    };
-    bool ok = true;
-    Kind kind = Kind::kOk;
-    std::string message;
-
-    static Status Ok() { return Status{}; }
-    static Status ParseError(std::string message);
-    static Status ExecutionError(std::string message);
-    static Status IoError(std::string message);
-    static Status Corruption(std::string message);
-    static Status ViewQuarantined(std::string message);
-    static Status Internal(std::string message);
-  };
-
-  /// Executes one statement (a trailing ';' is allowed).  Throws
-  /// `mview::Error` on syntax or semantic errors; failed assertion checks
-  /// return a `kMessage` result describing the rejection instead.
+  /// Executes one statement (a trailing ';' is allowed) on the default
+  /// session.  Throws `mview::Error` on syntax or semantic errors; failed
+  /// assertion checks return a `kMessage` result describing the rejection
+  /// instead.
   Result Execute(const std::string& sql);
 
   /// Non-throwing sibling of `Execute`: on success fills `*result` and
@@ -118,58 +236,45 @@ class Engine {
                           std::vector<Result>* results,
                           size_t* failed_statement = nullptr);
 
-  /// Writes the current trace snapshot (Chrome `trace_event` JSON, the
-  /// `SHOW TRACE JSON` payload) to `path` — loadable in chrome://tracing
-  /// and Perfetto.  Throws `Error` when the file cannot be opened.
-  void DumpTrace(const std::string& path) const;
+  /// Opens an additional, independent session over this engine's core.
+  /// The session must be destroyed before the engine.
+  std::unique_ptr<Session> CreateSession();
 
-  /// Prometheus text-format (exposition 0.0.4) rendering of the full
-  /// metrics registry, WAL and pool gauges synced first.  Suitable as a
-  /// `/metrics` scrape body; works with or without attached storage.
-  std::string ExportMetricsText();
+  /// The shared core, for callers (the server) that manage their own
+  /// sessions.
+  EngineCore& core() { return core_; }
+  const EngineCore& core() const { return core_; }
 
-  Database& database() { return db_; }
-  ViewManager& views() { return views_; }
-  IntegrityGuard& guard() { return guard_; }
+  /// The latest published view epoch; see `EngineCore::Snapshot`.
+  std::shared_ptr<const EpochSnapshot> Snapshot() const {
+    return core_.Snapshot();
+  }
+
+  /// See `EngineCore::DumpTrace` / `ExportMetricsText`.
+  void DumpTrace(const std::string& path) const { core_.DumpTrace(path); }
+  std::string ExportMetricsText() { return core_.ExportMetricsText(); }
+
+  /// Const inspection; see `EngineCore::database()` for the contract.
+  /// (These were mutable before sessions existed — mutating callers must
+  /// now say `mutable_…` and accept the single-threaded contract.)
+  const Database& database() const { return core_.database(); }
+  const ViewManager& views() const { return core_.views(); }
+  const IntegrityGuard& guard() const { return core_.guard(); }
+
+  /// Test-only mutable escape hatches; see `EngineCore::mutable_database`.
+  Database& mutable_database() { return core_.mutable_database(); }
+  ViewManager& mutable_views() { return core_.mutable_views(); }
+  IntegrityGuard& mutable_guard() { return core_.mutable_guard(); }
 
   /// The attached storage, or null for an in-memory engine.
-  Storage* storage() { return storage_; }
+  Storage* storage() { return core_.storage(); }
 
-  /// True while inside BEGIN … COMMIT/ROLLBACK.
-  bool in_transaction() const { return pending_.has_value(); }
+  /// True while the *default* session is inside BEGIN … COMMIT/ROLLBACK.
+  bool in_transaction() const;
 
  private:
-  Result ExecuteStatement(const Statement& stmt);
-  Result ExecuteSelect(const SelectQuery& query);
-  Result ExecuteCreateView(const Statement& stmt);
-  Result ExecuteInsert(const Statement& stmt);
-  Result ExecuteDelete(const Statement& stmt);
-  Result ExecuteUpdate(const Statement& stmt);
-  Result ExecuteExplainMaintenance(const Statement& stmt);
-  Result CommitTransaction(Transaction txn);
-
-  // Validate a DML statement against the catalog and return the
-  // transaction it would commit (affected-row count via `rows`), applying
-  // nothing — shared by the execution paths and EXPLAIN MAINTENANCE.
-  Transaction BuildInsert(const Statement& stmt, size_t* rows) const;
-  Transaction BuildDelete(const Statement& stmt, size_t* rows) const;
-  Transaction BuildUpdate(const Statement& stmt, size_t* rows) const;
-  Transaction BuildDml(const Statement& stmt, size_t* rows) const;
-  void EnsureTableDroppable(const std::string& name) const;
-  // Called after every successful DDL statement: with storage attached,
-  // forces a checkpoint so the WAL only ever carries DML.
-  void NoteCatalogChange();
-
-  // Builds a ViewDefinition (canonical attribute naming, resolved
-  // condition and projection) from a SELECT body over base tables.
-  ViewDefinition BuildDefinition(const std::string& name,
-                                 const SelectQuery& query) const;
-
-  Database db_;
-  ViewManager views_;
-  IntegrityGuard guard_;
-  Storage* storage_ = nullptr;  // not owned
-  std::optional<Transaction> pending_;
+  EngineCore core_;
+  std::unique_ptr<Session> session_;  // the default session
 };
 
 }  // namespace mview::sql

@@ -1,0 +1,75 @@
+#ifndef MVIEW_SQL_RESULT_H_
+#define MVIEW_SQL_RESULT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace mview::sql {
+
+/// The outcome of one SQL statement: either a human-readable message or a
+/// relation (schema + sorted rows with multiplicity counts).
+///
+/// Designed for programmatic consumers as much as for the REPL: columns can
+/// be located by name, values addressed by (row, column), and the whole
+/// result rendered either as an aligned text table (`ToString`) or as the
+/// compact JSON document (`ToJson`) that the TCP wire protocol and
+/// `SHOW STATS JSON` responses share.  (Historically this lived as
+/// `sql::Engine::Result`; the engine keeps a back-compat alias.)
+struct Result {
+  enum class Kind { kMessage, kRows };
+  Kind kind = Kind::kMessage;
+  std::string message;
+  /// True when `message` is itself a JSON document (`SHOW STATS JSON`,
+  /// `SHOW TRACE JSON`): `ToJson` embeds it verbatim as `payload` instead
+  /// of escaping it into a string, so wire consumers get real JSON.
+  bool json_message = false;
+  // For kRows:
+  Schema schema;
+  std::vector<std::pair<Tuple, int64_t>> rows;  // sorted, with counts
+
+  size_t NumRows() const { return rows.size(); }
+  size_t NumColumns() const { return schema.size(); }
+
+  /// Position of the named column, or nullopt when absent.
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  /// The value at (row, col); throws `Error` when out of range or when the
+  /// result is not `kRows`.
+  const Value& ValueAt(size_t row, size_t col) const;
+
+  /// The full tuple of row `row` (throws like `ValueAt`).
+  const Tuple& RowAt(size_t row) const;
+
+  /// The multiplicity of row `row` (throws like `ValueAt`).
+  int64_t CountAt(size_t row) const;
+
+  /// Row iteration: `for (const auto& [tuple, count] : result) …`.
+  auto begin() const { return rows.begin(); }
+  auto end() const { return rows.end(); }
+
+  /// Pretty-prints either the message or an aligned table with a
+  /// trailing multiplicity column.
+  std::string ToString() const;
+
+  /// One compact JSON object — the canonical machine encoding, also the
+  /// body of a server wire response:
+  ///   {"kind":"message","message":"…"}
+  ///   {"kind":"json","payload":{…}}
+  ///   {"kind":"rows","columns":["a","b"],"types":["int64","string"],
+  ///    "rows":[[1,"x"],[2,"y"]],"counts":[1,3]}
+  std::string ToJson() const;
+
+  /// Appends the `ToJson` fields without the surrounding braces, so the
+  /// wire encoder can splice them into a response envelope.
+  void AppendJsonBody(std::string* out) const;
+};
+
+}  // namespace mview::sql
+
+#endif  // MVIEW_SQL_RESULT_H_

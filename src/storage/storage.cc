@@ -42,8 +42,13 @@ Storage::~Storage() {
   engine_ = nullptr;
 }
 
-void Storage::Attach(sql::Engine& engine) {
+void Storage::Attach(sql::EngineCore& core) {
   MVIEW_CHECK(engine_ == nullptr, "storage already attached");
+
+  // Recovery runs before the core is shared with any session, so the
+  // mutable escape hatches are safe here (single-threaded by contract).
+  Database& db = core.mutable_database();
+  ViewManager& views = core.mutable_views();
 
   uint64_t checkpoint_lsn = 0;
   bool have_checkpoint = false;
@@ -52,11 +57,10 @@ void Storage::Attach(sql::Engine& engine) {
     have_checkpoint = true;
     checkpoint_lsn = checkpoint->lsn;
     assertions = std::move(checkpoint->assertions);
-    storage::InstallCheckpoint(std::move(*checkpoint), &engine.database(),
-                               &engine.views());
+    storage::InstallCheckpoint(std::move(*checkpoint), &db, &views);
   }
 
-  StorageMetrics& metrics = engine.views().metrics().storage();
+  StorageMetrics& metrics = views.metrics().storage();
   storage::WalOptions wal_options;
   wal_options.group_commit_window = options_.group_commit_window;
   wal_options.max_batch = options_.max_batch;
@@ -74,23 +78,21 @@ void Storage::Attach(sql::Engine& engine) {
         if (record.lsn <= checkpoint_lsn) return;
         switch (record.type) {
           case storage::WalRecord::Type::kEffect:
-            engine.views().ApplyEffect(
-                storage::ToEffect(record, engine.database()));
+            views.ApplyEffect(storage::ToEffect(record, db));
             break;
           case storage::WalRecord::Type::kQuarantine:
             // Re-enter the quarantine at the same point in the replayed
             // history; subsequent effect records then skip the view
             // exactly as the live pipeline did.
-            if (engine.views().HasView(record.view)) {
-              engine.views().Quarantine(record.view, record.reason,
-                                        record.sticky);
+            if (views.HasView(record.view)) {
+              views.Quarantine(record.view, record.reason, record.sticky);
             }
             break;
           case storage::WalRecord::Type::kRepair:
             // Re-run the heal (a full re-evaluation at this point of the
             // history is deterministic and cheap relative to recovery).
-            if (engine.views().HasView(record.view)) {
-              engine.views().Repair(record.view);
+            if (views.HasView(record.view)) {
+              views.Repair(record.view);
             }
             break;
         }
@@ -110,13 +112,13 @@ void Storage::Attach(sql::Engine& engine) {
   // Assertions go last: replay bypassed the integrity guard (those
   // transactions were admitted when first committed), so each error view
   // is computed once against the fully recovered state.
-  storage::InstallAssertions(assertions, &engine.guard());
+  storage::InstallAssertions(assertions, &core.mutable_guard());
 
   // Installed *after* replay so replayed health transitions are not
   // re-logged.  Best-effort by design: a failing append here must not
   // turn a contained view fault into a commit failure — recovery without
   // the record still recomputes the view correctly.
-  engine.views().SetHealthListener([this](const ViewHealthEvent& event) {
+  views.SetHealthListener([this](const ViewHealthEvent& event) {
     if (wal_ == nullptr || wal_->failed()) return;
     try {
       if (event.kind == ViewHealthEvent::Kind::kQuarantine) {
@@ -128,7 +130,11 @@ void Storage::Attach(sql::Engine& engine) {
       // Swallowed: see above.
     }
   });
-  engine_ = &engine;
+
+  // However many rounds replay installed, a freshly opened database
+  // serves snapshot readers from epoch 0 of the recovered state.
+  views.PublishAsEpochZero();
+  engine_ = &core;
 }
 
 void Storage::Checkpoint() {
@@ -139,9 +145,9 @@ void Storage::Checkpoint() {
   Stopwatch timer;
   uint64_t lsn = wal_->stats().durable_lsn;
   storage::WriteCheckpoint(checkpoint_path(), lsn, engine_->database(),
-                           engine_->views(), &engine_->guard());
+                           engine_->views(), &engine_->mutable_guard());
   wal_->Rotate(lsn);
-  StorageMetrics& metrics = engine_->views().metrics().storage();
+  StorageMetrics& metrics = engine_->mutable_views().metrics().storage();
   ++metrics.checkpoints;
   metrics.checkpoint_nanos += timer.ElapsedNanos();
 }
@@ -149,7 +155,7 @@ void Storage::Checkpoint() {
 void Storage::Close() {
   if (engine_ == nullptr) return;
   if (options_.checkpoint_on_close && !wal_->failed()) Checkpoint();
-  engine_->views().SetHealthListener(nullptr);  // engine outlives the log
+  engine_->mutable_views().SetHealthListener(nullptr);  // engine outlives log
   wal_.reset();
   engine_ = nullptr;
 }
@@ -186,7 +192,7 @@ void Storage::SyncWalMetrics() {
   // thread, which owns the registry) keeps `SHOW STATS` readers off the
   // leaders' plain fields.
   storage::WalStats s = wal_->stats();
-  StorageMetrics& m = engine_->views().metrics().storage();
+  StorageMetrics& m = engine_->mutable_views().metrics().storage();
   m.wal_appends = s.records_appended;
   m.wal_bytes = s.bytes_appended;
   m.wal_fsyncs = s.fsyncs;
@@ -197,9 +203,9 @@ void Storage::SyncWalMetrics() {
 
 std::string Storage::ExportMetricsText() {
   if (engine_ == nullptr) return "";
-  SyncWalMetrics();
-  engine_->views().SyncPoolMetrics();
-  return obs::ExportPrometheus(engine_->views().metrics());
+  // Delegate to the core so both export routes render the identical body
+  // (the core takes its lock and syncs WAL, pool, and session gauges).
+  return engine_->ExportMetricsText();
 }
 
 }  // namespace mview

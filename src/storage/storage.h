@@ -9,6 +9,7 @@
 
 namespace mview::sql {
 class Engine;
+class EngineCore;
 }  // namespace mview::sql
 
 namespace mview {
@@ -62,17 +63,20 @@ class Storage {
   Storage(const Storage&) = delete;
   Storage& operator=(const Storage&) = delete;
 
-  /// Binds this storage to an *empty* engine and recovers into it:
+  /// Binds this storage to an *empty* engine core and recovers into it:
   /// restores the latest checkpoint, replays the WAL tail through
   /// `ViewManager::ApplyEffect` (so replayed updates flow through
   /// irrelevance filtering and differential re-evaluation), truncates any
   /// torn tail, rebases the log above the checkpoint LSN when a torn
-  /// rotation left it behind, and re-registers assertions against the
-  /// recovered state.
-  /// Called by the `sql::Engine(Storage*)` constructor; callable directly
-  /// for engines assembled by hand.  Throws `storage::CorruptionError` /
-  /// `storage::IoError` on unrecoverable state.
-  void Attach(sql::Engine& engine);
+  /// rotation left it behind, re-registers assertions against the
+  /// recovered state, and finally republishes the recovered view state as
+  /// epoch 0 — a freshly opened database always serves snapshot readers
+  /// from epoch 0 regardless of how many rounds the WAL replayed.
+  /// Called by the `sql::EngineCore(Storage*)` constructor; callable
+  /// directly for engines assembled by hand.  Throws
+  /// `storage::CorruptionError` / `storage::IoError` on unrecoverable
+  /// state.
+  void Attach(sql::EngineCore& core);
 
   /// Snapshots the full engine state (at the current durable LSN) to the
   /// checkpoint file atomically, then truncates the log.  Requires an
@@ -99,7 +103,7 @@ class Storage {
   std::string ExportMetricsText();
 
  private:
-  friend class sql::Engine;
+  friend class sql::EngineCore;
 
   Storage(std::string path, Options options);
 
@@ -123,7 +127,7 @@ class Storage {
 
   std::string path_;
   Options options_;
-  sql::Engine* engine_ = nullptr;
+  sql::EngineCore* engine_ = nullptr;
   std::unique_ptr<storage::Wal> wal_;
 };
 

@@ -1,0 +1,62 @@
+#ifndef MVIEW_UTIL_JSON_H_
+#define MVIEW_UTIL_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace mview::util {
+
+/// Appends `s` to `*out` as a JSON string body (no surrounding quotes),
+/// escaping quotes, backslashes, and control characters per RFC 8259.
+/// Shared by the `Result` wire encoding and the server protocol so both
+/// sides agree byte-for-byte on framing.
+inline void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+/// `"s"` with escaping — the quoted form.
+inline std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  AppendJsonEscaped(&out, s);
+  out += '"';
+  return out;
+}
+
+}  // namespace mview::util
+
+#endif  // MVIEW_UTIL_JSON_H_

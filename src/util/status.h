@@ -1,0 +1,103 @@
+#ifndef MVIEW_UTIL_STATUS_H_
+#define MVIEW_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace mview {
+
+/// The outcome of a non-throwing operation anywhere in the system: success,
+/// or a classified failure with the error text.
+///
+/// One taxonomy serves every layer — the SQL engine's `TryExecute`,
+/// per-client sessions, the storage facade, and the network frontend all
+/// report through this type, so a server can forward an engine failure over
+/// the wire without re-classifying it.  (Historically this lived as
+/// `sql::Engine::Status`; the engine keeps a back-compat alias.)
+struct Status {
+  enum class Kind {
+    kOk,
+    kParseError,      // lexer/parser rejected the text
+    kExecutionError,  // a statement failed (semantic error, unknown
+                      // name, type mismatch, …)
+    kIoError,         // the durable log or checkpoint hit an I/O
+                      // failure; the commit did not happen
+    kCorruption,      // persistent state failed validation (bad magic,
+                      // CRC mismatch, undecodable body)
+    kViewQuarantined,  // the statement read a quarantined view; run
+                       // REPAIR VIEW to heal it first
+    kUnavailable,     // the peer is gone or the server is draining —
+                      // reconnect-and-retry territory, not a SQL error
+    kInternal,        // an unclassified exception (std::bad_alloc, a
+                      // library error, …) — caught at a noexcept boundary
+                      // rather than allowed to escape
+  };
+  bool ok = true;
+  Kind kind = Kind::kOk;
+  std::string message;
+
+  static Status Ok() { return Status{}; }
+  static Status ParseError(std::string message) {
+    return Status{false, Kind::kParseError, std::move(message)};
+  }
+  static Status ExecutionError(std::string message) {
+    return Status{false, Kind::kExecutionError, std::move(message)};
+  }
+  static Status IoError(std::string message) {
+    return Status{false, Kind::kIoError, std::move(message)};
+  }
+  static Status Corruption(std::string message) {
+    return Status{false, Kind::kCorruption, std::move(message)};
+  }
+  static Status ViewQuarantined(std::string message) {
+    return Status{false, Kind::kViewQuarantined, std::move(message)};
+  }
+  static Status Unavailable(std::string message) {
+    return Status{false, Kind::kUnavailable, std::move(message)};
+  }
+  static Status Internal(std::string message) {
+    return Status{false, Kind::kInternal, std::move(message)};
+  }
+};
+
+/// Stable lowercase identifier for a kind — the wire encoding ("ok",
+/// "parse_error", "execution_error", "io_error", "corruption",
+/// "view_quarantined", "unavailable", "internal").
+inline const char* StatusKindName(Status::Kind kind) {
+  switch (kind) {
+    case Status::Kind::kOk:
+      return "ok";
+    case Status::Kind::kParseError:
+      return "parse_error";
+    case Status::Kind::kExecutionError:
+      return "execution_error";
+    case Status::Kind::kIoError:
+      return "io_error";
+    case Status::Kind::kCorruption:
+      return "corruption";
+    case Status::Kind::kViewQuarantined:
+      return "view_quarantined";
+    case Status::Kind::kUnavailable:
+      return "unavailable";
+    case Status::Kind::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+/// Inverse of `StatusKindName` (unknown names map to kInternal) — used by
+/// wire decoding on the client side.
+inline Status::Kind StatusKindFromName(const std::string& name) {
+  if (name == "ok") return Status::Kind::kOk;
+  if (name == "parse_error") return Status::Kind::kParseError;
+  if (name == "execution_error") return Status::Kind::kExecutionError;
+  if (name == "io_error") return Status::Kind::kIoError;
+  if (name == "corruption") return Status::Kind::kCorruption;
+  if (name == "view_quarantined") return Status::Kind::kViewQuarantined;
+  if (name == "unavailable") return Status::Kind::kUnavailable;
+  return Status::Kind::kInternal;
+}
+
+}  // namespace mview
+
+#endif  // MVIEW_UTIL_STATUS_H_

@@ -103,8 +103,8 @@ void DisableJoinCache(Engine& engine) {
     options.enable_join_cache = false;
     ViewDefinition def = info.definition;
     MaintenanceMode mode = info.mode;
-    engine.views().DropView(name);
-    engine.views().RegisterView(std::move(def), mode, options);
+    engine.mutable_views().DropView(name);
+    engine.mutable_views().RegisterView(std::move(def), mode, options);
   }
 }
 
@@ -134,7 +134,7 @@ void RepairRefreshAndCompare(Engine& recovered, Engine& shadow,
   recovered.Execute("REFRESH VIEW vd");
   shadow.Execute("REFRESH VIEW vd");
 
-  Scrubber scrubber(&recovered.views());
+  Scrubber scrubber(&recovered.mutable_views());
   ScrubReport report = scrubber.ScrubAll(ScrubOptions{});
   for (const auto& r : report.views) {
     EXPECT_TRUE(r.clean) << r.view << ": " << r.missing << " missing, "

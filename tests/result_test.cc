@@ -1,0 +1,112 @@
+#include "sql/result.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/engine.h"
+#include "util/error.h"
+
+namespace mview::sql {
+namespace {
+
+// Base tables are sets; the projection collapses (2,'y') and (2,'z') into
+// one output tuple with multiplicity 2, exercising the counts column.
+Result ProjectionFixture() {
+  Engine engine;
+  engine.ExecuteScript(
+      "CREATE TABLE t (a INT64, name STRING);"
+      "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (2, 'z');");
+  return engine.Execute("SELECT a FROM t");
+}
+
+TEST(ResultTest, TypedAccessors) {
+  Engine engine;
+  engine.ExecuteScript(
+      "CREATE TABLE t (a INT64, name STRING);"
+      "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (2, 'z');");
+  Result r = engine.Execute("SELECT * FROM t");
+  ASSERT_EQ(r.kind, Result::Kind::kRows);
+  EXPECT_EQ(r.NumRows(), 3u);
+  EXPECT_EQ(r.NumColumns(), 2u);
+
+  ASSERT_TRUE(r.ColumnIndex("name").has_value());
+  const size_t name_col = *r.ColumnIndex("name");
+  EXPECT_FALSE(r.ColumnIndex("missing").has_value());
+
+  EXPECT_EQ(r.ValueAt(0, 0).AsInt64(), 1);
+  EXPECT_EQ(r.ValueAt(2, name_col).AsString(), "z");
+  EXPECT_EQ(r.RowAt(1).at(0).AsInt64(), 2);
+  EXPECT_EQ(r.CountAt(0), 1);
+
+  Result proj = ProjectionFixture();
+  ASSERT_EQ(proj.NumRows(), 2u);
+  EXPECT_EQ(proj.CountAt(0), 1);
+  EXPECT_EQ(proj.CountAt(1), 2);  // two base rows project to a=2
+}
+
+TEST(ResultTest, Iteration) {
+  Result r = ProjectionFixture();
+  int64_t total = 0;
+  for (const auto& [tuple, count] : r) {
+    total += tuple.at(0).AsInt64() * count;
+  }
+  EXPECT_EQ(total, 1 + 2 * 2);
+}
+
+TEST(ResultTest, AccessorsThrowOutOfRange) {
+  Result r = ProjectionFixture();
+  EXPECT_THROW(r.ValueAt(5, 0), Error);
+  EXPECT_THROW(r.ValueAt(0, 5), Error);
+  EXPECT_THROW(r.RowAt(5), Error);
+  EXPECT_THROW(r.CountAt(5), Error);
+
+  Result message;  // kMessage by default
+  EXPECT_THROW(message.ValueAt(0, 0), Error);
+  EXPECT_THROW(message.RowAt(0), Error);
+  EXPECT_THROW(message.CountAt(0), Error);
+}
+
+TEST(ResultTest, RowsToJson) {
+  Result r = ProjectionFixture();
+  EXPECT_EQ(r.ToJson(),
+            "{\"kind\":\"rows\",\"columns\":[\"a\"],"
+            "\"types\":[\"int64\"],"
+            "\"rows\":[[1],[2]],\"counts\":[1,2]}");
+}
+
+TEST(ResultTest, MessageToJsonEscapes) {
+  Result r;
+  r.message = "line1\nline2 \"quoted\"";
+  EXPECT_EQ(r.ToJson(),
+            "{\"kind\":\"message\","
+            "\"message\":\"line1\\nline2 \\\"quoted\\\"\"}");
+}
+
+TEST(ResultTest, JsonMessageEmbedsPayloadVerbatim) {
+  Result r;
+  r.json_message = true;
+  r.message = "{\"a\":1}";
+  EXPECT_EQ(r.ToJson(), "{\"kind\":\"json\",\"payload\":{\"a\":1}}");
+
+  Result empty;
+  empty.json_message = true;
+  EXPECT_EQ(empty.ToJson(), "{\"kind\":\"json\",\"payload\":null}");
+}
+
+TEST(ResultTest, ShowStatsJsonIsJsonMessage) {
+  Engine engine;
+  engine.Execute("CREATE TABLE t (a INT64)");
+  Result r = engine.Execute("SHOW STATS JSON");
+  ASSERT_EQ(r.kind, Result::Kind::kMessage);
+  EXPECT_TRUE(r.json_message);
+  // The wire encoding of a JSON-message result carries the stats document
+  // as structured JSON, not as an escaped string.
+  EXPECT_EQ(r.ToJson().rfind("{\"kind\":\"json\",\"payload\":{", 0), 0u);
+}
+
+TEST(ResultTest, EngineAliasIsSameType) {
+  static_assert(std::is_same_v<Engine::Result, Result>);
+  static_assert(std::is_same_v<Engine::Status, ::mview::Status>);
+}
+
+}  // namespace
+}  // namespace mview::sql

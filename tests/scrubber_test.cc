@@ -37,7 +37,7 @@ class ScrubberTest : public ::testing::Test {
 TEST_F(ScrubberTest, CleanViewsScrubClean) {
   Engine engine;
   Seed(engine);
-  Scrubber scrubber(&engine.views());
+  Scrubber scrubber(&engine.mutable_views());
   ScrubReport report = scrubber.ScrubAll(ScrubOptions{});
   ASSERT_EQ(report.views.size(), 2u);
   EXPECT_TRUE(report.AllClean());
@@ -53,10 +53,10 @@ TEST_F(ScrubberTest, DetectsExtraAndMissingTuples) {
   Seed(engine);
   // Corrupt the materialization directly (the test hook): one phantom
   // tuple with multiplicity 2, one legitimate tuple dropped.
-  engine.views().MutableMaterialization("va").Add(T({77, 77}), 2);
-  engine.views().MutableMaterialization("va").Add(T({1, 10}), -1);
+  engine.mutable_views().MutableMaterialization("va").Add(T({77, 77}), 2);
+  engine.mutable_views().MutableMaterialization("va").Add(T({1, 10}), -1);
 
-  Scrubber scrubber(&engine.views());
+  Scrubber scrubber(&engine.mutable_views());
   ViewScrubResult result = scrubber.ScrubView("va", ScrubOptions{});
   EXPECT_FALSE(result.clean);
   EXPECT_EQ(result.extra, 2);
@@ -80,11 +80,11 @@ TEST_F(ScrubberTest, StaleDeferredViewIsNotDrift) {
   engine.Execute("INSERT INTO r VALUES (4, 40)");  // vd now lags by one row
   ASSERT_TRUE(engine.views().Describe("vd").stale);
 
-  Scrubber scrubber(&engine.views());
+  Scrubber scrubber(&engine.mutable_views());
   EXPECT_TRUE(scrubber.ScrubView("vd", ScrubOptions{}).clean);
 
   // Real drift inside the *stale* materialization is still caught.
-  engine.views().MutableMaterialization("vd").Add(T({88, 88}), 1);
+  engine.mutable_views().MutableMaterialization("vd").Add(T({88, 88}), 1);
   ViewScrubResult result = scrubber.ScrubView("vd", ScrubOptions{});
   EXPECT_FALSE(result.clean);
   EXPECT_EQ(result.extra, 1);
@@ -94,10 +94,10 @@ TEST_F(ScrubberTest, DetectsEveryInjectedDrift) {
   Engine engine;
   Seed(engine);
   ScrubMetrics metrics;
-  Scrubber scrubber(&engine.views(), &metrics);
+  Scrubber scrubber(&engine.mutable_views(), &metrics);
   // Drift in both views, of both polarities.
-  engine.views().MutableMaterialization("va").Add(T({60, 60}), 1);
-  engine.views().MutableMaterialization("vd").Add(T({1, 10}), -1);
+  engine.mutable_views().MutableMaterialization("va").Add(T({60, 60}), 1);
+  engine.mutable_views().MutableMaterialization("vd").Add(T({1, 10}), -1);
 
   ScrubReport report = scrubber.ScrubAll(ScrubOptions{});
   EXPECT_FALSE(report.AllClean());
@@ -113,10 +113,10 @@ TEST_F(ScrubberTest, AutoRepairQuarantinesThenHeals) {
   Seed(reference);
   Engine engine;
   Seed(engine);
-  engine.views().MutableMaterialization("va").Add(T({60, 60}), 3);
+  engine.mutable_views().MutableMaterialization("va").Add(T({60, 60}), 3);
 
   ScrubMetrics metrics;
-  Scrubber scrubber(&engine.views(), &metrics);
+  Scrubber scrubber(&engine.mutable_views(), &metrics);
   ScrubOptions repair;
   repair.auto_repair = true;
   ViewScrubResult result = scrubber.ScrubView("va", repair);
@@ -133,9 +133,9 @@ TEST_F(ScrubberTest, AutoRepairQuarantinesThenHeals) {
 TEST_F(ScrubberTest, QuarantinedViewReportedAndHealedOnRequest) {
   Engine engine;
   Seed(engine);
-  engine.views().Quarantine("va", "test quarantine", /*sticky=*/true);
+  engine.mutable_views().Quarantine("va", "test quarantine", /*sticky=*/true);
 
-  Scrubber scrubber(&engine.views());
+  Scrubber scrubber(&engine.mutable_views());
   ViewScrubResult result = scrubber.ScrubView("va", ScrubOptions{});
   EXPECT_TRUE(result.quarantined);
   EXPECT_FALSE(result.repaired);
@@ -156,7 +156,7 @@ TEST_F(ScrubberTest, SqlScrubStatements) {
   EXPECT_NE(all.find("clean"), std::string::npos) << all;
   EXPECT_EQ(all.find("drift"), std::string::npos) << all;
 
-  engine.views().MutableMaterialization("va").Add(T({60, 60}), 1);
+  engine.mutable_views().MutableMaterialization("va").Add(T({60, 60}), 1);
   std::string diagnosed = engine.Execute("SCRUB VIEW va").ToString();
   EXPECT_NE(diagnosed.find("drift"), std::string::npos) << diagnosed;
 

@@ -1,0 +1,187 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/wire.h"
+#include "sql/engine.h"
+#include "sql/session.h"
+#include "util/error.h"
+#include "util/status.h"
+
+namespace mview::server {
+namespace {
+
+using sql::EngineCore;
+using sql::Result;
+
+// ------------------------------------------------------------------ wire ---
+
+TEST(WireTest, EncodesOkRowsResponse) {
+  sql::Engine engine;
+  engine.ExecuteScript(
+      "CREATE TABLE t (a INT64);"
+      "INSERT INTO t VALUES (1);");
+  Result result = engine.Execute("SELECT * FROM t");
+  EXPECT_EQ(EncodeResponse(Status::Ok(), &result),
+            "{\"ok\":true,\"kind\":\"rows\",\"columns\":[\"a\"],"
+            "\"types\":[\"int64\"],\"rows\":[[1]],\"counts\":[1]}");
+}
+
+TEST(WireTest, EncodesErrorResponse) {
+  Status status = Status::ExecutionError("no such table: \"t\"\n");
+  EXPECT_EQ(EncodeResponse(status, nullptr),
+            "{\"ok\":false,\"kind\":\"execution_error\","
+            "\"message\":\"no such table: \\\"t\\\"\\n\"}");
+}
+
+TEST(WireTest, ParseRoundTripsEveryKind) {
+  for (Status::Kind kind :
+       {Status::Kind::kParseError, Status::Kind::kExecutionError,
+        Status::Kind::kIoError, Status::Kind::kCorruption,
+        Status::Kind::kViewQuarantined, Status::Kind::kUnavailable,
+        Status::Kind::kInternal}) {
+    Status status{false, kind, "err \"x\"\twith\nescapes"};
+    WireResponse decoded = ParseResponse(EncodeResponse(status, nullptr));
+    EXPECT_FALSE(decoded.ok);
+    EXPECT_EQ(decoded.kind, kind);
+    EXPECT_EQ(decoded.message, status.message);
+    EXPECT_EQ(decoded.ToStatus().kind, kind);
+  }
+
+  Result message;
+  message.message = "ok then";
+  WireResponse ok = ParseResponse(EncodeResponse(Status::Ok(), &message));
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.kind, Status::Kind::kOk);
+}
+
+TEST(WireTest, MalformedLineDecodesAsInternal) {
+  WireResponse r = ParseResponse("not json at all");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.kind, Status::Kind::kInternal);
+  EXPECT_NE(r.message.find("malformed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- server ---
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer() {
+    server_ = std::make_unique<Server>(&core_, Server::Options{});
+    server_->Start();
+    ASSERT_GT(server_->port(), 0);  // ephemeral port was bound
+  }
+
+  Client Connect() {
+    Client client;
+    client.Connect("127.0.0.1", server_->port());
+    return client;
+  }
+
+  EngineCore core_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, EndToEndStatements) {
+  StartServer();
+  Client client = Connect();
+
+  EXPECT_TRUE(client.Execute("CREATE TABLE t (a INT64, s STRING)").ok);
+  EXPECT_TRUE(client.Execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").ok);
+  WireResponse rows = client.Execute("SELECT * FROM t WHERE a = 2");
+  ASSERT_TRUE(rows.ok);
+  EXPECT_EQ(rows.raw,
+            "{\"ok\":true,\"kind\":\"rows\",\"columns\":[\"a\",\"s\"],"
+            "\"types\":[\"int64\",\"string\"],\"rows\":[[2,\"y\"]],"
+            "\"counts\":[1]}");
+
+  // The wire response is byte-identical to the embedded Result encoding.
+  std::unique_ptr<sql::Session> local = core_.CreateSession();
+  Result embedded = local->Execute("SELECT * FROM t WHERE a = 2");
+  EXPECT_EQ(rows.raw, EncodeResponse(Status::Ok(), &embedded));
+}
+
+TEST_F(ServerTest, ErrorsAreClassifiedOnTheWire) {
+  StartServer();
+  Client client = Connect();
+  EXPECT_EQ(client.Execute("SELECT * FROM nope").kind,
+            Status::Kind::kExecutionError);
+  EXPECT_EQ(client.Execute("FLY TO the_moon").kind,
+            Status::Kind::kParseError);
+}
+
+TEST_F(ServerTest, TransactionsArePerConnection) {
+  StartServer();
+  Client a = Connect();
+  Client b = Connect();
+  ASSERT_TRUE(a.Execute("CREATE TABLE t (x INT64)").ok);
+
+  ASSERT_TRUE(a.Execute("BEGIN").ok);
+  ASSERT_TRUE(a.Execute("INSERT INTO t VALUES (1)").ok);
+  WireResponse unseen = b.Execute("SELECT * FROM t");
+  ASSERT_TRUE(unseen.ok);
+  EXPECT_NE(unseen.raw.find("\"rows\":[]"), std::string::npos);
+
+  ASSERT_TRUE(a.Execute("COMMIT").ok);
+  WireResponse seen = b.Execute("SELECT * FROM t");
+  ASSERT_TRUE(seen.ok);
+  EXPECT_NE(seen.raw.find("\"rows\":[[1]]"), std::string::npos);
+}
+
+TEST_F(ServerTest, ConcurrentClientsOverAView) {
+  StartServer();
+  {
+    std::unique_ptr<sql::Session> admin = core_.CreateSession();
+    admin->ExecuteScript(
+        "CREATE TABLE t (a INT64);"
+        "CREATE MATERIALIZED VIEW v AS SELECT * FROM t;"
+        "INSERT INTO t VALUES (1), (2);");
+  }
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, &failures, c] {
+      Client client;
+      client.Connect("127.0.0.1", server_->port());
+      for (int i = 0; i < 25; ++i) {
+        WireResponse r = client.Execute("SELECT * FROM v");
+        if (!r.ok || r.raw.find("\"counts\":[1,1]") == std::string::npos) {
+          failures[c] = r.raw;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& failure : failures) EXPECT_EQ(failure, "");
+}
+
+TEST_F(ServerTest, GracefulDrainClosesConnections) {
+  StartServer();
+  Client client = Connect();
+  ASSERT_TRUE(client.Execute("CREATE TABLE t (a INT64)").ok);
+
+  server_->Shutdown();  // drain: in-flight work finishes, sockets close
+
+  // The connection is gone; the client surfaces it as an I/O failure.
+  EXPECT_THROW(client.Execute("SELECT * FROM t"), IoError);
+  // And new connections are refused.
+  Client late;
+  EXPECT_THROW(late.Connect("127.0.0.1", server_->port()), IoError);
+}
+
+TEST_F(ServerTest, ShutdownIsIdempotent) {
+  StartServer();
+  server_->Shutdown();
+  server_->Shutdown();
+  server_.reset();  // the destructor tolerates an already-drained server
+}
+
+}  // namespace
+}  // namespace mview::server

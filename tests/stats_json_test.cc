@@ -51,7 +51,7 @@ TEST(StatsJsonTest, GoldenSchema) {
   {
     auto storage = Storage::Open(dir);
     sql::Engine engine(storage.get());
-    engine.views().SetParallelism(2);
+    engine.mutable_views().SetParallelism(2);
     engine.ExecuteScript(
         "CREATE TABLE r (a INT64, b INT64);"
         "CREATE TABLE s (b INT64, c INT64);"
@@ -127,7 +127,7 @@ TEST(StatsJsonTest, InMemoryEngineParsesToo) {
 
 TEST(StatsJsonTest, LongFormatCarriesPoolGauges) {
   sql::Engine engine;
-  engine.views().SetParallelism(3);
+  engine.mutable_views().SetParallelism(3);
   engine.ExecuteScript("CREATE TABLE t (a INT64);");
   sql::Engine::Result result = engine.Execute("SHOW STATS");
   ASSERT_EQ(result.kind, sql::Engine::Result::Kind::kRows);
