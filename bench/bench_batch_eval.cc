@@ -1,0 +1,146 @@
+// Experiment E20: columnar batch differential evaluation.  Claim to
+// reproduce: pushing delta rows through the join order in `ColumnBatch`
+// chunks backed by a per-round arena (ra/batch.h) beats the tuple-at-a-time
+// pipeline on warm per-commit latency — the batch path amortizes virtual
+// sink dispatch, reuses scratch memory across rounds instead of
+// heap-allocating intermediate tuples, and shuffles column pointers for
+// projection instead of copying values.
+//
+// The workload mirrors E16 (r ⋈ s on r_a1 = s_a0, unindexed bases,
+// transactions touching only r, join fan-out held at ~5 matches per delta
+// row) with the join-state cache *on* in both arms, so the clean side is
+// warm and the measured difference is purely the evaluation pipeline:
+// `enable_batch_eval` on vs off.  Both arms produce byte-identical deltas
+// (property-tested in tests/batch_eval_test.cc).
+//
+// `--json <path>` writes the sweep rows (BENCH_E20.json in EXPERIMENTS.md).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ivm/differential.h"
+#include "util/stopwatch.h"
+#include "workload/generator.h"
+
+namespace mview {
+namespace {
+
+// ~5 expected join matches per key at every base size (as in E16).
+int64_t DomainFor(size_t base_rows) {
+  return base_rows < 50 ? 10 : static_cast<int64_t>(base_rows / 5);
+}
+
+struct Setup {
+  Database db;
+  WorkloadGenerator gen{42};
+  RelationSpec r, s;
+  DifferentialMaintainer m;
+  CountedRelation view;
+
+  Setup(size_t base_rows, bool batch)
+      : r{"r", 2, DomainFor(base_rows), base_rows},
+        s{"s", 2, DomainFor(base_rows), base_rows},
+        m((gen.Populate(&db, r), gen.Populate(&db, s),
+           ViewDefinition("v", {BaseRef{"r", {}}, BaseRef{"s", {}}},
+                          "r_a1 = s_a0", {"r_a0", "s_a1"})),
+          &db, MakeOptions(batch)) {
+    view = m.FullEvaluate();
+  }
+
+  static MaintenanceOptions MakeOptions(bool batch) {
+    MaintenanceOptions options;
+    options.enable_batch_eval = batch;
+    options.join_cache_budget_bytes = size_t{2} << 30;
+    return options;
+  }
+
+  // Runs one full commit and returns the nanoseconds spent in the
+  // differential phase (`ComputeDelta`) alone.  Normalize, the irrelevance
+  // screen, and base/view apply are byte-identical between the two arms —
+  // timing them would only dilute the pipeline comparison (they dominate
+  // large-delta commits), so the sweep isolates the phase the knob changes.
+  int64_t Commit(size_t delta_rows) {
+    Transaction txn;
+    gen.AddUpdates(&txn, r, delta_rows, delta_rows);
+    TransactionEffect effect = txn.Normalize(db);
+    Stopwatch timer;
+    ViewDelta delta = m.ComputeDelta(effect);
+    const int64_t differential_nanos = timer.ElapsedNanos();
+    effect.ApplyTo(&db);
+    delta.ApplyTo(&view);
+    return differential_nanos;
+  }
+
+  // Average differential seconds per maintained commit in steady state;
+  // warmup commits install the join-cache entries and let the arena reach
+  // its steady block count so neither arm pays one-time growth inside the
+  // timed window.
+  double TimePerCommit(size_t commits, size_t delta_rows) {
+    for (size_t i = 0; i < 10; ++i) Commit(delta_rows);
+    int64_t total_nanos = 0;
+    for (size_t i = 0; i < commits; ++i) total_nanos += Commit(delta_rows);
+    return static_cast<double>(total_nanos) * 1e-9 /
+           static_cast<double>(commits);
+  }
+};
+
+void BM_WarmCommit(benchmark::State& state) {
+  Setup setup(static_cast<size_t>(state.range(0)), state.range(1) != 0);
+  setup.Commit(100);  // warmup
+  for (auto _ : state) setup.Commit(100);
+}
+// Args: (base rows, batch eval enabled).
+BENCHMARK(BM_WarmCommit)
+    ->Args({10000, 0})->Args({10000, 1})
+    ->Args({100000, 0})->Args({100000, 1})
+    ->Iterations(20)->Unit(benchmark::kMillisecond);
+
+void PrintSummary() {
+  using bench::FormatSeconds;
+  using bench::FormatSpeedup;
+  const size_t commits = bench::Scaled(200, 2);
+  const std::vector<size_t> bases =
+      bench::Options().smoke ? std::vector<size_t>{200, 400}
+                             : std::vector<size_t>{10'000, 100'000};
+  const std::vector<size_t> deltas = bench::Options().smoke
+                                         ? std::vector<size_t>{1, 4}
+                                         : std::vector<size_t>{1, 100};
+  bench::SummaryTable table(
+      "E20: columnar batch evaluation — warm per-commit differential "
+      "latency, r ⋈ s (unindexed, join cache on), transactions touch only r",
+      {"base rows", "delta rows", "tuple-at-a-time", "batch", "speedup"});
+  bench::JsonRows json;
+  for (size_t base : bases) {
+    Setup tuple_arm(base, /*batch=*/false);
+    Setup batch_arm(base, /*batch=*/true);
+    for (size_t delta : deltas) {
+      const double t_tuple = tuple_arm.TimePerCommit(commits, delta);
+      const double t_batch = batch_arm.TimePerCommit(commits, delta);
+      table.AddRow({std::to_string(base), std::to_string(delta),
+                    FormatSeconds(t_tuple), FormatSeconds(t_batch),
+                    FormatSpeedup(t_tuple / t_batch)});
+      json.Add({{"base_rows", static_cast<double>(base)},
+                {"delta_rows", static_cast<double>(delta)},
+                {"tuple_seconds", t_tuple},
+                {"batch_seconds", t_batch},
+                {"speedup", t_tuple / t_batch}});
+    }
+  }
+  table.Print();
+  json.WriteIfRequested();
+}
+
+}  // namespace
+}  // namespace mview
+
+int main(int argc, char** argv) {
+  mview::bench::ParseBenchOptions(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
+  mview::PrintSummary();
+  return 0;
+}

@@ -25,7 +25,7 @@ namespace {
 // bails out on the first failure with its classified status.
 bool RunScript(Engine& engine, const std::string& sql) {
   std::vector<Engine::Result> results;
-  Engine::Status status = engine.TryExecuteScript(sql, &results);
+  mview::Status status = engine.TryExecuteScript(sql, &results);
   for (const auto& result : results) {
     std::printf("%s", result.ToString().c_str());
   }

@@ -50,8 +50,7 @@ int main() {
     // Results of the statements that ran are printed even when a later
     // statement fails; the status then names the failing one.
     std::vector<mview::sql::Engine::Result> results;
-    mview::sql::Engine::Status status =
-        engine.TryExecuteScript(buffer, &results);
+    mview::Status status = engine.TryExecuteScript(buffer, &results);
     for (const auto& result : results) {
       std::fputs(result.ToString().c_str(), stdout);
     }

@@ -1,22 +1,10 @@
 #include "ivm/delta.h"
 
-#include <vector>
-
 #include "util/error.h"
 
 namespace mview {
 
-void ViewDelta::Normalize() {
-  std::vector<std::pair<Tuple, int64_t>> overlaps;
-  inserts.Scan([&](const Tuple& t, int64_t ic) {
-    int64_t dc = deletes.Count(t);
-    if (dc > 0) overlaps.emplace_back(t, std::min(ic, dc));
-  });
-  for (const auto& [t, c] : overlaps) {
-    inserts.Add(t, -c);
-    deletes.Add(t, -c);
-  }
-}
+void ViewDelta::Normalize() { inserts.CancelWith(&deletes); }
 
 void ViewDelta::ApplyTo(CountedRelation* view) const {
   MVIEW_CHECK(view != nullptr, "null view");

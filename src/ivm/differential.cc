@@ -63,6 +63,10 @@ MaintenanceStats& MaintenanceStats::operator+=(const MaintenanceStats& o) {
   cache_misses += o.cache_misses;
   cache_evictions += o.cache_evictions;
   cache_bytes += o.cache_bytes;
+  batch_batches += o.batch_batches;
+  batch_rows += o.batch_rows;
+  arena_bytes += o.arena_bytes;
+  arena_high_water += o.arena_high_water;
   plan += o.plan;
   return *this;
 }
@@ -246,15 +250,29 @@ ViewDelta DifferentialMaintainer::EvaluateParts(
   PlannerCache cache;
   PlannerCache* cache_ptr =
       options_.reuse_subexpressions ? &cache : nullptr;
+  // The round's batch scratch: resetting recycles (and, under ASan,
+  // poisons) the previous round's blocks, so every ColumnBatch allocated
+  // below dies when the *next* round begins.
+  arena_.Reset();
+  BatchEvalStats batch_stats;
+  EvalContext ctx;
+  ctx.arena = &arena_;
+  ctx.enable_batch = options_.enable_batch_eval;
+  ctx.batch_stats = &batch_stats;
   if (options_.strategy == DeltaStrategy::kTelescoped) {
-    EnumerateTelescoped(clean, ins, del, &delta, stats, cache_ptr);
+    EnumerateTelescoped(clean, ins, del, &delta, stats, cache_ptr, &ctx);
   } else {
-    EnumerateRows(clean, ins, del, &delta, stats, cache_ptr);
+    EnumerateRows(clean, ins, del, &delta, stats, cache_ptr, &ctx);
   }
   delta.Normalize();
   if (stats != nullptr) {
     stats->delta_inserts += delta.inserts.TotalCount();
     stats->delta_deletes += delta.deletes.TotalCount();
+    stats->batch_batches += batch_stats.batches;
+    stats->batch_rows += batch_stats.rows;
+    stats->arena_bytes =
+        static_cast<int64_t>(arena_.stats().bytes_reserved);
+    stats->arena_high_water = arena_.stats().high_water;
   }
   return delta;
 }
@@ -263,7 +281,8 @@ void DifferentialMaintainer::EnumerateTelescoped(
     const std::vector<std::unique_ptr<RelationInput>>& clean,
     const std::vector<std::unique_ptr<RelationInput>>& ins,
     const std::vector<std::unique_ptr<RelationInput>>& del, ViewDelta* delta,
-    MaintenanceStats* stats, PlannerCache* cache) const {
+    MaintenanceStats* stats, PlannerCache* cache,
+    const EvalContext* ctx) const {
   size_t n = def_.bases().size();
   const Condition& condition = def_.condition();
   bool trivially_true = condition.IsTriviallyTrue();
@@ -307,7 +326,7 @@ void DifferentialMaintainer::EnumerateTelescoped(
     query.condition = trivially_true ? nullptr : &condition;
     query.projection = def_.projection();
     EvaluateSpjInto(query, is_delete ? &delta->deletes : &delta->inserts, 1,
-                    stats != nullptr ? &stats->plan : nullptr, cache);
+                    stats != nullptr ? &stats->plan : nullptr, cache, ctx);
   };
 
   for (size_t j = 0; j < n; ++j) {
@@ -320,7 +339,8 @@ void DifferentialMaintainer::EnumerateRows(
     const std::vector<std::unique_ptr<RelationInput>>& clean,
     const std::vector<std::unique_ptr<RelationInput>>& ins,
     const std::vector<std::unique_ptr<RelationInput>>& del, ViewDelta* delta,
-    MaintenanceStats* stats, PlannerCache* cache) const {
+    MaintenanceStats* stats, PlannerCache* cache,
+    const EvalContext* ctx) const {
   size_t n = def_.bases().size();
   const Condition& condition = def_.condition();
   bool trivially_true = condition.IsTriviallyTrue();
@@ -342,7 +362,7 @@ void DifferentialMaintainer::EnumerateRows(
     query.condition = trivially_true ? nullptr : &condition;
     query.projection = def_.projection();
     EvaluateSpjInto(query, is_delete ? &delta->deletes : &delta->inserts, 1,
-                    stats != nullptr ? &stats->plan : nullptr, cache);
+                    stats != nullptr ? &stats->plan : nullptr, cache, ctx);
   };
 
   // has_delta: whether a non-clean part has been chosen so far;

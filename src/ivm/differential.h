@@ -10,6 +10,7 @@
 #include "ivm/view_def.h"
 #include "ra/join_cache.h"
 #include "ra/planner.h"
+#include "util/arena.h"
 
 namespace mview {
 
@@ -51,6 +52,13 @@ struct MaintenanceOptions {
   /// Byte budget for the per-view join-state cache; least-recently-used
   /// entries are evicted past it at round boundaries.
   size_t join_cache_budget_bytes = size_t{256} << 20;
+
+  /// Run the planner's columnar batch pipeline (ra/batch.h): delta rows
+  /// flow through the join order in `ColumnBatch` chunks backed by a
+  /// per-round arena instead of tuple-at-a-time heap rows.  Produces
+  /// byte-identical deltas to the tuple path (property-tested); bench E20
+  /// ablates it.
+  bool enable_batch_eval = true;
 };
 
 /// Wall-clock nanoseconds spent in each phase of the commit pipeline,
@@ -89,6 +97,16 @@ struct MaintenanceStats {
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
   int64_t cache_bytes = 0;
+  // Columnar batch pipeline activity (MaintenanceOptions::enable_batch_eval).
+  // The first two are cumulative; the arena pair are gauges overwritten
+  // after every round (operator+= sums them across views, like
+  // `cache_bytes`): `arena_bytes` is the scratch memory currently reserved
+  // by the per-round arena, `arena_high_water` the largest live footprint
+  // any round reached.
+  int64_t batch_batches = 0;
+  int64_t batch_rows = 0;
+  int64_t arena_bytes = 0;
+  int64_t arena_high_water = 0;
   PlanStats plan;
 
   MaintenanceStats& operator+=(const MaintenanceStats& other);
@@ -184,13 +202,14 @@ class DifferentialMaintainer {
                      const std::vector<std::unique_ptr<RelationInput>>& ins,
                      const std::vector<std::unique_ptr<RelationInput>>& del,
                      ViewDelta* delta, MaintenanceStats* stats,
-                     PlannerCache* cache) const;
+                     PlannerCache* cache, const EvalContext* ctx) const;
 
   void EnumerateTelescoped(
       const std::vector<std::unique_ptr<RelationInput>>& clean,
       const std::vector<std::unique_ptr<RelationInput>>& ins,
       const std::vector<std::unique_ptr<RelationInput>>& del,
-      ViewDelta* delta, MaintenanceStats* stats, PlannerCache* cache) const;
+      ViewDelta* delta, MaintenanceStats* stats, PlannerCache* cache,
+      const EvalContext* ctx) const;
 
   ViewDefinition def_;
   const Database* db_;
@@ -202,6 +221,10 @@ class DifferentialMaintainer {
   // Per-view (per-maintainer) shard; mutable because ComputeDelta is
   // logically const yet advances the cache between rounds.
   mutable std::unique_ptr<JoinStateCache> join_cache_;
+  // Scratch memory for the batch pipeline, reset at the start of every
+  // maintenance round (`EvaluateParts`); mutable for the same reason as
+  // the cache.  Shares the maintainer's thread-confinement contract.
+  mutable util::Arena arena_;
 };
 
 }  // namespace mview

@@ -89,6 +89,10 @@ std::string ViewMetrics::ToJson() const {
      << ", \"cache_misses\": " << stats.cache_misses
      << ", \"cache_evictions\": " << stats.cache_evictions
      << ", \"cache_bytes\": " << stats.cache_bytes
+     << ", \"batch_batches\": " << stats.batch_batches
+     << ", \"batch_rows\": " << stats.batch_rows
+     << ", \"arena_bytes\": " << stats.arena_bytes
+     << ", \"arena_high_water\": " << stats.arena_high_water
      << ", \"filter_nanos\": " << phases.filter_nanos
      << ", \"differential_nanos\": " << phases.differential_nanos
      << ", \"apply_nanos\": " << phases.apply_nanos

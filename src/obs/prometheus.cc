@@ -180,6 +180,12 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
        [](const ViewMetrics& m) { return m.stats.cache_misses; }},
       {"mview_view_cache_evictions_total", "Join-state cache evictions",
        [](const ViewMetrics& m) { return m.stats.cache_evictions; }},
+      {"mview_view_batch_batches_total",
+       "Column batches produced by the batch evaluation pipeline",
+       [](const ViewMetrics& m) { return m.stats.batch_batches; }},
+      {"mview_view_batch_rows_total",
+       "Rows carried through the batch evaluation pipeline",
+       [](const ViewMetrics& m) { return m.stats.batch_rows; }},
       {"mview_view_quarantines_total",
        "Maintenance failures that quarantined the view",
        [](const ViewMetrics& m) { return m.stats.quarantines; }},
@@ -197,6 +203,17 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
                      "Join-state cache resident bytes");
   for (const std::string& view : views) {
     cache_bytes.Sample(ViewLabel(view), registry.Find(view)->stats.cache_bytes);
+  }
+  Family arena_bytes(os, "mview_view_arena_bytes", "gauge",
+                     "Batch-pipeline arena reserved bytes");
+  for (const std::string& view : views) {
+    arena_bytes.Sample(ViewLabel(view), registry.Find(view)->stats.arena_bytes);
+  }
+  Family arena_hw(os, "mview_view_arena_high_water_bytes", "gauge",
+                  "Largest live batch-arena footprint any round reached");
+  for (const std::string& view : views) {
+    arena_hw.Sample(ViewLabel(view),
+                    registry.Find(view)->stats.arena_high_water);
   }
 
   std::vector<std::pair<std::string, const LatencyHistogram*>> filter_series,

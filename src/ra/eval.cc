@@ -166,4 +166,93 @@ CountedRelation Evaluate(const Expr& expr, const Database& db) {
   internal::ThrowError("corrupt expression tree");
 }
 
+BoundAtom BindAtom(const Atom& atom, const Schema& schema, size_t col_offset) {
+  BoundAtom bound;
+  bound.lhs_col = col_offset + schema.MustIndexOf(atom.lhs);
+  bound.op = atom.op;
+  if (atom.rhs_var.has_value()) {
+    bound.var_var = true;
+    bound.rhs_col = col_offset + schema.MustIndexOf(*atom.rhs_var);
+    bound.offset = atom.offset;
+  } else {
+    bound.rhs_const = atom.rhs_const;
+  }
+  return bound;
+}
+
+bool EvalBoundAtom(const ColumnBatch& batch, size_t row,
+                   const BoundAtom& atom) {
+  const bool lhs_int = batch.column_type(atom.lhs_col) == ValueType::kInt64;
+  if (!atom.var_var) {
+    if (lhs_int) {
+      const int64_t left = batch.ints(atom.lhs_col)[row];
+      const int64_t right = atom.rhs_const.AsInt64();
+      return EvalCompare(left < right ? -1 : (left > right ? 1 : 0), atom.op);
+    }
+    const std::string& left = *batch.strs(atom.lhs_col)[row];
+    return EvalCompare(left.compare(atom.rhs_const.AsString()), atom.op);
+  }
+  if (lhs_int) {
+    // Matches Atom::Evaluate exactly: x op y + c compares x − c against y.
+    const int64_t left = batch.ints(atom.lhs_col)[row] - atom.offset;
+    const int64_t right = batch.ints(atom.rhs_col)[row];
+    return EvalCompare(left < right ? -1 : (left > right ? 1 : 0), atom.op);
+  }
+  const std::string& left = *batch.strs(atom.lhs_col)[row];
+  const std::string& right = *batch.strs(atom.rhs_col)[row];
+  return EvalCompare(left.compare(right), atom.op);
+}
+
+size_t SelectConjunction(const ColumnBatch& batch,
+                         const std::vector<BoundAtom>& atoms, uint32_t* sel,
+                         size_t n) {
+  for (const BoundAtom& atom : atoms) {
+    size_t kept = 0;
+    // One tight pass per atom over the surviving rows; the common
+    // int-column cases compile to branchy-but-simple word compares.
+    for (size_t i = 0; i < n; ++i) {
+      if (EvalBoundAtom(batch, sel[i], atom)) sel[kept++] = sel[i];
+    }
+    n = kept;
+    if (n == 0) break;
+  }
+  return n;
+}
+
+BoundDnf BindCondition(const Condition& condition, const Schema& schema) {
+  BoundDnf dnf;
+  dnf.reserve(condition.disjuncts().size());
+  for (const Conjunction& conj : condition.disjuncts()) {
+    std::vector<BoundAtom> atoms;
+    atoms.reserve(conj.atoms.size());
+    for (const Atom& atom : conj.atoms) {
+      atoms.push_back(BindAtom(atom, schema));
+    }
+    dnf.push_back(std::move(atoms));
+  }
+  return dnf;
+}
+
+size_t SelectDnf(const ColumnBatch& batch, const BoundDnf& dnf, uint32_t* sel,
+                 size_t n) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t row = sel[i];
+    for (const auto& conj : dnf) {
+      bool pass = true;
+      for (const BoundAtom& atom : conj) {
+        if (!EvalBoundAtom(batch, row, atom)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        sel[kept++] = static_cast<uint32_t>(row);
+        break;
+      }
+    }
+  }
+  return kept;
+}
+
 }  // namespace mview

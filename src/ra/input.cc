@@ -13,7 +13,7 @@ RelationInput::RelationInput() {
 
 bool RelationInput::CanProbe(size_t) const { return false; }
 
-void RelationInput::ProbeEqual(size_t, const Value&, const TupleSink&) const {
+void RelationInput::ProbeEqual(size_t, const Value&, DeltaSink&) const {
   internal::ThrowError("this input does not support index probes");
 }
 
@@ -24,8 +24,8 @@ FullRelationInput::FullRelationInput(const Relation* relation, Schema schema)
               "alias scheme arity mismatch");
 }
 
-void FullRelationInput::Scan(const TupleSink& sink) const {
-  relation_->Scan([&](const Tuple& t) { sink(t, 1); });
+void FullRelationInput::Scan(DeltaSink& sink) const {
+  relation_->Scan([&](const Tuple& t) { sink.Emit(t, 1); });
 }
 
 bool FullRelationInput::CanProbe(size_t attr) const {
@@ -33,10 +33,10 @@ bool FullRelationInput::CanProbe(size_t attr) const {
 }
 
 void FullRelationInput::ProbeEqual(size_t attr, const Value& key,
-                                   const TupleSink& sink) const {
+                                   DeltaSink& sink) const {
   const auto* hits = relation_->Probe(attr, key);
   if (hits == nullptr) return;
-  for (const Tuple* t : *hits) sink(*t, 1);
+  for (const Tuple* t : *hits) sink.Emit(*t, 1);
 }
 
 SubtractRelationInput::SubtractRelationInput(const Relation* relation,
@@ -54,9 +54,9 @@ size_t SubtractRelationInput::SizeHint() const {
   return r > m ? r - m : 0;
 }
 
-void SubtractRelationInput::Scan(const TupleSink& sink) const {
+void SubtractRelationInput::Scan(DeltaSink& sink) const {
   relation_->Scan([&](const Tuple& t) {
-    if (!minus_->Contains(t)) sink(t, 1);
+    if (!minus_->Contains(t)) sink.Emit(t, 1);
   });
 }
 
@@ -65,11 +65,11 @@ bool SubtractRelationInput::CanProbe(size_t attr) const {
 }
 
 void SubtractRelationInput::ProbeEqual(size_t attr, const Value& key,
-                                       const TupleSink& sink) const {
+                                       DeltaSink& sink) const {
   const auto* hits = relation_->Probe(attr, key);
   if (hits == nullptr) return;
   for (const Tuple* t : *hits) {
-    if (!minus_->Contains(*t)) sink(*t, 1);
+    if (!minus_->Contains(*t)) sink.Emit(*t, 1);
   }
 }
 
@@ -81,8 +81,8 @@ CountedRelationInput::CountedRelationInput(const CountedRelation* relation,
               "alias scheme arity mismatch");
 }
 
-void CountedRelationInput::Scan(const TupleSink& sink) const {
-  relation_->Scan(sink);
+void CountedRelationInput::Scan(DeltaSink& sink) const {
+  relation_->Scan([&](const Tuple& t, int64_t c) { sink.Emit(t, c); });
 }
 
 DeltaIndexInput::DeltaIndexInput(const Relation* relation, Schema schema)
@@ -92,12 +92,12 @@ DeltaIndexInput::DeltaIndexInput(const Relation* relation, Schema schema)
               "alias scheme arity mismatch");
 }
 
-void DeltaIndexInput::Scan(const TupleSink& sink) const {
-  relation_->Scan([&](const Tuple& t) { sink(t, 1); });
+void DeltaIndexInput::Scan(DeltaSink& sink) const {
+  relation_->Scan([&](const Tuple& t) { sink.Emit(t, 1); });
 }
 
 void DeltaIndexInput::ProbeEqual(size_t attr, const Value& key,
-                                 const TupleSink& sink) const {
+                                 DeltaSink& sink) const {
   auto [it, created] = indexes_.try_emplace(attr);
   if (created) {
     // First probe on this attribute: build the index once, O(|delta|).
@@ -108,7 +108,7 @@ void DeltaIndexInput::ProbeEqual(size_t attr, const Value& key,
   }
   auto hit = it->second.find(key);
   if (hit == it->second.end()) return;
-  for (const Tuple* t : hit->second) sink(*t, 1);
+  for (const Tuple* t : hit->second) sink.Emit(*t, 1);
 }
 
 ConcatRelationInput::ConcatRelationInput(const RelationInput* first,
@@ -123,7 +123,7 @@ size_t ConcatRelationInput::SizeHint() const {
   return first_->SizeHint() + second_->SizeHint();
 }
 
-void ConcatRelationInput::Scan(const TupleSink& sink) const {
+void ConcatRelationInput::Scan(DeltaSink& sink) const {
   first_->Scan(sink);
   second_->Scan(sink);
 }
@@ -133,7 +133,7 @@ bool ConcatRelationInput::CanProbe(size_t attr) const {
 }
 
 void ConcatRelationInput::ProbeEqual(size_t attr, const Value& key,
-                                     const TupleSink& sink) const {
+                                     DeltaSink& sink) const {
   first_->ProbeEqual(attr, key, sink);
   second_->ProbeEqual(attr, key, sink);
 }

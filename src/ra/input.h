@@ -2,9 +2,11 @@
 #define MVIEW_RA_INPUT_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
+#include "ra/batch.h"
 #include "relational/relation.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
@@ -13,9 +15,6 @@ namespace mview {
 
 class JoinStateCache;
 
-/// Callback receiving a tuple and its multiplicity.
-using TupleSink = std::function<void(const Tuple&, int64_t)>;
-
 /// A read-only stream of counted tuples feeding the SPJ planner.
 ///
 /// Differential re-evaluation joins *parts* of relations (Section 5.3): the
@@ -23,6 +22,11 @@ using TupleSink = std::function<void(const Tuple&, int64_t)>;
 /// inserted (`i_r`), or an old state reconstructed from the current one.
 /// `RelationInput` abstracts over these so one planner serves full
 /// re-evaluation, per-transaction deltas, and deferred snapshot refresh.
+///
+/// Streams flow into `DeltaSink`s (ra/batch.h): the virtual `Scan` and
+/// `ProbeEqual` take a sink interface (one virtual call per row instead of
+/// a `std::function` dispatch), and the non-virtual `TupleSink` overloads
+/// adapt closure-based callers during the migration.
 ///
 /// Inputs may expose their scheme under *aliases* (view definitions rename
 /// attributes to keep them unique across the view's base relations); the
@@ -38,15 +42,25 @@ class RelationInput {
   /// Approximate number of tuples, used by the greedy join-order heuristic.
   virtual size_t SizeHint() const = 0;
 
-  /// Invokes `sink` for every tuple with its multiplicity.
-  virtual void Scan(const TupleSink& sink) const = 0;
+  /// Streams every tuple with its multiplicity into `sink`.
+  virtual void Scan(DeltaSink& sink) const = 0;
 
   /// Returns true when `ProbeEqual` is supported on attribute `attr`.
   virtual bool CanProbe(size_t attr) const;
 
   /// Streams the tuples whose attribute `attr` equals `key` (index join).
   virtual void ProbeEqual(size_t attr, const Value& key,
-                          const TupleSink& sink) const;
+                          DeltaSink& sink) const;
+
+  /// Closure-based conveniences wrapping the virtual sink overloads.
+  void Scan(const TupleSink& sink) const {
+    CallbackSink adapter(sink);
+    Scan(adapter);
+  }
+  void ProbeEqual(size_t attr, const Value& key, const TupleSink& sink) const {
+    CallbackSink adapter(sink);
+    ProbeEqual(attr, key, adapter);
+  }
 
   /// Attaches this input to slot `slot` of a cross-transaction join-state
   /// cache.  The planner materializes a bound input through the cache —
@@ -78,12 +92,15 @@ class FullRelationInput : public RelationInput {
   /// relation's scheme; pass `relation->schema()` when no renaming applies).
   FullRelationInput(const Relation* relation, Schema schema);
 
+  using RelationInput::ProbeEqual;
+  using RelationInput::Scan;
+
   const Schema& schema() const override { return schema_; }
   size_t SizeHint() const override { return relation_->size(); }
-  void Scan(const TupleSink& sink) const override;
+  void Scan(DeltaSink& sink) const override;
   bool CanProbe(size_t attr) const override;
   void ProbeEqual(size_t attr, const Value& key,
-                  const TupleSink& sink) const override;
+                  DeltaSink& sink) const override;
 
  private:
   const Relation* relation_;
@@ -100,12 +117,15 @@ class SubtractRelationInput : public RelationInput {
   SubtractRelationInput(const Relation* relation, const Relation* minus,
                         Schema schema);
 
+  using RelationInput::ProbeEqual;
+  using RelationInput::Scan;
+
   const Schema& schema() const override { return schema_; }
   size_t SizeHint() const override;
-  void Scan(const TupleSink& sink) const override;
+  void Scan(DeltaSink& sink) const override;
   bool CanProbe(size_t attr) const override;
   void ProbeEqual(size_t attr, const Value& key,
-                  const TupleSink& sink) const override;
+                  DeltaSink& sink) const override;
 
  private:
   const Relation* relation_;
@@ -118,9 +138,12 @@ class CountedRelationInput : public RelationInput {
  public:
   CountedRelationInput(const CountedRelation* relation, Schema schema);
 
+  using RelationInput::ProbeEqual;
+  using RelationInput::Scan;
+
   const Schema& schema() const override { return schema_; }
   size_t SizeHint() const override { return relation_->size(); }
-  void Scan(const TupleSink& sink) const override;
+  void Scan(DeltaSink& sink) const override;
 
  private:
   const CountedRelation* relation_;
@@ -143,12 +166,15 @@ class DeltaIndexInput : public RelationInput {
  public:
   DeltaIndexInput(const Relation* relation, Schema schema);
 
+  using RelationInput::ProbeEqual;
+  using RelationInput::Scan;
+
   const Schema& schema() const override { return schema_; }
   size_t SizeHint() const override { return relation_->size(); }
-  void Scan(const TupleSink& sink) const override;
+  void Scan(DeltaSink& sink) const override;
   bool CanProbe(size_t) const override { return true; }
   void ProbeEqual(size_t attr, const Value& key,
-                  const TupleSink& sink) const override;
+                  DeltaSink& sink) const override;
 
  private:
   using LazyIndex = std::unordered_map<Value, std::vector<const Tuple*>>;
@@ -165,12 +191,15 @@ class ConcatRelationInput : public RelationInput {
  public:
   ConcatRelationInput(const RelationInput* first, const RelationInput* second);
 
+  using RelationInput::ProbeEqual;
+  using RelationInput::Scan;
+
   const Schema& schema() const override { return first_->schema(); }
   size_t SizeHint() const override;
-  void Scan(const TupleSink& sink) const override;
+  void Scan(DeltaSink& sink) const override;
   bool CanProbe(size_t attr) const override;
   void ProbeEqual(size_t attr, const Value& key,
-                  const TupleSink& sink) const override;
+                  DeltaSink& sink) const override;
 
  private:
   const RelationInput* first_;

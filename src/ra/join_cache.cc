@@ -151,8 +151,17 @@ void JoinStateCache::AddRow(Entry* entry, const Tuple& tuple) {
   }
   const size_t row = entry->table.rows.size();
   entry->table.rows.emplace_back(tuple, 1);
+  if (entry->table.all_int) {
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      entry->table.int_rows.push_back(tuple.at(i).AsInt64());
+    }
+  }
   if (!entry->table.key_attrs.empty()) {
     entry->table.index[tuple.Project(entry->table.key_attrs)].push_back(row);
+    if (entry->table.int_keyed) {
+      entry->table.int_index[tuple.at(entry->table.key_attrs[0]).AsInt64()]
+          .push_back(row);
+    }
   } else {
     entry->row_of[tuple] = row;
   }
@@ -180,6 +189,15 @@ void JoinStateCache::RemoveRow(Entry* entry, const Tuple& tuple) {
     row = bucket[pos];
     bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(pos));
     if (bucket.empty()) entry->table.index.erase(hit);
+    if (entry->table.int_keyed) {
+      auto ihit = entry->table.int_index.find(
+          tuple.at(entry->table.key_attrs[0]).AsInt64());
+      MVIEW_CHECK(ihit != entry->table.int_index.end(),
+                  "int_index out of sync with index");
+      auto& ibucket = ihit->second;
+      ibucket.erase(std::find(ibucket.begin(), ibucket.end(), row));
+      if (ibucket.empty()) entry->table.int_index.erase(ihit);
+    }
   } else {
     auto hit = entry->row_of.find(tuple);
     if (hit == entry->row_of.end()) return;  // filtered out at build
@@ -194,12 +212,28 @@ void JoinStateCache::RemoveRow(Entry* entry, const Tuple& tuple) {
       Tuple moved_key = rows[last].first.Project(entry->table.key_attrs);
       auto& bucket = entry->table.index[moved_key];
       std::replace(bucket.begin(), bucket.end(), last, row);
+      if (entry->table.int_keyed) {
+        auto& ibucket = entry->table.int_index[rows[last].first
+                            .at(entry->table.key_attrs[0])
+                            .AsInt64()];
+        std::replace(ibucket.begin(), ibucket.end(), last, row);
+      }
     } else {
       entry->row_of[rows[last].first] = row;
     }
     rows[row] = std::move(rows[last]);
   }
   rows.pop_back();
+  if (entry->table.all_int) {
+    auto& ir = entry->table.int_rows;
+    const size_t stride = entry->schema.size();
+    if (row != last) {
+      std::copy(ir.begin() + static_cast<ptrdiff_t>(last * stride),
+                ir.begin() + static_cast<ptrdiff_t>((last + 1) * stride),
+                ir.begin() + static_cast<ptrdiff_t>(row * stride));
+    }
+    ir.resize(last * stride);
+  }
   const size_t row_bytes = ApproxRowBytes(tuple);
   entry->bytes -= std::min(entry->bytes, row_bytes);
   bytes_ -= std::min(bytes_, row_bytes);

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <optional>
 
+#include "ra/eval.h"
 #include "ra/join_cache.h"
+#include "util/arena.h"
 #include "util/error.h"
 
 namespace mview {
@@ -70,15 +72,25 @@ struct PartialRow {
   int64_t count = 1;
 };
 
+// A connecting equi-join predicate at one join step: bound side expressed
+// as a combined-tuple index plus the offset to apply, local side as an
+// attribute of the step's input.
+struct Link {
+  size_t bound_combined = 0;  // index of the bound value in the partial row
+  size_t local_attr = 0;
+  int64_t key_offset = 0;  // probe key = bound value + key_offset
+};
+
 class SpjExecutor {
  public:
   SpjExecutor(const SpjQuery& query, CountedRelation* out, int64_t multiplier,
-              PlanStats* stats, PlannerCache* cache)
+              PlanStats* stats, PlannerCache* cache, const EvalContext* ctx)
       : query_(query),
         out_(out),
         multiplier_(multiplier),
         stats_(stats),
-        cache_(cache) {}
+        cache_(cache),
+        ctx_(ctx) {}
 
   void Run();
 
@@ -94,9 +106,22 @@ class SpjExecutor {
   void Analyze();
   void ChooseOrder();
   bool PassesLocalFilters(const InputInfo& info, const Tuple& t) const;
+  std::vector<Link> CollectLinks(size_t input_id) const;
+
+  // Tuple-at-a-time backend.
+  void RunTuple();
   void ExecuteFirst(std::vector<PartialRow>* rows);
   void ExecuteStep(size_t input_id, std::vector<PartialRow>* rows);
   void Emit(const PartialRow& row);
+
+  // Columnar batch backend (see EvalContext); same plan, batch execution.
+  void RunBatch();
+  size_t BatchExecuteFirst(std::vector<ColumnBatch>* out);
+  size_t BatchExecuteStep(size_t input_id, size_t total,
+                          std::vector<ColumnBatch>* batches);
+  void EmitBatches(std::vector<ColumnBatch>* batches);
+  ColumnBatch& DestBatch(std::vector<ColumnBatch>* list);
+  void FilterBatch(ColumnBatch* batch, const std::vector<BoundAtom>& filters);
 
   // Returns the input owning `var` and its local attribute index.
   std::pair<size_t, size_t> Resolve(const std::string& var) const;
@@ -111,6 +136,8 @@ class SpjExecutor {
   int64_t multiplier_;
   PlanStats* stats_;
   PlannerCache* cache_;
+  const EvalContext* ctx_;
+  util::Arena* arena_ = nullptr;  // set when the batch backend runs
   // Owns tables when no external cache was supplied.
   PlannerCache local_cache_;
 
@@ -123,6 +150,7 @@ class SpjExecutor {
   bool need_residual_ = false;
   std::vector<size_t> projection_indices_;
   PlanStats local_stats_;
+  BatchEvalStats batch_stats_;
 };
 
 std::pair<size_t, size_t> SpjExecutor::Resolve(const std::string& var) const {
@@ -293,17 +321,38 @@ void SpjExecutor::FillTable(const InputInfo& info,
                             PlannerCache::Table* table) {
   // Without local filters the input size is the exact row count; with
   // filters a full-size reserve could vastly overshoot the survivors.
+  const Schema& schema = info.input->schema();
+  table->int_keyed =
+      key_attrs.size() == 1 &&
+      schema.attribute(key_attrs[0]).type == ValueType::kInt64;
+  table->all_int = true;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema.attribute(i).type != ValueType::kInt64) {
+      table->all_int = false;
+      break;
+    }
+  }
   if (info.local_filters.empty()) {
     const size_t hint = info.input->SizeHint();
     table->rows.reserve(hint);
     if (!key_attrs.empty()) table->index.reserve(hint);
+    if (table->int_keyed) table->int_index.reserve(hint);
+    if (table->all_int) table->int_rows.reserve(hint * schema.size());
   }
   info.input->Scan([&](const Tuple& t, int64_t count) {
     ++local_stats_.rows_scanned;
     if (!PassesLocalFilters(info, t)) return;
     size_t row = table->rows.size();
     table->rows.emplace_back(t, count);
+    if (table->all_int) {
+      for (size_t i = 0; i < info.arity; ++i) {
+        table->int_rows.push_back(t.at(i).AsInt64());
+      }
+    }
     if (!key_attrs.empty()) {
+      if (table->int_keyed) {
+        table->int_index[t.at(key_attrs[0]).AsInt64()].push_back(row);
+      }
       Tuple key = t.Project(key_attrs);
       table->index[std::move(key)].push_back(row);
     }
@@ -325,15 +374,7 @@ void SpjExecutor::ExecuteFirst(std::vector<PartialRow>* rows) {
   local_stats_.intermediate_tuples += rows->size();
 }
 
-void SpjExecutor::ExecuteStep(size_t input_id, std::vector<PartialRow>* rows) {
-  const InputInfo& info = inputs_[input_id];
-  // Connecting predicates: bound side expressed as a combined-tuple index
-  // plus the offset to apply, local side as an attribute of this input.
-  struct Link {
-    size_t bound_combined = 0;  // index of the bound value in the partial row
-    size_t local_attr = 0;
-    int64_t key_offset = 0;  // probe key = bound value + key_offset
-  };
+std::vector<Link> SpjExecutor::CollectLinks(size_t input_id) const {
   std::vector<Link> links;
   for (const auto& p : join_preds_) {
     if (p.input_a == input_id && bound_[p.input_b]) {
@@ -346,6 +387,12 @@ void SpjExecutor::ExecuteStep(size_t input_id, std::vector<PartialRow>* rows) {
           {inputs_[p.input_a].offset + p.attr_a, p.attr_b, -p.offset});
     }
   }
+  return links;
+}
+
+void SpjExecutor::ExecuteStep(size_t input_id, std::vector<PartialRow>* rows) {
+  const InputInfo& info = inputs_[input_id];
+  std::vector<Link> links = CollectLinks(input_id);
   // Step filters that become ground at this step.
   std::vector<const Atom*> filters;
   for (const auto& f : step_filters_) {
@@ -479,8 +526,19 @@ void SpjExecutor::Run() {
   ChooseOrder();
 
   // Re-run the binding order, marking inputs bound step by step so that
-  // ExecuteStep sees the correct bound set.
+  // each join step sees the correct bound set.
   bound_.assign(inputs_.size(), false);
+  if (ctx_ != nullptr && ctx_->enable_batch && ctx_->arena != nullptr) {
+    arena_ = ctx_->arena;
+    RunBatch();
+    if (ctx_->batch_stats != nullptr) *ctx_->batch_stats += batch_stats_;
+  } else {
+    RunTuple();
+  }
+  if (stats_ != nullptr) *stats_ += local_stats_;
+}
+
+void SpjExecutor::RunTuple() {
   std::vector<PartialRow> rows;
   ExecuteFirst(&rows);
   bound_[order_[0]] = true;
@@ -491,16 +549,301 @@ void SpjExecutor::Run() {
   if (order_.size() == 1 || !rows.empty()) {
     for (const auto& row : rows) Emit(row);
   }
-  if (stats_ != nullptr) *stats_ += local_stats_;
+}
+
+// ---------------------------------------------------------------------------
+// The columnar batch backend.  Same plan (Analyze/ChooseOrder), same join
+// strategies per step (warm-peek → hash probe, index probe, cross join),
+// same counting semantics — but intermediate rows live in combined-scheme
+// `ColumnBatch` chunks carved from the round arena instead of per-row
+// heap-allocated `vector<Value>`s, selections run as kernels producing
+// selection vectors, and the final projection is a column shuffle.
+
+ColumnBatch& SpjExecutor::DestBatch(std::vector<ColumnBatch>* list) {
+  if (list->empty() || list->back().full()) {
+    list->emplace_back(combined_, ColumnBatch::kDefaultCapacity, arena_);
+    ++batch_stats_.batches;
+  }
+  return list->back();
+}
+
+void SpjExecutor::FilterBatch(ColumnBatch* batch,
+                              const std::vector<BoundAtom>& filters) {
+  if (filters.empty() || batch->empty()) return;
+  uint32_t* sel = arena_->AllocateArray<uint32_t>(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) sel[i] = static_cast<uint32_t>(i);
+  const size_t n = SelectConjunction(*batch, filters, sel, batch->size());
+  batch->Keep(sel, n);
+}
+
+size_t SpjExecutor::BatchExecuteFirst(std::vector<ColumnBatch>* out) {
+  const size_t input_id = order_[0];
+  const InputInfo& info = inputs_[input_id];
+  // Local filters bound to this input's columns inside the combined batch.
+  std::vector<BoundAtom> filters;
+  filters.reserve(info.local_filters.size());
+  for (const Atom& atom : info.local_filters) {
+    filters.push_back(BindAtom(atom, info.input->schema(), info.offset));
+  }
+
+  // Appends every scanned row, running the selection kernel over each chunk
+  // as it fills (and once more over the final partial chunk).
+  class ScanSink final : public DeltaSink {
+   public:
+    ScanSink(SpjExecutor* e, std::vector<ColumnBatch>* out,
+             const InputInfo& info, const std::vector<BoundAtom>& filters)
+        : e_(e), out_(out), info_(info), filters_(filters) {}
+    void Emit(const Tuple& t, int64_t count) override {
+      ++e_->local_stats_.rows_scanned;
+      ColumnBatch& batch = e_->DestBatch(out_);
+      batch.AppendTuple(t, count, info_.offset);
+      if (batch.full()) e_->FilterBatch(&batch, filters_);
+    }
+
+   private:
+    SpjExecutor* e_;
+    std::vector<ColumnBatch>* out_;
+    const InputInfo& info_;
+    const std::vector<BoundAtom>& filters_;
+  };
+  ScanSink sink(this, out, info, filters);
+  info.input->Scan(sink);
+  if (!out->empty()) FilterBatch(&out->back(), filters);
+
+  size_t total = 0;
+  for (const ColumnBatch& b : *out) total += b.size();
+  local_stats_.intermediate_tuples += static_cast<int64_t>(total);
+  batch_stats_.rows += static_cast<int64_t>(total);
+  return total;
+}
+
+size_t SpjExecutor::BatchExecuteStep(size_t input_id, size_t total,
+                                     std::vector<ColumnBatch>* batches) {
+  const InputInfo& info = inputs_[input_id];
+  std::vector<Link> links = CollectLinks(input_id);
+  // Step filters that become ground at this step, bound to the combined
+  // scheme.
+  std::vector<BoundAtom> filters;
+  for (const auto& f : step_filters_) {
+    if (f.last_input == input_id) filters.push_back(BindAtom(f.atom, combined_));
+  }
+  // Column ranges of the inputs already bound — the only columns of a
+  // source row that hold live data and must be carried into merged rows.
+  std::vector<std::pair<size_t, size_t>> bound_ranges;
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (bound_[i]) bound_ranges.emplace_back(inputs_[i].offset, inputs_[i].arity);
+  }
+
+  std::vector<ColumnBatch> next;
+  size_t next_total = 0;
+
+  // Appends the merge of a source row with a matched tuple, then applies
+  // the step filters to the merged row, abandoning it on failure.  When the
+  // matched row comes from an all-int table, `int_row` points at its flat
+  // mirror and the values are copied as raw words instead of variant reads.
+  auto emit_merged = [&](const ColumnBatch& src, size_t src_row,
+                         const Tuple& t, int64_t count,
+                         const int64_t* int_row) {
+    ColumnBatch& dst = DestBatch(&next);
+    const size_t row = dst.AppendRow(src.counts()[src_row] * count);
+    for (const auto& [off, arity] : bound_ranges) {
+      dst.CopyRow(src, src_row, row, off, arity);
+    }
+    if (int_row != nullptr) {
+      for (size_t i = 0; i < info.arity; ++i) {
+        dst.ints(info.offset + i)[row] = int_row[i];
+      }
+    } else {
+      dst.SetFromTuple(row, t, info.offset);
+    }
+    for (const BoundAtom& atom : filters) {
+      if (!EvalBoundAtom(dst, row, atom)) {
+        dst.Truncate(row);
+        return;
+      }
+    }
+    ++next_total;
+  };
+
+  // The probe key of `link` for a source row, with the link's offset
+  // applied (offsets only arise on integer attributes).
+  auto key_value = [&](const ColumnBatch& src, size_t row, const Link& link) {
+    if (src.column_type(link.bound_combined) == ValueType::kInt64) {
+      return Value(src.ints(link.bound_combined)[row] + link.key_offset);
+    }
+    return Value(*src.strs(link.bound_combined)[row]);
+  };
+
+  auto check_links = [&](const ColumnBatch& src, size_t row, const Tuple& t,
+                         size_t skip_link) {
+    for (size_t li = 0; li < links.size(); ++li) {
+      if (li == skip_link) continue;
+      const Link& l = links[li];
+      const Value& tv = t.at(l.local_attr);
+      if (src.column_type(l.bound_combined) == ValueType::kInt64) {
+        if (tv.AsInt64() != src.ints(l.bound_combined)[row] + l.key_offset) {
+          return false;
+        }
+      } else if (tv.AsString() != *src.strs(l.bound_combined)[row]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Strategy selection mirrors the tuple path exactly (including the
+  // warm-table peek), so both backends materialize the same cache state.
+  std::vector<size_t> key_attrs;
+  key_attrs.reserve(links.size());
+  for (const auto& l : links) key_attrs.push_back(l.local_attr);
+
+  std::optional<size_t> probe_link;
+  for (size_t li = 0; li < links.size(); ++li) {
+    if (info.input->CanProbe(links[li].local_attr)) {
+      probe_link = li;
+      break;
+    }
+  }
+  bool warm = false;
+  if (JoinStateCache* jsc = info.input->join_cache();
+      jsc != nullptr && !links.empty()) {
+    warm = jsc->Peek(info.input->cache_slot(), key_attrs);
+  }
+  bool use_index =
+      !warm && probe_link.has_value() && info.input->SizeHint() > total;
+
+  if (!links.empty() && !use_index) {
+    PlannerCache::Table* table = MaterializeTable(input_id, key_attrs);
+    const bool int_probe =
+        table->int_keyed && !batches->empty() &&
+        batches->front().column_type(links[0].bound_combined) ==
+            ValueType::kInt64;
+    const int64_t* mirror = table->all_int ? table->int_rows.data() : nullptr;
+    if (int_probe) {
+      // Raw-key fast path: the probe key is one int64 read straight from
+      // the column, hashed without building a key tuple.
+      const Link& link = links[0];
+      for (const ColumnBatch& src : *batches) {
+        const int64_t* keys = src.ints(link.bound_combined);
+        for (size_t r = 0; r < src.size(); ++r) {
+          auto hit = table->int_index.find(keys[r] + link.key_offset);
+          if (hit == table->int_index.end()) continue;
+          for (size_t idx : hit->second) {
+            const auto& [t, count] = table->rows[idx];
+            emit_merged(src, r, t, count,
+                        mirror != nullptr ? mirror + idx * info.arity
+                                          : nullptr);
+          }
+        }
+      }
+    } else {
+      // One scratch key reused across probes, as in the tuple path.
+      Tuple probe_key(std::vector<Value>(links.size()));
+      for (const ColumnBatch& src : *batches) {
+        for (size_t r = 0; r < src.size(); ++r) {
+          auto& key_vals = probe_key.mutable_values();
+          for (size_t li = 0; li < links.size(); ++li) {
+            key_vals[li] = key_value(src, r, links[li]);
+          }
+          auto hit = table->index.find(probe_key);
+          if (hit == table->index.end()) continue;
+          for (size_t idx : hit->second) {
+            const auto& [t, count] = table->rows[idx];
+            emit_merged(src, r, t, count,
+                        mirror != nullptr ? mirror + idx * info.arity
+                                          : nullptr);
+          }
+        }
+      }
+    }
+  } else if (use_index) {
+    const Link& link = links[*probe_link];
+    class ProbeSink final : public DeltaSink {
+     public:
+      ProbeSink(SpjExecutor* e, const InputInfo& info) : e_(e), info_(info) {}
+      void Emit(const Tuple& t, int64_t count) override {
+        if (!e_->PassesLocalFilters(info_, t)) return;
+        on_match_(t, count);
+      }
+      std::function<void(const Tuple&, int64_t)> on_match_;
+
+     private:
+      SpjExecutor* e_;
+      const InputInfo& info_;
+    };
+    ProbeSink sink(this, info);
+    for (const ColumnBatch& src : *batches) {
+      for (size_t r = 0; r < src.size(); ++r) {
+        ++local_stats_.probes;
+        sink.on_match_ = [&](const Tuple& t, int64_t count) {
+          if (!check_links(src, r, t, *probe_link)) return;
+          emit_merged(src, r, t, count, nullptr);
+        };
+        info.input->ProbeEqual(link.local_attr, key_value(src, r, link), sink);
+      }
+    }
+  } else {
+    // Cross join against the (cached) materialized input.
+    PlannerCache::Table* table = MaterializeTable(input_id, {});
+    const int64_t* mirror = table->all_int ? table->int_rows.data() : nullptr;
+    for (const ColumnBatch& src : *batches) {
+      for (size_t r = 0; r < src.size(); ++r) {
+        for (size_t idx = 0; idx < table->rows.size(); ++idx) {
+          const auto& [t, count] = table->rows[idx];
+          emit_merged(src, r, t, count,
+                      mirror != nullptr ? mirror + idx * info.arity : nullptr);
+        }
+      }
+    }
+  }
+
+  local_stats_.intermediate_tuples += static_cast<int64_t>(next_total);
+  batch_stats_.rows += static_cast<int64_t>(next_total);
+  batches->swap(next);
+  return next_total;
+}
+
+void SpjExecutor::EmitBatches(std::vector<ColumnBatch>* batches) {
+  BoundDnf residual;
+  if (need_residual_ && query_.condition != nullptr) {
+    residual = BindCondition(*query_.condition, combined_);
+  }
+  CountedRelationSink sink(out_, multiplier_);
+  for (ColumnBatch& batch : *batches) {
+    if (batch.empty()) continue;
+    if (need_residual_) {
+      uint32_t* sel = arena_->AllocateArray<uint32_t>(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        sel[i] = static_cast<uint32_t>(i);
+      }
+      batch.Keep(sel, SelectDnf(batch, residual, sel, batch.size()));
+      if (batch.empty()) continue;
+    }
+    local_stats_.output_tuples += static_cast<int64_t>(batch.size());
+    // Projection is a column shuffle: the emitted view aliases the batch's
+    // arrays — no row data moves until the sink materializes tuples.
+    sink.EmitBatch(batch.ProjectView(projection_indices_, arena_));
+  }
+}
+
+void SpjExecutor::RunBatch() {
+  std::vector<ColumnBatch> batches;
+  size_t total = BatchExecuteFirst(&batches);
+  bound_[order_[0]] = true;
+  for (size_t s = 1; s < order_.size() && total > 0; ++s) {
+    total = BatchExecuteStep(order_[s], total, &batches);
+    bound_[order_[s]] = true;
+  }
+  EmitBatches(&batches);
 }
 
 }  // namespace
 
 void EvaluateSpjInto(const SpjQuery& query, CountedRelation* out,
-                     int64_t multiplier, PlanStats* stats,
-                     PlannerCache* cache) {
+                     int64_t multiplier, PlanStats* stats, PlannerCache* cache,
+                     const EvalContext* ctx) {
   MVIEW_CHECK(out != nullptr, "null output relation");
-  SpjExecutor executor(query, out, multiplier, stats, cache);
+  SpjExecutor executor(query, out, multiplier, stats, cache, ctx);
   executor.Run();
 }
 

@@ -14,6 +14,10 @@
 
 namespace mview {
 
+namespace util {
+class Arena;
+}  // namespace util
+
 /// A select–project–join query over a list of inputs:
 /// `π_projection(σ_condition(inputs[0] × inputs[1] × … ))`.
 ///
@@ -58,7 +62,20 @@ class PlannerCache {
     std::vector<std::pair<Tuple, int64_t>> rows;
     // Key tuple (values of key_attrs in order) → indices into rows.
     std::unordered_map<Tuple, std::vector<size_t>> index;
+    // Raw-key mirror of `index`, populated only when `int_keyed`: the batch
+    // pipeline probes it with an int64 straight out of a column, skipping
+    // the key-tuple build and the Tuple hash.  Every mutation of `index`
+    // (FillTable, JoinStateCache::AddRow/RemoveRow) maintains the mirror.
+    std::unordered_map<int64_t, std::vector<size_t>> int_index;
+    // Flat row-major mirror of `rows`' values, populated only when
+    // `all_int`: the batch pipeline copies matched rows into merged
+    // batches straight from this array (row i at [i*arity, (i+1)*arity)),
+    // skipping the per-value variant reads of `SetFromTuple`.  Maintained
+    // at the same three sites as `int_index`.
+    std::vector<int64_t> int_rows;
     std::vector<size_t> key_attrs;  // empty for plain materializations
+    bool int_keyed = false;  // key_attrs is one kInt64 attribute
+    bool all_int = false;    // every input attribute is kInt64
     uint64_t debug_serial = 0;      // RelationInput::debug_serial() at Create
   };
 
@@ -76,6 +93,32 @@ class PlannerCache {
       tables_;
 };
 
+/// Work counters of the columnar batch pipeline (see `EvalContext`).
+struct BatchEvalStats {
+  int64_t batches = 0;  // ColumnBatch chunks allocated
+  int64_t rows = 0;     // rows committed into batches across all stages
+
+  BatchEvalStats& operator+=(const BatchEvalStats& other) {
+    batches += other.batches;
+    rows += other.rows;
+    return *this;
+  }
+};
+
+/// Execution-context knobs the differential maintainer threads into the
+/// planner.  When `enable_batch` is set (and `arena` is non-null) the
+/// executor runs the columnar pipeline: delta rows move through the join
+/// order in `ColumnBatch` chunks whose arrays live in `arena` (scoped to
+/// the maintenance round), selections produce selection vectors, and
+/// projection is column shuffling.  Without a context — or with the knob
+/// off — the historical tuple-at-a-time path runs; the two produce
+/// byte-identical results (property-tested).
+struct EvalContext {
+  util::Arena* arena = nullptr;
+  bool enable_batch = false;
+  BatchEvalStats* batch_stats = nullptr;  // optional activity counters
+};
+
 /// Evaluates an SPJ query with counting semantics (Section 5.2: join
 /// multiplies multiplicities, projection sums them) and adds the result to
 /// `out` with counts scaled by `multiplier`.
@@ -83,10 +126,12 @@ class PlannerCache {
 /// The plan pushes single-input atoms below the joins, extracts equality
 /// atoms common to every disjunct as hash/index join predicates, orders
 /// joins greedily by input size (preferring index probes), and applies the
-/// remaining condition as a residual filter.
+/// remaining condition as a residual filter.  `ctx` selects the columnar
+/// batch pipeline (see `EvalContext`); null runs tuple-at-a-time.
 void EvaluateSpjInto(const SpjQuery& query, CountedRelation* out,
                      int64_t multiplier = 1, PlanStats* stats = nullptr,
-                     PlannerCache* cache = nullptr);
+                     PlannerCache* cache = nullptr,
+                     const EvalContext* ctx = nullptr);
 
 /// Convenience wrapper returning a fresh `CountedRelation`.
 CountedRelation EvaluateSpj(const SpjQuery& query, PlanStats* stats = nullptr,

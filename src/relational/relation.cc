@@ -107,9 +107,46 @@ void CountedRelation::Add(const Tuple& tuple, int64_t count) {
   if (it->second == 0) counts_.erase(it);
 }
 
+void CountedRelation::Add(Tuple&& tuple, int64_t count) {
+  MVIEW_CHECK(tuple.size() == schema_.size(), "tuple arity ", tuple.size(),
+              " does not match scheme ", schema_.ToString());
+  if (count == 0) return;
+  auto [it, inserted] = counts_.emplace(std::move(tuple), 0);
+  it->second += count;
+  total_ += count;
+  MVIEW_CHECK(it->second >= 0, "multiplicity of ", it->first.ToString(),
+              " went negative");
+  if (it->second == 0) counts_.erase(it);
+}
+
 int64_t CountedRelation::Count(const Tuple& tuple) const {
   auto it = counts_.find(tuple);
   return it == counts_.end() ? 0 : it->second;
+}
+
+void CountedRelation::CancelWith(CountedRelation* other) {
+  MVIEW_CHECK(other != nullptr, "null relation");
+  if (counts_.empty() || other->counts_.empty()) return;
+  // Probe with the smaller side; erase cancelled-out entries in place
+  // (erasing a node of a node-based map never invalidates other iterators).
+  CountedRelation& small = size() <= other->size() ? *this : *other;
+  CountedRelation& large = &small == this ? *other : *this;
+  for (auto it = small.counts_.begin(); it != small.counts_.end();) {
+    auto hit = large.counts_.find(it->first);
+    if (hit == large.counts_.end()) {
+      ++it;
+      continue;
+    }
+    const int64_t c = std::min(it->second, hit->second);
+    small.total_ -= c;
+    large.total_ -= c;
+    if ((hit->second -= c) == 0) large.counts_.erase(hit);
+    if ((it->second -= c) == 0) {
+      it = small.counts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void CountedRelation::Scan(

@@ -118,8 +118,23 @@ class CountedRelation {
   /// would become negative.
   void Add(const Tuple& tuple, int64_t count);
 
+  /// As above, but consumes the tuple — a freshly built key is moved into
+  /// the map instead of copied (the batch sink's per-row fast path).
+  void Add(Tuple&& tuple, int64_t count);
+
+  /// Pre-sizes the hash table for at least `n` distinct tuples, so a batch
+  /// of additions does not rehash incrementally.
+  void Reserve(size_t n) { counts_.reserve(n); }
+
   /// Returns the multiplicity of `tuple` (zero when absent).
   int64_t Count(const Tuple& tuple) const;
+
+  /// Cancels the multiplicity shared with `other`: for every tuple present
+  /// in both, subtracts `min` of the two counts from each side (erasing
+  /// tuples that reach zero).  Afterwards the two relations are disjoint —
+  /// the normalization step of a delta's (inserts, deletes) pair.  Iterates
+  /// the smaller side's map directly, so no per-row callback dispatch.
+  void CancelWith(CountedRelation* other);
 
   bool Contains(const Tuple& tuple) const { return Count(tuple) > 0; }
 

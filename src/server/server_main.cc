@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
     std::unique_ptr<mview::Storage> storage;
     if (!data.empty()) storage = mview::Storage::Open(data);
     mview::sql::EngineCore core(storage.get());
-    if (parallelism > 0) core.mutable_views().SetParallelism(parallelism);
+    if (parallelism > 0) core.SetMaintenanceParallelism(parallelism);
 
     mview::server::Server::Options options;
     options.port = port;

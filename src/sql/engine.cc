@@ -550,6 +550,11 @@ void EngineCore::NoteCatalogChange() {
   if (storage_ != nullptr) storage_->OnCatalogChange();
 }
 
+void EngineCore::SetMaintenanceParallelism(size_t workers) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  views_.SetParallelism(workers);
+}
+
 void EngineCore::DumpTrace(const std::string& path) const {
   std::ofstream out(path);
   MVIEW_CHECK(out.is_open(), "cannot open for writing: ", path);

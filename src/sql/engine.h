@@ -99,10 +99,18 @@ class EngineCore {
   const ViewManager& views() const { return views_; }
   const IntegrityGuard& guard() const { return guard_; }
 
-  /// Mutable escape hatches for tests and the recovery path ONLY (drift
-  /// injection, direct view registration, scrubber construction).  They
-  /// bypass the engine lock entirely: never call them while another thread
-  /// is executing statements.  Production code mutates state through SQL.
+  /// Sets the number of maintenance worker threads the commit pipeline
+  /// fans view maintenance over (0 = serial).  A startup/configuration
+  /// knob: takes the engine lock exclusively, so it is safe against
+  /// concurrent statements, but resizing the pool mid-load stalls commits
+  /// while workers drain.
+  void SetMaintenanceParallelism(size_t workers);
+
+  /// Mutable escape hatches for TESTS ONLY (drift injection, direct view
+  /// registration, scrubber construction).  They bypass the engine lock
+  /// entirely: never call them while another thread is executing
+  /// statements.  Production code mutates state through SQL; the storage
+  /// facade uses its own friended surface below.
   Database& mutable_database() { return db_; }
   ViewManager& mutable_views() { return views_; }
   IntegrityGuard& mutable_guard() { return guard_; }
@@ -122,6 +130,17 @@ class EngineCore {
 
  private:
   friend class Session;
+  friend class ::mview::Storage;
+
+  /// Narrow internal surface for the storage facade only: recovery install
+  /// at `Attach` (which runs before the core is shared, single-threaded by
+  /// contract), health-listener wiring at `Close`, and WAL/checkpoint
+  /// metrics sync.  Private and friended so production code outside
+  /// storage/ cannot grow new mutation paths; tests use the public
+  /// `mutable_*` hatches above.
+  Database& storage_database() { return db_; }
+  ViewManager& storage_views() { return views_; }
+  IntegrityGuard& storage_guard() { return guard_; }
 
   /// How much of the engine a statement needs (see the class comment).
   enum class LockClass { kNone, kShared, kExclusive };
@@ -195,11 +214,10 @@ class EngineCore {
 /// are safe against statements on other sessions.
 class Engine {
  public:
-  /// Back-compat aliases: these types were nested here before they were
-  /// promoted to `mview::Status` (util/status.h) and `sql::Result`
-  /// (sql/result.h).  `Engine::Status`/`Engine::Result` keep old code and
-  /// old spellings working unchanged.
-  using Status = ::mview::Status;
+  /// Back-compat alias: this type was nested here before it was promoted
+  /// to `sql::Result` (sql/result.h); `Engine::Result` keeps the old
+  /// spelling working.  (The matching `Engine::Status` alias is retired —
+  /// write `mview::Status` from util/status.h.)
   using Result = ::mview::sql::Result;
 
   Engine();
@@ -261,7 +279,9 @@ class Engine {
   const ViewManager& views() const { return core_.views(); }
   const IntegrityGuard& guard() const { return core_.guard(); }
 
-  /// Test-only mutable escape hatches; see `EngineCore::mutable_database`.
+  /// TEST-ONLY mutable escape hatches; see `EngineCore::mutable_database`.
+  /// Production callers configure through SQL or the core's dedicated
+  /// setters (`SetMaintenanceParallelism`).
   Database& mutable_database() { return core_.mutable_database(); }
   ViewManager& mutable_views() { return core_.mutable_views(); }
   IntegrityGuard& mutable_guard() { return core_.mutable_guard(); }

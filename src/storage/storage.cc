@@ -46,9 +46,9 @@ void Storage::Attach(sql::EngineCore& core) {
   MVIEW_CHECK(engine_ == nullptr, "storage already attached");
 
   // Recovery runs before the core is shared with any session, so the
-  // mutable escape hatches are safe here (single-threaded by contract).
-  Database& db = core.mutable_database();
-  ViewManager& views = core.mutable_views();
+  // friended storage surface is safe here (single-threaded by contract).
+  Database& db = core.storage_database();
+  ViewManager& views = core.storage_views();
 
   uint64_t checkpoint_lsn = 0;
   bool have_checkpoint = false;
@@ -112,7 +112,7 @@ void Storage::Attach(sql::EngineCore& core) {
   // Assertions go last: replay bypassed the integrity guard (those
   // transactions were admitted when first committed), so each error view
   // is computed once against the fully recovered state.
-  storage::InstallAssertions(assertions, &core.mutable_guard());
+  storage::InstallAssertions(assertions, &core.storage_guard());
 
   // Installed *after* replay so replayed health transitions are not
   // re-logged.  Best-effort by design: a failing append here must not
@@ -145,9 +145,9 @@ void Storage::Checkpoint() {
   Stopwatch timer;
   uint64_t lsn = wal_->stats().durable_lsn;
   storage::WriteCheckpoint(checkpoint_path(), lsn, engine_->database(),
-                           engine_->views(), &engine_->mutable_guard());
+                           engine_->views(), &engine_->guard());
   wal_->Rotate(lsn);
-  StorageMetrics& metrics = engine_->mutable_views().metrics().storage();
+  StorageMetrics& metrics = engine_->storage_views().metrics().storage();
   ++metrics.checkpoints;
   metrics.checkpoint_nanos += timer.ElapsedNanos();
 }
@@ -155,7 +155,7 @@ void Storage::Checkpoint() {
 void Storage::Close() {
   if (engine_ == nullptr) return;
   if (options_.checkpoint_on_close && !wal_->failed()) Checkpoint();
-  engine_->mutable_views().SetHealthListener(nullptr);  // engine outlives log
+  engine_->storage_views().SetHealthListener(nullptr);  // engine outlives log
   wal_.reset();
   engine_ = nullptr;
 }
@@ -192,7 +192,7 @@ void Storage::SyncWalMetrics() {
   // thread, which owns the registry) keeps `SHOW STATS` readers off the
   // leaders' plain fields.
   storage::WalStats s = wal_->stats();
-  StorageMetrics& m = engine_->mutable_views().metrics().storage();
+  StorageMetrics& m = engine_->storage_views().metrics().storage();
   m.wal_appends = s.records_appended;
   m.wal_bytes = s.bytes_appended;
   m.wal_fsyncs = s.fsyncs;

@@ -20,7 +20,7 @@ class Error : public std::logic_error {
 
 /// A durability failure: the operating system refused a write/fsync, or a
 /// fault-injection policy injected one.  Surfaced to SQL callers as
-/// `Engine::Status::Kind::kIoError`, not as a new public exception type —
+/// `mview::Status::Kind::kIoError`, not as a new public exception type —
 /// catch sites live inside `TryExecute`.  Treated as *transient* by the
 /// view-quarantine machinery (automatic repair retries with backoff).
 class IoError : public Error {
@@ -30,7 +30,7 @@ class IoError : public Error {
 
 /// Persistent state failed validation: bad magic, a CRC mismatch away from
 /// the log tail, an impossible LSN sequence, or a checkpoint that does not
-/// decode.  Surfaced as `Engine::Status::Kind::kCorruption`.  Treated as
+/// decode.  Surfaced as `mview::Status::Kind::kCorruption`.  Treated as
 /// *sticky* by the quarantine machinery (no automatic retry; explicit
 /// `REPAIR VIEW` only).
 class CorruptionError : public Error {
@@ -41,7 +41,7 @@ class CorruptionError : public Error {
 /// A read against a quarantined materialized view: maintenance failed
 /// mid-commit and the materialization is not trusted until `REPAIR VIEW`
 /// (or the automatic transient-retry path) heals it.  Surfaced as
-/// `Engine::Status::Kind::kViewQuarantined`.
+/// `mview::Status::Kind::kViewQuarantined`.
 class ViewQuarantinedError : public Error {
  public:
   explicit ViewQuarantinedError(const std::string& message) : Error(message) {}

@@ -13,7 +13,7 @@ namespace mview {
 /// per-client sessions, the storage facade, and the network frontend all
 /// report through this type, so a server can forward an engine failure over
 /// the wire without re-classifying it.  (Historically this lived as
-/// `sql::Engine::Status`; the engine keeps a back-compat alias.)
+/// `sql::Engine::Status`; that alias is retired.)
 struct Status {
   enum class Kind {
     kOk,

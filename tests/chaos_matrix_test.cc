@@ -47,6 +47,7 @@ const char* const kAllPoints[] = {
     "viewmgr.refresh",
     "viewmgr.repair",
     "differential.eval",
+    "ra.batch.alloc",
     "joincache.repair",
     "integrity.precheck",
     "wal.append",
@@ -59,7 +60,8 @@ const char* const kAllPoints[] = {
 // Points whose behaviour can depend on the cross-transaction join cache;
 // only these get the cache-off dimension (the rest run cache-on only).
 bool CacheSensitive(const std::string& point) {
-  return point == "differential.eval" || point == "joincache.repair" ||
+  return point == "differential.eval" || point == "ra.batch.alloc" ||
+         point == "joincache.repair" ||
          point == "viewmgr.differential.pre_apply" ||
          point == "viewmgr.apply.serial";
 }
@@ -194,10 +196,10 @@ class ChaosMatrixTest : public ::testing::Test {
         FaultRegistry::Global().Arm(point, spec);
       }
       for (const auto& sql : Workload()) {
-        Engine::Status status = engine.TryExecute(sql, nullptr);
+        Status status = engine.TryExecute(sql, nullptr);
         if (status.ok) {
           acked.push_back(sql);
-        } else if (status.kind == Engine::Status::Kind::kIoError &&
+        } else if (status.kind == Status::Kind::kIoError &&
                    in_flight.empty() && sql != "CHECKPOINT" &&
                    sql.rfind("REFRESH", 0) != 0) {
           // The first log-level rejection: its bytes may or may not be
@@ -212,7 +214,7 @@ class ChaosMatrixTest : public ::testing::Test {
 
     for (const auto& sql : acked) {
       if (sql == "CHECKPOINT") continue;
-      Engine::Status status = shadow.TryExecute(sql, nullptr);
+      Status status = shadow.TryExecute(sql, nullptr);
       EXPECT_TRUE(status.ok) << sql << ": " << status.message;
     }
 
@@ -280,19 +282,19 @@ TEST_F(ChaosMatrixTest, FsyncFailureSticksAndRecoveryReplaysAckedPrefix) {
     FaultSpec eio;
     eio.kind = FaultKind::kIoError;  // fail-once: fires exactly one hit
     FaultRegistry::Global().Arm("wal.fsync", eio);
-    Engine::Status status =
+    Status status =
         engine.TryExecute("INSERT INTO r VALUES (2, 20)", nullptr);
-    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+    EXPECT_EQ(status.kind, Status::Kind::kIoError);
     EXPECT_EQ(FaultRegistry::Global().FireCount("wal.fsync"), 1);
 
     // The fault is spent, but the log never retries a failed fsync: every
     // further append is refused until the directory is reopened.
     status = engine.TryExecute("INSERT INTO r VALUES (3, 30)", nullptr);
-    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+    EXPECT_EQ(status.kind, Status::Kind::kIoError);
     EXPECT_EQ(FaultRegistry::Global().FireCount("wal.fsync"), 1);
     FaultRegistry::Global().DisarmAll();
     status = engine.TryExecute("INSERT INTO r VALUES (4, 40)", nullptr);
-    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+    EXPECT_EQ(status.kind, Status::Kind::kIoError);
 
     // The rejected commits were applied nowhere.
     EXPECT_EQ(Dump(engine, "r"), Dump(reference, "r"));
@@ -304,6 +306,41 @@ TEST_F(ChaosMatrixTest, FsyncFailureSticksAndRecoveryReplaysAckedPrefix) {
   for (const char* rel : {"r", "s", "va", "vb", "vd"}) {
     EXPECT_EQ(Dump(recovered, rel), Dump(reference, rel)) << rel;
   }
+}
+
+// Arena exhaustion mid-round (the batch pipeline's scratch allocator
+// refusing a block) must surface as a contained view fault — the view is
+// quarantined and repairable, never silently wrong — and the base tables
+// must be untouched by the failed maintenance.
+TEST_F(ChaosMatrixTest, ArenaExhaustionQuarantinesInsteadOfCorrupting) {
+  Engine reference;
+  reference.ExecuteScript(Preamble());
+  Engine engine;
+  engine.ExecuteScript(Preamble());
+  for (Engine* e : {&reference, &engine}) {
+    e->Execute("INSERT INTO r VALUES (1, 10)");
+    e->Execute("INSERT INTO s VALUES (10, 100)");
+  }
+
+  FaultSpec oom;
+  oom.kind = FaultKind::kIoError;  // fail-once: the next arena block request
+  FaultRegistry::Global().Arm("ra.batch.alloc", oom);
+  engine.Execute("INSERT INTO s VALUES (20, 200)");
+  reference.Execute("INSERT INTO s VALUES (20, 200)");
+  FaultRegistry::Global().DisarmAll();
+
+  // The commit itself succeeded (base tables advanced); only the view
+  // whose maintenance lost its scratch memory is out of service.
+  EXPECT_EQ(Dump(engine, "r"), Dump(reference, "r"));
+  EXPECT_EQ(Dump(engine, "s"), Dump(reference, "s"));
+  EXPECT_FALSE(engine.views().QuarantinedViews().empty());
+
+  for (const auto& view : engine.views().QuarantinedViews()) {
+    engine.Execute("REPAIR VIEW " + view);
+  }
+  EXPECT_TRUE(engine.views().QuarantinedViews().empty());
+  EXPECT_EQ(Dump(engine, "va"), Dump(reference, "va"));
+  EXPECT_EQ(Dump(engine, "vb"), Dump(reference, "vb"));
 }
 
 // Satellite (b): an exception inside a join-cache round must unwind

@@ -20,6 +20,7 @@ struct Scenario {
   size_t num_relations;    // 1..3 (r, s, t)
   bool use_filter;
   bool reuse_cache;
+  bool batch_eval = true;  // columnar batch pipeline vs tuple-at-a-time
 };
 
 class MaintenancePropertyTest : public ::testing::TestWithParam<Scenario> {};
@@ -44,6 +45,7 @@ TEST_P(MaintenancePropertyTest, DifferentialEqualsFullReevaluation) {
     MaintenanceOptions options;
     options.use_irrelevance_filter = sc.use_filter;
     options.reuse_subexpressions = sc.reuse_cache;
+    options.enable_batch_eval = sc.batch_eval;
 
     ViewManager vm(&db);
     vm.RegisterView(def, MaintenanceMode::kImmediate, options);
@@ -103,7 +105,16 @@ INSTANTIATE_TEST_SUITE_P(
                  "r_a1 = s_a0 && s_a1 = t_a0", {"r_a0", "t_a1"}, 3, false,
                  false},
         Scenario{"cross_product_select", "r_a0 = 3 && s_a1 = 4",
-                 {"r_a1", "s_a0"}, 2, true, true}),
+                 {"r_a1", "s_a0"}, 2, true, true},
+        // The tuple-at-a-time arm of the batch ablation: the same shapes
+        // must hold with the columnar pipeline disabled (batch_eval_test
+        // asserts the two arms are byte-identical; this asserts each arm
+        // independently equals full re-evaluation).
+        Scenario{"select_tuple_arm", "r_a0 < 6", {}, 1, true, true, false},
+        Scenario{"join_tuple_arm", "r_a1 = s_a0", {"r_a0", "s_a1"}, 2, true,
+                 true, false},
+        Scenario{"three_way_tuple_arm", "r_a1 = s_a0 && s_a1 = t_a0",
+                 {"r_a0", "t_a1"}, 3, true, true, false}),
     [](const ::testing::TestParamInfo<Scenario>& info) {
       return info.param.name;
     });

@@ -88,8 +88,8 @@ TEST_F(QuarantineTest, FailedViewIsQuarantinedWhileBasesAndSiblingsCommit) {
 
   // Reads of the quarantined view throw / classify, never return stale data.
   EXPECT_THROW(engine.Execute("SELECT * FROM va"), ViewQuarantinedError);
-  Engine::Status status = engine.TryExecute("SELECT * FROM va", nullptr);
-  EXPECT_EQ(status.kind, Engine::Status::Kind::kViewQuarantined);
+  Status status = engine.TryExecute("SELECT * FROM va", nullptr);
+  EXPECT_EQ(status.kind, Status::Kind::kViewQuarantined);
 
   // SHOW VIEWS surfaces the health column.
   const std::string views = Query(engine, "SHOW VIEWS");
@@ -276,8 +276,8 @@ TEST_F(QuarantineTest, RefreshFaultQuarantinesDeferredView) {
   engine.Execute("INSERT INTO r VALUES (1, 10)");
   {
     ScopedFault fault("viewmgr.refresh", Spec(FaultKind::kError));
-    Engine::Status status = engine.TryExecute("REFRESH VIEW vd", nullptr);
-    EXPECT_EQ(status.kind, Engine::Status::Kind::kViewQuarantined);
+    Status status = engine.TryExecute("REFRESH VIEW vd", nullptr);
+    EXPECT_EQ(status.kind, Status::Kind::kViewQuarantined);
   }
   EXPECT_TRUE(engine.views().IsQuarantined("vd"));
 
@@ -296,10 +296,10 @@ TEST_F(QuarantineTest, BadAllocBecomesInternalStatus) {
       "CREATE ASSERTION bounded ON r WHERE a > 1000;");
   {
     ScopedFault fault("integrity.precheck", Spec(FaultKind::kBadAlloc));
-    Engine::Status status =
+    Status status =
         engine.TryExecute("INSERT INTO r VALUES (1, 10)", nullptr);
     EXPECT_FALSE(status.ok);
-    EXPECT_EQ(status.kind, Engine::Status::Kind::kInternal);
+    EXPECT_EQ(status.kind, Status::Kind::kInternal);
     EXPECT_NE(status.message.find("bad_alloc"), std::string::npos)
         << status.message;
   }
@@ -310,10 +310,10 @@ TEST_F(QuarantineTest, BadAllocBecomesInternalStatus) {
     ScopedFault fault("integrity.precheck", Spec(FaultKind::kBadAlloc));
     std::vector<Engine::Result> results;
     size_t failed = 99;
-    Engine::Status status = engine.TryExecuteScript(
+    Status status = engine.TryExecuteScript(
         "INSERT INTO r VALUES (2, 20); INSERT INTO r VALUES (3, 30);",
         &results, &failed);
-    EXPECT_EQ(status.kind, Engine::Status::Kind::kInternal);
+    EXPECT_EQ(status.kind, Status::Kind::kInternal);
     EXPECT_EQ(failed, 0u);
   }
 

@@ -182,10 +182,10 @@ TEST_F(RecoveryTest, CrashBeforeAnyFsyncLosesOnlyTheUndurableCommit) {
     // durably even though every DML fsync will "lose power".
     engine.ExecuteScript(Preamble());
 
-    Engine::Status status =
+    Status status =
         engine.TryExecute("INSERT INTO r VALUES (1, 10);", nullptr);
     ASSERT_FALSE(status.ok);
-    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+    EXPECT_EQ(status.kind, Status::Kind::kIoError);
 
     // Write-ahead rule: the failed commit never touched the live state.
     EXPECT_TRUE(engine.database().Get("r").empty());
@@ -213,14 +213,14 @@ TEST_F(RecoveryTest, CrashMidWriteDropsOnlyTheTornCommit) {
     engine.Execute("INSERT INTO r VALUES (1, 10);");
     engine.Execute("INSERT INTO s VALUES (10, 100);");
 
-    Engine::Status status =
+    Status status =
         engine.TryExecute("INSERT INTO r VALUES (3, 30);", nullptr);
     ASSERT_FALSE(status.ok);
-    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+    EXPECT_EQ(status.kind, Status::Kind::kIoError);
 
     // The failure is sticky, as after a real crash.
     status = engine.TryExecute("INSERT INTO r VALUES (4, 40);", nullptr);
-    EXPECT_EQ(status.kind, Engine::Status::Kind::kIoError);
+    EXPECT_EQ(status.kind, Status::Kind::kIoError);
   }
 
   auto storage = Storage::Open(Dir());
@@ -325,17 +325,17 @@ TEST_F(RecoveryTest, FailedDdlCheckpointStickyFailsTheLog) {
     // Break checkpointing: its scratch file path is occupied by a
     // directory, so the next WriteCheckpoint fails with an I/O error.
     std::filesystem::create_directory(Dir() + "/checkpoint.mv.tmp");
-    Engine::Status ddl =
+    Status ddl =
         engine.TryExecute("CREATE TABLE s (b2 INT64, c INT64);", nullptr);
     ASSERT_FALSE(ddl.ok);
-    EXPECT_EQ(ddl.kind, Engine::Status::Kind::kIoError);
+    EXPECT_EQ(ddl.kind, Status::Kind::kIoError);
 
     // The log is sticky-failed: no commit is acknowledged while the
     // durable catalog disagrees with the in-memory one.
-    Engine::Status dml =
+    Status dml =
         engine.TryExecute("INSERT INTO r VALUES (2, 20);", nullptr);
     ASSERT_FALSE(dml.ok);
-    EXPECT_EQ(dml.kind, Engine::Status::Kind::kIoError);
+    EXPECT_EQ(dml.kind, Status::Kind::kIoError);
     std::filesystem::remove(Dir() + "/checkpoint.mv.tmp");
     // Engine destruction skips the close-time checkpoint (failed log).
   }

@@ -105,7 +105,6 @@ TEST(ResultTest, ShowStatsJsonIsJsonMessage) {
 
 TEST(ResultTest, EngineAliasIsSameType) {
   static_assert(std::is_same_v<Engine::Result, Result>);
-  static_assert(std::is_same_v<Engine::Status, ::mview::Status>);
 }
 
 }  // namespace

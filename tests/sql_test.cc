@@ -381,10 +381,10 @@ TEST(SqlFuzzTest, RandomTokenSoupThrowsCleanly) {
 TEST(SqlStatusTest, TryExecuteSuccess) {
   Engine engine;
   Engine::Result result;
-  Engine::Status status =
+  Status status =
       engine.TryExecute("CREATE TABLE t (a INT);", &result);
   EXPECT_TRUE(status.ok);
-  EXPECT_EQ(status.kind, Engine::Status::Kind::kOk);
+  EXPECT_EQ(status.kind, Status::Kind::kOk);
   EXPECT_EQ(result.message, "table t created");
   // A null result pointer is allowed.
   EXPECT_TRUE(engine.TryExecute("INSERT INTO t VALUES (1);", nullptr).ok);
@@ -394,21 +394,21 @@ TEST(SqlStatusTest, TryExecuteClassifiesParseErrors) {
   Engine engine;
   Engine::Result result;
   result.message = "untouched";
-  Engine::Status status = engine.TryExecute("FROBNICATE;", &result);
+  Status status = engine.TryExecute("FROBNICATE;", &result);
   EXPECT_FALSE(status.ok);
-  EXPECT_EQ(status.kind, Engine::Status::Kind::kParseError);
+  EXPECT_EQ(status.kind, Status::Kind::kParseError);
   EXPECT_NE(status.message.find("unrecognized statement"), std::string::npos);
   EXPECT_EQ(result.message, "untouched");
   // Multiple statements are a misuse of the single-statement entry point.
   EXPECT_EQ(engine.TryExecute("SHOW VIEWS; SHOW VIEWS;", nullptr).kind,
-            Engine::Status::Kind::kParseError);
+            Status::Kind::kParseError);
 }
 
 TEST(SqlStatusTest, TryExecuteClassifiesExecutionErrors) {
   Engine engine;
-  Engine::Status status = engine.TryExecute("SELECT * FROM missing;", nullptr);
+  Status status = engine.TryExecute("SELECT * FROM missing;", nullptr);
   EXPECT_FALSE(status.ok);
-  EXPECT_EQ(status.kind, Engine::Status::Kind::kExecutionError);
+  EXPECT_EQ(status.kind, Status::Kind::kExecutionError);
   EXPECT_NE(status.message.find("missing"), std::string::npos);
 }
 
@@ -416,12 +416,12 @@ TEST(SqlStatusTest, TryExecuteScriptReportsFailingStatementIndex) {
   Engine engine;
   std::vector<Engine::Result> results;
   size_t failed = 999;
-  Engine::Status status = engine.TryExecuteScript(
+  Status status = engine.TryExecuteScript(
       "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); "
       "SELECT * FROM missing; INSERT INTO t VALUES (2);",
       &results, &failed);
   EXPECT_FALSE(status.ok);
-  EXPECT_EQ(status.kind, Engine::Status::Kind::kExecutionError);
+  EXPECT_EQ(status.kind, Status::Kind::kExecutionError);
   EXPECT_EQ(failed, 2u);  // 0-based index of the SELECT
   EXPECT_NE(status.message.find("statement 3 of 4"), std::string::npos);
   // The first two statements ran and their results were kept...
@@ -435,9 +435,9 @@ TEST(SqlStatusTest, TryExecuteScriptParseErrorRunsNothing) {
   Engine engine;
   std::vector<Engine::Result> results;
   size_t failed = 999;
-  Engine::Status status = engine.TryExecuteScript(
+  Status status = engine.TryExecuteScript(
       "CREATE TABLE t (a INT); THIS IS NOT SQL;", &results, &failed);
-  EXPECT_EQ(status.kind, Engine::Status::Kind::kParseError);
+  EXPECT_EQ(status.kind, Status::Kind::kParseError);
   EXPECT_TRUE(results.empty());
   EXPECT_EQ(failed, 999u);  // untouched on parse errors
   EXPECT_FALSE(engine.database().Exists("t"));
