@@ -201,10 +201,4 @@ void PrintSummary() {
 }  // namespace
 }  // namespace mview
 
-int main(int argc, char** argv) {
-  mview::bench::ParseBenchOptions(&argc, argv);
-  benchmark::Initialize(&argc, argv);
-  if (!mview::bench::Options().smoke) benchmark::RunSpecifiedBenchmarks();
-  mview::PrintSummary();
-  return 0;
-}
+MVIEW_BENCH_MAIN()

@@ -1,0 +1,258 @@
+// Experiment E21: hash-partitioned views — intra-view parallel maintenance
+// and dirty-partition incremental checkpoints.
+//
+// Part 1 (maintenance): an E16-style 1M-row workload (r ⋈ s on
+// r_a1 = s_a0, ~1 match per key) driven through the ViewManager commit
+// pipeline.  The view's maintenance round is split into P hash partitions
+// (the planner picks the keyed layout here: the join equality
+// co-partitions both bases), and the pipeline fans the per-partition jobs
+// over the worker pool.  Measured: warm per-commit maintenance time for
+// P=1 serial, P=4 serial (slicing overhead), and P=4 on 4 workers.
+//
+// Note: parallel speedup requires actual cores.  On a single-core host
+// every configuration collapses to the serial cost plus coordination
+// overhead; the JSON records `cores` so readers can interpret the rows
+// (EXPERIMENTS.md E21 discusses this).  Partition *pruning* and the
+// checkpoint results below are core-count independent.
+//
+// Part 2 (checkpoints): a durable engine with 16 checkpoint partitions.
+// After a full image exists, a small commit confined to one hash
+// partition is checkpointed incrementally (only dirty segments rewritten)
+// and monolithically (classic full rewrite); the byte ratio is the
+// O(database) → O(dirty) claim, and is deterministic — no cores needed.
+//
+// `--json <path>` writes the summary rows (BENCH_E21.json).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ivm/view_manager.h"
+#include "relational/partition.h"
+#include "sql/engine.h"
+#include "storage/storage.h"
+#include "workload/generator.h"
+
+namespace mview {
+namespace {
+
+size_t BaseRows() { return bench::Scaled(500'000, 2'000); }  // per relation
+size_t Commits() { return bench::Scaled(32, 4); }
+constexpr size_t kUpdatesPerRelation = 8;  // half inserts, half deletes
+
+struct JoinSetup {
+  Database db;
+  WorkloadGenerator gen{2026};
+  RelationSpec r, s;
+  ViewManager vm;
+
+  JoinSetup(uint32_t partitions, size_t workers, size_t base_rows)
+      : r{"r", 2, static_cast<int64_t>(base_rows), base_rows},
+        s{"s", 2, static_cast<int64_t>(base_rows), base_rows},
+        vm(&db, workers) {
+    gen.Populate(&db, r);
+    gen.Populate(&db, s);
+    MaintenanceOptions options;
+    options.partition_count = partitions;
+    // The sweep's clean sides exceed the default per-view budget; size it
+    // like E16 so cache behaviour does not confound the partition split.
+    options.join_cache_budget_bytes = size_t{2} << 30;
+    vm.RegisterView(ViewDefinition("v", {BaseRef{"r", {}}, BaseRef{"s", {}}},
+                                   "r_a1 = s_a0", {"r_a0", "s_a1"}),
+                    MaintenanceMode::kImmediate, options);
+  }
+
+  void RunCommits(size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      Transaction txn;
+      gen.AddUpdates(&txn, r, kUpdatesPerRelation / 2, kUpdatesPerRelation / 2);
+      gen.AddUpdates(&txn, s, kUpdatesPerRelation / 2, kUpdatesPerRelation / 2);
+      vm.Apply(txn);
+    }
+  }
+};
+
+void BM_PartitionedCommit(benchmark::State& state) {
+  const auto partitions = static_cast<uint32_t>(state.range(0));
+  const auto workers = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    JoinSetup setup(partitions, workers, bench::Scaled(20'000, 1'000));
+    setup.RunCommits(2);  // warm the join-cache shards
+    state.ResumeTiming();
+    setup.RunCommits(Commits());
+  }
+}
+// {partitions, pool workers}; 0 workers = serial pipeline.
+BENCHMARK(BM_PartitionedCommit)
+    ->Args({1, 0})->Args({4, 0})->Args({4, 4})
+    ->Iterations(2)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Part 2: checkpoint bytes, incremental vs monolithic.
+
+constexpr uint32_t kCheckpointPartitions = 16;
+size_t CheckpointRows() { return bench::Scaled(50'000, 500); }
+
+struct CheckpointResult {
+  double full_bytes = 0;   // first incremental image (all segments fresh)
+  double dirty_bytes = 0;  // re-checkpoint after a one-partition commit
+  double segments = 0;     // segments written by the dirty checkpoint
+  double skipped = 0;      // clean partitions carried forward
+};
+
+// Multi-row INSERT statements in `chunk`-row batches (one commit each).
+void BulkInsert(sql::Engine& engine, size_t rows, size_t chunk) {
+  for (size_t base = 0; base < rows; base += chunk) {
+    std::string sql = "INSERT INTO t VALUES ";
+    for (size_t i = base; i < std::min(rows, base + chunk); ++i) {
+      if (i != base) sql += ", ";
+      sql += "(" + std::to_string(i) + ", " + std::to_string(2 * i) + ")";
+    }
+    engine.Execute(sql);
+  }
+}
+
+// Fresh tuples (a >= `from`) that all land in checkpoint partition 0 under
+// the storage layer's whole-tuple hash — the commit they form dirties
+// exactly one of the 16 partitions per scope.
+std::string ConfinedInsert(size_t from, size_t count) {
+  std::string sql = "INSERT INTO t VALUES ";
+  size_t found = 0;
+  for (size_t i = from; found < count; ++i) {
+    Tuple t({Value(static_cast<int64_t>(i)),
+             Value(static_cast<int64_t>(2 * i))});
+    if (PartitionOf(t, kRowHashKey, kCheckpointPartitions) != 0) continue;
+    if (found != 0) sql += ", ";
+    sql += "(" + std::to_string(i) + ", " + std::to_string(2 * i) + ")";
+    ++found;
+  }
+  return sql;
+}
+
+// Returns the bytes written by the two explicit checkpoints; with
+// `incremental` off the same flow measures the monolithic rewrite.
+CheckpointResult RunCheckpointExperiment(bool incremental) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("mview_bench_e21_") +
+                    (incremental ? "inc" : "mono"));
+  std::filesystem::remove_all(dir);
+  CheckpointResult result;
+  {
+    Storage::Options options;
+    options.incremental_checkpoints = incremental;
+    options.checkpoint_partitions = kCheckpointPartitions;
+    auto storage = Storage::Open(dir.string(), options);
+    sql::Engine engine(storage.get());
+    engine.Execute("CREATE TABLE t (a INT64, b INT64)");
+    BulkInsert(engine, CheckpointRows(), 500);
+    // DDL forces a monolithic image, so the explicit checkpoint below
+    // starts from a clean dirty-map with no manifest to carry forward:
+    // its cost is the full image (every segment fresh).
+    engine.Execute(
+        "CREATE MATERIALIZED VIEW v AS SELECT a, b FROM t WHERE a >= 0");
+    StorageMetrics& m = engine.mutable_views().metrics().storage();
+    const int64_t before_full = m.checkpoint_bytes;
+    engine.Execute("CHECKPOINT");
+    result.full_bytes = static_cast<double>(m.checkpoint_bytes - before_full);
+
+    // One commit confined to partition 0 of both scopes (the view
+    // materializes the same tuples, so its rows hash identically).
+    engine.Execute(ConfinedInsert(CheckpointRows(), 64));
+    const int64_t before_dirty = m.checkpoint_bytes;
+    const int64_t seg0 = m.segments_written;
+    const int64_t skip0 = m.partitions_skipped;
+    engine.Execute("CHECKPOINT");
+    result.dirty_bytes =
+        static_cast<double>(m.checkpoint_bytes - before_dirty);
+    result.segments = static_cast<double>(m.segments_written - seg0);
+    result.skipped = static_cast<double>(m.partitions_skipped - skip0);
+  }
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+void PrintSummary() {
+  using bench::FormatSeconds;
+  using bench::FormatSpeedup;
+  const double cores = static_cast<double>(std::thread::hardware_concurrency());
+  std::printf("\nhardware_concurrency: %.0f\n", cores);
+  bench::JsonRows json;
+
+  bench::SummaryTable maintenance(
+      "E21a: partitioned maintenance — " + std::to_string(Commits()) +
+          " warm commits, r ⋈ s with " + std::to_string(BaseRows()) +
+          " rows per side (" + std::to_string(2 * kUpdatesPerRelation) +
+          " updates per commit)",
+      {"config", "per commit", "speedup vs P=1"});
+  struct Config {
+    const char* label;
+    uint32_t partitions;
+    size_t workers;
+  };
+  const std::vector<Config> configs = {
+      {"P=1 serial", 1, 0},
+      {"P=4 serial", 4, 0},
+      {"P=4, 4 workers", 4, 4},
+  };
+  double baseline = 0;
+  for (const Config& config : configs) {
+    JoinSetup setup(config.partitions, config.workers, BaseRows());
+    setup.RunCommits(4);  // warm the shards before measuring
+    const double per_commit =
+        bench::TimeIt([&setup] { setup.RunCommits(Commits()); }) /
+        static_cast<double>(Commits());
+    if (baseline == 0) baseline = per_commit;
+    maintenance.AddRow({config.label, FormatSeconds(per_commit),
+                        FormatSpeedup(baseline / per_commit)});
+    json.Add({{"partitions", static_cast<double>(config.partitions)},
+              {"workers", static_cast<double>(config.workers)},
+              {"commit_ms", per_commit * 1e3},
+              {"speedup_vs_p1", baseline / per_commit},
+              {"cores", cores}});
+  }
+  maintenance.Print();
+
+  bench::SummaryTable checkpoints(
+      "E21b: checkpoint bytes — " + std::to_string(CheckpointRows()) +
+          " rows, " + std::to_string(kCheckpointPartitions) +
+          " partitions, then a 64-row commit confined to one partition",
+      {"checkpoint", "bytes", "vs monolithic"});
+  CheckpointResult inc = RunCheckpointExperiment(/*incremental=*/true);
+  CheckpointResult mono = RunCheckpointExperiment(/*incremental=*/false);
+  checkpoints.AddRow({"monolithic rewrite",
+                      std::to_string(static_cast<int64_t>(mono.dirty_bytes)),
+                      "1.00x"});
+  checkpoints.AddRow(
+      {"incremental, all partitions dirty",
+       std::to_string(static_cast<int64_t>(inc.full_bytes)),
+       FormatSpeedup(mono.dirty_bytes / inc.full_bytes)});
+  checkpoints.AddRow(
+      {"incremental, 1/" + std::to_string(kCheckpointPartitions) + " dirty",
+       std::to_string(static_cast<int64_t>(inc.dirty_bytes)),
+       FormatSpeedup(mono.dirty_bytes / inc.dirty_bytes)});
+  checkpoints.Print();
+  std::printf("dirty checkpoint: %.0f segments written, %.0f carried\n\n",
+              inc.segments, inc.skipped);
+  json.Add({{"ckpt_mono_bytes", mono.dirty_bytes},
+            {"ckpt_incremental_full_bytes", inc.full_bytes},
+            {"ckpt_incremental_dirty_bytes", inc.dirty_bytes},
+            {"ckpt_reduction_x", mono.dirty_bytes / inc.dirty_bytes},
+            {"segments_written", inc.segments},
+            {"partitions_skipped", inc.skipped}});
+
+  if (!json.WriteIfRequested()) std::exit(1);
+}
+
+}  // namespace
+}  // namespace mview
+
+MVIEW_BENCH_MAIN()

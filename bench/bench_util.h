@@ -159,4 +159,22 @@ inline double TimeIt(const std::function<void()>& fn, int reps = 3) {
 
 }  // namespace mview::bench
 
+/// The standard bench entry point: strip the harness flags above, hand
+/// the rest to google-benchmark, run the registered suites (skipped under
+/// --smoke), then print the binary's summary table — every bench defines
+/// a `mview::PrintSummary()` that renders its `SummaryTable` and writes
+/// the `--json` rows.  Binaries with a non-standard driver (e.g. the
+/// concurrent-session bench, which orchestrates threads itself) write
+/// their own `main` instead.
+#define MVIEW_BENCH_MAIN()                                 \
+  int main(int argc, char** argv) {                        \
+    mview::bench::ParseBenchOptions(&argc, argv);          \
+    benchmark::Initialize(&argc, argv);                    \
+    if (!mview::bench::Options().smoke) {                  \
+      benchmark::RunSpecifiedBenchmarks();                 \
+    }                                                      \
+    mview::PrintSummary();                                 \
+    return 0;                                              \
+  }
+
 #endif  // MVIEW_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against the committed baseline.
+
+Every bench binary writes its summary rows with `--json <path>` (see
+bench/bench_util.h); the committed BENCH_E*.json files in the repo root
+are the recorded experiment results.  This script re-runs the comparison
+side of that loop: it pairs the fresh rows with the baseline rows by
+position and flags metric fields that regressed past a relative
+threshold.
+
+Field classification (by name, documented here because the JSON carries
+no units):
+
+* metric fields — timings (`*_ms`, `*_us`, `*_ns`, `*_seconds`, `*_s`),
+  sizes (`*_bytes`), and ratios (`*_x`, `speedup*`, `*throughput*`,
+  `*_per_sec`).  Compared with the relative threshold; direction-aware
+  (time/bytes regress upward, speedups/throughput regress downward).
+* config fields — everything else (`rows`, `partitions`, `workers`,
+  `cores`, ...).  Must match the baseline exactly; a mismatch means the
+  workload changed and the comparison is meaningless, which is reported
+  as an error rather than a regression.
+
+The default threshold is deliberately generous (50%) — bench numbers on
+shared CI hosts are noisy, and the goal is catching order-of-magnitude
+slips (a dropped cache, an accidental O(n^2)), not 5% drift.
+
+Usage:
+  bench_diff.py BASELINE.json FRESH.json [--threshold 0.5]
+  bench_diff.py --run BENCH_BINARY BASELINE.json [--threshold 0.5]
+
+The --run form executes `BENCH_BINARY --json <tmpfile>` first and then
+compares; it is what the opt-in ctest wiring (MVIEW_BENCH_DIFF) uses.
+Exit status: 0 clean, 1 regression(s), 2 usage/row-shape errors.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+LOWER_IS_BETTER = ("_ms", "_us", "_ns", "_seconds", "_s", "_sec", "_bytes")
+HIGHER_IS_BETTER_HINTS = ("speedup", "throughput", "_per_sec", "reduction")
+
+
+def classify(name):
+    """Returns 'lower', 'higher', or 'config' for a field name."""
+    lowered = name.lower()
+    if any(hint in lowered for hint in HIGHER_IS_BETTER_HINTS):
+        return "higher"
+    if lowered.endswith("_x"):
+        return "higher"
+    if lowered.endswith(LOWER_IS_BETTER):
+        return "lower"
+    return "config"
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        rows = json.load(f)
+    if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+        raise ValueError(f"{path}: expected a JSON array of objects")
+    return rows
+
+
+def compare(baseline_rows, fresh_rows, threshold):
+    """Returns (errors, regressions) as lists of message strings."""
+    errors = []
+    regressions = []
+    if len(baseline_rows) != len(fresh_rows):
+        errors.append(
+            f"row count differs: baseline {len(baseline_rows)}, "
+            f"fresh {len(fresh_rows)}"
+        )
+        return errors, regressions
+    for i, (base, fresh) in enumerate(zip(baseline_rows, fresh_rows)):
+        for field in sorted(set(base) & set(fresh)):
+            b, f = base[field], fresh[field]
+            if not isinstance(b, (int, float)) or not isinstance(f, (int, float)):
+                continue
+            kind = classify(field)
+            if kind == "config":
+                if not math.isclose(b, f, rel_tol=1e-9, abs_tol=1e-9):
+                    errors.append(
+                        f"row {i}: config field '{field}' changed "
+                        f"({b:g} -> {f:g}); workloads are not comparable"
+                    )
+                continue
+            if b <= 0 or f <= 0:
+                continue  # degenerate measurement; nothing to compare
+            ratio = f / b if kind == "lower" else b / f
+            if ratio > 1.0 + threshold:
+                direction = "slower" if kind == "lower" else "lower"
+                regressions.append(
+                    f"row {i}: '{field}' {b:g} -> {f:g} "
+                    f"({ratio:.2f}x {direction}, threshold {1.0 + threshold:.2f}x)"
+                )
+    return errors, regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff bench JSON against a committed baseline."
+    )
+    parser.add_argument(
+        "--run",
+        metavar="BINARY",
+        help="run BINARY with --json to a temp file and diff that output",
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument(
+        "fresh", nargs="?", help="fresh bench JSON (omit with --run)"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="relative regression threshold (default 0.5 = 50%%)",
+    )
+    args = parser.parse_args()
+    if (args.fresh is None) == (args.run is None):
+        parser.error("pass exactly one of FRESH or --run BINARY")
+
+    try:
+        if args.run:
+            fd, fresh_path = tempfile.mkstemp(suffix=".json", prefix="bench_")
+            os.close(fd)
+            try:
+                subprocess.run([args.run, "--json", fresh_path], check=True)
+                fresh_rows = load_rows(fresh_path)
+            finally:
+                os.unlink(fresh_path)
+        else:
+            fresh_rows = load_rows(args.fresh)
+        baseline_rows = load_rows(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError,
+            subprocess.CalledProcessError) as exc:
+        print(f"bench_diff: {exc}", file=sys.stderr)
+        return 2
+
+    errors, regressions = compare(baseline_rows, fresh_rows, args.threshold)
+    for message in errors:
+        print(f"ERROR: {message}")
+    for message in regressions:
+        print(f"REGRESSION: {message}")
+    if errors:
+        return 2
+    if regressions:
+        print(f"{len(regressions)} regression(s) vs {args.baseline}")
+        return 1
+    print(
+        f"OK: {len(baseline_rows)} row(s) within "
+        f"{args.threshold:.0%} of {args.baseline}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include "db/transaction.h"
 #include "ivm/delta.h"
 #include "ivm/irrelevance.h"
+#include "ivm/partition.h"
 #include "ivm/view_def.h"
 #include "ra/join_cache.h"
 #include "ra/planner.h"
@@ -59,6 +60,17 @@ struct MaintenanceOptions {
   /// byte-identical deltas to the tuple path (property-tested); bench E20
   /// ablates it.
   bool enable_batch_eval = true;
+
+  /// Split each maintenance round into this many hash partitions that can
+  /// be computed independently (see `PartitionLayout` for the keyed /
+  /// row-hash mode choice).  1 disables partitioning.  The merged delta is
+  /// byte-identical to the unpartitioned one (property-tested); bench E21
+  /// measures the split.  The join-cache budget is divided evenly among
+  /// the per-partition shards: in keyed mode each shard holds ~1/P of the
+  /// clean rows so the effective total is unchanged, while in row-hash
+  /// mode every shard mirrors the full clean tables and a large P can
+  /// force evictions a single shard would not need.
+  uint32_t partition_count = 1;
 };
 
 /// Wall-clock nanoseconds spent in each phase of the commit pipeline,
@@ -107,6 +119,17 @@ struct MaintenanceStats {
   int64_t batch_rows = 0;
   int64_t arena_bytes = 0;
   int64_t arena_high_water = 0;
+  // Partitioned maintenance (MaintenanceOptions::partition_count).  The
+  // first two are cumulative: partitions evaluated vs. skipped because
+  // their delta slice was empty.  The rows pair are per-round skew gauges
+  // (overwritten by every `Prepare`): total delta rows sliced and the
+  // largest single partition's share; `operator+=` sums the total and
+  // takes the max of the max, so the aggregate reports the worst skew
+  // across views.
+  int64_t partition_jobs = 0;
+  int64_t partitions_pruned = 0;
+  int64_t partition_rows_total = 0;
+  int64_t partition_rows_max = 0;
   PlanStats plan;
 
   MaintenanceStats& operator+=(const MaintenanceStats& other);
@@ -165,6 +188,64 @@ class DifferentialMaintainer {
                          MaintenanceStats* stats = nullptr,
                          PhaseBreakdown* phases = nullptr) const;
 
+  /// The partition-independent prefix of one maintenance round, produced
+  /// once per (view, transaction) by `Prepare` and consumed by one
+  /// `ComputePartition` call per partition.  Owns every filtered and
+  /// sliced relation its parts point into; the source effect must stay
+  /// alive (the cache-round slots reference its unfiltered deltas).
+  struct PreparedDelta {
+    /// Screened full per-base parts (`subtract` = the unfiltered deletes).
+    std::vector<BaseParts> parts;
+    /// `sliced[p][i]`: partition `p`'s hash slice of base `i`'s filtered
+    /// deltas (keyed mode: by the join-key attribute; row-hash mode: by
+    /// whole-tuple hash).  Empty when `partition_count() == 1`.
+    std::vector<std::vector<BaseParts>> sliced;
+    /// Whether partition `p` has any non-empty delta slice.  When no
+    /// partition does, partition 0 is marked active anyway so every round
+    /// performs (at least) one evaluation — the same fault-point and
+    /// cache-round cadence as unpartitioned maintenance.
+    std::vector<bool> active;
+    /// Join-cache round tokens built from the *unfiltered* deltas; every
+    /// shard replays them through its own partition filter.
+    std::vector<JoinStateCache::SlotUpdate> slots;
+    bool use_cache = false;
+    std::vector<std::unique_ptr<Relation>> owned;
+  };
+
+  /// Runs the irrelevance screen and slices the surviving deltas by
+  /// partition — the serial O(|delta|) prologue of a round.  Accumulates
+  /// filter time/counters and the partition skew gauges.
+  PreparedDelta Prepare(const TransactionEffect& effect,
+                        MaintenanceStats* stats = nullptr,
+                        PhaseBreakdown* phases = nullptr) const;
+
+  /// Evaluates partition `p` of a prepared round: opens a cache round on
+  /// shard `p`, evaluates the slice (or, when `p` is inactive, just
+  /// synchronizes the shard with the round's deltas so its entries stay
+  /// warm), and returns the partition's normalized delta.
+  ///
+  /// Thread-safety: calls for *distinct* partitions of the same prepared
+  /// round may run concurrently — each touches only its own shard and
+  /// arena and reads the frozen pre-state — provided each call gets its
+  /// own `stats`/`phases` (or null).  Two calls for the same partition
+  /// must not overlap.
+  ViewDelta ComputePartition(const PreparedDelta& prep, uint32_t p,
+                             MaintenanceStats* stats = nullptr,
+                             PhaseBreakdown* phases = nullptr) const;
+
+  /// Sums per-partition deltas (signed multiplicities) and normalizes —
+  /// the merged delta is byte-identical to an unpartitioned evaluation.
+  /// Adds the merged delta's insert/delete counts to `stats`.
+  ViewDelta MergePartitions(std::vector<ViewDelta> slices,
+                            MaintenanceStats* stats = nullptr) const;
+
+  /// Overwrites the per-round gauges (`cache_bytes`, `arena_bytes`,
+  /// `arena_high_water`) with the current totals across all partition
+  /// shards/arenas.  Called once after a round's partitions finish; the
+  /// per-partition `ComputePartition` calls leave gauges untouched so
+  /// merging their stats never double-counts.
+  void FinalizeRoundStats(MaintenanceStats* stats) const;
+
   /// Lower-level entry point used by deferred refresh: `parts[i]` describes
   /// base occurrence `i` (all fields may be null for untouched bases).
   /// No filtering is applied here — callers filter when logging.  This
@@ -177,6 +258,15 @@ class DifferentialMaintainer {
   /// state (the paper's baseline comparator).
   CountedRelation FullEvaluate(PlanStats* stats = nullptr) const;
 
+  /// One row-hash slice of `FullEvaluate`: base occurrence 0 is restricted
+  /// to the tuples whose whole-tuple hash lands in `slice` (of `total`);
+  /// the other bases stream in full.  Because the join is linear in each
+  /// input, the `total` slices partition the full result exactly — the
+  /// scrubber verifies a view one slice per call without ever holding a
+  /// full re-evaluation's working set.
+  CountedRelation FullEvaluateSlice(uint32_t slice, uint32_t total,
+                                    PlanStats* stats = nullptr) const;
+
   /// True when the effect touches any base relation of this view.
   bool AffectedBy(const TransactionEffect& effect) const;
 
@@ -185,8 +275,19 @@ class DifferentialMaintainer {
   const Schema& output_schema() const { return output_; }
   const MaintenanceOptions& options() const { return options_; }
 
-  /// This view's join-state cache shard (null when disabled).
-  const JoinStateCache* join_cache() const { return join_cache_.get(); }
+  /// The partition layout chosen for this view (count 1 = unpartitioned).
+  const PartitionLayout& partition_layout() const { return layout_; }
+  uint32_t partition_count() const { return layout_.count; }
+
+  /// The first join-state cache shard (null when disabled) — the whole
+  /// cache for unpartitioned views; tests and stats renderers that need
+  /// totals across shards use `join_cache_bytes()`.
+  const JoinStateCache* join_cache() const {
+    return shards_.empty() ? nullptr : shards_.front().get();
+  }
+
+  /// Current bytes held across all partition shards.
+  size_t join_cache_bytes() const;
 
   /// Discards every cached join table (fresh empty shard, same budget).
   /// Called when the view's materialization is rebuilt outside the normal
@@ -195,21 +296,36 @@ class DifferentialMaintainer {
   void ResetJoinCache();
 
  private:
-  ViewDelta EvaluateParts(const std::vector<BaseParts>& parts,
-                          MaintenanceStats* stats,
-                          bool bind_join_cache) const;
-  void EnumerateRows(const std::vector<std::unique_ptr<RelationInput>>& clean,
-                     const std::vector<std::unique_ptr<RelationInput>>& ins,
-                     const std::vector<std::unique_ptr<RelationInput>>& del,
+  /// Evaluates one slice of a round.  `full` supplies the clean inputs
+  /// (with their subtract relations) and the deltas at non-anchoring join
+  /// positions; `anchor` supplies the delta at each truth-table row's /
+  /// telescoped term's *anchoring* position (the first non-clean choice).
+  /// Each row is linear in its anchor, so slicing only the anchor input
+  /// partitions the output exactly.  Keyed mode passes the same sliced
+  /// parts as both (and `slice_clean` selects `PartitionSliceInput` for
+  /// the clean side); unpartitioned rounds pass `parts` twice.
+  ViewDelta EvaluateSlice(const std::vector<BaseParts>& full,
+                          const std::vector<BaseParts>& anchor,
+                          bool slice_clean, uint32_t slice,
+                          JoinStateCache* shard, util::Arena* arena,
+                          MaintenanceStats* stats) const;
+  void EnumerateRows(const std::vector<RelationInput*>& clean,
+                     const std::vector<RelationInput*>& ins,
+                     const std::vector<RelationInput*>& del,
+                     const std::vector<RelationInput*>& anchor_ins,
+                     const std::vector<RelationInput*>& anchor_del,
                      ViewDelta* delta, MaintenanceStats* stats,
                      PlannerCache* cache, const EvalContext* ctx) const;
 
-  void EnumerateTelescoped(
-      const std::vector<std::unique_ptr<RelationInput>>& clean,
-      const std::vector<std::unique_ptr<RelationInput>>& ins,
-      const std::vector<std::unique_ptr<RelationInput>>& del,
-      ViewDelta* delta, MaintenanceStats* stats, PlannerCache* cache,
-      const EvalContext* ctx) const;
+  void EnumerateTelescoped(const std::vector<RelationInput*>& clean,
+                           const std::vector<RelationInput*>& ins,
+                           const std::vector<RelationInput*>& del,
+                           const std::vector<RelationInput*>& anchor_ins,
+                           const std::vector<RelationInput*>& anchor_del,
+                           ViewDelta* delta, MaintenanceStats* stats,
+                           PlannerCache* cache, const EvalContext* ctx) const;
+
+  void BuildShards();
 
   ViewDefinition def_;
   const Database* db_;
@@ -217,14 +333,17 @@ class DifferentialMaintainer {
   Schema combined_;
   Schema output_;
   std::vector<Schema> aliased_;
+  PartitionLayout layout_;
   std::unique_ptr<IrrelevanceFilter> filter_;
-  // Per-view (per-maintainer) shard; mutable because ComputeDelta is
-  // logically const yet advances the cache between rounds.
-  mutable std::unique_ptr<JoinStateCache> join_cache_;
-  // Scratch memory for the batch pipeline, reset at the start of every
-  // maintenance round (`EvaluateParts`); mutable for the same reason as
-  // the cache.  Shares the maintainer's thread-confinement contract.
-  mutable util::Arena arena_;
+  // One join-state cache shard per partition (empty when the cache is
+  // disabled); mutable because ComputeDelta is logically const yet
+  // advances the shards between rounds.  Shard `p` is touched only by
+  // partition `p`'s rounds — the basis of the partition-parallel contract.
+  mutable std::vector<std::unique_ptr<JoinStateCache>> shards_;
+  // Per-partition scratch memory for the batch pipeline, reset at the
+  // start of every slice evaluation; mutable and partition-confined like
+  // the shards.
+  mutable std::vector<std::unique_ptr<util::Arena>> arenas_;
 };
 
 }  // namespace mview

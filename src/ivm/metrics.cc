@@ -93,6 +93,10 @@ std::string ViewMetrics::ToJson() const {
      << ", \"batch_rows\": " << stats.batch_rows
      << ", \"arena_bytes\": " << stats.arena_bytes
      << ", \"arena_high_water\": " << stats.arena_high_water
+     << ", \"partition_jobs\": " << stats.partition_jobs
+     << ", \"partitions_pruned\": " << stats.partitions_pruned
+     << ", \"partition_rows_total\": " << stats.partition_rows_total
+     << ", \"partition_rows_max\": " << stats.partition_rows_max
      << ", \"filter_nanos\": " << phases.filter_nanos
      << ", \"differential_nanos\": " << phases.differential_nanos
      << ", \"apply_nanos\": " << phases.apply_nanos
@@ -136,6 +140,9 @@ std::string StorageMetrics::ToJson() const {
      << ", \"fsync_nanos\": " << fsync_nanos
      << ", \"checkpoints\": " << checkpoints
      << ", \"checkpoint_nanos\": " << checkpoint_nanos
+     << ", \"checkpoint_bytes\": " << checkpoint_bytes
+     << ", \"segments_written\": " << segments_written
+     << ", \"partitions_skipped\": " << partitions_skipped
      << ", \"replayed_records\": " << replayed_records
      << ", \"batch_commits_histogram\": " << batch_commits.ToJson()
      << ", \"fsync_latency\": " << fsync_latency.ToJson() << "}";

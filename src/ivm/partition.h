@@ -1,0 +1,114 @@
+#ifndef MVIEW_IVM_PARTITION_H_
+#define MVIEW_IVM_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "predicate/condition.h"
+#include "relational/partition.h"
+#include "relational/schema.h"
+
+namespace mview {
+
+/// How one view's maintenance work is split into hash partitions.
+///
+/// Two modes, chosen by `ComputePartitionLayout`:
+///
+///  - **Keyed (co-partitioned)**: when an equality class of zero-offset
+///    `=` atoms present in *every* disjunct of the condition covers at
+///    least one attribute of every base occurrence, all inputs of a
+///    partition's evaluation — clean parts and deltas alike — are sliced
+///    by the hash of that base's class attribute.  Exact because two
+///    tuples whose class attributes hash to different partitions can never
+///    satisfy the condition together, so every output row is produced in
+///    exactly one partition.  Each partition's cached join state holds
+///    only ~1/P of the clean rows.
+///
+///  - **Row-hash (anchor-slice) fallback**: the general case (inequality
+///    joins, offset joins, disjuncts with differing equalities,
+///    single-base views).  Only the *anchoring* delta input of each
+///    truth-table row / telescoped term is sliced, by whole-tuple hash;
+///    clean inputs and non-anchor deltas stay full.  Exact because each
+///    row/term is linear in its anchor, so slicing the anchor partitions
+///    the term's output without losing cross combinations.
+///
+/// Both modes merge per-partition deltas by summing signed multiplicities;
+/// `ViewDelta::Normalize` is a function of that signed measure, so the
+/// merged delta is byte-identical to the unpartitioned one.
+struct PartitionLayout {
+  uint32_t count = 1;  // 1 = partitioning disabled
+  bool keyed = false;  // co-partitioned by a join-equality class
+  /// Per base occurrence: the partition-key attribute index in the base's
+  /// own scheme (aliasing renames positionally, so the index is the same
+  /// in the aliased scheme).  `kRowHashKey` everywhere when not keyed.
+  std::vector<size_t> key_attr;
+};
+
+/// Chooses the partition layout for a view with the given condition and
+/// per-base aliased schemes (see `ViewDefinition::AliasedSchema`).
+/// Keyed mode requires `count >= 2`, at least two bases, and an equality
+/// class common to every disjunct that touches every base; the choice
+/// among qualifying classes is deterministic (first attribute of base 0,
+/// in scheme order, whose class qualifies).
+PartitionLayout ComputePartitionLayout(const Condition& condition,
+                                       const std::vector<Schema>& aliased,
+                                       uint32_t count);
+
+/// Tracks which hash partitions of each table and view changed since the
+/// last successful checkpoint, so `Storage::Checkpoint` can rewrite only
+/// dirty partition segments.
+///
+/// Scopes are string keys (the storage layer uses "t:<table>" and
+/// "v:<view>").  A scope with no marks since the last `Clear` is clean —
+/// every mutation path (commit apply, deferred refresh, repair, restore
+/// replay) must mark, which the `ViewManager` guarantees.  `MarkAll`
+/// conservatively dirties a whole scope when per-row attribution is
+/// unavailable (full re-evaluation, repair, test-only mutable access).
+///
+/// Not thread-safe: marking happens on the commit coordinator thread and
+/// checkpointing runs under the engine's exclusive lock, which the caller
+/// must ensure never overlap.
+class PartitionDirtyMap {
+ public:
+  /// Turns tracking on with the given partition count (rows are assigned
+  /// by whole-tuple `PartitionOf`).  Idempotent for the same count; a
+  /// different count resets all state.
+  void Enable(uint32_t partitions);
+
+  bool enabled() const { return partitions_ > 0; }
+  uint32_t partitions() const { return partitions_; }
+
+  /// Marks the partition containing `tuple` dirty.  No-op when disabled.
+  void Mark(const std::string& scope, const Tuple& tuple);
+
+  /// Marks every partition of `scope` dirty.  No-op when disabled.
+  void MarkAll(const std::string& scope);
+
+  /// Drops a scope entirely (dropped view/table).
+  void Forget(const std::string& scope);
+
+  /// Resets every scope to clean — called after a successful checkpoint.
+  void Clear() { scopes_.clear(); }
+
+  /// True when partition `p` of `scope` changed since the last `Clear`.
+  /// Unknown scopes are clean (nothing was marked).
+  bool IsDirty(const std::string& scope, uint32_t p) const;
+
+  /// Number of dirty partitions in `scope` (0 for unknown scopes).
+  uint32_t DirtyCount(const std::string& scope) const;
+
+ private:
+  struct ScopeState {
+    bool all = false;
+    std::vector<bool> bits;
+  };
+
+  uint32_t partitions_ = 0;  // 0 = disabled
+  std::unordered_map<std::string, ScopeState> scopes_;
+};
+
+}  // namespace mview
+
+#endif  // MVIEW_IVM_PARTITION_H_

@@ -1,7 +1,9 @@
 #include "ivm/scrubber.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "ivm/delta.h"
 #include "ivm/differential.h"
@@ -43,11 +45,59 @@ ViewScrubResult Scrubber::ScrubView(const std::string& name,
   const DifferentialMaintainer& maintainer = views_->Maintainer(name);
   CountedRelation truth = maintainer.FullEvaluate();
   truth.Scan([&](const Tuple& t, int64_t c) { diff[t] += c; });
+  return Finish(std::move(result), std::move(diff), options);
+}
+
+ViewScrubResult Scrubber::ScrubViewPartition(const std::string& name,
+                                             const ScrubOptions& options) {
+  ViewInfo info = views_->Describe(name);  // throws on unknown names
+  if (info.quarantined) {
+    // No partial work is worth keeping — the whole-view path renders the
+    // quarantined verdict (and repairs when asked) immediately.
+    cursors_.erase(name);
+    return ScrubView(name, options);
+  }
+  const DifferentialMaintainer& maintainer = views_->Maintainer(name);
+  const uint32_t slices = std::max<uint32_t>(1, maintainer.partition_count());
+  const uint64_t epoch = views_->Snapshot()->epoch();
+  PartitionCursor& cursor = cursors_[name];
+  if (cursor.slices != slices || cursor.epoch != epoch) {
+    // First call, a commit between calls, or a re-registered view with a
+    // different layout: the accumulated truth no longer matches the state
+    // it will be diffed against.  Start over.
+    cursor = PartitionCursor{};
+    cursor.slices = slices;
+    cursor.epoch = epoch;
+  }
+
+  CountedRelation truth = maintainer.FullEvaluateSlice(cursor.next, slices);
+  truth.Scan([&](const Tuple& t, int64_t c) { cursor.diff[t] += c; });
+  ++cursor.next;
+
+  ViewScrubResult result;
+  result.view = name;
+  result.slice = cursor.next;
+  result.slices = slices;
+  if (cursor.next < slices) {
+    result.complete = false;
+    return result;
+  }
+  std::map<Tuple, int64_t> diff = std::move(cursor.diff);
+  cursors_.erase(name);
+  return Finish(std::move(result), std::move(diff), options);
+}
+
+ViewScrubResult Scrubber::Finish(ViewScrubResult result,
+                                 std::map<Tuple, int64_t> diff,
+                                 const ScrubOptions& options) {
+  const std::string& name = result.view;
+  ViewInfo info = views_->Describe(name);
 
   // A stale deferred view is *expected* to lag: subtract the delta its
   // backlog would apply on refresh (fresh − pending-delta = the stale
   // contents the materialization should hold).
   if (info.mode == MaintenanceMode::kDeferred && info.stale) {
+    const DifferentialMaintainer& maintainer = views_->Maintainer(name);
     const auto& pending = views_->PendingLogs(name);
     std::vector<BaseParts> parts(pending.size());
     for (size_t i = 0; i < pending.size(); ++i) {

@@ -2,6 +2,7 @@
 #define MVIEW_IVM_SCRUBBER_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,15 @@ struct ViewScrubResult {
   bool repaired = false;  // auto-repair ran and verified
   std::string repair_error;  // auto-repair threw; view left quarantined
   std::vector<ScrubDrift> samples;
+
+  /// Partition-at-a-time scrubbing (`ScrubViewPartition`): the 1-based
+  /// slice this call verified and the total slice count (0 slices = the
+  /// result came from a whole-view scrub).  While `complete` is false only
+  /// `view`/`slice`/`slices` are meaningful — the counts and verdict
+  /// fields arrive with the completing call.
+  uint32_t slice = 0;
+  uint32_t slices = 0;
+  bool complete = true;
 };
 
 /// A full scrub pass over one or more views.
@@ -84,12 +94,42 @@ class Scrubber {
   ViewScrubResult ScrubView(const std::string& name,
                             const ScrubOptions& options = ScrubOptions{});
 
+  /// Scrubs the next row-hash slice of one view (a per-view cursor
+  /// advances one slice per call): the recomputed truth is accumulated
+  /// slice by slice via `FullEvaluateSlice`, and the diff against the live
+  /// materialization — plus the verdict, metrics, and optional repair —
+  /// happens on the completing call, so a single call never holds a full
+  /// re-evaluation's working set.  The slice count is the view's
+  /// maintenance partition count (min 1).  Any engine mutation between
+  /// calls (a newer published epoch) restarts the cursor from slice 0:
+  /// partial sums are only meaningful against the state they started on.
+  /// A quarantined view short-circuits to the whole-view result.  Throws
+  /// `Error` on unknown names.
+  ViewScrubResult ScrubViewPartition(
+      const std::string& name, const ScrubOptions& options = ScrubOptions{});
+
   /// Scrubs every registered view, in name order.
   ScrubReport ScrubAll(const ScrubOptions& options = ScrubOptions{});
 
  private:
+  /// In-progress partition-at-a-time scrub of one view.
+  struct PartitionCursor {
+    uint64_t epoch = 0;    // published epoch the accumulation started on
+    uint32_t slices = 0;   // slice count the accumulation started with
+    uint32_t next = 0;     // next slice to evaluate
+    std::map<Tuple, int64_t> diff;  // truth accumulated so far
+  };
+
+  /// The shared scrub tail: subtracts the stale-deferred backlog and the
+  /// live materialization from `diff` (which holds the recomputed truth),
+  /// fills the verdict fields of `result`, updates metrics, and runs the
+  /// optional auto-repair.
+  ViewScrubResult Finish(ViewScrubResult result, std::map<Tuple, int64_t> diff,
+                         const ScrubOptions& options);
+
   ViewManager* views_;
   ScrubMetrics* metrics_;
+  std::map<std::string, PartitionCursor> cursors_;
 };
 
 }  // namespace mview

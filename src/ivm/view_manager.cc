@@ -142,6 +142,7 @@ void ViewManager::RegisterView(ViewDefinition def, MaintenanceMode mode,
       std::make_unique<DifferentialMaintainer>(std::move(def), db_, options);
   view->materialized =
       std::make_shared<CountedRelation>(view->maintainer->FullEvaluate());
+  dirty_.MarkAll("v:" + name);
   view->metrics = &metrics_.ForView(name);
   view->span_name_id = obs::Tracer::Global().InternName("maintain:" + name);
   if (mode == MaintenanceMode::kDeferred) {
@@ -180,6 +181,9 @@ void ViewManager::RestoreView(ViewDefinition def, MaintenanceMode mode,
       std::make_unique<DifferentialMaintainer>(std::move(def), db_, options);
   view->materialized =
       std::make_shared<CountedRelation>(std::move(materialized));
+  // Conservative: the restored image may postdate the last checkpoint
+  // (WAL-replayed creation), so its partitions must all be rewritten.
+  dirty_.MarkAll("v:" + name);
   view->metrics = &metrics_.ForView(name);
   view->span_name_id = obs::Tracer::Global().InternName("maintain:" + name);
   if (mode == MaintenanceMode::kDeferred) {
@@ -202,6 +206,7 @@ void ViewManager::RestoreView(ViewDefinition def, MaintenanceMode mode,
 void ViewManager::DropView(const std::string& name) {
   MVIEW_CHECK(views_.erase(name) > 0, "unknown view: ", name);
   metrics_.Remove(name);
+  dirty_.Forget("v:" + name);
   PublishEpoch();
 }
 
@@ -282,6 +287,102 @@ void ViewManager::ComputeJobBody(CommitJob* job,
   }
 }
 
+void ViewManager::PreparePartitionedJob(CommitJob* job,
+                                        const TransactionEffect& effect) {
+  ManagedView* view = job->view;
+  ViewMetrics& m = *view->metrics;
+  ++m.stats.transactions;
+  Stopwatch timer;
+  try {
+    // Same fault point as the whole-view compute path: a partitioned view
+    // that blows up before producing anything fails here, serially, and
+    // degrades to an errored job the serial phase quarantines.
+    MVIEW_FAULT_POINT("viewmgr.differential.pre_apply");
+    const int64_t filter_before = m.phases.filter_nanos;
+    job->prep = std::make_unique<DifferentialMaintainer::PreparedDelta>(
+        view->maintainer->Prepare(effect, &m.stats, &m.phases));
+    m.filter_latency.Record(m.phases.filter_nanos - filter_before);
+    const uint32_t count = view->maintainer->partition_count();
+    job->part_deltas.resize(count);
+    job->part_stats.assign(count, MaintenanceStats{});
+    job->part_phases.assign(count, PhaseBreakdown{});
+    job->part_errors.assign(count, nullptr);
+    job->partitioned = true;
+  } catch (...) {
+    job->error = std::current_exception();
+    job->partitioned = false;
+    job->prep.reset();
+  }
+  m.stats.maintenance_nanos += timer.ElapsedNanos();
+}
+
+void ViewManager::MergePartitionedJob(CommitJob* job) {
+  static const uint32_t kDeltaRowsArg =
+      obs::Tracer::Global().InternName("delta_rows");
+  ManagedView* view = job->view;
+  ViewMetrics& m = *view->metrics;
+  Stopwatch timer;
+  for (const auto& err : job->part_errors) {
+    if (err != nullptr) {
+      // First failing partition wins; sibling slices are discarded — a
+      // partial delta must never be applied.
+      job->error = err;
+      break;
+    }
+  }
+  if (job->error != nullptr) {
+    job->delta.reset();
+    m.stats.maintenance_nanos += timer.ElapsedNanos();
+    return;
+  }
+  const int64_t differential_before = m.phases.differential_nanos;
+  std::vector<ViewDelta> slices;
+  slices.reserve(job->part_deltas.size());
+  for (size_t p = 0; p < job->part_deltas.size(); ++p) {
+    // Per-partition stats hold only counters and timers (the workers leave
+    // gauges untouched), so summing them never double-counts.
+    m.stats += job->part_stats[p];
+    m.phases += job->part_phases[p];
+    if (job->part_deltas[p] != nullptr) {
+      slices.push_back(std::move(*job->part_deltas[p]));
+    }
+  }
+  ViewDelta merged =
+      view->maintainer->MergePartitions(std::move(slices), &m.stats);
+  view->maintainer->FinalizeRoundStats(&m.stats);
+  m.differential_latency.Record(m.phases.differential_nanos -
+                                differential_before);
+  if (merged.Empty()) {
+    ++m.stats.skipped_irrelevant;
+  } else {
+    obs::TraceSpan span(view->span_name_id);
+    span.SetArg(kDeltaRowsArg, merged.TotalCount());
+    job->delta = std::make_unique<ViewDelta>(std::move(merged));
+  }
+  m.stats.maintenance_nanos += timer.ElapsedNanos();
+}
+
+void ViewManager::MarkEffectDirty(const TransactionEffect& effect) {
+  if (!dirty_.enabled()) return;
+  for (const std::string& name : effect.TouchedRelations()) {
+    const RelationEffect* re = effect.Find(name);
+    if (re == nullptr) continue;
+    const std::string scope = "t:" + name;
+    re->inserts.Scan([&](const Tuple& t) { dirty_.Mark(scope, t); });
+    re->deletes.Scan([&](const Tuple& t) { dirty_.Mark(scope, t); });
+  }
+}
+
+void ViewManager::MarkDeltaDirty(const std::string& view_name,
+                                 const ViewDelta& delta) {
+  if (!dirty_.enabled()) return;
+  const std::string scope = "v:" + view_name;
+  delta.inserts.Scan(
+      [&](const Tuple& t, int64_t) { dirty_.Mark(scope, t); });
+  delta.deletes.Scan(
+      [&](const Tuple& t, int64_t) { dirty_.Mark(scope, t); });
+}
+
 void ViewManager::ApplyEffect(const TransactionEffect& effect) {
   static const uint32_t kBaseApplyName =
       obs::Tracer::Global().InternName("base_apply");
@@ -308,17 +409,68 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
   for (auto& [name, view] : views_) {
     if (view->quarantined) continue;
     if (!view->maintainer->AffectedBy(effect)) continue;
-    jobs.push_back(CommitJob{view.get(), nullptr, nullptr});
+    jobs.emplace_back();
+    jobs.back().view = view.get();
   }
-  if (pool_ != nullptr && jobs.size() > 1) {
-    for (auto& job : jobs) {
-      pool_->Submit([this, &job, &effect] { ComputeJob(&job, effect); });
+
+  // Partitioned views (immediate mode, partition_count > 1, pool present)
+  // run their serial prologue now: screen + hash-slice the deltas so the
+  // barrier below can fan one worker per (view, partition).  Without a
+  // pool the partition split buys nothing, so such views take the plain
+  // single-worker path and produce identical bytes.
+  bool any_partitioned = false;
+  for (auto& job : jobs) {
+    ManagedView* view = job.view;
+    if (pool_ == nullptr || view->mode != MaintenanceMode::kImmediate ||
+        view->maintainer->partition_count() <= 1) {
+      continue;
     }
-    // ComputeJob captures its own failures into the job, so WaitAll
-    // returns normally even when a view's maintenance blew up.
+    PreparePartitionedJob(&job, effect);
+    any_partitioned |= job.partitioned;
+  }
+
+  // One flat barrier: per-partition slices of partitioned views alongside
+  // whole-view jobs.  The pool has no nested-submit support, so the
+  // coordinator owns all fan-out; every worker writes only its own slot.
+  if (pool_ != nullptr && (jobs.size() > 1 || any_partitioned)) {
+    for (auto& job : jobs) {
+      if (job.partitioned) {
+        const uint32_t count = job.view->maintainer->partition_count();
+        for (uint32_t p = 0; p < count; ++p) {
+          CommitJob* j = &job;
+          pool_->Submit([j, p] {
+            Stopwatch timer;
+            obs::TraceSpan span(j->view->span_name_id);
+            try {
+              ViewDelta slice = j->view->maintainer->ComputePartition(
+                  *j->prep, p, &j->part_stats[p], &j->part_phases[p]);
+              if (!slice.Empty()) {
+                j->part_deltas[p] =
+                    std::make_unique<ViewDelta>(std::move(slice));
+              }
+            } catch (...) {
+              j->part_errors[p] = std::current_exception();
+            }
+            j->part_stats[p].maintenance_nanos += timer.ElapsedNanos();
+          });
+        }
+      } else if (job.error == nullptr) {
+        pool_->Submit([this, &job, &effect] { ComputeJob(&job, effect); });
+      }
+    }
+    // Workers capture their own failures into the job, so WaitAll returns
+    // normally even when a view's maintenance blew up.
     pool_->WaitAll();
   } else {
-    for (auto& job : jobs) ComputeJob(&job, effect);
+    for (auto& job : jobs) {
+      if (job.error == nullptr && !job.partitioned) ComputeJob(&job, effect);
+    }
+  }
+
+  // Serial epilogue for partitioned jobs: fold slices into one delta per
+  // view (name order again — `jobs` follows the sorted map).
+  for (auto& job : jobs) {
+    if (job.partitioned) MergePartitionedJob(&job);
   }
 
   // Phase 3: apply the transaction to the base relations.
@@ -326,6 +478,7 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
     obs::TraceSpan span(kBaseApplyName);
     Stopwatch timer;
     effect.ApplyTo(db_);
+    MarkEffectDirty(effect);
     metrics_.commit().base_apply_nanos += timer.ElapsedNanos();
   }
 
@@ -353,6 +506,7 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
           // epoch's buffer is never touched.
           std::shared_ptr<CountedRelation> next = WritableBuffer(view);
           job.delta->ApplyTo(next.get());
+          MarkDeltaDirty(view->name, *job.delta);
           m.delta_sizes.Record(job.delta->TotalCount());
           view->spare = std::move(view->materialized);
           view->materialized = std::move(next);
@@ -366,6 +520,7 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
           Stopwatch timer;
           view->materialized = std::make_shared<CountedRelation>(
               view->maintainer->FullEvaluate(&m.stats.plan));
+          dirty_.MarkAll("v:" + view->name);
           view->spare.reset();
           view->lag_delta.reset();
           ++m.stats.full_reevaluations;
@@ -430,6 +585,7 @@ void ViewManager::Repair(const std::string& name) {
                 ": two full evaluations disagree");
   }
   view.materialized = std::make_shared<CountedRelation>(std::move(result));
+  dirty_.MarkAll("v:" + name);
   view.spare.reset();
   view.lag_delta.reset();
   view.maintainer->ResetJoinCache();
@@ -560,6 +716,7 @@ void ViewManager::RefreshView(const std::string& name, ManagedView* view) {
     Stopwatch apply_timer;
     std::shared_ptr<CountedRelation> next = WritableBuffer(view);
     delta.ApplyTo(next.get());
+    MarkDeltaDirty(name, delta);
     m.delta_sizes.Record(delta.TotalCount());
     view->spare = std::move(view->materialized);
     view->materialized = std::move(next);
@@ -625,6 +782,7 @@ CountedRelation& ViewManager::MutableMaterialization(const std::string& name) {
   // bytes and silently undo what the test injected.
   view.spare.reset();
   view.lag_delta.reset();
+  dirty_.MarkAll("v:" + name);
   return *view.materialized;
 }
 

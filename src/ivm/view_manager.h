@@ -14,6 +14,7 @@
 #include "db/transaction.h"
 #include "ivm/differential.h"
 #include "ivm/metrics.h"
+#include "ivm/partition.h"
 #include "ivm/snapshot.h"
 #include "ivm/view_def.h"
 #include "util/thread_pool.h"
@@ -130,13 +131,18 @@ class EpochSnapshot {
 ///
 /// The per-view phase is read-only against the database and independent
 /// across views, so `SetParallelism` can fan it out over a `ThreadPool`;
-/// deltas are still applied serially in name order, so view contents are
-/// bit-identical to the serial pipeline regardless of worker count (see
-/// DESIGN.md, "Commit pipeline").  Each view's maintainer owns a private
-/// `JoinStateCache` shard, and the pipeline runs at most one worker per
-/// view per commit, so the shards need no locking; DDL
+/// views with a partition layout (`MaintenanceOptions::partition_count`)
+/// additionally fan out *within* the view — the coordinator prepares the
+/// round serially (screen + hash slicing), one worker evaluates each
+/// partition against its own cache shard and arena, and a serial merge
+/// folds the per-partition deltas.  Deltas are still applied serially in
+/// name order, so view contents are bit-identical to the serial pipeline
+/// regardless of worker count or partition count (see DESIGN.md, "Commit
+/// pipeline").  Each view's maintainer owns private per-partition
+/// `JoinStateCache` shards, and the pipeline runs at most one worker per
+/// (view, partition) per commit, so the shards need no locking; DDL
 /// (`DropView`/`RegisterView`/`RestoreView`) replaces the maintainer and
-/// its shard wholesale, which is how cached state is invalidated.
+/// its shards wholesale, which is how cached state is invalidated.
 ///
 /// Failure containment: an exception inside one view's maintenance does
 /// not poison the commit.  The failing view is *quarantined* — its
@@ -316,6 +322,16 @@ class ViewManager {
   Database& database() { return *db_; }
   const Database& database() const { return *db_; }
 
+  /// Dirty-partition tracking for incremental checkpoints.  Disabled until
+  /// the storage layer calls `Enable` (after installing the checkpoint
+  /// image, before WAL replay); once enabled, every mutation path marks
+  /// the partitions it touches — per-tuple for commit applies and
+  /// refreshes, whole-scope for register/restore/repair/test mutation —
+  /// and `Storage::Checkpoint` clears the map after a successful write.
+  /// Scopes are "t:<table>" and "v:<view>".
+  PartitionDirtyMap& dirty_partitions() { return dirty_; }
+  const PartitionDirtyMap& dirty_partitions() const { return dirty_; }
+
  private:
   struct ManagedView {
     std::string name;
@@ -354,6 +370,17 @@ class ViewManager {
     // A compute-phase failure, captured instead of propagated so one
     // view's fault cannot abort the commit for its siblings.
     std::exception_ptr error;
+    // Intra-view partition fan-out (immediate views with a partition
+    // layout, on a pool): the coordinator runs `Prepare` serially, the
+    // barrier runs one `ComputePartition` per partition — each writing
+    // its own slot below so workers never share state — and the serial
+    // merge folds the slots into `delta` and the view's metrics.
+    bool partitioned = false;
+    std::unique_ptr<DifferentialMaintainer::PreparedDelta> prep;
+    std::vector<std::unique_ptr<ViewDelta>> part_deltas;
+    std::vector<MaintenanceStats> part_stats;
+    std::vector<PhaseBreakdown> part_phases;
+    std::vector<std::exception_ptr> part_errors;
   };
 
   ManagedView& GetView(const std::string& name);
@@ -365,6 +392,17 @@ class ViewManager {
   void ComputeJob(CommitJob* job, const TransactionEffect& effect);
   void ComputeJobBody(CommitJob* job, const TransactionEffect& effect,
                       uint32_t delta_rows_arg, obs::TraceSpan& span);
+  /// Serial prologue of a partitioned job: runs the view's `Prepare` and
+  /// sizes the per-partition slots.  On failure the error is captured and
+  /// the job degrades to unpartitioned-with-error (quarantined in the
+  /// serial phase).
+  void PreparePartitionedJob(CommitJob* job, const TransactionEffect& effect);
+  /// Serial epilogue: folds per-partition deltas/stats/errors into the
+  /// job's `delta` and the view's metrics.
+  void MergePartitionedJob(CommitJob* job);
+  /// Marks the dirty map for every tuple the effect/delta touches.
+  void MarkEffectDirty(const TransactionEffect& effect);
+  void MarkDeltaDirty(const std::string& view_name, const ViewDelta& delta);
   void LogDeferred(ManagedView* view, const TransactionEffect& effect);
   void RefreshView(const std::string& name, ManagedView* view);
   /// Quarantines `view` for the failure captured in `error` (transient
@@ -413,6 +451,7 @@ class ViewManager {
 
   Database* db_;
   std::map<std::string, std::unique_ptr<ManagedView>> views_;
+  PartitionDirtyMap dirty_;
   MetricsRegistry metrics_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::function<void(const ViewHealthEvent&)> health_listener_;

@@ -143,6 +143,15 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
   Family(os, "mview_checkpoint_seconds_total", "counter",
          "Time spent writing checkpoints")
       .Sample("", Seconds(static_cast<double>(storage.checkpoint_nanos)));
+  Family(os, "mview_checkpoint_bytes_total", "counter",
+         "Bytes written by checkpoints (monolithic and incremental)")
+      .Sample("", storage.checkpoint_bytes);
+  Family(os, "mview_checkpoint_segments_total", "counter",
+         "Fresh partition segments written by incremental checkpoints")
+      .Sample("", storage.segments_written);
+  Family(os, "mview_checkpoint_partitions_skipped_total", "counter",
+         "Clean partitions carried forward by incremental checkpoints")
+      .Sample("", storage.partitions_skipped);
   Family(os, "mview_wal_replayed_records_total", "counter",
          "WAL records replayed at recovery")
       .Sample("", storage.replayed_records);
@@ -186,6 +195,12 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
       {"mview_view_batch_rows_total",
        "Rows carried through the batch evaluation pipeline",
        [](const ViewMetrics& m) { return m.stats.batch_rows; }},
+      {"mview_view_partition_jobs_total",
+       "Maintenance partitions evaluated",
+       [](const ViewMetrics& m) { return m.stats.partition_jobs; }},
+      {"mview_view_partitions_pruned_total",
+       "Maintenance partitions skipped for an empty delta slice",
+       [](const ViewMetrics& m) { return m.stats.partitions_pruned; }},
       {"mview_view_quarantines_total",
        "Maintenance failures that quarantined the view",
        [](const ViewMetrics& m) { return m.stats.quarantines; }},
@@ -214,6 +229,18 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
   for (const std::string& view : views) {
     arena_hw.Sample(ViewLabel(view),
                     registry.Find(view)->stats.arena_high_water);
+  }
+  Family part_rows(os, "mview_view_partition_delta_rows", "gauge",
+                   "Delta rows sliced across partitions in the last round");
+  for (const std::string& view : views) {
+    part_rows.Sample(ViewLabel(view),
+                     registry.Find(view)->stats.partition_rows_total);
+  }
+  Family part_max(os, "mview_view_partition_delta_rows_max", "gauge",
+                  "Largest single partition's delta-row share, last round");
+  for (const std::string& view : views) {
+    part_max.Sample(ViewLabel(view),
+                    registry.Find(view)->stats.partition_rows_max);
   }
 
   std::vector<std::pair<std::string, const LatencyHistogram*>> filter_series,

@@ -3,7 +3,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -143,20 +142,14 @@ class ColumnBatch {
   size_t capacity_ = 0;
 };
 
-/// Callback receiving a tuple and its multiplicity — the historical
-/// tuple-at-a-time sink shape, kept as the convenience adapter surface
-/// while callers migrate to `DeltaSink`.
-using TupleSink = std::function<void(const Tuple&, int64_t)>;
-
 /// The consumer side of the evaluator's streams.
 ///
-/// This replaces the former `TupleSink` `std::function` as the virtual
-/// interface `RelationInput` scans and the planner emits into: a batch
-/// `EmitBatch` fast path for columnar producers, and a tuple-at-a-time
-/// `Emit` that every consumer must implement, so row-oriented callers
-/// (`ivm/`, the scrubber, tests) migrate incrementally — a sink that only
-/// implements `Emit` still receives batched streams through the default
-/// row-loop adapter.
+/// The virtual interface `RelationInput` scans and the planner emits into:
+/// a batch `EmitBatch` fast path for columnar producers, and a
+/// tuple-at-a-time `Emit` that every consumer must implement — a sink that
+/// only implements `Emit` still receives batched streams through the
+/// default row-loop adapter.  Producers and consumers both allocate their
+/// sinks on the stack; no `std::function` hop remains on the row path.
 class DeltaSink {
  public:
   virtual ~DeltaSink() = default;
@@ -168,18 +161,6 @@ class DeltaSink {
   /// and forwards it to `Emit`; columnar consumers override this to
   /// consume the columns directly.
   virtual void EmitBatch(const ColumnBatch& batch);
-};
-
-/// Adapts a `TupleSink` closure to the `DeltaSink` interface, bridging
-/// unmigrated call sites.  Borrows the closure: the adapter must not
-/// outlive it.
-class CallbackSink final : public DeltaSink {
- public:
-  explicit CallbackSink(const TupleSink& fn) : fn_(fn) {}
-  void Emit(const Tuple& tuple, int64_t count) override { fn_(tuple, count); }
-
- private:
-  const TupleSink& fn_;
 };
 
 /// Accumulates a counted stream into a `CountedRelation` with counts

@@ -302,11 +302,23 @@ void Decomposer::Run() {
   }
 
   materialized_.resize(query_.inputs.size());
-  for (size_t i = 0; i < query_.inputs.size(); ++i) {
-    query_.inputs[i]->Scan([&](const Tuple& t, int64_t c) {
+  class MaterializeSink final : public DeltaSink {
+   public:
+    MaterializeSink(PlanStats* stats,
+                    std::vector<std::pair<Tuple, int64_t>>* out)
+        : stats_(stats), out_(out) {}
+    void Emit(const Tuple& t, int64_t c) override {
       if (stats_ != nullptr) ++stats_->rows_scanned;
-      materialized_[i].emplace_back(t, c);
-    });
+      out_->emplace_back(t, c);
+    }
+
+   private:
+    PlanStats* stats_;
+    std::vector<std::pair<Tuple, int64_t>>* out_;
+  };
+  for (size_t i = 0; i < query_.inputs.size(); ++i) {
+    MaterializeSink sink(stats_, &materialized_[i]);
+    query_.inputs[i]->Scan(sink);
   }
 
   // The conjunctive core (atoms in every disjunct) drives decomposition;

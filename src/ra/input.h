@@ -23,10 +23,10 @@ class JoinStateCache;
 /// `RelationInput` abstracts over these so one planner serves full
 /// re-evaluation, per-transaction deltas, and deferred snapshot refresh.
 ///
-/// Streams flow into `DeltaSink`s (ra/batch.h): the virtual `Scan` and
-/// `ProbeEqual` take a sink interface (one virtual call per row instead of
-/// a `std::function` dispatch), and the non-virtual `TupleSink` overloads
-/// adapt closure-based callers during the migration.
+/// Streams flow into `DeltaSink`s (ra/batch.h): `Scan` and `ProbeEqual`
+/// take the sink interface — one devirtualizable call per row instead of a
+/// `std::function` dispatch.  Callers that used to pass closures implement
+/// small stack-allocated sinks instead.
 ///
 /// Inputs may expose their scheme under *aliases* (view definitions rename
 /// attributes to keep them unique across the view's base relations); the
@@ -51,16 +51,6 @@ class RelationInput {
   /// Streams the tuples whose attribute `attr` equals `key` (index join).
   virtual void ProbeEqual(size_t attr, const Value& key,
                           DeltaSink& sink) const;
-
-  /// Closure-based conveniences wrapping the virtual sink overloads.
-  void Scan(const TupleSink& sink) const {
-    CallbackSink adapter(sink);
-    Scan(adapter);
-  }
-  void ProbeEqual(size_t attr, const Value& key, const TupleSink& sink) const {
-    CallbackSink adapter(sink);
-    ProbeEqual(attr, key, adapter);
-  }
 
   /// Attaches this input to slot `slot` of a cross-transaction join-state
   /// cache.  The planner materializes a bound input through the cache —
@@ -92,9 +82,6 @@ class FullRelationInput : public RelationInput {
   /// relation's scheme; pass `relation->schema()` when no renaming applies).
   FullRelationInput(const Relation* relation, Schema schema);
 
-  using RelationInput::ProbeEqual;
-  using RelationInput::Scan;
-
   const Schema& schema() const override { return schema_; }
   size_t SizeHint() const override { return relation_->size(); }
   void Scan(DeltaSink& sink) const override;
@@ -117,9 +104,6 @@ class SubtractRelationInput : public RelationInput {
   SubtractRelationInput(const Relation* relation, const Relation* minus,
                         Schema schema);
 
-  using RelationInput::ProbeEqual;
-  using RelationInput::Scan;
-
   const Schema& schema() const override { return schema_; }
   size_t SizeHint() const override;
   void Scan(DeltaSink& sink) const override;
@@ -137,9 +121,6 @@ class SubtractRelationInput : public RelationInput {
 class CountedRelationInput : public RelationInput {
  public:
   CountedRelationInput(const CountedRelation* relation, Schema schema);
-
-  using RelationInput::ProbeEqual;
-  using RelationInput::Scan;
 
   const Schema& schema() const override { return schema_; }
   size_t SizeHint() const override { return relation_->size(); }
@@ -166,9 +147,6 @@ class DeltaIndexInput : public RelationInput {
  public:
   DeltaIndexInput(const Relation* relation, Schema schema);
 
-  using RelationInput::ProbeEqual;
-  using RelationInput::Scan;
-
   const Schema& schema() const override { return schema_; }
   size_t SizeHint() const override { return relation_->size(); }
   void Scan(DeltaSink& sink) const override;
@@ -191,9 +169,6 @@ class ConcatRelationInput : public RelationInput {
  public:
   ConcatRelationInput(const RelationInput* first, const RelationInput* second);
 
-  using RelationInput::ProbeEqual;
-  using RelationInput::Scan;
-
   const Schema& schema() const override { return first_->schema(); }
   size_t SizeHint() const override;
   void Scan(DeltaSink& sink) const override;
@@ -204,6 +179,40 @@ class ConcatRelationInput : public RelationInput {
  private:
   const RelationInput* first_;
   const RelationInput* second_;
+};
+
+/// One hash partition of `(relation − minus)`: streams the tuples whose
+/// partition (hash of the attribute at `key_attr`, or of the whole tuple
+/// for `kRowHashKey`, modulo `total`) equals `slice`.
+///
+/// This is the clean input of keyed co-partitioned maintenance — each
+/// partition's evaluation sees only its 1/P slice of the base — and the
+/// scrubber's partition-at-a-time full evaluation (which slices base 0 by
+/// row hash; any disjoint decomposition of one input partitions the join's
+/// output, by linearity).  `minus` may be null.  Index probes delegate to
+/// the underlying relation and filter by partition and `minus`.
+class PartitionSliceInput : public RelationInput {
+ public:
+  PartitionSliceInput(const Relation* relation, Schema schema,
+                      const Relation* minus, size_t key_attr, uint32_t slice,
+                      uint32_t total);
+
+  const Schema& schema() const override { return schema_; }
+  size_t SizeHint() const override;
+  void Scan(DeltaSink& sink) const override;
+  bool CanProbe(size_t attr) const override;
+  void ProbeEqual(size_t attr, const Value& key,
+                  DeltaSink& sink) const override;
+
+ private:
+  bool InSlice(const Tuple& t) const;
+
+  const Relation* relation_;
+  const Relation* minus_;  // may be null
+  Schema schema_;
+  size_t key_attr_;
+  uint32_t slice_;
+  uint32_t total_;
 };
 
 }  // namespace mview

@@ -339,38 +339,67 @@ void SpjExecutor::FillTable(const InputInfo& info,
     if (table->int_keyed) table->int_index.reserve(hint);
     if (table->all_int) table->int_rows.reserve(hint * schema.size());
   }
-  info.input->Scan([&](const Tuple& t, int64_t count) {
-    ++local_stats_.rows_scanned;
-    if (!PassesLocalFilters(info, t)) return;
-    size_t row = table->rows.size();
-    table->rows.emplace_back(t, count);
-    if (table->all_int) {
-      for (size_t i = 0; i < info.arity; ++i) {
-        table->int_rows.push_back(t.at(i).AsInt64());
+  class BuildSink final : public DeltaSink {
+   public:
+    BuildSink(SpjExecutor* e, const InputInfo& info,
+              const std::vector<size_t>& key_attrs, PlannerCache::Table* table)
+        : e_(e), info_(info), key_attrs_(key_attrs), table_(table) {}
+    void Emit(const Tuple& t, int64_t count) override {
+      ++e_->local_stats_.rows_scanned;
+      if (!e_->PassesLocalFilters(info_, t)) return;
+      size_t row = table_->rows.size();
+      table_->rows.emplace_back(t, count);
+      if (table_->all_int) {
+        for (size_t i = 0; i < info_.arity; ++i) {
+          table_->int_rows.push_back(t.at(i).AsInt64());
+        }
+      }
+      if (!key_attrs_.empty()) {
+        if (table_->int_keyed) {
+          table_->int_index[t.at(key_attrs_[0]).AsInt64()].push_back(row);
+        }
+        Tuple key = t.Project(key_attrs_);
+        table_->index[std::move(key)].push_back(row);
       }
     }
-    if (!key_attrs.empty()) {
-      if (table->int_keyed) {
-        table->int_index[t.at(key_attrs[0]).AsInt64()].push_back(row);
-      }
-      Tuple key = t.Project(key_attrs);
-      table->index[std::move(key)].push_back(row);
-    }
-  });
+
+   private:
+    SpjExecutor* e_;
+    const InputInfo& info_;
+    const std::vector<size_t>& key_attrs_;
+    PlannerCache::Table* table_;
+  };
+  BuildSink sink(this, info, key_attrs, table);
+  info.input->Scan(sink);
 }
 
 void SpjExecutor::ExecuteFirst(std::vector<PartialRow>* rows) {
   size_t input_id = order_[0];
   const InputInfo& info = inputs_[input_id];
-  info.input->Scan([&](const Tuple& t, int64_t count) {
-    ++local_stats_.rows_scanned;
-    if (!PassesLocalFilters(info, t)) return;
-    PartialRow row;
-    row.vals.resize(combined_.size());
-    for (size_t i = 0; i < info.arity; ++i) row.vals[info.offset + i] = t.at(i);
-    row.count = count;
-    rows->push_back(std::move(row));
-  });
+  class FirstSink final : public DeltaSink {
+   public:
+    FirstSink(SpjExecutor* e, const InputInfo& info,
+              std::vector<PartialRow>* rows)
+        : e_(e), info_(info), rows_(rows) {}
+    void Emit(const Tuple& t, int64_t count) override {
+      ++e_->local_stats_.rows_scanned;
+      if (!e_->PassesLocalFilters(info_, t)) return;
+      PartialRow row;
+      row.vals.resize(e_->combined_.size());
+      for (size_t i = 0; i < info_.arity; ++i) {
+        row.vals[info_.offset + i] = t.at(i);
+      }
+      row.count = count;
+      rows_->push_back(std::move(row));
+    }
+
+   private:
+    SpjExecutor* e_;
+    const InputInfo& info_;
+    std::vector<PartialRow>* rows_;
+  };
+  FirstSink sink(this, info, rows);
+  info.input->Scan(sink);
   local_stats_.intermediate_tuples += rows->size();
 }
 
@@ -484,15 +513,34 @@ void SpjExecutor::ExecuteStep(size_t input_id, std::vector<PartialRow>* rows) {
     }
   } else if (use_index) {
     const Link& link = links[*probe_link];
+    // A reusable stack sink: the per-probe state is one pointer assignment
+    // (`row_`), not a fresh closure per probe.
+    class ProbeSink final : public DeltaSink {
+     public:
+      ProbeSink(SpjExecutor* e, const InputInfo& info,
+                decltype(check_links)& check, decltype(emit_match)& emit,
+                size_t skip_link)
+          : e_(e), info_(info), check_(check), emit_(emit),
+            skip_link_(skip_link) {}
+      void Emit(const Tuple& t, int64_t count) override {
+        if (!e_->PassesLocalFilters(info_, t)) return;
+        if (!check_(*row_, t, skip_link_)) return;
+        emit_(*row_, t, count);
+      }
+      const PartialRow* row_ = nullptr;
+
+     private:
+      SpjExecutor* e_;
+      const InputInfo& info_;
+      decltype(check_links)& check_;
+      decltype(emit_match)& emit_;
+      size_t skip_link_;
+    };
+    ProbeSink sink(this, info, check_links, emit_match, *probe_link);
     for (const auto& row : *rows) {
       ++local_stats_.probes;
-      info.input->ProbeEqual(
-          link.local_attr, compute_key(row, link),
-          [&](const Tuple& t, int64_t count) {
-            if (!PassesLocalFilters(info, t)) return;
-            if (!check_links(row, t, *probe_link)) return;
-            emit_match(row, t, count);
-          });
+      sink.row_ = &row;
+      info.input->ProbeEqual(link.local_attr, compute_key(row, link), sink);
     }
   } else {
     // Cross join against the (cached) materialized input.
@@ -758,27 +806,37 @@ size_t SpjExecutor::BatchExecuteStep(size_t input_id, size_t total,
     }
   } else if (use_index) {
     const Link& link = links[*probe_link];
+    // Per-probe state is two plain assignments (`src_`, `row_`) — the old
+    // `std::function on_match_` reassignment allocated a fresh closure per
+    // probe.
     class ProbeSink final : public DeltaSink {
      public:
-      ProbeSink(SpjExecutor* e, const InputInfo& info) : e_(e), info_(info) {}
+      ProbeSink(SpjExecutor* e, const InputInfo& info,
+                decltype(check_links)& check, decltype(emit_merged)& emit,
+                size_t skip_link)
+          : e_(e), info_(info), check_(check), emit_(emit),
+            skip_link_(skip_link) {}
       void Emit(const Tuple& t, int64_t count) override {
         if (!e_->PassesLocalFilters(info_, t)) return;
-        on_match_(t, count);
+        if (!check_(*src_, row_, t, skip_link_)) return;
+        emit_(*src_, row_, t, count, nullptr);
       }
-      std::function<void(const Tuple&, int64_t)> on_match_;
+      const ColumnBatch* src_ = nullptr;
+      size_t row_ = 0;
 
      private:
       SpjExecutor* e_;
       const InputInfo& info_;
+      decltype(check_links)& check_;
+      decltype(emit_merged)& emit_;
+      size_t skip_link_;
     };
-    ProbeSink sink(this, info);
+    ProbeSink sink(this, info, check_links, emit_merged, *probe_link);
     for (const ColumnBatch& src : *batches) {
+      sink.src_ = &src;
       for (size_t r = 0; r < src.size(); ++r) {
         ++local_stats_.probes;
-        sink.on_match_ = [&](const Tuple& t, int64_t count) {
-          if (!check_links(src, r, t, *probe_link)) return;
-          emit_merged(src, r, t, count, nullptr);
-        };
+        sink.row_ = r;
         info.input->ProbeEqual(link.local_attr, key_value(src, r, link), sink);
       }
     }

@@ -40,6 +40,15 @@ std::size_t Tuple::Hash() const {
   return seed;
 }
 
+uint64_t Tuple::StableHash() const {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  for (const auto& v : values_) {
+    h ^= v.StableHash();
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
 std::string Tuple::ToString() const {
   std::ostringstream os;
   os << "(";

@@ -47,6 +47,11 @@ class Tuple {
   /// Returns a hash over all values.
   std::size_t Hash() const;
 
+  /// A process-independent hash folding the values' `Value::StableHash`;
+  /// the whole-row partitioning key of the storage layer's dirty-partition
+  /// tracking (stable across restarts, unlike `Hash()`).
+  uint64_t StableHash() const;
+
   /// Renders as "(1, 2, \"x\")".
   std::string ToString() const;
 

@@ -55,6 +55,23 @@ std::size_t Value::Hash() const {
          0x9e3779b97f4a7c15ULL;
 }
 
+uint64_t Value::StableHash() const {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;  // FNV prime
+  };
+  if (type() == ValueType::kInt64) {
+    mix(0);  // type tag: int64 and string payloads never collide trivially
+    uint64_t x = static_cast<uint64_t>(std::get<int64_t>(rep_));
+    for (int i = 0; i < 8; ++i) mix(static_cast<uint8_t>(x >> (8 * i)));
+  } else {
+    mix(1);
+    for (char c : std::get<std::string>(rep_)) mix(static_cast<uint8_t>(c));
+  }
+  return h;
+}
+
 std::string Value::ToString() const {
   if (type() == ValueType::kInt64) {
     return std::to_string(std::get<int64_t>(rep_));

@@ -68,6 +68,12 @@ class Value {
   /// Returns a hash suitable for unordered containers.
   std::size_t Hash() const;
 
+  /// A process-independent hash (FNV-1a over a type tag and the payload
+  /// bytes).  Unlike `Hash()` — which may vary with the standard library —
+  /// this is stable across runs and platforms, so hash-partition
+  /// assignments derived from it survive checkpoint/recovery round-trips.
+  uint64_t StableHash() const;
+
   /// Renders the value for diagnostics ("42" or "\"abc\"").
   std::string ToString() const;
 

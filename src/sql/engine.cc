@@ -248,6 +248,7 @@ EngineCore::LockClass EngineCore::Classify(const Statement& stmt,
     case Kind::kShowViews:
     case Kind::kShowWal:
     case Kind::kShowAssertions:
+    case Kind::kShowPartitions:
     case Kind::kShowTrace:
     case Kind::kExplainMaintenance:
     case Kind::kCopyTo:
@@ -344,10 +345,17 @@ Result EngineCore::ExecuteSelect(const SelectQuery& query) {
 
 Result EngineCore::ExecuteCreateView(const Statement& stmt) {
   ViewDefinition def = BuildDefinition(stmt.name, stmt.query);
-  views_.RegisterView(std::move(def), ToMode(stmt.view_mode));
+  MaintenanceOptions options;
+  if (stmt.partitions > 0) options.partition_count = stmt.partitions;
+  views_.RegisterView(std::move(def), ToMode(stmt.view_mode), options);
   ViewInfo info = views_.Describe(stmt.name);
-  return Message("view " + stmt.name + " created (" + ModeName(info.mode) +
-                 ", " + std::to_string(info.rows) + " rows)");
+  std::string detail = std::string(ModeName(info.mode)) + ", " +
+                       std::to_string(info.rows) + " rows";
+  const uint32_t partitions = views_.Maintainer(stmt.name).partition_count();
+  if (partitions > 1) {
+    detail += ", " + std::to_string(partitions) + " partitions";
+  }
+  return Message("view " + stmt.name + " created (" + detail + ")");
 }
 
 Transaction EngineCore::BuildInsert(const Statement& stmt,
@@ -649,14 +657,16 @@ Result EngineCore::ExecuteStatement(const Statement& stmt,
                      " rows)");
     }
     case Kind::kScrub: {
-      Scrubber scrubber(&views_, &views_.metrics().scrub());
       ScrubOptions options;
       options.auto_repair = stmt.repair;
       ScrubReport report;
       if (stmt.name.empty()) {
-        report = scrubber.ScrubAll(options);
+        report = scrubber_.ScrubAll(options);
+      } else if (stmt.partition) {
+        report.views.push_back(
+            scrubber_.ScrubViewPartition(stmt.name, options));
       } else {
-        report.views.push_back(scrubber.ScrubView(stmt.name, options));
+        report.views.push_back(scrubber_.ScrubView(stmt.name, options));
       }
       Schema schema({{"view", ValueType::kString},
                      {"status", ValueType::kString},
@@ -665,9 +675,12 @@ Result EngineCore::ExecuteStatement(const Statement& stmt,
                      {"action", ValueType::kString}});
       std::vector<std::pair<Tuple, int64_t>> rows;
       for (const auto& r : report.views) {
-        std::string status = r.quarantined ? "quarantined"
-                             : r.clean     ? "clean"
-                                           : "drift";
+        std::string status = !r.complete
+                                 ? "partial " + std::to_string(r.slice) + "/" +
+                                       std::to_string(r.slices)
+                             : r.quarantined ? "quarantined"
+                             : r.clean       ? "clean"
+                                             : "drift";
         std::string action;
         if (r.repaired) {
           action = "repaired";
@@ -708,6 +721,41 @@ Result EngineCore::ExecuteStatement(const Statement& stmt,
             Tuple({Value(name), Value(ModeName(info.mode)),
                    Value(static_cast<int64_t>(info.rows)),
                    Value(info.stale ? "yes" : "no"), Value(health)}),
+            1);
+      }
+      return RowsResult(std::move(schema), std::move(rows));
+    }
+    case Kind::kShowPartitions: {
+      Schema schema({{"view", ValueType::kString},
+                     {"partitions", ValueType::kInt64},
+                     {"mode", ValueType::kString},
+                     {"key", ValueType::kString},
+                     {"partition_jobs", ValueType::kInt64},
+                     {"partitions_pruned", ValueType::kInt64}});
+      std::vector<std::pair<Tuple, int64_t>> rows;
+      for (const auto& name : views_.ViewNames()) {
+        const DifferentialMaintainer& m = views_.Maintainer(name);
+        const PartitionLayout& layout = m.partition_layout();
+        const std::string mode = layout.count <= 1 ? "none"
+                                 : layout.keyed    ? "keyed"
+                                                   : "row-hash";
+        // Keyed layouts co-partition on one equality class; name its
+        // base-0 member (the deterministic representative the planner
+        // picked).  Row-hash layouts have no key attribute.
+        std::string key = "-";
+        if (layout.keyed && !layout.key_attr.empty()) {
+          key = m.definition()
+                    .AliasedSchema(db_, 0)
+                    .attribute(layout.key_attr[0])
+                    .name;
+        }
+        const ViewMetrics* vm = views_.metrics().Find(name);
+        const int64_t jobs = vm == nullptr ? 0 : vm->stats.partition_jobs;
+        const int64_t pruned =
+            vm == nullptr ? 0 : vm->stats.partitions_pruned;
+        rows.emplace_back(
+            Tuple({Value(name), Value(static_cast<int64_t>(layout.count)),
+                   Value(mode), Value(key), Value(jobs), Value(pruned)}),
             1);
       }
       return RowsResult(std::move(schema), std::move(rows));

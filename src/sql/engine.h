@@ -12,6 +12,7 @@
 
 #include "db/database.h"
 #include "ivm/integrity.h"
+#include "ivm/scrubber.h"
 #include "ivm/view_manager.h"
 #include "obs/session_stats.h"
 #include "sql/parser.h"
@@ -193,6 +194,10 @@ class EngineCore {
   ViewManager views_;
   IntegrityGuard guard_;
   Storage* storage_ = nullptr;  // not owned
+  // Persistent so `SCRUB VIEW … PARTITION` cursors survive across
+  // statements (each call verifies one slice); whole-view scrubs share it.
+  // Guarded by the exclusive engine lock like every other mutation.
+  Scrubber scrubber_{&views_, &views_.metrics().scrub()};
 
   // The engine lock: shared by read-only statements, exclusive for
   // anything that mutates shared state.  View SELECTs bypass it entirely.

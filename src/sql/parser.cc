@@ -262,6 +262,15 @@ class Parser {
     } else if (ConsumeKeyword("RECOMPUTED")) {
       stmt.view_mode = ViewMode::kFullReevaluation;
     }
+    if (ConsumeKeyword("PARTITIONS")) {
+      const size_t offset = Peek().offset;
+      Value n = ParseLiteral();
+      MVIEW_CHECK(n.type() == ValueType::kInt64 && n.AsInt64() >= 1 &&
+                      n.AsInt64() <= 4096,
+                  "PARTITIONS expects an integer in [1, 4096] at offset ",
+                  offset);
+      stmt.partitions = static_cast<uint32_t>(n.AsInt64());
+    }
     ExpectKeyword("AS");
     stmt.query = ParseSelectQuery();
     return stmt;
@@ -346,6 +355,7 @@ class Parser {
       if (!ConsumeKeyword("ALL")) {  // SCRUB ALL leaves `name` empty
         ConsumeKeyword("VIEW");
         stmt.name = ExpectIdentifier();
+        stmt.partition = ConsumeKeyword("PARTITION");
       }
       stmt.repair = ConsumeKeyword("REPAIR");
       return stmt;
@@ -364,6 +374,8 @@ class Parser {
         stmt.json = ConsumeKeyword("JSON");
       } else if (ConsumeKeyword("WAL")) {
         stmt.kind = Statement::Kind::kShowWal;
+      } else if (ConsumeKeyword("PARTITIONS")) {
+        stmt.kind = Statement::Kind::kShowPartitions;
       } else {
         ExpectKeyword("ASSERTIONS");
         stmt.kind = Statement::Kind::kShowAssertions;

@@ -1,6 +1,7 @@
 #ifndef MVIEW_SQL_PARSER_H_
 #define MVIEW_SQL_PARSER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,7 +34,8 @@ enum class ViewMode { kImmediate, kDeferred, kFullReevaluation };
 ///
 ///     CREATE TABLE t (col INT64 | STRING, …);
 ///     DROP TABLE t;
-///     CREATE [MATERIALIZED] VIEW v [DEFERRED | RECOMPUTED] AS SELECT …;
+///     CREATE [MATERIALIZED] VIEW v [DEFERRED | RECOMPUTED]
+///         [PARTITIONS n] AS SELECT …;
 ///     DROP VIEW v;
 ///     CREATE ASSERTION a ON t1 [, t2 …] WHERE <error predicate>;
 ///     DROP ASSERTION a;
@@ -43,8 +45,8 @@ enum class ViewMode { kImmediate, kDeferred, kFullReevaluation };
 ///     SELECT * | col [, col …] FROM t [alias] [, …] [WHERE …];
 ///     REFRESH [VIEW] v;
 ///     REPAIR [VIEW] v;
-///     SCRUB VIEW v [REPAIR]; SCRUB ALL [REPAIR];
-///     SHOW TABLES; SHOW VIEWS; SHOW ASSERTIONS;
+///     SCRUB VIEW v [PARTITION] [REPAIR]; SCRUB ALL [REPAIR];
+///     SHOW TABLES; SHOW VIEWS; SHOW ASSERTIONS; SHOW PARTITIONS;
 ///     SHOW STATS [JSON]; SHOW WAL;
 ///     TRACE ON; TRACE OFF;
 ///     SHOW TRACE [JSON];
@@ -70,10 +72,11 @@ struct Statement {
     kSelect,
     kRefresh,
     kRepair,  // REPAIR [VIEW] v — heal a quarantined view by recompute
-    kScrub,   // SCRUB VIEW v [REPAIR] | SCRUB ALL [REPAIR]
+    kScrub,   // SCRUB VIEW v [PARTITION] [REPAIR] | SCRUB ALL [REPAIR]
     kShowTables,
     kShowViews,
     kShowAssertions,
+    kShowPartitions,  // SHOW PARTITIONS — per-view partition layout/stats
     kShowStats,  // SHOW STATS [JSON] — maintenance metrics
     kShowWal,    // SHOW WAL — durable-log counters (LSNs, fsyncs, bytes)
     kTrace,      // TRACE ON | OFF — toggle the maintenance span recorder
@@ -100,6 +103,8 @@ struct Statement {
   bool json = false;             // SHOW STATS JSON / SHOW TRACE JSON
   bool trace_on = false;         // TRACE ON vs TRACE OFF
   bool repair = false;           // SCRUB … REPAIR — auto-repair drift
+  bool partition = false;        // SCRUB … PARTITION — one slice per call
+  uint32_t partitions = 0;       // CREATE VIEW … PARTITIONS n (0 = default)
   std::vector<Statement> inner;  // EXPLAIN MAINTENANCE wrapped DML (size 1)
 };
 

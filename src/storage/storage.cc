@@ -53,11 +53,21 @@ void Storage::Attach(sql::EngineCore& core) {
   uint64_t checkpoint_lsn = 0;
   bool have_checkpoint = false;
   std::vector<ViewDefinition> assertions;
-  if (auto checkpoint = storage::ReadCheckpoint(checkpoint_path())) {
+  if (auto recovered = storage::ReadCheckpointAuto(path_)) {
     have_checkpoint = true;
-    checkpoint_lsn = checkpoint->lsn;
-    assertions = std::move(checkpoint->assertions);
-    storage::InstallCheckpoint(std::move(*checkpoint), &db, &views);
+    checkpoint_lsn = recovered->data.lsn;
+    assertions = std::move(recovered->data.assertions);
+    storage::InstallCheckpoint(std::move(recovered->data), &db, &views);
+    // Carried into the next incremental write so its clean segments are
+    // reused; a monolithic image leaves this empty (full rewrite next).
+    manifest_ = std::move(recovered->manifest);
+  }
+
+  // Dirty tracking starts now — after the checkpoint image (which the
+  // segments already cover) and before WAL replay (whose effects they do
+  // not): every replayed mutation marks its partitions like a live one.
+  if (options_.incremental_checkpoints) {
+    views.dirty_partitions().Enable(options_.checkpoint_partitions);
   }
 
   StorageMetrics& metrics = views.metrics().storage();
@@ -137,17 +147,39 @@ void Storage::Attach(sql::EngineCore& core) {
   engine_ = &core;
 }
 
-void Storage::Checkpoint() {
+void Storage::Checkpoint() { CheckpointInternal(/*force_monolithic=*/false); }
+
+void Storage::CheckpointInternal(bool force_monolithic) {
   MVIEW_CHECK(engine_ != nullptr && wal_ != nullptr, "storage not attached");
   static const uint32_t kCheckpointName =
       obs::Tracer::Global().InternName("checkpoint");
   obs::TraceSpan span(kCheckpointName);
   Stopwatch timer;
   uint64_t lsn = wal_->stats().durable_lsn;
-  storage::WriteCheckpoint(checkpoint_path(), lsn, engine_->database(),
-                           engine_->views(), &engine_->guard());
+  ViewManager& views = engine_->storage_views();
+  StorageMetrics& metrics = views.metrics().storage();
+  if (options_.incremental_checkpoints && !force_monolithic) {
+    storage::IncrementalStats inc;
+    manifest_ = storage::WriteIncrementalCheckpoint(
+        path_, lsn, engine_->database(), engine_->views(), &engine_->guard(),
+        views.dirty_partitions(), options_.checkpoint_partitions,
+        manifest_.has_value() ? &*manifest_ : nullptr, &inc);
+    metrics.checkpoint_bytes += static_cast<int64_t>(inc.bytes_written);
+    metrics.segments_written += inc.segments_written;
+    metrics.partitions_skipped += inc.partitions_skipped;
+  } else {
+    uint64_t bytes =
+        storage::WriteCheckpoint(checkpoint_path(), lsn, engine_->database(),
+                                 engine_->views(), &engine_->guard());
+    metrics.checkpoint_bytes += static_cast<int64_t>(bytes);
+    manifest_.reset();  // the monolithic writer deleted the manifest
+  }
+  // Everything marked so far is covered by the image just written; marks
+  // from here on belong to the next checkpoint.  Cleared before `Rotate`
+  // so a rotate failure can only cause re-replay (idempotent), never a
+  // carry-forward of rows the image missed.
+  views.dirty_partitions().Clear();
   wal_->Rotate(lsn);
-  StorageMetrics& metrics = engine_->storage_views().metrics().storage();
   ++metrics.checkpoints;
   metrics.checkpoint_nanos += timer.ElapsedNanos();
 }
@@ -172,7 +204,10 @@ void Storage::LogCommit(const TransactionEffect& effect) {
 void Storage::OnCatalogChange() {
   if (wal_ == nullptr) return;
   try {
-    Checkpoint();
+    // Forced monolithic: segment carry-forward assumes the catalog of the
+    // previous manifest, and DDL (create/drop of tables or views) breaks
+    // that assumption — a full rewrite re-anchors the incremental chain.
+    CheckpointInternal(/*force_monolithic=*/true);
   } catch (...) {
     // The in-memory catalog already changed but the durable checkpoint
     // does not reflect it, and the log never carries DDL — a later commit

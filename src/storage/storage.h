@@ -3,8 +3,10 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "storage/checkpoint.h"
 #include "storage/wal.h"
 
 namespace mview::sql {
@@ -40,6 +42,20 @@ class Storage {
     /// Checkpoint automatically in `Close` (skipped when the log has
     /// failed — a later `Open` recovers from the last durable state).
     bool checkpoint_on_close = true;
+
+    /// Write partition-segment (incremental) checkpoints: `Checkpoint`
+    /// rewrites only the hash partitions the dirty map reports changed
+    /// since the last one — O(dirty), not O(database).  Catalog changes
+    /// still force a full monolithic rewrite (the manifest carry-forward
+    /// assumes a stable catalog).  When false, every checkpoint is the
+    /// classic single-file rewrite.
+    bool incremental_checkpoints = true;
+
+    /// Hash-partition count for checkpoint segments and dirty tracking
+    /// (whole-tuple hash; independent of any view's maintenance
+    /// partitioning).  More partitions → finer dirty granularity but more
+    /// files per full rewrite.
+    uint32_t checkpoint_partitions = 16;
 
     /// Fault injection for crash tests; not owned, may be null.
     storage::FailurePolicy* failure_policy = nullptr;
@@ -92,6 +108,7 @@ class Storage {
   const std::string& path() const { return path_; }
   std::string wal_path() const { return path_ + "/wal.mv"; }
   std::string checkpoint_path() const { return path_ + "/checkpoint.mv"; }
+  std::string manifest_path() const { return path_ + "/manifest.mv"; }
 
   /// Counters of the underlying log (zeroes when not attached) — what SQL
   /// `SHOW WAL` prints.
@@ -112,6 +129,11 @@ class Storage {
   /// write-ahead rule).
   void LogCommit(const TransactionEffect& effect);
 
+  /// The shared body of `Checkpoint`/`OnCatalogChange`: incremental when
+  /// configured and not forced monolithic, classic rewrite otherwise.  A
+  /// successful write of either kind clears the dirty-partition map.
+  void CheckpointInternal(bool force_monolithic);
+
   /// Called by the engine after any successful catalog change; forces a
   /// checkpoint so the log never spans DDL.  When the checkpoint fails
   /// the log is sticky-failed before the error propagates: the in-memory
@@ -129,6 +151,10 @@ class Storage {
   Options options_;
   sql::EngineCore* engine_ = nullptr;
   std::unique_ptr<storage::Wal> wal_;
+  /// The manifest of the last incremental checkpoint (written here or
+  /// recovered at `Attach`); the next incremental write carries its clean
+  /// segments forward.  Absent after a monolithic write or fresh open.
+  std::optional<storage::CheckpointManifest> manifest_;
 };
 
 }  // namespace mview

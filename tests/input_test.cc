@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
+#include <utility>
 
 #include "test_util.h"
 #include "util/error.h"
@@ -13,9 +15,24 @@ namespace {
 using ::mview::testing::Fill;
 using ::mview::testing::T;
 
+// Test-local adapter from a lambda to the native `DeltaSink` interface the
+// input streams feed (the production bridge was retired with the
+// tuple-callback path).
+class LambdaSink final : public DeltaSink {
+ public:
+  explicit LambdaSink(std::function<void(const Tuple&, int64_t)> fn)
+      : fn_(std::move(fn)) {}
+
+  void Emit(const Tuple& tuple, int64_t count) override { fn_(tuple, count); }
+
+ private:
+  std::function<void(const Tuple&, int64_t)> fn_;
+};
+
 std::map<Tuple, int64_t> Collect(const RelationInput& input) {
   std::map<Tuple, int64_t> out;
-  input.Scan([&](const Tuple& t, int64_t c) { out[t] += c; });
+  LambdaSink sink([&](const Tuple& t, int64_t c) { out[t] += c; });
+  input.Scan(sink);
   return out;
 }
 
@@ -44,9 +61,10 @@ TEST(FullRelationInputTest, ProbeDelegatesToIndex) {
   FullRelationInput input(&r, r.schema());
   ASSERT_TRUE(input.CanProbe(1));
   int hits = 0;
-  input.ProbeEqual(1, Value(10), [&](const Tuple&, int64_t) { ++hits; });
+  LambdaSink count_hits([&](const Tuple&, int64_t) { ++hits; });
+  input.ProbeEqual(1, Value(10), count_hits);
   EXPECT_EQ(hits, 2);
-  input.ProbeEqual(1, Value(99), [&](const Tuple&, int64_t) { ++hits; });
+  input.ProbeEqual(1, Value(99), count_hits);
   EXPECT_EQ(hits, 2);
 }
 
@@ -71,8 +89,8 @@ TEST(SubtractRelationInputTest, ProbeFiltersMinus) {
   SubtractRelationInput input(&r, &minus, r.schema());
   ASSERT_TRUE(input.CanProbe(1));
   std::vector<Tuple> hits;
-  input.ProbeEqual(1, Value(10),
-                   [&](const Tuple& t, int64_t) { hits.push_back(t); });
+  LambdaSink collect([&](const Tuple& t, int64_t) { hits.push_back(t); });
+  input.ProbeEqual(1, Value(10), collect);
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0], T({2, 10}));
 }
@@ -86,8 +104,8 @@ TEST(CountedRelationInputTest, PreservesCounts) {
   EXPECT_EQ(rows[T({1})], 3);
   EXPECT_EQ(input.SizeHint(), 2u);
   EXPECT_FALSE(input.CanProbe(0));
-  EXPECT_THROW(input.ProbeEqual(0, Value(1), [](const Tuple&, int64_t) {}),
-               Error);
+  LambdaSink ignore([](const Tuple&, int64_t) {});
+  EXPECT_THROW(input.ProbeEqual(0, Value(1), ignore), Error);
 }
 
 TEST(ConcatRelationInputTest, ScansBothParts) {
