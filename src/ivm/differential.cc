@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "obs/trace.h"
+#include "util/deadline.h"
 #include "util/error.h"
 #include "util/fault.h"
 #include "util/stopwatch.h"
@@ -252,10 +253,9 @@ DifferentialMaintainer::PreparedDelta DifferentialMaintainer::Prepare(
   return prep;
 }
 
-ViewDelta DifferentialMaintainer::ComputePartition(const PreparedDelta& prep,
-                                                   uint32_t p,
-                                                   MaintenanceStats* stats,
-                                                   PhaseBreakdown* phases) const {
+ViewDelta DifferentialMaintainer::ComputePartition(
+    const PreparedDelta& prep, uint32_t p, MaintenanceStats* stats,
+    PhaseBreakdown* phases, const util::Cancellation* cancel) const {
   static const uint32_t kDifferentialName =
       obs::Tracer::Global().InternName("differential");
   static const uint32_t kCacheRepairName =
@@ -286,7 +286,7 @@ ViewDelta DifferentialMaintainer::ComputePartition(const PreparedDelta& prep,
     const std::vector<BaseParts>& anchor =
         layout_.count > 1 ? prep.sliced[p] : prep.parts;
     delta = EvaluateSlice(full, anchor, keyed, p, shard, arenas_[p].get(),
-                          stats);
+                          stats, cancel);
     if (stats != nullptr) ++stats->partition_jobs;
   } else if (stats != nullptr) {
     ++stats->partitions_pruned;
@@ -344,14 +344,14 @@ void DifferentialMaintainer::FinalizeRoundStats(MaintenanceStats* stats) const {
   stats->arena_high_water = high_water;
 }
 
-ViewDelta DifferentialMaintainer::ComputeDelta(const TransactionEffect& effect,
-                                               MaintenanceStats* stats,
-                                               PhaseBreakdown* phases) const {
+ViewDelta DifferentialMaintainer::ComputeDelta(
+    const TransactionEffect& effect, MaintenanceStats* stats,
+    PhaseBreakdown* phases, const util::Cancellation* cancel) const {
   PreparedDelta prep = Prepare(effect, stats, phases);
   std::vector<ViewDelta> slices;
   slices.reserve(layout_.count);
   for (uint32_t p = 0; p < layout_.count; ++p) {
-    ViewDelta slice = ComputePartition(prep, p, stats, phases);
+    ViewDelta slice = ComputePartition(prep, p, stats, phases, cancel);
     if (!slice.Empty() || layout_.count == 1) {
       slices.push_back(std::move(slice));
     }
@@ -384,7 +384,8 @@ void DifferentialMaintainer::ResetJoinCache() { BuildShards(); }
 ViewDelta DifferentialMaintainer::EvaluateSlice(
     const std::vector<BaseParts>& full, const std::vector<BaseParts>& anchor,
     bool slice_clean, uint32_t slice, JoinStateCache* shard,
-    util::Arena* arena, MaintenanceStats* stats) const {
+    util::Arena* arena, MaintenanceStats* stats,
+    const util::Cancellation* cancel) const {
   // Covers the delta paths — commit-time rows (every partition) and
   // deferred refresh funnel through here.  `FullEvaluate` deliberately
   // does not: it is the recovery oracle, and a point there would let a
@@ -464,6 +465,8 @@ ViewDelta DifferentialMaintainer::EvaluateSlice(
   ctx.arena = arena;
   ctx.enable_batch = options_.enable_batch_eval;
   ctx.batch_stats = &batch_stats;
+  ctx.cancel = cancel;
+  if (cancel != nullptr) cancel->Check();
   if (options_.strategy == DeltaStrategy::kTelescoped) {
     EnumerateTelescoped(clean, ins, del, a_ins, a_del, &delta, stats,
                         cache_ptr, &ctx);

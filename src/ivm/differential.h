@@ -184,9 +184,15 @@ class DifferentialMaintainer {
   /// mutates the database — the property the parallel commit pipeline
   /// relies on (it runs at most one worker per view per commit).
   /// Concurrent calls on the *same* maintainer are not safe.
+  ///
+  /// `cancel` (optional) threads a cooperative cancellation token into the
+  /// evaluation loops; an expired deadline unwinds the round cleanly (the
+  /// cache round aborts via its guard, nothing observable was mutated) and
+  /// throws `DeadlineExceededError`.
   ViewDelta ComputeDelta(const TransactionEffect& effect,
                          MaintenanceStats* stats = nullptr,
-                         PhaseBreakdown* phases = nullptr) const;
+                         PhaseBreakdown* phases = nullptr,
+                         const util::Cancellation* cancel = nullptr) const;
 
   /// The partition-independent prefix of one maintenance round, produced
   /// once per (view, transaction) by `Prepare` and consumed by one
@@ -231,7 +237,8 @@ class DifferentialMaintainer {
   /// must not overlap.
   ViewDelta ComputePartition(const PreparedDelta& prep, uint32_t p,
                              MaintenanceStats* stats = nullptr,
-                             PhaseBreakdown* phases = nullptr) const;
+                             PhaseBreakdown* phases = nullptr,
+                             const util::Cancellation* cancel = nullptr) const;
 
   /// Sums per-partition deltas (signed multiplicities) and normalizes —
   /// the merged delta is byte-identical to an unpartitioned evaluation.
@@ -308,7 +315,8 @@ class DifferentialMaintainer {
                           const std::vector<BaseParts>& anchor,
                           bool slice_clean, uint32_t slice,
                           JoinStateCache* shard, util::Arena* arena,
-                          MaintenanceStats* stats) const;
+                          MaintenanceStats* stats,
+                          const util::Cancellation* cancel = nullptr) const;
   void EnumerateRows(const std::vector<RelationInput*>& clean,
                      const std::vector<RelationInput*>& ins,
                      const std::vector<RelationInput*>& del,

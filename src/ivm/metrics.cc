@@ -122,6 +122,21 @@ std::string SessionMetrics::ToJson() const {
   return os.str();
 }
 
+std::string AdmissionMetrics::ToJson() const {
+  std::ostringstream os;
+  os << "{\"read_slots\": " << read_slots
+     << ", \"write_slots\": " << write_slots
+     << ", \"read_admitted\": " << read_admitted
+     << ", \"read_shed\": " << read_shed
+     << ", \"read_inflight\": " << read_inflight
+     << ", \"write_admitted\": " << write_admitted
+     << ", \"write_shed\": " << write_shed
+     << ", \"write_inflight\": " << write_inflight
+     << ", \"retry_after_ms\": " << retry_after_ms
+     << ", \"deadline_exceeded\": " << deadline_exceeded << "}";
+  return os.str();
+}
+
 std::string ScrubMetrics::ToJson() const {
   std::ostringstream os;
   os << "{\"views_scrubbed\": " << views_scrubbed
@@ -193,6 +208,7 @@ std::string MetricsRegistry::ToJson() const {
      << ", \"pool\": " << pool_.ToJson()
      << ", \"scrub\": " << scrub_.ToJson()
      << ", \"sessions\": " << sessions_.ToJson()
+     << ", \"admission\": " << admission_.ToJson()
      << ", \"global\": " << Aggregate().ToJson()
      << ", \"retired\": " << retired_.ToJson() << ", \"views\": {";
   bool first = true;

@@ -140,6 +140,29 @@ struct SessionMetrics {
   std::string ToJson() const;
 };
 
+/// Admission-control snapshot: per-lane admit/shed counters, in-flight
+/// gauges, and the current write-lane retry-after hint.  Refreshed by the
+/// engine from its `AdmissionController` (which is internally atomic)
+/// before stats are rendered — like `PoolMetrics` this struct is just the
+/// last snapshot.  Surfaced under the "admission" key of `SHOW STATS
+/// JSON`, `*`-scoped rows of the long format, and the `mview_admission_*`
+/// Prometheus families.
+struct AdmissionMetrics {
+  int64_t read_slots = 0;   // configured lane budget (0 = unlimited)
+  int64_t write_slots = 0;
+  int64_t read_admitted = 0;
+  int64_t read_shed = 0;
+  int64_t read_inflight = 0;
+  int64_t write_admitted = 0;
+  int64_t write_shed = 0;
+  int64_t write_inflight = 0;
+  int64_t retry_after_ms = 0;  // current write-lane backoff hint
+  int64_t deadline_exceeded = 0;  // statements unwound by expired deadline
+
+  /// `{"read_slots": …, …}`.
+  std::string ToJson() const;
+};
+
 /// Cumulative counters of the online consistency scrubber, exported under
 /// the "scrub" key of `SHOW STATS JSON` and as the `mview_scrub_*`
 /// Prometheus families.  Written by the `Scrubber` on the engine thread.
@@ -194,6 +217,9 @@ class MetricsRegistry {
   SessionMetrics& sessions() { return sessions_; }
   const SessionMetrics& sessions() const { return sessions_; }
 
+  AdmissionMetrics& admission() { return admission_; }
+  const AdmissionMetrics& admission() const { return admission_; }
+
   /// Metrics accumulated by views dropped since session start.
   const ViewMetrics& retired() const { return retired_; }
 
@@ -205,7 +231,7 @@ class MetricsRegistry {
   /// `{"commits": …, "normalize_nanos": …, "base_apply_nanos": …,
   ///   "epochs_published": …, "snapshot_reuses": …, "snapshot_copies": …,
   ///   "commit_latency": {…}, "storage": {…}, "pool": {…}, "scrub": {…},
-  ///   "sessions": {…}, "global": {…}, "retired": {…},
+  ///   "sessions": {…}, "admission": {…}, "global": {…}, "retired": {…},
   ///   "views": {"name": {…}, …}}`.
   std::string ToJson() const;
 
@@ -217,6 +243,7 @@ class MetricsRegistry {
   PoolMetrics pool_;
   ScrubMetrics scrub_;
   SessionMetrics sessions_;
+  AdmissionMetrics admission_;
 };
 
 }  // namespace mview

@@ -1,6 +1,7 @@
 #include "ivm/view_manager.h"
 
 #include "obs/trace.h"
+#include "util/deadline.h"
 #include "util/error.h"
 #include "util/fault.h"
 #include "util/stopwatch.h"
@@ -17,6 +18,20 @@ bool IsTransientFailure(const std::exception_ptr& error) {
   } catch (const CorruptionError&) {
     return false;
   } catch (const IoError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+/// Whether `error` is an expired statement deadline.  A deadline aborts
+/// the *whole* commit (rethrown out of `PrepareCommit`) instead of
+/// quarantining the view it happened to interrupt — the view did nothing
+/// wrong, and the caller asked for the unwind.
+bool IsDeadlineFailure(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const DeadlineExceededError&) {
     return true;
   } catch (...) {
     return false;
@@ -229,7 +244,8 @@ void ViewManager::Apply(const Transaction& txn) {
   ApplyEffect(effect);
 }
 
-void ViewManager::ComputeJob(CommitJob* job, const TransactionEffect& effect) {
+void ViewManager::ComputeJob(CommitJob* job, const TransactionEffect& effect,
+                             const util::Cancellation* cancel) {
   static const uint32_t kDeltaRowsArg =
       obs::Tracer::Global().InternName("delta_rows");
   ManagedView* view = job->view;
@@ -241,7 +257,7 @@ void ViewManager::ComputeJob(CommitJob* job, const TransactionEffect& effect) {
     // Fires before this view's delta is computed — the "worker blew up
     // before producing anything" shape of maintenance failure.
     MVIEW_FAULT_POINT("viewmgr.differential.pre_apply");
-    ComputeJobBody(job, effect, kDeltaRowsArg, span);
+    ComputeJobBody(job, effect, kDeltaRowsArg, span, cancel);
   } catch (...) {
     // Captured, not propagated: the serial phase quarantines this view
     // while bases and sibling views commit normally.
@@ -254,7 +270,8 @@ void ViewManager::ComputeJob(CommitJob* job, const TransactionEffect& effect) {
 void ViewManager::ComputeJobBody(CommitJob* job,
                                  const TransactionEffect& effect,
                                  uint32_t delta_rows_arg,
-                                 obs::TraceSpan& span) {
+                                 obs::TraceSpan& span,
+                                 const util::Cancellation* cancel) {
   ManagedView* view = job->view;
   ViewMetrics& m = *view->metrics;
   switch (view->mode) {
@@ -262,7 +279,7 @@ void ViewManager::ComputeJobBody(CommitJob* job,
       const int64_t filter_before = m.phases.filter_nanos;
       const int64_t differential_before = m.phases.differential_nanos;
       ViewDelta delta =
-          view->maintainer->ComputeDelta(effect, &m.stats, &m.phases);
+          view->maintainer->ComputeDelta(effect, &m.stats, &m.phases, cancel);
       m.filter_latency.Record(m.phases.filter_nanos - filter_before);
       m.differential_latency.Record(m.phases.differential_nanos -
                                     differential_before);
@@ -383,20 +400,36 @@ void ViewManager::MarkDeltaDirty(const std::string& view_name,
       [&](const Tuple& t, int64_t) { dirty_.Mark(scope, t); });
 }
 
+struct ViewManager::PreparedCommit::Impl {
+  std::vector<CommitJob> jobs;
+  int64_t prepare_nanos = 0;  // folded into the commit-latency record
+};
+
+ViewManager::PreparedCommit::PreparedCommit() = default;
+ViewManager::PreparedCommit::PreparedCommit(PreparedCommit&&) noexcept =
+    default;
+ViewManager::PreparedCommit& ViewManager::PreparedCommit::operator=(
+    PreparedCommit&&) noexcept = default;
+ViewManager::PreparedCommit::~PreparedCommit() = default;
+
 void ViewManager::ApplyEffect(const TransactionEffect& effect) {
-  static const uint32_t kBaseApplyName =
-      obs::Tracer::Global().InternName("base_apply");
-  static const uint32_t kSerialApplyName =
-      obs::Tracer::Global().InternName("serial_apply");
-  if (effect.Empty()) return;
-  ++metrics_.commit().commits;
+  CommitPrepared(PrepareCommit(effect), effect);
+}
+
+ViewManager::PreparedCommit ViewManager::PrepareCommit(
+    const TransactionEffect& effect, const util::Cancellation* cancel) {
+  PreparedCommit prepared;
+  prepared.impl_ = std::make_unique<PreparedCommit::Impl>();
+  if (effect.Empty()) return prepared;
+  Stopwatch prepare_timer;
   ++commit_seq_;
-  Stopwatch commit_timer;
 
   // Heal transient-quarantined views whose backoff has elapsed while the
   // database still holds the pre-state; a view repaired here participates
-  // in this commit like any healthy sibling.
+  // in this commit like any healthy sibling.  (A repair survives an
+  // abandoned commit — it recomputed from the pre-state, which stays.)
   RetryTransientQuarantines();
+  if (cancel != nullptr) cancel->Check();
 
   // Phase 2 (after the caller's phase-1 normalize): per affected view,
   // filter + differential against the immutable pre-state (assumption (a)
@@ -405,7 +438,9 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
   // they fan out across the pool when one is configured.  Quarantined
   // views are skipped: their materialization is untrusted, so a delta
   // against it is meaningless — repair recomputes from the bases.
-  std::vector<CommitJob> jobs;
+  // Deferred views get a job slot but compute nothing here: their logging
+  // mutates the backlog, so it runs in `CommitPrepared` only.
+  std::vector<CommitJob>& jobs = prepared.impl_->jobs;
   for (auto& [name, view] : views_) {
     if (view->quarantined) continue;
     if (!view->maintainer->AffectedBy(effect)) continue;
@@ -438,12 +473,12 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
         const uint32_t count = job.view->maintainer->partition_count();
         for (uint32_t p = 0; p < count; ++p) {
           CommitJob* j = &job;
-          pool_->Submit([j, p] {
+          pool_->Submit([j, p, cancel] {
             Stopwatch timer;
             obs::TraceSpan span(j->view->span_name_id);
             try {
               ViewDelta slice = j->view->maintainer->ComputePartition(
-                  *j->prep, p, &j->part_stats[p], &j->part_phases[p]);
+                  *j->prep, p, &j->part_stats[p], &j->part_phases[p], cancel);
               if (!slice.Empty()) {
                 j->part_deltas[p] =
                     std::make_unique<ViewDelta>(std::move(slice));
@@ -454,8 +489,10 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
             j->part_stats[p].maintenance_nanos += timer.ElapsedNanos();
           });
         }
-      } else if (job.error == nullptr) {
-        pool_->Submit([this, &job, &effect] { ComputeJob(&job, effect); });
+      } else if (job.error == nullptr &&
+                 job.view->mode != MaintenanceMode::kDeferred) {
+        pool_->Submit(
+            [this, &job, &effect, cancel] { ComputeJob(&job, effect, cancel); });
       }
     }
     // Workers capture their own failures into the job, so WaitAll returns
@@ -463,7 +500,10 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
     pool_->WaitAll();
   } else {
     for (auto& job : jobs) {
-      if (job.error == nullptr && !job.partitioned) ComputeJob(&job, effect);
+      if (job.error == nullptr && !job.partitioned &&
+          job.view->mode != MaintenanceMode::kDeferred) {
+        ComputeJob(&job, effect, cancel);
+      }
     }
   }
 
@@ -471,6 +511,42 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
   // view (name order again — `jobs` follows the sorted map).
   for (auto& job : jobs) {
     if (job.partitioned) MergePartitionedJob(&job);
+  }
+
+  // A deadline that expired inside any view's compute aborts the whole
+  // commit (rethrown to the caller, who never reaches `CommitPrepared`);
+  // other captured failures stay with their job for per-view quarantine.
+  for (auto& job : jobs) {
+    if (job.error != nullptr && IsDeadlineFailure(job.error)) {
+      std::rethrow_exception(job.error);
+    }
+  }
+
+  prepared.impl_->prepare_nanos = prepare_timer.ElapsedNanos();
+  return prepared;
+}
+
+void ViewManager::CommitPrepared(PreparedCommit prepared,
+                                 const TransactionEffect& effect) {
+  static const uint32_t kBaseApplyName =
+      obs::Tracer::Global().InternName("base_apply");
+  static const uint32_t kSerialApplyName =
+      obs::Tracer::Global().InternName("serial_apply");
+  if (effect.Empty()) return;
+  MVIEW_CHECK(prepared.impl_ != nullptr,
+              "CommitPrepared needs a PrepareCommit result");
+  ++metrics_.commit().commits;
+  Stopwatch commit_timer;
+  std::vector<CommitJob>& jobs = prepared.impl_->jobs;
+
+  // Deferred views log their (filtered) backlog now — the first mutation
+  // of view state, safely past every poll point.  A logging failure is
+  // captured like any phase-2 failure and quarantined below.
+  for (auto& job : jobs) {
+    if (job.view->mode == MaintenanceMode::kDeferred &&
+        job.error == nullptr) {
+      ComputeJob(&job, effect);
+    }
   }
 
   // Phase 3: apply the transaction to the base relations.
@@ -535,7 +611,8 @@ void ViewManager::ApplyEffect(const TransactionEffect& effect) {
     }
   }
   PublishEpoch();
-  metrics_.commit().commit_latency.Record(commit_timer.ElapsedNanos());
+  metrics_.commit().commit_latency.Record(prepared.impl_->prepare_nanos +
+                                          commit_timer.ElapsedNanos());
 }
 
 void ViewManager::QuarantineFor(ManagedView* view,

@@ -24,6 +24,9 @@ namespace mview {
 namespace obs {
 class TraceSpan;
 }
+namespace util {
+class Cancellation;
+}
 
 /// When a materialized view is brought up to date.
 enum class MaintenanceMode {
@@ -202,8 +205,51 @@ class ViewManager {
   /// registered view per its mode.
   void Apply(const Transaction& txn);
 
-  /// Lower-level commit taking a pre-normalized effect.
+  /// Lower-level commit taking a pre-normalized effect.  Equivalent to
+  /// `CommitPrepared(PrepareCommit(effect), effect)`.
   void ApplyEffect(const TransactionEffect& effect);
+
+  /// The computed-but-unapplied first half of a commit: phase 2's view
+  /// deltas, produced by `PrepareCommit` and consumed exactly once by
+  /// `CommitPrepared`.  Destroying an uncommitted handle abandons the
+  /// round with no observable effect — bases, materializations, and the
+  /// deferred backlogs are exactly as if the commit never started (cache
+  /// shards may go cold but never wrong; see `PrepareCommit`).
+  class PreparedCommit {
+   public:
+    PreparedCommit();
+    PreparedCommit(PreparedCommit&&) noexcept;
+    PreparedCommit& operator=(PreparedCommit&&) noexcept;
+    ~PreparedCommit();
+
+   private:
+    friend class ViewManager;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
+
+  /// Runs the cancellable prefix of a commit: transient-quarantine retries
+  /// against the pre-state, then per-view differential computation (fanned
+  /// out over the pool and partitions exactly like `ApplyEffect`).  Nothing
+  /// observable is mutated — bases, materializations, and deferred
+  /// backlogs are untouched until `CommitPrepared`, so the caller may
+  /// abandon the result (deadline expired, WAL append failed) at no cost.
+  ///
+  /// `cancel` threads a cooperative cancellation token into the evaluation
+  /// loops; an expired deadline unwinds cleanly and rethrows
+  /// `DeadlineExceededError` out of this call (it never quarantines a view
+  /// — the view did nothing wrong).  Join-cache rounds interrupted
+  /// mid-flight are aborted by their guards; rounds already closed against
+  /// an abandoned commit self-heal by version mismatch on the next round
+  /// (a cold rebuild, never stale data).
+  PreparedCommit PrepareCommit(const TransactionEffect& effect,
+                               const util::Cancellation* cancel = nullptr);
+
+  /// The uncancellable second half: deferred-view logging, base apply,
+  /// serial delta apply (quarantining per-view failures), and epoch
+  /// publication.  Call only after the effect is durable (the WAL append
+  /// is the point of no return); there are no poll points past it.
+  void CommitPrepared(PreparedCommit prepared, const TransactionEffect& effect);
 
   /// The current materialization.  For a deferred view this may be stale;
   /// call `Refresh` first for up-to-date contents.  Throws
@@ -389,9 +435,11 @@ class ViewManager {
   /// (deferred).  Reads only the frozen pre-state; writes only this view's
   /// state, metrics, and join-state cache shard, so jobs are safe to run
   /// concurrently.
-  void ComputeJob(CommitJob* job, const TransactionEffect& effect);
+  void ComputeJob(CommitJob* job, const TransactionEffect& effect,
+                  const util::Cancellation* cancel = nullptr);
   void ComputeJobBody(CommitJob* job, const TransactionEffect& effect,
-                      uint32_t delta_rows_arg, obs::TraceSpan& span);
+                      uint32_t delta_rows_arg, obs::TraceSpan& span,
+                      const util::Cancellation* cancel);
   /// Serial prologue of a partitioned job: runs the view's `Prepare` and
   /// sizes the per-partition slots.  On failure the error is captured and
   /// the job degrades to unpartitioned-with-error (quarantined in the

@@ -306,6 +306,33 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
   EmitLatencyFamily(os, "mview_session_read_latency_seconds",
                     "SELECT latency across all sessions",
                     {{"", &sessions.totals.read_latency}});
+
+  const AdmissionMetrics& admission = registry.admission();
+  auto lane_label = [](const char* lane) {
+    return std::string("{lane=\"") + lane + "\"}";
+  };
+  Family slots(os, "mview_admission_slots", "gauge",
+               "Configured admission budget per lane (0 = unlimited)");
+  slots.Sample(lane_label("read"), admission.read_slots);
+  slots.Sample(lane_label("write"), admission.write_slots);
+  Family admitted(os, "mview_admission_admitted_total", "counter",
+                  "Statements admitted per lane");
+  admitted.Sample(lane_label("read"), admission.read_admitted);
+  admitted.Sample(lane_label("write"), admission.write_admitted);
+  Family shed(os, "mview_admission_shed_total", "counter",
+              "Statements shed with kOverloaded per lane");
+  shed.Sample(lane_label("read"), admission.read_shed);
+  shed.Sample(lane_label("write"), admission.write_shed);
+  Family inflight(os, "mview_admission_inflight", "gauge",
+                  "Statements currently holding an admission slot per lane");
+  inflight.Sample(lane_label("read"), admission.read_inflight);
+  inflight.Sample(lane_label("write"), admission.write_inflight);
+  Family(os, "mview_admission_retry_after_ms", "gauge",
+         "Current write-lane retry-after hint handed to shed clients")
+      .Sample("", admission.retry_after_ms);
+  Family(os, "mview_deadline_exceeded_total", "counter",
+         "Statements unwound by an expired deadline")
+      .Sample("", admission.deadline_exceeded);
   return os.str();
 }
 

@@ -7,6 +7,7 @@
 #include "ra/eval.h"
 #include "ra/join_cache.h"
 #include "util/arena.h"
+#include "util/deadline.h"
 #include "util/error.h"
 
 namespace mview {
@@ -122,6 +123,13 @@ class SpjExecutor {
   void EmitBatches(std::vector<ColumnBatch>* batches);
   ColumnBatch& DestBatch(std::vector<ColumnBatch>* list);
   void FilterBatch(ColumnBatch* batch, const std::vector<BoundAtom>& filters);
+
+  // Cooperative cancellation poll: free when no token rides the context,
+  // one clock read per join step / batch when one does (the poll-point
+  // contract in util/deadline.h).
+  void PollCancel() const {
+    if (ctx_ != nullptr && ctx_->cancel != nullptr) ctx_->cancel->Check();
+  }
 
   // Returns the input owning `var` and its local attribute index.
   std::pair<size_t, size_t> Resolve(const std::string& var) const;
@@ -374,6 +382,7 @@ void SpjExecutor::FillTable(const InputInfo& info,
 }
 
 void SpjExecutor::ExecuteFirst(std::vector<PartialRow>* rows) {
+  PollCancel();
   size_t input_id = order_[0];
   const InputInfo& info = inputs_[input_id];
   class FirstSink final : public DeltaSink {
@@ -420,6 +429,7 @@ std::vector<Link> SpjExecutor::CollectLinks(size_t input_id) const {
 }
 
 void SpjExecutor::ExecuteStep(size_t input_id, std::vector<PartialRow>* rows) {
+  PollCancel();
   const InputInfo& info = inputs_[input_id];
   std::vector<Link> links = CollectLinks(input_id);
   // Step filters that become ground at this step.
@@ -609,6 +619,7 @@ void SpjExecutor::RunTuple() {
 
 ColumnBatch& SpjExecutor::DestBatch(std::vector<ColumnBatch>* list) {
   if (list->empty() || list->back().full()) {
+    PollCancel();  // one relaxed check per allocated batch, never per row
     list->emplace_back(combined_, ColumnBatch::kDefaultCapacity, arena_);
     ++batch_stats_.batches;
   }
@@ -625,6 +636,7 @@ void SpjExecutor::FilterBatch(ColumnBatch* batch,
 }
 
 size_t SpjExecutor::BatchExecuteFirst(std::vector<ColumnBatch>* out) {
+  PollCancel();
   const size_t input_id = order_[0];
   const InputInfo& info = inputs_[input_id];
   // Local filters bound to this input's columns inside the combined batch.
@@ -667,6 +679,7 @@ size_t SpjExecutor::BatchExecuteFirst(std::vector<ColumnBatch>* out) {
 
 size_t SpjExecutor::BatchExecuteStep(size_t input_id, size_t total,
                                      std::vector<ColumnBatch>* batches) {
+  PollCancel();
   const InputInfo& info = inputs_[input_id];
   std::vector<Link> links = CollectLinks(input_id);
   // Step filters that become ground at this step, bound to the combined

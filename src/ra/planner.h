@@ -16,6 +16,7 @@ namespace mview {
 
 namespace util {
 class Arena;
+class Cancellation;
 }  // namespace util
 
 /// A select–project–join query over a list of inputs:
@@ -117,6 +118,11 @@ struct EvalContext {
   util::Arena* arena = nullptr;
   bool enable_batch = false;
   BatchEvalStats* batch_stats = nullptr;  // optional activity counters
+  // Cooperative cancellation token (null = uncancellable).  The executor
+  // polls it per join step and per allocated batch — never per tuple — so
+  // an expired statement deadline unwinds the evaluation mid-round at a
+  // bounded cost (see util/deadline.h for the poll-point contract).
+  const util::Cancellation* cancel = nullptr;
 };
 
 /// Evaluates an SPJ query with counting semantics (Section 5.2: join

@@ -6,8 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "util/error.h"
@@ -25,8 +29,14 @@ namespace {
 Client::~Client() { Close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    : fd_(other.fd_),
+      buffer_(std::move(other.buffer_)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      auth_token_(std::move(other.auth_token_)),
+      authed_(other.authed_) {
   other.fd_ = -1;
+  other.authed_ = false;
 }
 
 Client& Client::operator=(Client&& other) noexcept {
@@ -34,13 +44,20 @@ Client& Client::operator=(Client&& other) noexcept {
     Close();
     fd_ = other.fd_;
     buffer_ = std::move(other.buffer_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    auth_token_ = std::move(other.auth_token_);
+    authed_ = other.authed_;
     other.fd_ = -1;
+    other.authed_ = false;
   }
   return *this;
 }
 
 void Client::Connect(const std::string& host, uint16_t port) {
   Close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) ThrowErrno("socket");
   sockaddr_in addr{};
@@ -66,9 +83,80 @@ void Client::Close() {
   buffer_.clear();
 }
 
-WireResponse Client::Execute(const std::string& sql) {
+WireResponse Client::Hello(const std::string& token) {
+  WireResponse response = Execute("HELLO " + token);
+  if (response.ok) {
+    auth_token_ = token;
+    authed_ = true;
+  }
+  return response;
+}
+
+bool Client::IsIdempotentRead(const std::string& sql) {
+  size_t pos = 0;
+  while (pos < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[pos])) != 0) {
+    ++pos;
+  }
+  std::string word;
+  while (pos < sql.size() &&
+         std::isalpha(static_cast<unsigned char>(sql[pos])) != 0) {
+    word.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(sql[pos]))));
+    ++pos;
+  }
+  return word == "SELECT" || word == "SHOW" || word == "EXPLAIN";
+}
+
+WireResponse Client::ExecuteWithRetry(const std::string& sql,
+                                      int64_t deadline_ms,
+                                      RetryOptions retry) {
+  if (!IsIdempotentRead(sql) || retry.max_attempts <= 1) {
+    return Execute(sql, deadline_ms);
+  }
+  // xorshift32 jitter: deterministic per seed, so chaos tests replay.
+  uint32_t rng = retry.seed == 0 ? 1 : retry.seed;
+  auto next_jitter = [&rng](int64_t bound) {
+    rng ^= rng << 13;
+    rng ^= rng >> 17;
+    rng ^= rng << 5;
+    return bound <= 0 ? 0 : static_cast<int64_t>(rng % (bound + 1));
+  };
+  int64_t backoff_ms = retry.base_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    const bool last = attempt >= retry.max_attempts;
+    int64_t hint_ms = 0;
+    try {
+      if (!connected()) {
+        Connect(host_, port_);
+        if (authed_) Execute("HELLO " + auth_token_);
+      }
+      WireResponse response = Execute(sql, deadline_ms);
+      if (response.ok || response.kind != Status::Kind::kOverloaded ||
+          last) {
+        return response;
+      }
+      hint_ms = response.retry_after_ms;
+    } catch (const IoError&) {
+      // Connection dropped mid-request (server draining, chaos fault,
+      // …).  Reads are idempotent, so reconnect and try again.
+      Close();
+      if (last) throw;
+    }
+    // Backoff: exponential with full jitter, floored at the server's
+    // retry-after hint when it shed us.
+    const int64_t base = std::max(backoff_ms, hint_ms);
+    const int64_t sleep_ms = base + next_jitter(base);
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    backoff_ms = std::min(backoff_ms * 2, retry.max_backoff_ms);
+  }
+}
+
+WireResponse Client::Execute(const std::string& sql, int64_t deadline_ms) {
   MVIEW_CHECK(fd_ >= 0, "client: not connected");
-  std::string request = sql;
+  std::string request = EncodeRequest(sql, deadline_ms);
   request += '\n';
   size_t sent = 0;
   while (sent < request.size()) {

@@ -12,6 +12,14 @@ namespace mview::server {
 /// statement out, one JSON response line back.  Single-threaded; used by
 /// the server tests, the concurrent-session benchmark's TCP mode, and as
 /// the reference implementation for external clients.
+/// Backoff policy for `Client::ExecuteWithRetry`.
+struct RetryOptions {
+  int max_attempts = 5;          // total tries, including the first
+  int64_t base_backoff_ms = 1;   // doubled per retry ...
+  int64_t max_backoff_ms = 200;  // ... capped here
+  uint32_t seed = 1;             // jitter PRNG seed (deterministic tests)
+};
+
 class Client {
  public:
   Client() = default;
@@ -26,10 +34,32 @@ class Client {
   /// dotted-quad address ("127.0.0.1"), not a DNS name.
   void Connect(const std::string& host, uint16_t port);
 
-  /// Sends one statement and blocks for its response line.  Throws
-  /// `IoError` when not connected or when the connection drops before a
-  /// full response arrives (the server is draining, crashed, …).
-  WireResponse Execute(const std::string& sql);
+  /// Authenticates with the server's shared secret (`HELLO <token>`).
+  /// Returns the server's verdict; on success subsequent reconnects by
+  /// `ExecuteWithRetry` re-authenticate automatically.
+  WireResponse Hello(const std::string& token);
+
+  /// Sends one statement and blocks for its response line.  A positive
+  /// `deadline_ms` rides the request as a `@<ms> ` prefix — the server
+  /// cancels the statement when it expires.  Throws `IoError` when not
+  /// connected or when the connection drops before a full response
+  /// arrives (the server is draining, crashed, …).
+  WireResponse Execute(const std::string& sql, int64_t deadline_ms = 0);
+
+  /// `Execute` with exponential backoff + jitter, for *idempotent reads
+  /// only* (SELECT/SHOW/EXPLAIN — anything else is executed exactly once
+  /// and returned as-is, whatever happens).  Retries overload sheds
+  /// (honoring the server's retry_after_ms hint as the backoff floor) and
+  /// connection drops (reconnecting, and re-HELLOing when `Hello`
+  /// succeeded earlier).  Returns the last response; a connection failure
+  /// on the final attempt rethrows its `IoError`.
+  WireResponse ExecuteWithRetry(const std::string& sql,
+                                int64_t deadline_ms = 0,
+                                RetryOptions retry = {});
+
+  /// True when `sql`'s first keyword marks a read-only, idempotent
+  /// statement (`ExecuteWithRetry`'s retry criterion).
+  static bool IsIdempotentRead(const std::string& sql);
 
   bool connected() const { return fd_ >= 0; }
   void Close();
@@ -37,6 +67,10 @@ class Client {
  private:
   int fd_ = -1;
   std::string buffer_;  // bytes past the last consumed response line
+  std::string host_;    // remembered for reconnect
+  uint16_t port_ = 0;
+  std::string auth_token_;  // replayed after reconnect; set by Hello
+  bool authed_ = false;
 };
 
 }  // namespace mview::server

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -17,7 +18,9 @@
 #include "server/wire.h"
 #include "sql/engine.h"
 #include "sql/session.h"
+#include "util/deadline.h"
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace mview::server {
 namespace {
@@ -28,20 +31,52 @@ namespace {
 }
 
 // Writes the whole buffer; MSG_NOSIGNAL so a vanished peer surfaces as
-// EPIPE instead of killing the process.  Returns false when the peer is
-// gone.
-bool WriteAll(int fd, const std::string& data) {
+// EPIPE instead of killing the process.  Each write slot is guarded by a
+// POLLOUT poll with `timeout_ms` (0 = wait forever): a client whose socket
+// makes no progress for that long is declared stalled and dropped, so a
+// reader that never drains its responses cannot pin a handler thread —
+// the failure mode that used to wedge graceful drain.  Returns false when
+// the peer is gone or stalled.
+bool WriteAll(int fd, const std::string& data, int64_t timeout_ms) {
   size_t sent = 0;
   while (sent < data.size()) {
-    ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
+    pollfd p{fd, POLLOUT, 0};
+    int rc = ::poll(&p, 1, timeout_ms > 0 ? static_cast<int>(timeout_ms) : -1);
+    if (rc < 0) {
       if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) return false;  // stalled client
+    if ((p.revents & POLLNVAL) != 0) return false;
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return false;
     }
     sent += static_cast<size_t>(n);
   }
   return true;
+}
+
+// Token comparison that runs in time dependent only on the expected
+// token's length, never on where the first mismatch sits.
+bool ConstantTimeEquals(const std::string& candidate,
+                        const std::string& expected) {
+  unsigned char diff = candidate.size() == expected.size() ? 0 : 1;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const unsigned char c =
+        i < candidate.size() ? static_cast<unsigned char>(candidate[i]) : 0;
+    diff |= c ^ static_cast<unsigned char>(expected[i]);
+  }
+  return diff == 0;
+}
+
+sql::Result MessageResult(std::string text) {
+  sql::Result result;
+  result.kind = sql::Result::Kind::kMessage;
+  result.message = std::move(text);
+  return result;
 }
 
 }  // namespace
@@ -94,6 +129,30 @@ void Server::RequestShutdown() {
 void Server::Wait() {
   if (!started_ || joined_) return;
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Bounded drain: give connections `drain_timeout_ms` to finish their
+  // current statement and exit on their own; whoever is still registered
+  // after that gets its in-flight statement cancelled (the deadline
+  // machinery unwinds it cleanly) and its socket forced shut, which makes
+  // the handler's next read/write fail and the thread exit.  `shutdown`
+  // (not `close`) is deliberate: handlers only close their own fd, so the
+  // descriptor cannot be recycled out from under us — and RemoveConn runs
+  // under `conn_mu_`, so an entry still in the registry here has not
+  // closed its fd yet.
+  if (options_.drain_timeout_ms > 0) {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    const bool drained = conn_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_timeout_ms),
+        [this] { return conn_states_.empty(); });
+    if (!drained) {
+      for (const auto& state : conn_states_) {
+        {
+          std::lock_guard<std::mutex> st(state->mu);
+          if (state->active != nullptr) state->active->Cancel();
+        }
+        ::shutdown(state->fd, SHUT_RDWR);
+      }
+    }
+  }
   std::vector<std::thread> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -128,16 +187,41 @@ void Server::AcceptLoop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
+    // Chaos hook: an armed "server.accept" fault drops this connection on
+    // the floor (the client sees a reset) — the accept loop itself
+    // survives, which is the property the network chaos matrix checks.
+    try {
+      MVIEW_FAULT_POINT("server.accept");
+    } catch (const Error&) {
+      ::close(fd);
+      continue;
+    }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto state = std::make_shared<ConnState>();
+    state->fd = fd;
     std::lock_guard<std::mutex> lock(conn_mu_);
-    connections_.emplace_back(&Server::Serve, this, fd);
+    conn_states_.push_back(state);
+    connections_.emplace_back(&Server::Serve, this, fd, std::move(state));
   }
   ::close(listen_fd_);
   listen_fd_ = -1;
 }
 
-void Server::Serve(int fd) {
+void Server::RemoveConn(const ConnState* state) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < conn_states_.size(); ++i) {
+      if (conn_states_[i].get() == state) {
+        conn_states_.erase(conn_states_.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  }
+  conn_cv_.notify_all();
+}
+
+void Server::Serve(int fd, std::shared_ptr<ConnState> state) {
   std::unique_ptr<sql::Session> session = core_->CreateSession();
   std::string buffer;
   char chunk[4096];
@@ -151,24 +235,108 @@ void Server::Serve(int fd) {
       buffer.erase(0, eol + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      sql::Result result;
-      Status status = session->TryExecute(line, &result);
-      std::string response =
-          EncodeResponse(status, status.ok ? &result : nullptr);
+      bool close_after_response = false;
+      std::string response;
+      if (line.size() > options_.max_request_bytes) {
+        // Oversize frame: one best-effort error response, then the
+        // connection dies — never the server.
+        response = EncodeResponse(
+            Status::ExecutionError(
+                "request exceeds max frame size (" +
+                std::to_string(options_.max_request_bytes) + " bytes)"),
+            nullptr);
+        close_after_response = true;
+      } else if (line == "QUIT") {
+        sql::Result bye = MessageResult("bye");
+        response = EncodeResponse(Status::Ok(), &bye);
+        close_after_response = true;
+      } else if (line == "HELLO" || line.rfind("HELLO ", 0) == 0) {
+        const std::string token = line.size() > 6 ? line.substr(6) : "";
+        if (options_.auth_token.empty() ||
+            ConstantTimeEquals(token, options_.auth_token)) {
+          state->authed = true;
+          sql::Result hello = MessageResult("authenticated");
+          response = EncodeResponse(Status::Ok(), &hello);
+        } else {
+          response = EncodeResponse(
+              Status::Unauthenticated("bad token"), nullptr);
+        }
+      } else if (!options_.auth_token.empty() && !state->authed) {
+        response = EncodeResponse(
+            Status::Unauthenticated("authenticate with HELLO <token>"),
+            nullptr);
+      } else {
+        int64_t deadline_ms = 0;
+        const std::string sql = SplitRequestDeadline(line, &deadline_ms);
+        util::Cancellation cancel = deadline_ms > 0
+                                        ? util::Cancellation::After(deadline_ms)
+                                        : util::Cancellation();
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->active = &cancel;
+        }
+        sql::Result result;
+        Status status = session->TryExecute(sql, &result, &cancel);
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->active = nullptr;
+        }
+        response = EncodeResponse(status, status.ok ? &result : nullptr);
+      }
+      // Chaos hooks on the response path.  A corrupt-frame fault mangles
+      // the line before it leaves; a partial-write fault sends only a
+      // prefix.  Both then kill this connection — the client observes
+      // garbage or truncation plus EOF, and every other connection keeps
+      // being served.
+      try {
+        MVIEW_FAULT_POINT("wire.corrupt_frame");
+      } catch (const Error&) {
+        WriteAll(fd, "{\"ok\":tr!CORRUPT!\n", options_.write_timeout_ms);
+        peer_gone = true;
+        break;
+      }
+      try {
+        MVIEW_FAULT_POINT("wire.partial_write");
+      } catch (const Error&) {
+        WriteAll(fd, response.substr(0, response.size() / 2),
+                 options_.write_timeout_ms);
+        peer_gone = true;
+        break;
+      }
       response += '\n';
-      if (!WriteAll(fd, response)) {
+      if (!WriteAll(fd, response, options_.write_timeout_ms)) {
+        peer_gone = true;
+        break;
+      }
+      if (close_after_response) {
         peer_gone = true;
         break;
       }
     }
     if (peer_gone) break;
     if (draining_.load(std::memory_order_acquire)) break;
+    if (buffer.size() > options_.max_request_bytes) {
+      // A frame that exceeds the cap without ever completing a line:
+      // answer once, best-effort, and drop the connection.
+      std::string response = EncodeResponse(
+          Status::ExecutionError(
+              "request exceeds max frame size (" +
+              std::to_string(options_.max_request_bytes) + " bytes)"),
+          nullptr);
+      response += '\n';
+      WriteAll(fd, response, options_.write_timeout_ms);
+      break;
+    }
     pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
-    int rc = ::poll(fds, 2, -1);
+    const int timeout = options_.idle_timeout_ms > 0
+                            ? static_cast<int>(options_.idle_timeout_ms)
+                            : -1;
+    int rc = ::poll(fds, 2, timeout);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    if (rc == 0) break;  // idle timeout: reclaim the connection
     if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
       ssize_t n = ::read(fd, chunk, sizeof(chunk));
       if (n <= 0) break;  // EOF or error: client went away
@@ -177,6 +345,10 @@ void Server::Serve(int fd) {
       break;  // drain requested while idle
     }
   }
+  // Unregister before closing: the bounded drain in `Wait` only touches
+  // registered fds (under conn_mu_), so this ordering keeps it from ever
+  // acting on a recycled descriptor.
+  RemoveConn(state.get());
   ::close(fd);
   // The session's counters fold into the core's totals on destruction.
 }

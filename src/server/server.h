@@ -2,14 +2,21 @@
 #define MVIEW_SERVER_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace mview::sql {
 class EngineCore;
 }  // namespace mview::sql
+
+namespace mview::util {
+class Cancellation;
+}  // namespace mview::util
 
 namespace mview::server {
 
@@ -22,12 +29,17 @@ namespace mview::server {
 /// engine lock its statement class requires.
 ///
 /// Protocol: see server/wire.h.  One SQL statement per request line, one
-/// single-line JSON response per request.
+/// single-line JSON response per request.  A `@<millis> ` request prefix
+/// sets a statement deadline; with `Options::auth_token` set, connections
+/// must `HELLO <token>` before anything but QUIT.
 ///
 /// Shutdown is a graceful drain: `RequestShutdown` (or a SIGINT/SIGTERM
 /// after `InstallShutdownSignalHandlers`) stops the accept loop, lets every
 /// connection finish the statement it is executing — including writing its
-/// response — and then closes.  `Wait` joins everything.
+/// response — and then closes.  `Wait` joins everything, but the drain is
+/// *bounded*: after `drain_timeout_ms` it cancels in-flight statements via
+/// their cancellation tokens and forces the sockets shut, so a hung or
+/// stalled client can no longer wedge shutdown.
 class Server {
  public:
   struct Options {
@@ -35,6 +47,22 @@ class Server {
     /// from `port()` after `Start`).
     uint16_t port = 0;
     int backlog = 64;
+    /// Shared secret; empty disables auth.  With a token set,
+    /// unauthenticated connections may only HELLO and QUIT — everything
+    /// else is rejected with kind "unauthenticated" (constant-time
+    /// compare, so the rejection leaks nothing about the token).
+    std::string auth_token;
+    /// Maximum request-line size; a longer frame gets one error response
+    /// (best-effort) and the connection is closed — the server survives.
+    size_t max_request_bytes = 1 << 20;
+    /// Close connections idle longer than this (0 = never).
+    int64_t idle_timeout_ms = 0;
+    /// A response write that makes no progress for this long marks the
+    /// client stalled and kills the connection (0 = wait forever).
+    int64_t write_timeout_ms = 10'000;
+    /// Bound on the graceful drain: connections still alive after this are
+    /// cancelled and force-closed (0 = wait forever, the old behavior).
+    int64_t drain_timeout_ms = 5'000;
   };
 
   /// `core` is not owned and must outlive the server.
@@ -69,8 +97,19 @@ class Server {
   int shutdown_fd() const { return stop_pipe_[1]; }
 
  private:
+  /// Per-connection registry entry: the fd plus a pointer to the statement
+  /// token currently executing on it (null between statements).  The
+  /// bounded drain walks these to cancel and force-close stragglers.
+  struct ConnState {
+    int fd = -1;
+    bool authed = false;  // handler-thread only; HELLO flips it
+    std::mutex mu;
+    util::Cancellation* active = nullptr;  // guarded by mu
+  };
+
   void AcceptLoop();
-  void Serve(int fd);
+  void Serve(int fd, std::shared_ptr<ConnState> state);
+  void RemoveConn(const ConnState* state);
 
   sql::EngineCore* core_;  // not owned
   Options options_;
@@ -83,6 +122,8 @@ class Server {
   std::thread accept_thread_;
   std::mutex conn_mu_;
   std::vector<std::thread> connections_;
+  std::vector<std::shared_ptr<ConnState>> conn_states_;  // guarded by conn_mu_
+  std::condition_variable conn_cv_;  // signaled when a conn unregisters
 };
 
 /// Installs SIGINT and SIGTERM handlers that request this server's

@@ -1,15 +1,26 @@
 // mview_server: the line-oriented TCP frontend as a standalone binary.
 //
 //   mview_server [--port=N] [--data=DIR] [--parallelism=N]
+//                [--auth-token=SECRET] [--read-slots=N] [--write-slots=N]
+//                [--max-request-bytes=N] [--idle-timeout-ms=N]
+//                [--write-timeout-ms=N] [--drain-timeout-ms=N]
 //
 //  --port=N         port on 127.0.0.1 (default 7433; 0 = ephemeral)
 //  --data=DIR       durable database directory (recovered on start,
 //                   checkpointed on drain); omit for an in-memory engine
 //  --parallelism=N  maintenance thread-pool size (default serial)
+//  --auth-token=S   shared secret; clients must HELLO <S> first
+//  --read-slots=N   admission budget for the read lane (0 = unlimited)
+//  --write-slots=N  admission budget for the write lane (0 = unlimited)
+//  --max-request-bytes=N  request-frame cap (default 1 MiB)
+//  --idle-timeout-ms=N    close idle connections (0 = never)
+//  --write-timeout-ms=N   stalled-client write timeout (default 10s)
+//  --drain-timeout-ms=N   graceful-drain bound (default 5s)
 //
 // Protocol: one SQL statement per line in, one JSON response line out —
 // see src/server/wire.h.  SIGINT/SIGTERM drain gracefully: in-flight
-// statements finish and their responses are written before sockets close.
+// statements finish and their responses are written before sockets close;
+// stragglers are cancelled and cut off at the drain timeout.
 
 #include <cstdint>
 #include <cstdlib>
@@ -20,6 +31,7 @@
 #include "server/server.h"
 #include "sql/engine.h"
 #include "storage/storage.h"
+#include "util/admission.h"
 
 namespace {
 
@@ -37,6 +49,8 @@ int main(int argc, char** argv) {
   uint16_t port = 7433;
   std::string data;
   size_t parallelism = 0;
+  mview::util::AdmissionController::Options admission;
+  mview::server::Server::Options options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::string value;
@@ -46,10 +60,27 @@ int main(int argc, char** argv) {
       data = value;
     } else if (ParseFlag(arg, "parallelism", &value)) {
       parallelism = std::stoul(value);
+    } else if (ParseFlag(arg, "auth-token", &value)) {
+      options.auth_token = value;
+    } else if (ParseFlag(arg, "read-slots", &value)) {
+      admission.read_slots = std::stol(value);
+    } else if (ParseFlag(arg, "write-slots", &value)) {
+      admission.write_slots = std::stol(value);
+    } else if (ParseFlag(arg, "max-request-bytes", &value)) {
+      options.max_request_bytes = std::stoul(value);
+    } else if (ParseFlag(arg, "idle-timeout-ms", &value)) {
+      options.idle_timeout_ms = std::stol(value);
+    } else if (ParseFlag(arg, "write-timeout-ms", &value)) {
+      options.write_timeout_ms = std::stol(value);
+    } else if (ParseFlag(arg, "drain-timeout-ms", &value)) {
+      options.drain_timeout_ms = std::stol(value);
     } else {
       std::cerr << "unknown argument: " << arg << "\n"
                 << "usage: mview_server [--port=N] [--data=DIR]"
-                   " [--parallelism=N]\n";
+                   " [--parallelism=N] [--auth-token=SECRET]"
+                   " [--read-slots=N] [--write-slots=N]"
+                   " [--max-request-bytes=N] [--idle-timeout-ms=N]"
+                   " [--write-timeout-ms=N] [--drain-timeout-ms=N]\n";
       return 2;
     }
   }
@@ -59,8 +90,10 @@ int main(int argc, char** argv) {
     if (!data.empty()) storage = mview::Storage::Open(data);
     mview::sql::EngineCore core(storage.get());
     if (parallelism > 0) core.SetMaintenanceParallelism(parallelism);
+    if (admission.read_slots > 0 || admission.write_slots > 0) {
+      core.SetAdmissionControl(admission);
+    }
 
-    mview::server::Server::Options options;
     options.port = port;
     mview::server::Server server(&core, options);
     server.Start();

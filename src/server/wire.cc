@@ -94,6 +94,20 @@ bool ExtractStringField(const std::string& line, const std::string& key,
   return DecodeJsonStringAt(line, pos + needle.size(), out);
 }
 
+// Finds `"key":` followed by a non-negative integer; 0 when absent.
+int64_t ExtractIntField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return 0;
+  pos += needle.size();
+  int64_t value = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    value = value * 10 + (line[pos] - '0');
+    ++pos;
+  }
+  return value;
+}
+
 }  // namespace
 
 std::string EncodeResponse(const Status& status, const sql::Result* result) {
@@ -112,6 +126,10 @@ std::string EncodeResponse(const Status& status, const sql::Result* result) {
   out += StatusKindName(status.kind);
   out += "\",\"message\":";
   out += util::JsonQuote(status.message);
+  if (status.retry_after_ms > 0) {
+    out += ",\"retry_after_ms\":";
+    out += std::to_string(status.retry_after_ms);
+  }
   out += '}';
   return out;
 }
@@ -129,12 +147,35 @@ WireResponse ParseResponse(const std::string& line) {
     if (ExtractStringField(line, "kind", &kind) &&
         ExtractStringField(line, "message", &response.message)) {
       response.kind = StatusKindFromName(kind);
+      response.retry_after_ms = ExtractIntField(line, "retry_after_ms");
       return response;
     }
   }
   response.kind = Status::Kind::kInternal;
   response.message = "malformed wire response: " + line;
   return response;
+}
+
+std::string EncodeRequest(const std::string& sql, int64_t deadline_ms) {
+  if (deadline_ms <= 0) return sql;
+  return "@" + std::to_string(deadline_ms) + " " + sql;
+}
+
+std::string SplitRequestDeadline(const std::string& line,
+                                 int64_t* deadline_ms) {
+  *deadline_ms = 0;
+  if (line.empty() || line[0] != '@') return line;
+  size_t pos = 1;
+  int64_t ms = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    ms = ms * 10 + (line[pos] - '0');
+    ++pos;
+  }
+  // Require at least one digit and a following space; anything else is
+  // statement text (SQL will reject it with a real parse error).
+  if (pos == 1 || pos >= line.size() || line[pos] != ' ') return line;
+  *deadline_ms = ms;
+  return line.substr(pos + 1);
 }
 
 }  // namespace mview::server

@@ -12,12 +12,23 @@ namespace mview::server {
 ///
 ///  - Requests are line-oriented: one SQL statement per line, terminated
 ///    by '\n' (a trailing '\r' is tolerated).  Empty lines are ignored.
+///  - A request line may carry a deadline prefix `@<millis> ` — "answer
+///    within this many milliseconds or cancel and return
+///    deadline_exceeded".  `EncodeRequest`/`SplitRequestDeadline` are the
+///    shared encoding.
+///  - Two protocol verbs are handled before SQL parsing: `HELLO <token>`
+///    authenticates the connection against the server's shared secret
+///    (when the server runs with one, every other request is rejected
+///    with kind "unauthenticated" until HELLO succeeds), and `QUIT`
+///    closes the connection after one ok response.
 ///  - Every request gets exactly one single-line JSON response:
 ///      {"ok":true,<result body>}                       on success
 ///      {"ok":false,"kind":"<kind>","message":"<text>"} on failure
 ///    where <result body> is `sql::Result::AppendJsonBody` (so a wire
 ///    response carries the same encoding `Result::ToJson` produces) and
-///    <kind> is `StatusKindName` of the classified error.
+///    <kind> is `StatusKindName` of the classified error.  An overload
+///    shed additionally carries `,"retry_after_ms":<n>` — the server's
+///    backoff hint, honored by `Client::ExecuteWithRetry`.
 ///
 /// The response is guaranteed to be one line: every string is JSON-escaped,
 /// so no raw newline ever appears inside it.
@@ -35,11 +46,12 @@ struct WireResponse {
   bool ok = false;
   Status::Kind kind = Status::Kind::kInternal;
   std::string message;  // decoded error text; empty on ok
+  int64_t retry_after_ms = 0;  // backoff hint on kOverloaded; else 0
   std::string raw;      // the full response line, verbatim
 
   Status ToStatus() const {
     if (ok) return Status::Ok();
-    return Status{false, kind, message};
+    return Status{false, kind, message, retry_after_ms};
   }
 };
 
@@ -47,6 +59,18 @@ struct WireResponse {
 /// malformed line comes back as `kInternal` with the line quoted in
 /// `message`.
 WireResponse ParseResponse(const std::string& line);
+
+/// Encodes one request line (without the trailing '\n'): the statement,
+/// prefixed with `@<deadline_ms> ` when `deadline_ms` > 0.
+std::string EncodeRequest(const std::string& sql, int64_t deadline_ms);
+
+/// Splits a request line into its statement and deadline.  Returns the
+/// statement body; `*deadline_ms` is the prefix value, or 0 when the line
+/// has none.  A malformed prefix (`@` not followed by digits and a space)
+/// is treated as statement text — SQL never starts with '@', so the parser
+/// will reject it with a proper error.
+std::string SplitRequestDeadline(const std::string& line,
+                                 int64_t* deadline_ms);
 
 }  // namespace mview::server
 

@@ -12,6 +12,7 @@
 #include "relational/csv.h"
 #include "sql/session.h"
 #include "storage/storage.h"
+#include "util/deadline.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
 
@@ -272,13 +273,17 @@ EngineCore::LockClass EngineCore::Classify(const Statement& stmt,
 
 Result EngineCore::ExecuteParsed(const Statement& stmt,
                                  std::optional<Transaction>* pending,
-                                 bool* served_from_snapshot) {
+                                 bool* served_from_snapshot,
+                                 const util::Cancellation* cancel) {
   *served_from_snapshot = false;
   // The non-blocking read path: a SELECT over a single materialized view
   // is answered from the published epoch snapshot without touching the
   // engine lock — concurrent commits install later epochs, they never
   // mutate this one.  The snapshot (not `views_`) is the authority on
-  // which views exist here, so the check itself is race-free.
+  // which views exist here, so the check itself is race-free.  The path
+  // deliberately bypasses both the admission gate and the deadline poll:
+  // it is wait-free and cheaper than either check, which is exactly why
+  // view reads keep serving under write overload.
   if (stmt.kind == Statement::Kind::kSelect && stmt.query.from.size() == 1) {
     std::shared_ptr<const EpochSnapshot> snap = views_.Snapshot();
     if (snap->Find(stmt.query.from[0].table) != nullptr) {
@@ -286,19 +291,62 @@ Result EngineCore::ExecuteParsed(const Statement& stmt,
       return ExecuteSelectFromSnapshot(*snap, stmt.query);
     }
   }
-  switch (Classify(stmt, pending->has_value())) {
-    case LockClass::kNone:
-      return ExecuteStatement(stmt, pending);
-    case LockClass::kShared: {
-      std::shared_lock<std::shared_mutex> lock(mu_);
-      return ExecuteStatement(stmt, pending);
-    }
-    case LockClass::kExclusive: {
-      std::unique_lock<std::shared_mutex> lock(mu_);
-      return ExecuteStatement(stmt, pending);
-    }
+  const LockClass lock_class = Classify(stmt, pending->has_value());
+  // The admission gate: statements that will take the engine lock pass
+  // through their lane first, so a saturated lane sheds *before* queuing
+  // on the lock.  BEGIN/ROLLBACK (kNone) touch only session state and are
+  // exempt.  A shed is one fetch_add + compare — well under a millisecond
+  // — and carries a retry-after hint from the lane's service-time EWMA.
+  util::AdmissionController* gate =
+      lock_class == LockClass::kNone ? nullptr : admission_.get();
+  const util::AdmissionController::Lane lane =
+      lock_class == LockClass::kExclusive
+          ? util::AdmissionController::Lane::kWrite
+          : util::AdmissionController::Lane::kRead;
+  if (gate != nullptr && !gate->TryEnter(lane)) {
+    const int64_t retry_ms = gate->RetryAfterMillis(lane);
+    const bool write = lane == util::AdmissionController::Lane::kWrite;
+    throw OverloadedError(std::string(write ? "write" : "read") +
+                              " lane saturated (" +
+                              std::to_string(write
+                                                 ? admission_->options()
+                                                       .write_slots
+                                                 : admission_->options()
+                                                       .read_slots) +
+                              " in flight); retry after " +
+                              std::to_string(retry_ms) + " ms",
+                          retry_ms);
   }
-  internal::ThrowError("corrupt lock class");
+  Stopwatch lane_timer;
+  struct LaneExit {
+    util::AdmissionController* gate;
+    util::AdmissionController::Lane lane;
+    Stopwatch* timer;
+    ~LaneExit() {
+      if (gate != nullptr) gate->Exit(lane, timer->ElapsedNanos());
+    }
+  } lane_exit{gate, lane, &lane_timer};
+  try {
+    // Polled before the lock so an already-expired deadline never queues
+    // behind a writer; downstream poll points catch mid-statement expiry.
+    if (cancel != nullptr) cancel->Check();
+    switch (lock_class) {
+      case LockClass::kNone:
+        return ExecuteStatement(stmt, pending, cancel);
+      case LockClass::kShared: {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        return ExecuteStatement(stmt, pending, cancel);
+      }
+      case LockClass::kExclusive: {
+        std::unique_lock<std::shared_mutex> lock(mu_);
+        return ExecuteStatement(stmt, pending, cancel);
+      }
+    }
+    internal::ThrowError("corrupt lock class");
+  } catch (const DeadlineExceededError&) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
 }
 
 Result EngineCore::ExecuteSelectFromSnapshot(const EpochSnapshot& snap,
@@ -432,14 +480,15 @@ Transaction EngineCore::BuildDml(const Statement& stmt, size_t* rows) const {
 }
 
 Result EngineCore::ExecuteInsert(const Statement& stmt,
-                                 std::optional<Transaction>* pending) {
+                                 std::optional<Transaction>* pending,
+                                 const util::Cancellation* cancel) {
   size_t n = 0;
   Transaction txn = BuildInsert(stmt, &n);
   if (pending->has_value()) {
     (*pending)->Append(txn);
     return Message(std::to_string(n) + " row(s) staged");
   }
-  Result result = CommitTransaction(std::move(txn));
+  Result result = CommitTransaction(std::move(txn), cancel);
   if (result.kind == Result::Kind::kMessage && result.message.empty()) {
     result.message = std::to_string(n) + " row(s) inserted";
   }
@@ -447,14 +496,15 @@ Result EngineCore::ExecuteInsert(const Statement& stmt,
 }
 
 Result EngineCore::ExecuteDelete(const Statement& stmt,
-                                 std::optional<Transaction>* pending) {
+                                 std::optional<Transaction>* pending,
+                                 const util::Cancellation* cancel) {
   size_t n = 0;
   Transaction txn = BuildDelete(stmt, &n);
   if (pending->has_value()) {
     (*pending)->Append(txn);
     return Message(std::to_string(n) + " row(s) staged");
   }
-  Result result = CommitTransaction(std::move(txn));
+  Result result = CommitTransaction(std::move(txn), cancel);
   if (result.kind == Result::Kind::kMessage && result.message.empty()) {
     result.message = std::to_string(n) + " row(s) deleted";
   }
@@ -462,14 +512,15 @@ Result EngineCore::ExecuteDelete(const Statement& stmt,
 }
 
 Result EngineCore::ExecuteUpdate(const Statement& stmt,
-                                 std::optional<Transaction>* pending) {
+                                 std::optional<Transaction>* pending,
+                                 const util::Cancellation* cancel) {
   size_t n = 0;
   Transaction txn = BuildUpdate(stmt, &n);
   if (pending->has_value()) {
     (*pending)->Append(txn);
     return Message(std::to_string(n) + " row(s) staged");
   }
-  Result result = CommitTransaction(std::move(txn));
+  Result result = CommitTransaction(std::move(txn), cancel);
   if (result.kind == Result::Kind::kMessage && result.message.empty()) {
     result.message = std::to_string(n) + " row(s) updated";
   }
@@ -517,7 +568,8 @@ Result EngineCore::ExecuteExplainMaintenance(const Statement& stmt) {
   return Message(os.str());
 }
 
-Result EngineCore::CommitTransaction(Transaction txn) {
+Result EngineCore::CommitTransaction(Transaction txn,
+                                     const util::Cancellation* cancel) {
   static const uint32_t kCommitName =
       obs::Tracer::Global().InternName("commit");
   static const uint32_t kNormalizeName =
@@ -525,6 +577,7 @@ Result EngineCore::CommitTransaction(Transaction txn) {
   static const uint32_t kPrecheckName =
       obs::Tracer::Global().InternName("precheck");
   obs::TraceSpan commit_span(kCommitName);
+  if (cancel != nullptr) cancel->Check();
   // Normalized here (not via ViewManager::Apply) because the integrity
   // precheck needs the effect before the views see it; credit the phase-1
   // timer so SQL commits report normalize_nanos like direct Apply calls.
@@ -546,10 +599,18 @@ Result EngineCore::CommitTransaction(Transaction txn) {
     }
     return Message(os.str());
   }
-  // The write-ahead rule: the effect is durable before any in-memory
-  // state changes, so an I/O failure here aborts the commit cleanly.
+  // Phase split for cancellation: `PrepareCommit` runs the expensive delta
+  // computation with `cancel` polled at every evaluation poll point, and
+  // mutates nothing observable — an expired deadline unwinds here with the
+  // engine exactly as it was.  After the final poll below the commit is
+  // past its point of no return: the WAL append makes it durable (the
+  // write-ahead rule — durable before any in-memory state changes, so an
+  // I/O failure still aborts cleanly), and `CommitPrepared` applies the
+  // precomputed deltas uncancellably.
+  ViewManager::PreparedCommit prepared = views_.PrepareCommit(effect, cancel);
+  if (cancel != nullptr) cancel->Check();
   if (storage_ != nullptr) storage_->LogCommit(effect);
-  views_.ApplyEffect(effect);
+  views_.CommitPrepared(std::move(prepared), effect);
   guard_.CommitPrecheck(std::move(precheck));
   return Message("");
 }
@@ -561,6 +622,36 @@ void EngineCore::NoteCatalogChange() {
 void EngineCore::SetMaintenanceParallelism(size_t workers) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   views_.SetParallelism(workers);
+}
+
+void EngineCore::SetAdmissionControl(
+    util::AdmissionController::Options options) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (options.read_slots == 0 && options.write_slots == 0) {
+    admission_.reset();
+    return;
+  }
+  admission_ = std::make_unique<util::AdmissionController>(options);
+}
+
+void EngineCore::SyncAdmissionMetrics() {
+  AdmissionMetrics& am = views_.metrics().admission();
+  am.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  if (admission_ == nullptr) {
+    am.read_slots = 0;
+    am.write_slots = 0;
+    return;
+  }
+  const util::AdmissionController::Stats stats = admission_->snapshot();
+  am.read_slots = admission_->options().read_slots;
+  am.write_slots = admission_->options().write_slots;
+  am.read_admitted = stats.read_admitted;
+  am.read_shed = stats.read_shed;
+  am.read_inflight = stats.read_inflight;
+  am.write_admitted = stats.write_admitted;
+  am.write_shed = stats.write_shed;
+  am.write_inflight = stats.write_inflight;
+  am.retry_after_ms = stats.retry_after_ms;
 }
 
 void EngineCore::DumpTrace(const std::string& path) const {
@@ -575,6 +666,7 @@ std::string EngineCore::ExportMetricsText() {
   if (storage_ != nullptr) storage_->SyncWalMetrics();
   views_.SyncPoolMetrics();
   SyncSessionMetrics();
+  SyncAdmissionMetrics();
   return obs::ExportPrometheus(views_.metrics());
 }
 
@@ -595,7 +687,8 @@ void EngineCore::EnsureTableDroppable(const std::string& name) const {
 }
 
 Result EngineCore::ExecuteStatement(const Statement& stmt,
-                                    std::optional<Transaction>* pending) {
+                                    std::optional<Transaction>* pending,
+                                    const util::Cancellation* cancel) {
   using Kind = Statement::Kind;
   switch (stmt.kind) {
     case Kind::kCreateTable:
@@ -636,11 +729,11 @@ Result EngineCore::ExecuteStatement(const Statement& stmt,
       NoteCatalogChange();
       return Message("assertion " + stmt.name + " dropped");
     case Kind::kInsert:
-      return ExecuteInsert(stmt, pending);
+      return ExecuteInsert(stmt, pending, cancel);
     case Kind::kDelete:
-      return ExecuteDelete(stmt, pending);
+      return ExecuteDelete(stmt, pending, cancel);
     case Kind::kUpdate:
-      return ExecuteUpdate(stmt, pending);
+      return ExecuteUpdate(stmt, pending, cancel);
     case Kind::kSelect:
       return ExecuteSelect(stmt.query);
     case Kind::kRefresh:
@@ -767,6 +860,7 @@ Result EngineCore::ExecuteStatement(const Statement& stmt,
       if (storage_ != nullptr) storage_->SyncWalMetrics();
       views_.SyncPoolMetrics();
       SyncSessionMetrics();
+      SyncAdmissionMetrics();
       if (stmt.json) return JsonMessage(views_.metrics().ToJson());
       // Long format: one (view, metric, value) row per counter, with the
       // cross-view aggregate and commit-scope timers under view "*".
@@ -828,6 +922,17 @@ Result EngineCore::ExecuteStatement(const Statement& stmt,
       emit("*", "session_errors", sessions.totals.errors);
       emit("*", "session_rows_returned", sessions.totals.rows_returned);
       emit("*", "session_snapshot_reads", sessions.totals.snapshot_reads);
+      const AdmissionMetrics& admission = registry.admission();
+      emit("*", "admission_read_slots", admission.read_slots);
+      emit("*", "admission_write_slots", admission.write_slots);
+      emit("*", "admission_read_admitted", admission.read_admitted);
+      emit("*", "admission_read_shed", admission.read_shed);
+      emit("*", "admission_read_inflight", admission.read_inflight);
+      emit("*", "admission_write_admitted", admission.write_admitted);
+      emit("*", "admission_write_shed", admission.write_shed);
+      emit("*", "admission_write_inflight", admission.write_inflight);
+      emit("*", "admission_retry_after_ms", admission.retry_after_ms);
+      emit("*", "deadline_exceeded", admission.deadline_exceeded);
       emit_view("*", registry.Aggregate());
       for (const auto& name : registry.ViewNames()) {
         emit_view(name, *registry.Find(name));
@@ -945,7 +1050,7 @@ Result EngineCore::ExecuteStatement(const Statement& stmt,
       }
       Transaction txn;
       loaded.Scan([&](const Tuple& t) { txn.Insert(stmt.name, t); });
-      Result result = CommitTransaction(std::move(txn));
+      Result result = CommitTransaction(std::move(txn), cancel);
       if (result.kind == Result::Kind::kMessage && result.message.empty()) {
         result.message =
             std::to_string(n) + " row(s) copied from " + stmt.path;
@@ -961,7 +1066,19 @@ Result EngineCore::ExecuteStatement(const Statement& stmt,
       Transaction txn = std::move(**pending);
       pending->reset();
       size_t ops = txn.NumOperations();
-      Result result = CommitTransaction(std::move(txn));
+      // A deadline abort is clean by construction (nothing applied, WAL
+      // untouched), so the staged transaction must survive for a retried
+      // COMMIT — unlike a semantic failure, which consumes it.  Retain a
+      // copy only when a token could actually expire.
+      std::optional<Transaction> retained;
+      if (cancel != nullptr) retained = txn;
+      Result result;
+      try {
+        result = CommitTransaction(std::move(txn), cancel);
+      } catch (const DeadlineExceededError&) {
+        if (retained.has_value()) pending->emplace(std::move(*retained));
+        throw;
+      }
       if (result.kind == Result::Kind::kMessage && result.message.empty()) {
         result.message =
             "committed (" + std::to_string(ops) + " operation(s))";

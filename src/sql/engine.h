@@ -1,6 +1,7 @@
 #ifndef MVIEW_SQL_ENGINE_H_
 #define MVIEW_SQL_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -17,7 +18,12 @@
 #include "obs/session_stats.h"
 #include "sql/parser.h"
 #include "sql/result.h"
+#include "util/admission.h"
 #include "util/status.h"
+
+namespace mview::util {
+class Cancellation;
+}  // namespace mview::util
 
 namespace mview {
 class Storage;
@@ -81,9 +87,20 @@ class EngineCore {
   /// requires (see the class comment).  Sets `*served_from_snapshot` when
   /// the statement was a view SELECT answered lock-free from the published
   /// epoch.  Throws like the former `Engine::Execute`.
+  ///
+  /// `cancel` (may be null) is polled before the engine lock is taken and
+  /// at every evaluation poll point downstream; an expired token unwinds
+  /// the statement with `DeadlineExceededError` before anything observable
+  /// mutates.  When admission control is configured
+  /// (`SetAdmissionControl`), statements that need the engine lock pass
+  /// through the lane gate first: a saturated lane sheds the statement
+  /// immediately with `OverloadedError` carrying a retry-after hint.  The
+  /// snapshot fast path bypasses both — published-epoch reads stay
+  /// wait-free even under overload.
   Result ExecuteParsed(const Statement& stmt,
                        std::optional<Transaction>* pending,
-                       bool* served_from_snapshot);
+                       bool* served_from_snapshot,
+                       const util::Cancellation* cancel = nullptr);
 
   /// The latest published epoch of every materialized view — one atomic
   /// load, callable from any thread concurrently with commits.
@@ -106,6 +123,22 @@ class EngineCore {
   /// concurrent statements, but resizing the pool mid-load stalls commits
   /// while workers drain.
   void SetMaintenanceParallelism(size_t workers);
+
+  /// Configures admission control (overload shedding).  Lane budgets of 0
+  /// mean unlimited (the default: no gating, no overhead beyond a null
+  /// check).  A startup/configuration knob like
+  /// `SetMaintenanceParallelism`: call before the core is shared, not
+  /// mid-load.
+  void SetAdmissionControl(util::AdmissionController::Options options);
+
+  /// The admission controller, or null when admission control is off.
+  const util::AdmissionController* admission() const {
+    return admission_.get();
+  }
+
+  /// TEST-ONLY mutable controller access (e.g. to occupy a lane slot and
+  /// force a deterministic shed); same contract as `mutable_database`.
+  util::AdmissionController* mutable_admission() { return admission_.get(); }
 
   /// Mutable escape hatches for TESTS ONLY (drift injection, direct view
   /// registration, scrubber construction).  They bypass the engine lock
@@ -148,9 +181,11 @@ class EngineCore {
   static LockClass Classify(const Statement& stmt, bool in_transaction);
 
   /// The statement dispatcher; the caller holds the lock `Classify`
-  /// demanded.
+  /// demanded.  `cancel` may be null; it reaches the maintenance poll
+  /// points through `CommitTransaction`.
   Result ExecuteStatement(const Statement& stmt,
-                          std::optional<Transaction>* pending);
+                          std::optional<Transaction>* pending,
+                          const util::Cancellation* cancel);
   Result ExecuteSelect(const SelectQuery& query);
   /// The lock-free fast path: serves `query` (single-FROM over a view
   /// present in `snap`) from the epoch's immutable buffer.
@@ -158,13 +193,16 @@ class EngineCore {
                                    const SelectQuery& query);
   Result ExecuteCreateView(const Statement& stmt);
   Result ExecuteInsert(const Statement& stmt,
-                       std::optional<Transaction>* pending);
+                       std::optional<Transaction>* pending,
+                       const util::Cancellation* cancel);
   Result ExecuteDelete(const Statement& stmt,
-                       std::optional<Transaction>* pending);
+                       std::optional<Transaction>* pending,
+                       const util::Cancellation* cancel);
   Result ExecuteUpdate(const Statement& stmt,
-                       std::optional<Transaction>* pending);
+                       std::optional<Transaction>* pending,
+                       const util::Cancellation* cancel);
   Result ExecuteExplainMaintenance(const Statement& stmt);
-  Result CommitTransaction(Transaction txn);
+  Result CommitTransaction(Transaction txn, const util::Cancellation* cancel);
 
   // Validate a DML statement against the catalog and return the
   // transaction it would commit (affected-row count via `rows`), applying
@@ -189,6 +227,10 @@ class EngineCore {
   /// Folds closed-session totals plus a sample of every live session into
   /// `views_.metrics().sessions()`.  Caller holds the exclusive lock.
   void SyncSessionMetrics();
+  /// Copies the admission controller's counters (and the deadline-abort
+  /// counter) into `views_.metrics().admission()`.  Caller holds the
+  /// exclusive lock.
+  void SyncAdmissionMetrics();
 
   Database db_;
   ViewManager views_;
@@ -202,6 +244,13 @@ class EngineCore {
   // The engine lock: shared by read-only statements, exclusive for
   // anything that mutates shared state.  View SELECTs bypass it entirely.
   mutable std::shared_mutex mu_;
+
+  // Admission control (null = off).  Set once at startup by
+  // `SetAdmissionControl`; the controller itself is internally atomic, so
+  // the gate runs before any engine lock is taken.
+  std::unique_ptr<util::AdmissionController> admission_;
+  // Statements unwound by an expired deadline (any lane, any phase).
+  std::atomic<int64_t> deadline_exceeded_{0};
 
   mutable std::mutex sessions_mu_;
   std::set<Session*> sessions_;   // live sessions

@@ -37,6 +37,15 @@ Status ClassifyException(const std::exception& e, std::string message) {
   if (dynamic_cast<const ViewQuarantinedError*>(&e) != nullptr) {
     return Status::ViewQuarantined(std::move(message));
   }
+  if (dynamic_cast<const DeadlineExceededError*>(&e) != nullptr) {
+    return Status::DeadlineExceeded(std::move(message));
+  }
+  if (const auto* overloaded = dynamic_cast<const OverloadedError*>(&e)) {
+    return Status::Overloaded(std::move(message), overloaded->retry_after_ms);
+  }
+  if (dynamic_cast<const AuthError*>(&e) != nullptr) {
+    return Status::Unauthenticated(std::move(message));
+  }
   if (dynamic_cast<const Error*>(&e) != nullptr) {
     return Status::ExecutionError(std::move(message));
   }
@@ -54,13 +63,14 @@ obs::SessionStats Session::StatsSnapshot() const {
   return stats_;
 }
 
-Result Session::ExecuteOne(const Statement& stmt) {
+Result Session::ExecuteOne(const Statement& stmt,
+                           const util::Cancellation* cancel) {
   const bool is_read = stmt.kind == Statement::Kind::kSelect;
   Stopwatch timer;
   bool served_from_snapshot = false;
   try {
     Result result = core_->ExecuteParsed(stmt, &pending_,
-                                         &served_from_snapshot);
+                                         &served_from_snapshot, cancel);
     const int64_t nanos = timer.ElapsedNanos();
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.statements;
@@ -82,16 +92,18 @@ Result Session::ExecuteOne(const Statement& stmt) {
   }
 }
 
-Result Session::Execute(const std::string& sql) {
+Result Session::Execute(const std::string& sql,
+                        const util::Cancellation* cancel) {
   obs::TraceSpan span(ExecuteSpanName());
   std::vector<Statement> statements = ParseTraced(sql);
   MVIEW_CHECK(statements.size() == 1,
               "Execute expects exactly one statement; got ",
               statements.size(), " (use ExecuteScript)");
-  return ExecuteOne(statements[0]);
+  return ExecuteOne(statements[0], cancel);
 }
 
-Status Session::TryExecute(const std::string& sql, Result* result) {
+Status Session::TryExecute(const std::string& sql, Result* result,
+                           const util::Cancellation* cancel) {
   obs::TraceSpan span(ExecuteSpanName());
   std::vector<Statement> statements;
   try {
@@ -105,7 +117,7 @@ Status Session::TryExecute(const std::string& sql, Result* result) {
                               " (use TryExecuteScript)");
   }
   try {
-    Result r = ExecuteOne(statements[0]);
+    Result r = ExecuteOne(statements[0], cancel);
     if (result != nullptr) *result = std::move(r);
   } catch (const std::exception& e) {
     return ClassifyException(e, e.what());

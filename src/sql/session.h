@@ -13,6 +13,10 @@
 #include "sql/result.h"
 #include "util/status.h"
 
+namespace mview::util {
+class Cancellation;
+}  // namespace mview::util
+
 namespace mview::sql {
 
 class EngineCore;
@@ -37,13 +41,22 @@ class Session {
   /// Executes one statement (a trailing ';' is allowed).  Throws
   /// `mview::Error` on syntax or semantic errors; failed assertion checks
   /// return a `kMessage` result describing the rejection instead.
-  Result Execute(const std::string& sql);
+  ///
+  /// `cancel` (optional, may be null) is a cooperative deadline /
+  /// cancellation token threaded through the engine's evaluation loops;
+  /// when it expires the statement unwinds cleanly — no base, view, or
+  /// backlog mutation survives — and `DeadlineExceededError` is thrown
+  /// (surfaced as `Status::Kind::kDeadlineExceeded` by `TryExecute`).
+  /// The token must outlive the call; the session does not keep it.
+  Result Execute(const std::string& sql,
+                 const util::Cancellation* cancel = nullptr);
 
   /// Non-throwing sibling of `Execute`: on success fills `*result` and
   /// returns an ok status; on failure leaves `*result` untouched and
   /// returns the classified error.  `result` may be null when the caller
   /// only cares about success.
-  Status TryExecute(const std::string& sql, Result* result);
+  Status TryExecute(const std::string& sql, Result* result,
+                    const util::Cancellation* cancel = nullptr);
 
   /// Executes a ';'-separated script, stopping at the first error; the
   /// thrown `Error` names the 1-based index of the failing statement.
@@ -74,7 +87,8 @@ class Session {
 
   /// Runs one parsed statement through the core and records latency,
   /// error, row, and snapshot-read counters around it.
-  Result ExecuteOne(const Statement& stmt);
+  Result ExecuteOne(const Statement& stmt,
+                    const util::Cancellation* cancel = nullptr);
 
   EngineCore* core_;  // not owned; outlives the session
   uint64_t id_ = 0;

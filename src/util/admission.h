@@ -1,0 +1,129 @@
+#ifndef MVIEW_UTIL_ADMISSION_H_
+#define MVIEW_UTIL_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mview::util {
+
+/// Two-lane admission control for the serving path: a bounded in-flight
+/// budget per lane, enforced with a single atomic per admit/exit.
+///
+/// Lanes split by the engine's lock class: statements that will take the
+/// commit lock exclusively (DML auto-commits, COMMIT, DDL) ride the
+/// *write* lane; shared-lock statements (reads, staged DML inside a
+/// transaction) ride the *read* lane.  Snapshot fast-path SELECTs bypass
+/// admission entirely — they touch no lock, so read goodput survives
+/// write overload by construction (the graceful-degradation claim bench
+/// E22 measures).
+///
+/// When a lane is saturated the statement is shed *before any work*: the
+/// admit is one fetch_add + compare, so a shed costs well under a
+/// millisecond and carries a retry-after hint derived from an EWMA of the
+/// lane's recent service time — the client backs off roughly one service
+/// interval instead of guessing.
+///
+/// A budget of 0 disables the lane's limit (the default), so embedded
+/// uses and existing tests see no behavior change unless they opt in.
+class AdmissionController {
+ public:
+  enum class Lane { kRead, kWrite };
+
+  struct Options {
+    int64_t read_slots = 0;   // max concurrent read-lane statements, 0 = ∞
+    int64_t write_slots = 0;  // max concurrent write-lane statements, 0 = ∞
+  };
+
+  /// Counter snapshot for SHOW STATS / Prometheus.
+  struct Stats {
+    int64_t read_admitted = 0;
+    int64_t read_shed = 0;
+    int64_t read_inflight = 0;
+    int64_t write_admitted = 0;
+    int64_t write_shed = 0;
+    int64_t write_inflight = 0;
+    int64_t retry_after_ms = 0;  // current write-lane backoff hint
+  };
+
+  explicit AdmissionController(Options options) : options_(options) {}
+
+  /// Tries to claim a slot in `lane`.  Returns true (caller must pair with
+  /// `Exit`) or false after bumping the lane's shed counter — the caller
+  /// turns a false into `OverloadedError{RetryAfterMillis(lane)}`.
+  bool TryEnter(Lane lane) {
+    LaneState& s = state(lane);
+    const int64_t slots =
+        lane == Lane::kWrite ? options_.write_slots : options_.read_slots;
+    if (slots > 0) {
+      if (s.inflight.fetch_add(1, std::memory_order_acq_rel) >= slots) {
+        s.inflight.fetch_sub(1, std::memory_order_acq_rel);
+        s.shed.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    } else {
+      s.inflight.fetch_add(1, std::memory_order_acq_rel);
+    }
+    s.admitted.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Releases the slot and folds the statement's service time into the
+  /// lane's EWMA (the retry-after source).  `nanos` may be 0 (unknown).
+  void Exit(Lane lane, int64_t nanos) {
+    LaneState& s = state(lane);
+    s.inflight.fetch_sub(1, std::memory_order_acq_rel);
+    if (nanos > 0) {
+      // EWMA with alpha = 1/8, updated via a racy read-modify-write: an
+      // occasionally lost update only slows the hint's convergence.
+      int64_t prev = s.ewma_nanos.load(std::memory_order_relaxed);
+      int64_t next = prev == 0 ? nanos : prev + (nanos - prev) / 8;
+      s.ewma_nanos.store(next, std::memory_order_relaxed);
+    }
+  }
+
+  /// Backoff hint for a shed on `lane`: about one EWMA service interval,
+  /// never less than 1 ms so clients always sleep before retrying.
+  int64_t RetryAfterMillis(Lane lane) const {
+    const int64_t ewma =
+        state(lane).ewma_nanos.load(std::memory_order_relaxed);
+    const int64_t ms = ewma / 1'000'000;
+    return ms > 0 ? ms : 1;
+  }
+
+  Stats snapshot() const {
+    Stats out;
+    out.read_admitted = read_.admitted.load(std::memory_order_relaxed);
+    out.read_shed = read_.shed.load(std::memory_order_relaxed);
+    out.read_inflight = read_.inflight.load(std::memory_order_relaxed);
+    out.write_admitted = write_.admitted.load(std::memory_order_relaxed);
+    out.write_shed = write_.shed.load(std::memory_order_relaxed);
+    out.write_inflight = write_.inflight.load(std::memory_order_relaxed);
+    out.retry_after_ms = RetryAfterMillis(Lane::kWrite);
+    return out;
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct LaneState {
+    std::atomic<int64_t> inflight{0};
+    std::atomic<int64_t> admitted{0};
+    std::atomic<int64_t> shed{0};
+    std::atomic<int64_t> ewma_nanos{0};
+  };
+
+  LaneState& state(Lane lane) {
+    return lane == Lane::kWrite ? write_ : read_;
+  }
+  const LaneState& state(Lane lane) const {
+    return lane == Lane::kWrite ? write_ : read_;
+  }
+
+  Options options_;
+  LaneState read_;
+  LaneState write_;
+};
+
+}  // namespace mview::util
+
+#endif  // MVIEW_UTIL_ADMISSION_H_

@@ -1,0 +1,18 @@
+#include "util/deadline.h"
+
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace mview::util {
+
+void Cancellation::Check() const {
+  MVIEW_FAULT_POINT("cancel.poll");
+  if (cancelled()) {
+    throw DeadlineExceededError("statement cancelled");
+  }
+  if (deadline_.has_value() && Clock::now() >= *deadline_) {
+    throw DeadlineExceededError("statement deadline exceeded");
+  }
+}
+
+}  // namespace mview::util

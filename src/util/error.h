@@ -47,6 +47,38 @@ class ViewQuarantinedError : public Error {
   explicit ViewQuarantinedError(const std::string& message) : Error(message) {}
 };
 
+/// A statement's deadline expired (or its connection was force-cancelled
+/// during drain) at a cooperative poll point.  Surfaced as
+/// `mview::Status::Kind::kDeadlineExceeded`.  Cancellation is clean by
+/// construction: poll points sit only where unwinding restores every
+/// structure (round guards abort join-cache rounds, prepared deltas are
+/// dropped before any base or view buffer is touched).
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& message)
+      : Error(message) {}
+};
+
+/// Admission control shed the statement before it ran: the lane's in-flight
+/// budget was exhausted.  Surfaced as `mview::Status::Kind::kOverloaded`
+/// with `retry_after_ms` carrying the server's backoff hint (an EWMA of
+/// recent statement service time).  Nothing executed; retry is always safe.
+class OverloadedError : public Error {
+ public:
+  OverloadedError(const std::string& message, int64_t retry_after_ms)
+      : Error(message), retry_after_ms(retry_after_ms) {}
+
+  int64_t retry_after_ms = 0;
+};
+
+/// The wire peer has not completed the HELLO handshake (or presented a bad
+/// token) on a server that requires one.  Surfaced as
+/// `mview::Status::Kind::kUnauthenticated`.
+class AuthError : public Error {
+ public:
+  explicit AuthError(const std::string& message) : Error(message) {}
+};
+
 namespace internal {
 
 /// Builds an error message from streamable parts and throws `Error`.

@@ -73,6 +73,8 @@ void FaultRegistry::OnHit(const char* point) {
       throw CorruptionError(message);
     case FaultKind::kBadAlloc:
       throw std::bad_alloc();
+    case FaultKind::kDeadline:
+      throw DeadlineExceededError(message);
   }
 }
 

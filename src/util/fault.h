@@ -18,6 +18,9 @@ enum class FaultKind {
   kCorruption,  // mview::CorruptionError — sticky, no automatic retry
   kBadAlloc,    // std::bad_alloc — an allocation failure outside the
                 // mview::Error hierarchy (exercises the kInternal mapping)
+  kDeadline,    // mview::DeadlineExceededError — as if the statement's
+                // deadline expired at this poll point (cancellation tests
+                // arm it on "cancel.poll" to hit every unwind path)
 };
 
 /// Per-point firing policy.  The default spec fires an `Error` exactly once

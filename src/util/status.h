@@ -31,10 +31,19 @@ struct Status {
     kInternal,        // an unclassified exception (std::bad_alloc, a
                       // library error, …) — caught at a noexcept boundary
                       // rather than allowed to escape
+    kDeadlineExceeded,  // the statement's deadline expired at a poll
+                        // point; it unwound cleanly without side effects
+    kOverloaded,      // admission control shed the statement before it
+                      // ran; `retry_after_ms` hints when to retry
+    kUnauthenticated,  // the connection has not completed (or failed)
+                       // the HELLO handshake on an auth-enabled server
   };
   bool ok = true;
   Kind kind = Kind::kOk;
   std::string message;
+  // Backoff hint for kOverloaded, milliseconds (0 = no hint).  Travels on
+  // the wire so clients can pace retries to the server's observed load.
+  int64_t retry_after_ms = 0;
 
   static Status Ok() { return Status{}; }
   static Status ParseError(std::string message) {
@@ -58,11 +67,22 @@ struct Status {
   static Status Internal(std::string message) {
     return Status{false, Kind::kInternal, std::move(message)};
   }
+  static Status DeadlineExceeded(std::string message) {
+    return Status{false, Kind::kDeadlineExceeded, std::move(message)};
+  }
+  static Status Overloaded(std::string message, int64_t retry_after_ms) {
+    return Status{false, Kind::kOverloaded, std::move(message),
+                  retry_after_ms};
+  }
+  static Status Unauthenticated(std::string message) {
+    return Status{false, Kind::kUnauthenticated, std::move(message)};
+  }
 };
 
 /// Stable lowercase identifier for a kind — the wire encoding ("ok",
 /// "parse_error", "execution_error", "io_error", "corruption",
-/// "view_quarantined", "unavailable", "internal").
+/// "view_quarantined", "unavailable", "internal", "deadline_exceeded",
+/// "overloaded", "unauthenticated").
 inline const char* StatusKindName(Status::Kind kind) {
   switch (kind) {
     case Status::Kind::kOk:
@@ -81,6 +101,12 @@ inline const char* StatusKindName(Status::Kind kind) {
       return "unavailable";
     case Status::Kind::kInternal:
       return "internal";
+    case Status::Kind::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::Kind::kOverloaded:
+      return "overloaded";
+    case Status::Kind::kUnauthenticated:
+      return "unauthenticated";
   }
   return "internal";
 }
@@ -95,6 +121,9 @@ inline Status::Kind StatusKindFromName(const std::string& name) {
   if (name == "corruption") return Status::Kind::kCorruption;
   if (name == "view_quarantined") return Status::Kind::kViewQuarantined;
   if (name == "unavailable") return Status::Kind::kUnavailable;
+  if (name == "deadline_exceeded") return Status::Kind::kDeadlineExceeded;
+  if (name == "overloaded") return Status::Kind::kOverloaded;
+  if (name == "unauthenticated") return Status::Kind::kUnauthenticated;
   return Status::Kind::kInternal;
 }
 

@@ -1,0 +1,271 @@
+#include "util/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sql/engine.h"
+#include "sql/session.h"
+#include "util/status.h"
+
+namespace mview {
+namespace {
+
+using sql::EngineCore;
+using sql::Result;
+using util::AdmissionController;
+
+using Lane = AdmissionController::Lane;
+
+// ------------------------------------------------------------ controller ---
+
+TEST(AdmissionControllerTest, BoundedLaneAdmitsUpToBudgetThenSheds) {
+  AdmissionController ctl({/*read_slots=*/2, /*write_slots=*/0});
+  EXPECT_TRUE(ctl.TryEnter(Lane::kRead));
+  EXPECT_TRUE(ctl.TryEnter(Lane::kRead));
+  EXPECT_FALSE(ctl.TryEnter(Lane::kRead));  // saturated: shed, not queued
+
+  AdmissionController::Stats stats = ctl.snapshot();
+  EXPECT_EQ(stats.read_admitted, 2);
+  EXPECT_EQ(stats.read_shed, 1);
+  EXPECT_EQ(stats.read_inflight, 2);
+
+  ctl.Exit(Lane::kRead, /*nanos=*/0);
+  EXPECT_TRUE(ctl.TryEnter(Lane::kRead));  // a freed slot re-admits
+  ctl.Exit(Lane::kRead, 0);
+  ctl.Exit(Lane::kRead, 0);
+  EXPECT_EQ(ctl.snapshot().read_inflight, 0);
+}
+
+TEST(AdmissionControllerTest, ZeroBudgetMeansUnlimited) {
+  AdmissionController ctl({0, 0});
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(ctl.TryEnter(Lane::kWrite));
+  AdmissionController::Stats stats = ctl.snapshot();
+  EXPECT_EQ(stats.write_admitted, 100);
+  EXPECT_EQ(stats.write_shed, 0);
+  EXPECT_EQ(stats.write_inflight, 100);
+  for (int i = 0; i < 100; ++i) ctl.Exit(Lane::kWrite, 0);
+}
+
+TEST(AdmissionControllerTest, LanesAreIndependent) {
+  AdmissionController ctl({/*read_slots=*/1, /*write_slots=*/1});
+  EXPECT_TRUE(ctl.TryEnter(Lane::kWrite));
+  // A saturated write lane does not touch the read lane's budget.
+  EXPECT_TRUE(ctl.TryEnter(Lane::kRead));
+  EXPECT_FALSE(ctl.TryEnter(Lane::kWrite));
+  EXPECT_FALSE(ctl.TryEnter(Lane::kRead));
+  ctl.Exit(Lane::kWrite, 0);
+  ctl.Exit(Lane::kRead, 0);
+}
+
+TEST(AdmissionControllerTest, RetryAfterTracksServiceTimeWithOneMsFloor) {
+  AdmissionController ctl({1, 1});
+  // No samples yet: the hint still tells clients to sleep at least 1 ms.
+  EXPECT_EQ(ctl.RetryAfterMillis(Lane::kWrite), 1);
+
+  // First sample seeds the EWMA directly: an 8 ms statement -> 8 ms hint.
+  ASSERT_TRUE(ctl.TryEnter(Lane::kWrite));
+  ctl.Exit(Lane::kWrite, 8'000'000);
+  EXPECT_EQ(ctl.RetryAfterMillis(Lane::kWrite), 8);
+
+  // Sub-millisecond service times floor at 1 ms, never 0.
+  ASSERT_TRUE(ctl.TryEnter(Lane::kRead));
+  ctl.Exit(Lane::kRead, 10'000);  // 10 microseconds
+  EXPECT_EQ(ctl.RetryAfterMillis(Lane::kRead), 1);
+
+  EXPECT_EQ(ctl.snapshot().retry_after_ms, 8);  // write-lane hint
+}
+
+TEST(AdmissionControllerTest, ConcurrentEnterExitNeverExceedsBudget) {
+  constexpr int64_t kSlots = 4;
+  AdmissionController ctl({0, kSlots});
+  std::atomic<int64_t> peak{0};
+  std::atomic<int64_t> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        if (!ctl.TryEnter(Lane::kWrite)) continue;
+        const int64_t now = ctl.snapshot().write_inflight;
+        int64_t seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        admitted.fetch_add(1);
+        ctl.Exit(Lane::kWrite, 1'000);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(peak.load(), kSlots);
+  AdmissionController::Stats stats = ctl.snapshot();
+  EXPECT_EQ(stats.write_inflight, 0);
+  EXPECT_EQ(stats.write_admitted, admitted.load());
+  EXPECT_EQ(stats.write_admitted + stats.write_shed, 8 * 500);
+}
+
+// ---------------------------------------------------------------- engine ---
+
+class EngineAdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = core_.CreateSession();
+    session_->ExecuteScript(
+        "CREATE TABLE t (a INT64);"
+        "CREATE MATERIALIZED VIEW v AS SELECT * FROM t;"
+        "INSERT INTO t VALUES (1), (2);");
+  }
+
+  std::string Rows(const std::string& sql) {
+    return session_->Execute(sql).ToString();
+  }
+
+  EngineCore core_;
+  std::unique_ptr<sql::Session> session_;
+};
+
+TEST_F(EngineAdmissionTest, SaturatedWriteLaneShedsWithRetryAfter) {
+  core_.SetAdmissionControl({/*read_slots=*/0, /*write_slots=*/1});
+  const std::string before = Rows("SELECT * FROM t");
+
+  // Occupy the single write slot, as if another commit were in flight.
+  ASSERT_TRUE(core_.mutable_admission()->TryEnter(Lane::kWrite));
+  Status shed = session_->TryExecute("INSERT INTO t VALUES (3)", nullptr);
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.kind, Status::Kind::kOverloaded);
+  EXPECT_GE(shed.retry_after_ms, 1);
+  EXPECT_NE(shed.message.find("write lane saturated"), std::string::npos);
+
+  // Nothing ran: the shed left no trace in the table, and snapshot reads
+  // (the view fast path) kept serving while the write lane was full.
+  EXPECT_EQ(Rows("SELECT * FROM v"), Rows("SELECT * FROM t"));
+
+  // Releasing the slot re-admits the same statement.
+  core_.mutable_admission()->Exit(Lane::kWrite, 0);
+  EXPECT_TRUE(session_->TryExecute("INSERT INTO t VALUES (3)", nullptr).ok);
+  EXPECT_NE(Rows("SELECT * FROM t"), before);
+}
+
+TEST_F(EngineAdmissionTest, SaturatedReadLaneShedsButSnapshotReadsSurvive) {
+  core_.SetAdmissionControl({/*read_slots=*/1, /*write_slots=*/0});
+  ASSERT_TRUE(core_.mutable_admission()->TryEnter(Lane::kRead));
+
+  // A base-table scan needs the shared lock -> read lane -> shed.
+  Status shed = session_->TryExecute("SELECT * FROM t", nullptr);
+  EXPECT_EQ(shed.kind, Status::Kind::kOverloaded);
+  EXPECT_GE(shed.retry_after_ms, 1);
+
+  // A single-view SELECT rides the published epoch: no lock, no lane, so
+  // it serves even with the read lane saturated.
+  Result from_view;
+  EXPECT_TRUE(session_->TryExecute("SELECT * FROM v", &from_view).ok);
+  EXPECT_EQ(from_view.NumRows(), 2u);
+
+  core_.mutable_admission()->Exit(Lane::kRead, 0);
+  EXPECT_TRUE(session_->TryExecute("SELECT * FROM t", nullptr).ok);
+}
+
+TEST_F(EngineAdmissionTest, SessionLocalStatementsBypassAdmission) {
+  core_.SetAdmissionControl({/*read_slots=*/1, /*write_slots=*/1});
+  ASSERT_TRUE(core_.mutable_admission()->TryEnter(Lane::kRead));
+  ASSERT_TRUE(core_.mutable_admission()->TryEnter(Lane::kWrite));
+
+  // BEGIN/ROLLBACK touch only session state (lock class kNone): they must
+  // work even with both lanes saturated, or a shed client could never
+  // abandon its transaction.
+  EXPECT_TRUE(session_->TryExecute("BEGIN", nullptr).ok);
+  EXPECT_TRUE(session_->TryExecute("ROLLBACK", nullptr).ok);
+
+  core_.mutable_admission()->Exit(Lane::kRead, 0);
+  core_.mutable_admission()->Exit(Lane::kWrite, 0);
+}
+
+TEST_F(EngineAdmissionTest, StagedDmlRidesTheReadLane) {
+  core_.SetAdmissionControl({/*read_slots=*/1, /*write_slots=*/1});
+  ASSERT_TRUE(session_->TryExecute("BEGIN", nullptr).ok);
+
+  // Inside a transaction, INSERT only stages (shared lock -> read lane);
+  // COMMIT is the write-lane statement.
+  ASSERT_TRUE(core_.mutable_admission()->TryEnter(Lane::kWrite));
+  EXPECT_TRUE(session_->TryExecute("INSERT INTO t VALUES (7)", nullptr).ok);
+  Status shed = session_->TryExecute("COMMIT", nullptr);
+  EXPECT_EQ(shed.kind, Status::Kind::kOverloaded);
+
+  // The transaction is still pending: freeing the lane lets COMMIT land.
+  core_.mutable_admission()->Exit(Lane::kWrite, 0);
+  EXPECT_TRUE(session_->TryExecute("COMMIT", nullptr).ok);
+  Result rows = session_->Execute("SELECT * FROM t WHERE a = 7");
+  EXPECT_EQ(rows.NumRows(), 1u);
+}
+
+TEST_F(EngineAdmissionTest, ConcurrentWritersUnderPressureLoseNoAck) {
+  core_.SetAdmissionControl({/*read_slots=*/0, /*write_slots=*/2});
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 20;
+  std::atomic<int> acked{0};
+  std::atomic<int> shed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::unique_ptr<sql::Session> session = core_.CreateSession();
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string sql =
+            "INSERT INTO t VALUES (" + std::to_string(100 + t * 1000 + i) +
+            ")";
+        Status status = session->TryExecute(sql, nullptr);
+        if (status.ok) {
+          acked.fetch_add(1);
+        } else {
+          ASSERT_EQ(status.kind, Status::Kind::kOverloaded) << status.message;
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(acked.load() + shed.load(), kThreads * kPerThread);
+
+  // Every acknowledged insert landed exactly once; every shed landed never.
+  Result rows = session_->Execute("SELECT * FROM t WHERE a >= 100");
+  EXPECT_EQ(static_cast<int>(rows.NumRows()), acked.load());
+  const AdmissionController::Stats stats = core_.admission()->snapshot();
+  EXPECT_GE(stats.write_shed, shed.load());  // >= : SetUp ran un-gated
+  EXPECT_EQ(stats.write_inflight, 0);
+}
+
+TEST_F(EngineAdmissionTest, ShedCountersSurfaceInStatsAndPrometheus) {
+  core_.SetAdmissionControl({/*read_slots=*/0, /*write_slots=*/1});
+  ASSERT_TRUE(core_.mutable_admission()->TryEnter(Lane::kWrite));
+  EXPECT_EQ(session_->TryExecute("INSERT INTO t VALUES (9)", nullptr).kind,
+            Status::Kind::kOverloaded);
+  core_.mutable_admission()->Exit(Lane::kWrite, 0);
+
+  const std::string stats = session_->Execute("SHOW STATS").ToString();
+  EXPECT_NE(stats.find("admission_write_slots"), std::string::npos);
+  EXPECT_NE(stats.find("admission_write_shed"), std::string::npos);
+  EXPECT_NE(stats.find("admission_retry_after_ms"), std::string::npos);
+  EXPECT_NE(stats.find("deadline_exceeded"), std::string::npos);
+
+  const std::string prom = core_.ExportMetricsText();
+  EXPECT_NE(prom.find("mview_admission_slots{lane=\"write\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mview_admission_shed_total{lane=\"write\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mview_admission_inflight{lane=\"write\"} 0"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mview_deadline_exceeded_total"), std::string::npos);
+}
+
+TEST_F(EngineAdmissionTest, ReconfiguringToZeroDisablesTheGate) {
+  core_.SetAdmissionControl({/*read_slots=*/1, /*write_slots=*/1});
+  ASSERT_NE(core_.admission(), nullptr);
+  core_.SetAdmissionControl({0, 0});
+  EXPECT_EQ(core_.admission(), nullptr);
+  EXPECT_TRUE(session_->TryExecute("INSERT INTO t VALUES (11)", nullptr).ok);
+}
+
+}  // namespace
+}  // namespace mview

@@ -1,0 +1,219 @@
+// Network chaos matrix: randomized faults on the server's network paths
+// (accept, response corruption, partial writes) under a client workload
+// that reconnects and retries.  The server must keep serving throughout,
+// and the final engine state must be byte-identical to a fault-free shadow
+// engine that received exactly the writes the client could confirm.
+//
+// The wire fault points fire *after* the statement executed, so a client
+// that loses a response does not know whether its write landed; the
+// workload resolves each uncertain write with a verify read — mirroring
+// what a correct application must do — and applies it to the shadow only
+// when the read proves it landed.
+//
+// Knobs: MVIEW_CHAOS_SEED seeds the fault RNGs, MVIEW_CHAOS_ITERS sets the
+// per-combination write count.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "sql/engine.h"
+#include "sql/session.h"
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace mview::server {
+namespace {
+
+using sql::Engine;
+using sql::EngineCore;
+using util::FaultSpec;
+using util::ScopedFault;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoll(v);
+}
+
+const char* const kNetworkPoints[] = {
+    "server.accept",
+    "wire.corrupt_frame",
+    "wire.partial_write",
+};
+
+const char* Preamble() {
+  return "CREATE TABLE t (k INT64, v INT64);"
+         "CREATE MATERIALIZED VIEW va AS SELECT k, v FROM t WHERE k < 1000;"
+         "CREATE MATERIALIZED VIEW vb AS SELECT k, v FROM t WHERE v > 50;";
+}
+
+std::string Dump(sql::Session& session, const char* relation) {
+  return session.Execute(std::string("SELECT * FROM ") + relation).ToString();
+}
+
+// Executes `sql` until a clean ok response arrives, reconnecting through
+// dead connections and discarding mangled frames.  Only used for
+// idempotent reads, so blind retry is safe.  The cap is far above what a
+// 30% per-response fault rate can plausibly exhaust.
+WireResponse MustRead(Client& client, uint16_t port, const std::string& sql) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    try {
+      if (!client.connected()) client.Connect("127.0.0.1", port);
+      WireResponse response = client.Execute(sql);
+      if (response.ok) return response;
+      client.Close();  // mangled or failed frame: the connection is toast
+    } catch (const IoError&) {
+      client.Close();
+    }
+  }
+  ADD_FAILURE() << "no clean response after 200 attempts: " << sql;
+  return {};
+}
+
+class NetworkChaosTest : public ::testing::Test {
+ protected:
+  void RunMatrixCell(const std::string& point, uint64_t seed) {
+    SCOPED_TRACE(point + " seed=" + std::to_string(seed));
+
+    EngineCore core;
+    Engine shadow;
+    {
+      std::unique_ptr<sql::Session> admin = core.CreateSession();
+      admin->ExecuteScript(Preamble());
+    }
+    shadow.ExecuteScript(Preamble());
+
+    Server server(&core, Server::Options{});
+    server.Start();
+    const uint16_t port = server.port();
+
+    FaultSpec spec;  // kError: any Error-derived kind trips the net hooks
+    spec.sticky = true;
+    spec.probability = 0.3;
+    spec.seed = seed;
+    int reads_served = 0;
+    {
+      ScopedFault fault(point, spec);
+      Client client;
+      const int iters =
+          static_cast<int>(EnvInt("MVIEW_CHAOS_ITERS", 30));
+      for (int i = 1; i <= iters; ++i) {
+        const std::string insert = "INSERT INTO t VALUES (" +
+                                   std::to_string(i) + ", " +
+                                   std::to_string(i * 10) + ")";
+        bool acked = false;
+        bool uncertain = false;
+        try {
+          if (!client.connected()) client.Connect("127.0.0.1", port);
+          WireResponse response = client.Execute(insert);
+          if (response.ok) {
+            acked = true;
+          } else {
+            // A mangled or refused frame after the server may already
+            // have executed the statement.
+            uncertain = true;
+            client.Close();
+          }
+        } catch (const IoError&) {
+          uncertain = true;
+          client.Close();
+        }
+        if (uncertain) {
+          // Resolve the write's fate the way a real application must: ask.
+          WireResponse probe = MustRead(
+              client, port,
+              "SELECT * FROM t WHERE k = " + std::to_string(i));
+          acked = probe.raw.find("\"rows\":[]") == std::string::npos;
+        }
+        if (acked) shadow.Execute(insert);
+
+        // Interleave retried reads: the retry helper must ride out the
+        // same faults (it reconnects on drops and gives up cleanly on
+        // mangled frames).
+        if (i % 5 == 0) {
+          try {
+            RetryOptions retry;
+            retry.seed = static_cast<uint32_t>(seed + i);
+            WireResponse view =
+                client.ExecuteWithRetry("SELECT * FROM va", 0, retry);
+            if (view.ok) ++reads_served;
+          } catch (const IoError&) {
+            client.Close();
+          }
+        }
+      }
+      EXPECT_GT(reads_served, 0) << "retried reads never got through";
+    }
+
+    // Faults disarmed: a fresh client is served immediately…
+    Client fresh;
+    fresh.Connect("127.0.0.1", port);
+    EXPECT_TRUE(fresh.Execute("SELECT * FROM t").ok);
+    fresh.Close();
+    server.Shutdown();
+
+    // …and the surviving state matches the fault-free shadow exactly.
+    std::unique_ptr<sql::Session> session = core.CreateSession();
+    std::unique_ptr<sql::Session> shadow_session = shadow.CreateSession();
+    for (const char* rel : {"t", "va", "vb"}) {
+      EXPECT_EQ(Dump(*session, rel), Dump(*shadow_session, rel))
+          << "relation " << rel;
+    }
+  }
+};
+
+TEST_F(NetworkChaosTest, EveryNetworkFaultPointPreservesConsistency) {
+  const uint64_t base_seed =
+      static_cast<uint64_t>(EnvInt("MVIEW_CHAOS_SEED", 7));
+  for (const char* point : kNetworkPoints) {
+    for (uint64_t s = 0; s < 2; ++s) {
+      RunMatrixCell(point, base_seed + s);
+    }
+  }
+}
+
+TEST_F(NetworkChaosTest, AcceptFaultsNeverWedgeTheListener) {
+  // Hammer the accept path with a high fault rate: refused connections
+  // must not leak fds or stall the accept loop, and survivors are served.
+  EngineCore core;
+  {
+    std::unique_ptr<sql::Session> admin = core.CreateSession();
+    admin->Execute("CREATE TABLE t (k INT64)");
+  }
+  Server server(&core, Server::Options{});
+  server.Start();
+
+  FaultSpec spec;
+  spec.sticky = true;
+  spec.probability = 0.7;
+  spec.seed = static_cast<uint64_t>(EnvInt("MVIEW_CHAOS_SEED", 7));
+  int served = 0;
+  {
+    ScopedFault fault("server.accept", spec);
+    for (int i = 0; i < 40; ++i) {
+      Client client;
+      try {
+        client.Connect("127.0.0.1", server.port());
+        if (client.Execute("SELECT * FROM t").ok) ++served;
+      } catch (const IoError&) {
+        // This connection drew the short straw; the next may not.
+      }
+    }
+  }
+  EXPECT_GT(served, 0);
+
+  // With the fault gone the listener is fully healthy again.
+  Client fresh;
+  fresh.Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(fresh.Execute("SELECT * FROM t").ok);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace mview::server

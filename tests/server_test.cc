@@ -44,7 +44,8 @@ TEST(WireTest, ParseRoundTripsEveryKind) {
        {Status::Kind::kParseError, Status::Kind::kExecutionError,
         Status::Kind::kIoError, Status::Kind::kCorruption,
         Status::Kind::kViewQuarantined, Status::Kind::kUnavailable,
-        Status::Kind::kInternal}) {
+        Status::Kind::kInternal, Status::Kind::kDeadlineExceeded,
+        Status::Kind::kOverloaded, Status::Kind::kUnauthenticated}) {
     Status status{false, kind, "err \"x\"\twith\nescapes"};
     WireResponse decoded = ParseResponse(EncodeResponse(status, nullptr));
     EXPECT_FALSE(decoded.ok);
@@ -58,6 +59,40 @@ TEST(WireTest, ParseRoundTripsEveryKind) {
   WireResponse ok = ParseResponse(EncodeResponse(Status::Ok(), &message));
   EXPECT_TRUE(ok.ok);
   EXPECT_EQ(ok.kind, Status::Kind::kOk);
+}
+
+TEST(WireTest, RetryAfterHintRoundTrips) {
+  Status shed = Status::Overloaded("write lane saturated", 12);
+  const std::string line = EncodeResponse(shed, nullptr);
+  EXPECT_NE(line.find("\"retry_after_ms\":12"), std::string::npos);
+  WireResponse decoded = ParseResponse(line);
+  EXPECT_EQ(decoded.kind, Status::Kind::kOverloaded);
+  EXPECT_EQ(decoded.retry_after_ms, 12);
+  EXPECT_EQ(decoded.ToStatus().retry_after_ms, 12);
+
+  // No hint, no field: other errors stay byte-identical to before.
+  const std::string plain =
+      EncodeResponse(Status::ExecutionError("nope"), nullptr);
+  EXPECT_EQ(plain.find("retry_after_ms"), std::string::npos);
+  EXPECT_EQ(ParseResponse(plain).retry_after_ms, 0);
+}
+
+TEST(WireTest, RequestDeadlineRoundTrips) {
+  EXPECT_EQ(EncodeRequest("SELECT 1", 0), "SELECT 1");
+  EXPECT_EQ(EncodeRequest("SELECT 1", 250), "@250 SELECT 1");
+
+  int64_t deadline_ms = -1;
+  EXPECT_EQ(SplitRequestDeadline("@250 SELECT 1", &deadline_ms), "SELECT 1");
+  EXPECT_EQ(deadline_ms, 250);
+  EXPECT_EQ(SplitRequestDeadline("SELECT 1", &deadline_ms), "SELECT 1");
+  EXPECT_EQ(deadline_ms, 0);
+
+  // Malformed prefixes are statement text, not a protocol error.
+  EXPECT_EQ(SplitRequestDeadline("@abc SELECT 1", &deadline_ms),
+            "@abc SELECT 1");
+  EXPECT_EQ(deadline_ms, 0);
+  EXPECT_EQ(SplitRequestDeadline("@250SELECT", &deadline_ms), "@250SELECT");
+  EXPECT_EQ(deadline_ms, 0);
 }
 
 TEST(WireTest, MalformedLineDecodesAsInternal) {
